@@ -1,0 +1,305 @@
+package cafc
+
+import (
+	"testing"
+
+	"cafc/internal/webgen"
+	"cafc/internal/webgraph"
+)
+
+// testDocs builds documents and labels from a generated corpus.
+func testDocs(t testing.TB, seed int64, n int) ([]Document, map[string]string, map[string]string, BacklinkFunc) {
+	t.Helper()
+	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n})
+	var docs []Document
+	labels := make(map[string]string)
+	for _, u := range c.FormPages {
+		docs = append(docs, Document{URL: u, HTML: c.ByURL[u].HTML})
+		labels[u] = string(c.Labels[u])
+	}
+	g := webgraph.FromCorpus(c)
+	svc := webgraph.NewBacklinkService(g, 100, 0, seed)
+	return docs, labels, c.RootOf, svc.Backlinks
+}
+
+func TestNewCorpus(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 1, 64)
+	corpus, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 64 {
+		t.Errorf("Len = %d", corpus.Len())
+	}
+	urls := corpus.URLs()
+	if len(urls) != 64 || urls[0] != docs[0].URL {
+		t.Errorf("URLs wrong")
+	}
+	// Self similarity ~1, bounds hold.
+	if s := corpus.Similarity(0, 0); s < 0.99 {
+		t.Errorf("self sim = %v", s)
+	}
+	if s := corpus.Similarity(0, 1); s < 0 || s > 1 {
+		t.Errorf("sim out of bounds: %v", s)
+	}
+}
+
+func TestNewCorpusRejectsFormlessDoc(t *testing.T) {
+	docs := []Document{{URL: "http://x.example/", HTML: "<p>no form</p>"}}
+	if _, err := NewCorpus(docs); err == nil {
+		t.Fatal("want error for formless doc")
+	}
+	corpus, err := NewCorpus(docs, Options{SkipNonSearchable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if corpus.Len() != 0 || len(corpus.Skipped) != 1 {
+		t.Errorf("skip bookkeeping wrong: %d admitted, %v skipped", corpus.Len(), corpus.Skipped)
+	}
+}
+
+func TestClusterCQuality(t *testing.T) {
+	docs, labels, _, _ := testDocs(t, 2, 160)
+	corpus, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := corpus.ClusterC(8, 0)
+	if len(cl.Clusters) != 8 {
+		t.Fatalf("clusters = %d", len(cl.Clusters))
+	}
+	total := 0
+	for _, members := range cl.Clusters {
+		total += len(members)
+	}
+	if total != 160 {
+		t.Errorf("assigned %d of 160", total)
+	}
+	e, f := cl.Quality(labels)
+	if f < 0.5 || e > 1.5 {
+		t.Errorf("quality E=%.3f F=%.3f", e, f)
+	}
+	if len(cl.TopTerms) != 8 {
+		t.Errorf("TopTerms groups = %d", len(cl.TopTerms))
+	}
+	for i, terms := range cl.TopTerms {
+		if len(cl.Clusters[i]) > 0 && len(terms) == 0 {
+			t.Errorf("cluster %d has no top terms", i)
+		}
+	}
+}
+
+func TestClusterCHImproves(t *testing.T) {
+	docs, labels, roots, backlinks := testDocs(t, 3, 200)
+	corpus, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eC := 0.0
+	runs := 5
+	for r := 0; r < runs; r++ {
+		e, _ := corpus.ClusterC(8, int64(r)).Quality(labels)
+		eC += e / float64(runs)
+	}
+	eCH, fCH := corpus.ClusterCH(8, backlinks, roots, 0).Quality(labels)
+	if eCH >= eC {
+		t.Errorf("CAFC-CH entropy %.3f >= CAFC-C %.3f", eCH, eC)
+	}
+	if fCH < 0.8 {
+		t.Errorf("CAFC-CH F = %.3f", fCH)
+	}
+}
+
+func TestClusterHAC(t *testing.T) {
+	docs, labels, _, _ := testDocs(t, 4, 96)
+	corpus, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := corpus.ClusterHAC(8)
+	if len(cl.Clusters) != 8 {
+		t.Fatalf("clusters = %d", len(cl.Clusters))
+	}
+	if _, f := cl.Quality(labels); f < 0.4 {
+		t.Errorf("HAC F = %.3f", f)
+	}
+}
+
+func TestFeatureOptions(t *testing.T) {
+	docs, labels, _, _ := testDocs(t, 5, 96)
+	for _, feat := range []Features{FCPC, FCOnly, PCOnly} {
+		corpus, err := NewCorpus(docs, Options{Features: feat})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := corpus.ClusterC(8, 1)
+		if e, f := cl.Quality(labels); e < 0 || f <= 0 {
+			t.Errorf("%v: E=%.3f F=%.3f", feat, e, f)
+		}
+	}
+}
+
+func TestUniformWeightOption(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 6, 48)
+	u, err := NewCorpus(docs, Options{UniformWeights: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The two weightings must actually differ for some pair.
+	differs := false
+	for i := 0; i < 10 && !differs; i++ {
+		for j := i + 1; j < 10; j++ {
+			if diff := u.Similarity(i, j) - d.Similarity(i, j); diff > 1e-9 || diff < -1e-9 {
+				differs = true
+				break
+			}
+		}
+	}
+	if !differs {
+		t.Error("uniform and differentiated weights produce identical similarities")
+	}
+}
+
+func TestQualityIgnoresUnlabeled(t *testing.T) {
+	docs, labels, _, _ := testDocs(t, 7, 48)
+	corpus, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := corpus.ClusterC(8, 0)
+	partial := map[string]string{}
+	for u, l := range labels {
+		partial[u] = l
+		if len(partial) == 10 {
+			break
+		}
+	}
+	e, f := cl.Quality(partial)
+	if e < 0 || f < 0 || f > 1 {
+		t.Errorf("partial-label quality E=%.3f F=%.3f", e, f)
+	}
+}
+
+func TestClassifierPublicAPI(t *testing.T) {
+	docs, labels, roots, backlinks := testDocs(t, 8, 200)
+	corpus, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := corpus.ClusterCH(8, backlinks, roots, 1)
+	// Auto-labelled (nil labels -> top terms).
+	clf := corpus.Classifier(cl, nil)
+	if len(clf.Labels()) != 8 {
+		t.Fatalf("labels = %v", clf.Labels())
+	}
+	for _, l := range clf.Labels() {
+		if l == "" {
+			t.Error("auto label empty")
+		}
+	}
+	// Majority-gold labels, then held-out accuracy.
+	names := make([]string, len(cl.Clusters))
+	for i, members := range cl.Clusters {
+		counts := map[string]int{}
+		for _, u := range members {
+			counts[labels[u]]++
+		}
+		for d, n := range counts {
+			if best := counts[names[i]]; names[i] == "" || n > best {
+				names[i] = d
+			}
+		}
+	}
+	clf = corpus.Classifier(cl, names)
+	held, heldLabels, _, _ := testDocs(t, 9, 80)
+	correct, total := 0, 0
+	for _, d := range held {
+		pred, ok, err := clf.Classify(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			continue
+		}
+		total++
+		if pred.Label == heldLabels[d.URL] {
+			correct++
+		}
+	}
+	if total < 60 {
+		t.Fatalf("only %d of 80 classified", total)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.75 {
+		t.Errorf("held-out accuracy %.3f", acc)
+	}
+}
+
+func TestClassifierRejectsFormlessDoc(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 10, 48)
+	corpus, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clf := corpus.Classifier(corpus.ClusterC(8, 0), nil)
+	if _, _, err := clf.Classify(Document{URL: "u", HTML: "<p>nothing</p>"}); err == nil {
+		t.Error("formless doc must error")
+	}
+	if _, err := clf.Rank(Document{URL: "u", HTML: "<p>nothing</p>"}); err == nil {
+		t.Error("formless doc must error in Rank")
+	}
+}
+
+func TestC1C2Weights(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 14, 48)
+	balanced, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcHeavy, err := NewCorpus(docs, Options{C1: 10, C2: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcOnly, err := NewCorpus(docs, Options{Features: PCOnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PC-heavy similarity must sit between balanced and PC-only for some
+	// pair where FC and PC disagree.
+	moved := false
+	for i := 0; i < 12 && !moved; i++ {
+		for j := i + 1; j < 12; j++ {
+			b, h, p := balanced.Similarity(i, j), pcHeavy.Similarity(i, j), pcOnly.Similarity(i, j)
+			if abs(b-p) < 1e-9 {
+				continue
+			}
+			if abs(h-p) < abs(b-p) {
+				moved = true
+				break
+			}
+		}
+	}
+	if !moved {
+		t.Error("C1/C2 weighting has no effect")
+	}
+}
+
+func TestSelectKFindsDomainCount(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 15, 160)
+	corpus, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, curve := corpus.SelectK(2, 10, 1)
+	t.Logf("selected k=%d, curve=%+v", k, curve)
+	if len(curve) != 9 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	// Eight domains, two of which (music/movie) overlap: accept 6..10.
+	if k < 6 || k > 10 {
+		t.Errorf("SelectK = %d, want near 8", k)
+	}
+}

@@ -1,0 +1,101 @@
+// Command benchall runs the paper's full experimental evaluation and
+// prints every table and figure, or a single experiment selected with
+// -exp.
+//
+// Usage:
+//
+//	benchall -n 454 -seed 2007 -runs 20              # everything
+//	benchall -exp figure2                            # one experiment
+//	benchall -exp scaling -sizes 100,200,454,1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"cafc/internal/dataset"
+	"cafc/internal/experiments"
+	"cafc/internal/webgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchall: ")
+	var (
+		n     = flag.Int("n", 454, "form pages in the generated corpus")
+		seed  = flag.Int64("seed", 2007, "corpus seed")
+		runs  = flag.Int("runs", experiments.DefaultRuns, "CAFC-C averaging runs")
+		exp   = flag.String("exp", "all", "experiment: all | figure2 | table1 | figure3 | table2 | weights | hubstats | hacseeds | errors | seeding | hubdesign | futurework | postquery | selectk | scaling")
+		sizes = flag.String("sizes", "100,200,454", "corpus sizes for -exp scaling")
+	)
+	flag.Parse()
+
+	if *exp == "scaling" {
+		var ns []int
+		for _, s := range strings.Split(*sizes, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				log.Fatalf("bad -sizes entry %q", s)
+			}
+			ns = append(ns, v)
+		}
+		rows, err := experiments.Scaling(ns, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%10s %10s %10s %10s\n", "formPages", "entropy", "F-measure", "ms")
+		for _, r := range rows {
+			fmt.Printf("%10d %10.3f %10.3f %10d\n", r.FormPages, r.Entropy, r.FMeasure, r.Millis)
+		}
+		return
+	}
+
+	env, err := experiments.NewEnv(webgen.Config{Seed: *seed, FormPages: *n})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch *exp {
+	case "all":
+		fmt.Print(experiments.RunAll(env, *runs))
+	case "figure2":
+		fmt.Print(experiments.RenderQuality(experiments.Figure2(env, *runs, experiments.DefaultMinCard)))
+	case "table1":
+		fmt.Print(experiments.RenderTable1(experiments.Table1(env)))
+	case "figure3":
+		sweep, ref := experiments.Figure3(env, *runs)
+		fmt.Print(experiments.RenderFigure3(sweep, ref))
+	case "table2":
+		fmt.Print(experiments.RenderQuality(experiments.Table2(env, *runs, experiments.DefaultMinCard)))
+	case "weights":
+		fmt.Print(experiments.RenderQuality(experiments.WeightAblation(env, experiments.DefaultMinCard)))
+	case "hubstats":
+		fmt.Print(experiments.HubStatsExp(env))
+	case "hacseeds":
+		fmt.Print(experiments.RenderQuality(experiments.HACSeedsExp(env, experiments.DefaultMinCard)))
+	case "errors":
+		fmt.Print(experiments.ErrorAnalysis(env, experiments.DefaultMinCard))
+	case "seeding":
+		fmt.Print(experiments.RenderQuality(experiments.SeedingAblation(env, *runs)))
+	case "postquery":
+		rows, err := experiments.PostQuery(env, experiments.DefaultMinCard)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Print(experiments.RenderPostQuery(rows))
+	case "selectk":
+		best, curve := experiments.KSelection(env, 2, 12)
+		fmt.Print(experiments.RenderKSelection(best, curve))
+	case "futurework":
+		fmt.Print(experiments.RenderQuality(experiments.FutureWork(env, experiments.DefaultMinCard)))
+	case "hubdesign":
+		fmt.Print(experiments.RenderQuality(experiments.HubDesignAblation(env, experiments.DefaultMinCard)))
+	case "stats":
+		fmt.Print(dataset.ComputeStats(env.Corpus))
+	default:
+		log.Fatalf("unknown -exp %q", *exp)
+	}
+}

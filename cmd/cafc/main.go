@@ -1,0 +1,95 @@
+// Command cafc clusters the form pages of a dataset with CAFC-C, CAFC-CH
+// or the HAC baseline and prints the resulting online-database directory.
+// When the dataset carries gold labels, entropy and F-measure are
+// reported as well.
+//
+// Usage:
+//
+//	cafc -in corpus.json.gz -algo ch -k 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"cafc"
+	"cafc/internal/dataset"
+	"cafc/internal/webgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("cafc: ")
+	var (
+		in       = flag.String("in", "corpus.json.gz", "input dataset")
+		algo     = flag.String("algo", "ch", "clustering algorithm: c | ch | hac")
+		k        = flag.Int("k", 8, "number of clusters")
+		minCard  = flag.Int("mincard", 8, "minimum hub-cluster cardinality (ch only)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		features = flag.String("features", "both", "feature spaces: fc | pc | both")
+		maxShow  = flag.Int("show", 6, "member URLs to print per cluster")
+	)
+	flag.Parse()
+
+	d, err := dataset.Load(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := d.Corpus()
+	var docs []cafc.Document
+	labels := make(map[string]string)
+	for _, u := range c.FormPages {
+		docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
+		if lbl := string(c.Labels[u]); lbl != "" {
+			labels[u] = lbl
+		}
+	}
+	var feat cafc.Features
+	switch *features {
+	case "fc":
+		feat = cafc.FCOnly
+	case "pc":
+		feat = cafc.PCOnly
+	case "both":
+		feat = cafc.FCPC
+	default:
+		log.Fatalf("unknown -features %q", *features)
+	}
+	corpus, err := cafc.NewCorpus(docs, cafc.Options{Features: feat, SkipNonSearchable: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(corpus.Skipped) > 0 {
+		fmt.Printf("skipped %d pages without searchable forms\n", len(corpus.Skipped))
+	}
+
+	var cl *cafc.Clustering
+	switch *algo {
+	case "c":
+		cl = corpus.ClusterC(*k, *seed)
+	case "hac":
+		cl = corpus.ClusterHAC(*k)
+	case "ch":
+		g := webgraph.FromCorpus(c)
+		svc := webgraph.NewBacklinkService(g, 100, 0, *seed)
+		cl = corpus.ClusterCHMinCard(*k, svc.Backlinks, c.RootOf, *minCard, *seed)
+	default:
+		log.Fatalf("unknown -algo %q", *algo)
+	}
+
+	for i, members := range cl.Clusters {
+		fmt.Printf("cluster %d (%d pages) — top terms: %v\n", i, len(members), cl.TopTerms[i])
+		for j, u := range members {
+			if j >= *maxShow {
+				fmt.Printf("  ... and %d more\n", len(members)-*maxShow)
+				break
+			}
+			fmt.Printf("  %s\n", u)
+		}
+	}
+	if len(labels) > 0 {
+		e, f := cl.Quality(labels)
+		fmt.Printf("\nquality vs gold labels: entropy=%.3f F-measure=%.3f\n", e, f)
+	}
+}

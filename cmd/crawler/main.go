@@ -1,0 +1,81 @@
+// Command crawler serves a generated corpus over local HTTP, crawls it
+// starting from the directory and hub pages, filters the fetched pages
+// down to searchable form pages, and writes the crawl result as a dataset
+// ready for cmd/cafc.
+//
+// Usage:
+//
+//	crawler -in corpus.json.gz -o crawled.json.gz
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"cafc/internal/crawler"
+	"cafc/internal/dataset"
+	"cafc/internal/webgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("crawler: ")
+	var (
+		in       = flag.String("in", "corpus.json.gz", "input dataset to serve and crawl")
+		out      = flag.String("o", "crawled.json.gz", "output dataset of crawled pages")
+		maxPages = flag.Int("max", 0, "page budget (0 = default)")
+		workers  = flag.Int("workers", 4, "concurrent fetchers")
+	)
+	flag.Parse()
+
+	d, err := dataset.Load(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := d.Corpus()
+
+	srv, client := crawler.ServeCorpus(c)
+	defer srv.Close()
+
+	var seeds []string
+	for _, p := range c.Pages {
+		if p.Kind == webgen.DirectoryPageKind || p.Kind == webgen.HubPageKind {
+			seeds = append(seeds, p.URL)
+		}
+	}
+	sort.Strings(seeds)
+	cr := &crawler.Crawler{
+		Fetcher: &crawler.HTTPFetcher{Client: client},
+		Config:  crawler.Config{MaxPages: *maxPages, Workers: *workers},
+	}
+	pages := cr.Crawl(seeds)
+	formPages := crawler.FormPages(pages)
+	fmt.Printf("crawled %d pages over HTTP, %d contain searchable forms\n", len(pages), len(formPages))
+
+	// Re-assemble a dataset of the discovered form pages (carrying over
+	// gold labels and site roots when the input corpus knows them).
+	outDS := &dataset.Dataset{}
+	for _, p := range formPages {
+		rec := dataset.Record{URL: p.URL, HTML: p.HTML, Kind: "form"}
+		if kp := c.ByURL[p.URL]; kp != nil {
+			rec.Domain = string(kp.Domain)
+			rec.Root = c.RootOf[p.URL]
+		}
+		outDS.Records = append(outDS.Records, rec)
+	}
+	// Hub and root pages are needed for backlink derivation downstream.
+	for _, p := range c.Pages {
+		switch p.Kind {
+		case webgen.HubPageKind, webgen.DirectoryPageKind, webgen.RootPageKind:
+			outDS.Records = append(outDS.Records, dataset.Record{
+				URL: p.URL, HTML: p.HTML, Kind: p.Kind.String(), Domain: string(p.Domain),
+			})
+		}
+	}
+	if err := outDS.Save(*out); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d records to %s\n", len(outDS.Records), *out)
+}

@@ -1,0 +1,63 @@
+// Command directoryd serves a clustered hidden-web database directory
+// over HTTP: cluster browsing, ranked page search and database selection
+// — the paper's Section 6 "query-based interface" for exploring CAFC's
+// clusters.
+//
+// Usage:
+//
+//	directoryd -in corpus.json.gz -addr :8080
+//
+// Endpoints: /  /cluster?id=N  /search?q=...  /select?q=...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strings"
+
+	"cafc"
+	"cafc/internal/dataset"
+	"cafc/internal/directory"
+	"cafc/internal/webgraph"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("directoryd: ")
+	var (
+		in   = flag.String("in", "corpus.json.gz", "input dataset")
+		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
+		k    = flag.Int("k", 8, "number of clusters")
+		seed = flag.Int64("seed", 1, "clustering seed")
+	)
+	flag.Parse()
+
+	d, err := dataset.Load(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	c := d.Corpus()
+	var docs []cafc.Document
+	html := make(map[string]string, len(c.FormPages))
+	for _, u := range c.FormPages {
+		docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
+		html[u] = c.ByURL[u].HTML
+	}
+	corpus, err := cafc.NewCorpus(docs, cafc.Options{SkipNonSearchable: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+	g := webgraph.FromCorpus(c)
+	svc := webgraph.NewBacklinkService(g, 100, 0, *seed)
+	cl := corpus.ClusterCH(*k, svc.Backlinks, c.RootOf, *seed)
+
+	labels := make([]string, len(cl.Clusters))
+	for i, terms := range cl.TopTerms {
+		labels[i] = strings.Join(terms, " ")
+	}
+	srv := directory.Build(cl.Clusters, labels, html)
+	fmt.Printf("serving %d databases in %d clusters on http://%s/\n", corpus.Len(), *k, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,82 @@
+package cafc_test
+
+import (
+	"fmt"
+
+	"cafc"
+)
+
+// Example demonstrates the minimal pipeline: parse form pages, build the
+// form-page model, cluster with CAFC-C and inspect the result.
+func Example() {
+	docs := []cafc.Document{
+		{URL: "http://jobs.example/", HTML: `<html><head><title>Job Search</title></head><body>
+			<p>Browse job openings by category and state.</p>
+			<form action="/q">Job Category: <select name="cat"><option>Engineering</option><option>Nursing</option></select>
+			<input type="submit" value="Search Jobs"></form></body></html>`},
+		{URL: "http://careers.example/", HTML: `<html><head><title>Career Listings</title></head><body>
+			<p>Employers are hiring: post your resume, browse positions.</p>
+			<form action="/find">Industry: <select name="ind"><option>Engineering</option><option>Sales</option></select>
+			<input type="submit" value="Find Jobs"></form></body></html>`},
+		{URL: "http://books.example/", HTML: `<html><head><title>Bookstore</title></head><body>
+			<p>Millions of new and used books for sale.</p>
+			<form action="/s">Author: <input type="text" name="a">
+			<input type="submit" value="Search Books"></form></body></html>`},
+		{URL: "http://novels.example/", HTML: `<html><head><title>Novels Online</title></head><body>
+			<p>Fiction bestsellers, paperback and hardcover books.</p>
+			<form action="/s">Title: <input type="text" name="t">
+			<input type="submit" value="Find Books"></form></body></html>`},
+	}
+	corpus, err := cafc.NewCorpus(docs)
+	if err != nil {
+		panic(err)
+	}
+	clusters := corpus.ClusterHAC(2)
+	for _, members := range clusters.Clusters {
+		fmt.Println(len(members))
+	}
+	// Output:
+	// 2
+	// 2
+}
+
+// ExampleCorpus_Similarity shows the Equation 3 similarity between two
+// same-domain pages versus a cross-domain pair.
+func ExampleCorpus_Similarity() {
+	docs := []cafc.Document{
+		{URL: "a", HTML: `<html><head><title>Job Search</title></head><body>job openings employers hiring
+			<form><input type="text" name="q"><input type="submit" value="Search Jobs"></form></body></html>`},
+		{URL: "b", HTML: `<html><head><title>Find Jobs</title></head><body>job openings careers employment
+			<form><input type="text" name="kw"><input type="submit" value="Find Jobs"></form></body></html>`},
+		{URL: "c", HTML: `<html><head><title>Hotel Rooms</title></head><body>hotel availability rates rooms
+			<form><input type="text" name="city"><input type="submit" value="Find Hotels"></form></body></html>`},
+	}
+	corpus, err := cafc.NewCorpus(docs)
+	if err != nil {
+		panic(err)
+	}
+	sameDomain := corpus.Similarity(0, 1)
+	crossDomain := corpus.Similarity(0, 2)
+	fmt.Println(sameDomain > crossDomain)
+	// Output:
+	// true
+}
+
+// ExampleOptions shows restricting the similarity to one feature space
+// and tolerating non-form documents in the input.
+func ExampleOptions() {
+	docs := []cafc.Document{
+		{URL: "form", HTML: `<form>Search: <input type="text" name="q"><input type="submit" value="Go"></form>`},
+		{URL: "noform", HTML: `<p>just text</p>`},
+	}
+	corpus, err := cafc.NewCorpus(docs, cafc.Options{
+		Features:          cafc.PCOnly,
+		SkipNonSearchable: true,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(corpus.Len(), len(corpus.Skipped))
+	// Output:
+	// 1 1
+}

@@ -1,0 +1,86 @@
+// Classify: maintain a hidden-web directory over time. The paper's
+// Section 5 observes that deep-web directories cover few sources because
+// they are maintained by hand — and that CAFC's labelled clusters can
+// classify newly discovered sources automatically. This example builds a
+// directory from one crawl, then classifies form pages from a later,
+// disjoint crawl without re-clustering.
+//
+//	go run ./examples/classify
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"cafc"
+	"cafc/internal/webgen"
+	"cafc/internal/webgraph"
+)
+
+func main() {
+	// Day 1: crawl, cluster with CAFC-CH, label the clusters.
+	day1 := webgen.Generate(webgen.Config{Seed: 1, FormPages: 320})
+	var docs []cafc.Document
+	gold := make(map[string]string)
+	for _, u := range day1.FormPages {
+		docs = append(docs, cafc.Document{URL: u, HTML: day1.ByURL[u].HTML})
+		gold[u] = string(day1.Labels[u])
+	}
+	corpus, err := cafc.NewCorpus(docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph := webgraph.FromCorpus(day1)
+	linkAPI := webgraph.NewBacklinkService(graph, 100, 0, 1)
+	clusters := corpus.ClusterCH(8, linkAPI.Backlinks, day1.RootOf, 1)
+
+	// Label each cluster by the majority gold domain (in practice a
+	// human curator names the directory sections once).
+	labels := make([]string, len(clusters.Clusters))
+	for i, members := range clusters.Clusters {
+		counts := map[string]int{}
+		for _, u := range members {
+			counts[gold[u]]++
+		}
+		best, bestN := "", 0
+		for d, n := range counts {
+			if n > bestN {
+				best, bestN = d, n
+			}
+		}
+		labels[i] = best
+	}
+	clf := corpus.Classifier(clusters, labels)
+	fmt.Printf("directory built from %d sources; sections: %v\n\n", corpus.Len(), clf.Labels())
+
+	// Day 2: new sources appear. Classify them against the existing
+	// directory — no re-clustering.
+	day2 := webgen.Generate(webgen.Config{Seed: 2, FormPages: 96})
+	correct, total := 0, 0
+	for _, u := range day2.FormPages {
+		pred, ok, err := clf.Classify(cafc.Document{URL: u, HTML: day2.ByURL[u].HTML})
+		if err != nil || !ok {
+			continue
+		}
+		total++
+		if pred.Label == string(day2.Labels[u]) {
+			correct++
+		}
+	}
+	fmt.Printf("classified %d new sources, %d correctly (%.1f%%)\n",
+		total, correct, 100*float64(correct)/float64(total))
+
+	// Show one ranked prediction in detail.
+	u := day2.FormPages[0]
+	ranked, err := clf.Rank(cafc.Document{URL: u, HTML: day2.ByURL[u].HTML})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%s (gold: %s)\n", u, day2.Labels[u])
+	for i, p := range ranked {
+		if i == 3 {
+			break
+		}
+		fmt.Printf("  #%d %-10s sim=%.3f\n", i+1, p.Label, p.Similarity)
+	}
+}

@@ -1,0 +1,89 @@
+// Unify: the downstream application CAFC enables. The paper observes
+// that schema matching and interface integration "require as inputs
+// groups of similar forms such as the ones derived by our approach" —
+// so this example runs the whole chain: cluster a mixed corpus with
+// CAFC-CH, take one discovered cluster, find the attribute
+// correspondences across its heterogeneously-designed forms, and merge
+// them into one unified query interface.
+//
+//	go run ./examples/unify
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"cafc"
+	"cafc/internal/form"
+	"cafc/internal/match"
+	"cafc/internal/webgen"
+	"cafc/internal/webgraph"
+)
+
+func main() {
+	corpus := webgen.Generate(webgen.Config{Seed: 8, FormPages: 240})
+	var docs []cafc.Document
+	for _, u := range corpus.FormPages {
+		docs = append(docs, cafc.Document{URL: u, HTML: corpus.ByURL[u].HTML})
+	}
+	c, err := cafc.NewCorpus(docs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	graph := webgraph.FromCorpus(corpus)
+	linkAPI := webgraph.NewBacklinkService(graph, 100, 0, 1)
+	clusters := c.ClusterCH(8, linkAPI.Backlinks, corpus.RootOf, 1)
+
+	// Pick the cluster whose top terms mention jobs.
+	pick := 0
+	for i, terms := range clusters.TopTerms {
+		if strings.Contains(strings.Join(terms, " "), "job") {
+			pick = i
+			break
+		}
+	}
+	members := clusters.Clusters[pick]
+	fmt.Printf("cluster %d (%v): %d databases\n\n", pick, clusters.TopTerms[pick], len(members))
+
+	// Parse the member forms (multi-attribute ones carry the schemas).
+	var forms []*form.Form
+	for _, u := range members {
+		fp, err := form.Parse(u, corpus.ByURL[u].HTML, form.DefaultWeights)
+		if err != nil {
+			continue
+		}
+		if fp.Form.AttributeCount() > 1 {
+			forms = append(forms, fp.Form)
+		}
+	}
+
+	// Attribute correspondences across the cluster.
+	cors := match.Find(forms, match.Options{})
+	fmt.Printf("attribute correspondences across %d forms:\n", len(forms))
+	for _, cor := range cors {
+		if len(cor.Members) < 3 {
+			continue
+		}
+		variants := map[string]bool{}
+		for _, m := range cor.Members {
+			variants[m.Label] = true
+		}
+		var names []string
+		for v := range variants {
+			names = append(names, v)
+		}
+		fmt.Printf("  %-22s spans %2d forms, named: %s\n", cor.Label, cor.Forms, strings.Join(names, " | "))
+	}
+
+	// The unified interface.
+	unified := match.Unify(forms, match.Options{}, 0.3)
+	fmt.Printf("\nunified query interface (attributes on >=30%% of forms):\n")
+	for _, u := range unified {
+		kind := "text"
+		if len(u.Options) > 0 {
+			kind = fmt.Sprintf("select with %d values", len(u.Options))
+		}
+		fmt.Printf("  %-22s %-24s coverage %.0f%%\n", u.Label, kind, 100*u.Coverage)
+	}
+}

@@ -1,0 +1,3 @@
+module cafc
+
+go 1.22

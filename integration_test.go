@@ -1,0 +1,69 @@
+package cafc_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLinePipeline builds the CLI tools and drives the full
+// operator workflow: generate a corpus, crawl it over HTTP, cluster the
+// crawl result, and run one experiment — verifying the binaries compose.
+func TestCommandLinePipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("build %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	run := func(bin string, args ...string) string {
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+		}
+		return string(out)
+	}
+
+	webgen := build("webgen")
+	crawler := build("crawler")
+	cafcBin := build("cafc")
+	benchall := build("benchall")
+
+	corpus := filepath.Join(dir, "corpus.json.gz")
+	out := run(webgen, "-n", "48", "-seed", "3", "-o", corpus)
+	if !strings.Contains(out, "48 form pages") {
+		t.Fatalf("webgen output:\n%s", out)
+	}
+	if _, err := os.Stat(corpus); err != nil {
+		t.Fatal(err)
+	}
+
+	crawled := filepath.Join(dir, "crawled.json.gz")
+	out = run(crawler, "-in", corpus, "-o", crawled)
+	if !strings.Contains(out, "searchable forms") {
+		t.Fatalf("crawler output:\n%s", out)
+	}
+
+	out = run(cafcBin, "-in", crawled, "-algo", "ch", "-k", "8", "-show", "1")
+	if !strings.Contains(out, "quality vs gold labels") {
+		t.Fatalf("cafc output:\n%s", out)
+	}
+	if !strings.Contains(out, "cluster 7") {
+		t.Fatalf("cafc printed fewer than 8 clusters:\n%s", out)
+	}
+
+	out = run(benchall, "-n", "48", "-seed", "3", "-runs", "2", "-exp", "table1")
+	if !strings.Contains(out, "form size") {
+		t.Fatalf("benchall output:\n%s", out)
+	}
+}

@@ -1,0 +1,91 @@
+package cafc
+
+import (
+	"sort"
+
+	"cafc/internal/cluster"
+	"cafc/internal/form"
+	"cafc/internal/metrics"
+)
+
+// Classifier assigns new form pages to the domain of the nearest cluster
+// centroid. The paper's Section 5 points out that once CAFC's clusters
+// are built and labelled, they become an automatic classifier for newly
+// discovered hidden-web sources — this type implements that suggestion.
+type Classifier struct {
+	model     *Model
+	centroids []cluster.Point
+	// Labels names each cluster (e.g. its majority gold domain, or a
+	// human-assigned directory label).
+	Labels []string
+}
+
+// NewClassifier builds a nearest-centroid classifier from a clustering of
+// the model. labels[i] names cluster i; missing entries default to "".
+func NewClassifier(m *Model, res cluster.Result, labels []string) *Classifier {
+	c := &Classifier{model: m}
+	members := cluster.Members(res.Assign, res.K)
+	for i := 0; i < res.K; i++ {
+		c.centroids = append(c.centroids, m.Centroid(members[i]))
+		if i < len(labels) {
+			c.Labels = append(c.Labels, labels[i])
+		} else {
+			c.Labels = append(c.Labels, "")
+		}
+	}
+	return c
+}
+
+// NewLabelledClassifier derives cluster names from gold classes: each
+// cluster is named after its majority class.
+func NewLabelledClassifier(m *Model, res cluster.Result, classes []string) *Classifier {
+	members := cluster.Members(res.Assign, res.K)
+	labels := make([]string, res.K)
+	for i, ms := range members {
+		labels[i], _ = metrics.MajorityClass(ms, classes)
+	}
+	return NewClassifier(m, res, labels)
+}
+
+// Prediction is a ranked classification outcome.
+type Prediction struct {
+	Cluster    int
+	Label      string
+	Similarity float64
+}
+
+// Classify embeds the form page into the model's TF-IDF spaces and
+// returns the most similar cluster. ok is false when the page has no
+// similarity to any centroid (all-zero vectors).
+func (c *Classifier) Classify(fp *form.FormPage) (Prediction, bool) {
+	ranked := c.Rank(fp)
+	if len(ranked) == 0 || ranked[0].Similarity == 0 {
+		var p Prediction
+		if len(ranked) > 0 {
+			p = ranked[0]
+		}
+		return p, false
+	}
+	return ranked[0], true
+}
+
+// Rank returns every cluster ordered by decreasing similarity to the
+// page.
+func (c *Classifier) Rank(fp *form.FormPage) []Prediction {
+	p := c.model.PointOf(c.model.Embed(fp))
+	out := make([]Prediction, 0, len(c.centroids))
+	for i, cent := range c.centroids {
+		out = append(out, Prediction{
+			Cluster:    i,
+			Label:      c.Labels[i],
+			Similarity: c.model.Sim(p, cent),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Similarity != out[j].Similarity {
+			return out[i].Similarity > out[j].Similarity
+		}
+		return out[i].Cluster < out[j].Cluster
+	})
+	return out
+}

@@ -1,0 +1,128 @@
+package cafc
+
+import (
+	"math/rand"
+	"testing"
+
+	"cafc/internal/hub"
+	"cafc/internal/webgen"
+	"cafc/internal/webgraph"
+)
+
+// enrichPipeline extends the test pipeline with the corpus link graph so
+// anchor texts are available.
+func enrichPipeline(t testing.TB, seed int64, n int) (*pipeline, *webgraph.Graph) {
+	t.Helper()
+	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n})
+	g := webgraph.FromCorpus(c)
+	p := buildPipelineFromCorpus(t, c, g, seed)
+	return p, g
+}
+
+func TestAnchorProviderHasText(t *testing.T) {
+	p, g := enrichPipeline(t, 61, 80)
+	// Every usable hub cluster must expose anchor text through at least
+	// one of its hub pages — the §6 feature depends on it.
+	withAnchors := 0
+	usable := 0
+	for _, c := range p.clusters {
+		if c.Cardinality() < 2 {
+			continue
+		}
+		usable++
+		for _, h := range c.Hubs {
+			if len(g.OutAnchors(h)) > 0 {
+				withAnchors++
+				break
+			}
+		}
+	}
+	if usable == 0 {
+		t.Fatal("no usable hub clusters")
+	}
+	if withAnchors < usable*9/10 {
+		t.Errorf("only %d of %d usable hub clusters have anchor text", withAnchors, usable)
+	}
+}
+
+func TestCAFCCHAnchoredWorks(t *testing.T) {
+	p, g := enrichPipeline(t, 62, 200)
+	res := CAFCCHAnchored(p.model, p.k, p.clusters, 8, g.OutAnchors, rand.New(rand.NewSource(1)))
+	if res.K != p.k {
+		t.Fatalf("K = %d", res.K)
+	}
+	e, f := quality(res, p.classes)
+	// Anchor enrichment must stay in CAFC-CH's quality neighbourhood.
+	base := CAFCCH(p.model, p.k, p.clusters, 8, rand.New(rand.NewSource(1)))
+	eb, fb := quality(base, p.classes)
+	t.Logf("anchored: E=%.3f F=%.3f; base: E=%.3f F=%.3f", e, f, eb, fb)
+	if e > eb+0.25 {
+		t.Errorf("anchor enrichment degraded entropy: %.3f vs %.3f", e, eb)
+	}
+	if f < fb-0.15 {
+		t.Errorf("anchor enrichment degraded F: %.3f vs %.3f", f, fb)
+	}
+}
+
+func TestHubQualityScoring(t *testing.T) {
+	p, _ := enrichPipeline(t, 63, 120)
+	// A cluster of same-domain pages must score higher than one mixing
+	// domains.
+	var sameDomain, mixed []int
+	byClass := map[string][]int{}
+	for i, cls := range p.classes {
+		byClass[cls] = append(byClass[cls], i)
+	}
+	for _, members := range byClass {
+		if len(members) >= 3 {
+			sameDomain = members[:3]
+			break
+		}
+	}
+	seen := map[string]bool{}
+	for i, cls := range p.classes {
+		if !seen[cls] {
+			seen[cls] = true
+			mixed = append(mixed, i)
+		}
+		if len(mixed) == 3 {
+			break
+		}
+	}
+	qSame := HubQuality(p.model, hub.Cluster{Members: sameDomain})
+	qMixed := HubQuality(p.model, hub.Cluster{Members: mixed})
+	if qSame <= qMixed {
+		t.Errorf("quality(same-domain)=%.3f <= quality(mixed)=%.3f", qSame, qMixed)
+	}
+	if q := HubQuality(p.model, hub.Cluster{Members: []int{0}}); q != 0 {
+		t.Errorf("singleton quality = %v", q)
+	}
+}
+
+func TestCAFCCHQualityWorks(t *testing.T) {
+	p, _ := enrichPipeline(t, 64, 200)
+	res := CAFCCHQuality(p.model, p.k, p.clusters, 8, 0.25, rand.New(rand.NewSource(1)))
+	if res.K != p.k {
+		t.Fatalf("K = %d", res.K)
+	}
+	e, _ := quality(res, p.classes)
+	base := CAFCCH(p.model, p.k, p.clusters, 8, rand.New(rand.NewSource(1)))
+	eb, _ := quality(base, p.classes)
+	t.Logf("quality-filtered: E=%.3f; base: E=%.3f", e, eb)
+	if e > eb+0.25 {
+		t.Errorf("quality filtering degraded entropy: %.3f vs %.3f", e, eb)
+	}
+}
+
+func TestSelectHubClustersEnrichedEdgeCases(t *testing.T) {
+	p, g := enrichPipeline(t, 65, 64)
+	if got := SelectHubClustersAnchored(p.model, nil, 8, 2, g.OutAnchors); got != nil {
+		t.Errorf("no clusters -> %v", got)
+	}
+	if got := SelectHubClustersByQuality(p.model, nil, 8, 2, 0.25); got != nil {
+		t.Errorf("no clusters -> %v", got)
+	}
+	// Very high minCard leaves nothing; algorithms must not panic.
+	_ = SelectHubClustersAnchored(p.model, p.clusters, 8, 1000, g.OutAnchors)
+	_ = SelectHubClustersByQuality(p.model, p.clusters, 8, 1000, 0.25)
+}

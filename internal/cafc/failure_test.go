@@ -1,0 +1,144 @@
+package cafc
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"cafc/internal/form"
+	"cafc/internal/hub"
+	"cafc/internal/webgen"
+	"cafc/internal/webgraph"
+)
+
+// TestCAFCCHSurvivesBacklinkOutage verifies the degradation path: when the
+// link: service is down, hub construction yields nothing and CAFC-CH must
+// still return a complete clustering (it degenerates to CAFC-C's
+// random-seeded behaviour).
+func TestCAFCCHSurvivesBacklinkOutage(t *testing.T) {
+	c := webgen.Generate(webgen.Config{Seed: 70, FormPages: 120})
+	g := webgraph.FromCorpus(c)
+	svc := webgraph.NewBacklinkService(g, 100, 0, 1)
+	svc.SetUnavailable(true)
+
+	var fps []*form.FormPage
+	for _, u := range c.FormPages {
+		fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, fp)
+	}
+	m := Build(fps, false)
+	clusters, stats := hub.Build(c.FormPages, c.RootOf, svc.Backlinks)
+	if len(clusters) != 0 {
+		t.Fatalf("outage produced %d clusters", len(clusters))
+	}
+	if stats.QueryErrors == 0 {
+		t.Error("outage not recorded in stats")
+	}
+	res := CAFCCH(m, 8, clusters, 8, rand.New(rand.NewSource(1)))
+	if res.K != 8 {
+		t.Fatalf("K = %d", res.K)
+	}
+	for _, a := range res.Assign {
+		if a < 0 || a >= 8 {
+			t.Fatal("incomplete assignment under outage")
+		}
+	}
+}
+
+// TestCAFCCHPartialOutage flips the service down for half the queries: hub
+// evidence is thinner but the pipeline must not fail.
+func TestCAFCCHPartialOutage(t *testing.T) {
+	c := webgen.Generate(webgen.Config{Seed: 71, FormPages: 120})
+	g := webgraph.FromCorpus(c)
+	svc := webgraph.NewBacklinkService(g, 100, 0, 1)
+	calls := 0
+	flaky := func(u string) ([]string, error) {
+		calls++
+		if calls%2 == 0 {
+			return nil, errors.New("transient failure")
+		}
+		return svc.Backlinks(u)
+	}
+	var fps []*form.FormPage
+	var classes []string
+	for _, u := range c.FormPages {
+		fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, fp)
+		classes = append(classes, string(c.Labels[u]))
+	}
+	m := Build(fps, false)
+	clusters, stats := hub.Build(c.FormPages, c.RootOf, flaky)
+	if stats.QueryErrors == 0 {
+		t.Fatal("no query errors recorded")
+	}
+	if len(clusters) == 0 {
+		t.Fatal("half-up service should still yield some clusters")
+	}
+	res := CAFCCH(m, 8, clusters, 4, rand.New(rand.NewSource(1)))
+	e, f := quality(res, classes)
+	if f < 0.5 {
+		t.Errorf("partial-outage F = %.3f (E=%.3f)", f, e)
+	}
+}
+
+// TestLowCoverageBacklinkIndex drives the coverage knob to 20%: most hub
+// evidence vanishes, quality degrades gracefully rather than collapsing.
+func TestLowCoverageBacklinkIndex(t *testing.T) {
+	c := webgen.Generate(webgen.Config{Seed: 72, FormPages: 160})
+	g := webgraph.FromCorpus(c)
+	svc := webgraph.NewBacklinkService(g, 100, 0.2, 1)
+	var fps []*form.FormPage
+	var classes []string
+	for _, u := range c.FormPages {
+		fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps = append(fps, fp)
+		classes = append(classes, string(c.Labels[u]))
+	}
+	m := Build(fps, false)
+	clusters, stats := hub.Build(c.FormPages, c.RootOf, svc.Backlinks)
+	if stats.NoBacklinks == 0 {
+		t.Error("20% coverage should orphan many pages")
+	}
+	res := CAFCCH(m, 8, clusters, 2, rand.New(rand.NewSource(1)))
+	if res.K != 8 {
+		t.Fatalf("K = %d", res.K)
+	}
+	_, f := quality(res, classes)
+	if f < 0.4 {
+		t.Errorf("low-coverage F = %.3f, collapsed", f)
+	}
+}
+
+// TestModelWithMalformedPages feeds pathological HTML through the whole
+// pipeline: truncated tags, nested forms, forms with only hidden fields
+// mixed into an otherwise healthy corpus.
+func TestModelWithMalformedPages(t *testing.T) {
+	pathological := []string{
+		`<title>Broken</title><form action=/q><input type=text name=q<input type=submit`,
+		`<form><form><input type="text" name="inner"><input type=submit value=Search></form></form>`,
+		`<form>Search <input name=q>`, /* unterminated */
+	}
+	var fps []*form.FormPage
+	for i, h := range pathological {
+		fp, err := form.Parse("http://broken.example/"+string(rune('a'+i)), h, form.DefaultWeights)
+		if err != nil {
+			continue // acceptable: rejected as not searchable
+		}
+		fps = append(fps, fp)
+	}
+	// Whatever parsed must survive model building and clustering.
+	m := Build(fps, false)
+	res := CAFCC(m, 2, rand.New(rand.NewSource(1)))
+	if m.Len() > 0 && res.K == 0 {
+		t.Error("clustering collapsed on malformed pages")
+	}
+}

@@ -1,0 +1,162 @@
+// Package cafc implements the paper's contribution: the form-page model
+// FP(PC, FC) with its combined similarity measure (Equations 1-3), the
+// CAFC-C clustering algorithm (Algorithm 1), hub-cluster seed selection
+// (Algorithm 3 / SelectHubClusters) and CAFC-CH (Algorithm 2), plus the
+// HAC-based variants evaluated in Section 4.3.
+package cafc
+
+import (
+	"cafc/internal/cluster"
+	"cafc/internal/form"
+	"cafc/internal/vector"
+)
+
+// Features selects which feature spaces participate in the similarity —
+// the FC / PC / FC+PC configurations of the experimental evaluation.
+type Features int
+
+const (
+	// FCPC combines form and page contents (Equation 3) — the default.
+	FCPC Features = iota
+	// FCOnly uses form contents alone.
+	FCOnly
+	// PCOnly uses page contents alone.
+	PCOnly
+)
+
+// String names the configuration as the paper's figures do.
+func (f Features) String() string {
+	switch f {
+	case FCOnly:
+		return "FC"
+	case PCOnly:
+		return "PC"
+	case FCPC:
+		return "FC+PC"
+	}
+	return "unknown"
+}
+
+// Page is one form page in model space: its URL plus the TF-IDF vectors of
+// both feature spaces.
+type Page struct {
+	URL string
+	FC  vector.Vector
+	PC  vector.Vector
+	// Raw keeps the extraction result for inspection (may be nil for
+	// synthetic models).
+	Raw *form.FormPage
+}
+
+// Model holds a corpus of form pages embedded in the two-space vector
+// model, and implements cluster.Space so the generic algorithms can
+// cluster it.
+type Model struct {
+	Pages []*Page
+	// C1, C2 weigh the PC and FC cosine similarities in Equation 3. The
+	// paper sets C1 = C2 = 1.
+	C1, C2 float64
+	// Features selects the active feature spaces.
+	Features Features
+	// FCDF and PCDF are the corpus document-frequency tables, retained so
+	// pages outside the corpus can be embedded (Embed) and classified.
+	FCDF, PCDF *vector.DocFreq
+	// Uniform records whether LOC factors were suppressed at build time.
+	Uniform bool
+}
+
+// point is the two-space representative of a page or centroid.
+type point struct {
+	pc, fc vector.Vector
+}
+
+// Build computes the form-page model for a set of extracted form pages:
+// document frequencies are accumulated per feature space over the corpus,
+// then each page gets its location-weighted TF-IDF vectors (Equation 1).
+// uniform=true forces LOC_i = 1 (the Section 4.4 ablation).
+func Build(fps []*form.FormPage, uniform bool) *Model {
+	fcDF := vector.NewDocFreq()
+	pcDF := vector.NewDocFreq()
+	for _, fp := range fps {
+		fcDF.AddDocWeighted(fp.FCTerms)
+		pcDF.AddDocWeighted(fp.PCTerms)
+	}
+	m := &Model{C1: 1, C2: 1, Features: FCPC, FCDF: fcDF, PCDF: pcDF, Uniform: uniform}
+	for _, fp := range fps {
+		m.Pages = append(m.Pages, m.Embed(fp))
+	}
+	return m
+}
+
+// Embed projects a form page into the model's TF-IDF spaces using the
+// corpus document frequencies. Terms unseen in the corpus get zero weight
+// (they carry no corpus-level evidence). The page is NOT added to the
+// model.
+func (m *Model) Embed(fp *form.FormPage) *Page {
+	return &Page{
+		URL: fp.URL,
+		FC:  vector.TFIDF(fp.FCTerms, m.FCDF, m.Uniform),
+		PC:  vector.TFIDF(fp.PCTerms, m.PCDF, m.Uniform),
+		Raw: fp,
+	}
+}
+
+// PointOf returns the cluster.Point of an arbitrary embedded page, so
+// external pages can be compared against model centroids.
+func (m *Model) PointOf(p *Page) cluster.Point {
+	return point{pc: p.PC, fc: p.FC}
+}
+
+// WithFeatures returns a shallow copy of the model restricted to the given
+// feature configuration. Vectors are shared, so the copy is cheap.
+func (m *Model) WithFeatures(f Features) *Model {
+	c := *m
+	c.Features = f
+	return &c
+}
+
+// Len implements cluster.Space.
+func (m *Model) Len() int { return len(m.Pages) }
+
+// Point implements cluster.Space.
+func (m *Model) Point(i int) cluster.Point {
+	return point{pc: m.Pages[i].PC, fc: m.Pages[i].FC}
+}
+
+// Centroid implements cluster.Space: the per-space term-weight average of
+// the members (Equation 4).
+func (m *Model) Centroid(members []int) cluster.Point {
+	pcs := make([]vector.Vector, len(members))
+	fcs := make([]vector.Vector, len(members))
+	for i, mem := range members {
+		pcs[i] = m.Pages[mem].PC
+		fcs[i] = m.Pages[mem].FC
+	}
+	return point{pc: vector.Centroid(pcs), fc: vector.Centroid(fcs)}
+}
+
+// Sim implements cluster.Space with Equation 3:
+//
+//	sim(FP1, FP2) = (C1·cos(PC1, PC2) + C2·cos(FC1, FC2)) / (C1 + C2)
+//
+// restricted to the active feature spaces.
+func (m *Model) Sim(a, b cluster.Point) float64 {
+	pa, pb := a.(point), b.(point)
+	switch m.Features {
+	case FCOnly:
+		return vector.Cosine(pa.fc, pb.fc)
+	case PCOnly:
+		return vector.Cosine(pa.pc, pb.pc)
+	default:
+		c1, c2 := m.C1, m.C2
+		if c1 == 0 && c2 == 0 {
+			c1, c2 = 1, 1
+		}
+		return (c1*vector.Cosine(pa.pc, pb.pc) + c2*vector.Cosine(pa.fc, pb.fc)) / (c1 + c2)
+	}
+}
+
+// PairSim returns the Equation 3 similarity between pages i and j.
+func (m *Model) PairSim(i, j int) float64 {
+	return m.Sim(m.Point(i), m.Point(j))
+}

@@ -1,0 +1,298 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cafc/internal/vector"
+)
+
+// blobs builds a VectorSpace with g well-separated groups of size each,
+// returning the space and the gold labels. Group i's vectors share a
+// dominant term "g<i>" plus per-point noise.
+func blobs(g, size int, noise float64, seed int64) (*VectorSpace, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var vecs []vector.Vector
+	var gold []int
+	for gi := 0; gi < g; gi++ {
+		for p := 0; p < size; p++ {
+			v := vector.New()
+			v[term("g", gi)] = 10
+			v[term("aux", gi)] = 5 + rng.Float64()
+			if noise > 0 {
+				v[term("n", rng.Intn(g*size))] = noise * rng.Float64()
+			}
+			vecs = append(vecs, v)
+			gold = append(gold, gi)
+		}
+	}
+	return &VectorSpace{Vecs: vecs}, gold
+}
+
+func term(prefix string, i int) string {
+	return prefix + string(rune('a'+i%26)) + string(rune('0'+(i/26)%10))
+}
+
+// agreement computes the fraction of point pairs on which two labelings
+// agree (same/different cluster) — a permutation-invariant accuracy.
+func agreement(a, b []int) float64 {
+	n := len(a)
+	agree, total := 0, 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total++
+			if (a[i] == a[j]) == (b[i] == b[j]) {
+				agree++
+			}
+		}
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(agree) / float64(total)
+}
+
+func TestKMeansRecoversBlobs(t *testing.T) {
+	// Random seeding is k-means' known weakness (the paper's motivation
+	// for CAFC-CH), so judge the best of a few restarts.
+	s, gold := blobs(4, 15, 0.5, 7)
+	best := 0.0
+	for seed := int64(0); seed < 8; seed++ {
+		res := KMeans(s, 4, nil, Options{Rand: rand.New(rand.NewSource(seed))})
+		if res.K != 4 {
+			t.Fatalf("K = %d", res.K)
+		}
+		if res.Iterations == 0 || res.Iterations > 100 {
+			t.Errorf("iterations = %d", res.Iterations)
+		}
+		if got := agreement(res.Assign, gold); got > best {
+			best = got
+		}
+	}
+	if best < 0.95 {
+		t.Errorf("best pair agreement over restarts = %.3f, want >= 0.95", best)
+	}
+}
+
+func TestKMeansWithSeeds(t *testing.T) {
+	s, gold := blobs(3, 10, 0.3, 11)
+	// Perfect seeds: first two members of each gold group.
+	seeds := [][]int{{0, 1}, {10, 11}, {20, 21}}
+	res := KMeans(s, 3, seeds, Options{})
+	if got := agreement(res.Assign, gold); got < 0.99 {
+		t.Errorf("agreement with perfect seeds = %.3f", got)
+	}
+}
+
+func TestKMeansSeedsFewerThanK(t *testing.T) {
+	s, _ := blobs(3, 5, 0, 3)
+	// Only one seed group supplied; the rest must be filled randomly.
+	res := KMeans(s, 3, [][]int{{0}}, Options{})
+	if res.K != 3 {
+		t.Fatalf("K = %d", res.K)
+	}
+	if len(res.Centroids) != 3 {
+		t.Errorf("centroids = %d", len(res.Centroids))
+	}
+}
+
+func TestKMeansKLargerThanN(t *testing.T) {
+	s, _ := blobs(2, 2, 0, 5)
+	res := KMeans(s, 10, nil, Options{})
+	if res.K != 4 {
+		t.Errorf("K clamped to %d, want 4", res.K)
+	}
+	for _, a := range res.Assign {
+		if a < 0 || a >= res.K {
+			t.Fatalf("assignment out of range: %d", a)
+		}
+	}
+}
+
+func TestKMeansKZero(t *testing.T) {
+	s, _ := blobs(2, 3, 0, 5)
+	res := KMeans(s, 0, nil, Options{})
+	if res.K != 0 || len(res.Assign) != 0 {
+		t.Errorf("K=0 result: %+v", res)
+	}
+}
+
+func TestKMeansDeterministicWithFixedRand(t *testing.T) {
+	s, _ := blobs(4, 10, 1, 13)
+	a := KMeans(s, 4, nil, Options{Rand: rand.New(rand.NewSource(9))})
+	b := KMeans(s, 4, nil, Options{Rand: rand.New(rand.NewSource(9))})
+	for i := range a.Assign {
+		if a.Assign[i] != b.Assign[i] {
+			t.Fatal("same seed produced different clusterings")
+		}
+	}
+}
+
+func TestKMeansAssignmentsComplete(t *testing.T) {
+	f := func(seed int64) bool {
+		s, _ := blobs(3, 8, 2, seed)
+		res := KMeans(s, 3, nil, Options{Rand: rand.New(rand.NewSource(seed))})
+		for _, a := range res.Assign {
+			if a < 0 || a >= res.K {
+				return false
+			}
+		}
+		return len(res.Assign) == s.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHACRecoversBlobs(t *testing.T) {
+	s, gold := blobs(4, 10, 0.3, 21)
+	for _, l := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		res := HACCut(s, 4, l)
+		if res.K != 4 {
+			t.Errorf("%v: K = %d", l, res.K)
+			continue
+		}
+		if got := agreement(res.Assign, gold); got < 0.95 {
+			t.Errorf("%v: agreement = %.3f", l, got)
+		}
+	}
+}
+
+func TestHACDendrogramShape(t *testing.T) {
+	s, _ := blobs(2, 5, 0.2, 31)
+	d := HAC(s, AverageLinkage)
+	if d.N != 10 {
+		t.Fatalf("N = %d", d.N)
+	}
+	if len(d.Merges) != 9 {
+		t.Fatalf("merges = %d, want n-1", len(d.Merges))
+	}
+	// Merge similarities with average linkage on these blobs should be
+	// non-increasing in the large (allow small inversions from updates).
+	first, last := d.Merges[0].Sim, d.Merges[len(d.Merges)-1].Sim
+	if first < last {
+		t.Errorf("first merge sim %.3f < last %.3f", first, last)
+	}
+}
+
+func TestHACCutExtremes(t *testing.T) {
+	s, _ := blobs(2, 4, 0.1, 17)
+	d := HAC(s, AverageLinkage)
+	one := d.CutK(1)
+	for _, a := range one {
+		if a != 0 {
+			t.Fatal("CutK(1) must put everything in one cluster")
+		}
+	}
+	all := d.CutK(8)
+	seen := map[int]bool{}
+	for _, a := range all {
+		seen[a] = true
+	}
+	if len(seen) != 8 {
+		t.Errorf("CutK(n) gave %d clusters, want 8", len(seen))
+	}
+	if got := d.CutK(0); len(got) != 8 {
+		t.Errorf("CutK(0) should clamp to 1 cluster over all points")
+	}
+}
+
+func TestHACEmpty(t *testing.T) {
+	d := HAC(&VectorSpace{}, AverageLinkage)
+	if d.N != 0 || len(d.Merges) != 0 {
+		t.Errorf("empty HAC: %+v", d)
+	}
+}
+
+func TestFarthestFirstPicksSpreadGroups(t *testing.T) {
+	// Six candidate groups: two per gold blob; farthest-first with k=3
+	// must pick one from each blob rather than two from one.
+	s, _ := blobs(3, 10, 0, 41)
+	candidates := [][]int{
+		{0, 1, 2}, {3, 4}, // blob 0
+		{10, 11, 12}, {13, 14}, // blob 1
+		{20, 21, 22}, {23, 24}, // blob 2
+	}
+	sel := FarthestFirst(s, candidates, 3)
+	if len(sel) != 3 {
+		t.Fatalf("selected %d", len(sel))
+	}
+	blobOf := func(c int) int { return candidates[c][0] / 10 }
+	seen := map[int]bool{}
+	for _, c := range sel {
+		seen[blobOf(c)] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("selection covers %d blobs, want 3: %v", len(seen), sel)
+	}
+}
+
+func TestFarthestFirstEdgeCases(t *testing.T) {
+	s, _ := blobs(2, 5, 0, 43)
+	if got := FarthestFirst(s, nil, 3); got != nil {
+		t.Errorf("nil candidates -> %v", got)
+	}
+	cands := [][]int{{0}, {5}}
+	if got := FarthestFirst(s, cands, 5); len(got) != 2 {
+		t.Errorf("k>n -> %v", got)
+	}
+	if got := FarthestFirst(s, cands, 0); got != nil {
+		t.Errorf("k=0 -> %v", got)
+	}
+}
+
+func TestKMeansPlusPlusSeeds(t *testing.T) {
+	s, _ := blobs(4, 10, 0.2, 51)
+	seeds := KMeansPlusPlusSeeds(s, 4, rand.New(rand.NewSource(3)))
+	if len(seeds) != 4 {
+		t.Fatalf("got %d seeds", len(seeds))
+	}
+	// Seeds should mostly come from distinct blobs given D² sampling.
+	blobSeen := map[int]bool{}
+	for _, g := range seeds {
+		blobSeen[g[0]/10] = true
+	}
+	if len(blobSeen) < 3 {
+		t.Errorf("k-means++ seeds cover only %d blobs", len(blobSeen))
+	}
+	res := KMeans(s, 4, seeds, Options{})
+	if res.K != 4 {
+		t.Errorf("K = %d", res.K)
+	}
+}
+
+func TestMembersAndSizes(t *testing.T) {
+	assign := []int{0, 1, 0, 2, -1, 1}
+	m := Members(assign, 3)
+	if len(m[0]) != 2 || len(m[1]) != 2 || len(m[2]) != 1 {
+		t.Errorf("members = %v", m)
+	}
+	sz := Sizes(assign, 3)
+	if sz[0] != 2 || sz[1] != 2 || sz[2] != 1 {
+		t.Errorf("sizes = %v", sz)
+	}
+}
+
+func TestLinkageString(t *testing.T) {
+	if SingleLinkage.String() != "single" || CompleteLinkage.String() != "complete" ||
+		AverageLinkage.String() != "average" || Linkage(9).String() != "unknown" {
+		t.Error("linkage names wrong")
+	}
+}
+
+func BenchmarkKMeans(b *testing.B) {
+	s, _ := blobs(8, 50, 1, 61)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		KMeans(s, 8, nil, Options{Rand: rand.New(rand.NewSource(int64(i)))})
+	}
+}
+
+func BenchmarkHAC(b *testing.B) {
+	s, _ := blobs(8, 20, 1, 71)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HACCut(s, 8, AverageLinkage)
+	}
+}

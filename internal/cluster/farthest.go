@@ -1,0 +1,78 @@
+package cluster
+
+// FarthestFirst greedily selects k of the candidate groups so that the
+// selected set is maximally spread out, exactly as Algorithm 3
+// (SelectHubClusters) prescribes:
+//
+//  1. compute the pairwise distance matrix between candidate centroids;
+//  2. start with the two most distant candidates;
+//  3. repeatedly add the candidate whose summed distance to the already
+//     selected ones is maximal, until k are chosen.
+//
+// It returns the indices of the chosen candidates (in selection order).
+// Fewer than k candidates yields all of them.
+func FarthestFirst(s Space, candidates [][]int, k int) []int {
+	n := len(candidates)
+	if n == 0 || k <= 0 {
+		return nil
+	}
+	if k >= n {
+		out := make([]int, n)
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	cents := make([]Point, n)
+	for i, c := range candidates {
+		cents[i] = s.Centroid(c)
+	}
+	// Distance matrix (Algorithm 3 line 3).
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			d := Dist(s.Sim(cents[i], cents[j]))
+			dist[i][j], dist[j][i] = d, d
+		}
+	}
+	// Two most distant (line 4).
+	bi, bj, best := 0, 1, -1.0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if dist[i][j] > best {
+				bi, bj, best = i, j, dist[i][j]
+			}
+		}
+	}
+	selected := []int{bi, bj}
+	inSel := make([]bool, n)
+	inSel[bi], inSel[bj] = true, true
+	// sumDist[i] accumulates distance from candidate i to the selection.
+	sumDist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		sumDist[i] = dist[i][bi] + dist[i][bj]
+	}
+	for len(selected) < k {
+		pick, bestSum := -1, -1.0
+		for i := 0; i < n; i++ {
+			if inSel[i] {
+				continue
+			}
+			if sumDist[i] > bestSum {
+				pick, bestSum = i, sumDist[i]
+			}
+		}
+		if pick < 0 {
+			break
+		}
+		selected = append(selected, pick)
+		inSel[pick] = true
+		for i := 0; i < n; i++ {
+			sumDist[i] += dist[i][pick]
+		}
+	}
+	return selected
+}

@@ -1,0 +1,350 @@
+package cluster
+
+// Linkage selects how HAC scores the similarity between two clusters.
+type Linkage int
+
+const (
+	// SingleLinkage merges on the maximum pairwise similarity.
+	SingleLinkage Linkage = iota
+	// CompleteLinkage merges on the minimum pairwise similarity.
+	CompleteLinkage
+	// AverageLinkage merges on the mean pairwise similarity (UPGMA).
+	AverageLinkage
+)
+
+// String returns the linkage name.
+func (l Linkage) String() string {
+	switch l {
+	case SingleLinkage:
+		return "single"
+	case CompleteLinkage:
+		return "complete"
+	case AverageLinkage:
+		return "average"
+	}
+	return "unknown"
+}
+
+// Merge records one agglomeration step of HAC: clusters A and B (ids in
+// the dendrogram numbering: leaves are 0..n-1, internal nodes n, n+1, ...)
+// merged at the given similarity.
+type Merge struct {
+	A, B int
+	Sim  float64
+	ID   int
+}
+
+// Dendrogram is the full merge history of an HAC run.
+type Dendrogram struct {
+	N      int
+	Merges []Merge
+}
+
+// CutK returns the assignment produced by stopping the agglomeration when
+// k clusters remain, relabelled to 0..k-1 in first-seen order.
+func (d *Dendrogram) CutK(k int) []int {
+	if k < 1 {
+		k = 1
+	}
+	parent := make(map[int]int)
+	steps := d.N - k
+	if steps > len(d.Merges) {
+		steps = len(d.Merges)
+	}
+	for i := 0; i < steps; i++ {
+		m := d.Merges[i]
+		parent[m.A] = m.ID
+		parent[m.B] = m.ID
+	}
+	root := func(x int) int {
+		for {
+			p, ok := parent[x]
+			if !ok {
+				return x
+			}
+			x = p
+		}
+	}
+	assign := make([]int, d.N)
+	label := make(map[int]int)
+	for i := 0; i < d.N; i++ {
+		r := root(i)
+		id, ok := label[r]
+		if !ok {
+			id = len(label)
+			label[r] = id
+		}
+		assign[i] = id
+	}
+	return assign
+}
+
+// HAC runs hierarchical agglomerative clustering over all points and
+// returns the dendrogram. Pairwise similarities between points are
+// computed once (O(n²) memory) and merged cluster similarities maintained
+// with Lance–Williams updates, so the run is O(n³) worst case but with a
+// small constant — ample for corpus sizes in the hundreds to low
+// thousands.
+func HAC(s Space, linkage Linkage) *Dendrogram {
+	n := s.Len()
+	d := &Dendrogram{N: n}
+	if n == 0 {
+		return d
+	}
+	// active clusters, indexed densely; each has a dendrogram id and size.
+	type clus struct {
+		id   int
+		size int
+	}
+	clusters := make([]clus, n)
+	points := make([]Point, n)
+	for i := 0; i < n; i++ {
+		clusters[i] = clus{id: i, size: 1}
+		points[i] = s.Point(i)
+	}
+	// sim[i][j] for i<j among active cluster slots.
+	sim := make([][]float64, n)
+	for i := 0; i < n; i++ {
+		sim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := s.Sim(points[i], points[j])
+			sim[i][j], sim[j][i] = v, v
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	nextID := n
+	for remaining := n; remaining > 1; remaining-- {
+		// Find the most similar pair of active clusters.
+		bi, bj, best := -1, -1, -1.0
+		for i := 0; i < n; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !alive[j] {
+					continue
+				}
+				if sim[i][j] > best {
+					bi, bj, best = i, j, sim[i][j]
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		// Merge bj into bi.
+		d.Merges = append(d.Merges, Merge{A: clusters[bi].id, B: clusters[bj].id, Sim: best, ID: nextID})
+		ni, nj := float64(clusters[bi].size), float64(clusters[bj].size)
+		for x := 0; x < n; x++ {
+			if !alive[x] || x == bi || x == bj {
+				continue
+			}
+			var v float64
+			switch linkage {
+			case SingleLinkage:
+				v = max2(sim[bi][x], sim[bj][x])
+			case CompleteLinkage:
+				v = min2(sim[bi][x], sim[bj][x])
+			default: // AverageLinkage
+				v = (ni*sim[bi][x] + nj*sim[bj][x]) / (ni + nj)
+			}
+			sim[bi][x], sim[x][bi] = v, v
+		}
+		clusters[bi] = clus{id: nextID, size: clusters[bi].size + clusters[bj].size}
+		alive[bj] = false
+		nextID++
+	}
+	return d
+}
+
+// HACCut is a convenience wrapper: run HAC and cut at k clusters,
+// returning a Result with recomputed centroids.
+func HACCut(s Space, k int, linkage Linkage) Result {
+	d := HAC(s, linkage)
+	assign := d.CutK(k)
+	kk := 0
+	for _, a := range assign {
+		if a+1 > kk {
+			kk = a + 1
+		}
+	}
+	members := Members(assign, kk)
+	centroids := make([]Point, kk)
+	for c, ms := range members {
+		centroids[c] = s.Centroid(ms)
+	}
+	return Result{Assign: assign, K: kk, Iterations: len(d.Merges), Centroids: centroids}
+}
+
+// HACFromGroups runs agglomerative clustering that starts from the given
+// initial groups (plus singletons for any point not covered by a group)
+// instead of all-singletons, merging until k groups remain. Pairwise point
+// similarities are aggregated per linkage (max/min/mean) to give the
+// initial inter-group similarities, and maintained with Lance–Williams
+// updates afterwards. This is the "CAFC-CH (HAC)" configuration of the
+// paper's Table 2: hub clusters as the starting partition of HAC.
+func HACFromGroups(s Space, groups [][]int, k int, linkage Linkage) Result {
+	n := s.Len()
+	// Assign each point to at most one starting group.
+	owner := make([]int, n)
+	for i := range owner {
+		owner[i] = -1
+	}
+	var gs [][]int
+	for _, g := range groups {
+		var mine []int
+		for _, p := range g {
+			if p >= 0 && p < n && owner[p] == -1 {
+				owner[p] = len(gs)
+				mine = append(mine, p)
+			}
+		}
+		if len(mine) > 0 {
+			gs = append(gs, mine)
+		}
+	}
+	for i := 0; i < n; i++ {
+		if owner[i] == -1 {
+			owner[i] = len(gs)
+			gs = append(gs, []int{i})
+		}
+	}
+	m := len(gs)
+	if m == 0 {
+		return Result{Assign: make([]int, 0), K: 0}
+	}
+	// Pairwise point similarities.
+	pts := make([]Point, n)
+	for i := 0; i < n; i++ {
+		pts[i] = s.Point(i)
+	}
+	psim := make([][]float64, n)
+	for i := range psim {
+		psim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := s.Sim(pts[i], pts[j])
+			psim[i][j], psim[j][i] = v, v
+		}
+	}
+	// Initial inter-group similarities by linkage aggregation.
+	agg := func(a, b []int) float64 {
+		switch linkage {
+		case SingleLinkage:
+			best := -1.0
+			for _, x := range a {
+				for _, y := range b {
+					if psim[x][y] > best {
+						best = psim[x][y]
+					}
+				}
+			}
+			return best
+		case CompleteLinkage:
+			worst := 2.0
+			for _, x := range a {
+				for _, y := range b {
+					if psim[x][y] < worst {
+						worst = psim[x][y]
+					}
+				}
+			}
+			return worst
+		default:
+			var sum float64
+			for _, x := range a {
+				for _, y := range b {
+					sum += psim[x][y]
+				}
+			}
+			return sum / float64(len(a)*len(b))
+		}
+	}
+	gsim := make([][]float64, m)
+	for i := range gsim {
+		gsim[i] = make([]float64, m)
+	}
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			v := agg(gs[i], gs[j])
+			gsim[i][j], gsim[j][i] = v, v
+		}
+	}
+	alive := make([]bool, m)
+	sizes := make([]int, m)
+	for i := range alive {
+		alive[i] = true
+		sizes[i] = len(gs[i])
+	}
+	remaining := m
+	for remaining > k {
+		bi, bj, best := -1, -1, -1.0
+		for i := 0; i < m; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < m; j++ {
+				if alive[j] && gsim[i][j] > best {
+					bi, bj, best = i, j, gsim[i][j]
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		ni, nj := float64(sizes[bi]), float64(sizes[bj])
+		for x := 0; x < m; x++ {
+			if !alive[x] || x == bi || x == bj {
+				continue
+			}
+			var v float64
+			switch linkage {
+			case SingleLinkage:
+				v = max2(gsim[bi][x], gsim[bj][x])
+			case CompleteLinkage:
+				v = min2(gsim[bi][x], gsim[bj][x])
+			default:
+				v = (ni*gsim[bi][x] + nj*gsim[bj][x]) / (ni + nj)
+			}
+			gsim[bi][x], gsim[x][bi] = v, v
+		}
+		gs[bi] = append(gs[bi], gs[bj]...)
+		sizes[bi] += sizes[bj]
+		alive[bj] = false
+		remaining--
+	}
+	assign := make([]int, n)
+	var centroids []Point
+	label := 0
+	for i := 0; i < m; i++ {
+		if !alive[i] {
+			continue
+		}
+		for _, p := range gs[i] {
+			assign[p] = label
+		}
+		centroids = append(centroids, s.Centroid(gs[i]))
+		label++
+	}
+	return Result{Assign: assign, K: label, Centroids: centroids}
+}
+
+func max2(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min2(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

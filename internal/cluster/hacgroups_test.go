@@ -1,0 +1,98 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestHACFromGroupsRecoversBlobsAllLinkages(t *testing.T) {
+	s, gold := blobs(4, 10, 0.3, 81)
+	// Seed two blobs with partial groups; the other points start as
+	// singletons.
+	seeds := [][]int{{0, 1, 2, 3}, {10, 11, 12}}
+	for _, l := range []Linkage{SingleLinkage, CompleteLinkage, AverageLinkage} {
+		res := HACFromGroups(s, seeds, 4, l)
+		if res.K != 4 {
+			t.Fatalf("%v: K = %d", l, res.K)
+		}
+		if got := agreement(res.Assign, gold); got < 0.9 {
+			t.Errorf("%v: agreement = %.3f", l, got)
+		}
+		// Seed members must stay together.
+		for _, g := range seeds {
+			first := res.Assign[g[0]]
+			for _, p := range g[1:] {
+				if res.Assign[p] != first {
+					t.Errorf("%v: seed group split", l)
+				}
+			}
+		}
+	}
+}
+
+func TestHACFromGroupsOverlappingSeeds(t *testing.T) {
+	s, _ := blobs(3, 6, 0.2, 83)
+	// Point 1 appears in both seeds: first group wins.
+	seeds := [][]int{{0, 1, 2}, {1, 6, 7}}
+	res := HACFromGroups(s, seeds, 3, AverageLinkage)
+	if res.K != 3 {
+		t.Fatalf("K = %d", res.K)
+	}
+	if res.Assign[1] != res.Assign[0] {
+		t.Error("overlapping point did not stay with its first group")
+	}
+	for i, a := range res.Assign {
+		if a < 0 || a >= res.K {
+			t.Fatalf("point %d unassigned", i)
+		}
+	}
+}
+
+func TestHACFromGroupsOutOfRangeMembers(t *testing.T) {
+	s, _ := blobs(2, 4, 0.1, 85)
+	seeds := [][]int{{0, 1, 99, -5}} // invalid indices ignored
+	res := HACFromGroups(s, seeds, 2, AverageLinkage)
+	if res.K != 2 {
+		t.Fatalf("K = %d", res.K)
+	}
+	if res.Assign[0] != res.Assign[1] {
+		t.Error("valid seed members split")
+	}
+}
+
+func TestHACFromGroupsEmptySpace(t *testing.T) {
+	res := HACFromGroups(&VectorSpace{}, nil, 3, AverageLinkage)
+	if res.K != 0 || len(res.Assign) != 0 {
+		t.Errorf("empty space: %+v", res)
+	}
+}
+
+func TestHACFromGroupsKGreaterThanGroups(t *testing.T) {
+	s, _ := blobs(2, 3, 0.1, 87)
+	// 6 points, all singleton starts, k=10: no merging happens.
+	res := HACFromGroups(s, nil, 10, AverageLinkage)
+	if res.K != 6 {
+		t.Fatalf("K = %d, want 6", res.K)
+	}
+}
+
+func TestHACFromGroupsMatchesSingletonHAC(t *testing.T) {
+	// With no seeds and average linkage, HACFromGroups must produce the
+	// same partition quality as plain HAC.
+	s, gold := blobs(3, 8, 0.3, 89)
+	a := HACFromGroups(s, nil, 3, AverageLinkage)
+	b := HACCut(s, 3, AverageLinkage)
+	if got := agreement(a.Assign, b.Assign); got < 0.99 {
+		t.Errorf("agreement with plain HAC = %.3f", got)
+	}
+	if got := agreement(a.Assign, gold); got < 0.95 {
+		t.Errorf("agreement with gold = %.3f", got)
+	}
+}
+
+func TestResultMembersOf(t *testing.T) {
+	r := Result{Assign: []int{0, 1, 0, 2}, K: 3}
+	m := r.MembersOf()
+	if len(m) != 3 || len(m[0]) != 2 || m[0][1] != 2 || len(m[2]) != 1 {
+		t.Errorf("MembersOf = %v", m)
+	}
+}

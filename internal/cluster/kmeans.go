@@ -1,0 +1,194 @@
+package cluster
+
+import (
+	"math/rand"
+)
+
+// Options configures KMeans.
+type Options struct {
+	// MaxIter bounds the number of assign/recompute rounds. Zero means
+	// the default of 100.
+	MaxIter int
+	// MoveFrac is the stop criterion: iteration stops once fewer than
+	// MoveFrac of the points change cluster in a round. The paper stops
+	// below 10%; zero means that default.
+	MoveFrac float64
+	// Rand supplies randomness for seed selection and tie breaking. Nil
+	// means a fixed-seed source (deterministic runs).
+	Rand *rand.Rand
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.MoveFrac == 0 {
+		o.MoveFrac = 0.10
+	}
+	if o.Rand == nil {
+		o.Rand = rand.New(rand.NewSource(1))
+	}
+	return o
+}
+
+// Result is the outcome of a clustering run.
+type Result struct {
+	// Assign maps each object index to its cluster in [0, K).
+	Assign []int
+	// K is the number of clusters.
+	K int
+	// Iterations is the number of assignment rounds performed.
+	Iterations int
+	// Centroids holds the final cluster representatives.
+	Centroids []Point
+}
+
+// MembersOf returns per-cluster member lists.
+func (r *Result) MembersOf() [][]int { return Members(r.Assign, r.K) }
+
+// KMeans clusters the space into k groups. seeds, when non-nil, provides
+// the initial clusters as member-index lists (Algorithm 2 passes hub
+// clusters here); otherwise k distinct random singleton seeds are drawn
+// (Algorithm 1 line 2). Empty seed groups are reseeded from random points.
+func KMeans(s Space, k int, seeds [][]int, opts Options) Result {
+	opts = opts.withDefaults()
+	n := s.Len()
+	if k <= 0 {
+		return Result{Assign: make([]int, 0), K: 0}
+	}
+	if k > n {
+		k = n
+	}
+	centroids := initialCentroids(s, k, seeds, opts.Rand)
+
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	iter := 0
+	for ; iter < opts.MaxIter; iter++ {
+		moved := 0
+		for i := 0; i < n; i++ {
+			best, bestSim := 0, -1.0
+			p := s.Point(i)
+			for c := 0; c < k; c++ {
+				if sim := s.Sim(p, centroids[c]); sim > bestSim {
+					best, bestSim = c, sim
+				}
+			}
+			if assign[i] != best {
+				moved++
+				assign[i] = best
+			}
+		}
+		// Recompute centroids (Algorithm 1 line 5).
+		members := Members(assign, k)
+		for c := 0; c < k; c++ {
+			if len(members[c]) == 0 {
+				// Empty cluster: reseed with the point farthest from its
+				// current centroid, a standard k-means repair.
+				centroids[c] = s.Point(farthestPoint(s, assign, centroids))
+				moved++ // force another round
+				continue
+			}
+			centroids[c] = s.Centroid(members[c])
+		}
+		if float64(moved) < opts.MoveFrac*float64(n) {
+			iter++
+			break
+		}
+	}
+	return Result{Assign: assign, K: k, Iterations: iter, Centroids: centroids}
+}
+
+// initialCentroids builds the starting centroids from explicit seed groups
+// or random singletons.
+func initialCentroids(s Space, k int, seeds [][]int, rng *rand.Rand) []Point {
+	centroids := make([]Point, k)
+	used := 0
+	for i := 0; i < len(seeds) && used < k; i++ {
+		if len(seeds[i]) > 0 {
+			centroids[used] = s.Centroid(seeds[i])
+			used++
+		}
+	}
+	if used < k {
+		for _, i := range rng.Perm(s.Len()) {
+			if used == k {
+				break
+			}
+			centroids[used] = s.Point(i)
+			used++
+		}
+	}
+	return centroids
+}
+
+// farthestPoint returns the index of the point least similar to its
+// assigned centroid.
+func farthestPoint(s Space, assign []int, centroids []Point) int {
+	worst, worstSim := 0, 2.0
+	for i := 0; i < s.Len(); i++ {
+		c := assign[i]
+		if c < 0 || c >= len(centroids) {
+			return i
+		}
+		if sim := s.Sim(s.Point(i), centroids[c]); sim < worstSim {
+			worst, worstSim = i, sim
+		}
+	}
+	return worst
+}
+
+// KMeansPlusPlusSeeds draws k seed indices with the k-means++ D²-sampling
+// scheme (an extension beyond the paper, used as an extra baseline). The
+// returned value is in the seeds format KMeans accepts: k singleton groups.
+func KMeansPlusPlusSeeds(s Space, k int, rng *rand.Rand) [][]int {
+	n := s.Len()
+	if k > n {
+		k = n
+	}
+	if k <= 0 || n == 0 {
+		return nil
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	chosen := []int{rng.Intn(n)}
+	d2 := make([]float64, n)
+	for len(chosen) < k {
+		var total float64
+		for i := 0; i < n; i++ {
+			// Distance to the nearest chosen seed.
+			best := 1.0
+			for _, c := range chosen {
+				d := Dist(s.Sim(s.Point(i), s.Point(c)))
+				if d < best {
+					best = d
+				}
+			}
+			d2[i] = best * best
+			total += d2[i]
+		}
+		if total == 0 {
+			// All points coincide with seeds; fill arbitrarily.
+			chosen = append(chosen, rng.Intn(n))
+			continue
+		}
+		r := rng.Float64() * total
+		pick := n - 1
+		for i := 0; i < n; i++ {
+			r -= d2[i]
+			if r <= 0 {
+				pick = i
+				break
+			}
+		}
+		chosen = append(chosen, pick)
+	}
+	out := make([][]int, len(chosen))
+	for i, c := range chosen {
+		out[i] = []int{c}
+	}
+	return out
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"math/rand"
+)
+
+// Silhouette computes the mean silhouette coefficient of an assignment:
+// for each point, (b-a)/max(a,b) where a is the mean distance to its own
+// cluster's other members and b the smallest mean distance to another
+// cluster. Values near 1 mean tight, well-separated clusters; values
+// near 0 (or negative) mean overlapping ones. Points in singleton
+// clusters contribute 0, the standard convention.
+//
+// The paper fixes k = 8 because its gold standard has eight domains; a
+// library user organizing an unlabeled crawl does not know k, so this
+// file adds the classic silhouette criterion and a BestK search on top
+// of the paper's algorithms.
+func Silhouette(s Space, assign []int, k int) float64 {
+	n := s.Len()
+	if n == 0 {
+		return 0
+	}
+	members := Members(assign, k)
+	// Pairwise distances via the space's similarity.
+	pts := make([]Point, n)
+	for i := range pts {
+		pts[i] = s.Point(i)
+	}
+	dist := func(i, j int) float64 { return Dist(s.Sim(pts[i], pts[j])) }
+
+	var total float64
+	counted := 0
+	for i := 0; i < n; i++ {
+		c := assign[i]
+		if c < 0 || c >= k {
+			continue
+		}
+		counted++
+		own := members[c]
+		if len(own) <= 1 {
+			continue // silhouette 0 for singletons
+		}
+		var a float64
+		for _, m := range own {
+			if m != i {
+				a += dist(i, m)
+			}
+		}
+		a /= float64(len(own) - 1)
+		b := -1.0
+		for oc := 0; oc < k; oc++ {
+			if oc == c || len(members[oc]) == 0 {
+				continue
+			}
+			var d float64
+			for _, m := range members[oc] {
+				d += dist(i, m)
+			}
+			d /= float64(len(members[oc]))
+			if b < 0 || d < b {
+				b = d
+			}
+		}
+		if b < 0 {
+			continue // only one non-empty cluster
+		}
+		max := a
+		if b > max {
+			max = b
+		}
+		if max > 0 {
+			total += (b - a) / max
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}
+
+// KScore is one candidate k with its quality.
+type KScore struct {
+	K          int
+	Silhouette float64
+}
+
+// BestK searches k in [kMin, kMax] by running k-means `restarts` times
+// per candidate (seeded deterministically from rng) and scoring the best
+// restart's assignment with the silhouette coefficient. It returns the
+// winning k and the full score curve.
+func BestK(s Space, kMin, kMax, restarts int, rng *rand.Rand) (int, []KScore) {
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if restarts <= 0 {
+		restarts = 3
+	}
+	if kMin < 2 {
+		kMin = 2
+	}
+	if kMax > s.Len() {
+		kMax = s.Len()
+	}
+	var curve []KScore
+	bestK, bestScore := kMin, -2.0
+	for k := kMin; k <= kMax; k++ {
+		score := -2.0
+		for r := 0; r < restarts; r++ {
+			res := KMeans(s, k, nil, Options{Rand: rand.New(rand.NewSource(rng.Int63()))})
+			if sil := Silhouette(s, res.Assign, res.K); sil > score {
+				score = sil
+			}
+		}
+		curve = append(curve, KScore{K: k, Silhouette: score})
+		if score > bestScore {
+			bestK, bestScore = k, score
+		}
+	}
+	return bestK, curve
+}

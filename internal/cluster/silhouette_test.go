@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSilhouetteOrdersGoodOverBad(t *testing.T) {
+	s, gold := blobs(3, 10, 0.2, 91)
+	good := Silhouette(s, gold, 3)
+	// A shuffled assignment must score much worse.
+	rng := rand.New(rand.NewSource(1))
+	bad := make([]int, len(gold))
+	for i := range bad {
+		bad[i] = rng.Intn(3)
+	}
+	badScore := Silhouette(s, bad, 3)
+	if !(good > badScore) {
+		t.Errorf("silhouette: good %.3f <= bad %.3f", good, badScore)
+	}
+	if good < 0.5 {
+		t.Errorf("gold silhouette = %.3f, too low for separated blobs", good)
+	}
+}
+
+func TestSilhouetteEdgeCases(t *testing.T) {
+	if s := Silhouette(&VectorSpace{}, nil, 3); s != 0 {
+		t.Errorf("empty space: %v", s)
+	}
+	sp, _ := blobs(2, 3, 0.1, 93)
+	// Everything in one cluster: no b-distance exists, score 0.
+	one := make([]int, sp.Len())
+	if s := Silhouette(sp, one, 1); s != 0 {
+		t.Errorf("single cluster: %v", s)
+	}
+	// Unassigned points are skipped.
+	partial := make([]int, sp.Len())
+	for i := range partial {
+		partial[i] = -1
+	}
+	if s := Silhouette(sp, partial, 2); s != 0 {
+		t.Errorf("all unassigned: %v", s)
+	}
+}
+
+func TestBestKRecoversBlobCount(t *testing.T) {
+	s, _ := blobs(4, 12, 0.2, 95)
+	k, curve := BestK(s, 2, 8, 4, rand.New(rand.NewSource(7)))
+	if len(curve) != 7 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	if k != 4 {
+		t.Errorf("BestK = %d, want 4 (curve %+v)", k, curve)
+	}
+	// The curve's maximum must coincide with the returned k.
+	best := curve[0]
+	for _, p := range curve {
+		if p.Silhouette > best.Silhouette {
+			best = p
+		}
+	}
+	if best.K != k {
+		t.Errorf("returned k %d != argmax %d", k, best.K)
+	}
+}
+
+func TestBestKClamps(t *testing.T) {
+	s, _ := blobs(2, 3, 0.1, 97) // 6 points
+	k, curve := BestK(s, 0, 100, 2, nil)
+	if k < 2 || k > 6 {
+		t.Errorf("k = %d out of clamped range", k)
+	}
+	if len(curve) != 5 { // k in 2..6
+		t.Errorf("curve has %d points", len(curve))
+	}
+}

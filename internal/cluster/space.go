@@ -1,0 +1,83 @@
+// Package cluster implements the clustering machinery the paper builds on:
+// k-means with the paper's "<10% of points move" stop criterion (Algorithm
+// 1's skeleton), hierarchical agglomerative clustering with single,
+// complete and average linkage (the Section 4.3 baseline), greedy
+// farthest-first selection (Algorithm 3's seed picker), and k-means++
+// seeding as an additional baseline.
+//
+// The algorithms are generic over a Space so the same code clusters plain
+// vectors in tests and two-feature-space form pages in package cafc.
+package cluster
+
+import (
+	"cafc/internal/vector"
+)
+
+// Point is an opaque cluster representative (a centroid). Spaces define
+// its concrete type.
+type Point interface{}
+
+// Space abstracts the objects being clustered. Similarities must be in
+// [0, 1], with 1 meaning identical.
+type Space interface {
+	// Len returns the number of objects.
+	Len() int
+	// Point returns the representative of the single object i.
+	Point(i int) Point
+	// Centroid builds the representative of a set of objects.
+	Centroid(members []int) Point
+	// Sim returns the similarity between two representatives.
+	Sim(a, b Point) float64
+}
+
+// Dist converts a similarity to a distance in [0, 1].
+func Dist(sim float64) float64 { return 1 - sim }
+
+// VectorSpace is the simplest Space: one sparse vector per object with
+// cosine similarity. It backs tests and single-feature-space baselines.
+type VectorSpace struct {
+	Vecs []vector.Vector
+}
+
+// Len implements Space.
+func (s *VectorSpace) Len() int { return len(s.Vecs) }
+
+// Point implements Space.
+func (s *VectorSpace) Point(i int) Point { return s.Vecs[i] }
+
+// Centroid implements Space.
+func (s *VectorSpace) Centroid(members []int) Point {
+	vs := make([]vector.Vector, len(members))
+	for i, m := range members {
+		vs[i] = s.Vecs[m]
+	}
+	return vector.Centroid(vs)
+}
+
+// Sim implements Space.
+func (s *VectorSpace) Sim(a, b Point) float64 {
+	return vector.Cosine(a.(vector.Vector), b.(vector.Vector))
+}
+
+// Members inverts an assignment slice into per-cluster member lists.
+// Points assigned to negative clusters (unassigned) are skipped.
+func Members(assign []int, k int) [][]int {
+	out := make([][]int, k)
+	for i, c := range assign {
+		if c >= 0 && c < k {
+			out[c] = append(out[c], i)
+		}
+	}
+	return out
+}
+
+// Sizes returns the size of each cluster in an assignment.
+func Sizes(assign []int, k int) []int {
+	out := make([]int, k)
+	for _, c := range assign {
+		if c >= 0 && c < k {
+			out[c]++
+		}
+	}
+	return out
+}

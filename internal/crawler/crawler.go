@@ -1,0 +1,292 @@
+// Package crawler implements the focused-crawling substrate the paper
+// assumes as its input stage [3]: a concurrent BFS crawler over net/http
+// that discovers pages, extracts links, and admits only pages containing
+// searchable forms. A companion in-process server makes a generated
+// corpus reachable over real HTTP so the full fetch/parse path is
+// exercised.
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+
+	"cafc/internal/form"
+	"cafc/internal/htmlx"
+	"cafc/internal/webgen"
+)
+
+// Fetcher retrieves the body of a URL.
+type Fetcher interface {
+	Fetch(url string) (body string, err error)
+}
+
+// HTTPFetcher fetches over an http.Client with a response-size cap.
+type HTTPFetcher struct {
+	Client *http.Client
+	// MaxBody caps the bytes read per response (0 = 1 MiB).
+	MaxBody int64
+}
+
+// Fetch implements Fetcher.
+func (f *HTTPFetcher) Fetch(u string) (string, error) {
+	client := f.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	resp, err := client.Get(u)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("crawler: GET %s: status %d", u, resp.StatusCode)
+	}
+	maxBody := f.MaxBody
+	if maxBody == 0 {
+		maxBody = 1 << 20
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBody))
+	if err != nil {
+		return "", err
+	}
+	return string(body), nil
+}
+
+// CorpusFetcher serves a generated corpus from memory (no network).
+type CorpusFetcher struct {
+	Corpus *webgen.Corpus
+}
+
+// ErrNotFound is returned for URLs outside the corpus.
+var ErrNotFound = errors.New("crawler: page not found")
+
+// Fetch implements Fetcher.
+func (f *CorpusFetcher) Fetch(u string) (string, error) {
+	if p := f.Corpus.ByURL[u]; p != nil {
+		return p.HTML, nil
+	}
+	return "", ErrNotFound
+}
+
+// ServeCorpus exposes a corpus over real HTTP. It returns the test server
+// and an http.Client whose transport resolves every host to the server's
+// listener, so corpus URLs like http://www.jetquest0.example/search.html
+// fetch transparently. Close the server when done.
+//
+// Form submissions (GET /results) are answered against the site's
+// simulated database records, so post-query probing techniques can be
+// exercised end to end: records matching any submitted value are listed;
+// a submission with no usable values yields an empty result page.
+func ServeCorpus(c *webgen.Corpus) (*httptest.Server, *http.Client) {
+	handler := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		u := "http://" + r.Host + r.URL.Path
+		if p := c.ByURL[u]; p != nil {
+			w.Header().Set("Content-Type", "text/html; charset=utf-8")
+			_, _ = io.WriteString(w, p.HTML)
+			return
+		}
+		if r.URL.Path == "/results" {
+			serveResults(w, r, c)
+			return
+		}
+		http.NotFound(w, r)
+	})
+	srv := httptest.NewServer(handler)
+	addr := srv.Listener.Addr().String()
+	client := &http.Client{
+		Transport: &http.Transport{
+			DialContext: func(ctx context.Context, network, _ string) (net.Conn, error) {
+				var d net.Dialer
+				return d.DialContext(ctx, network, addr)
+			},
+		},
+	}
+	return srv, client
+}
+
+// serveResults answers a simulated database query for the site owning
+// the request's host.
+func serveResults(w http.ResponseWriter, r *http.Request, c *webgen.Corpus) {
+	formURL := "http://" + r.Host + "/search.html"
+	records, ok := c.Records[formURL]
+	if !ok {
+		http.NotFound(w, r)
+		return
+	}
+	var terms []string
+	for _, vs := range r.URL.Query() {
+		for _, v := range vs {
+			if v != "" {
+				terms = append(terms, v)
+			}
+		}
+	}
+	sort.Strings(terms)
+	matches := webgen.SearchRecords(records, strings.Join(terms, " "))
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	var b strings.Builder
+	b.WriteString("<html><head><title>Search Results</title></head><body>\n")
+	if len(matches) == 0 {
+		b.WriteString("<p>Your search returned no results. Please refine your query and try again.</p>\n")
+	} else {
+		fmt.Fprintf(&b, "<p>%d results found</p>\n<ul>\n", len(matches))
+		for i, m := range matches {
+			if i == 25 {
+				break
+			}
+			fmt.Fprintf(&b, "<li>%s</li>\n", htmlx.EscapeText(m))
+		}
+		b.WriteString("</ul>\n")
+	}
+	b.WriteString("</body></html>\n")
+	_, _ = io.WriteString(w, b.String())
+}
+
+// Page is one crawled document.
+type Page struct {
+	URL   string
+	HTML  string
+	Links []string
+	// Searchable reports whether the page contains a searchable form.
+	Searchable bool
+	// Depth is the BFS distance from the seed set.
+	Depth int
+}
+
+// Config tunes a crawl.
+type Config struct {
+	// MaxPages bounds the number of fetched pages (0 = 10,000).
+	MaxPages int
+	// MaxDepth bounds BFS depth (0 = 10).
+	MaxDepth int
+	// Workers is the number of concurrent fetchers (0 = 4).
+	Workers int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPages == 0 {
+		c.MaxPages = 10000
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 10
+	}
+	if c.Workers == 0 {
+		c.Workers = 4
+	}
+	return c
+}
+
+// Crawler performs BFS crawls with a Fetcher.
+type Crawler struct {
+	Fetcher Fetcher
+	Config  Config
+	// Searchable decides whether a form is a database query interface.
+	// Nil means the rule-based form.IsSearchable; plug in a trained
+	// formclass classifier for the learned filter.
+	Searchable func(*form.Form) bool
+}
+
+// Crawl fetches from the seed URLs outward and returns every successfully
+// fetched page. Fetch errors are skipped (the live web is lossy); the
+// traversal is deterministic for a deterministic Fetcher because frontier
+// expansion is breadth-first in discovery order.
+func (cr *Crawler) Crawl(seeds []string) []Page {
+	cfg := cr.Config.withDefaults()
+	type job struct {
+		url   string
+		depth int
+	}
+	visited := make(map[string]bool)
+	var out []Page
+	frontier := make([]job, 0, len(seeds))
+	for _, s := range seeds {
+		if !visited[s] {
+			visited[s] = true
+			frontier = append(frontier, job{s, 0})
+		}
+	}
+	for len(frontier) > 0 && len(out) < cfg.MaxPages {
+		batch := frontier
+		frontier = nil
+		// Fetch the batch concurrently, preserving order in results.
+		results := make([]*Page, len(batch))
+		sem := make(chan struct{}, cfg.Workers)
+		var wg sync.WaitGroup
+		for i, j := range batch {
+			// Stop spawning once the page budget cannot admit more.
+			if len(out)+i >= cfg.MaxPages {
+				break
+			}
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int, j job) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				body, err := cr.Fetcher.Fetch(j.url)
+				if err != nil {
+					return
+				}
+				p := &Page{URL: j.url, HTML: body, Depth: j.depth}
+				base, err := url.Parse(j.url)
+				if err == nil {
+					doc := htmlx.Parse(body)
+					for _, l := range htmlx.ExtractLinks(doc, base) {
+						p.Links = append(p.Links, l.URL)
+					}
+					isSearchable := cr.Searchable
+					if isSearchable == nil {
+						isSearchable = form.IsSearchable
+					}
+					for _, f := range form.ExtractForms(doc) {
+						if isSearchable(f) {
+							p.Searchable = true
+							break
+						}
+					}
+				}
+				results[i] = p
+			}(i, j)
+		}
+		wg.Wait()
+		for _, p := range results {
+			if p == nil {
+				continue
+			}
+			if len(out) >= cfg.MaxPages {
+				break
+			}
+			out = append(out, *p)
+			if p.Depth >= cfg.MaxDepth {
+				continue
+			}
+			for _, l := range p.Links {
+				if !visited[l] {
+					visited[l] = true
+					frontier = append(frontier, job{l, p.Depth + 1})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// FormPages filters a crawl result down to the searchable form pages —
+// the input set for clustering.
+func FormPages(pages []Page) []Page {
+	var out []Page
+	for _, p := range pages {
+		if p.Searchable {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,173 @@
+// Package dataset persists crawled/generated corpora and computes the
+// corpus statistics reported in Section 4.1 (454 form pages, 56
+// single-attribute, eight domains).
+package dataset
+
+import (
+	"compress/gzip"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"cafc/internal/form"
+	"cafc/internal/webgen"
+)
+
+// Record is one stored page.
+type Record struct {
+	URL    string `json:"url"`
+	HTML   string `json:"html"`
+	Kind   string `json:"kind"`
+	Domain string `json:"domain,omitempty"`
+	Root   string `json:"root,omitempty"`
+}
+
+// Dataset is a persistable corpus.
+type Dataset struct {
+	Records []Record `json:"records"`
+}
+
+// FromCorpus converts a generated corpus into a dataset.
+func FromCorpus(c *webgen.Corpus) *Dataset {
+	d := &Dataset{}
+	for _, p := range c.Pages {
+		r := Record{URL: p.URL, HTML: p.HTML, Kind: p.Kind.String(), Domain: string(p.Domain)}
+		if p.Kind == webgen.FormPageKind {
+			r.Root = c.RootOf[p.URL]
+		}
+		d.Records = append(d.Records, r)
+	}
+	return d
+}
+
+// Corpus reconstructs the corpus view of a dataset. Unknown kinds are
+// treated as directory pages (no domain semantics).
+func (d *Dataset) Corpus() *webgen.Corpus {
+	c := &webgen.Corpus{
+		ByURL:  make(map[string]*webgen.Page),
+		Labels: make(map[string]webgen.Domain),
+		RootOf: make(map[string]string),
+	}
+	for _, r := range d.Records {
+		kind := webgen.DirectoryPageKind
+		switch r.Kind {
+		case "form":
+			kind = webgen.FormPageKind
+		case "root":
+			kind = webgen.RootPageKind
+		case "hub":
+			kind = webgen.HubPageKind
+		}
+		p := &webgen.Page{URL: r.URL, HTML: r.HTML, Kind: kind, Domain: webgen.Domain(r.Domain)}
+		c.Pages = append(c.Pages, p)
+		c.ByURL[r.URL] = p
+		if kind == webgen.FormPageKind {
+			c.FormPages = append(c.FormPages, r.URL)
+			c.Labels[r.URL] = p.Domain
+			if r.Root != "" {
+				c.RootOf[r.URL] = r.Root
+			}
+		}
+	}
+	return c
+}
+
+// Save writes the dataset as gzipped JSON.
+func (d *Dataset) Save(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("dataset: save: %w", err)
+	}
+	defer f.Close()
+	zw := gzip.NewWriter(f)
+	enc := json.NewEncoder(zw)
+	if err := enc.Encode(d); err != nil {
+		return fmt.Errorf("dataset: encode: %w", err)
+	}
+	if err := zw.Close(); err != nil {
+		return fmt.Errorf("dataset: close gzip: %w", err)
+	}
+	return f.Close()
+}
+
+// Load reads a dataset written by Save.
+func Load(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: load: %w", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: gunzip: %w", err)
+	}
+	defer zr.Close()
+	var d Dataset
+	if err := json.NewDecoder(zr).Decode(&d); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	return &d, nil
+}
+
+// Stats summarizes a corpus as the paper's Section 4.1 does.
+type Stats struct {
+	TotalPages     int
+	FormPages      int
+	SingleAttr     int
+	MultiAttr      int
+	Unparseable    int
+	PerDomain      map[string]int
+	HubPages       int
+	DirectoryPages int
+	RootPages      int
+}
+
+// ComputeStats parses every form page and tallies the dataset's shape.
+func ComputeStats(c *webgen.Corpus) Stats {
+	s := Stats{TotalPages: len(c.Pages), PerDomain: make(map[string]int)}
+	for _, p := range c.Pages {
+		switch p.Kind {
+		case webgen.HubPageKind:
+			s.HubPages++
+		case webgen.DirectoryPageKind:
+			s.DirectoryPages++
+		case webgen.RootPageKind:
+			s.RootPages++
+		}
+	}
+	for _, u := range c.FormPages {
+		s.FormPages++
+		s.PerDomain[string(c.Labels[u])]++
+		fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+		if err != nil {
+			s.Unparseable++
+			continue
+		}
+		if fp.Form.AttributeCount() <= 1 {
+			s.SingleAttr++
+		} else {
+			s.MultiAttr++
+		}
+	}
+	return s
+}
+
+// String renders the stats as a small report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pages: %d total (%d form, %d root, %d hub, %d directory)\n",
+		s.TotalPages, s.FormPages, s.RootPages, s.HubPages, s.DirectoryPages)
+	fmt.Fprintf(&b, "forms: %d single-attribute, %d multi-attribute, %d unparseable\n",
+		s.SingleAttr, s.MultiAttr, s.Unparseable)
+	domains := make([]string, 0, len(s.PerDomain))
+	for d := range s.PerDomain {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	for _, d := range domains {
+		fmt.Fprintf(&b, "  %-10s %4d\n", d, s.PerDomain[d])
+	}
+	return b.String()
+}

@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"cafc/internal/webgen"
+)
+
+func TestRoundTrip(t *testing.T) {
+	c := webgen.Generate(webgen.Config{Seed: 1, FormPages: 32})
+	d := FromCorpus(c)
+	if len(d.Records) != len(c.Pages) {
+		t.Fatalf("records = %d, pages = %d", len(d.Records), len(c.Pages))
+	}
+	path := filepath.Join(t.TempDir(), "corpus.json.gz")
+	if err := d.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := d2.Corpus()
+	if len(c2.Pages) != len(c.Pages) || len(c2.FormPages) != len(c.FormPages) {
+		t.Fatalf("reconstruction lost pages: %d/%d forms %d/%d",
+			len(c2.Pages), len(c.Pages), len(c2.FormPages), len(c.FormPages))
+	}
+	for _, u := range c.FormPages {
+		if c2.Labels[u] != c.Labels[u] {
+			t.Fatalf("label mismatch for %s", u)
+		}
+		if c2.RootOf[u] != c.RootOf[u] {
+			t.Fatalf("root mismatch for %s", u)
+		}
+		if c2.ByURL[u].HTML != c.ByURL[u].HTML {
+			t.Fatalf("HTML mismatch for %s", u)
+		}
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "absent.json.gz")); err == nil {
+		t.Error("loading a missing file must fail")
+	}
+}
+
+func TestLoadCorruptFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json.gz")
+	if err := writeFile(path, "this is not gzip"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Error("loading garbage must fail")
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	c := webgen.Generate(webgen.Config{Seed: 2, FormPages: 80})
+	s := ComputeStats(c)
+	if s.FormPages != 80 {
+		t.Errorf("FormPages = %d", s.FormPages)
+	}
+	if s.SingleAttr+s.MultiAttr+s.Unparseable != 80 {
+		t.Errorf("attr split doesn't add up: %+v", s)
+	}
+	if s.Unparseable != 0 {
+		t.Errorf("unparseable = %d", s.Unparseable)
+	}
+	if len(s.PerDomain) != len(webgen.Domains) {
+		t.Errorf("domains = %d", len(s.PerDomain))
+	}
+	if s.HubPages == 0 || s.RootPages == 0 || s.DirectoryPages == 0 {
+		t.Errorf("page kinds missing: %+v", s)
+	}
+	out := s.String()
+	for _, want := range []string{"form", "single-attribute", "airfare", "music"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func writeFile(path, content string) error {
+	return os.WriteFile(path, []byte(content), 0o644)
+}

@@ -1,0 +1,147 @@
+// Package directory serves a clustered hidden-web directory over HTTP —
+// the query-based cluster-exploration interface the paper's Section 6
+// proposes. It exposes the cluster listing, per-cluster member pages, a
+// ranked page search and a cluster-level (database-selection) search.
+package directory
+
+import (
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"cafc/internal/htmlx"
+	"cafc/internal/index"
+)
+
+// Entry is one hidden-web source in the directory.
+type Entry struct {
+	URL   string
+	Title string
+}
+
+// Server is the directory state behind the HTTP handler.
+type Server struct {
+	// Labels names each cluster.
+	Labels []string
+	// Clusters holds the member entries of each cluster.
+	Clusters [][]Entry
+	idx      *index.Index
+}
+
+// Build assembles a directory from cluster member URLs, their HTML
+// bodies, and cluster labels. The page text (not markup) is indexed for
+// search.
+func Build(clusters [][]string, labels []string, html map[string]string) *Server {
+	s := &Server{idx: index.New()}
+	for ci, members := range clusters {
+		label := ""
+		if ci < len(labels) {
+			label = labels[ci]
+		}
+		s.Labels = append(s.Labels, label)
+		var entries []Entry
+		for _, u := range members {
+			doc := htmlx.Parse(html[u])
+			title := htmlx.Title(doc)
+			entries = append(entries, Entry{URL: u, Title: title})
+			s.idx.Add(u, title, doc.Text(), ci)
+		}
+		s.Clusters = append(s.Clusters, entries)
+	}
+	s.idx.Freeze()
+	return s
+}
+
+// Handler returns the HTTP handler:
+//
+//	GET /                  directory front page (clusters + sizes)
+//	GET /cluster?id=N      member listing of cluster N
+//	GET /search?q=...      ranked page results
+//	GET /select?q=...      ranked clusters (database selection)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.front)
+	mux.HandleFunc("/cluster", s.cluster)
+	mux.HandleFunc("/search", s.search)
+	mux.HandleFunc("/select", s.selectDB)
+	return mux
+}
+
+func writeHeader(w http.ResponseWriter, title string) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprintf(w, "<html><head><title>%s</title></head><body><h1>%s</h1>\n",
+		htmlx.EscapeText(title), htmlx.EscapeText(title))
+	fmt.Fprint(w, `<p><a href="/">directory</a> · <form style="display:inline" action="/search"><input name="q"><input type="submit" value="Search pages"></form> · <form style="display:inline" action="/select"><input name="q"><input type="submit" value="Select databases"></form></p>`)
+}
+
+func (s *Server) front(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	writeHeader(w, "Hidden-Web Database Directory")
+	fmt.Fprint(w, "<ul>\n")
+	for i, members := range s.Clusters {
+		fmt.Fprintf(w, `<li><a href="/cluster?id=%d">%s</a> (%d databases)</li>`+"\n",
+			i, htmlx.EscapeText(s.Labels[i]), len(members))
+	}
+	fmt.Fprint(w, "</ul></body></html>")
+}
+
+func (s *Server) cluster(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.URL.Query().Get("id"))
+	if err != nil || id < 0 || id >= len(s.Clusters) {
+		http.Error(w, "unknown cluster", http.StatusNotFound)
+		return
+	}
+	writeHeader(w, "Cluster: "+s.Labels[id])
+	fmt.Fprint(w, "<ul>\n")
+	for _, e := range s.Clusters[id] {
+		fmt.Fprintf(w, `<li><a href="%s">%s</a> — %s</li>`+"\n",
+			htmlx.EscapeAttr(e.URL), htmlx.EscapeText(e.URL), htmlx.EscapeText(e.Title))
+	}
+	fmt.Fprint(w, "</ul></body></html>")
+}
+
+func (s *Server) search(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	writeHeader(w, "Search: "+q)
+	if q == "" {
+		fmt.Fprint(w, "<p>empty query</p></body></html>")
+		return
+	}
+	hits := s.idx.Search(q, 20)
+	if len(hits) == 0 {
+		fmt.Fprint(w, "<p>no results</p></body></html>")
+		return
+	}
+	fmt.Fprint(w, "<ol>\n")
+	for _, h := range hits {
+		fmt.Fprintf(w, `<li><a href="%s">%s</a> — %s (cluster <a href="/cluster?id=%d">%s</a>, score %.3f)</li>`+"\n",
+			htmlx.EscapeAttr(h.URL), htmlx.EscapeText(h.URL), htmlx.EscapeText(h.Title),
+			h.Cluster, htmlx.EscapeText(s.Labels[h.Cluster]), h.Score)
+	}
+	fmt.Fprint(w, "</ol></body></html>")
+}
+
+func (s *Server) selectDB(w http.ResponseWriter, r *http.Request) {
+	q := strings.TrimSpace(r.URL.Query().Get("q"))
+	writeHeader(w, "Database selection: "+q)
+	if q == "" {
+		fmt.Fprint(w, "<p>empty query</p></body></html>")
+		return
+	}
+	chs := s.idx.SearchClusters(q, 8)
+	if len(chs) == 0 {
+		fmt.Fprint(w, "<p>no matching databases</p></body></html>")
+		return
+	}
+	fmt.Fprint(w, "<ol>\n")
+	for _, ch := range chs {
+		fmt.Fprintf(w, `<li><a href="/cluster?id=%d">%s</a> — %d matching sources, best: %s (total score %.3f)</li>`+"\n",
+			ch.Cluster, htmlx.EscapeText(s.Labels[ch.Cluster]), ch.Matches,
+			htmlx.EscapeText(ch.Best.URL), ch.Score)
+	}
+	fmt.Fprint(w, "</ol></body></html>")
+}

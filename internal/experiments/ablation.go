@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cafc/internal/cafc"
+	"cafc/internal/cluster"
+	"cafc/internal/hub"
+)
+
+// HubDesignAblation measures the contribution of each design choice in
+// CAFC-CH's hub handling (the decisions Section 3 argues for):
+//
+//   - farthest-first seed selection vs picking k hub clusters at random;
+//   - the minimum-cardinality filter vs keeping every hub cluster;
+//   - dropping intra-site hubs vs keeping them;
+//   - the site-root backlink fallback vs direct backlinks only.
+//
+// Each row is CAFC-CH with exactly one choice disabled.
+func HubDesignAblation(env *Env, minCard int) []QualityRow {
+	if minCard <= 0 {
+		minCard = DefaultMinCard
+	}
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(1)) }
+	var rows []QualityRow
+
+	add := func(name string, res cluster.Result) {
+		e, f := env.quality(res)
+		rows = append(rows, QualityRow{Algorithm: name, Features: "FC+PC", Entropy: e, FMeasure: f})
+	}
+
+	// Full CAFC-CH.
+	add("CAFC-CH (full)", cafc.CAFCCH(env.Model, env.K, env.HubClusters, minCard, rng()))
+
+	// Random selection of k hub clusters (cardinality filter retained).
+	kept := hub.Filter(env.HubClusters, minCard)
+	sets := hub.MemberSets(kept)
+	r := rng()
+	var seeds [][]int
+	for _, i := range r.Perm(len(sets)) {
+		if len(seeds) == env.K {
+			break
+		}
+		seeds = append(seeds, sets[i])
+	}
+	add("random hub selection", cafc.CAFCCSeeded(env.Model, env.K, seeds, rng()))
+
+	// No minimum-cardinality filter.
+	add("no cardinality filter", cafc.CAFCCH(env.Model, env.K, env.HubClusters, 1, rng()))
+
+	// Keep intra-site hubs.
+	intra, _ := hub.BuildWith(env.Corpus.FormPages, env.Corpus.RootOf, env.Backlinks,
+		hub.BuildOptions{KeepIntraSite: true})
+	add("intra-site hubs kept", cafc.CAFCCH(env.Model, env.K, intra, minCard, rng()))
+
+	// No root fallback.
+	noRoot, _ := hub.BuildWith(env.Corpus.FormPages, env.Corpus.RootOf, env.Backlinks,
+		hub.BuildOptions{NoRootFallback: true})
+	add("no root fallback", cafc.CAFCCH(env.Model, env.K, noRoot, minCard, rng()))
+
+	return rows
+}
+
+// FutureWork evaluates the paper's Section 6 extension ideas implemented
+// in this repo: anchor-text-enriched hub selection and hub-quality
+// filtering, against stock CAFC-CH.
+func FutureWork(env *Env, minCard int) []QualityRow {
+	if minCard <= 0 {
+		minCard = DefaultMinCard
+	}
+	var rows []QualityRow
+	add := func(name string, res cluster.Result) {
+		e, f := env.quality(res)
+		rows = append(rows, QualityRow{Algorithm: name, Features: "FC+PC", Entropy: e, FMeasure: f})
+	}
+	rng := func() *rand.Rand { return rand.New(rand.NewSource(1)) }
+	add("CAFC-CH", cafc.CAFCCH(env.Model, env.K, env.HubClusters, minCard, rng()))
+	add("CAFC-CH + anchor text", cafc.CAFCCHAnchored(env.Model, env.K, env.HubClusters, minCard, env.Graph.OutAnchors, rng()))
+	add("CAFC-CH + hub quality", cafc.CAFCCHQuality(env.Model, env.K, env.HubClusters, minCard, 0.25, rng()))
+	return rows
+}
+
+// KSelection is an extension: search the number of clusters with the
+// silhouette criterion instead of assuming the gold standard's k = 8.
+func KSelection(env *Env, kMin, kMax int) (int, []cluster.KScore) {
+	return cluster.BestK(env.Model, kMin, kMax, 3, rand.New(rand.NewSource(1)))
+}
+
+// RenderKSelection prints the silhouette curve.
+func RenderKSelection(best int, curve []cluster.KScore) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%4s %12s\n", "k", "silhouette")
+	for _, p := range curve {
+		marker := ""
+		if p.K == best {
+			marker = "  <- selected"
+		}
+		fmt.Fprintf(&b, "%4d %12.4f%s\n", p.K, p.Silhouette, marker)
+	}
+	return b.String()
+}

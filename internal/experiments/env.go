@@ -1,0 +1,93 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 4) over the synthetic corpus: Figure 2 (feature
+// spaces × algorithms), Table 1 (form size vs page richness), Figure 3
+// (hub-cluster cardinality sweep), Table 2 (HAC vs k-means), the Section
+// 4.4 weight ablation, the Section 3.1 hub statistics, the Section 4.3
+// HAC-seed comparison and the Section 4.2 error analysis.
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cafc/internal/cafc"
+	"cafc/internal/cluster"
+	"cafc/internal/form"
+	"cafc/internal/hub"
+	"cafc/internal/metrics"
+	"cafc/internal/webgen"
+	"cafc/internal/webgraph"
+)
+
+// Env is a prepared experimental environment: the corpus, the extracted
+// form pages, the models under both weighting schemes, the hub clusters
+// from the simulated backward crawl, and the gold labels.
+type Env struct {
+	Corpus       *webgen.Corpus
+	FormPages    []*form.FormPage
+	Classes      []string
+	Model        *cafc.Model // differentiated LOC weights
+	UniformModel *cafc.Model // uniform-weight ablation
+	HubClusters  []hub.Cluster
+	HubStats     hub.Stats
+	K            int
+	// Backlinks is the simulated link: API over the corpus, kept so
+	// ablations can rebuild hub clusters under different options.
+	Backlinks hub.BacklinkFunc
+	// Graph is the full corpus link graph (anchor texts included).
+	Graph *webgraph.Graph
+}
+
+// DefaultMinCard is the minimum hub-cluster cardinality used for the
+// headline CAFC-CH numbers. The paper selected 8 as the sweet spot of its
+// Figure 3 sweep over the real 454-page corpus; the same sweep over the
+// synthetic corpus (see Figure3) puts the sweet spot at 6, so that is the
+// calibrated default here. The methodology — pick the knee of the
+// cardinality sweep — is the paper's.
+const DefaultMinCard = 6
+
+// DefaultRuns matches the paper's 20-run averaging for CAFC-C.
+const DefaultRuns = 20
+
+// NewEnv generates a corpus and prepares everything the experiments need.
+func NewEnv(cfg webgen.Config) (*Env, error) {
+	c := webgen.Generate(cfg)
+	env := &Env{Corpus: c, K: len(webgen.Domains)}
+	for _, u := range c.FormPages {
+		fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", u, err)
+		}
+		env.FormPages = append(env.FormPages, fp)
+		env.Classes = append(env.Classes, string(c.Labels[u]))
+	}
+	env.Model = cafc.Build(env.FormPages, false)
+	env.UniformModel = cafc.Build(env.FormPages, true)
+	g := webgraph.FromCorpus(c)
+	env.Graph = g
+	svc := webgraph.NewBacklinkService(g, 100, 0, cfg.Seed)
+	env.Backlinks = svc.Backlinks
+	env.HubClusters, env.HubStats = hub.Build(c.FormPages, c.RootOf, svc.Backlinks)
+	return env, nil
+}
+
+// quality evaluates a clustering against the gold labels.
+func (e *Env) quality(res cluster.Result) (entropy, fmeasure float64) {
+	l := metrics.Labeling{Assign: res.Assign, Classes: e.Classes}
+	return metrics.Entropy(l), metrics.FMeasure(l)
+}
+
+// averageCAFCC runs CAFC-C `runs` times with distinct seeds and averages
+// the quality, as the paper does (20 runs).
+func (e *Env) averageCAFCC(m *cafc.Model, runs int) (entropy, fmeasure float64) {
+	if runs <= 0 {
+		runs = DefaultRuns
+	}
+	for r := 0; r < runs; r++ {
+		res := cafc.CAFCC(m, e.K, rand.New(rand.NewSource(int64(r)+1)))
+		en, f := e.quality(res)
+		entropy += en / float64(runs)
+		fmeasure += f / float64(runs)
+	}
+	return entropy, fmeasure
+}

@@ -1,0 +1,305 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"cafc/internal/cafc"
+	"cafc/internal/cluster"
+	"cafc/internal/hub"
+	"cafc/internal/metrics"
+)
+
+// QualityRow is one cell group of a quality table: an algorithm under a
+// feature configuration with its entropy and F-measure.
+type QualityRow struct {
+	Algorithm string
+	Features  string
+	Entropy   float64
+	FMeasure  float64
+}
+
+// RenderQuality prints rows as an aligned table.
+func RenderQuality(rows []QualityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-24s %-8s %10s %10s\n", "algorithm", "features", "entropy", "F-measure")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-24s %-8s %10.3f %10.3f\n", r.Algorithm, r.Features, r.Entropy, r.FMeasure)
+	}
+	return b.String()
+}
+
+// Figure2 reproduces Figure 2: entropy and F-measure for CAFC-C (averaged
+// over `runs` random-seed runs) and CAFC-CH (min hub cardinality
+// `minCard`) under FC, PC and FC+PC.
+func Figure2(env *Env, runs, minCard int) []QualityRow {
+	if minCard <= 0 {
+		minCard = DefaultMinCard
+	}
+	var rows []QualityRow
+	for _, f := range []cafc.Features{cafc.FCOnly, cafc.PCOnly, cafc.FCPC} {
+		m := env.Model.WithFeatures(f)
+		e, fm := env.averageCAFCC(m, runs)
+		rows = append(rows, QualityRow{Algorithm: "CAFC-C", Features: f.String(), Entropy: e, FMeasure: fm})
+	}
+	for _, f := range []cafc.Features{cafc.FCOnly, cafc.PCOnly, cafc.FCPC} {
+		m := env.Model.WithFeatures(f)
+		res := cafc.CAFCCH(m, env.K, env.HubClusters, minCard, rand.New(rand.NewSource(1)))
+		e, fm := env.quality(res)
+		rows = append(rows, QualityRow{Algorithm: "CAFC-CH", Features: f.String(), Entropy: e, FMeasure: fm})
+	}
+	return rows
+}
+
+// Table1Row is one form-size bucket of Table 1.
+type Table1Row struct {
+	Bucket       string
+	Count        int
+	AvgOutside   float64 // average page terms located outside the form
+	AvgFormTerms float64
+}
+
+// Table1 reproduces Table 1: the average number of page terms outside the
+// form, per form-size interval.
+func Table1(env *Env) []Table1Row {
+	type bucket struct {
+		name     string
+		lo, hi   int // hi exclusive; hi<0 means unbounded
+		count    int
+		sumOut   float64
+		sumForms float64
+	}
+	buckets := []*bucket{
+		{name: "< 10", lo: 0, hi: 10},
+		{name: "[10, 50)", lo: 10, hi: 50},
+		{name: "[50, 100)", lo: 50, hi: 100},
+		{name: "[100, 200)", lo: 100, hi: 200},
+		{name: ">= 200", lo: 200, hi: -1},
+	}
+	for _, fp := range env.FormPages {
+		n := fp.FormTermCount()
+		for _, bk := range buckets {
+			if n >= bk.lo && (bk.hi < 0 || n < bk.hi) {
+				bk.count++
+				bk.sumOut += float64(fp.PageTermsOutsideForm())
+				bk.sumForms += float64(n)
+				break
+			}
+		}
+	}
+	rows := make([]Table1Row, 0, len(buckets))
+	for _, bk := range buckets {
+		r := Table1Row{Bucket: bk.name, Count: bk.count}
+		if bk.count > 0 {
+			r.AvgOutside = bk.sumOut / float64(bk.count)
+			r.AvgFormTerms = bk.sumForms / float64(bk.count)
+		}
+		rows = append(rows, r)
+	}
+	return rows
+}
+
+// RenderTable1 prints Table 1.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %8s %22s\n", "form size", "pages", "avg terms outside form")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %8d %22.1f\n", r.Bucket, r.Count, r.AvgOutside)
+	}
+	return b.String()
+}
+
+// Figure3Row is one point of the Figure 3 cardinality sweep.
+type Figure3Row struct {
+	MinCardinality int
+	Entropy        float64
+	FMeasure       float64
+	ClustersKept   int
+}
+
+// Figure3 reproduces Figure 3: CAFC-CH entropy as the minimum hub-cluster
+// cardinality varies (the paper sweeps >2 .. >11, i.e. minimum 3..12). It
+// also returns the CAFC-C reference line value.
+func Figure3(env *Env, runs int) (sweep []Figure3Row, cafccEntropy float64) {
+	cafccEntropy, _ = env.averageCAFCC(env.Model, runs)
+	for minCard := 3; minCard <= 12; minCard++ {
+		res := cafc.CAFCCH(env.Model, env.K, env.HubClusters, minCard, rand.New(rand.NewSource(1)))
+		e, f := env.quality(res)
+		sweep = append(sweep, Figure3Row{
+			MinCardinality: minCard,
+			Entropy:        e,
+			FMeasure:       f,
+			ClustersKept:   len(hub.Filter(env.HubClusters, minCard)),
+		})
+	}
+	return sweep, cafccEntropy
+}
+
+// RenderFigure3 prints the sweep.
+func RenderFigure3(sweep []Figure3Row, ref float64) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %10s %10s %14s\n", "minCard", "entropy", "F-measure", "hub clusters")
+	for _, r := range sweep {
+		fmt.Fprintf(&b, ">= %-5d %10.3f %10.3f %14d\n", r.MinCardinality, r.Entropy, r.FMeasure, r.ClustersKept)
+	}
+	fmt.Fprintf(&b, "CAFC-C reference entropy: %.3f\n", ref)
+	return b.String()
+}
+
+// Table2 reproduces Table 2: k-means vs HAC under both CAFC-C and
+// CAFC-CH (FC+PC).
+func Table2(env *Env, runs, minCard int) []QualityRow {
+	if minCard <= 0 {
+		minCard = DefaultMinCard
+	}
+	var rows []QualityRow
+	e, f := env.averageCAFCC(env.Model, runs)
+	rows = append(rows, QualityRow{Algorithm: "CAFC-C (k-means)", Features: "FC+PC", Entropy: e, FMeasure: f})
+	hac := cafc.HACResult(env.Model, env.K, cluster.AverageLinkage)
+	e, f = env.quality(hac)
+	rows = append(rows, QualityRow{Algorithm: "CAFC-C (HAC)", Features: "FC+PC", Entropy: e, FMeasure: f})
+	ch := cafc.CAFCCH(env.Model, env.K, env.HubClusters, minCard, rand.New(rand.NewSource(1)))
+	e, f = env.quality(ch)
+	rows = append(rows, QualityRow{Algorithm: "CAFC-CH (k-means)", Features: "FC+PC", Entropy: e, FMeasure: f})
+	chHAC := cafc.HACOverHubSeeds(env.Model, env.K, env.HubClusters, minCard, cluster.AverageLinkage)
+	e, f = env.quality(chHAC)
+	rows = append(rows, QualityRow{Algorithm: "CAFC-CH (HAC)", Features: "FC+PC", Entropy: e, FMeasure: f})
+	return rows
+}
+
+// WeightAblation reproduces Section 4.4: CAFC-CH FC+PC with
+// differentiated vs uniform LOC weights.
+func WeightAblation(env *Env, minCard int) []QualityRow {
+	if minCard <= 0 {
+		minCard = DefaultMinCard
+	}
+	var rows []QualityRow
+	res := cafc.CAFCCH(env.Model, env.K, env.HubClusters, minCard, rand.New(rand.NewSource(1)))
+	e, f := env.quality(res)
+	rows = append(rows, QualityRow{Algorithm: "CAFC-CH differentiated", Features: "FC+PC", Entropy: e, FMeasure: f})
+	res = cafc.CAFCCH(env.UniformModel, env.K, env.HubClusters, minCard, rand.New(rand.NewSource(1)))
+	e, f = env.quality(res)
+	rows = append(rows, QualityRow{Algorithm: "CAFC-CH uniform", Features: "FC+PC", Entropy: e, FMeasure: f})
+	// Reference: CAFC-C with differentiated weights (the paper notes
+	// uniform CAFC-CH still beats differentiated CAFC-C).
+	e, f = env.averageCAFCC(env.Model, 0)
+	rows = append(rows, QualityRow{Algorithm: "CAFC-C differentiated", Features: "FC+PC", Entropy: e, FMeasure: f})
+	return rows
+}
+
+// HubStatsResult reproduces the Section 3.1 accounting.
+type HubStatsResult struct {
+	Stats            hub.Stats
+	HomogeneousFrac  float64 // fraction of hub clusters (card >= 2) pure in one domain
+	DomainsCovered   int     // domains with at least one homogeneous cluster
+	AfterMinCardinal int     // clusters left after the default pruning
+	NoBacklinkFrac   float64
+}
+
+// HubStatsExp computes hub-cluster homogeneity and coverage.
+func HubStatsExp(env *Env) HubStatsResult {
+	r := HubStatsResult{Stats: env.HubStats}
+	usable := hub.Filter(env.HubClusters, 2)
+	homog := 0
+	covered := map[string]bool{}
+	for _, c := range usable {
+		if metrics.IsHomogeneous(c.Members, env.Classes) {
+			homog++
+			covered[env.Classes[c.Members[0]]] = true
+		}
+	}
+	if len(usable) > 0 {
+		r.HomogeneousFrac = float64(homog) / float64(len(usable))
+	}
+	r.DomainsCovered = len(covered)
+	r.AfterMinCardinal = len(hub.Filter(env.HubClusters, DefaultMinCard))
+	if env.HubStats.FormPages > 0 {
+		r.NoBacklinkFrac = float64(env.HubStats.NoBacklinks) / float64(env.HubStats.FormPages)
+	}
+	return r
+}
+
+// String renders the hub stats.
+func (r HubStatsResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "form pages:                  %d\n", r.Stats.FormPages)
+	fmt.Fprintf(&b, "raw hubs seen:               %d\n", r.Stats.RawHubs)
+	fmt.Fprintf(&b, "distinct hub clusters:       %d\n", r.Stats.Clusters)
+	fmt.Fprintf(&b, "intra-site citations dropped:%d\n", r.Stats.IntraSiteDropped)
+	fmt.Fprintf(&b, "pages w/o direct backlinks:  %d (%.1f%%)\n", r.Stats.NoDirectBacklinks, 100*float64(r.Stats.NoDirectBacklinks)/float64(max(1, r.Stats.FormPages)))
+	fmt.Fprintf(&b, "pages with no backlinks:     %d (%.1f%%)\n", r.Stats.NoBacklinks, 100*r.NoBacklinkFrac)
+	fmt.Fprintf(&b, "homogeneous clusters (>=2):  %.1f%%\n", 100*r.HomogeneousFrac)
+	fmt.Fprintf(&b, "domains covered:             %d\n", r.DomainsCovered)
+	fmt.Fprintf(&b, "clusters after minCard=%d:    %d\n", DefaultMinCard, r.AfterMinCardinal)
+	return b.String()
+}
+
+// HACSeedsExp reproduces Section 4.3's hybrid: HAC over the full data set
+// as the seed derivation for k-means, compared against CAFC-CH.
+func HACSeedsExp(env *Env, minCard int) []QualityRow {
+	if minCard <= 0 {
+		minCard = DefaultMinCard
+	}
+	var rows []QualityRow
+	res := cafc.HACSeededKMeans(env.Model, env.K, cluster.AverageLinkage, rand.New(rand.NewSource(1)))
+	e, f := env.quality(res)
+	rows = append(rows, QualityRow{Algorithm: "HAC-seeded k-means", Features: "FC+PC", Entropy: e, FMeasure: f})
+	ch := cafc.CAFCCH(env.Model, env.K, env.HubClusters, minCard, rand.New(rand.NewSource(1)))
+	e, f = env.quality(ch)
+	rows = append(rows, QualityRow{Algorithm: "CAFC-CH", Features: "FC+PC", Entropy: e, FMeasure: f})
+	return rows
+}
+
+// ErrorResult is the Section 4.2 error analysis.
+type ErrorResult struct {
+	Misclustered       int
+	SingleAttrErrors   int
+	ByDomain           map[string]int
+	MusicMovieFraction float64
+}
+
+// ErrorAnalysis clusters with CAFC-CH and inspects the mistakes.
+func ErrorAnalysis(env *Env, minCard int) ErrorResult {
+	if minCard <= 0 {
+		minCard = DefaultMinCard
+	}
+	res := cafc.CAFCCH(env.Model, env.K, env.HubClusters, minCard, rand.New(rand.NewSource(1)))
+	l := metrics.Labeling{Assign: res.Assign, Classes: env.Classes}
+	mis := metrics.Misclustered(l)
+	r := ErrorResult{Misclustered: len(mis), ByDomain: make(map[string]int)}
+	mm := 0
+	for _, idx := range mis {
+		cls := env.Classes[idx]
+		r.ByDomain[cls]++
+		if cls == "music" || cls == "movie" {
+			mm++
+		}
+		fp := env.FormPages[idx]
+		if fp.Form != nil && fp.Form.AttributeCount() <= 1 {
+			r.SingleAttrErrors++
+		}
+	}
+	if len(mis) > 0 {
+		r.MusicMovieFraction = float64(mm) / float64(len(mis))
+	}
+	return r
+}
+
+// String renders the error analysis.
+func (r ErrorResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "misclustered form pages: %d\n", r.Misclustered)
+	fmt.Fprintf(&b, "  of which single-attribute: %d\n", r.SingleAttrErrors)
+	fmt.Fprintf(&b, "  music+movie share: %.0f%%\n", 100*r.MusicMovieFraction)
+	domains := make([]string, 0, len(r.ByDomain))
+	for d := range r.ByDomain {
+		domains = append(domains, d)
+	}
+	sort.Strings(domains)
+	for _, d := range domains {
+		fmt.Fprintf(&b, "  %-10s %d\n", d, r.ByDomain[d])
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"cafc/internal/cafc"
+	"cafc/internal/cluster"
+	"cafc/internal/dataset"
+	"cafc/internal/webgen"
+)
+
+// Report collects every experiment's output for one environment.
+type Report struct {
+	Stats      dataset.Stats
+	Figure2    []QualityRow
+	Table1     []Table1Row
+	Figure3    []Figure3Row
+	Figure3Ref float64
+	Table2     []QualityRow
+	Weights    []QualityRow
+	HubStats   HubStatsResult
+	HACSeeds   []QualityRow
+	Errors     ErrorResult
+	Ablations  []QualityRow
+	HubDesign  []QualityRow
+	FutureWork []QualityRow
+	PostQuery  []PostQueryRow
+	Elapsed    time.Duration
+}
+
+// RunAll executes every experiment with the paper's parameters.
+func RunAll(env *Env, runs int) *Report {
+	start := time.Now()
+	r := &Report{
+		Stats:    dataset.ComputeStats(env.Corpus),
+		Figure2:  Figure2(env, runs, DefaultMinCard),
+		Table1:   Table1(env),
+		Table2:   Table2(env, runs, DefaultMinCard),
+		Weights:  WeightAblation(env, DefaultMinCard),
+		HubStats: HubStatsExp(env),
+		HACSeeds: HACSeedsExp(env, DefaultMinCard),
+		Errors:   ErrorAnalysis(env, DefaultMinCard),
+	}
+	r.Figure3, r.Figure3Ref = Figure3(env, runs)
+	r.Ablations = SeedingAblation(env, runs)
+	r.HubDesign = HubDesignAblation(env, DefaultMinCard)
+	r.FutureWork = FutureWork(env, DefaultMinCard)
+	if pq, err := PostQuery(env, DefaultMinCard); err == nil {
+		r.PostQuery = pq
+	}
+	r.Elapsed = time.Since(start)
+	return r
+}
+
+// SeedingAblation is an extension beyond the paper: it compares random
+// seeding, k-means++ seeding, HAC seeding and hub-cluster seeding for the
+// same k-means loop, isolating where CAFC-CH's advantage comes from.
+func SeedingAblation(env *Env, runs int) []QualityRow {
+	var rows []QualityRow
+	e, f := env.averageCAFCC(env.Model, runs)
+	rows = append(rows, QualityRow{Algorithm: "k-means random seeds", Features: "FC+PC", Entropy: e, FMeasure: f})
+	// k-means++ averaged over the same number of runs.
+	if runs <= 0 {
+		runs = DefaultRuns
+	}
+	var e2, f2 float64
+	for i := 0; i < runs; i++ {
+		seeds := cluster.KMeansPlusPlusSeeds(env.Model, env.K, rand.New(rand.NewSource(int64(i)+1)))
+		res := cafc.CAFCCSeeded(env.Model, env.K, seeds, rand.New(rand.NewSource(int64(i)+1)))
+		en, fm := env.quality(res)
+		e2 += en / float64(runs)
+		f2 += fm / float64(runs)
+	}
+	rows = append(rows, QualityRow{Algorithm: "k-means++ seeds", Features: "FC+PC", Entropy: e2, FMeasure: f2})
+	res := cafc.HACSeededKMeans(env.Model, env.K, cluster.AverageLinkage, rand.New(rand.NewSource(1)))
+	en, fm := env.quality(res)
+	rows = append(rows, QualityRow{Algorithm: "HAC seeds", Features: "FC+PC", Entropy: en, FMeasure: fm})
+	ch := cafc.CAFCCH(env.Model, env.K, env.HubClusters, DefaultMinCard, rand.New(rand.NewSource(1)))
+	en, fm = env.quality(ch)
+	rows = append(rows, QualityRow{Algorithm: "hub-cluster seeds (CAFC-CH)", Features: "FC+PC", Entropy: en, FMeasure: fm})
+	return rows
+}
+
+// ScalingRow is one corpus size of the scaling sweep.
+type ScalingRow struct {
+	FormPages int
+	Entropy   float64
+	FMeasure  float64
+	Millis    int64
+}
+
+// Scaling is an extension: CAFC-CH quality and wall time as the corpus
+// grows, demonstrating the "scalable solution" claim holds beyond the
+// paper's 454 pages.
+func Scaling(sizes []int, seed int64) ([]ScalingRow, error) {
+	var rows []ScalingRow
+	for _, n := range sizes {
+		env, err := NewEnv(webgen.Config{Seed: seed, FormPages: n})
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		res := cafc.CAFCCH(env.Model, env.K, env.HubClusters, DefaultMinCard, rand.New(rand.NewSource(1)))
+		el := time.Since(start)
+		e, f := env.quality(res)
+		rows = append(rows, ScalingRow{FormPages: n, Entropy: e, FMeasure: f, Millis: el.Milliseconds()})
+	}
+	return rows, nil
+}
+
+// String renders the full report in the order the paper presents results.
+func (r *Report) String() string {
+	var b strings.Builder
+	b.WriteString("=== Data set (Section 4.1) ===\n")
+	b.WriteString(r.Stats.String())
+	b.WriteString("\n=== Figure 2: entropy & F-measure by algorithm and feature space ===\n")
+	b.WriteString(RenderQuality(r.Figure2))
+	b.WriteString("\n=== Table 1: form size vs page terms outside the form ===\n")
+	b.WriteString(RenderTable1(r.Table1))
+	b.WriteString("\n=== Figure 3: CAFC-CH entropy vs minimum hub-cluster cardinality ===\n")
+	b.WriteString(RenderFigure3(r.Figure3, r.Figure3Ref))
+	b.WriteString("\n=== Table 2: HAC vs k-means ===\n")
+	b.WriteString(RenderQuality(r.Table2))
+	b.WriteString("\n=== Section 4.4: differentiated vs uniform term weights ===\n")
+	b.WriteString(RenderQuality(r.Weights))
+	b.WriteString("\n=== Section 3.1: hub-cluster statistics ===\n")
+	b.WriteString(r.HubStats.String())
+	b.WriteString("\n=== Section 4.3: HAC-derived seeds vs hub clusters ===\n")
+	b.WriteString(RenderQuality(r.HACSeeds))
+	b.WriteString("\n=== Section 4.2: error analysis ===\n")
+	b.WriteString(r.Errors.String())
+	b.WriteString("\n=== Extension: seeding ablation ===\n")
+	b.WriteString(RenderQuality(r.Ablations))
+	b.WriteString("\n=== Extension: hub design ablation ===\n")
+	b.WriteString(RenderQuality(r.HubDesign))
+	b.WriteString("\n=== Extension: Section 6 future-work features ===\n")
+	b.WriteString(RenderQuality(r.FutureWork))
+	b.WriteString("\n=== Extension: pre-query vs post-query (probing) ===\n")
+	b.WriteString(RenderPostQuery(r.PostQuery))
+	fmt.Fprintf(&b, "\nelapsed: %s\n", r.Elapsed.Round(time.Millisecond))
+	return b.String()
+}

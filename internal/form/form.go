@@ -1,0 +1,417 @@
+// Package form implements the paper's form-page model extraction: parsing
+// Web forms out of HTML, splitting a page's visible text into the FC (form
+// contents) and PC (page contents) feature spaces, assigning the location
+// factors used by the weighted TF-IDF of Equation 1, and filtering
+// non-searchable forms with a generic form classifier (the pre-processing
+// step the paper delegates to Barbosa & Freire's crawler [3]).
+package form
+
+import (
+	"errors"
+	"strings"
+
+	"cafc/internal/htmlx"
+	"cafc/internal/text"
+	"cafc/internal/vector"
+)
+
+// Field is a single form control.
+type Field struct {
+	// Tag is the element name: input, select, textarea or button.
+	Tag string
+	// Type is the input type attribute (lower-cased), e.g. "text",
+	// "hidden", "submit". Empty for non-input controls.
+	Type string
+	// Name is the control's name attribute.
+	Name string
+	// Value is the control's value attribute.
+	Value string
+	// Options holds the visible text of <option> children for selects.
+	Options []string
+	// Label is the text of an associated <label> element, when one
+	// exists (the HTML label attribute the paper notes is rarely used).
+	Label string
+}
+
+// Hidden reports whether the field is invisible to users. The paper's
+// footnote 3 excludes type="hidden" fields from consideration.
+func (f *Field) Hidden() bool {
+	return f.Tag == "input" && f.Type == "hidden"
+}
+
+// Typable reports whether a user can enter free text into the field.
+func (f *Field) Typable() bool {
+	if f.Tag == "textarea" {
+		return true
+	}
+	if f.Tag != "input" {
+		return false
+	}
+	switch f.Type {
+	case "", "text", "search":
+		return true
+	}
+	return false
+}
+
+// Selectable reports whether the field offers a fixed set of choices.
+func (f *Field) Selectable() bool {
+	if f.Tag == "select" {
+		return true
+	}
+	return f.Tag == "input" && (f.Type == "checkbox" || f.Type == "radio")
+}
+
+// Form is one parsed HTML form.
+type Form struct {
+	// Action and Method come from the <form> tag.
+	Action string
+	Method string
+	// Fields are the form's controls in document order.
+	Fields []Field
+	// Node is the form's subtree in the parsed document.
+	Node *htmlx.Node
+}
+
+// VisibleFields returns the fields that are not hidden.
+func (f *Form) VisibleFields() []Field {
+	out := make([]Field, 0, len(f.Fields))
+	for _, fld := range f.Fields {
+		if !fld.Hidden() {
+			out = append(out, fld)
+		}
+	}
+	return out
+}
+
+// AttributeCount returns the number of visible, non-button fields — the
+// paper's notion of single- vs multi-attribute forms.
+func (f *Form) AttributeCount() int {
+	n := 0
+	for _, fld := range f.Fields {
+		if fld.Hidden() {
+			continue
+		}
+		switch {
+		case fld.Tag == "button":
+		case fld.Tag == "input" && (fld.Type == "submit" || fld.Type == "button" || fld.Type == "reset" || fld.Type == "image"):
+		default:
+			n++
+		}
+	}
+	return n
+}
+
+// ExtractForms returns every <form> element in the document.
+func ExtractForms(doc *htmlx.Node) []*Form {
+	var out []*Form
+	for _, fn := range doc.FindAll("form") {
+		f := &Form{
+			Action: fn.Attr0("action"),
+			Method: strings.ToUpper(htmlx.CollapseSpace(fn.Attr0("method"))),
+			Node:   fn,
+		}
+		if f.Method == "" {
+			f.Method = "GET"
+		}
+		labels := labelTexts(fn)
+		fn.Walk(func(n *htmlx.Node) bool {
+			if n.Type != htmlx.ElementNode {
+				return true
+			}
+			switch n.Data {
+			case "input":
+				f.Fields = append(f.Fields, Field{
+					Tag:   "input",
+					Type:  strings.ToLower(n.Attr0("type")),
+					Name:  n.Attr0("name"),
+					Value: n.Attr0("value"),
+					Label: labels[n.Attr0("id")],
+				})
+			case "textarea":
+				f.Fields = append(f.Fields, Field{
+					Tag:   "textarea",
+					Name:  n.Attr0("name"),
+					Label: labels[n.Attr0("id")],
+				})
+			case "button":
+				f.Fields = append(f.Fields, Field{
+					Tag:   "button",
+					Type:  strings.ToLower(n.Attr0("type")),
+					Name:  n.Attr0("name"),
+					Value: n.Text(),
+				})
+			case "select":
+				fld := Field{
+					Tag:   "select",
+					Name:  n.Attr0("name"),
+					Label: labels[n.Attr0("id")],
+				}
+				for _, opt := range n.FindAll("option") {
+					if t := opt.Text(); t != "" {
+						fld.Options = append(fld.Options, t)
+					}
+				}
+				f.Fields = append(f.Fields, fld)
+				return false // options already consumed
+			}
+			return true
+		})
+		out = append(out, f)
+	}
+	return out
+}
+
+// labelTexts maps control ids to the text of <label for=...> elements
+// inside the form.
+func labelTexts(formNode *htmlx.Node) map[string]string {
+	m := make(map[string]string)
+	for _, l := range formNode.FindAll("label") {
+		if id := l.Attr0("for"); id != "" {
+			m[id] = l.Text()
+		}
+	}
+	return m
+}
+
+// nonSearchableMarkers are terms whose presence in a form's text or field
+// names marks it as a non-searchable form (login, registration, mailing
+// list, quote request, ...). This is a compact re-implementation of the
+// generic form classifier the paper relies on as a pre-filter.
+var nonSearchableMarkers = []string{
+	"login", "log in", "logon", "sign in", "signin", "sign up", "signup",
+	"register", "registration", "password", "subscribe", "newsletter",
+	"mailing list", "contact us", "feedback", "quote request",
+	"request a quote", "username", "user name", "create account",
+	"forgot", "unsubscribe", "comment", "guestbook",
+}
+
+// IsSearchable reports whether the form looks like a query interface to a
+// database rather than a login/registration/contact form. The rules:
+//
+//   - a password field always disqualifies;
+//   - at least one typable or selectable visible field is required;
+//   - text containing non-searchable markers (login/subscribe/...)
+//     disqualifies unless search markers are also present.
+func IsSearchable(f *Form) bool {
+	hasQueryField := false
+	for _, fld := range f.Fields {
+		if fld.Tag == "input" && fld.Type == "password" {
+			return false
+		}
+		if fld.Hidden() {
+			continue
+		}
+		if fld.Typable() || fld.Selectable() {
+			hasQueryField = true
+		}
+	}
+	if !hasQueryField {
+		return false
+	}
+	blob := strings.ToLower(formTextBlob(f))
+	searchy := strings.Contains(blob, "search") || strings.Contains(blob, "find") ||
+		strings.Contains(blob, "browse") || strings.Contains(blob, "lookup") ||
+		strings.Contains(blob, "go")
+	for _, marker := range nonSearchableMarkers {
+		if strings.Contains(blob, marker) && !searchy {
+			return false
+		}
+	}
+	return true
+}
+
+// formTextBlob concatenates all textual evidence about a form: inner text,
+// field names, values and labels.
+func formTextBlob(f *Form) string {
+	var b strings.Builder
+	if f.Node != nil {
+		b.WriteString(f.Node.Text())
+	}
+	for _, fld := range f.Fields {
+		b.WriteByte(' ')
+		b.WriteString(fld.Name)
+		b.WriteByte(' ')
+		b.WriteString(fld.Value)
+		b.WriteByte(' ')
+		b.WriteString(fld.Label)
+	}
+	return b.String()
+}
+
+// Weights holds the LOC factors of Equation 1. The paper uses a simple
+// scheme: form contents weigh more than option-tag contents (schema terms
+// over data values), and title terms weigh more than body terms.
+type Weights struct {
+	Title  float64 // PC: terms inside <title>
+	Body   float64 // PC: all other page text
+	Form   float64 // FC: form text outside <option>
+	Option float64 // FC: text inside <option> tags
+}
+
+// DefaultWeights is the differentiated-weight configuration of Section
+// 4.4: title terms above body terms in PC, and form (schema) terms above
+// option (data) terms in FC.
+var DefaultWeights = Weights{Title: 3, Body: 1, Form: 3, Option: 1}
+
+// UniformWeights is the Section 4.4 ablation: every location counts 1.
+var UniformWeights = Weights{Title: 1, Body: 1, Form: 1, Option: 1}
+
+// FormPage is the paper's FP(PC, FC) object before TF-IDF weighting: the
+// raw weighted term occurrences of both feature spaces plus metadata.
+type FormPage struct {
+	// URL locates the page; it doubles as the page identifier.
+	URL string
+	// Title is the document title text.
+	Title string
+	// Form is the searchable form this page was admitted for.
+	Form *Form
+	// FCTerms are the form-content term occurrences with LOC factors.
+	FCTerms []vector.WeightedTerm
+	// PCTerms are the page-content term occurrences with LOC factors.
+	PCTerms []vector.WeightedTerm
+}
+
+// FormTermCount returns the number of term occurrences in FC — the paper's
+// "form size" used for Table 1.
+func (fp *FormPage) FormTermCount() int { return len(fp.FCTerms) }
+
+// PageTermsOutsideForm returns the number of page term occurrences located
+// outside the form (Table 1's "Page terms - Form terms").
+func (fp *FormPage) PageTermsOutsideForm() int {
+	d := len(fp.PCTerms) - len(fp.FCTerms)
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// ErrNoSearchableForm is returned when a page contains no searchable form.
+var ErrNoSearchableForm = errors.New("form: page has no searchable form")
+
+// Parse builds the FormPage for an HTML document. It extracts all forms,
+// keeps the first searchable one (pages in the corpus are expected to be
+// form pages already filtered by the crawler), and computes both feature
+// spaces with the given location weights.
+func Parse(url, html string, w Weights) (*FormPage, error) {
+	doc := htmlx.Parse(html)
+	return FromDoc(url, doc, w)
+}
+
+// FromDoc is Parse for an already-parsed document.
+func FromDoc(url string, doc *htmlx.Node, w Weights) (*FormPage, error) {
+	forms := ExtractForms(doc)
+	var chosen *Form
+	for _, f := range forms {
+		if IsSearchable(f) {
+			chosen = f
+			break
+		}
+	}
+	if chosen == nil {
+		return nil, ErrNoSearchableForm
+	}
+	fp := &FormPage{
+		URL:   url,
+		Title: htmlx.Title(doc),
+		Form:  chosen,
+	}
+	fp.FCTerms = formContentTerms(chosen, w)
+	fp.PCTerms = pageContentTerms(doc, w)
+	return fp, nil
+}
+
+// formContentTerms extracts FC: the stemmed terms of the text between the
+// FORM tags, with option-tag content at the (lower) Option LOC factor, and
+// visible control text (submit values, labels, alt text) at the Form
+// factor. Hidden-field values are excluded.
+func formContentTerms(f *Form, w Weights) []vector.WeightedTerm {
+	var out []vector.WeightedTerm
+	add := func(s string, loc float64) {
+		for _, t := range text.Terms(s) {
+			out = append(out, vector.WeightedTerm{Term: t, Loc: loc})
+		}
+	}
+	var walk func(n *htmlx.Node, inOption bool)
+	walk = func(n *htmlx.Node, inOption bool) {
+		switch n.Type {
+		case htmlx.TextNode:
+			loc := w.Form
+			if inOption {
+				loc = w.Option
+			}
+			add(n.Data, loc)
+			return
+		case htmlx.ElementNode:
+			switch n.Data {
+			case "script", "style":
+				return
+			case "option":
+				inOption = true
+			case "input":
+				typ := strings.ToLower(n.Attr0("type"))
+				switch typ {
+				case "submit", "button", "reset":
+					add(n.Attr0("value"), w.Form)
+				case "image":
+					add(n.Attr0("alt"), w.Form)
+				}
+				return
+			case "img":
+				add(n.Attr0("alt"), w.Form)
+				return
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, inOption)
+		}
+	}
+	if f.Node != nil {
+		walk(f.Node, false)
+	}
+	return out
+}
+
+// pageContentTerms extracts PC: every visible term on the page, with title
+// terms at the Title LOC factor and everything else at Body.
+func pageContentTerms(doc *htmlx.Node, w Weights) []vector.WeightedTerm {
+	var out []vector.WeightedTerm
+	add := func(s string, loc float64) {
+		for _, t := range text.Terms(s) {
+			out = append(out, vector.WeightedTerm{Term: t, Loc: loc})
+		}
+	}
+	var walk func(n *htmlx.Node, inTitle bool)
+	walk = func(n *htmlx.Node, inTitle bool) {
+		switch n.Type {
+		case htmlx.TextNode:
+			loc := w.Body
+			if inTitle {
+				loc = w.Title
+			}
+			add(n.Data, loc)
+			return
+		case htmlx.ElementNode:
+			switch n.Data {
+			case "script", "style":
+				return
+			case "title":
+				inTitle = true
+			case "img":
+				add(n.Attr0("alt"), w.Body)
+				return
+			case "input":
+				typ := strings.ToLower(n.Attr0("type"))
+				if typ == "submit" || typ == "button" || typ == "reset" {
+					add(n.Attr0("value"), w.Body)
+				}
+				return
+			}
+		}
+		for _, c := range n.Children {
+			walk(c, inTitle)
+		}
+	}
+	walk(doc, false)
+	return out
+}

@@ -1,0 +1,327 @@
+package form
+
+import (
+	"strings"
+	"testing"
+
+	"cafc/internal/htmlx"
+	"cafc/internal/vector"
+)
+
+const jobFormHTML = `
+<html><head><title>Acme Job Search</title></head>
+<body>
+<h1>Find your next job</h1>
+<p>Browse thousands of openings by category and state.</p>
+<form action="/search" method="get">
+  Job Category:
+  <select name="category">
+    <option value="">All Categories</option>
+    <option>Engineering</option>
+    <option>Nursing</option>
+  </select>
+  State:
+  <select name="state">
+    <option>Utah</option>
+    <option>California</option>
+  </select>
+  Keywords: <input type="text" name="kw">
+  <input type="hidden" name="sid" value="xyz123">
+  <input type="submit" value="Search Jobs">
+</form>
+<p>About our company. Privacy policy. Copyright 2006.</p>
+</body></html>`
+
+func TestExtractForms(t *testing.T) {
+	doc := htmlx.Parse(jobFormHTML)
+	forms := ExtractForms(doc)
+	if len(forms) != 1 {
+		t.Fatalf("got %d forms", len(forms))
+	}
+	f := forms[0]
+	if f.Action != "/search" || f.Method != "GET" {
+		t.Errorf("action/method = %q/%q", f.Action, f.Method)
+	}
+	if len(f.Fields) != 5 {
+		t.Fatalf("got %d fields: %+v", len(f.Fields), f.Fields)
+	}
+	sel := f.Fields[0]
+	if sel.Tag != "select" || sel.Name != "category" {
+		t.Errorf("field0 = %+v", sel)
+	}
+	if len(sel.Options) != 3 || sel.Options[1] != "Engineering" {
+		t.Errorf("options = %v", sel.Options)
+	}
+	if !f.Fields[3].Hidden() {
+		t.Error("sid field should be hidden")
+	}
+	if f.AttributeCount() != 3 { // category, state, kw (submit + hidden excluded)
+		t.Errorf("AttributeCount = %d", f.AttributeCount())
+	}
+}
+
+func TestExtractFormsDefaultsMethod(t *testing.T) {
+	doc := htmlx.Parse(`<form action="/q"><input type=text name=q></form>`)
+	forms := ExtractForms(doc)
+	if forms[0].Method != "GET" {
+		t.Errorf("method = %q", forms[0].Method)
+	}
+}
+
+func TestFieldPredicates(t *testing.T) {
+	cases := []struct {
+		f          Field
+		typable    bool
+		selectable bool
+		hidden     bool
+	}{
+		{Field{Tag: "input", Type: "text"}, true, false, false},
+		{Field{Tag: "input", Type: ""}, true, false, false},
+		{Field{Tag: "input", Type: "search"}, true, false, false},
+		{Field{Tag: "input", Type: "hidden"}, false, false, true},
+		{Field{Tag: "input", Type: "checkbox"}, false, true, false},
+		{Field{Tag: "input", Type: "radio"}, false, true, false},
+		{Field{Tag: "input", Type: "submit"}, false, false, false},
+		{Field{Tag: "select"}, false, true, false},
+		{Field{Tag: "textarea"}, true, false, false},
+		{Field{Tag: "button"}, false, false, false},
+	}
+	for _, c := range cases {
+		if c.f.Typable() != c.typable {
+			t.Errorf("%+v Typable = %v", c.f, c.f.Typable())
+		}
+		if c.f.Selectable() != c.selectable {
+			t.Errorf("%+v Selectable = %v", c.f, c.f.Selectable())
+		}
+		if c.f.Hidden() != c.hidden {
+			t.Errorf("%+v Hidden = %v", c.f, c.f.Hidden())
+		}
+	}
+}
+
+func TestIsSearchable(t *testing.T) {
+	searchable := []string{
+		`<form><input type=text name=q><input type=submit value=Search></form>`,
+		`<form>Title <input type=text name=title> <select name=genre><option>Rock</option></select></form>`,
+		jobFormHTML,
+	}
+	for _, h := range searchable {
+		f := ExtractForms(htmlx.Parse(h))[0]
+		if !IsSearchable(f) {
+			t.Errorf("form should be searchable: %s", h[:40])
+		}
+	}
+	nonSearchable := []string{
+		`<form>Username <input type=text name=user> Password <input type=password name=pw></form>`,
+		`<form>Email <input type=text name=email> <input type=submit value="Subscribe to newsletter"></form>`,
+		`<form><input type=submit value="Continue"></form>`, // no query field
+		`<form>Login: <input type=text name=login></form>`,
+	}
+	for _, h := range nonSearchable {
+		f := ExtractForms(htmlx.Parse(h))[0]
+		if IsSearchable(f) {
+			t.Errorf("form should NOT be searchable: %s", h)
+		}
+	}
+}
+
+func TestIsSearchableSearchOverridesMarker(t *testing.T) {
+	// "Search member comments" contains the marker "comment" but the form
+	// is clearly a search interface.
+	h := `<form>Search comments: <input type=text name=q><input type=submit value=Search></form>`
+	f := ExtractForms(htmlx.Parse(h))[0]
+	if !IsSearchable(f) {
+		t.Error("search marker should override non-searchable marker")
+	}
+}
+
+func TestParseBuildsBothSpaces(t *testing.T) {
+	fp, err := Parse("http://acme.example/jobs", jobFormHTML, DefaultWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Title != "Acme Job Search" {
+		t.Errorf("title = %q", fp.Title)
+	}
+	fc := termSet(fp.FCTerms)
+	pc := termSet(fp.PCTerms)
+	// FC must include schema-side terms and option values.
+	for _, want := range []string{"job", "categori", "state", "keyword", "engin", "utah"} {
+		if !fc[want] {
+			t.Errorf("FC missing %q; have %v", want, keys(fc))
+		}
+	}
+	// FC must not include page-only or hidden-value terms.
+	for _, not := range []string{"privaci", "copyright", "xyz123", "thousand"} {
+		if fc[not] {
+			t.Errorf("FC wrongly contains %q", not)
+		}
+	}
+	// PC includes everything visible on the page.
+	for _, want := range []string{"job", "privaci", "copyright", "open", "categori"} {
+		if !pc[want] {
+			t.Errorf("PC missing %q", want)
+		}
+	}
+}
+
+func TestParseLocationFactors(t *testing.T) {
+	fp, err := Parse("u", jobFormHTML, DefaultWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Option terms get the lower Option LOC; form label text gets Form.
+	var engLoc, stateLoc float64
+	for _, wt := range fp.FCTerms {
+		switch wt.Term {
+		case "engin":
+			engLoc = wt.Loc
+		case "state":
+			stateLoc = wt.Loc
+		}
+	}
+	if engLoc != DefaultWeights.Option {
+		t.Errorf("option term LOC = %v, want %v", engLoc, DefaultWeights.Option)
+	}
+	if stateLoc != DefaultWeights.Form {
+		t.Errorf("form term LOC = %v, want %v", stateLoc, DefaultWeights.Form)
+	}
+	// Title terms get the Title LOC in PC.
+	var acmeLoc float64
+	for _, wt := range fp.PCTerms {
+		if wt.Term == "acm" || wt.Term == "acme" {
+			acmeLoc = wt.Loc
+		}
+	}
+	if acmeLoc != DefaultWeights.Title {
+		t.Errorf("title term LOC = %v, want %v", acmeLoc, DefaultWeights.Title)
+	}
+}
+
+func TestParseNoSearchableForm(t *testing.T) {
+	_, err := Parse("u", `<html><body><p>No forms here.</p></body></html>`, DefaultWeights)
+	if err != ErrNoSearchableForm {
+		t.Errorf("err = %v, want ErrNoSearchableForm", err)
+	}
+	_, err = Parse("u", `<form>Password <input type=password name=p></form>`, DefaultWeights)
+	if err != ErrNoSearchableForm {
+		t.Errorf("err = %v, want ErrNoSearchableForm", err)
+	}
+}
+
+func TestParseSkipsNonSearchableAndPicksNext(t *testing.T) {
+	h := `<form>Username <input type=text name=u> Password <input type=password name=p></form>
+	      <form>Search books: <input type=text name=q><input type=submit value=Search></form>`
+	fp, err := Parse("u", h, DefaultWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !termSet(fp.FCTerms)["book"] {
+		t.Error("picked the wrong form")
+	}
+}
+
+func TestParseFormWithNoLabelsOutsideText(t *testing.T) {
+	// The paper's Figure 1(c): the descriptive string lives OUTSIDE the
+	// form tags; FC is nearly empty, PC captures the context.
+	h := `<html><head><title>MegaJobs</title></head><body>
+	<b>Search Jobs</b>
+	<form action="/s"><input type="text" name="q"><input type=submit value="Go"></form>
+	</body></html>`
+	fp, err := Parse("u", h, DefaultWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := termSet(fp.FCTerms)
+	if fc["job"] {
+		t.Error("'jobs' is outside the form; must not be in FC")
+	}
+	if !termSet(fp.PCTerms)["job"] {
+		t.Error("'jobs' must be in PC")
+	}
+	if fp.Form.AttributeCount() != 1 {
+		t.Errorf("AttributeCount = %d, want 1", fp.Form.AttributeCount())
+	}
+}
+
+func TestLabelExtraction(t *testing.T) {
+	h := `<form><label for="st">Departure State</label><select id="st" name="st"><option>UT</option></select>
+	<input type=submit value=Search></form>`
+	f := ExtractForms(htmlx.Parse(h))[0]
+	var sel *Field
+	for i := range f.Fields {
+		if f.Fields[i].Tag == "select" {
+			sel = &f.Fields[i]
+		}
+	}
+	if sel == nil || sel.Label != "Departure State" {
+		t.Errorf("label = %+v", sel)
+	}
+}
+
+func TestImageAltInFC(t *testing.T) {
+	h := `<form><img src="flight.gif" alt="Flight Search"><input type=text name=q>
+	<input type=image src="go.gif" alt="Search Now"></form>`
+	fp, err := Parse("u", h, DefaultWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := termSet(fp.FCTerms)
+	if !fc["flight"] || !fc["search"] {
+		t.Errorf("alt text missing from FC: %v", keys(fc))
+	}
+}
+
+func TestTermCounts(t *testing.T) {
+	fp, err := Parse("u", jobFormHTML, DefaultWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.FormTermCount() == 0 {
+		t.Error("FormTermCount = 0")
+	}
+	if fp.PageTermsOutsideForm() == 0 {
+		t.Error("PageTermsOutsideForm = 0 for a content-rich page")
+	}
+	if fp.PageTermsOutsideForm() >= len(fp.PCTerms) {
+		t.Error("outside-form count must be < total PC terms")
+	}
+}
+
+func TestParseMalformedHTMLStillWorks(t *testing.T) {
+	h := `<title>Books<form action=/q><b>Search by author <input name=a type=text><option>ignored
+	<input type=submit value=Find>`
+	fp, err := Parse("u", h, DefaultWeights)
+	if err != nil {
+		t.Fatalf("malformed page rejected: %v", err)
+	}
+	if !termSet(fp.FCTerms)["author"] {
+		t.Error("author term lost")
+	}
+}
+
+func termSet(ts []vector.WeightedTerm) map[string]bool {
+	m := make(map[string]bool, len(ts))
+	for _, wt := range ts {
+		m[wt.Term] = true
+	}
+	return m
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+func BenchmarkParse(b *testing.B) {
+	big := jobFormHTML + strings.Repeat("<p>filler content about jobs careers employment</p>", 50)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("u", big, DefaultWeights); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+// Package formclass implements a learned generic form classifier that
+// separates searchable forms (query interfaces to databases) from
+// non-searchable ones (login, registration, subscription, quote request).
+// The paper delegates this pre-filtering step to the classifier of
+// Barbosa & Freire's crawler [3]; this package provides an equivalent
+// learned component — a multinomial Naive Bayes over structural and
+// textual form features — alongside the rule-based filter in package
+// form.
+package formclass
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+
+	"cafc/internal/form"
+	"cafc/internal/text"
+)
+
+// Label is the classification target.
+type Label int
+
+const (
+	// NonSearchable marks login/registration/subscription/etc. forms.
+	NonSearchable Label = iota
+	// Searchable marks query interfaces to databases.
+	Searchable
+)
+
+// String names the label.
+func (l Label) String() string {
+	if l == Searchable {
+		return "searchable"
+	}
+	return "non-searchable"
+}
+
+// Features extracts the feature tokens of a form: structural markers
+// (counts of each control type, method, attribute count buckets) and the
+// stemmed text evidence (inner text, field names, labels, submit values).
+// Structural features are prefixed so they cannot collide with text
+// terms.
+func Features(f *form.Form) []string {
+	var out []string
+	add := func(k string) { out = append(out, k) }
+
+	counts := map[string]int{}
+	for _, fld := range f.Fields {
+		switch {
+		case fld.Hidden():
+			counts["hidden"]++
+		case fld.Tag == "input" && fld.Type == "password":
+			counts["password"]++
+		case fld.Typable():
+			counts["textbox"]++
+		case fld.Tag == "select":
+			counts["select"]++
+		case fld.Selectable():
+			counts["checkable"]++
+		case fld.Tag == "input" && (fld.Type == "submit" || fld.Type == "image") || fld.Tag == "button":
+			counts["submit"]++
+		}
+	}
+	for k, n := range counts {
+		add("#" + k + "=" + bucket(n))
+	}
+	add("#method=" + f.Method)
+	add("#attrs=" + bucket(f.AttributeCount()))
+
+	// Text evidence: inner text and per-field metadata.
+	if f.Node != nil {
+		for _, t := range text.Terms(f.Node.Text()) {
+			add(t)
+		}
+	}
+	for _, fld := range f.Fields {
+		if fld.Hidden() {
+			continue
+		}
+		for _, t := range text.Terms(fld.Name + " " + fld.Value + " " + fld.Label) {
+			add(t)
+		}
+	}
+	return out
+}
+
+// bucket coarsens a count into 0, 1, 2, 3, many.
+func bucket(n int) string {
+	if n >= 4 {
+		return "many"
+	}
+	return strconv.Itoa(n)
+}
+
+// Classifier is a multinomial Naive Bayes over form features.
+type Classifier struct {
+	classTotal [2]float64            // feature occurrences per class
+	classDocs  [2]float64            // training forms per class
+	counts     [2]map[string]float64 // per-class feature counts
+	vocab      map[string]bool
+}
+
+// NewClassifier returns an untrained classifier.
+func NewClassifier() *Classifier {
+	return &Classifier{
+		counts: [2]map[string]float64{make(map[string]float64), make(map[string]float64)},
+		vocab:  make(map[string]bool),
+	}
+}
+
+// Train adds one labelled form.
+func (c *Classifier) Train(f *form.Form, label Label) {
+	feats := Features(f)
+	c.classDocs[label]++
+	for _, ft := range feats {
+		c.counts[label][ft]++
+		c.classTotal[label]++
+		c.vocab[ft] = true
+	}
+}
+
+// Trained reports whether both classes have examples.
+func (c *Classifier) Trained() bool {
+	return c.classDocs[0] > 0 && c.classDocs[1] > 0
+}
+
+// Classify returns the predicted label and the log-odds
+// log P(Searchable|f) - log P(NonSearchable|f). Positive log-odds mean
+// searchable. Laplace smoothing keeps unseen features harmless.
+func (c *Classifier) Classify(f *form.Form) (Label, float64) {
+	if !c.Trained() {
+		// Degenerate fallback: defer to the rule-based filter.
+		if form.IsSearchable(f) {
+			return Searchable, 0
+		}
+		return NonSearchable, 0
+	}
+	feats := Features(f)
+	v := float64(len(c.vocab))
+	totalDocs := c.classDocs[0] + c.classDocs[1]
+	var logp [2]float64
+	for cls := 0; cls < 2; cls++ {
+		logp[cls] = math.Log(c.classDocs[cls] / totalDocs)
+		denom := c.classTotal[cls] + v
+		for _, ft := range feats {
+			logp[cls] += math.Log((c.counts[cls][ft] + 1) / denom)
+		}
+	}
+	odds := logp[Searchable] - logp[NonSearchable]
+	if odds >= 0 {
+		return Searchable, odds
+	}
+	return NonSearchable, odds
+}
+
+// Evaluate scores the classifier on labelled forms, returning accuracy
+// and the per-class recall.
+func (c *Classifier) Evaluate(forms []*form.Form, labels []Label) (acc, searchableRecall, nonSearchableRecall float64, err error) {
+	if len(forms) != len(labels) {
+		return 0, 0, 0, fmt.Errorf("formclass: %d forms vs %d labels", len(forms), len(labels))
+	}
+	var correct, sTotal, sHit, nTotal, nHit float64
+	for i, f := range forms {
+		got, _ := c.Classify(f)
+		if got == labels[i] {
+			correct++
+		}
+		if labels[i] == Searchable {
+			sTotal++
+			if got == Searchable {
+				sHit++
+			}
+		} else {
+			nTotal++
+			if got == NonSearchable {
+				nHit++
+			}
+		}
+	}
+	n := float64(len(forms))
+	if n > 0 {
+		acc = correct / n
+	}
+	if sTotal > 0 {
+		searchableRecall = sHit / sTotal
+	}
+	if nTotal > 0 {
+		nonSearchableRecall = nHit / nTotal
+	}
+	return acc, searchableRecall, nonSearchableRecall, nil
+}

@@ -1,0 +1,167 @@
+package formclass
+
+import (
+	"testing"
+
+	"cafc/internal/form"
+	"cafc/internal/htmlx"
+	"cafc/internal/webgen"
+)
+
+// corpusForms extracts searchable and non-searchable training forms from
+// generated data.
+func corpusForms(t testing.TB, seed int64, nSearch, nNon int) (searchable, nonSearchable []*form.Form) {
+	t.Helper()
+	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: nSearch})
+	for _, u := range c.FormPages {
+		fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		searchable = append(searchable, fp.Form)
+	}
+	for _, h := range webgen.NonSearchableForms(seed, nNon) {
+		forms := form.ExtractForms(htmlx.Parse(h))
+		if len(forms) != 1 {
+			t.Fatalf("generated page has %d forms", len(forms))
+		}
+		nonSearchable = append(nonSearchable, forms[0])
+	}
+	return searchable, nonSearchable
+}
+
+func TestNaiveBayesAccuracy(t *testing.T) {
+	trS, trN := corpusForms(t, 1, 160, 160)
+	teS, teN := corpusForms(t, 2, 80, 80)
+
+	clf := NewClassifier()
+	for _, f := range trS {
+		clf.Train(f, Searchable)
+	}
+	for _, f := range trN {
+		clf.Train(f, NonSearchable)
+	}
+	if !clf.Trained() {
+		t.Fatal("classifier not trained")
+	}
+	var forms []*form.Form
+	var labels []Label
+	for _, f := range teS {
+		forms = append(forms, f)
+		labels = append(labels, Searchable)
+	}
+	for _, f := range teN {
+		forms = append(forms, f)
+		labels = append(labels, NonSearchable)
+	}
+	acc, sRec, nRec, err := clf.Evaluate(forms, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("accuracy=%.3f searchable-recall=%.3f non-searchable-recall=%.3f", acc, sRec, nRec)
+	if acc < 0.95 {
+		t.Errorf("accuracy = %.3f, want >= 0.95", acc)
+	}
+	if sRec < 0.9 || nRec < 0.9 {
+		t.Errorf("recalls %.3f/%.3f too low", sRec, nRec)
+	}
+}
+
+func TestClassifyLogOddsSign(t *testing.T) {
+	trS, trN := corpusForms(t, 3, 80, 80)
+	clf := NewClassifier()
+	for _, f := range trS {
+		clf.Train(f, Searchable)
+	}
+	for _, f := range trN {
+		clf.Train(f, NonSearchable)
+	}
+	label, odds := clf.Classify(trS[0])
+	if label != Searchable || odds < 0 {
+		t.Errorf("searchable training form: label=%v odds=%v", label, odds)
+	}
+	label, odds = clf.Classify(trN[0])
+	if label != NonSearchable || odds >= 0 {
+		t.Errorf("non-searchable training form: label=%v odds=%v", label, odds)
+	}
+}
+
+func TestUntrainedFallsBackToRules(t *testing.T) {
+	clf := NewClassifier()
+	searchHTML := `<form>Search books: <input type=text name=q><input type=submit value=Search></form>`
+	loginHTML := `<form>Password <input type=password name=p><input type=submit value=Login></form>`
+	s := form.ExtractForms(htmlx.Parse(searchHTML))[0]
+	n := form.ExtractForms(htmlx.Parse(loginHTML))[0]
+	if got, _ := clf.Classify(s); got != Searchable {
+		t.Error("untrained fallback misjudged searchable form")
+	}
+	if got, _ := clf.Classify(n); got != NonSearchable {
+		t.Error("untrained fallback misjudged login form")
+	}
+}
+
+func TestFeaturesStructuralMarkers(t *testing.T) {
+	h := `<form method="post">Password <input type="password" name="p">
+	<input type="hidden" name="sid" value="x"><input type="submit" value="Go"></form>`
+	f := form.ExtractForms(htmlx.Parse(h))[0]
+	feats := Features(f)
+	want := map[string]bool{"#password=1": true, "#hidden=1": true, "#method=POST": true}
+	for _, ft := range feats {
+		delete(want, ft)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing structural features %v in %v", want, feats)
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if Searchable.String() != "searchable" || NonSearchable.String() != "non-searchable" {
+		t.Error("label names wrong")
+	}
+}
+
+func TestEvaluateLengthMismatch(t *testing.T) {
+	clf := NewClassifier()
+	if _, _, _, err := clf.Evaluate(make([]*form.Form, 1), nil); err == nil {
+		t.Error("length mismatch not reported")
+	}
+}
+
+// TestAgainstRuleBased compares the learned classifier with the
+// rule-based one on held-out data: the learned one should be at least as
+// accurate.
+func TestAgainstRuleBased(t *testing.T) {
+	trS, trN := corpusForms(t, 4, 160, 160)
+	teS, teN := corpusForms(t, 5, 80, 80)
+	clf := NewClassifier()
+	for _, f := range trS {
+		clf.Train(f, Searchable)
+	}
+	for _, f := range trN {
+		clf.Train(f, NonSearchable)
+	}
+	nbCorrect, ruleCorrect, total := 0, 0, 0
+	judge := func(fs []*form.Form, want Label) {
+		for _, f := range fs {
+			total++
+			if got, _ := clf.Classify(f); got == want {
+				nbCorrect++
+			}
+			ruleSays := NonSearchable
+			if form.IsSearchable(f) {
+				ruleSays = Searchable
+			}
+			if ruleSays == want {
+				ruleCorrect++
+			}
+		}
+	}
+	judge(teS, Searchable)
+	judge(teN, NonSearchable)
+	nbAcc := float64(nbCorrect) / float64(total)
+	ruleAcc := float64(ruleCorrect) / float64(total)
+	t.Logf("naive bayes %.3f vs rules %.3f", nbAcc, ruleAcc)
+	if nbAcc < ruleAcc-0.02 {
+		t.Errorf("learned classifier (%.3f) notably worse than rules (%.3f)", nbAcc, ruleAcc)
+	}
+}

@@ -1,0 +1,165 @@
+package htmlx
+
+import (
+	"strconv"
+	"strings"
+)
+
+// namedEntities maps the HTML entity names that occur with any frequency on
+// real form pages to their replacement text. The list is deliberately the
+// common subset rather than the full HTML5 table: unknown entities are left
+// verbatim, which is the forgiving behaviour browsers of the era exhibited.
+var namedEntities = map[string]string{
+	"amp":    "&",
+	"lt":     "<",
+	"gt":     ">",
+	"quot":   `"`,
+	"apos":   "'",
+	"nbsp":   " ",
+	"copy":   "©",
+	"reg":    "®",
+	"trade":  "™",
+	"mdash":  "—",
+	"ndash":  "–",
+	"hellip": "…",
+	"laquo":  "«",
+	"raquo":  "»",
+	"ldquo":  "“",
+	"rdquo":  "”",
+	"lsquo":  "‘",
+	"rsquo":  "’",
+	"middot": "·",
+	"bull":   "•",
+	"sect":   "§",
+	"para":   "¶",
+	"deg":    "°",
+	"plusmn": "±",
+	"frac12": "½",
+	"times":  "×",
+	"divide": "÷",
+	"cent":   "¢",
+	"pound":  "£",
+	"euro":   "€",
+	"yen":    "¥",
+	"eacute": "é",
+	"egrave": "è",
+	"agrave": "à",
+	"ccedil": "ç",
+	"ntilde": "ñ",
+	"ouml":   "ö",
+	"uuml":   "ü",
+	"auml":   "ä",
+	"szlig":  "ß",
+}
+
+// UnescapeEntities decodes &name;, &#NNN; and &#xHHH; references in s.
+// Unknown or malformed references are passed through unchanged.
+func UnescapeEntities(s string) string {
+	amp := strings.IndexByte(s, '&')
+	if amp < 0 {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	b.WriteString(s[:amp])
+	i := amp
+	for i < len(s) {
+		c := s[i]
+		if c != '&' {
+			b.WriteByte(c)
+			i++
+			continue
+		}
+		rep, consumed := decodeEntity(s[i:])
+		if consumed == 0 {
+			b.WriteByte('&')
+			i++
+			continue
+		}
+		b.WriteString(rep)
+		i += consumed
+	}
+	return b.String()
+}
+
+// decodeEntity decodes a single entity at the start of s (which begins with
+// '&'). It returns the replacement and the number of bytes consumed, or
+// ("", 0) if s does not start with a recognizable entity.
+func decodeEntity(s string) (string, int) {
+	// s[0] == '&'
+	if len(s) < 3 {
+		return "", 0
+	}
+	if s[1] == '#' {
+		// Numeric reference.
+		j := 2
+		hex := false
+		if j < len(s) && (s[j] == 'x' || s[j] == 'X') {
+			hex = true
+			j++
+		}
+		start := j
+		for j < len(s) && isEntityDigit(s[j], hex) {
+			j++
+		}
+		if j == start {
+			return "", 0
+		}
+		base := 10
+		if hex {
+			base = 16
+		}
+		n, err := strconv.ParseInt(s[start:j], base, 32)
+		if err != nil || n <= 0 || n > 0x10FFFF {
+			return "", 0
+		}
+		consumed := j
+		if j < len(s) && s[j] == ';' {
+			consumed++
+		}
+		return string(rune(n)), consumed
+	}
+	// Named reference: letters/digits up to ';' (max 10 chars).
+	j := 1
+	for j < len(s) && j <= 10 && isAlnum(s[j]) {
+		j++
+	}
+	name := s[1:j]
+	rep, ok := namedEntities[strings.ToLower(name)]
+	if !ok {
+		return "", 0
+	}
+	consumed := j
+	if j < len(s) && s[j] == ';' {
+		consumed++
+	}
+	return rep, consumed
+}
+
+func isEntityDigit(c byte, hex bool) bool {
+	if c >= '0' && c <= '9' {
+		return true
+	}
+	if !hex {
+		return false
+	}
+	return (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func isAlnum(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+}
+
+// EscapeText escapes the characters that must not appear literally in HTML
+// character data. It is the inverse-direction helper used by the synthetic
+// web generator.
+func EscapeText(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+// EscapeAttr escapes a string for use inside a double-quoted attribute value.
+func EscapeAttr(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

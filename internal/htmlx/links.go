@@ -1,0 +1,54 @@
+package htmlx
+
+import (
+	"net/url"
+	"strings"
+)
+
+// Link is a hyperlink found in a document.
+type Link struct {
+	// URL is the resolved absolute URL (when a base is supplied) or the
+	// raw href otherwise.
+	URL string
+	// Anchor is the link's visible anchor text.
+	Anchor string
+}
+
+// ExtractLinks returns the <a href> links in the tree rooted at n. If base
+// is non-nil, relative hrefs are resolved against it and links that fail to
+// parse are dropped; otherwise raw hrefs are returned. Fragment-only links
+// and javascript:/mailto: schemes are skipped.
+func ExtractLinks(n *Node, base *url.URL) []Link {
+	var out []Link
+	for _, a := range n.FindAll("a") {
+		href := strings.TrimSpace(a.Attr0("href"))
+		if href == "" || strings.HasPrefix(href, "#") {
+			continue
+		}
+		low := strings.ToLower(href)
+		if strings.HasPrefix(low, "javascript:") || strings.HasPrefix(low, "mailto:") {
+			continue
+		}
+		resolved := href
+		if base != nil {
+			u, err := url.Parse(href)
+			if err != nil {
+				continue
+			}
+			abs := base.ResolveReference(u)
+			abs.Fragment = ""
+			resolved = abs.String()
+		}
+		out = append(out, Link{URL: resolved, Anchor: a.Text()})
+	}
+	return out
+}
+
+// Title returns the document title text, or "".
+func Title(doc *Node) string {
+	t := doc.Find("title")
+	if t == nil {
+		return ""
+	}
+	return t.Text()
+}

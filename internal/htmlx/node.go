@@ -1,0 +1,210 @@
+package htmlx
+
+import (
+	"strings"
+)
+
+// NodeType identifies the kind of a Node in the parsed tree.
+type NodeType int
+
+const (
+	// DocumentNode is the root of a parsed tree.
+	DocumentNode NodeType = iota
+	// ElementNode is an HTML element.
+	ElementNode
+	// TextNode is character data.
+	TextNode
+	// CommentNode is an HTML comment.
+	CommentNode
+)
+
+// Node is a node in the simplified DOM produced by Parse.
+type Node struct {
+	Type     NodeType
+	Data     string // tag name (elements), text (text nodes), comment body
+	Attr     []Attribute
+	Parent   *Node
+	Children []*Node
+}
+
+// AttrVal returns the value of the named attribute and whether it exists.
+func (n *Node) AttrVal(key string) (string, bool) {
+	for _, a := range n.Attr {
+		if strings.EqualFold(a.Key, key) {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// Attr0 returns the value of the named attribute or "" if absent.
+func (n *Node) Attr0(key string) string {
+	v, _ := n.AttrVal(key)
+	return v
+}
+
+// IsElement reports whether n is an element with the given (lower-case) tag.
+func (n *Node) IsElement(tag string) bool {
+	return n.Type == ElementNode && n.Data == tag
+}
+
+// appendChild attaches c as the last child of n.
+func (n *Node) appendChild(c *Node) {
+	c.Parent = n
+	n.Children = append(n.Children, c)
+}
+
+// Walk calls fn for n and every descendant in document order. If fn returns
+// false for a node, that node's subtree is skipped.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Find returns the first descendant element (in document order) with the
+// given tag name, or nil.
+func (n *Node) Find(tag string) *Node {
+	var found *Node
+	n.Walk(func(c *Node) bool {
+		if found != nil {
+			return false
+		}
+		if c.IsElement(tag) {
+			found = c
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// FindAll returns every descendant element with the given tag name in
+// document order.
+func (n *Node) FindAll(tag string) []*Node {
+	var out []*Node
+	n.Walk(func(c *Node) bool {
+		if c.IsElement(tag) {
+			out = append(out, c)
+		}
+		return true
+	})
+	return out
+}
+
+// nonContentTags are elements whose text content is not user-visible prose.
+var nonContentTags = map[string]bool{
+	"script": true,
+	"style":  true,
+}
+
+// Text returns the concatenated visible text of the subtree rooted at n,
+// with runs of whitespace collapsed to single spaces. Script and style
+// content is excluded.
+func (n *Node) Text() string {
+	var b strings.Builder
+	n.Walk(func(c *Node) bool {
+		if c.Type == ElementNode && nonContentTags[c.Data] {
+			return false
+		}
+		if c.Type == TextNode {
+			b.WriteString(c.Data)
+			b.WriteByte(' ')
+		}
+		return true
+	})
+	return CollapseSpace(b.String())
+}
+
+// CollapseSpace trims s and collapses internal whitespace runs to one space.
+func CollapseSpace(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	space := false
+	for _, r := range s {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\f' || r == ' ' {
+			space = true
+			continue
+		}
+		if space && b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		space = false
+		b.WriteRune(r)
+	}
+	return b.String()
+}
+
+// impliedEndTags lists, for a tag being opened, the open tags it implicitly
+// closes first (a small subset of the HTML5 tree-construction rules that
+// matters for text extraction).
+var impliedEndTags = map[string][]string{
+	"li":     {"li"},
+	"option": {"option"},
+	"tr":     {"tr", "td", "th"},
+	"td":     {"td", "th"},
+	"th":     {"td", "th"},
+	"p":      {"p"},
+	"dt":     {"dt", "dd"},
+	"dd":     {"dt", "dd"},
+}
+
+// Parse builds a Node tree from src. It never fails: malformed input
+// produces a best-effort tree.
+func Parse(src string) *Node {
+	doc := &Node{Type: DocumentNode}
+	stack := []*Node{doc}
+	top := func() *Node { return stack[len(stack)-1] }
+
+	z := NewTokenizer(src)
+	for {
+		tok := z.Next()
+		switch tok.Type {
+		case ErrorToken:
+			return doc
+		case TextToken:
+			if strings.TrimSpace(tok.Data) == "" {
+				continue
+			}
+			top().appendChild(&Node{Type: TextNode, Data: tok.Data})
+		case CommentToken:
+			top().appendChild(&Node{Type: CommentNode, Data: tok.Data})
+		case DoctypeToken:
+			// Ignored: the tree does not model doctypes.
+		case SelfClosingTagToken:
+			top().appendChild(&Node{Type: ElementNode, Data: tok.Data, Attr: tok.Attr})
+		case StartTagToken:
+			// Apply implied end tags (e.g. <li> closes an open <li>).
+			if implied, ok := impliedEndTags[tok.Data]; ok {
+				for len(stack) > 1 {
+					cur := top().Data
+					closed := false
+					for _, t := range implied {
+						if cur == t {
+							stack = stack[:len(stack)-1]
+							closed = true
+							break
+						}
+					}
+					if !closed {
+						break
+					}
+				}
+			}
+			el := &Node{Type: ElementNode, Data: tok.Data, Attr: tok.Attr}
+			top().appendChild(el)
+			stack = append(stack, el)
+		case EndTagToken:
+			// Pop to the nearest matching open element; if none, ignore.
+			for i := len(stack) - 1; i >= 1; i-- {
+				if stack[i].Data == tok.Data {
+					stack = stack[:i]
+					break
+				}
+			}
+		}
+	}
+}

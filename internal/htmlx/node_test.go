@@ -1,0 +1,239 @@
+package htmlx
+
+import (
+	"net/url"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseBasicTree(t *testing.T) {
+	doc := Parse(`<html><body><p>one</p><p>two</p></body></html>`)
+	ps := doc.FindAll("p")
+	if len(ps) != 2 {
+		t.Fatalf("got %d <p>, want 2", len(ps))
+	}
+	if ps[0].Text() != "one" || ps[1].Text() != "two" {
+		t.Errorf("texts = %q, %q", ps[0].Text(), ps[1].Text())
+	}
+	body := doc.Find("body")
+	if body == nil || body.Parent == nil || body.Parent.Data != "html" {
+		t.Error("body parent chain broken")
+	}
+}
+
+func TestParseImpliedLiClose(t *testing.T) {
+	doc := Parse(`<ul><li>a<li>b<li>c</ul>`)
+	lis := doc.FindAll("li")
+	if len(lis) != 3 {
+		t.Fatalf("got %d <li>, want 3", len(lis))
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if got := lis[i].Text(); got != want {
+			t.Errorf("li[%d] = %q, want %q", i, got, want)
+		}
+	}
+	// They must be siblings, not nested.
+	if lis[1].Parent != lis[0].Parent {
+		t.Error("li elements nested instead of siblings")
+	}
+}
+
+func TestParseImpliedOptionClose(t *testing.T) {
+	doc := Parse(`<select><option>CA<option>NY<option>UT</select>`)
+	opts := doc.FindAll("option")
+	if len(opts) != 3 {
+		t.Fatalf("got %d options, want 3", len(opts))
+	}
+	if opts[2].Text() != "UT" {
+		t.Errorf("opt2 = %q", opts[2].Text())
+	}
+}
+
+func TestParseTableCells(t *testing.T) {
+	doc := Parse(`<table><tr><td>a<td>b<tr><td>c</table>`)
+	if got := len(doc.FindAll("tr")); got != 2 {
+		t.Errorf("rows = %d, want 2", got)
+	}
+	if got := len(doc.FindAll("td")); got != 3 {
+		t.Errorf("cells = %d, want 3", got)
+	}
+}
+
+func TestParseStrayEndTag(t *testing.T) {
+	doc := Parse(`</div><p>ok</p></p>`)
+	if doc.Find("p") == nil {
+		t.Fatal("p lost after stray end tags")
+	}
+	if doc.Find("p").Text() != "ok" {
+		t.Errorf("text = %q", doc.Find("p").Text())
+	}
+}
+
+func TestParseUnclosedNesting(t *testing.T) {
+	doc := Parse(`<div><form><input name=q><div>inner`)
+	form := doc.Find("form")
+	if form == nil {
+		t.Fatal("form missing")
+	}
+	if form.Find("input") == nil {
+		t.Error("input not inside form")
+	}
+}
+
+func TestTextExcludesScriptAndStyle(t *testing.T) {
+	doc := Parse(`<body>visible<script>var x = "hidden";</script><style>.a{}</style> more</body>`)
+	text := doc.Text()
+	if strings.Contains(text, "hidden") || strings.Contains(text, ".a{}") {
+		t.Errorf("script/style leaked into text: %q", text)
+	}
+	if text != "visible more" {
+		t.Errorf("text = %q, want %q", text, "visible more")
+	}
+}
+
+func TestTextCollapsesWhitespace(t *testing.T) {
+	doc := Parse("<p>a\n\n  b\t c</p>")
+	if got := doc.Text(); got != "a b c" {
+		t.Errorf("text = %q", got)
+	}
+}
+
+func TestCollapseSpace(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"   ", ""},
+		{"a", "a"},
+		{"  a  b  ", "a b"},
+		{"a\r\nb", "a b"},
+	}
+	for _, c := range cases {
+		if got := CollapseSpace(c.in); got != c.want {
+			t.Errorf("CollapseSpace(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTitle(t *testing.T) {
+	doc := Parse(`<html><head><title>Cheap Flights &amp; Hotels</title></head></html>`)
+	if got := Title(doc); got != "Cheap Flights & Hotels" {
+		t.Errorf("title = %q", got)
+	}
+	if got := Title(Parse(`<p>no title</p>`)); got != "" {
+		t.Errorf("title of untitled doc = %q", got)
+	}
+}
+
+func TestExtractLinks(t *testing.T) {
+	base, _ := url.Parse("http://site.example/dir/page.html")
+	doc := Parse(`<a href="/abs">Abs</a>
+		<a href="rel.html">Rel</a>
+		<a href="http://other.example/x">Other</a>
+		<a href="#frag">Frag</a>
+		<a href="javascript:void(0)">JS</a>
+		<a href="mailto:a@b.c">Mail</a>
+		<a>NoHref</a>`)
+	links := ExtractLinks(doc, base)
+	if len(links) != 3 {
+		t.Fatalf("got %d links, want 3: %+v", len(links), links)
+	}
+	want := []string{
+		"http://site.example/abs",
+		"http://site.example/dir/rel.html",
+		"http://other.example/x",
+	}
+	for i, w := range want {
+		if links[i].URL != w {
+			t.Errorf("link[%d] = %q, want %q", i, links[i].URL, w)
+		}
+	}
+	if links[0].Anchor != "Abs" {
+		t.Errorf("anchor = %q", links[0].Anchor)
+	}
+}
+
+func TestExtractLinksNoBase(t *testing.T) {
+	doc := Parse(`<a href="rel.html">x</a>`)
+	links := ExtractLinks(doc, nil)
+	if len(links) != 1 || links[0].URL != "rel.html" {
+		t.Fatalf("got %+v", links)
+	}
+}
+
+func TestWalkPruning(t *testing.T) {
+	doc := Parse(`<div id="skip"><p>inner</p></div><p>outer</p>`)
+	var visited []string
+	doc.Walk(func(n *Node) bool {
+		if n.Type == ElementNode {
+			visited = append(visited, n.Data)
+			if n.Attr0("id") == "skip" {
+				return false
+			}
+		}
+		return true
+	})
+	for _, v := range visited {
+		if v == "p" && len(visited) < 3 {
+			// ok: outer p only
+		}
+	}
+	// The pruned div's inner <p> must not be visited; outer <p> must be.
+	count := 0
+	for _, v := range visited {
+		if v == "p" {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("visited %d <p>, want 1 (subtree pruning failed)", count)
+	}
+}
+
+func TestParseNeverPanics(t *testing.T) {
+	f := func(s string) bool {
+		doc := Parse(s)
+		_ = doc.Text()
+		_ = doc.FindAll("form")
+		return doc != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseAdversarialSnippets(t *testing.T) {
+	snippets := []string{
+		"", "<", "<>", "< >", "</", "</>", "<!", "<!-", "<!--", "<!-- x",
+		"<a", "<a ", "<a href", "<a href=", `<a href="`, "<a href='x",
+		"<p><p><p>", "</p></p>", "<script>", "<script>x", "<textarea>",
+		"<input/><input /", "&", "&#", "&#x", "a<b>c</d>e", "<B><I>x</B></I>",
+		"<form action=search method=get><input type=submit>",
+	}
+	for _, s := range snippets {
+		doc := Parse(s)
+		if doc == nil {
+			t.Errorf("Parse(%q) returned nil", s)
+		}
+		_ = doc.Text()
+	}
+}
+
+func TestAttr0Missing(t *testing.T) {
+	n := &Node{Type: ElementNode, Data: "a"}
+	if n.Attr0("href") != "" {
+		t.Error("Attr0 on missing attribute should be empty")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 60; i++ {
+		sb.WriteString(`<div class="row"><a href="/x">Link text</a><p>Some paragraph with &amp; entities and <b>markup</b>.</p></div>`)
+	}
+	sb.WriteString(`<form action="/q"><select name="s"><option>A</option><option>B</option></select><input type="submit" value="Go"></form>`)
+	src := sb.String()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Parse(src)
+	}
+}

@@ -1,0 +1,369 @@
+// Package htmlx implements a small, dependency-free HTML tokenizer and
+// tree builder sufficient for extracting text, forms and links from
+// real-world (frequently malformed) web pages.
+//
+// It is intentionally forgiving: unclosed tags, stray end tags, unquoted
+// attributes, bare ampersands and other tag-soup constructs are accepted
+// and repaired rather than rejected, because hidden-web form pages are
+// written for browsers, not parsers.
+package htmlx
+
+import (
+	"strings"
+)
+
+// TokenType identifies the kind of a Token.
+type TokenType int
+
+const (
+	// ErrorToken is returned at end of input.
+	ErrorToken TokenType = iota
+	// TextToken is a run of character data.
+	TextToken
+	// StartTagToken is <name ...>.
+	StartTagToken
+	// EndTagToken is </name>.
+	EndTagToken
+	// SelfClosingTagToken is <name ... />.
+	SelfClosingTagToken
+	// CommentToken is <!-- ... -->.
+	CommentToken
+	// DoctypeToken is <!DOCTYPE ...>.
+	DoctypeToken
+)
+
+// String returns a human-readable name for the token type.
+func (t TokenType) String() string {
+	switch t {
+	case ErrorToken:
+		return "Error"
+	case TextToken:
+		return "Text"
+	case StartTagToken:
+		return "StartTag"
+	case EndTagToken:
+		return "EndTag"
+	case SelfClosingTagToken:
+		return "SelfClosingTag"
+	case CommentToken:
+		return "Comment"
+	case DoctypeToken:
+		return "Doctype"
+	}
+	return "Unknown"
+}
+
+// Attribute is a single name="value" pair on a tag.
+type Attribute struct {
+	Key string
+	Val string
+}
+
+// Token is a single lexical element of an HTML document.
+type Token struct {
+	Type TokenType
+	// Data is the tag name for tag tokens (lower-cased), the text for
+	// text tokens (entities decoded), or the comment body.
+	Data string
+	Attr []Attribute
+}
+
+// AttrVal returns the value of the named attribute (case-insensitive key)
+// and whether it was present.
+func (t *Token) AttrVal(key string) (string, bool) {
+	for _, a := range t.Attr {
+		if strings.EqualFold(a.Key, key) {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// rawTextTags are elements whose content is raw text until the matching
+// close tag (no nested markup).
+var rawTextTags = map[string]bool{
+	"script":   true,
+	"style":    true,
+	"textarea": true,
+	"title":    false, // title may contain entities but not tags; handled normally
+}
+
+// Tokenizer splits an HTML byte stream into Tokens.
+type Tokenizer struct {
+	src string
+	pos int
+	// pendingRawText holds the element name whose raw text we must
+	// consume next (script/style/textarea).
+	pendingRawText string
+}
+
+// NewTokenizer returns a Tokenizer reading from src.
+func NewTokenizer(src string) *Tokenizer {
+	return &Tokenizer{src: src}
+}
+
+// Next returns the next token. After ErrorToken the tokenizer is exhausted.
+func (z *Tokenizer) Next() Token {
+	if z.pendingRawText != "" {
+		return z.rawText()
+	}
+	if z.pos >= len(z.src) {
+		return Token{Type: ErrorToken}
+	}
+	if z.src[z.pos] == '<' {
+		return z.tag()
+	}
+	return z.text()
+}
+
+// rawText consumes everything up to the close tag of pendingRawText.
+func (z *Tokenizer) rawText() Token {
+	name := z.pendingRawText
+	z.pendingRawText = ""
+	closeTag := "</" + name
+	rest := z.src[z.pos:]
+	idx := indexFold(rest, closeTag)
+	if idx < 0 {
+		z.pos = len(z.src)
+		if rest == "" {
+			return Token{Type: ErrorToken}
+		}
+		return Token{Type: TextToken, Data: rest}
+	}
+	if idx == 0 {
+		// Immediately at the close tag; fall through to tag parsing.
+		return z.tag()
+	}
+	text := rest[:idx]
+	z.pos += idx
+	return Token{Type: TextToken, Data: text}
+}
+
+// text consumes character data up to the next '<'.
+func (z *Tokenizer) text() Token {
+	start := z.pos
+	for z.pos < len(z.src) && z.src[z.pos] != '<' {
+		z.pos++
+	}
+	return Token{Type: TextToken, Data: UnescapeEntities(z.src[start:z.pos])}
+}
+
+// tag consumes a markup construct starting at '<'.
+func (z *Tokenizer) tag() Token {
+	// z.src[z.pos] == '<'
+	if z.pos+1 >= len(z.src) {
+		z.pos = len(z.src)
+		return Token{Type: TextToken, Data: "<"}
+	}
+	c := z.src[z.pos+1]
+	switch {
+	case c == '!':
+		return z.bangTag()
+	case c == '?':
+		// Processing instruction: skip to '>'.
+		end := strings.IndexByte(z.src[z.pos:], '>')
+		if end < 0 {
+			z.pos = len(z.src)
+			return Token{Type: ErrorToken}
+		}
+		z.pos += end + 1
+		return z.Next()
+	case c == '/':
+		return z.endTag()
+	case isTagNameStart(c):
+		return z.startTag()
+	default:
+		// A bare '<' followed by non-name: treat as text.
+		start := z.pos
+		z.pos++
+		for z.pos < len(z.src) && z.src[z.pos] != '<' {
+			z.pos++
+		}
+		return Token{Type: TextToken, Data: UnescapeEntities(z.src[start:z.pos])}
+	}
+}
+
+// bangTag handles <!-- comments --> and <!DOCTYPE>.
+func (z *Tokenizer) bangTag() Token {
+	rest := z.src[z.pos:]
+	if strings.HasPrefix(rest, "<!--") {
+		end := strings.Index(rest[4:], "-->")
+		if end < 0 {
+			z.pos = len(z.src)
+			return Token{Type: CommentToken, Data: rest[4:]}
+		}
+		body := rest[4 : 4+end]
+		z.pos += 4 + end + 3
+		return Token{Type: CommentToken, Data: body}
+	}
+	end := strings.IndexByte(rest, '>')
+	if end < 0 {
+		z.pos = len(z.src)
+		return Token{Type: ErrorToken}
+	}
+	body := rest[2:end]
+	z.pos += end + 1
+	if len(body) >= 7 && strings.EqualFold(body[:7], "doctype") {
+		return Token{Type: DoctypeToken, Data: strings.TrimSpace(body[7:])}
+	}
+	// Unknown <! ...> construct (e.g. CDATA) — skip it.
+	return z.Next()
+}
+
+// endTag handles </name ...>.
+func (z *Tokenizer) endTag() Token {
+	i := z.pos + 2
+	start := i
+	for i < len(z.src) && isTagNameChar(z.src[i]) {
+		i++
+	}
+	name := strings.ToLower(z.src[start:i])
+	// Skip to '>'.
+	for i < len(z.src) && z.src[i] != '>' {
+		i++
+	}
+	if i < len(z.src) {
+		i++
+	}
+	z.pos = i
+	if name == "" {
+		// "</>" — ignore.
+		return z.Next()
+	}
+	return Token{Type: EndTagToken, Data: name}
+}
+
+// startTag handles <name attr=val ...> and <name ... />.
+func (z *Tokenizer) startTag() Token {
+	i := z.pos + 1
+	start := i
+	for i < len(z.src) && isTagNameChar(z.src[i]) {
+		i++
+	}
+	name := strings.ToLower(z.src[start:i])
+	tok := Token{Type: StartTagToken, Data: name}
+	// Parse attributes.
+	for {
+		for i < len(z.src) && isSpace(z.src[i]) {
+			i++
+		}
+		if i >= len(z.src) {
+			break
+		}
+		if z.src[i] == '>' {
+			i++
+			break
+		}
+		if z.src[i] == '/' {
+			// Possible self-close.
+			j := i + 1
+			for j < len(z.src) && isSpace(z.src[j]) {
+				j++
+			}
+			if j < len(z.src) && z.src[j] == '>' {
+				tok.Type = SelfClosingTagToken
+				i = j + 1
+				break
+			}
+			i++ // stray slash
+			continue
+		}
+		// Attribute name.
+		aStart := i
+		for i < len(z.src) && !isSpace(z.src[i]) && z.src[i] != '=' && z.src[i] != '>' && z.src[i] != '/' {
+			i++
+		}
+		key := strings.ToLower(z.src[aStart:i])
+		val := ""
+		for i < len(z.src) && isSpace(z.src[i]) {
+			i++
+		}
+		if i < len(z.src) && z.src[i] == '=' {
+			i++
+			for i < len(z.src) && isSpace(z.src[i]) {
+				i++
+			}
+			if i < len(z.src) && (z.src[i] == '"' || z.src[i] == '\'') {
+				quote := z.src[i]
+				i++
+				vStart := i
+				for i < len(z.src) && z.src[i] != quote {
+					i++
+				}
+				val = z.src[vStart:i]
+				if i < len(z.src) {
+					i++
+				}
+			} else {
+				vStart := i
+				for i < len(z.src) && !isSpace(z.src[i]) && z.src[i] != '>' {
+					i++
+				}
+				val = z.src[vStart:i]
+			}
+		}
+		if key != "" {
+			tok.Attr = append(tok.Attr, Attribute{Key: key, Val: UnescapeEntities(val)})
+		}
+	}
+	z.pos = i
+	if tok.Type == StartTagToken && rawTextTags[name] {
+		z.pendingRawText = name
+	}
+	if voidElements[name] && tok.Type == StartTagToken {
+		tok.Type = SelfClosingTagToken
+	}
+	return tok
+}
+
+// voidElements never have closing tags in HTML.
+var voidElements = map[string]bool{
+	"area": true, "base": true, "br": true, "col": true, "embed": true,
+	"hr": true, "img": true, "input": true, "link": true, "meta": true,
+	"param": true, "source": true, "track": true, "wbr": true,
+}
+
+func isSpace(c byte) bool {
+	return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f'
+}
+
+func isTagNameStart(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isTagNameChar(c byte) bool {
+	return isTagNameStart(c) || (c >= '0' && c <= '9') || c == '-' || c == ':'
+}
+
+// indexFold is a case-insensitive strings.Index for ASCII needles.
+func indexFold(s, needle string) int {
+	n := len(needle)
+	if n == 0 {
+		return 0
+	}
+	for i := 0; i+n <= len(s); i++ {
+		if equalFoldASCII(s[i:i+n], needle) {
+			return i
+		}
+	}
+	return -1
+}
+
+func equalFoldASCII(a, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca, cb := a[i], b[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if 'A' <= cb && cb <= 'Z' {
+			cb += 'a' - 'A'
+		}
+		if ca != cb {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,218 @@
+package htmlx
+
+import (
+	"strings"
+	"testing"
+)
+
+// collect drains the tokenizer into a slice for assertions.
+func collect(t *testing.T, src string) []Token {
+	t.Helper()
+	z := NewTokenizer(src)
+	var out []Token
+	for i := 0; i < 10000; i++ {
+		tok := z.Next()
+		if tok.Type == ErrorToken {
+			return out
+		}
+		out = append(out, tok)
+	}
+	t.Fatal("tokenizer did not terminate")
+	return nil
+}
+
+func TestTokenizeSimple(t *testing.T) {
+	toks := collect(t, `<p>hello</p>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3: %+v", len(toks), toks)
+	}
+	if toks[0].Type != StartTagToken || toks[0].Data != "p" {
+		t.Errorf("tok0 = %+v, want StartTag p", toks[0])
+	}
+	if toks[1].Type != TextToken || toks[1].Data != "hello" {
+		t.Errorf("tok1 = %+v, want Text hello", toks[1])
+	}
+	if toks[2].Type != EndTagToken || toks[2].Data != "p" {
+		t.Errorf("tok2 = %+v, want EndTag p", toks[2])
+	}
+}
+
+func TestTokenizeAttributes(t *testing.T) {
+	toks := collect(t, `<input type="text" NAME=keyword value='a b' disabled>`)
+	if len(toks) != 1 {
+		t.Fatalf("got %d tokens, want 1", len(toks))
+	}
+	tok := toks[0]
+	if tok.Type != SelfClosingTagToken { // input is void
+		t.Errorf("type = %v, want SelfClosingTag", tok.Type)
+	}
+	cases := map[string]string{"type": "text", "name": "keyword", "value": "a b", "disabled": ""}
+	for k, want := range cases {
+		got, ok := tok.AttrVal(k)
+		if !ok {
+			t.Errorf("attr %q missing", k)
+			continue
+		}
+		if got != want {
+			t.Errorf("attr %q = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestTokenizeSelfClosing(t *testing.T) {
+	toks := collect(t, `<br/><img src="x.gif" />`)
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens, want 2", len(toks))
+	}
+	for _, tok := range toks {
+		if tok.Type != SelfClosingTagToken {
+			t.Errorf("%s: type = %v, want SelfClosingTag", tok.Data, tok.Type)
+		}
+	}
+}
+
+func TestTokenizeComment(t *testing.T) {
+	toks := collect(t, `a<!-- hidden <b> -->b`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens, want 3: %+v", len(toks), toks)
+	}
+	if toks[1].Type != CommentToken || toks[1].Data != " hidden <b> " {
+		t.Errorf("comment = %+v", toks[1])
+	}
+}
+
+func TestTokenizeDoctype(t *testing.T) {
+	toks := collect(t, `<!DOCTYPE html><html></html>`)
+	if toks[0].Type != DoctypeToken {
+		t.Fatalf("tok0 = %+v, want Doctype", toks[0])
+	}
+	if !strings.EqualFold(toks[0].Data, "html") {
+		t.Errorf("doctype data = %q", toks[0].Data)
+	}
+}
+
+func TestTokenizeScriptRawText(t *testing.T) {
+	toks := collect(t, `<script>if (a < b) { x("<p>"); }</script>after`)
+	if len(toks) != 4 {
+		t.Fatalf("got %d tokens, want 4: %+v", len(toks), toks)
+	}
+	if toks[1].Type != TextToken || !strings.Contains(toks[1].Data, `x("<p>")`) {
+		t.Errorf("script body = %+v", toks[1])
+	}
+	if toks[3].Data != "after" {
+		t.Errorf("trailing text = %+v", toks[3])
+	}
+}
+
+func TestTokenizeTextareaRawText(t *testing.T) {
+	toks := collect(t, `<textarea><b>not markup</b></textarea>`)
+	if len(toks) != 3 {
+		t.Fatalf("got %d tokens: %+v", len(toks), toks)
+	}
+	if toks[1].Data != "<b>not markup</b>" {
+		t.Errorf("textarea body = %q", toks[1].Data)
+	}
+}
+
+func TestTokenizeEntitiesInText(t *testing.T) {
+	toks := collect(t, `Fish &amp; Chips &lt;3 &#65;&#x42;`)
+	if len(toks) != 1 {
+		t.Fatalf("got %d tokens", len(toks))
+	}
+	if toks[0].Data != "Fish & Chips <3 AB" {
+		t.Errorf("text = %q", toks[0].Data)
+	}
+}
+
+func TestTokenizeBareAmpersand(t *testing.T) {
+	toks := collect(t, `AT&T and R&D`)
+	if toks[0].Data != "AT&T and R&D" {
+		t.Errorf("text = %q", toks[0].Data)
+	}
+}
+
+func TestTokenizeUnterminatedTag(t *testing.T) {
+	toks := collect(t, `<input type=text`)
+	if len(toks) != 1 || toks[0].Data != "input" {
+		t.Fatalf("got %+v", toks)
+	}
+	if v, _ := toks[0].AttrVal("type"); v != "text" {
+		t.Errorf("type attr = %q", v)
+	}
+}
+
+func TestTokenizeStrayLessThan(t *testing.T) {
+	toks := collect(t, `price < 100 dollars`)
+	var text strings.Builder
+	for _, tok := range toks {
+		if tok.Type == TextToken {
+			text.WriteString(tok.Data)
+		}
+	}
+	if !strings.Contains(text.String(), "100 dollars") {
+		t.Errorf("text lost: %q", text.String())
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	toks := collect(t, "")
+	if len(toks) != 0 {
+		t.Errorf("got %d tokens from empty input", len(toks))
+	}
+}
+
+func TestTokenizeProcessingInstruction(t *testing.T) {
+	toks := collect(t, `<?xml version="1.0"?><p>x</p>`)
+	if len(toks) != 3 || toks[0].Data != "p" {
+		t.Fatalf("got %+v", toks)
+	}
+}
+
+func TestUnescapeEntities(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"plain", "plain"},
+		{"&amp;", "&"},
+		{"&amp", "&"},
+		{"&AMP;", "&"},
+		{"&nbsp;x", " x"},
+		{"&#97;", "a"},
+		{"&#x61;", "a"},
+		{"&#X61;", "a"},
+		{"&unknown;", "&unknown;"},
+		{"&;", "&;"},
+		{"&", "&"},
+		{"&#;", "&#;"},
+		{"a&lt;b&gt;c", "a<b>c"},
+		{"&copy; 2006", "© 2006"},
+		{"&#0;", "&#0;"},             // NUL rejected
+		{"&#1114112;", "&#1114112;"}, // beyond Unicode rejected
+	}
+	for _, c := range cases {
+		if got := UnescapeEntities(c.in); got != c.want {
+			t.Errorf("UnescapeEntities(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEscapeRoundTrip(t *testing.T) {
+	in := `a < b & "c" > d`
+	if got := UnescapeEntities(EscapeText(in)); got != in {
+		t.Errorf("round trip = %q, want %q", got, in)
+	}
+	if got := UnescapeEntities(EscapeAttr(in)); got != in {
+		t.Errorf("attr round trip = %q, want %q", got, in)
+	}
+}
+
+func TestTokenTypeString(t *testing.T) {
+	names := map[TokenType]string{
+		ErrorToken: "Error", TextToken: "Text", StartTagToken: "StartTag",
+		EndTagToken: "EndTag", SelfClosingTagToken: "SelfClosingTag",
+		CommentToken: "Comment", DoctypeToken: "Doctype", TokenType(99): "Unknown",
+	}
+	for tt, want := range names {
+		if tt.String() != want {
+			t.Errorf("%d.String() = %q, want %q", tt, tt.String(), want)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package hub builds hub clusters from backlink information — the
+// pre-clustering evidence CAFC-CH (Section 3) feeds to SelectHubClusters.
+// A hub cluster is the set of form pages co-cited by one hub page; the
+// package performs the paper's backward crawl (one step back from each
+// form page, plus the site root fallback), eliminates intra-site hubs,
+// deduplicates identical co-citation sets, and filters by minimum
+// cardinality.
+package hub
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"cafc/internal/webgraph"
+)
+
+// Cluster is a set of form pages (by index into the input URL list)
+// co-cited by one hub.
+type Cluster struct {
+	// Hub is the URL of the citing page ("" after merging identical
+	// member sets from multiple hubs; Hubs lists all of them).
+	Hub string
+	// Hubs lists every hub URL that induced exactly this member set.
+	Hubs []string
+	// Members are form-page indices, sorted ascending.
+	Members []int
+}
+
+// Cardinality returns the number of co-cited form pages.
+func (c *Cluster) Cardinality() int { return len(c.Members) }
+
+// BacklinkFunc answers a link: query; it is the only capability Build
+// needs from the outside world.
+type BacklinkFunc func(url string) ([]string, error)
+
+// Stats reports what Build saw, mirroring the paper's Section 3.1
+// accounting (3,450 distinct hub clusters; >15% of forms with no
+// backlinks; intra-site hubs dropped).
+type Stats struct {
+	// FormPages is the number of input pages.
+	FormPages int
+	// NoBacklinks counts form pages for which the service returned
+	// nothing, even via the root-page fallback.
+	NoBacklinks int
+	// NoDirectBacklinks counts form pages whose own URL had no usable
+	// (non-intra-site) backlinks before the root fallback — the paper's
+	// ">15% of forms had no backlinks from AltaVista" figure.
+	NoDirectBacklinks int
+	// QueryErrors counts failed link: queries (service outages).
+	QueryErrors int
+	// IntraSiteDropped counts hub->page citations discarded because the
+	// hub lives on the page's own site.
+	IntraSiteDropped int
+	// RawHubs is the number of distinct citing pages seen.
+	RawHubs int
+	// Clusters is the number of distinct co-citation sets produced.
+	Clusters int
+}
+
+// BuildOptions disable individual design choices of the hub-cluster
+// construction so their contribution can be measured (ablations).
+type BuildOptions struct {
+	// KeepIntraSite retains citations from the page's own site instead of
+	// dropping them.
+	KeepIntraSite bool
+	// NoRootFallback skips the site-root backlink query.
+	NoRootFallback bool
+}
+
+// Build performs the backward crawl and returns the distinct hub clusters
+// over the given form pages. roots maps each form-page URL to its site
+// root; backlinks to the root are attributed to the form page (the
+// paper's fallback for incomplete backlink data). Intra-site hubs are
+// dropped. Clusters of cardinality 1 are kept here — Filter prunes by
+// cardinality separately, because the minimum-cardinality sweep is an
+// experiment knob (Figure 3).
+func Build(urls []string, roots map[string]string, backlinks BacklinkFunc) ([]Cluster, Stats) {
+	return BuildWith(urls, roots, backlinks, BuildOptions{})
+}
+
+// BuildWith is Build with explicit design-choice options.
+func BuildWith(urls []string, roots map[string]string, backlinks BacklinkFunc, opts BuildOptions) ([]Cluster, Stats) {
+	stats := Stats{FormPages: len(urls)}
+	// hub URL -> set of form-page indices it cites.
+	cites := make(map[string]map[int]bool)
+	for i, u := range urls {
+		got := false
+		gotDirect := false
+		targets := []string{u}
+		if r := roots[u]; !opts.NoRootFallback && r != "" && r != u {
+			targets = append(targets, r)
+		}
+		for ti, target := range targets {
+			links, err := backlinks(target)
+			if err != nil {
+				stats.QueryErrors++
+				continue
+			}
+			for _, h := range links {
+				if webgraph.SameSite(h, u) && !opts.KeepIntraSite {
+					stats.IntraSiteDropped++
+					continue
+				}
+				if cites[h] == nil {
+					cites[h] = make(map[int]bool)
+				}
+				cites[h][i] = true
+				got = true
+				if ti == 0 {
+					gotDirect = true
+				}
+			}
+		}
+		if !got {
+			stats.NoBacklinks++
+		}
+		if !gotDirect {
+			stats.NoDirectBacklinks++
+		}
+	}
+	stats.RawHubs = len(cites)
+	// Deduplicate identical member sets ("distinct sets of pages that
+	// are co-cited by a hub").
+	bySet := make(map[string]*Cluster)
+	for h, set := range cites {
+		members := make([]int, 0, len(set))
+		for i := range set {
+			members = append(members, i)
+		}
+		sort.Ints(members)
+		key := setKey(members)
+		if c, ok := bySet[key]; ok {
+			c.Hubs = append(c.Hubs, h)
+		} else {
+			bySet[key] = &Cluster{Hub: h, Hubs: []string{h}, Members: members}
+		}
+	}
+	out := make([]Cluster, 0, len(bySet))
+	for _, c := range bySet {
+		sort.Strings(c.Hubs)
+		c.Hub = c.Hubs[0]
+		out = append(out, *c)
+	}
+	// Deterministic order: by first member, then cardinality, then hub.
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Members[0] != b.Members[0] {
+			return a.Members[0] < b.Members[0]
+		}
+		if len(a.Members) != len(b.Members) {
+			return len(a.Members) < len(b.Members)
+		}
+		return a.Hub < b.Hub
+	})
+	stats.Clusters = len(out)
+	return out, stats
+}
+
+// Filter returns the clusters with cardinality >= minCard.
+func Filter(clusters []Cluster, minCard int) []Cluster {
+	out := make([]Cluster, 0, len(clusters))
+	for _, c := range clusters {
+		if c.Cardinality() >= minCard {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// MemberSets extracts just the member index lists, the shape
+// cluster.FarthestFirst and cluster.KMeans consume as seeds.
+func MemberSets(clusters []Cluster) [][]int {
+	out := make([][]int, len(clusters))
+	for i, c := range clusters {
+		out[i] = c.Members
+	}
+	return out
+}
+
+// setKey canonicalizes a sorted member list.
+func setKey(members []int) string {
+	var b strings.Builder
+	for _, m := range members {
+		b.WriteString(strconv.Itoa(m))
+		b.WriteByte(',')
+	}
+	return b.String()
+}

@@ -1,0 +1,242 @@
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"cafc/internal/webgen"
+	"cafc/internal/webgraph"
+)
+
+// fakeBacklinks builds a BacklinkFunc from a static map.
+func fakeBacklinks(m map[string][]string) BacklinkFunc {
+	return func(u string) ([]string, error) {
+		return m[u], nil
+	}
+}
+
+func TestBuildGroupsByHub(t *testing.T) {
+	urls := []string{
+		"http://a.example/f", // 0
+		"http://b.example/f", // 1
+		"http://c.example/f", // 2
+	}
+	bl := fakeBacklinks(map[string][]string{
+		"http://a.example/f": {"http://hub1.example/"},
+		"http://b.example/f": {"http://hub1.example/", "http://hub2.example/"},
+		"http://c.example/f": {"http://hub2.example/"},
+	})
+	clusters, stats := Build(urls, nil, bl)
+	if len(clusters) != 2 {
+		t.Fatalf("got %d clusters: %+v", len(clusters), clusters)
+	}
+	if stats.RawHubs != 2 || stats.Clusters != 2 || stats.NoBacklinks != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+	want := map[string][]int{
+		"http://hub1.example/": {0, 1},
+		"http://hub2.example/": {1, 2},
+	}
+	for _, c := range clusters {
+		w := want[c.Hub]
+		if len(w) != len(c.Members) {
+			t.Errorf("%s members = %v, want %v", c.Hub, c.Members, w)
+			continue
+		}
+		for i := range w {
+			if c.Members[i] != w[i] {
+				t.Errorf("%s members = %v, want %v", c.Hub, c.Members, w)
+			}
+		}
+	}
+}
+
+func TestBuildDropsIntraSiteHubs(t *testing.T) {
+	urls := []string{"http://a.example/f"}
+	bl := fakeBacklinks(map[string][]string{
+		"http://a.example/f": {"http://a.example/", "http://a.example/links.html"},
+	})
+	clusters, stats := Build(urls, nil, bl)
+	if len(clusters) != 0 {
+		t.Errorf("intra-site hubs survived: %+v", clusters)
+	}
+	if stats.IntraSiteDropped != 2 {
+		t.Errorf("IntraSiteDropped = %d", stats.IntraSiteDropped)
+	}
+	if stats.NoBacklinks != 1 {
+		t.Errorf("NoBacklinks = %d (intra-site only means no usable backlinks)", stats.NoBacklinks)
+	}
+}
+
+func TestBuildUsesRootFallback(t *testing.T) {
+	urls := []string{"http://a.example/f"}
+	roots := map[string]string{"http://a.example/f": "http://a.example/"}
+	bl := fakeBacklinks(map[string][]string{
+		// No direct backlinks to the form page, but the root is cited.
+		"http://a.example/": {"http://hub.example/"},
+	})
+	clusters, stats := Build(urls, roots, bl)
+	if len(clusters) != 1 || clusters[0].Members[0] != 0 {
+		t.Fatalf("root fallback failed: %+v", clusters)
+	}
+	if stats.NoBacklinks != 0 {
+		t.Errorf("NoBacklinks = %d", stats.NoBacklinks)
+	}
+}
+
+func TestBuildMergesIdenticalSets(t *testing.T) {
+	urls := []string{"http://a.example/f", "http://b.example/f"}
+	bl := fakeBacklinks(map[string][]string{
+		"http://a.example/f": {"http://hub1.example/", "http://hub2.example/"},
+		"http://b.example/f": {"http://hub1.example/", "http://hub2.example/"},
+	})
+	clusters, stats := Build(urls, nil, bl)
+	if len(clusters) != 1 {
+		t.Fatalf("identical co-citation sets not merged: %+v", clusters)
+	}
+	if len(clusters[0].Hubs) != 2 {
+		t.Errorf("Hubs = %v", clusters[0].Hubs)
+	}
+	if stats.RawHubs != 2 || stats.Clusters != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestBuildCountsQueryErrors(t *testing.T) {
+	urls := []string{"http://a.example/f"}
+	bl := func(u string) ([]string, error) { return nil, errors.New("down") }
+	clusters, stats := Build(urls, nil, bl)
+	if len(clusters) != 0 || stats.QueryErrors != 1 || stats.NoBacklinks != 1 {
+		t.Errorf("clusters=%v stats=%+v", clusters, stats)
+	}
+}
+
+func TestFilterByCardinality(t *testing.T) {
+	clusters := []Cluster{
+		{Members: []int{0}},
+		{Members: []int{0, 1, 2}},
+		{Members: []int{3, 4, 5, 6, 7, 8, 9, 10}},
+	}
+	if got := Filter(clusters, 2); len(got) != 2 {
+		t.Errorf("Filter(2) = %d clusters", len(got))
+	}
+	if got := Filter(clusters, 8); len(got) != 1 {
+		t.Errorf("Filter(8) = %d clusters", len(got))
+	}
+	if got := Filter(clusters, 100); len(got) != 0 {
+		t.Errorf("Filter(100) = %d clusters", len(got))
+	}
+}
+
+func TestMemberSets(t *testing.T) {
+	clusters := []Cluster{{Members: []int{1, 2}}, {Members: []int{3}}}
+	sets := MemberSets(clusters)
+	if len(sets) != 2 || len(sets[0]) != 2 || sets[1][0] != 3 {
+		t.Errorf("MemberSets = %v", sets)
+	}
+}
+
+func TestBuildOnGeneratedCorpus(t *testing.T) {
+	c := webgen.Generate(webgen.Config{Seed: 11, FormPages: 160})
+	g := webgraph.FromCorpus(c)
+	svc := webgraph.NewBacklinkService(g, 100, 0, 1)
+	clusters, stats := Build(c.FormPages, c.RootOf, svc.Backlinks)
+	if stats.Clusters == 0 {
+		t.Fatal("no hub clusters from generated corpus")
+	}
+	if stats.IntraSiteDropped == 0 {
+		t.Error("no intra-site citations dropped (root pages link their forms)")
+	}
+	// Orphan fraction should leave some pages without backlinks.
+	if stats.NoBacklinks == 0 {
+		t.Error("expected some form pages without backlinks")
+	}
+	if float64(stats.NoBacklinks) > 0.4*float64(len(c.FormPages)) {
+		t.Errorf("too many orphans: %d of %d", stats.NoBacklinks, len(c.FormPages))
+	}
+	// Usable (cardinality >= 2) clusters must be mostly homogeneous.
+	usable := Filter(clusters, 2)
+	if len(usable) == 0 {
+		t.Fatal("no usable clusters")
+	}
+	homog := 0
+	for _, cl := range usable {
+		d := c.Labels[c.FormPages[cl.Members[0]]]
+		pure := true
+		for _, m := range cl.Members[1:] {
+			if c.Labels[c.FormPages[m]] != d {
+				pure = false
+				break
+			}
+		}
+		if pure {
+			homog++
+		}
+	}
+	frac := float64(homog) / float64(len(usable))
+	if frac < 0.4 {
+		t.Errorf("homogeneous usable-cluster fraction = %.2f, too low", frac)
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	c := webgen.Generate(webgen.Config{Seed: 1, FormPages: 454})
+	g := webgraph.FromCorpus(c)
+	svc := webgraph.NewBacklinkService(g, 100, 0, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(c.FormPages, c.RootOf, svc.Backlinks)
+	}
+}
+
+// TestBuildInvariantsProperty checks structural invariants over random
+// backlink topologies: members sorted, unique, in range; clusters
+// deduplicated; stats consistent.
+func TestBuildInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 3 + rng.Intn(20)
+		urls := make([]string, n)
+		for i := range urls {
+			urls[i] = fmt.Sprintf("http://site%d.example/f", i)
+		}
+		nHubs := 1 + rng.Intn(8)
+		links := make(map[string][]string)
+		for h := 0; h < nHubs; h++ {
+			hubURL := fmt.Sprintf("http://hub%d.example/", h)
+			for i := 0; i < n; i++ {
+				if rng.Float64() < 0.3 {
+					links[urls[i]] = append(links[urls[i]], hubURL)
+				}
+			}
+		}
+		clusters, stats := Build(urls, nil, fakeBacklinks(links))
+		if stats.Clusters != len(clusters) {
+			return false
+		}
+		seen := map[string]bool{}
+		for _, c := range clusters {
+			key := setKey(c.Members)
+			if seen[key] {
+				return false // dedup violated
+			}
+			seen[key] = true
+			for i, m := range c.Members {
+				if m < 0 || m >= n {
+					return false
+				}
+				if i > 0 && c.Members[i-1] >= m {
+					return false // not strictly sorted
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

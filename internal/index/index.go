@@ -1,0 +1,186 @@
+// Package index provides a TF-IDF inverted index over form pages with
+// ranked retrieval, plus cluster-level aggregation (database selection):
+// the query-based exploration interface the paper's Section 6 proposes
+// for navigating the clustered hidden-web directory, and the source-
+// selection primitive metasearchers build on top of it.
+package index
+
+import (
+	"math"
+	"sort"
+
+	"cafc/internal/text"
+)
+
+// Doc is one indexed document.
+type Doc struct {
+	ID      int
+	URL     string
+	Title   string
+	Cluster int
+	// Len is the Euclidean norm of the document's TF vector, used for
+	// cosine normalization.
+	Len float64
+}
+
+// posting records a document's term frequency for one term.
+type posting struct {
+	doc int
+	tf  float64
+}
+
+// Index is an inverted index with cosine-normalized TF-IDF ranking.
+// Build it with Add calls, then Freeze before searching. The zero value
+// is ready for Add.
+type Index struct {
+	docs     []Doc
+	postings map[string][]posting
+	frozen   bool
+}
+
+// New returns an empty index.
+func New() *Index {
+	return &Index{postings: make(map[string][]posting)}
+}
+
+// Add indexes a document's raw text (tokenized, stop-worded and stemmed
+// internally) and returns its id. Add panics after Freeze.
+func (ix *Index) Add(url, title, body string, cluster int) int {
+	if ix.frozen {
+		panic("index: Add after Freeze")
+	}
+	if ix.postings == nil {
+		ix.postings = make(map[string][]posting)
+	}
+	id := len(ix.docs)
+	tf := make(map[string]float64)
+	for _, t := range text.Terms(title + " " + body) {
+		tf[t]++
+	}
+	var norm float64
+	for t, f := range tf {
+		ix.postings[t] = append(ix.postings[t], posting{doc: id, tf: f})
+		norm += f * f
+	}
+	ix.docs = append(ix.docs, Doc{
+		ID: id, URL: url, Title: title, Cluster: cluster, Len: math.Sqrt(norm),
+	})
+	return id
+}
+
+// Freeze finalizes the index for searching. Idempotent.
+func (ix *Index) Freeze() {
+	ix.frozen = true
+}
+
+// Docs returns the number of indexed documents.
+func (ix *Index) Docs() int { return len(ix.docs) }
+
+// Vocabulary returns the number of distinct terms.
+func (ix *Index) Vocabulary() int { return len(ix.postings) }
+
+// idf returns log(1 + N/n_t) — the +1 keeps single-document corpora
+// searchable.
+func (ix *Index) idf(term string) float64 {
+	n := len(ix.postings[term])
+	if n == 0 {
+		return 0
+	}
+	return math.Log(1 + float64(len(ix.docs))/float64(n))
+}
+
+// Hit is one ranked retrieval result.
+type Hit struct {
+	URL     string
+	Title   string
+	Cluster int
+	Score   float64
+}
+
+// Search ranks documents against the query by cosine-normalized TF-IDF
+// and returns the top limit hits (all matches when limit <= 0).
+func (ix *Index) Search(query string, limit int) []Hit {
+	ix.Freeze()
+	qterms := text.Terms(query)
+	if len(qterms) == 0 {
+		return nil
+	}
+	qtf := make(map[string]float64)
+	for _, t := range qterms {
+		qtf[t]++
+	}
+	scores := make(map[int]float64)
+	for t, qf := range qtf {
+		idf := ix.idf(t)
+		if idf == 0 {
+			continue
+		}
+		qw := qf * idf
+		for _, p := range ix.postings[t] {
+			scores[p.doc] += qw * p.tf * idf
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, s := range scores {
+		d := ix.docs[doc]
+		if d.Len > 0 {
+			s /= d.Len
+		}
+		hits = append(hits, Hit{URL: d.URL, Title: d.Title, Cluster: d.Cluster, Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].URL < hits[j].URL
+	})
+	if limit > 0 && len(hits) > limit {
+		hits = hits[:limit]
+	}
+	return hits
+}
+
+// ClusterHit aggregates retrieval evidence per cluster — the database-
+// selection view: which groups of hidden-web databases best match the
+// query.
+type ClusterHit struct {
+	Cluster int
+	Score   float64
+	// Matches is the number of member documents matching the query.
+	Matches int
+	// Best is the highest-scoring member.
+	Best Hit
+}
+
+// SearchClusters ranks clusters by the sum of their members' retrieval
+// scores.
+func (ix *Index) SearchClusters(query string, limit int) []ClusterHit {
+	hits := ix.Search(query, 0)
+	agg := make(map[int]*ClusterHit)
+	for _, h := range hits {
+		ch := agg[h.Cluster]
+		if ch == nil {
+			ch = &ClusterHit{Cluster: h.Cluster, Best: h}
+			agg[h.Cluster] = ch
+		}
+		ch.Score += h.Score
+		ch.Matches++
+		if h.Score > ch.Best.Score {
+			ch.Best = h
+		}
+	}
+	out := make([]ClusterHit, 0, len(agg))
+	for _, ch := range agg {
+		out = append(out, *ch)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Cluster < out[j].Cluster
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}

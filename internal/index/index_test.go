@@ -1,0 +1,143 @@
+package index
+
+import (
+	"testing"
+
+	"cafc/internal/webgen"
+)
+
+func sampleIndex() *Index {
+	ix := New()
+	ix.Add("http://a.example/", "Cheap Flights", "compare airfares from all major airlines nonstop flights", 0)
+	ix.Add("http://b.example/", "Flight Deals", "last minute flight deals roundtrip tickets", 0)
+	ix.Add("http://c.example/", "Job Search", "thousands of job openings employers hiring", 1)
+	ix.Add("http://d.example/", "Books Online", "millions of new and used books for sale", 2)
+	return ix
+}
+
+func TestSearchRanksRelevantFirst(t *testing.T) {
+	ix := sampleIndex()
+	hits := ix.Search("cheap flights", 10)
+	if len(hits) < 2 {
+		t.Fatalf("got %d hits", len(hits))
+	}
+	if hits[0].URL != "http://a.example/" {
+		t.Errorf("top hit = %s", hits[0].URL)
+	}
+	for _, h := range hits {
+		if h.Cluster != 0 {
+			t.Errorf("non-flight page %s matched", h.URL)
+		}
+	}
+}
+
+func TestSearchStemsQuery(t *testing.T) {
+	ix := sampleIndex()
+	// "flying booked jobs" stems share roots with indexed terms.
+	hits := ix.Search("jobs", 10)
+	if len(hits) != 1 || hits[0].Cluster != 1 {
+		t.Fatalf("hits = %+v", hits)
+	}
+}
+
+func TestSearchLimit(t *testing.T) {
+	ix := sampleIndex()
+	hits := ix.Search("flight deals airline tickets", 1)
+	if len(hits) != 1 {
+		t.Errorf("limit ignored: %d hits", len(hits))
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	ix := sampleIndex()
+	if hits := ix.Search("zebra quantum", 10); len(hits) != 0 {
+		t.Errorf("got %d hits for nonsense", len(hits))
+	}
+	if hits := ix.Search("", 10); hits != nil {
+		t.Errorf("empty query returned %v", hits)
+	}
+	if hits := ix.Search("the of and", 10); len(hits) != 0 {
+		t.Errorf("stop-word query returned %d hits", len(hits))
+	}
+}
+
+func TestSearchClustersAggregates(t *testing.T) {
+	ix := sampleIndex()
+	chs := ix.SearchClusters("flight tickets deals", 10)
+	if len(chs) == 0 {
+		t.Fatal("no cluster hits")
+	}
+	if chs[0].Cluster != 0 {
+		t.Errorf("top cluster = %d", chs[0].Cluster)
+	}
+	if chs[0].Matches != 2 {
+		t.Errorf("matches = %d, want 2", chs[0].Matches)
+	}
+	if chs[0].Best.URL == "" {
+		t.Error("best hit missing")
+	}
+}
+
+func TestAddAfterFreezePanics(t *testing.T) {
+	ix := sampleIndex()
+	ix.Freeze()
+	defer func() {
+		if recover() == nil {
+			t.Error("Add after Freeze did not panic")
+		}
+	}()
+	ix.Add("u", "t", "b", 0)
+}
+
+func TestCounts(t *testing.T) {
+	ix := sampleIndex()
+	if ix.Docs() != 4 {
+		t.Errorf("Docs = %d", ix.Docs())
+	}
+	if ix.Vocabulary() == 0 {
+		t.Error("empty vocabulary")
+	}
+}
+
+func TestIndexOverGeneratedCorpus(t *testing.T) {
+	c := webgen.Generate(webgen.Config{Seed: 12, FormPages: 80})
+	ix := New()
+	for i, u := range c.FormPages {
+		ix.Add(u, "", c.ByURL[u].HTML, i%8)
+	}
+	// Domain-specific query should surface pages of that domain.
+	hits := ix.Search("hotel room availability check in", 10)
+	if len(hits) == 0 {
+		t.Fatal("no hits on generated corpus")
+	}
+	hotel := 0
+	for _, h := range hits[:min(5, len(hits))] {
+		if c.Labels[h.URL] == webgen.Hotel {
+			hotel++
+		}
+	}
+	if hotel < 3 {
+		t.Errorf("only %d of top 5 are hotel pages", hotel)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func BenchmarkSearch(b *testing.B) {
+	c := webgen.Generate(webgen.Config{Seed: 1, FormPages: 160})
+	ix := New()
+	for i, u := range c.FormPages {
+		ix.Add(u, "", c.ByURL[u].HTML, i%8)
+	}
+	ix.Freeze()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.Search("cheap flights hotel rooms", 10)
+	}
+}

@@ -1,0 +1,287 @@
+// Package match finds attribute correspondences among the forms of one
+// CAFC cluster and merges them into a unified query interface — the
+// downstream applications the paper names as consumers of its output
+// (schema matching across Web query interfaces [16, 37] and interface
+// integration [18, 19, 38] "require as inputs groups of similar forms
+// such as the ones derived by our approach").
+//
+// The matcher is deliberately in the spirit of that literature's
+// instance- and schema-level evidence: attributes correspond when their
+// labels share stemmed tokens and/or their option value sets overlap,
+// under the standard constraint that two attributes of the same form
+// never correspond to each other.
+package match
+
+import (
+	"sort"
+	"strings"
+
+	"cafc/internal/form"
+	"cafc/internal/text"
+)
+
+// Attribute is one queryable field of one form.
+type Attribute struct {
+	// FormIndex identifies the owning form within the cluster.
+	FormIndex int
+	// Label is the visible label (falling back to a cleaned field name).
+	Label string
+	// Name is the HTML field name.
+	Name string
+	// Options are the value strings of select/checkbox groups (empty for
+	// text inputs).
+	Options []string
+	// labelTerms and optionSet are the precomputed evidence.
+	labelTerms map[string]bool
+	optionSet  map[string]bool
+}
+
+// ExtractAttributes pulls the matchable attributes out of a form: visible,
+// non-button fields, with labels recovered from <label> elements, nearby
+// markup having been folded into Field.Label by the form parser, or the
+// field name as a last resort.
+func ExtractAttributes(formIndex int, f *form.Form) []Attribute {
+	var out []Attribute
+	for _, fld := range f.Fields {
+		if fld.Hidden() || fld.Tag == "button" {
+			continue
+		}
+		if fld.Tag == "input" {
+			switch fld.Type {
+			case "submit", "button", "reset", "image":
+				continue
+			}
+		}
+		label := fld.Label
+		if label == "" {
+			label = strings.NewReplacer("_", " ", "-", " ", ".", " ").Replace(fld.Name)
+		}
+		a := Attribute{
+			FormIndex: formIndex,
+			Label:     label,
+			Name:      fld.Name,
+			Options:   fld.Options,
+		}
+		a.labelTerms = termSet(text.Terms(label))
+		opts := make(map[string]bool, len(fld.Options))
+		for _, o := range fld.Options {
+			for _, t := range text.Terms(o) {
+				opts[t] = true
+			}
+		}
+		a.optionSet = opts
+		out = append(out, a)
+	}
+	return out
+}
+
+func termSet(ts []string) map[string]bool {
+	m := make(map[string]bool, len(ts))
+	for _, t := range ts {
+		m[t] = true
+	}
+	return m
+}
+
+// jaccard computes |a∩b| / |a∪b| for term sets; two empty sets have
+// similarity 0 (no evidence is not agreement).
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	small, big := a, b
+	if len(big) < len(small) {
+		small, big = big, small
+	}
+	inter := 0
+	for t := range small {
+		if big[t] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// Similarity scores two attributes in [0, 1]: the maximum of label-token
+// Jaccard and option-value Jaccard. Labels and values are alternative
+// evidence channels — sites that rename a concept ("From" vs "Origin")
+// still share its value domain, and vice versa.
+func Similarity(a, b *Attribute) float64 {
+	ls := jaccard(a.labelTerms, b.labelTerms)
+	os := jaccard(a.optionSet, b.optionSet)
+	if os > ls {
+		return os
+	}
+	return ls
+}
+
+// Correspondence is a group of attributes judged to represent the same
+// concept across forms.
+type Correspondence struct {
+	// Label is the most frequent label in the group.
+	Label string
+	// Members are the grouped attributes.
+	Members []Attribute
+	// Forms is the number of distinct forms represented.
+	Forms int
+}
+
+// Options configures matching.
+type Options struct {
+	// Threshold is the minimum similarity for two groups to merge
+	// (default 0.5).
+	Threshold float64
+}
+
+// Find groups the attributes of a cluster's forms into correspondences
+// with constrained average-link agglomeration: repeatedly merge the two
+// most similar groups whose member forms are disjoint, until no pair
+// clears the threshold. Singleton groups (attributes with no match) are
+// returned too.
+func Find(forms []*form.Form, opts Options) []Correspondence {
+	if opts.Threshold == 0 {
+		opts.Threshold = 0.5
+	}
+	var attrs []Attribute
+	for i, f := range forms {
+		attrs = append(attrs, ExtractAttributes(i, f)...)
+	}
+	n := len(attrs)
+	groups := make([][]int, n)
+	for i := range groups {
+		groups[i] = []int{i}
+	}
+	// Pairwise attribute similarities.
+	sim := make([][]float64, n)
+	for i := range sim {
+		sim[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			s := Similarity(&attrs[i], &attrs[j])
+			sim[i][j], sim[j][i] = s, s
+		}
+	}
+	groupSim := func(a, b []int) float64 {
+		var sum float64
+		for _, x := range a {
+			for _, y := range b {
+				sum += sim[x][y]
+			}
+		}
+		return sum / float64(len(a)*len(b))
+	}
+	conflict := func(a, b []int) bool {
+		seen := map[int]bool{}
+		for _, x := range a {
+			seen[attrs[x].FormIndex] = true
+		}
+		for _, y := range b {
+			if seen[attrs[y].FormIndex] {
+				return true
+			}
+		}
+		return false
+	}
+	for {
+		bi, bj, best := -1, -1, opts.Threshold
+		for i := 0; i < len(groups); i++ {
+			for j := i + 1; j < len(groups); j++ {
+				if conflict(groups[i], groups[j]) {
+					continue
+				}
+				if s := groupSim(groups[i], groups[j]); s >= best {
+					bi, bj, best = i, j, s
+				}
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		groups[bi] = append(groups[bi], groups[bj]...)
+		groups = append(groups[:bj], groups[bj+1:]...)
+	}
+	// Materialize, largest groups first, deterministic order.
+	out := make([]Correspondence, 0, len(groups))
+	for _, g := range groups {
+		c := Correspondence{}
+		labelCount := map[string]int{}
+		formsSeen := map[int]bool{}
+		for _, idx := range g {
+			c.Members = append(c.Members, attrs[idx])
+			labelCount[attrs[idx].Label]++
+			formsSeen[attrs[idx].FormIndex] = true
+		}
+		c.Forms = len(formsSeen)
+		bestLabel, bestN := "", 0
+		for l, cnt := range labelCount {
+			if cnt > bestN || (cnt == bestN && l < bestLabel) {
+				bestLabel, bestN = l, cnt
+			}
+		}
+		c.Label = bestLabel
+		sort.Slice(c.Members, func(i, j int) bool {
+			if c.Members[i].FormIndex != c.Members[j].FormIndex {
+				return c.Members[i].FormIndex < c.Members[j].FormIndex
+			}
+			return c.Members[i].Name < c.Members[j].Name
+		})
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Members) != len(out[j].Members) {
+			return len(out[i].Members) > len(out[j].Members)
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// UnifiedAttribute is one field of a merged query interface.
+type UnifiedAttribute struct {
+	Label string
+	// Options is the union of the correspondence's option values (empty
+	// means a text input).
+	Options []string
+	// Coverage is the fraction of the cluster's forms exposing the
+	// attribute.
+	Coverage float64
+}
+
+// Unify builds a WISE-Integrator-style unified interface from the
+// correspondences found across a cluster's forms: attributes covering at
+// least minCoverage of the forms are kept, with option values unioned.
+func Unify(forms []*form.Form, opts Options, minCoverage float64) []UnifiedAttribute {
+	if minCoverage == 0 {
+		minCoverage = 0.2
+	}
+	cors := Find(forms, opts)
+	total := float64(len(forms))
+	var out []UnifiedAttribute
+	for _, c := range cors {
+		cov := float64(c.Forms) / total
+		if cov < minCoverage {
+			continue
+		}
+		optSet := map[string]bool{}
+		for _, m := range c.Members {
+			for _, o := range m.Options {
+				optSet[o] = true
+			}
+		}
+		opts := make([]string, 0, len(optSet))
+		for o := range optSet {
+			opts = append(opts, o)
+		}
+		sort.Strings(opts)
+		out = append(out, UnifiedAttribute{Label: c.Label, Options: opts, Coverage: cov})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Coverage != out[j].Coverage {
+			return out[i].Coverage > out[j].Coverage
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}

@@ -1,0 +1,225 @@
+package match
+
+import (
+	"strings"
+	"testing"
+
+	"cafc/internal/form"
+	"cafc/internal/webgen"
+)
+
+// domainForms parses every form of one domain from a generated corpus —
+// the input a CAFC cluster would hand to the matcher.
+func domainForms(t testing.TB, seed int64, n int, d webgen.Domain) []*form.Form {
+	t.Helper()
+	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n})
+	var out []*form.Form
+	for _, u := range c.FormPages {
+		if c.Labels[u] != d {
+			continue
+		}
+		fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp.Form.AttributeCount() > 1 { // keyword boxes carry no schema
+			out = append(out, fp.Form)
+		}
+	}
+	return out
+}
+
+// conceptOf maps an attribute to its gold concept index via the domain's
+// label alternatives, or -1.
+func conceptOf(a *Attribute, concepts [][]string) int {
+	norm := func(s string) string {
+		return strings.Join(strings.Fields(strings.ToLower(strings.NewReplacer("_", " ", ":", "").Replace(s))), " ")
+	}
+	key := norm(a.Label)
+	for ci, alts := range concepts {
+		for _, alt := range alts {
+			if norm(alt) == key {
+				return ci
+			}
+		}
+	}
+	return -1
+}
+
+func TestFindGroupsJobAttributes(t *testing.T) {
+	forms := domainForms(t, 1, 160, webgen.Job)
+	if len(forms) < 8 {
+		t.Fatalf("only %d job forms", len(forms))
+	}
+	concepts := webgen.AttributeConcepts(webgen.Job)
+	cors := Find(forms, Options{})
+
+	// Pair precision: attributes grouped together should share a concept.
+	pairs, pure := 0, 0
+	for _, c := range cors {
+		for i := 0; i < len(c.Members); i++ {
+			ci := conceptOf(&c.Members[i], concepts)
+			for j := i + 1; j < len(c.Members); j++ {
+				cj := conceptOf(&c.Members[j], concepts)
+				if ci < 0 || cj < 0 {
+					continue
+				}
+				pairs++
+				if ci == cj {
+					pure++
+				}
+			}
+		}
+	}
+	if pairs == 0 {
+		t.Fatal("no evaluable pairs — gold mapping broken")
+	}
+	precision := float64(pure) / float64(pairs)
+	t.Logf("pair precision %.3f over %d pairs, %d correspondences", precision, pairs, len(cors))
+	if precision < 0.85 {
+		t.Errorf("pair precision %.3f too low", precision)
+	}
+
+	// The heterogeneously named category concept must be consolidated:
+	// some correspondence should span many forms with label variants.
+	bestForms := 0
+	for _, c := range cors {
+		if c.Forms > bestForms {
+			bestForms = c.Forms
+		}
+	}
+	if bestForms < len(forms)/3 {
+		t.Errorf("largest correspondence spans only %d of %d forms", bestForms, len(forms))
+	}
+}
+
+func TestFindHeterogeneousLabelsMatchByValues(t *testing.T) {
+	// Two forms naming the same concept differently, sharing option
+	// values — the Figure 1(a)/(b) situation.
+	a := parseForm(t, `<form>
+		Job Category: <select name="job_category"><option>Engineering</option><option>Nursing</option><option>Sales</option></select>
+		<input type=submit value="Search Jobs"></form>`)
+	b := parseForm(t, `<form>
+		Industry: <select name="industry"><option>Engineering</option><option>Nursing</option><option>Sales</option></select>
+		<input type=submit value="Find Jobs"></form>`)
+	cors := Find([]*form.Form{a, b}, Options{})
+	for _, c := range cors {
+		if len(c.Members) == 2 {
+			return // matched across the rename
+		}
+	}
+	t.Errorf("value-identical attributes with different labels not matched: %+v", cors)
+}
+
+func TestFindSameFormConstraint(t *testing.T) {
+	// One form with two city selects (From/To sharing values): they must
+	// NOT be merged with each other.
+	f := parseForm(t, `<form>
+		From: <select name="from"><option>Boston</option><option>Denver</option></select>
+		To: <select name="to"><option>Boston</option><option>Denver</option></select>
+		<input type=submit value="Search Flights"></form>`)
+	cors := Find([]*form.Form{f}, Options{})
+	for _, c := range cors {
+		if len(c.Members) > 1 {
+			t.Errorf("same-form attributes merged: %+v", c)
+		}
+	}
+}
+
+func TestSimilarityChannels(t *testing.T) {
+	mk := func(label string, options ...string) Attribute {
+		f := &form.Form{Fields: []form.Field{{Tag: "select", Name: label, Options: options}}}
+		return ExtractAttributes(0, f)[0]
+	}
+	// Same labels, no options.
+	a, b := mk("departure_city"), mk("departure_city")
+	if s := Similarity(&a, &b); s < 0.99 {
+		t.Errorf("identical labels: %v", s)
+	}
+	// Disjoint labels, same options.
+	a, b = mk("from", "Boston", "Denver"), mk("origin", "Boston", "Denver")
+	if s := Similarity(&a, &b); s < 0.99 {
+		t.Errorf("identical options: %v", s)
+	}
+	// Nothing shared.
+	a, b = mk("author"), mk("mileage")
+	if s := Similarity(&a, &b); s != 0 {
+		t.Errorf("disjoint attributes: %v", s)
+	}
+}
+
+func TestUnifyBuildsMergedInterface(t *testing.T) {
+	forms := domainForms(t, 2, 160, webgen.Airfare)
+	unified := Unify(forms, Options{}, 0.3)
+	if len(unified) == 0 {
+		t.Fatal("no unified attributes")
+	}
+	top := unified[0]
+	if top.Coverage < 0.3 {
+		t.Errorf("top coverage = %.2f", top.Coverage)
+	}
+	// The merged city attribute must union option values from many sites.
+	foundCities := false
+	for _, u := range unified {
+		has := 0
+		for _, o := range u.Options {
+			switch o {
+			case "Boston", "Denver", "Seattle", "Miami":
+				has++
+			}
+		}
+		if has >= 3 {
+			foundCities = true
+		}
+	}
+	if !foundCities {
+		t.Error("no unified attribute unions the city vocabulary")
+	}
+	// Coverage ordering.
+	for i := 1; i < len(unified); i++ {
+		if unified[i].Coverage > unified[i-1].Coverage {
+			t.Fatal("unified attributes not sorted by coverage")
+		}
+	}
+}
+
+func TestExtractAttributesSkipsNoise(t *testing.T) {
+	f := parseForm(t, `<form>
+		<input type="hidden" name="sid" value="1">
+		Title: <input type="text" name="title">
+		<input type="submit" value="Search">
+		<button type="submit">Go</button></form>`)
+	attrs := ExtractAttributes(0, f)
+	if len(attrs) != 1 || attrs[0].Name != "title" {
+		t.Errorf("attrs = %+v", attrs)
+	}
+}
+
+func parseForm(t *testing.T, html string) *form.Form {
+	t.Helper()
+	fp, err := form.Parse("http://t.example/", html, form.DefaultWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp.Form
+}
+
+func BenchmarkFind(b *testing.B) {
+	c := webgen.Generate(webgen.Config{Seed: 1, FormPages: 160})
+	var forms []*form.Form
+	for _, u := range c.FormPages {
+		if c.Labels[u] != webgen.Job {
+			continue
+		}
+		fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+		if err != nil {
+			b.Fatal(err)
+		}
+		forms = append(forms, fp.Form)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Find(forms, Options{})
+	}
+}

@@ -1,0 +1,244 @@
+// Package metrics implements the cluster-quality measures the paper
+// evaluates with: entropy (Equation 5, size-weighted across clusters) and
+// the F-measure (Equation 6, the weighted average of each cluster's best
+// per-class F score), plus precision/recall, purity and a confusion matrix
+// for error analysis.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Labeling pairs a clustering assignment with gold class labels. Both
+// slices are indexed by object; assignments may use any small non-negative
+// integers, classes are arbitrary strings.
+type Labeling struct {
+	Assign  []int
+	Classes []string
+}
+
+// counts builds n_{ij} (members of class i in cluster j), n_j and n_i.
+func (l Labeling) counts() (nij map[int]map[string]int, nj map[int]int, ni map[string]int, n int) {
+	nij = make(map[int]map[string]int)
+	nj = make(map[int]int)
+	ni = make(map[string]int)
+	for idx, c := range l.Assign {
+		if c < 0 {
+			continue
+		}
+		cls := l.Classes[idx]
+		if nij[c] == nil {
+			nij[c] = make(map[string]int)
+		}
+		nij[c][cls]++
+		nj[c]++
+		ni[cls]++
+		n++
+	}
+	return
+}
+
+// Entropy returns the paper's total entropy: for each cluster j the class
+// distribution entropy −Σ p_ij log p_ij (natural log, matching Equation
+// 5's unspecified base — the comparisons are base-invariant), summed over
+// clusters weighted by cluster size. Lower is better; 0 means every
+// cluster is pure.
+func Entropy(l Labeling) float64 {
+	nij, nj, _, n := l.counts()
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for j, classes := range nij {
+		size := float64(nj[j])
+		var h float64
+		for _, cnt := range classes {
+			p := float64(cnt) / size
+			h -= p * math.Log(p)
+		}
+		total += (size / float64(n)) * h
+	}
+	return total
+}
+
+// Recall returns n_ij / n_i for class cls in cluster j.
+func Recall(l Labeling, cls string, j int) float64 {
+	nij, _, ni, _ := l.counts()
+	if ni[cls] == 0 {
+		return 0
+	}
+	return float64(nij[j][cls]) / float64(ni[cls])
+}
+
+// Precision returns n_ij / n_j for class cls in cluster j.
+func Precision(l Labeling, cls string, j int) float64 {
+	nij, nj, _, _ := l.counts()
+	if nj[j] == 0 {
+		return 0
+	}
+	return float64(nij[j][cls]) / float64(nj[j])
+}
+
+// FMeasure returns the paper's overall F-measure: for each cluster j take
+// the best F(i, j) = 2PR/(P+R) over classes i, then average over clusters
+// weighted by cluster size. 1 is perfect.
+func FMeasure(l Labeling) float64 {
+	nij, nj, ni, n := l.counts()
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for j, classes := range nij {
+		var bestF float64
+		for cls, cnt := range classes {
+			p := float64(cnt) / float64(nj[j])
+			r := float64(cnt) / float64(ni[cls])
+			if p+r == 0 {
+				continue
+			}
+			f := 2 * p * r / (p + r)
+			if f > bestF {
+				bestF = f
+			}
+		}
+		total += float64(nj[j]) / float64(n) * bestF
+	}
+	return total
+}
+
+// Purity returns the fraction of objects that belong to their cluster's
+// majority class.
+func Purity(l Labeling) float64 {
+	nij, _, _, n := l.counts()
+	if n == 0 {
+		return 0
+	}
+	correct := 0
+	for _, classes := range nij {
+		best := 0
+		for _, cnt := range classes {
+			if cnt > best {
+				best = cnt
+			}
+		}
+		correct += best
+	}
+	return float64(correct) / float64(n)
+}
+
+// IsHomogeneous reports whether every member of the group (given as object
+// indices into classes) shares one class — the paper's criterion for a
+// "homogeneous" hub cluster.
+func IsHomogeneous(members []int, classes []string) bool {
+	if len(members) == 0 {
+		return true
+	}
+	first := classes[members[0]]
+	for _, m := range members[1:] {
+		if classes[m] != first {
+			return false
+		}
+	}
+	return true
+}
+
+// MajorityClass returns the most frequent class among the members and its
+// count; ties break lexicographically for determinism.
+func MajorityClass(members []int, classes []string) (string, int) {
+	counts := make(map[string]int)
+	for _, m := range members {
+		counts[classes[m]]++
+	}
+	best, bestCnt := "", 0
+	for cls, cnt := range counts {
+		if cnt > bestCnt || (cnt == bestCnt && cls < best) {
+			best, bestCnt = cls, cnt
+		}
+	}
+	return best, bestCnt
+}
+
+// Misclustered returns the indices of objects that do not belong to their
+// cluster's majority class — the paper's Section 4.2 error analysis.
+func Misclustered(l Labeling) []int {
+	maxC := -1
+	for _, c := range l.Assign {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	majority := make(map[int]string)
+	for j := 0; j <= maxC; j++ {
+		var members []int
+		for idx, c := range l.Assign {
+			if c == j {
+				members = append(members, idx)
+			}
+		}
+		if len(members) == 0 {
+			continue
+		}
+		cls, _ := MajorityClass(members, l.Classes)
+		majority[j] = cls
+	}
+	var out []int
+	for idx, c := range l.Assign {
+		if c < 0 {
+			continue
+		}
+		if l.Classes[idx] != majority[c] {
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// Confusion is a cluster-by-class contingency table with stable ordering.
+type Confusion struct {
+	Clusters []int
+	Classes  []string
+	Counts   map[int]map[string]int
+}
+
+// NewConfusion builds the contingency table for a labeling.
+func NewConfusion(l Labeling) *Confusion {
+	nij, nj, ni, _ := l.counts()
+	c := &Confusion{Counts: nij}
+	for j := range nj {
+		c.Clusters = append(c.Clusters, j)
+	}
+	sort.Ints(c.Clusters)
+	for cls := range ni {
+		c.Classes = append(c.Classes, cls)
+	}
+	sort.Strings(c.Classes)
+	return c
+}
+
+// String renders the table for terminal output.
+func (c *Confusion) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s", "cluster")
+	for _, cls := range c.Classes {
+		fmt.Fprintf(&b, "%10s", truncate(cls, 9))
+	}
+	b.WriteByte('\n')
+	for _, j := range c.Clusters {
+		fmt.Fprintf(&b, "%-10d", j)
+		for _, cls := range c.Classes {
+			fmt.Fprintf(&b, "%10d", c.Counts[j][cls])
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n]
+}

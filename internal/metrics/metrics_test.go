@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func perfect() Labeling {
+	return Labeling{
+		Assign:  []int{0, 0, 1, 1, 2, 2},
+		Classes: []string{"a", "a", "b", "b", "c", "c"},
+	}
+}
+
+func worst() Labeling {
+	// One cluster with a uniform mix of three classes.
+	return Labeling{
+		Assign:  []int{0, 0, 0, 0, 0, 0},
+		Classes: []string{"a", "a", "b", "b", "c", "c"},
+	}
+}
+
+func TestEntropyPerfect(t *testing.T) {
+	if e := Entropy(perfect()); !almostEq(e, 0) {
+		t.Errorf("entropy of perfect clustering = %v", e)
+	}
+}
+
+func TestEntropyUniformMix(t *testing.T) {
+	want := math.Log(3)
+	if e := Entropy(worst()); !almostEq(e, want) {
+		t.Errorf("entropy = %v, want ln 3 = %v", e, want)
+	}
+}
+
+func TestEntropyWeightedBySize(t *testing.T) {
+	// Cluster 0: pure, 6 members. Cluster 1: 50/50 mix, 2 members.
+	l := Labeling{
+		Assign:  []int{0, 0, 0, 0, 0, 0, 1, 1},
+		Classes: []string{"a", "a", "a", "a", "a", "a", "a", "b"},
+	}
+	want := (2.0 / 8.0) * math.Log(2)
+	if e := Entropy(l); !almostEq(e, want) {
+		t.Errorf("entropy = %v, want %v", e, want)
+	}
+}
+
+func TestFMeasurePerfect(t *testing.T) {
+	if f := FMeasure(perfect()); !almostEq(f, 1) {
+		t.Errorf("F of perfect clustering = %v", f)
+	}
+}
+
+func TestFMeasureKnownValue(t *testing.T) {
+	// Cluster 0 = {a,a,b}, cluster 1 = {b}. Classes: a×2, b×2.
+	l := Labeling{
+		Assign:  []int{0, 0, 0, 1},
+		Classes: []string{"a", "a", "b", "b"},
+	}
+	// Cluster 0 best class a: P=2/3, R=1 -> F=0.8. Cluster 1 class b:
+	// P=1, R=1/2 -> F=2/3. Weighted: (3*0.8 + 1*(2/3)) / 4.
+	want := (3*0.8 + 2.0/3.0) / 4
+	if f := FMeasure(l); !almostEq(f, want) {
+		t.Errorf("F = %v, want %v", f, want)
+	}
+}
+
+func TestPrecisionRecall(t *testing.T) {
+	l := Labeling{
+		Assign:  []int{0, 0, 0, 1},
+		Classes: []string{"a", "a", "b", "b"},
+	}
+	if p := Precision(l, "a", 0); !almostEq(p, 2.0/3.0) {
+		t.Errorf("P = %v", p)
+	}
+	if r := Recall(l, "b", 0); !almostEq(r, 0.5) {
+		t.Errorf("R = %v", r)
+	}
+	if p := Precision(l, "a", 9); p != 0 {
+		t.Errorf("P of empty cluster = %v", p)
+	}
+	if r := Recall(l, "zzz", 0); r != 0 {
+		t.Errorf("R of unknown class = %v", r)
+	}
+}
+
+func TestPurity(t *testing.T) {
+	if p := Purity(perfect()); !almostEq(p, 1) {
+		t.Errorf("purity = %v", p)
+	}
+	l := Labeling{
+		Assign:  []int{0, 0, 0, 1},
+		Classes: []string{"a", "a", "b", "b"},
+	}
+	if p := Purity(l); !almostEq(p, 0.75) {
+		t.Errorf("purity = %v", p)
+	}
+}
+
+func TestEmptyLabeling(t *testing.T) {
+	l := Labeling{}
+	if Entropy(l) != 0 || FMeasure(l) != 0 || Purity(l) != 0 {
+		t.Error("empty labeling should give zero metrics")
+	}
+}
+
+func TestUnassignedObjectsIgnored(t *testing.T) {
+	l := Labeling{
+		Assign:  []int{0, 0, -1},
+		Classes: []string{"a", "a", "b"},
+	}
+	if e := Entropy(l); !almostEq(e, 0) {
+		t.Errorf("entropy = %v, unassigned object leaked in", e)
+	}
+	if f := FMeasure(l); !almostEq(f, 1) {
+		t.Errorf("F = %v", f)
+	}
+}
+
+func TestMetricBoundsProperty(t *testing.T) {
+	classes := []string{"air", "auto", "book", "hotel"}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		l := Labeling{Assign: make([]int, n), Classes: make([]string, n)}
+		k := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			l.Assign[i] = rng.Intn(k)
+			l.Classes[i] = classes[rng.Intn(len(classes))]
+		}
+		e, fm, p := Entropy(l), FMeasure(l), Purity(l)
+		return e >= 0 && e <= math.Log(float64(len(classes)))+1e-9 &&
+			fm >= 0 && fm <= 1+1e-9 && p > 0 && p <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBetterClusteringScoresBetter(t *testing.T) {
+	// The mixed clustering must have strictly higher entropy and lower F
+	// than the pure one — the ordering both paper metrics rely on.
+	pure := perfect()
+	mixed := Labeling{
+		Assign:  []int{0, 1, 0, 1, 0, 1},
+		Classes: pure.Classes,
+	}
+	if !(Entropy(mixed) > Entropy(pure)) {
+		t.Error("entropy ordering violated")
+	}
+	if !(FMeasure(mixed) < FMeasure(pure)) {
+		t.Error("F-measure ordering violated")
+	}
+}
+
+func TestIsHomogeneous(t *testing.T) {
+	classes := []string{"a", "a", "b"}
+	if !IsHomogeneous([]int{0, 1}, classes) {
+		t.Error("homogeneous group misjudged")
+	}
+	if IsHomogeneous([]int{0, 2}, classes) {
+		t.Error("mixed group misjudged")
+	}
+	if !IsHomogeneous(nil, classes) {
+		t.Error("empty group should be homogeneous")
+	}
+}
+
+func TestMajorityClass(t *testing.T) {
+	classes := []string{"a", "b", "b", "c"}
+	cls, cnt := MajorityClass([]int{0, 1, 2, 3}, classes)
+	if cls != "b" || cnt != 2 {
+		t.Errorf("majority = %q/%d", cls, cnt)
+	}
+	// Tie -> lexicographically first.
+	cls, _ = MajorityClass([]int{0, 1}, classes)
+	if cls != "a" {
+		t.Errorf("tie broke to %q", cls)
+	}
+}
+
+func TestMisclustered(t *testing.T) {
+	l := Labeling{
+		Assign:  []int{0, 0, 0, 1, 1},
+		Classes: []string{"a", "a", "b", "c", "c"},
+	}
+	mis := Misclustered(l)
+	if len(mis) != 1 || mis[0] != 2 {
+		t.Errorf("misclustered = %v", mis)
+	}
+}
+
+func TestConfusionTable(t *testing.T) {
+	l := Labeling{
+		Assign:  []int{0, 0, 1},
+		Classes: []string{"movie", "music", "movie"},
+	}
+	c := NewConfusion(l)
+	if len(c.Clusters) != 2 || len(c.Classes) != 2 {
+		t.Fatalf("table shape: %+v", c)
+	}
+	if c.Counts[0]["movie"] != 1 || c.Counts[0]["music"] != 1 || c.Counts[1]["movie"] != 1 {
+		t.Errorf("counts = %v", c.Counts)
+	}
+	s := c.String()
+	if !strings.Contains(s, "movie") || !strings.Contains(s, "cluster") {
+		t.Errorf("render = %q", s)
+	}
+}

@@ -1,0 +1,172 @@
+// Package probe implements the post-query baseline the paper positions
+// itself against (Section 1, citing QProber-style techniques [4, 14]):
+// issue probe queries through a form, collect the returned database
+// content, and cluster sources by the probe results rather than by the
+// form's visible context.
+//
+// The paper's argument — reproduced by the PostQuery experiment — is that
+// probing works for simple keyword interfaces, which are easy to fill
+// automatically, but "cannot be easily adapted to (structured)
+// multi-attribute interfaces": a naive prober only knows how to type a
+// keyword into a text box, so option-only forms yield little or no
+// content.
+package probe
+
+import (
+	"net/url"
+	"strings"
+
+	"cafc/internal/cluster"
+	"cafc/internal/crawler"
+	"cafc/internal/form"
+	"cafc/internal/htmlx"
+	"cafc/internal/text"
+	"cafc/internal/vector"
+)
+
+// DefaultProbes is a generic, domain-spanning probe vocabulary: common
+// English heads that hit records in most databases (the post-query
+// literature uses comparable hand-built probe sets).
+var DefaultProbes = []string{
+	"the", "new", "first", "city", "california", "january", "john",
+	"smith", "red", "full", "2004",
+}
+
+// Prober issues probe queries against live forms.
+type Prober struct {
+	// Fetcher retrieves result pages.
+	Fetcher crawler.Fetcher
+	// Probes are the keywords to submit; nil means DefaultProbes.
+	Probes []string
+	// MaxResults caps the probe result text per form (in bytes) so one
+	// verbose database cannot dominate the vector. 0 means 16 KiB.
+	MaxResults int
+}
+
+// probes returns the effective probe keyword set.
+func (p *Prober) probes() []string {
+	if p.Probes != nil {
+		return p.Probes
+	}
+	return DefaultProbes
+}
+
+// Probe submits the prober's keywords through the form found on the form
+// page and returns the concatenated visible text of all result pages.
+// Only the first typable field is filled — the naive automation the
+// post-query literature assumes; forms with no typable field are
+// submitted once with empty values and typically return nothing.
+func (p *Prober) Probe(formPageURL string, f *form.Form) (string, error) {
+	base, err := url.Parse(formPageURL)
+	if err != nil {
+		return "", err
+	}
+	action := f.Action
+	if action == "" {
+		action = base.Path
+	}
+	actionURL, err := url.Parse(action)
+	if err != nil {
+		return "", err
+	}
+	target := base.ResolveReference(actionURL)
+
+	// Find the first typable, visible field.
+	var textField string
+	for _, fld := range f.Fields {
+		if !fld.Hidden() && fld.Typable() && fld.Name != "" {
+			textField = fld.Name
+			break
+		}
+	}
+
+	max := p.MaxResults
+	if max == 0 {
+		max = 16 << 10
+	}
+	var out strings.Builder
+	submit := func(q url.Values) {
+		if out.Len() >= max {
+			return
+		}
+		u := *target
+		u.RawQuery = q.Encode()
+		body, err := p.Fetcher.Fetch(u.String())
+		if err != nil {
+			return
+		}
+		txt := htmlx.Parse(body).Text()
+		if remaining := max - out.Len(); len(txt) > remaining {
+			txt = txt[:remaining]
+		}
+		out.WriteString(txt)
+		out.WriteByte(' ')
+	}
+
+	if textField == "" {
+		// No typable field: one blind submission with empty values.
+		q := url.Values{}
+		for _, fld := range f.Fields {
+			if fld.Name != "" && !fld.Hidden() {
+				q.Set(fld.Name, "")
+			}
+		}
+		submit(q)
+		return out.String(), nil
+	}
+	for _, probe := range p.probes() {
+		q := url.Values{}
+		q.Set(textField, probe)
+		submit(q)
+	}
+	return out.String(), nil
+}
+
+// Source is one probed hidden-web source.
+type Source struct {
+	URL string
+	// Text is the accumulated probe-result content.
+	Text string
+	// Probed reports whether any content came back.
+	Probed bool
+}
+
+// ProbeAll probes every form page and returns one Source per input, in
+// order. Pages whose form cannot be parsed yield an unprobed Source.
+func (p *Prober) ProbeAll(urls []string, forms []*form.Form) []Source {
+	out := make([]Source, len(urls))
+	for i, u := range urls {
+		out[i] = Source{URL: u}
+		if i >= len(forms) || forms[i] == nil {
+			continue
+		}
+		txt, err := p.Probe(u, forms[i])
+		if err != nil {
+			continue
+		}
+		out[i].Text = txt
+		out[i].Probed = strings.TrimSpace(txt) != ""
+	}
+	return out
+}
+
+// Space builds the clustering space from probe results: TF-IDF vectors
+// over the stemmed result text. Sources that returned nothing become
+// zero vectors (they cannot be placed meaningfully — the paper's point).
+func Space(sources []Source) *cluster.VectorSpace {
+	df := vector.NewDocFreq()
+	termLists := make([][]string, len(sources))
+	for i, s := range sources {
+		termLists[i] = text.Terms(s.Text)
+		df.AddDoc(termLists[i])
+	}
+	vs := make([]vector.Vector, len(sources))
+	for i, terms := range termLists {
+		wts := make([]vector.WeightedTerm, len(terms))
+		for j, t := range terms {
+			wts[j] = vector.WeightedTerm{Term: t, Loc: 1}
+		}
+		vs[i] = vector.TFIDF(wts, df, true)
+	}
+	return &cluster.VectorSpace{Vecs: vs}
+}

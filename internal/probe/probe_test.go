@@ -1,0 +1,176 @@
+package probe
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cafc/internal/cluster"
+	"cafc/internal/crawler"
+	"cafc/internal/form"
+	"cafc/internal/metrics"
+	"cafc/internal/webgen"
+)
+
+// probeSetup serves a corpus and parses its forms.
+func probeSetup(t testing.TB, seed int64, n int) (*webgen.Corpus, *Prober, []*form.Form, func()) {
+	t.Helper()
+	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n})
+	srv, client := crawler.ServeCorpus(c)
+	forms := make([]*form.Form, len(c.FormPages))
+	for i, u := range c.FormPages {
+		fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		forms[i] = fp.Form
+	}
+	p := &Prober{Fetcher: &crawler.HTTPFetcher{Client: client}}
+	return c, p, forms, srv.Close
+}
+
+func TestProbeKeywordFormReturnsRecords(t *testing.T) {
+	c, p, forms, done := probeSetup(t, 31, 48)
+	defer done()
+	// Find a single-attribute (keyword) form.
+	idx := -1
+	for i, u := range c.FormPages {
+		if c.ByURL[u].SingleAttr {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Skip("no single-attribute form in sample")
+	}
+	txt, err := p.Probe(c.FormPages[idx], forms[idx])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(txt) == "" {
+		t.Fatal("keyword probe returned nothing")
+	}
+	// The content must come from the site's records.
+	domain := c.Labels[c.FormPages[idx]]
+	var marker string
+	switch domain {
+	case webgen.Book:
+		marker = "published"
+	case webgen.Job:
+		marker = "position"
+	case webgen.Hotel:
+		marker = "per night"
+	case webgen.Airfare:
+		marker = "Flight from"
+	case webgen.Auto:
+		marker = "miles"
+	case webgen.CarRental:
+		marker = "per day"
+	case webgen.Movie:
+		marker = "directed by"
+	default:
+		marker = "released"
+	}
+	if !strings.Contains(txt, marker) {
+		t.Errorf("%s probe text lacks record marker %q: %.120s", domain, marker, txt)
+	}
+}
+
+func TestProbeSelectOnlyFormReturnsLittle(t *testing.T) {
+	c, p, forms, done := probeSetup(t, 32, 80)
+	defer done()
+	// Find a multi-attribute form with no typable field.
+	for i := range forms {
+		typable := false
+		for _, fld := range forms[i].Fields {
+			if !fld.Hidden() && fld.Typable() && fld.Name != "" {
+				typable = true
+			}
+		}
+		if typable {
+			continue
+		}
+		txt, err := p.Probe(c.FormPages[i], forms[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Blind submission: the result must be the no-results page.
+		if strings.Contains(txt, "results found") {
+			t.Errorf("select-only form unexpectedly returned records: %.120s", txt)
+		}
+		return
+	}
+	t.Skip("no select-only form in sample")
+}
+
+func TestProbeAllAndSpace(t *testing.T) {
+	c, p, forms, done := probeSetup(t, 33, 64)
+	defer done()
+	sources := p.ProbeAll(c.FormPages, forms)
+	if len(sources) != 64 {
+		t.Fatalf("got %d sources", len(sources))
+	}
+	probed := 0
+	for _, s := range sources {
+		if s.Probed {
+			probed++
+		}
+	}
+	if probed == 0 {
+		t.Fatal("nothing probed")
+	}
+	sp := Space(sources)
+	if sp.Len() != 64 {
+		t.Fatalf("space len = %d", sp.Len())
+	}
+	// Probed keyword forms of the same domain should cluster together
+	// reasonably well; overall quality is below CAFC's because select-only
+	// forms are blind — asserted in the experiments package.
+	res := cluster.KMeans(sp, 8, nil, cluster.Options{Rand: rand.New(rand.NewSource(1))})
+	classes := make([]string, len(c.FormPages))
+	for i, u := range c.FormPages {
+		classes[i] = string(c.Labels[u])
+	}
+	l := metrics.Labeling{Assign: res.Assign, Classes: classes}
+	if f := metrics.FMeasure(l); f < 0.2 {
+		t.Errorf("post-query clustering collapsed entirely: F=%.3f", f)
+	}
+}
+
+func TestProbeBadURLs(t *testing.T) {
+	p := &Prober{Fetcher: &crawler.CorpusFetcher{Corpus: &webgen.Corpus{ByURL: map[string]*webgen.Page{}}}}
+	f := &form.Form{Action: "/results", Fields: []form.Field{{Tag: "input", Type: "text", Name: "q"}}}
+	if _, err := p.Probe("::bad::", f); err == nil {
+		t.Error("bad form page URL accepted")
+	}
+	f.Action = "::also bad::"
+	if _, err := p.Probe("http://ok.example/", f); err == nil {
+		t.Error("bad action URL accepted")
+	}
+	// Unreachable target: Probe succeeds with empty text.
+	f.Action = "/results"
+	txt, err := p.Probe("http://missing.example/search.html", f)
+	if err != nil || strings.TrimSpace(txt) != "" {
+		t.Errorf("unreachable target: %q, %v", txt, err)
+	}
+}
+
+func TestProbeMaxResultsCap(t *testing.T) {
+	c, _, forms, done := probeSetup(t, 34, 16)
+	defer done()
+	_ = forms
+	srv, client := crawler.ServeCorpus(c)
+	defer srv.Close()
+	p := &Prober{Fetcher: &crawler.HTTPFetcher{Client: client}, MaxResults: 100}
+	fp, err := form.Parse(c.FormPages[0], c.ByURL[c.FormPages[0]].HTML, form.DefaultWeights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txt, err := p.Probe(c.FormPages[0], fp.Form)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(txt) > 130 { // cap plus a few separator bytes
+		t.Errorf("cap ignored: %d bytes", len(txt))
+	}
+}

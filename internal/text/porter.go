@@ -1,0 +1,333 @@
+// Package text provides the lexical pipeline used by the form-page model:
+// word tokenization, stop-word removal and Porter stemming. The paper stems
+// "all the distinct words" extracted from forms and pages (Section 2.1);
+// this package implements that preprocessing exactly, with the classic
+// Porter (1980) algorithm rather than a truncation heuristic.
+package text
+
+// Stem reduces an English word to its Porter stem. The input is expected to
+// be lower-case ASCII; words shorter than three characters are returned
+// unchanged, per the original algorithm.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := &stemmer{b: []byte(word)}
+	w.step1a()
+	w.step1b()
+	w.step1c()
+	w.step2()
+	w.step3()
+	w.step4()
+	w.step5a()
+	w.step5b()
+	return string(w.b)
+}
+
+// stemmer holds the mutable word buffer during stemming.
+type stemmer struct {
+	b []byte
+}
+
+// isConsonant reports whether b[i] is a consonant in Porter's sense:
+// vowels are a, e, i, o, u, and y when preceded by a consonant.
+func (s *stemmer) isConsonant(i int) bool {
+	switch s.b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !s.isConsonant(i - 1)
+	}
+	return true
+}
+
+// measure computes m for the prefix b[:end]: the number of VC sequences in
+// the form [C](VC){m}[V].
+func (s *stemmer) measure(end int) int {
+	n := 0
+	i := 0
+	// Skip initial consonants.
+	for i < end && s.isConsonant(i) {
+		i++
+	}
+	for {
+		// Skip vowels.
+		for i < end && !s.isConsonant(i) {
+			i++
+		}
+		if i >= end {
+			return n
+		}
+		// Skip consonants: one full VC found.
+		for i < end && s.isConsonant(i) {
+			i++
+		}
+		n++
+	}
+}
+
+// hasVowel reports whether b[:end] contains a vowel.
+func (s *stemmer) hasVowel(end int) bool {
+	for i := 0; i < end; i++ {
+		if !s.isConsonant(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleConsonant reports whether the word ends with a doubled
+// consonant (e.g. -tt, -ss).
+func (s *stemmer) endsDoubleConsonant() bool {
+	n := len(s.b)
+	if n < 2 {
+		return false
+	}
+	return s.b[n-1] == s.b[n-2] && s.isConsonant(n-1)
+}
+
+// endsCVC reports whether the prefix b[:end] ends consonant-vowel-consonant
+// where the final consonant is not w, x or y (the *o condition).
+func (s *stemmer) endsCVC(end int) bool {
+	if end < 3 {
+		return false
+	}
+	i := end - 1
+	if !s.isConsonant(i) || s.isConsonant(i-1) || !s.isConsonant(i-2) {
+		return false
+	}
+	switch s.b[i] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+// hasSuffix reports whether the word ends with suf.
+func (s *stemmer) hasSuffix(suf string) bool {
+	n := len(s.b)
+	m := len(suf)
+	if m > n {
+		return false
+	}
+	return string(s.b[n-m:]) == suf
+}
+
+// stemLen returns the length of the word with suf removed.
+func (s *stemmer) stemLen(suf string) int {
+	return len(s.b) - len(suf)
+}
+
+// replaceSuffix replaces suf (which must be present) with rep.
+func (s *stemmer) replaceSuffix(suf, rep string) {
+	s.b = append(s.b[:s.stemLen(suf)], rep...)
+}
+
+// replaceIfM replaces suf with rep when measure(stem) > m. Returns whether
+// the suffix matched (regardless of replacement).
+func (s *stemmer) replaceIfM(suf, rep string, m int) bool {
+	if !s.hasSuffix(suf) {
+		return false
+	}
+	if s.measure(s.stemLen(suf)) > m {
+		s.replaceSuffix(suf, rep)
+	}
+	return true
+}
+
+// step1a handles plurals: sses→ss, ies→i, ss→ss, s→"".
+func (s *stemmer) step1a() {
+	switch {
+	case s.hasSuffix("sses"):
+		s.replaceSuffix("sses", "ss")
+	case s.hasSuffix("ies"):
+		s.replaceSuffix("ies", "i")
+	case s.hasSuffix("ss"):
+		// unchanged
+	case s.hasSuffix("s"):
+		s.replaceSuffix("s", "")
+	}
+}
+
+// step1b handles -eed, -ed, -ing.
+func (s *stemmer) step1b() {
+	if s.hasSuffix("eed") {
+		if s.measure(s.stemLen("eed")) > 0 {
+			s.replaceSuffix("eed", "ee")
+		}
+		return
+	}
+	matched := false
+	if s.hasSuffix("ed") && s.hasVowel(s.stemLen("ed")) {
+		s.replaceSuffix("ed", "")
+		matched = true
+	} else if s.hasSuffix("ing") && s.hasVowel(s.stemLen("ing")) {
+		s.replaceSuffix("ing", "")
+		matched = true
+	}
+	if !matched {
+		return
+	}
+	// Post-processing after removing -ed/-ing.
+	switch {
+	case s.hasSuffix("at"):
+		s.replaceSuffix("at", "ate")
+	case s.hasSuffix("bl"):
+		s.replaceSuffix("bl", "ble")
+	case s.hasSuffix("iz"):
+		s.replaceSuffix("iz", "ize")
+	case s.endsDoubleConsonant():
+		last := s.b[len(s.b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			s.b = s.b[:len(s.b)-1]
+		}
+	case s.measure(len(s.b)) == 1 && s.endsCVC(len(s.b)):
+		s.b = append(s.b, 'e')
+	}
+}
+
+// step1c turns terminal y into i when there is a vowel in the stem.
+func (s *stemmer) step1c() {
+	if s.hasSuffix("y") && s.hasVowel(s.stemLen("y")) {
+		s.b[len(s.b)-1] = 'i'
+	}
+}
+
+// step2 maps double suffixes to single ones when m > 0.
+func (s *stemmer) step2() {
+	if len(s.b) < 3 {
+		return
+	}
+	// Dispatch on the penultimate character, per Porter's original code.
+	switch s.b[len(s.b)-2] {
+	case 'a':
+		if s.replaceIfM("ational", "ate", 0) {
+			return
+		}
+		s.replaceIfM("tional", "tion", 0)
+	case 'c':
+		if s.replaceIfM("enci", "ence", 0) {
+			return
+		}
+		s.replaceIfM("anci", "ance", 0)
+	case 'e':
+		s.replaceIfM("izer", "ize", 0)
+	case 'l':
+		if s.replaceIfM("abli", "able", 0) {
+			return
+		}
+		if s.replaceIfM("alli", "al", 0) {
+			return
+		}
+		if s.replaceIfM("entli", "ent", 0) {
+			return
+		}
+		if s.replaceIfM("eli", "e", 0) {
+			return
+		}
+		s.replaceIfM("ousli", "ous", 0)
+	case 'o':
+		if s.replaceIfM("ization", "ize", 0) {
+			return
+		}
+		if s.replaceIfM("ation", "ate", 0) {
+			return
+		}
+		s.replaceIfM("ator", "ate", 0)
+	case 's':
+		if s.replaceIfM("alism", "al", 0) {
+			return
+		}
+		if s.replaceIfM("iveness", "ive", 0) {
+			return
+		}
+		if s.replaceIfM("fulness", "ful", 0) {
+			return
+		}
+		s.replaceIfM("ousness", "ous", 0)
+	case 't':
+		if s.replaceIfM("aliti", "al", 0) {
+			return
+		}
+		if s.replaceIfM("iviti", "ive", 0) {
+			return
+		}
+		s.replaceIfM("biliti", "ble", 0)
+	}
+}
+
+// step3 deals with -ic-, -full, -ness etc.
+func (s *stemmer) step3() {
+	if len(s.b) == 0 {
+		return
+	}
+	switch s.b[len(s.b)-1] {
+	case 'e':
+		if s.replaceIfM("icate", "ic", 0) {
+			return
+		}
+		if s.replaceIfM("ative", "", 0) {
+			return
+		}
+		s.replaceIfM("alize", "al", 0)
+	case 'i':
+		s.replaceIfM("iciti", "ic", 0)
+	case 'l':
+		if s.replaceIfM("ical", "ic", 0) {
+			return
+		}
+		s.replaceIfM("ful", "", 0)
+	case 's':
+		s.replaceIfM("ness", "", 0)
+	}
+}
+
+// step4 removes suffixes when m > 1.
+func (s *stemmer) step4() {
+	suffixes := []string{
+		"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+		"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+	}
+	for _, suf := range suffixes {
+		if !s.hasSuffix(suf) {
+			continue
+		}
+		stem := s.stemLen(suf)
+		if suf == "ion" {
+			// -ion only drops after s or t.
+			if stem == 0 || (s.b[stem-1] != 's' && s.b[stem-1] != 't') {
+				// Try shorter suffixes? Porter's algorithm stops at the
+				// longest match; -ion not preceded by s/t means no action.
+				return
+			}
+		}
+		if s.measure(stem) > 1 {
+			s.b = s.b[:stem]
+		}
+		return
+	}
+}
+
+// step5a removes a terminal e when m > 1, or when m == 1 and the stem does
+// not end CVC.
+func (s *stemmer) step5a() {
+	if !s.hasSuffix("e") {
+		return
+	}
+	stem := s.stemLen("e")
+	m := s.measure(stem)
+	if m > 1 || (m == 1 && !s.endsCVC(stem)) {
+		s.b = s.b[:stem]
+	}
+}
+
+// step5b maps -ll to -l when m > 1.
+func (s *stemmer) step5b() {
+	n := len(s.b)
+	if n >= 2 && s.b[n-1] == 'l' && s.b[n-2] == 'l' && s.measure(n) > 1 {
+		s.b = s.b[:n-1]
+	}
+}

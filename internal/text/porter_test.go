@@ -1,0 +1,234 @@
+package text
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestStemVocabulary checks the stemmer against known input/output pairs
+// from Porter's published examples and the paper's own examples
+// ("privaci", "shop", "copyright", "help", "flight", "return", "travel").
+func TestStemVocabulary(t *testing.T) {
+	cases := map[string]string{
+		// Porter's canonical examples.
+		"caresses":       "caress",
+		"ponies":         "poni",
+		"ties":           "ti",
+		"caress":         "caress",
+		"cats":           "cat",
+		"feed":           "feed",
+		"agreed":         "agre",
+		"plastered":      "plaster",
+		"bled":           "bled",
+		"motoring":       "motor",
+		"sing":           "sing",
+		"conflated":      "conflat",
+		"troubled":       "troubl",
+		"sized":          "size",
+		"hopping":        "hop",
+		"tanned":         "tan",
+		"falling":        "fall",
+		"hissing":        "hiss",
+		"fizzed":         "fizz",
+		"failing":        "fail",
+		"filing":         "file",
+		"happy":          "happi",
+		"sky":            "sky",
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		"triplicate":     "triplic",
+		"formative":      "form",
+		"formalize":      "formal",
+		"electriciti":    "electr",
+		"electrical":     "electr",
+		"hopeful":        "hope",
+		"goodness":       "good",
+		"revival":        "reviv",
+		"allowance":      "allow",
+		"inference":      "infer",
+		"airliner":       "airlin",
+		"gyroscopic":     "gyroscop",
+		"adjustable":     "adjust",
+		"defensible":     "defens",
+		"irritant":       "irrit",
+		"replacement":    "replac",
+		"adjustment":     "adjust",
+		"dependent":      "depend",
+		"adoption":       "adopt",
+		"homologou":      "homolog",
+		"communism":      "commun",
+		"activate":       "activ",
+		"angulariti":     "angular",
+		"homologous":     "homolog",
+		"effective":      "effect",
+		"bowdlerize":     "bowdler",
+		"probate":        "probat",
+		"rate":           "rate",
+		"cease":          "ceas",
+		"controll":       "control",
+		"roll":           "roll",
+		// Paper-domain words.
+		"privacy":   "privaci",
+		"shopping":  "shop",
+		"copyright": "copyright",
+		"flights":   "flight",
+		"returned":  "return",
+		"traveling": "travel",
+		"movies":    "movi",
+		"books":     "book",
+		"hotels":    "hotel",
+		"jobs":      "job",
+		// Short words pass through.
+		"a":  "a",
+		"at": "at",
+		"be": "be",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemIdempotentOnCommonWords(t *testing.T) {
+	// Stemming is not idempotent in general, but for this vocabulary of
+	// already-stemmed outputs it must be stable — otherwise TF counting
+	// of repeated pipeline runs would drift.
+	words := []string{"caress", "plaster", "motor", "hop", "travel", "flight", "book"}
+	for _, w := range words {
+		once := Stem(w)
+		twice := Stem(once)
+		if once != twice {
+			t.Errorf("Stem unstable: %q -> %q -> %q", w, once, twice)
+		}
+	}
+}
+
+func TestStemNeverPanicsAndShrinks(t *testing.T) {
+	f := func(s string) bool {
+		// Constrain to plausible lower-case words.
+		w := strings.Map(func(r rune) rune {
+			if r >= 'a' && r <= 'z' {
+				return r
+			}
+			return 'a' + (r % 26)
+		}, s)
+		if len(w) > 40 {
+			w = w[:40]
+		}
+		got := Stem(w)
+		return len(got) <= len(w)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Find Cheap Flights, Hotels & Car-Rentals (2006)!")
+	want := []string{"find", "cheap", "flights", "hotels", "car", "rentals", "2006"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeDropsSingleChars(t *testing.T) {
+	got := Tokenize("a b c word x")
+	if len(got) != 1 || got[0] != "word" {
+		t.Errorf("got %v, want [word]", got)
+	}
+}
+
+func TestTokenizeEmpty(t *testing.T) {
+	if got := Tokenize(""); len(got) != 0 {
+		t.Errorf("got %v from empty input", got)
+	}
+	if got := Tokenize("!!! ... ???"); len(got) != 0 {
+		t.Errorf("got %v from punctuation", got)
+	}
+}
+
+func TestTokenizeUnicode(t *testing.T) {
+	got := Tokenize("café naïve résumé")
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+	if got[0] != "café" {
+		t.Errorf("tok0 = %q", got[0])
+	}
+}
+
+func TestTermsPipeline(t *testing.T) {
+	got := Terms("The flights were returning to the hotels")
+	want := []string{"flight", "return", "hotel"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("term[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTermsKeepsNumbers(t *testing.T) {
+	got := Terms("departing 2006 on flight 447")
+	joined := strings.Join(got, " ")
+	if !strings.Contains(joined, "2006") || !strings.Contains(joined, "447") {
+		t.Errorf("numbers dropped: %v", got)
+	}
+}
+
+func TestIsStopWord(t *testing.T) {
+	for _, w := range []string{"the", "and", "of", "www", "com"} {
+		if !IsStopWord(w) {
+			t.Errorf("%q should be a stop word", w)
+		}
+	}
+	for _, w := range []string{"flight", "hotel", "music", "job"} {
+		if IsStopWord(w) {
+			t.Errorf("%q must not be a stop word", w)
+		}
+	}
+}
+
+func BenchmarkStem(b *testing.B) {
+	words := []string{"relational", "vietnamization", "flights", "hopefulness", "traveling"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Stem(words[i%len(words)])
+	}
+}
+
+func BenchmarkTerms(b *testing.B) {
+	s := strings.Repeat("Find cheap flights and hotel availability for your travels. ", 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Terms(s)
+	}
+}

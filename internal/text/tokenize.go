@@ -1,0 +1,87 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lower-cased word tokens. A token is a maximal run
+// of letters or digits; pure-digit runs are kept (they matter for terms
+// like "2006" or ISBN fragments) but single characters are dropped as
+// noise. No stemming or stop-wording is applied.
+func Tokenize(s string) []string {
+	var out []string
+	start := -1
+	flush := func(end int, src string) {
+		if start < 0 {
+			return
+		}
+		tok := src[start:end]
+		if len(tok) > 1 {
+			out = append(out, strings.ToLower(tok))
+		}
+		start = -1
+	}
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		flush(i, s)
+	}
+	flush(len(s), s)
+	return out
+}
+
+// Terms runs the full pipeline the paper describes: tokenize, drop stop
+// words, and Porter-stem what remains. Pure-numeric tokens are kept
+// unstemmed.
+func Terms(s string) []string {
+	toks := Tokenize(s)
+	out := toks[:0]
+	for _, tok := range toks {
+		if IsStopWord(tok) {
+			continue
+		}
+		out = append(out, Stem(tok))
+	}
+	return out
+}
+
+// IsStopWord reports whether the (lower-case) token is on the stop list.
+func IsStopWord(tok string) bool {
+	return stopWords[tok]
+}
+
+// stopWords is a compact English stop list tuned for web-page text: the
+// usual function words plus HTML-era boilerplate that carries no domain
+// signal anywhere (the TF-IDF weighting handles the rest).
+var stopWords = func() map[string]bool {
+	list := []string{
+		"a", "about", "above", "after", "again", "against", "all", "am",
+		"an", "and", "any", "are", "aren", "as", "at", "be", "because",
+		"been", "before", "being", "below", "between", "both", "but", "by",
+		"can", "cannot", "could", "did", "do", "does", "doing", "down",
+		"during", "each", "few", "for", "from", "further", "had", "has",
+		"have", "having", "he", "her", "here", "hers", "herself", "him",
+		"himself", "his", "how", "i", "if", "in", "into", "is", "isn", "it",
+		"its", "itself", "just", "me", "more", "most", "my", "myself", "no",
+		"nor", "not", "now", "of", "off", "on", "once", "only", "or",
+		"other", "our", "ours", "ourselves", "out", "over", "own", "same",
+		"she", "should", "so", "some", "such", "than", "that", "the",
+		"their", "theirs", "them", "themselves", "then", "there", "these",
+		"they", "this", "those", "through", "to", "too", "under", "until",
+		"up", "very", "was", "we", "were", "what", "when", "where", "which",
+		"while", "who", "whom", "why", "will", "with", "would", "you",
+		"your", "yours", "yourself", "yourselves",
+		// Web boilerplate tokens that appear uniformly across pages.
+		"www", "http", "https", "com", "html", "htm", "php", "asp", "cgi",
+	}
+	m := make(map[string]bool, len(list))
+	for _, w := range list {
+		m[w] = true
+	}
+	return m
+}()

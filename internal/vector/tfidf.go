@@ -1,0 +1,120 @@
+package vector
+
+import (
+	"math"
+)
+
+// WeightedTerm is a term occurrence annotated with the LOC factor of the
+// place it was found (title, form body, option tag, page body, ...). The
+// paper's Equation 1 multiplies TF by a small integer LOC_i; we accept a
+// float so ablations (uniform weights) are a parameter, not a code change.
+type WeightedTerm struct {
+	Term string
+	Loc  float64
+}
+
+// DocFreq accumulates document frequencies over a corpus so IDF can be
+// computed. It is built once per corpus per feature space.
+type DocFreq struct {
+	n  int            // number of documents seen
+	df map[string]int // term -> number of docs containing it
+}
+
+// NewDocFreq returns an empty document-frequency table.
+func NewDocFreq() *DocFreq {
+	return &DocFreq{df: make(map[string]int)}
+}
+
+// AddDoc records one document's distinct terms.
+func (d *DocFreq) AddDoc(terms []string) {
+	d.n++
+	seen := make(map[string]bool, len(terms))
+	for _, t := range terms {
+		if !seen[t] {
+			seen[t] = true
+			d.df[t]++
+		}
+	}
+}
+
+// AddDocWeighted records one document given weighted occurrences.
+func (d *DocFreq) AddDocWeighted(terms []WeightedTerm) {
+	d.n++
+	seen := make(map[string]bool, len(terms))
+	for _, wt := range terms {
+		if !seen[wt.Term] {
+			seen[wt.Term] = true
+			d.df[wt.Term]++
+		}
+	}
+}
+
+// N returns the number of documents recorded.
+func (d *DocFreq) N() int { return d.n }
+
+// DF returns the document frequency of term t.
+func (d *DocFreq) DF(t string) int { return d.df[t] }
+
+// IDF returns log(N/n_i), the paper's inverse document frequency. Terms
+// never seen get IDF 0 (they carry no corpus-level evidence); the log is
+// natural, matching the standard IR formulation the paper cites.
+func (d *DocFreq) IDF(t string) float64 {
+	ni := d.df[t]
+	if ni == 0 || d.n == 0 {
+		return 0
+	}
+	return math.Log(float64(d.n) / float64(ni))
+}
+
+// Vocabulary returns the number of distinct terms recorded.
+func (d *DocFreq) Vocabulary() int { return len(d.df) }
+
+// Snapshot exports the table's state for persistence. The returned map
+// is a copy.
+func (d *DocFreq) Snapshot() (n int, df map[string]int) {
+	cp := make(map[string]int, len(d.df))
+	for t, c := range d.df {
+		cp[t] = c
+	}
+	return d.n, cp
+}
+
+// RestoreDocFreq rebuilds a table from a Snapshot.
+func RestoreDocFreq(n int, df map[string]int) *DocFreq {
+	cp := make(map[string]int, len(df))
+	for t, c := range df {
+		cp[t] = c
+	}
+	return &DocFreq{n: n, df: cp}
+}
+
+// TFIDF builds the weighted vector for one document:
+//
+//	w_i = LOC_i * TF_i * log(N/n_i)            (paper Equation 1)
+//
+// where LOC_i is the average location factor of the term's occurrences in
+// this document (occurrences of the same term in differently-weighted
+// locations contribute proportionally). When uniform is true, LOC is
+// forced to 1 for every term — the Section 4.4 ablation.
+func TFIDF(terms []WeightedTerm, df *DocFreq, uniform bool) Vector {
+	tf := make(map[string]float64, len(terms))
+	locSum := make(map[string]float64, len(terms))
+	for _, wt := range terms {
+		tf[wt.Term]++
+		if uniform {
+			locSum[wt.Term]++
+		} else {
+			locSum[wt.Term] += wt.Loc
+		}
+	}
+	v := make(Vector, len(tf))
+	for t, f := range tf {
+		idf := df.IDF(t)
+		if idf == 0 {
+			continue // term in every document (or unknown): no signal
+		}
+		avgLoc := locSum[t] / f
+		v[t] = avgLoc * f * idf
+	}
+	return v
+}

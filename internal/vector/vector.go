@@ -1,0 +1,146 @@
+// Package vector implements the sparse vector-space model underlying the
+// form-page model: term vectors, corpus document frequencies, the paper's
+// location-weighted TF-IDF (w_i = LOC_i * TF_i * log(N/n_i)), cosine
+// similarity, and centroid arithmetic for clustering.
+package vector
+
+import (
+	"math"
+	"sort"
+)
+
+// Vector is a sparse term-weight vector. The zero value is an empty vector
+// ready for use (a nil map is never written to; use New or Add).
+type Vector map[string]float64
+
+// New returns an empty vector.
+func New() Vector {
+	return make(Vector)
+}
+
+// FromTerms builds a raw term-frequency vector from a token stream.
+func FromTerms(terms []string) Vector {
+	v := make(Vector, len(terms))
+	for _, t := range terms {
+		v[t]++
+	}
+	return v
+}
+
+// Add accumulates w onto term t.
+func (v Vector) Add(t string, w float64) {
+	v[t] += w
+}
+
+// Norm returns the Euclidean length of v.
+func (v Vector) Norm() float64 {
+	var sum float64
+	for _, w := range v {
+		sum += w * w
+	}
+	return math.Sqrt(sum)
+}
+
+// Dot returns the inner product of v and o.
+func (v Vector) Dot(o Vector) float64 {
+	// Iterate over the smaller vector.
+	if len(o) < len(v) {
+		v, o = o, v
+	}
+	var sum float64
+	for t, w := range v {
+		if ow, ok := o[t]; ok {
+			sum += w * ow
+		}
+	}
+	return sum
+}
+
+// Cosine returns the cosine similarity between v and o in [0, 1] for
+// non-negative vectors. Zero-length vectors have similarity 0 with
+// everything, including themselves — an empty form page carries no
+// evidence of similarity.
+func Cosine(v, o Vector) float64 {
+	nv, no := v.Norm(), o.Norm()
+	if nv == 0 || no == 0 {
+		return 0
+	}
+	c := v.Dot(o) / (nv * no)
+	// Clamp floating-point drift.
+	if c > 1 {
+		c = 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// Scale multiplies every weight by f in place and returns v.
+func (v Vector) Scale(f float64) Vector {
+	for t := range v {
+		v[t] *= f
+	}
+	return v
+}
+
+// AddVec accumulates o into v in place and returns v.
+func (v Vector) AddVec(o Vector) Vector {
+	for t, w := range o {
+		v[t] += w
+	}
+	return v
+}
+
+// Clone returns a deep copy of v.
+func (v Vector) Clone() Vector {
+	c := make(Vector, len(v))
+	for t, w := range v {
+		c[t] = w
+	}
+	return c
+}
+
+// Len returns the number of distinct terms.
+func (v Vector) Len() int { return len(v) }
+
+// TopTerms returns the n highest-weighted terms in decreasing order,
+// breaking ties lexicographically (so output is deterministic).
+func (v Vector) TopTerms(n int) []string {
+	type tw struct {
+		t string
+		w float64
+	}
+	all := make([]tw, 0, len(v))
+	for t, w := range v {
+		all = append(all, tw{t, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].t < all[j].t
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].t
+	}
+	return out
+}
+
+// Centroid returns the term-wise mean of the given vectors, the cluster
+// representative the paper uses (Equation 4). An empty input yields an
+// empty vector.
+func Centroid(vs []Vector) Vector {
+	c := New()
+	if len(vs) == 0 {
+		return c
+	}
+	for _, v := range vs {
+		c.AddVec(v)
+	}
+	return c.Scale(1 / float64(len(vs)))
+}

@@ -1,0 +1,215 @@
+package vector
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestFromTerms(t *testing.T) {
+	v := FromTerms([]string{"a", "b", "a", "c", "a"})
+	if v["a"] != 3 || v["b"] != 1 || v["c"] != 1 {
+		t.Errorf("v = %v", v)
+	}
+	if v.Len() != 3 {
+		t.Errorf("Len = %d", v.Len())
+	}
+}
+
+func TestNormAndDot(t *testing.T) {
+	v := Vector{"x": 3, "y": 4}
+	if !almostEq(v.Norm(), 5) {
+		t.Errorf("Norm = %v", v.Norm())
+	}
+	o := Vector{"y": 2, "z": 7}
+	if !almostEq(v.Dot(o), 8) {
+		t.Errorf("Dot = %v", v.Dot(o))
+	}
+	if !almostEq(o.Dot(v), 8) {
+		t.Errorf("Dot not symmetric")
+	}
+}
+
+func TestCosineIdentityAndOrthogonal(t *testing.T) {
+	v := Vector{"a": 1, "b": 2}
+	if !almostEq(Cosine(v, v), 1) {
+		t.Errorf("self-cosine = %v", Cosine(v, v))
+	}
+	o := Vector{"c": 5}
+	if Cosine(v, o) != 0 {
+		t.Errorf("orthogonal cosine = %v", Cosine(v, o))
+	}
+}
+
+func TestCosineZeroVector(t *testing.T) {
+	z := New()
+	v := Vector{"a": 1}
+	if Cosine(z, v) != 0 || Cosine(z, z) != 0 {
+		t.Error("zero vector must have similarity 0")
+	}
+}
+
+func TestCosineProperties(t *testing.T) {
+	gen := func(xs []uint8) Vector {
+		v := New()
+		keys := []string{"a", "b", "c", "d", "e"}
+		for i, x := range xs {
+			if i >= len(keys) {
+				break
+			}
+			if x > 0 {
+				v[keys[i]] = float64(x)
+			}
+		}
+		return v
+	}
+	f := func(xs, ys []uint8) bool {
+		v, o := gen(xs), gen(ys)
+		c := Cosine(v, o)
+		if c < 0 || c > 1 {
+			return false
+		}
+		return almostEq(c, Cosine(o, v))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCentroid(t *testing.T) {
+	vs := []Vector{
+		{"a": 2, "b": 4},
+		{"a": 4},
+	}
+	c := Centroid(vs)
+	if !almostEq(c["a"], 3) || !almostEq(c["b"], 2) {
+		t.Errorf("centroid = %v", c)
+	}
+	if empty := Centroid(nil); empty.Len() != 0 {
+		t.Errorf("empty centroid = %v", empty)
+	}
+}
+
+func TestCentroidCosineBound(t *testing.T) {
+	// A centroid must be at least as similar to its members on average
+	// than an unrelated vector is; sanity check it sits "between" members.
+	a := Vector{"x": 1}
+	b := Vector{"y": 1}
+	c := Centroid([]Vector{a, b})
+	if Cosine(c, a) <= 0 || Cosine(c, b) <= 0 {
+		t.Error("centroid lost member directions")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	v := Vector{"a": 1}
+	c := v.Clone()
+	c["a"] = 99
+	c["b"] = 1
+	if v["a"] != 1 || v.Len() != 1 {
+		t.Error("Clone aliases original storage")
+	}
+}
+
+func TestTopTermsDeterministic(t *testing.T) {
+	v := Vector{"zeta": 2, "alpha": 2, "top": 9, "low": 1}
+	got := v.TopTerms(3)
+	want := []string{"top", "alpha", "zeta"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("TopTerms = %v, want %v", got, want)
+		}
+	}
+	if n := len(v.TopTerms(100)); n != 4 {
+		t.Errorf("TopTerms(100) returned %d", n)
+	}
+}
+
+func TestDocFreqAndIDF(t *testing.T) {
+	df := NewDocFreq()
+	df.AddDoc([]string{"flight", "cheap", "flight"}) // dup within doc counts once
+	df.AddDoc([]string{"flight", "hotel"})
+	df.AddDoc([]string{"book"})
+	if df.N() != 3 {
+		t.Fatalf("N = %d", df.N())
+	}
+	if df.DF("flight") != 2 || df.DF("hotel") != 1 || df.DF("missing") != 0 {
+		t.Errorf("df = %d/%d/%d", df.DF("flight"), df.DF("hotel"), df.DF("missing"))
+	}
+	if !almostEq(df.IDF("flight"), math.Log(1.5)) {
+		t.Errorf("IDF(flight) = %v", df.IDF("flight"))
+	}
+	if df.IDF("missing") != 0 {
+		t.Errorf("IDF of unseen term = %v", df.IDF("missing"))
+	}
+	if df.Vocabulary() != 4 {
+		t.Errorf("vocab = %d", df.Vocabulary())
+	}
+}
+
+func TestTFIDFLocationWeights(t *testing.T) {
+	df := NewDocFreq()
+	df.AddDoc([]string{"title", "body", "rare"})
+	df.AddDoc([]string{"body"})
+	terms := []WeightedTerm{
+		{Term: "title", Loc: 3},
+		{Term: "body", Loc: 1},
+		{Term: "rare", Loc: 1},
+	}
+	v := TFIDF(terms, df, false)
+	// "body" appears in every doc -> IDF 0 -> excluded.
+	if _, ok := v["body"]; ok {
+		t.Error("ubiquitous term should be dropped")
+	}
+	// title: LOC 3 * TF 1 * ln(2) ; rare: 1 * 1 * ln(2)
+	if !almostEq(v["title"], 3*math.Log(2)) {
+		t.Errorf("title weight = %v", v["title"])
+	}
+	if !almostEq(v["rare"], math.Log(2)) {
+		t.Errorf("rare weight = %v", v["rare"])
+	}
+	// Uniform ablation: LOC forced to 1.
+	u := TFIDF(terms, df, true)
+	if !almostEq(u["title"], math.Log(2)) {
+		t.Errorf("uniform title weight = %v", u["title"])
+	}
+}
+
+func TestTFIDFMixedLocations(t *testing.T) {
+	df := NewDocFreq()
+	df.AddDoc([]string{"x", "pad"})
+	df.AddDoc([]string{"pad2"})
+	// "x" occurs twice: once at LOC 3, once at LOC 1 -> avg 2, TF 2.
+	terms := []WeightedTerm{{Term: "x", Loc: 3}, {Term: "x", Loc: 1}}
+	v := TFIDF(terms, df, false)
+	if !almostEq(v["x"], 2*2*math.Log(2)) {
+		t.Errorf("x weight = %v, want %v", v["x"], 2*2*math.Log(2))
+	}
+}
+
+func TestAddDocWeighted(t *testing.T) {
+	df := NewDocFreq()
+	df.AddDocWeighted([]WeightedTerm{{Term: "a", Loc: 1}, {Term: "a", Loc: 2}})
+	if df.N() != 1 || df.DF("a") != 1 {
+		t.Errorf("N=%d DF=%d", df.N(), df.DF("a"))
+	}
+}
+
+func BenchmarkCosine(b *testing.B) {
+	v, o := New(), New()
+	for i := 0; i < 500; i++ {
+		k := string(rune('a'+i%26)) + string(rune('0'+i%10))
+		v[k+"v"] = float64(i)
+		o[k+"o"] = float64(i)
+		if i%3 == 0 {
+			v[k] = float64(i)
+			o[k] = float64(i + 1)
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Cosine(v, o)
+	}
+}

@@ -1,0 +1,571 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"cafc/internal/htmlx"
+)
+
+// PageKind classifies a generated page.
+type PageKind int
+
+const (
+	// FormPageKind is a searchable-form entry point to a database.
+	FormPageKind PageKind = iota
+	// RootPageKind is the home page of a site hosting a form page.
+	RootPageKind
+	// HubPageKind is a per-domain hub linking to form pages.
+	HubPageKind
+	// DirectoryPageKind is a cross-domain directory page.
+	DirectoryPageKind
+)
+
+// String names the page kind.
+func (k PageKind) String() string {
+	switch k {
+	case FormPageKind:
+		return "form"
+	case RootPageKind:
+		return "root"
+	case HubPageKind:
+		return "hub"
+	case DirectoryPageKind:
+		return "directory"
+	}
+	return "unknown"
+}
+
+// Page is one generated HTML document.
+type Page struct {
+	URL    string
+	HTML   string
+	Kind   PageKind
+	Domain Domain // gold domain for form/root/hub pages; "" for directories
+	// SingleAttr marks single-attribute form pages (form pages only).
+	SingleAttr bool
+	// Ambiguous marks music/movie crossover form pages (Figure 4).
+	Ambiguous bool
+}
+
+// Corpus is a complete synthetic web.
+type Corpus struct {
+	Pages     []*Page
+	ByURL     map[string]*Page
+	FormPages []string          // form-page URLs in generation order
+	Labels    map[string]Domain // gold labels for form pages
+	RootOf    map[string]string // form-page URL -> site root URL
+	// Records holds each form page's simulated database rows, keyed by
+	// form-page URL. The corpus HTTP server answers form submissions
+	// against them.
+	Records map[string][]string
+}
+
+// Config controls corpus generation. Zero values select the defaults that
+// mirror the paper's data set.
+type Config struct {
+	// Seed drives all randomness; runs with equal seeds are identical.
+	Seed int64
+	// FormPages is the number of form pages (default 454).
+	FormPages int
+	// SingleAttrFraction is the share of single-attribute forms
+	// (default 56/454, the paper's split).
+	SingleAttrFraction float64
+	// AmbiguousFraction is the share of Music/Movie pages drawing
+	// vocabulary from both domains (default 0.08).
+	AmbiguousFraction float64
+	// HubsPerDomain is the number of per-domain hub pages (default 8).
+	HubsPerDomain int
+	// DirectoryHubs is the number of cross-domain directories (default 4).
+	DirectoryHubs int
+	// HubMixFraction is the share of domain hubs polluted with one or two
+	// foreign links (default 0.25) — hubs are useful but imperfect.
+	HubMixFraction float64
+	// OrphanFraction is the share of form pages withheld from all hubs.
+	// Together with hubs' random selection it yields an overall
+	// backlink-coverage gap near the paper's 15% (default 0.08).
+	OrphanFraction float64
+	// NoiseSnippets is how many extra random boilerplate snippets each
+	// page carries (default 6).
+	NoiseSnippets int
+}
+
+func (c Config) withDefaults() Config {
+	if c.FormPages == 0 {
+		c.FormPages = 454
+	}
+	if c.SingleAttrFraction == 0 {
+		c.SingleAttrFraction = 56.0 / 454.0
+	}
+	if c.AmbiguousFraction == 0 {
+		c.AmbiguousFraction = 0.15
+	}
+	if c.HubsPerDomain == 0 {
+		// Hubs scale with the web: the paper saw thousands of co-citation
+		// sets around 454 forms.
+		c.HubsPerDomain = c.FormPages / 16
+		if c.HubsPerDomain < 6 {
+			c.HubsPerDomain = 6
+		}
+	}
+	if c.DirectoryHubs == 0 {
+		c.DirectoryHubs = 4
+	}
+	if c.HubMixFraction == 0 {
+		c.HubMixFraction = 0.25
+	}
+	if c.OrphanFraction == 0 {
+		c.OrphanFraction = 0.08
+	}
+	if c.NoiseSnippets == 0 {
+		c.NoiseSnippets = 6
+	}
+	return c
+}
+
+// site is one generated web site: a root page plus a form page.
+type site struct {
+	domain     Domain
+	name       string
+	host       string
+	rootURL    string
+	formURL    string
+	singleAttr bool
+	ambiguous  bool
+	// big marks option-heavy forms rendered on nearly bare pages.
+	big bool
+}
+
+type generator struct {
+	cfg Config
+	rng *rand.Rand
+	c   *Corpus
+}
+
+// Generate builds a synthetic web corpus.
+func Generate(cfg Config) *Corpus {
+	cfg = cfg.withDefaults()
+	g := &generator{
+		cfg: cfg,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		c: &Corpus{
+			ByURL:   make(map[string]*Page),
+			Labels:  make(map[string]Domain),
+			RootOf:  make(map[string]string),
+			Records: make(map[string][]string),
+		},
+	}
+	sites := g.planSites()
+	for _, s := range sites {
+		g.emitSite(s)
+	}
+	g.emitHubs(sites)
+	g.emitDirectories(sites)
+	return g.c
+}
+
+// planSites decides domain, form shape and naming for every site.
+func (g *generator) planSites() []*site {
+	n := g.cfg.FormPages
+	singles := int(float64(n)*g.cfg.SingleAttrFraction + 0.5)
+	sites := make([]*site, 0, n)
+	for i := 0; i < n; i++ {
+		d := Domains[i%len(Domains)]
+		spec := domainSpecs[d]
+		name := fmt.Sprintf("%s%d", spec.siteNouns[g.rng.Intn(len(spec.siteNouns))], i)
+		host := fmt.Sprintf("http://www.%s.example", strings.ToLower(name))
+		s := &site{
+			domain:  d,
+			name:    name,
+			host:    host,
+			rootURL: host + "/",
+			formURL: host + "/search.html",
+		}
+		if (d == Music || d == Movie) && g.rng.Float64() < g.cfg.AmbiguousFraction {
+			s.ambiguous = true
+		}
+		if g.rng.Float64() < 0.20 {
+			s.big = true
+		}
+		sites = append(sites, s)
+	}
+	// Distribute single-attribute forms uniformly over the plan.
+	perm := g.rng.Perm(n)
+	for i := 0; i < singles && i < n; i++ {
+		sites[perm[i]].singleAttr = true
+	}
+	return sites
+}
+
+// emitSite renders and registers a site's root and form pages.
+func (g *generator) emitSite(s *site) {
+	formHTML := g.formPageHTML(s)
+	rootHTML := g.rootPageHTML(s)
+	fp := &Page{
+		URL: s.formURL, HTML: formHTML, Kind: FormPageKind,
+		Domain: s.domain, SingleAttr: s.singleAttr, Ambiguous: s.ambiguous,
+	}
+	rp := &Page{URL: s.rootURL, HTML: rootHTML, Kind: RootPageKind, Domain: s.domain}
+	g.addPage(fp)
+	g.addPage(rp)
+	g.c.FormPages = append(g.c.FormPages, s.formURL)
+	g.c.Labels[s.formURL] = s.domain
+	g.c.RootOf[s.formURL] = s.rootURL
+	g.c.Records[s.formURL] = g.generateRecords(s)
+}
+
+func (g *generator) addPage(p *Page) {
+	g.c.Pages = append(g.c.Pages, p)
+	g.c.ByURL[p.URL] = p
+}
+
+// pick returns a random element of xs.
+func (g *generator) pick(xs []string) string {
+	return xs[g.rng.Intn(len(xs))]
+}
+
+// proseSentences samples k prose snippets from the spec (and the shared
+// music/movie pool for ambiguous or entertainment-domain pages).
+func (g *generator) proseSentences(s *site, k int) []string {
+	spec := domainSpecs[s.domain]
+	pool := spec.prose
+	if s.ambiguous {
+		other := Movie
+		if s.domain == Movie {
+			other = Music
+		}
+		pool = append(append([]string{}, pool...), domainSpecs[other].prose...)
+	}
+	if s.domain == Music || s.domain == Movie {
+		pool = append(append([]string{}, pool...), movieMusicShared...)
+	}
+	out := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, g.pick(pool))
+	}
+	return out
+}
+
+// noise returns random boilerplate snippets shared across all domains.
+func (g *generator) noise(k int) []string {
+	out := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, g.pick(genericBoilerplate))
+	}
+	return out
+}
+
+// crossAds returns k prose snippets from *other* domains — the partner
+// advertisements and cross-promotions that pollute real page bodies
+// ("book your hotel", "rent a car") and create the cross-domain
+// vocabulary overlap the paper observes in page contents. They live
+// outside the form, so they degrade PC but never FC.
+func (g *generator) crossAds(d Domain, k int) []string {
+	out := make([]string, 0, k)
+	for i := 0; i < k; i++ {
+		other := Domains[g.rng.Intn(len(Domains))]
+		if other == d {
+			continue
+		}
+		out = append(out, g.pick(domainSpecs[other].prose))
+	}
+	return out
+}
+
+// formPageHTML renders a site's searchable-form page. Form size and page
+// richness are inversely correlated to reproduce Table 1: single-attribute
+// pages get many prose paragraphs; option-heavy forms get nearly bare
+// pages.
+func (g *generator) formPageHTML(s *site) string {
+	spec := domainSpecs[s.domain]
+	var b strings.Builder
+	title := fmt.Sprintf(g.pick(spec.titleTemplates), s.name)
+	if s.ambiguous {
+		// Combined music+movie stores (the paper's Figure 4) advertise
+		// both catalogs up front.
+		title = fmt.Sprintf("%s - Music and Movies Online", s.name)
+	}
+	if s.big && !s.singleAttr && g.rng.Float64() < 0.6 {
+		// Option-heavy pages frequently carry generic titles that say
+		// nothing about the database domain.
+		title = fmt.Sprintf("%s - %s", g.pick([]string{"Advanced Search", "Search Our Database", "Power Search", "Detailed Search"}), s.name)
+	}
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head>\n<body>\n", htmlx.EscapeText(title))
+	fmt.Fprintf(&b, "<div class=\"nav\"><a href=\"/\">%s</a>", htmlx.EscapeText(s.name))
+	for _, nz := range g.noise(3) {
+		fmt.Fprintf(&b, " | <a href=\"/info.html\">%s</a>", htmlx.EscapeText(nz))
+	}
+	b.WriteString("</div>\n")
+
+	if s.singleAttr {
+		g.singleAttrBody(&b, s, spec)
+	} else {
+		g.multiAttrBody(&b, s, spec)
+	}
+
+	// Partner advertisements: other-domain prose pollutes page bodies.
+	// Sparse (big-form) pages carry more of it — ads fill the space.
+	adProb, adCount := 0.6, 2+g.rng.Intn(3)
+	if s.big {
+		adProb, adCount = 0.85, 3+g.rng.Intn(3)
+	}
+	if g.rng.Float64() < adProb {
+		b.WriteString("<div class=\"partners\"><h3>From our partners</h3>")
+		for _, ad := range g.crossAds(s.domain, adCount) {
+			fmt.Fprintf(&b, "<p>%s</p>", htmlx.EscapeText(ad))
+		}
+		b.WriteString("</div>\n")
+	}
+	b.WriteString("<div class=\"footer\">")
+	for _, nz := range g.noise(g.cfg.NoiseSnippets) {
+		fmt.Fprintf(&b, "<span>%s</span> ", htmlx.EscapeText(nz))
+	}
+	b.WriteString("</div>\n</body></html>\n")
+	return b.String()
+}
+
+// singleAttrBody renders a keyword-box form whose descriptive text sits
+// outside the FORM tags (the paper's Figure 1(c) pathology), surrounded by
+// a content-rich page.
+func (g *generator) singleAttrBody(b *strings.Builder, s *site, spec *domainSpec) {
+	verb := g.pick(spec.searchVerbs)
+	// Rich prose before the form: 8-14 sentences.
+	k := 8 + g.rng.Intn(7)
+	fmt.Fprintf(b, "<h1>%s</h1>\n", htmlx.EscapeText(verb))
+	for _, p := range g.proseSentences(s, k) {
+		fmt.Fprintf(b, "<p>%s</p>\n", htmlx.EscapeText(p))
+	}
+	// The descriptive string appears above, not inside, the form.
+	fmt.Fprintf(b, "<b>%s</b>\n", htmlx.EscapeText(verb))
+	submit := g.pick([]string{"Go", "Search", "Find", "Submit"})
+	fmt.Fprintf(b, "<form action=\"/results\" method=\"get\"><input type=\"text\" name=\"q\" size=\"30\"><input type=\"submit\" value=\"%s\"></form>\n", htmlx.EscapeAttr(submit))
+	// More prose after.
+	for _, p := range g.proseSentences(s, 4+g.rng.Intn(4)) {
+		fmt.Fprintf(b, "<p>%s</p>\n", htmlx.EscapeText(p))
+	}
+}
+
+// multiAttrBody renders a structured form with 2-7 attributes whose labels
+// vary across sites, plus page prose that shrinks as the form grows.
+func (g *generator) multiAttrBody(b *strings.Builder, s *site, spec *domainSpec) {
+	attrPool := spec.attrs
+	if s.ambiguous {
+		other := Movie
+		if s.domain == Movie {
+			other = Music
+		}
+		attrPool = append(append([]attrSpec{}, attrPool...), domainSpecs[other].attrs[:3]...)
+	}
+	// Big multi-attribute forms render every attribute as a full select;
+	// they populate Table 1's >=100-term buckets.
+	big := s.big
+	nAttrs := 2 + g.rng.Intn(min(6, len(attrPool)-1))
+	if big {
+		nAttrs = len(attrPool)
+	}
+	idx := g.rng.Perm(len(attrPool))[:nAttrs]
+
+	// Page richness inversely proportional to expected form size.
+	optionTotal := 0
+	for _, i := range idx {
+		optionTotal += len(attrPool[i].options)
+	}
+	prose := 9 - nAttrs - optionTotal/12
+	if prose < 0 {
+		prose = 0
+	}
+	verb := g.pick(spec.searchVerbs)
+	heading := verb
+	if big && g.rng.Float64() < 0.5 {
+		heading = g.pick([]string{"Advanced Search", "Search Our Database", "Power Search"})
+	}
+	fmt.Fprintf(b, "<h1>%s</h1>\n", htmlx.EscapeText(heading))
+	for _, p := range g.proseSentences(s, prose) {
+		fmt.Fprintf(b, "<p>%s</p>\n", htmlx.EscapeText(p))
+	}
+
+	fmt.Fprintf(b, "<form action=\"/results\" method=\"get\">\n<table>\n")
+	for _, i := range idx {
+		attr := attrPool[i]
+		label := attr.labels[g.rng.Intn(len(attr.labels))]
+		name := strings.ToLower(strings.ReplaceAll(label, " ", "_"))
+		fmt.Fprintf(b, "<tr><td>%s:</td><td>", htmlx.EscapeText(label))
+		if len(attr.options) > 0 && (big || g.rng.Float64() < 0.8) {
+			fmt.Fprintf(b, "<select name=\"%s\">", htmlx.EscapeAttr(name))
+			// Occasionally an "All ..." default option.
+			if g.rng.Float64() < 0.5 {
+				fmt.Fprintf(b, "<option value=\"\">All</option>")
+			}
+			for _, opt := range attr.options {
+				fmt.Fprintf(b, "<option>%s</option>", htmlx.EscapeText(opt))
+			}
+			b.WriteString("</select>")
+		} else {
+			fmt.Fprintf(b, "<input type=\"text\" name=\"%s\">", htmlx.EscapeAttr(name))
+		}
+		b.WriteString("</td></tr>\n")
+	}
+	b.WriteString("</table>\n")
+	// A hidden session field (must be excluded from FC).
+	fmt.Fprintf(b, "<input type=\"hidden\" name=\"sid\" value=\"s%d\">\n", g.rng.Intn(1e6))
+	// ~10%% of forms use an image submit (GIF-label pathology).
+	if g.rng.Float64() < 0.10 {
+		fmt.Fprintf(b, "<input type=\"image\" src=\"/img/go.gif\" alt=\"%s\">\n", htmlx.EscapeAttr(verb))
+	} else {
+		fmt.Fprintf(b, "<input type=\"submit\" value=\"%s\">\n", htmlx.EscapeAttr(verb))
+	}
+	b.WriteString("</form>\n")
+	for _, p := range g.proseSentences(s, prose/2) {
+		fmt.Fprintf(b, "<p>%s</p>\n", htmlx.EscapeText(p))
+	}
+}
+
+// rootPageHTML renders the site home page: prose, a link to the form page
+// (the intra-site hub CAFC-CH must discount) and sometimes a newsletter
+// form (non-searchable, exercising the form classifier).
+func (g *generator) rootPageHTML(s *site) string {
+	spec := domainSpecs[s.domain]
+	var b strings.Builder
+	title := fmt.Sprintf("%s - %s", s.name, g.pick(spec.searchVerbs))
+	fmt.Fprintf(&b, "<html><head><title>%s</title></head>\n<body>\n", htmlx.EscapeText(title))
+	fmt.Fprintf(&b, "<h1>Welcome to %s</h1>\n", htmlx.EscapeText(s.name))
+	for _, p := range g.proseSentences(s, 4+g.rng.Intn(4)) {
+		fmt.Fprintf(&b, "<p>%s</p>\n", htmlx.EscapeText(p))
+	}
+	fmt.Fprintf(&b, "<p><a href=\"%s\">%s</a></p>\n", htmlx.EscapeAttr(s.formURL), htmlx.EscapeText(g.pick(spec.searchVerbs)))
+	if g.rng.Float64() < 0.4 {
+		b.WriteString("<form action=\"/subscribe\" method=\"post\">Subscribe to our newsletter: <input type=\"text\" name=\"email\"><input type=\"submit\" value=\"Subscribe\"></form>\n")
+	}
+	for _, nz := range g.noise(g.cfg.NoiseSnippets) {
+		fmt.Fprintf(&b, "<span>%s</span> ", htmlx.EscapeText(nz))
+	}
+	b.WriteString("</body></html>\n")
+	return b.String()
+}
+
+// emitHubs builds per-domain hub pages. A hub links to between 2 and 13
+// form pages, mostly within one domain; Airfare and Hotel additionally get
+// oversized hubs (the paper notes hub clusters with 14+ pages only
+// contained Air and Hotel forms). A HubMixFraction of hubs carry one or
+// two foreign links; an OrphanFraction of form pages is excluded from hub
+// candidacy entirely.
+func (g *generator) emitHubs(sites []*site) {
+	// Partition candidates per domain, withholding orphans.
+	byDomain := make(map[Domain][]*site)
+	for _, s := range sites {
+		if g.rng.Float64() < g.cfg.OrphanFraction {
+			continue // orphan: no hub will point to it
+		}
+		byDomain[s.domain] = append(byDomain[s.domain], s)
+	}
+	hubID := 0
+	for _, d := range Domains {
+		cands := byDomain[d]
+		if len(cands) == 0 {
+			continue
+		}
+		nHubs := g.cfg.HubsPerDomain
+		for h := 0; h < nHubs; h++ {
+			// Cardinality: mixture of small (2-5) and useful (6-11).
+			var card int
+			if g.rng.Float64() < 0.45 {
+				card = 2 + g.rng.Intn(4)
+			} else {
+				card = 6 + g.rng.Intn(6)
+			}
+			g.emitHub(hubID, d, card, cands, sites)
+			hubID++
+		}
+		// Oversized hubs (cardinality >= 13) exist for Airfare and Hotel
+		// only — the paper observed that hub clusters with 14+ forms all
+		// came from Air and Hotel.
+		if d == Airfare || d == Hotel {
+			for x := 0; x < 2; x++ {
+				g.emitHub(hubID, d, 13+g.rng.Intn(6), cands, sites)
+				hubID++
+			}
+		}
+	}
+}
+
+// emitHub renders one hub page of the given cardinality over candidate
+// sites of the hub's domain, possibly polluted with foreign links.
+func (g *generator) emitHub(id int, d Domain, card int, cands, all []*site) {
+	if card > len(cands) {
+		card = len(cands)
+	}
+	if card == 0 {
+		return
+	}
+	perm := g.rng.Perm(len(cands))
+	chosen := make([]*site, 0, card)
+	for _, i := range perm[:card] {
+		chosen = append(chosen, cands[i])
+	}
+	// Pollute some hubs with foreign links, replacing members so the
+	// drawn cardinality (and with it the oversized-hub invariant: 13+
+	// only for Airfare/Hotel) stays exact.
+	if g.rng.Float64() < g.cfg.HubMixFraction {
+		extra := 1 + g.rng.Intn(2)
+		for e := 0; e < extra && e < len(chosen); e++ {
+			s := all[g.rng.Intn(len(all))]
+			if s.domain != d {
+				chosen[len(chosen)-1-e] = s
+			}
+		}
+	}
+	spec := domainSpecs[d]
+	url := fmt.Sprintf("http://hubs.example/%s/list%d.html", d, id)
+	var b strings.Builder
+	fmt.Fprintf(&b, "<html><head><title>Best %s Sites - Reviewed Directory</title></head><body>\n", htmlx.EscapeText(string(d)))
+	fmt.Fprintf(&b, "<h1>Top %s Resources</h1>\n<ul>\n", htmlx.EscapeText(string(d)))
+	for _, s := range chosen {
+		target := s.formURL
+		if g.rng.Float64() < 0.25 {
+			target = s.rootURL // some hubs cite the site root instead
+		}
+		fmt.Fprintf(&b, "<li><a href=\"%s\">%s</a> - %s</li>\n",
+			htmlx.EscapeAttr(target), htmlx.EscapeText(s.name), htmlx.EscapeText(g.pick(spec.prose)))
+	}
+	b.WriteString("</ul></body></html>\n")
+	g.addPage(&Page{URL: url, HTML: b.String(), Kind: HubPageKind, Domain: d})
+}
+
+// emitDirectories builds cross-domain directory pages — the heterogeneous
+// hubs that SelectHubClusters must survive.
+func (g *generator) emitDirectories(sites []*site) {
+	byDomain := make(map[Domain][]*site)
+	for _, s := range sites {
+		byDomain[s.domain] = append(byDomain[s.domain], s)
+	}
+	for i := 0; i < g.cfg.DirectoryHubs; i++ {
+		url := fmt.Sprintf("http://dir.example/directory%d.html", i)
+		var b strings.Builder
+		b.WriteString("<html><head><title>Online Database Directory - Search Everything</title></head><body>\n")
+		b.WriteString("<h1>Searchable Databases by Topic</h1>\n")
+		for _, d := range Domains {
+			fmt.Fprintf(&b, "<h2>%s</h2>\n<ul>\n", htmlx.EscapeText(string(d)))
+			// 2-4 sites per domain per directory.
+			pool := byDomain[d]
+			if len(pool) == 0 {
+				continue
+			}
+			count := 2 + g.rng.Intn(3)
+			for c := 0; c < count; c++ {
+				s := pool[g.rng.Intn(len(pool))]
+				fmt.Fprintf(&b, "<li><a href=\"%s\">%s</a></li>\n", htmlx.EscapeAttr(s.formURL), htmlx.EscapeText(s.name))
+			}
+			b.WriteString("</ul>\n")
+		}
+		b.WriteString("</body></html>\n")
+		g.addPage(&Page{URL: url, HTML: b.String(), Kind: DirectoryPageKind})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,281 @@
+package webgen
+
+import (
+	"strings"
+	"testing"
+
+	"cafc/internal/form"
+	"cafc/internal/htmlx"
+)
+
+func smallCorpus(t *testing.T) *Corpus {
+	t.Helper()
+	return Generate(Config{Seed: 1, FormPages: 80})
+}
+
+func TestGenerateCounts(t *testing.T) {
+	c := Generate(Config{Seed: 1})
+	if len(c.FormPages) != 454 {
+		t.Errorf("form pages = %d, want 454", len(c.FormPages))
+	}
+	singles := 0
+	for _, u := range c.FormPages {
+		if c.ByURL[u].SingleAttr {
+			singles++
+		}
+	}
+	if singles != 56 {
+		t.Errorf("single-attribute pages = %d, want 56", singles)
+	}
+	// Every form page must have a label and a root.
+	for _, u := range c.FormPages {
+		if c.Labels[u] == "" {
+			t.Fatalf("no label for %s", u)
+		}
+		if c.RootOf[u] == "" {
+			t.Fatalf("no root for %s", u)
+		}
+		if c.ByURL[c.RootOf[u]] == nil {
+			t.Fatalf("root page missing for %s", u)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 7, FormPages: 40})
+	b := Generate(Config{Seed: 7, FormPages: 40})
+	if len(a.Pages) != len(b.Pages) {
+		t.Fatalf("page counts differ: %d vs %d", len(a.Pages), len(b.Pages))
+	}
+	for i := range a.Pages {
+		if a.Pages[i].URL != b.Pages[i].URL || a.Pages[i].HTML != b.Pages[i].HTML {
+			t.Fatalf("page %d differs between runs", i)
+		}
+	}
+	c := Generate(Config{Seed: 8, FormPages: 40})
+	same := true
+	for i := range a.Pages {
+		if i < len(c.Pages) && a.Pages[i].HTML != c.Pages[i].HTML {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical corpora")
+	}
+}
+
+func TestAllDomainsCovered(t *testing.T) {
+	c := smallCorpus(t)
+	seen := map[Domain]int{}
+	for _, u := range c.FormPages {
+		seen[c.Labels[u]]++
+	}
+	for _, d := range Domains {
+		if seen[d] == 0 {
+			t.Errorf("domain %s has no form pages", d)
+		}
+	}
+}
+
+func TestFormPagesAreParseable(t *testing.T) {
+	c := smallCorpus(t)
+	for _, u := range c.FormPages {
+		p := c.ByURL[u]
+		fp, err := form.Parse(u, p.HTML, form.DefaultWeights)
+		if err != nil {
+			t.Fatalf("%s: %v", u, err)
+		}
+		if p.SingleAttr && fp.Form.AttributeCount() != 1 {
+			t.Errorf("%s: marked single-attr but has %d attributes", u, fp.Form.AttributeCount())
+		}
+		if !p.SingleAttr && fp.Form.AttributeCount() < 2 {
+			t.Errorf("%s: marked multi-attr but has %d attributes", u, fp.Form.AttributeCount())
+		}
+	}
+}
+
+func TestRootNewsletterFormFiltered(t *testing.T) {
+	c := Generate(Config{Seed: 3, FormPages: 60})
+	// Some root pages contain a subscribe form; the searchable-form
+	// classifier must reject it.
+	sawNewsletter := false
+	for _, p := range c.Pages {
+		if p.Kind != RootPageKind || !strings.Contains(p.HTML, "newsletter") {
+			continue
+		}
+		sawNewsletter = true
+		doc := htmlx.Parse(p.HTML)
+		for _, f := range form.ExtractForms(doc) {
+			if form.IsSearchable(f) {
+				t.Errorf("newsletter form on %s judged searchable", p.URL)
+			}
+		}
+	}
+	if !sawNewsletter {
+		t.Skip("no newsletter forms generated with this seed")
+	}
+}
+
+func TestSingleAttrTextOutsideForm(t *testing.T) {
+	c := smallCorpus(t)
+	checked := 0
+	for _, u := range c.FormPages {
+		p := c.ByURL[u]
+		if !p.SingleAttr {
+			continue
+		}
+		checked++
+		fp, err := form.Parse(u, p.HTML, form.DefaultWeights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// FC of a single-attribute form must be tiny (just the button).
+		if fp.FormTermCount() > 6 {
+			t.Errorf("%s: single-attr FC has %d terms", u, fp.FormTermCount())
+		}
+		// PC must be rich.
+		if fp.PageTermsOutsideForm() < 40 {
+			t.Errorf("%s: single-attr page only has %d outside terms", u, fp.PageTermsOutsideForm())
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no single-attribute pages in corpus")
+	}
+}
+
+func TestTable1ShapeHolds(t *testing.T) {
+	// Pages with small forms must on average be richer than pages with
+	// big forms — the Table 1 inverse correlation.
+	c := Generate(Config{Seed: 5, FormPages: 160})
+	var smallForms, bigForms, smallOutside, bigOutside float64
+	for _, u := range c.FormPages {
+		fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fc := float64(fp.FormTermCount())
+		out := float64(fp.PageTermsOutsideForm())
+		if fc < 10 {
+			smallForms++
+			smallOutside += out
+		} else if fc >= 100 {
+			bigForms++
+			bigOutside += out
+		}
+	}
+	if smallForms == 0 || bigForms == 0 {
+		t.Fatalf("degenerate form-size distribution: %v small, %v big", smallForms, bigForms)
+	}
+	if smallOutside/smallForms <= bigOutside/bigForms {
+		t.Errorf("Table 1 shape violated: small-form pages avg %.1f outside terms, big-form pages avg %.1f",
+			smallOutside/smallForms, bigOutside/bigForms)
+	}
+}
+
+func TestHubsLinkMostlyWithinDomain(t *testing.T) {
+	c := Generate(Config{Seed: 9, FormPages: 160})
+	hubs := 0
+	homogeneous := 0
+	for _, p := range c.Pages {
+		if p.Kind != HubPageKind {
+			continue
+		}
+		hubs++
+		doc := htmlx.Parse(p.HTML)
+		pure := true
+		for _, l := range htmlx.ExtractLinks(doc, nil) {
+			target := c.ByURL[l.URL]
+			if target == nil {
+				continue
+			}
+			var d Domain
+			switch target.Kind {
+			case FormPageKind, RootPageKind:
+				d = target.Domain
+			default:
+				continue
+			}
+			if d != p.Domain {
+				pure = false
+			}
+		}
+		if pure {
+			homogeneous++
+		}
+	}
+	if hubs == 0 {
+		t.Fatal("no hubs generated")
+	}
+	frac := float64(homogeneous) / float64(hubs)
+	if frac < 0.5 || frac > 0.95 {
+		t.Errorf("homogeneous hub fraction = %.2f, want useful-but-imperfect (0.5..0.95)", frac)
+	}
+}
+
+func TestDirectoriesSpanDomains(t *testing.T) {
+	c := Generate(Config{Seed: 2, FormPages: 160})
+	dirs := 0
+	for _, p := range c.Pages {
+		if p.Kind != DirectoryPageKind {
+			continue
+		}
+		dirs++
+		doc := htmlx.Parse(p.HTML)
+		domains := map[Domain]bool{}
+		for _, l := range htmlx.ExtractLinks(doc, nil) {
+			if target := c.ByURL[l.URL]; target != nil {
+				domains[target.Domain] = true
+			}
+		}
+		if len(domains) < 3 {
+			t.Errorf("directory %s spans only %d domains", p.URL, len(domains))
+		}
+	}
+	if dirs == 0 {
+		t.Fatal("no directories generated")
+	}
+}
+
+func TestAmbiguousPagesExist(t *testing.T) {
+	c := Generate(Config{Seed: 4, FormPages: 300})
+	amb := 0
+	for _, u := range c.FormPages {
+		p := c.ByURL[u]
+		if p.Ambiguous {
+			amb++
+			if p.Domain != Music && p.Domain != Movie {
+				t.Errorf("ambiguous page in domain %s", p.Domain)
+			}
+		}
+	}
+	if amb == 0 {
+		t.Error("no ambiguous music/movie pages generated")
+	}
+}
+
+func TestPageKindString(t *testing.T) {
+	if FormPageKind.String() != "form" || RootPageKind.String() != "root" ||
+		HubPageKind.String() != "hub" || DirectoryPageKind.String() != "directory" ||
+		PageKind(42).String() != "unknown" {
+		t.Error("PageKind names wrong")
+	}
+}
+
+func TestUniqueURLs(t *testing.T) {
+	c := Generate(Config{Seed: 6, FormPages: 200})
+	seen := map[string]bool{}
+	for _, p := range c.Pages {
+		if seen[p.URL] {
+			t.Fatalf("duplicate URL %s", p.URL)
+		}
+		seen[p.URL] = true
+	}
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(Config{Seed: int64(i), FormPages: 454})
+	}
+}

@@ -1,0 +1,70 @@
+package webgen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// NonSearchableForms generates n HTML documents each containing one
+// non-searchable form (login, registration, newsletter, contact, quote
+// request) with naming variation — training and evaluation data for the
+// generic form classifier that pre-filters CAFC's input.
+func NonSearchableForms(seed int64, n int) []string {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, nonSearchableForm(rng))
+	}
+	return out
+}
+
+func nonSearchableForm(rng *rand.Rand) string {
+	pick := func(xs []string) string { return xs[rng.Intn(len(xs))] }
+	var b strings.Builder
+	b.WriteString("<html><body>")
+	switch rng.Intn(5) {
+	case 0: // login
+		user := pick([]string{"Username", "User Name", "Member ID", "Email Address"})
+		btn := pick([]string{"Login", "Log In", "Sign In", "Enter"})
+		fmt.Fprintf(&b, `<h2>%s</h2><form action="/login" method="post">
+			%s: <input type="text" name="user"><br>
+			Password: <input type="password" name="pass"><br>
+			<input type="checkbox" name="remember"> Remember me
+			<input type="submit" value="%s"></form>`,
+			pick([]string{"Member Login", "Sign In to Your Account", "Account Access"}), user, btn)
+	case 1: // registration
+		fmt.Fprintf(&b, `<h2>%s</h2><form action="/register" method="post">
+			Full Name: <input type="text" name="name"><br>
+			Email: <input type="text" name="email"><br>
+			Choose Password: <input type="password" name="p1"><br>
+			Confirm Password: <input type="password" name="p2"><br>
+			<input type="submit" value="%s"></form>`,
+			pick([]string{"Create an Account", "Register Now", "Join Free Today"}),
+			pick([]string{"Register", "Sign Up", "Create Account"}))
+	case 2: // newsletter
+		fmt.Fprintf(&b, `<form action="/subscribe" method="post">%s
+			<input type="text" name="email">
+			<input type="submit" value="%s"></form>`,
+			pick([]string{"Subscribe to our newsletter:", "Get weekly deals by email:", "Join our mailing list:"}),
+			pick([]string{"Subscribe", "Sign Up", "Join"}))
+	case 3: // contact
+		fmt.Fprintf(&b, `<h2>%s</h2><form action="/contact" method="post">
+			Your Name: <input type="text" name="name"><br>
+			Email: <input type="text" name="from"><br>
+			Message: <textarea name="msg"></textarea><br>
+			<input type="submit" value="%s"></form>`,
+			pick([]string{"Contact Us", "Send Us Feedback", "Customer Support"}),
+			pick([]string{"Send Message", "Submit Feedback", "Send"}))
+	default: // quote request
+		fmt.Fprintf(&b, `<h2>%s</h2><form action="/quote" method="post">
+			Company: <input type="text" name="company"><br>
+			Phone: <input type="text" name="phone"><br>
+			Project Details: <textarea name="details"></textarea><br>
+			<input type="submit" value="%s"></form>`,
+			pick([]string{"Request a Quote", "Get a Free Estimate", "Quote Request Form"}),
+			pick([]string{"Request Quote", "Get Estimate", "Submit Request"}))
+	}
+	b.WriteString("</body></html>")
+	return b.String()
+}

@@ -1,0 +1,136 @@
+package webgen
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"strings"
+)
+
+// Record generation: every generated site owns a small database of
+// textual records composed from its domain's vocabulary. The corpus HTTP
+// server answers form submissions against these records, which lets
+// post-query techniques (probe queries, the paper's related work [4, 14])
+// be implemented and compared against CAFC's pre-query approach.
+
+var firstNames = []string{
+	"James", "Mary", "Robert", "Patricia", "John", "Jennifer", "Michael",
+	"Linda", "David", "Elizabeth", "William", "Barbara", "Richard",
+	"Susan", "Joseph", "Jessica", "Thomas", "Sarah", "Carlos", "Maria",
+}
+
+var lastNames = []string{
+	"Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller",
+	"Davis", "Rodriguez", "Martinez", "Wilson", "Anderson", "Taylor",
+	"Thomas", "Moore", "Jackson", "Martin", "Lee", "Walker", "Hall",
+}
+
+var titleWords = []string{
+	"Hidden", "Silent", "Golden", "Broken", "Midnight", "Summer",
+	"Winter", "Lost", "Last", "First", "Secret", "Ancient", "Modern",
+	"Burning", "Frozen", "Distant", "Shining", "Wild", "Quiet", "Red",
+	"Blue", "Green", "Dark", "Bright", "Long", "Short", "Deep",
+}
+
+var titleNouns = []string{
+	"Garden", "River", "Mountain", "City", "Road", "Bridge", "Harbor",
+	"Forest", "Island", "Valley", "Tower", "Window", "Door", "Mirror",
+	"Journey", "Letter", "Promise", "Dream", "Song", "Dance", "Storm",
+	"Shadow", "Light", "Voice", "Memory", "Secret", "Stranger", "Child",
+}
+
+// recordCount is how many records each site's database holds.
+const recordCount = 40
+
+// generateRecords builds the database rows for one site. It draws from a
+// per-site RNG derived from the corpus seed and the site's URL rather
+// than the generator's shared stream, so adding or dropping record
+// generation never perturbs the page HTML of the rest of the corpus.
+func (g *generator) generateRecords(s *site) []string {
+	spec := domainSpecs[s.domain]
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s.formURL))
+	rng := rand.New(rand.NewSource(g.cfg.Seed ^ int64(h.Sum64())))
+	out := make([]string, 0, recordCount)
+	person := func() string {
+		return firstNames[rng.Intn(len(firstNames))] + " " + lastNames[rng.Intn(len(lastNames))]
+	}
+	work := func() string {
+		return "The " + titleWords[rng.Intn(len(titleWords))] + " " + titleNouns[rng.Intn(len(titleNouns))]
+	}
+	optionOf := func(i int) string {
+		attr := spec.attrs[i%len(spec.attrs)]
+		if len(attr.options) == 0 {
+			return work()
+		}
+		return attr.options[rng.Intn(len(attr.options))]
+	}
+	for i := 0; i < recordCount; i++ {
+		var r string
+		switch s.domain {
+		case Airfare:
+			r = fmt.Sprintf("Flight from %s to %s departing %s %s class fare %d dollars",
+				cities[rng.Intn(len(cities))], cities[rng.Intn(len(cities))],
+				months[rng.Intn(len(months))], optionOf(5), 99+rng.Intn(900))
+		case Auto:
+			r = fmt.Sprintf("%s %s %s with %d miles asking %d dollars",
+				optionOf(2), optionOf(0), optionOf(4), 1000*rng.Intn(120), 1000*(3+rng.Intn(40)))
+		case Book:
+			r = fmt.Sprintf("%s by %s %s published by %s in %d",
+				work(), person(), optionOf(4), optionOf(5), 1950+rng.Intn(56))
+		case CarRental:
+			r = fmt.Sprintf("%s car available in %s from %s at %d dollars per day",
+				optionOf(4), cities[rng.Intn(len(cities))], optionOf(5), 19+rng.Intn(80))
+		case Hotel:
+			r = fmt.Sprintf("%s hotel in %s %s with rooms from %d dollars per night",
+				optionOf(5), cities[rng.Intn(len(cities))], optionOf(6), 49+rng.Intn(250))
+		case Job:
+			r = fmt.Sprintf("%s position in %s %s paying %s",
+				optionOf(0), optionOf(1), optionOf(5), optionOf(3))
+		case Movie:
+			r = fmt.Sprintf("%s directed by %s %s rated %s on %s",
+				work(), person(), optionOf(3), optionOf(5), optionOf(4))
+		default: // Music
+			r = fmt.Sprintf("%s by %s %s on %s records released in the %s",
+				work(), person(), optionOf(3), optionOf(5), optionOf(6))
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// SearchRecords performs the simulated database's keyword search: records
+// containing any query term (case-insensitive substring on word
+// boundaries approximated by lower-cased containment) match. An empty
+// query matches nothing.
+func SearchRecords(records []string, query string) []string {
+	terms := strings.Fields(strings.ToLower(query))
+	if len(terms) == 0 {
+		return nil
+	}
+	var out []string
+	for _, r := range records {
+		low := strings.ToLower(r)
+		for _, t := range terms {
+			if strings.Contains(low, t) {
+				out = append(out, r)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// RandomRecords samples up to n records — what a database returns for a
+// browse/default query.
+func RandomRecords(records []string, n int, rng *rand.Rand) []string {
+	if n >= len(records) {
+		return append([]string(nil), records...)
+	}
+	perm := rng.Perm(len(records))[:n]
+	out := make([]string, 0, n)
+	for _, i := range perm {
+		out = append(out, records[i])
+	}
+	return out
+}

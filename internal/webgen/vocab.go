@@ -1,0 +1,383 @@
+// Package webgen generates a deterministic synthetic hidden web: form
+// pages in the paper's eight database domains, the sites around them, and
+// the hub/directory pages whose backlinks CAFC-CH exploits.
+//
+// The generator substitutes for the paper's 454 real form pages (UIUC
+// repository + focused crawler). It reproduces the statistical structure
+// the clustering algorithms depend on:
+//
+//   - per-domain anchor vocabulary with high IDF, shared boilerplate with
+//     low IDF;
+//   - wide heterogeneity in attribute naming across sites of one domain
+//     (Figure 1's "Job Category" vs "Industry");
+//   - single-attribute keyword forms whose descriptive text sits outside
+//     the FORM tags (Figure 1(c));
+//   - deliberate Music↔Movie vocabulary overlap, including combined
+//     music+movie stores (Figure 4);
+//   - the inverse correlation between form size and page content
+//     (Table 1);
+//   - per-domain hubs, cross-domain directories and intra-site hubs.
+package webgen
+
+// Domain is one of the paper's eight online-database domains.
+type Domain string
+
+// The eight domains of the paper's gold standard (Section 4.1).
+const (
+	Airfare   Domain = "airfare"
+	Auto      Domain = "auto"
+	Book      Domain = "book"
+	CarRental Domain = "carrental"
+	Hotel     Domain = "hotel"
+	Job       Domain = "job"
+	Movie     Domain = "movie"
+	Music     Domain = "music"
+)
+
+// Domains lists all eight domains in a fixed order.
+var Domains = []Domain{Airfare, Auto, Book, CarRental, Hotel, Job, Movie, Music}
+
+// attrSpec describes one queryable attribute of a domain: the alternative
+// labels different sites use for the same concept, and the value list its
+// select boxes draw from.
+type attrSpec struct {
+	labels  []string
+	options []string
+}
+
+// domainSpec is the generative model of one domain.
+type domainSpec struct {
+	domain Domain
+	// siteNouns seed site names and titles ("CheapFlights", "JetDeals").
+	siteNouns []string
+	// titleTemplates format page titles; %s is the site name.
+	titleTemplates []string
+	// attrs are the domain's queryable attributes.
+	attrs []attrSpec
+	// prose is domain-flavoured page text (high-IDF anchors live here).
+	prose []string
+	// searchVerbs label submit buttons and headings.
+	searchVerbs []string
+}
+
+var usStates = []string{
+	"Alabama", "Arizona", "California", "Colorado", "Florida", "Georgia",
+	"Illinois", "Massachusetts", "Nevada", "New York", "Ohio", "Oregon",
+	"Pennsylvania", "Texas", "Utah", "Virginia", "Washington",
+}
+
+var cities = []string{
+	"Atlanta", "Boston", "Chicago", "Dallas", "Denver", "Las Vegas",
+	"Los Angeles", "Miami", "New York", "Orlando", "Phoenix", "Portland",
+	"Salt Lake City", "San Francisco", "Seattle",
+}
+
+var countries = []string{
+	"United States", "Canada", "Mexico", "United Kingdom", "Ireland",
+	"France", "Germany", "Spain", "Italy", "Portugal", "Netherlands",
+	"Belgium", "Switzerland", "Austria", "Greece", "Sweden", "Norway",
+	"Denmark", "Finland", "Poland", "Czech Republic", "Hungary", "Russia",
+	"Turkey", "Egypt", "South Africa", "Morocco", "Kenya", "India",
+	"China", "Japan", "South Korea", "Thailand", "Singapore", "Malaysia",
+	"Indonesia", "Australia", "New Zealand", "Brazil", "Argentina",
+	"Chile", "Peru", "Colombia", "Costa Rica", "Jamaica",
+	"Iceland", "Luxembourg", "Monaco", "Croatia", "Slovenia", "Slovakia",
+	"Romania", "Bulgaria", "Ukraine", "Estonia", "Latvia", "Lithuania",
+	"Cyprus", "Malta", "Israel", "Jordan", "Saudi Arabia",
+	"United Arab Emirates", "Qatar", "Bahrain", "Kuwait", "Oman",
+	"Pakistan", "Bangladesh", "Sri Lanka", "Nepal", "Vietnam",
+	"Philippines", "Taiwan", "Hong Kong", "Fiji", "Tahiti", "Guatemala",
+	"Honduras", "Panama", "Ecuador", "Bolivia", "Uruguay", "Paraguay",
+	"Venezuela", "Dominican Republic", "Puerto Rico", "Bahamas",
+	"Barbados", "Trinidad and Tobago", "Bermuda", "Aruba",
+}
+
+var languages = []string{
+	"English", "Spanish", "French", "German", "Italian", "Portuguese",
+	"Dutch", "Swedish", "Norwegian", "Danish", "Finnish", "Polish",
+	"Czech", "Hungarian", "Russian", "Turkish", "Arabic", "Hebrew",
+	"Hindi", "Chinese", "Japanese", "Korean", "Thai", "Vietnamese",
+	"Greek", "Latin", "Swahili", "Icelandic",
+}
+
+var months = []string{
+	"January", "February", "March", "April", "May", "June", "July",
+	"August", "September", "October", "November", "December",
+}
+
+// genericBoilerplate is the low-IDF noise every site carries — the terms
+// the paper observes have "high frequency in form pages of all three
+// domains" (privacy, shopping, copyright, help, ...).
+var genericBoilerplate = []string{
+	"home", "about us", "contact", "privacy policy", "terms of use",
+	"copyright 2006 all rights reserved", "help", "site map", "faq",
+	"customer service", "shopping cart", "my account", "sign in",
+	"free shipping on orders", "gift certificates", "affiliate program",
+	"press room", "careers", "advertise with us", "secure checkout",
+	"satisfaction guaranteed", "newsletter", "special offers",
+	"best sellers", "new releases", "top rated", "view cart",
+	"order status", "returns and exchanges", "international orders",
+	"low price guarantee", "bookmark this page", "tell a friend",
+}
+
+// movieMusicShared is the vocabulary that makes Music and Movie the hard
+// pair (Section 4.2): both talk about titles, artists, soundtracks, DVDs.
+var movieMusicShared = []string{
+	"title", "artist", "soundtrack", "dvd", "release date", "studio",
+	"genre", "rating", "reviews", "charts", "top 100", "box set",
+	"collector edition", "entertainment", "media", "disc", "video",
+	"award winners", "classics", "new this week",
+}
+
+var domainSpecs = map[Domain]*domainSpec{
+	Airfare: {
+		domain:    Airfare,
+		siteNouns: []string{"JetQuest", "FareFinder", "SkyBooker", "AirDeals", "FlightHub", "WingTix", "AeroSaver", "TravelJet"},
+		titleTemplates: []string{
+			"%s - Cheap Flights and Airfare Deals",
+			"%s: Search Low Airfares",
+			"Book Flights Online at %s",
+			"%s Discount Airline Tickets",
+		},
+		attrs: []attrSpec{
+			{labels: []string{"Departure City", "From", "Leaving From", "Origin"}, options: cities},
+			{labels: []string{"Arrival City", "To", "Going To", "Destination"}, options: cities},
+			{labels: []string{"Departure Month", "Depart", "Outbound Date"}, options: months},
+			{labels: []string{"Return Month", "Return", "Inbound Date"}, options: months},
+			{labels: []string{"Passengers", "Travelers", "Adults"}, options: []string{"1", "2", "3", "4", "5", "6"}},
+			{labels: []string{"Cabin Class", "Class", "Service Class"}, options: []string{"Economy", "Business", "First"}},
+			{labels: []string{"Airline", "Preferred Airline", "Carrier"}, options: []string{"Delta", "United", "American", "Southwest", "JetBlue", "Continental", "Any Airline"}},
+			{labels: []string{"Destination Country", "Country", "Region"}, options: countries},
+		},
+		prose: []string{
+			"compare airfares from all major airlines", "nonstop and connecting flights",
+			"roundtrip and one way tickets", "last minute flight deals",
+			"international and domestic flights", "e-tickets issued instantly",
+			"departure and arrival airports worldwide", "frequent flyer miles",
+			"lowest fares guaranteed on every route", "airport shuttle information",
+			"red eye flights and weekend getaways", "aisle or window seating",
+			"baggage allowance and check in rules", "travel itinerary confirmation",
+		},
+		searchVerbs: []string{"Search Flights", "Find Flights", "Find Airfare", "Search Fares"},
+	},
+	Auto: {
+		domain:    Auto,
+		siteNouns: []string{"AutoTrader", "CarBazaar", "MotorMart", "WheelDeals", "RideFinder", "AutoNation", "CarQuest", "DriveTime"},
+		titleTemplates: []string{
+			"%s - New and Used Cars for Sale",
+			"%s: Search Used Car Listings",
+			"Buy a Car Online at %s",
+			"%s Auto Classifieds",
+		},
+		attrs: []attrSpec{
+			{labels: []string{"Make", "Manufacturer", "Brand"}, options: []string{"Ford", "Toyota", "Honda", "Chevrolet", "BMW", "Nissan", "Volkswagen", "Dodge", "Subaru", "Mercedes"}},
+			{labels: []string{"Model", "Car Model"}, options: []string{"Sedan", "Coupe", "Convertible", "Wagon", "Hatchback", "Any Model"}},
+			{labels: []string{"Year", "Model Year", "From Year"}, options: []string{"1998", "1999", "2000", "2001", "2002", "2003", "2004", "2005", "2006"}},
+			{labels: []string{"Price Range", "Max Price", "Price"}, options: []string{"Under 5000", "5000 to 10000", "10000 to 20000", "20000 to 35000", "Over 35000"}},
+			{labels: []string{"Body Style", "Vehicle Type", "Category"}, options: []string{"Sedan", "SUV", "Truck", "Minivan", "Coupe", "Convertible"}},
+			{labels: []string{"Mileage", "Max Mileage"}, options: []string{"Under 30000", "Under 60000", "Under 100000", "Any Mileage"}},
+			{labels: []string{"State", "Location", "Region"}, options: usStates},
+			{labels: []string{"Color", "Exterior Color"}, options: []string{"Black", "White", "Silver", "Red", "Blue", "Green", "Gold", "Gray", "Beige", "Maroon", "Orange", "Yellow"}},
+		},
+		prose: []string{
+			"certified pre owned vehicles with warranty", "dealer and private seller listings",
+			"free vehicle history report", "trade in value estimates",
+			"financing and auto loans available", "horsepower engine and transmission specs",
+			"test drive at a dealership near you", "fuel economy ratings",
+			"thousands of used cars updated daily", "kelley blue book pricing",
+			"leather interior sunroof options", "four wheel drive trucks and suvs",
+		},
+		searchVerbs: []string{"Search Cars", "Find Vehicles", "Search Inventory", "Find Your Car"},
+	},
+	Book: {
+		domain:    Book,
+		siteNouns: []string{"PageTurner", "BookVault", "ReadMore", "NovelIdea", "BookBarn", "ChapterOne", "InkWell", "FolioFinds"},
+		titleTemplates: []string{
+			"%s - Books for Sale Online",
+			"%s: Search Millions of Books",
+			"New and Used Books at %s",
+			"%s Online Bookstore",
+		},
+		attrs: []attrSpec{
+			{labels: []string{"Title", "Book Title"}, options: nil},
+			{labels: []string{"Author", "Written By", "Author Name"}, options: nil},
+			{labels: []string{"ISBN", "ISBN Number"}, options: nil},
+			{labels: []string{"Subject", "Category", "Genre"}, options: []string{"Fiction", "Mystery", "Science Fiction", "Biography", "History", "Romance", "Cooking", "Travel", "Children", "Reference"}},
+			{labels: []string{"Format", "Binding"}, options: []string{"Hardcover", "Paperback", "Audio Book", "Large Print"}},
+			{labels: []string{"Publisher", "Publishing House"}, options: []string{"Penguin", "Random House", "HarperCollins", "Simon Schuster", "Oxford", "Any Publisher"}},
+			{labels: []string{"Condition"}, options: []string{"New", "Like New", "Very Good", "Good", "Acceptable"}},
+			{labels: []string{"Language", "Written In"}, options: languages},
+		},
+		prose: []string{
+			"millions of new and used books", "out of print and rare titles",
+			"first editions and signed copies", "textbooks at discount prices",
+			"read reviews from other readers", "award winning novels and bestsellers",
+			"paperback hardcover and audio formats", "browse by author or subject",
+			"independent booksellers worldwide", "free bookmark with every order",
+			"literary classics and poetry", "publisher overstock bargains",
+		},
+		searchVerbs: []string{"Search Books", "Find Books", "Find a Book", "Search Titles"},
+	},
+	CarRental: {
+		domain:    CarRental,
+		siteNouns: []string{"RentWheels", "QuickCar", "GoRental", "MileageMax", "CityDrive", "EasyRent", "AutoHire", "RoadReady"},
+		titleTemplates: []string{
+			"%s - Rental Car Reservations",
+			"%s: Compare Car Rental Rates",
+			"Rent a Car Online with %s",
+			"%s Discount Car Hire",
+		},
+		attrs: []attrSpec{
+			{labels: []string{"Pick Up Location", "Pickup City", "Rental Location"}, options: cities},
+			{labels: []string{"Drop Off Location", "Return City", "Return Location"}, options: cities},
+			{labels: []string{"Pick Up Date", "Rental Date", "Start Date"}, options: months},
+			{labels: []string{"Drop Off Date", "Return Date", "End Date"}, options: months},
+			{labels: []string{"Car Class", "Vehicle Class", "Car Type"}, options: []string{"Economy", "Compact", "Midsize", "Full Size", "Luxury", "Minivan", "SUV"}},
+			{labels: []string{"Rental Company", "Agency", "Supplier"}, options: []string{"Hertz", "Avis", "Budget", "Enterprise", "National", "Alamo", "Any Company"}},
+			{labels: []string{"Country", "Rental Country"}, options: countries},
+		},
+		prose: []string{
+			"compare rental rates at airport locations", "unlimited mileage on most rentals",
+			"weekly and weekend rental specials", "insurance and collision damage waiver",
+			"free cancellation on reservations", "pick up at the airport counter",
+			"economy to luxury vehicles available", "corporate and leisure rentals",
+			"one way rentals between cities", "child seats and gps navigation extras",
+			"driver age requirements apply", "fuel policy and mileage terms",
+		},
+		searchVerbs: []string{"Search Rentals", "Find a Car", "Get Rates", "Check Availability"},
+	},
+	Hotel: {
+		domain:    Hotel,
+		siteNouns: []string{"StayFinder", "RoomQuest", "InnSeeker", "HotelHive", "SuiteSpot", "LodgeLook", "BedBoard", "CheckInn"},
+		titleTemplates: []string{
+			"%s - Hotel Reservations and Availability",
+			"%s: Find Hotel Rooms and Rates",
+			"Book Hotels Online at %s",
+			"%s Discount Hotel Deals",
+		},
+		attrs: []attrSpec{
+			{labels: []string{"City", "Destination", "Where"}, options: cities},
+			{labels: []string{"Check In", "Arrival Date", "Check In Month"}, options: months},
+			{labels: []string{"Check Out", "Departure Date", "Check Out Month"}, options: months},
+			{labels: []string{"Rooms", "Number of Rooms"}, options: []string{"1", "2", "3", "4"}},
+			{labels: []string{"Guests", "Adults", "Occupancy"}, options: []string{"1", "2", "3", "4", "5"}},
+			{labels: []string{"Star Rating", "Hotel Class", "Rating"}, options: []string{"2 Stars", "3 Stars", "4 Stars", "5 Stars", "Any Rating"}},
+			{labels: []string{"Hotel Chain", "Brand", "Preferred Chain"}, options: []string{"Hilton", "Marriott", "Hyatt", "Sheraton", "Holiday Inn", "Best Western", "Any Chain"}},
+			{labels: []string{"Country", "Destination Country"}, options: countries},
+		},
+		prose: []string{
+			"real time room availability and rates", "free breakfast and wireless internet",
+			"downtown and airport hotels", "guest reviews and hotel photos",
+			"no booking fees ever", "suites with kitchenette",
+			"swimming pool fitness center amenities", "pet friendly accommodations",
+			"group rates and extended stays", "bed and breakfast inns",
+			"oceanfront resorts and spas", "late checkout on request",
+		},
+		searchVerbs: []string{"Search Hotels", "Find Rooms", "Check Rates", "Find Hotels"},
+	},
+	Job: {
+		domain:    Job,
+		siteNouns: []string{"CareerLift", "JobScout", "WorkWise", "HireLine", "TalentPool", "JobSpring", "CareerPath", "EmployMe"},
+		titleTemplates: []string{
+			"%s - Job Search and Career Resources",
+			"%s: Search Job Openings",
+			"Find Jobs and Careers at %s",
+			"%s Employment Listings",
+		},
+		attrs: []attrSpec{
+			{labels: []string{"Job Category", "Industry", "Field", "Job Type"}, options: []string{"Accounting", "Engineering", "Healthcare", "Information Technology", "Sales", "Education", "Manufacturing", "Legal", "Marketing", "Nursing"}},
+			{labels: []string{"State", "Location", "Region", "Where"}, options: usStates},
+			{labels: []string{"Keywords", "Job Title", "Skills"}, options: nil},
+			{labels: []string{"Salary Range", "Pay", "Compensation"}, options: []string{"Under 30000", "30000 to 50000", "50000 to 75000", "75000 to 100000", "Over 100000"}},
+			{labels: []string{"Experience Level", "Career Level", "Experience"}, options: []string{"Entry Level", "Mid Career", "Senior", "Executive", "Internship"}},
+			{labels: []string{"Employment Type", "Schedule"}, options: []string{"Full Time", "Part Time", "Contract", "Temporary"}},
+			{labels: []string{"City", "Metro Area"}, options: cities},
+		},
+		prose: []string{
+			"thousands of job openings updated daily", "post your resume for employers",
+			"salary surveys and career advice", "entry level to executive positions",
+			"employers are hiring in your area", "interview tips and resume writing",
+			"full time part time and contract work", "recruiters search our candidate database",
+			"job alerts delivered by email", "internships and graduate programs",
+			"relocation assistance available", "benefits and retirement plans",
+		},
+		searchVerbs: []string{"Search Jobs", "Find Jobs", "Search Openings", "Find a Job"},
+	},
+	Movie: {
+		domain:    Movie,
+		siteNouns: []string{"FilmCrate", "ReelDeals", "MovieMart", "CineShop", "FlickFind", "ScreenGems", "DVDepot", "PremiereShop"},
+		titleTemplates: []string{
+			"%s - Movies and DVDs for Sale",
+			"%s: Search Movie Titles",
+			"Buy DVDs Online at %s",
+			"%s DVD and Video Store",
+		},
+		attrs: []attrSpec{
+			{labels: []string{"Movie Title", "Title", "Film Name"}, options: nil},
+			{labels: []string{"Director", "Directed By", "Filmmaker"}, options: nil},
+			{labels: []string{"Actor", "Starring", "Cast Member"}, options: nil},
+			{labels: []string{"Genre", "Category", "Film Genre"}, options: []string{"Action", "Comedy", "Drama", "Horror", "Thriller", "Documentary", "Animation", "Western", "Family"}},
+			{labels: []string{"Format", "Media Format"}, options: []string{"DVD", "VHS", "Widescreen DVD", "Box Set"}},
+			{labels: []string{"MPAA Rating", "Rating", "Rated"}, options: []string{"G", "PG", "PG-13", "R", "Unrated"}},
+			{labels: []string{"Decade", "Release Decade", "Year"}, options: []string{"1960s", "1970s", "1980s", "1990s", "2000s"}},
+			{labels: []string{"Language", "Audio Language"}, options: languages},
+		},
+		prose: []string{
+			"new release movies and classic films", "widescreen and fullscreen dvds",
+			"behind the scenes bonus features", "academy award winning films",
+			"cult classics and foreign cinema", "movie trailers and screenshots",
+			"directors cut special editions", "film reviews by top critics",
+			"preorder upcoming theatrical releases", "hollywood blockbusters on sale",
+			"television series complete seasons", "actors filmography and biography",
+		},
+		searchVerbs: []string{"Search Movies", "Find Films", "Search DVDs", "Find Movies"},
+	},
+	Music: {
+		domain:    Music,
+		siteNouns: []string{"TuneTrove", "DiscSpin", "MelodyMart", "CDCorner", "SoundBay", "VinylVault", "NoteShop", "RhythmBox"},
+		titleTemplates: []string{
+			"%s - Music CDs for Sale",
+			"%s: Search Albums and Artists",
+			"Buy CDs Online at %s",
+			"%s Music Store",
+		},
+		attrs: []attrSpec{
+			{labels: []string{"Artist", "Band", "Performer"}, options: nil},
+			{labels: []string{"Album Title", "Album", "Record Title"}, options: nil},
+			{labels: []string{"Song Title", "Track", "Song"}, options: nil},
+			{labels: []string{"Genre", "Music Style", "Category"}, options: []string{"Rock", "Pop", "Jazz", "Classical", "Country", "Hip Hop", "Blues", "Electronic", "Folk", "Reggae"}},
+			{labels: []string{"Format", "Media"}, options: []string{"CD", "Vinyl LP", "Cassette", "Box Set"}},
+			{labels: []string{"Record Label", "Label"}, options: []string{"Columbia", "Capitol", "Atlantic", "Motown", "Def Jam", "Any Label"}},
+			{labels: []string{"Decade", "Era", "Year"}, options: []string{"1960s", "1970s", "1980s", "1990s", "2000s"}},
+			{labels: []string{"Country of Origin", "Country"}, options: countries},
+		},
+		prose: []string{
+			"new albums and greatest hits collections", "import cds and rare vinyl records",
+			"listen to song samples before you buy", "grammy award winning artists",
+			"concert tickets and tour dates", "remastered editions with liner notes",
+			"billboard chart toppers", "independent labels and local bands",
+			"singles eps and full length albums", "band biographies and discographies",
+			"limited edition colored vinyl", "classical symphonies and opera recordings",
+		},
+		searchVerbs: []string{"Search Music", "Find Albums", "Search CDs", "Find Music"},
+	},
+}
+
+// Spec returns the generative spec of a domain (nil for unknown domains).
+func Spec(d Domain) *domainSpec { return domainSpecs[d] }
+
+// AttributeConcepts returns, for each attribute concept of the domain,
+// the alternative labels sites use for it — the gold standard for
+// attribute-correspondence experiments (e.g. Job's "Job Category" /
+// "Industry" / "Field" are one concept).
+func AttributeConcepts(d Domain) [][]string {
+	spec := domainSpecs[d]
+	if spec == nil {
+		return nil
+	}
+	out := make([][]string, 0, len(spec.attrs))
+	for _, a := range spec.attrs {
+		out = append(out, append([]string(nil), a.labels...))
+	}
+	return out
+}

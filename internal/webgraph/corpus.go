@@ -1,0 +1,26 @@
+package webgraph
+
+import (
+	"net/url"
+
+	"cafc/internal/htmlx"
+	"cafc/internal/webgen"
+)
+
+// FromCorpus parses every page of a generated corpus and builds the full
+// link graph. Relative hrefs are resolved against the page URL.
+func FromCorpus(c *webgen.Corpus) *Graph {
+	g := New()
+	for _, p := range c.Pages {
+		g.AddPage(p.URL)
+		base, err := url.Parse(p.URL)
+		if err != nil {
+			continue
+		}
+		doc := htmlx.Parse(p.HTML)
+		for _, l := range htmlx.ExtractLinks(doc, base) {
+			g.AddLinkAnchor(p.URL, l.URL, l.Anchor)
+		}
+	}
+	return g
+}

@@ -1,0 +1,243 @@
+// Package webgraph stores the hyperlink structure around form pages and
+// simulates the search-engine "link:" backlink API the paper queries
+// (AltaVista, Section 3.1). The simulation is deliberately imperfect in
+// the ways the paper reports real backlink data to be: per-query result
+// limits, incomplete index coverage, and transient unavailability.
+package webgraph
+
+import (
+	"errors"
+	"math/rand"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Graph is a directed link graph over page URLs. It is safe for
+// concurrent use.
+type Graph struct {
+	mu      sync.RWMutex
+	pages   map[string]bool
+	out     map[string][]string
+	in      map[string][]string
+	anchors map[linkKey]string
+}
+
+// linkKey identifies one directed edge.
+type linkKey struct{ from, to string }
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		pages:   make(map[string]bool),
+		out:     make(map[string][]string),
+		in:      make(map[string][]string),
+		anchors: make(map[linkKey]string),
+	}
+}
+
+// AddPage registers a page URL (idempotent).
+func (g *Graph) AddPage(u string) {
+	g.mu.Lock()
+	g.pages[u] = true
+	g.mu.Unlock()
+}
+
+// AddLink records a directed edge from -> to, registering both pages.
+// Duplicate edges are ignored.
+func (g *Graph) AddLink(from, to string) {
+	g.AddLinkAnchor(from, to, "")
+}
+
+// AddLinkAnchor is AddLink with the link's anchor text. The first anchor
+// recorded for an edge wins.
+func (g *Graph) AddLinkAnchor(from, to, anchor string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.pages[from] = true
+	g.pages[to] = true
+	for _, t := range g.out[from] {
+		if t == to {
+			return
+		}
+	}
+	g.out[from] = append(g.out[from], to)
+	g.in[to] = append(g.in[to], from)
+	if anchor != "" {
+		g.anchors[linkKey{from, to}] = anchor
+	}
+}
+
+// Anchor returns the anchor text recorded for the from->to edge ("" when
+// unknown).
+func (g *Graph) Anchor(from, to string) string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.anchors[linkKey{from, to}]
+}
+
+// OutAnchors returns the anchor texts of every outgoing link of a page,
+// in sorted target order.
+func (g *Graph) OutAnchors(from string) []string {
+	g.mu.RLock()
+	targets := append([]string(nil), g.out[from]...)
+	g.mu.RUnlock()
+	sort.Strings(targets)
+	var out []string
+	for _, t := range targets {
+		if a := g.Anchor(from, t); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// HasPage reports whether the URL is known.
+func (g *Graph) HasPage(u string) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.pages[u]
+}
+
+// Len returns the number of known pages.
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.pages)
+}
+
+// Edges returns the number of directed links.
+func (g *Graph) Edges() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	n := 0
+	for _, outs := range g.out {
+		n += len(outs)
+	}
+	return n
+}
+
+// Outlinks returns a copy of the pages u links to, sorted.
+func (g *Graph) Outlinks(u string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := append([]string(nil), g.out[u]...)
+	sort.Strings(out)
+	return out
+}
+
+// Backlinks returns a copy of the pages linking to u, sorted.
+func (g *Graph) Backlinks(u string) []string {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	in := append([]string(nil), g.in[u]...)
+	sort.Strings(in)
+	return in
+}
+
+// Host returns the host component of a URL ("" if unparseable).
+func Host(u string) string {
+	p, err := url.Parse(u)
+	if err != nil {
+		return ""
+	}
+	return strings.ToLower(p.Host)
+}
+
+// SameSite reports whether two URLs share a host — the intra-site test
+// used to discard hubs that live on the site they point to.
+func SameSite(a, b string) bool {
+	ha, hb := Host(a), Host(b)
+	return ha != "" && ha == hb
+}
+
+// ErrUnavailable is returned by a BacklinkService during a simulated
+// outage.
+var ErrUnavailable = errors.New("webgraph: backlink service unavailable")
+
+// BacklinkService simulates a search engine's link: query facility.
+type BacklinkService struct {
+	g *Graph
+	// Limit caps the number of backlinks per query (the paper extracts
+	// at most 100 per form page). Zero means 100.
+	Limit int
+	// Coverage in [0,1] is the fraction of source pages whose outgoing
+	// links the "search engine" indexed. Unindexed sources are invisible
+	// as backlinks everywhere, reproducing the paper's observation that
+	// backlink data is very incomplete. 0 means full coverage.
+	Coverage float64
+	// Seed makes the coverage sample deterministic.
+	Seed int64
+
+	once      sync.Once
+	unindexed map[string]bool
+	mu        sync.Mutex
+	down      bool
+}
+
+// NewBacklinkService wraps a graph in a link: API with the given result
+// limit (0 = 100) and index coverage (0 or >=1 = full).
+func NewBacklinkService(g *Graph, limit int, coverage float64, seed int64) *BacklinkService {
+	return &BacklinkService{g: g, Limit: limit, Coverage: coverage, Seed: seed}
+}
+
+// SetUnavailable toggles a simulated outage; queries fail with
+// ErrUnavailable while down.
+func (s *BacklinkService) SetUnavailable(down bool) {
+	s.mu.Lock()
+	s.down = down
+	s.mu.Unlock()
+}
+
+// init lazily samples the unindexed source set.
+func (s *BacklinkService) init() {
+	s.once.Do(func() {
+		s.unindexed = make(map[string]bool)
+		if s.Coverage <= 0 || s.Coverage >= 1 {
+			return
+		}
+		rng := rand.New(rand.NewSource(s.Seed))
+		// Deterministic order: sort sources first.
+		s.g.mu.RLock()
+		srcs := make([]string, 0, len(s.g.out))
+		for u := range s.g.out {
+			srcs = append(srcs, u)
+		}
+		s.g.mu.RUnlock()
+		sort.Strings(srcs)
+		for _, u := range srcs {
+			if rng.Float64() > s.Coverage {
+				s.unindexed[u] = true
+			}
+		}
+	})
+}
+
+// Backlinks answers a link: query for u. The result respects the service
+// limit and index coverage; order is deterministic.
+func (s *BacklinkService) Backlinks(u string) ([]string, error) {
+	s.mu.Lock()
+	down := s.down
+	s.mu.Unlock()
+	if down {
+		return nil, ErrUnavailable
+	}
+	s.init()
+	all := s.g.Backlinks(u)
+	out := make([]string, 0, len(all))
+	for _, src := range all {
+		if s.unindexed[src] {
+			continue
+		}
+		out = append(out, src)
+		limit := s.Limit
+		if limit == 0 {
+			limit = 100
+		}
+		if len(out) >= limit {
+			break
+		}
+	}
+	return out, nil
+}

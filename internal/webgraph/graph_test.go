@@ -1,0 +1,146 @@
+package webgraph
+
+import (
+	"testing"
+
+	"cafc/internal/webgen"
+)
+
+func TestGraphBasics(t *testing.T) {
+	g := New()
+	g.AddLink("http://a.example/", "http://b.example/x")
+	g.AddLink("http://a.example/", "http://c.example/")
+	g.AddLink("http://a.example/", "http://b.example/x") // duplicate
+	g.AddLink("http://d.example/", "http://b.example/x")
+	if g.Len() != 4 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	if g.Edges() != 3 {
+		t.Errorf("Edges = %d", g.Edges())
+	}
+	out := g.Outlinks("http://a.example/")
+	if len(out) != 2 {
+		t.Errorf("Outlinks = %v", out)
+	}
+	in := g.Backlinks("http://b.example/x")
+	if len(in) != 2 || in[0] != "http://a.example/" || in[1] != "http://d.example/" {
+		t.Errorf("Backlinks = %v", in)
+	}
+	if !g.HasPage("http://c.example/") || g.HasPage("http://zzz.example/") {
+		t.Error("HasPage wrong")
+	}
+}
+
+func TestHostAndSameSite(t *testing.T) {
+	if Host("http://WWW.Site.Example/path") != "www.site.example" {
+		t.Errorf("Host = %q", Host("http://WWW.Site.Example/path"))
+	}
+	if !SameSite("http://a.example/x", "http://a.example/y") {
+		t.Error("same host not detected")
+	}
+	if SameSite("http://a.example/", "http://b.example/") {
+		t.Error("different hosts confused")
+	}
+	if SameSite("::bad::", "::bad::") {
+		t.Error("unparseable URLs must not be same-site")
+	}
+}
+
+func TestBacklinkServiceLimit(t *testing.T) {
+	g := New()
+	for i := 0; i < 250; i++ {
+		g.AddLink(srcURL(i), "http://target.example/")
+	}
+	s := NewBacklinkService(g, 0, 0, 1) // default limit 100
+	links, err := s.Backlinks("http://target.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 100 {
+		t.Errorf("got %d backlinks, want 100", len(links))
+	}
+	s2 := NewBacklinkService(g, 10, 0, 1)
+	links, _ = s2.Backlinks("http://target.example/")
+	if len(links) != 10 {
+		t.Errorf("got %d backlinks, want 10", len(links))
+	}
+}
+
+func TestBacklinkServiceCoverageGap(t *testing.T) {
+	g := New()
+	for i := 0; i < 200; i++ {
+		g.AddLink(srcURL(i), "http://target.example/")
+	}
+	s := NewBacklinkService(g, 1000, 0.5, 7)
+	links, err := s.Backlinks("http://target.example/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) < 60 || len(links) > 140 {
+		t.Errorf("coverage 0.5 returned %d of 200", len(links))
+	}
+	// Deterministic for a fixed seed.
+	s2 := NewBacklinkService(g, 1000, 0.5, 7)
+	links2, _ := s2.Backlinks("http://target.example/")
+	if len(links) != len(links2) {
+		t.Error("coverage sampling not deterministic")
+	}
+}
+
+func TestBacklinkServiceOutage(t *testing.T) {
+	g := New()
+	g.AddLink("http://a.example/", "http://b.example/")
+	s := NewBacklinkService(g, 0, 0, 1)
+	s.SetUnavailable(true)
+	if _, err := s.Backlinks("http://b.example/"); err != ErrUnavailable {
+		t.Errorf("err = %v, want ErrUnavailable", err)
+	}
+	s.SetUnavailable(false)
+	if links, err := s.Backlinks("http://b.example/"); err != nil || len(links) != 1 {
+		t.Errorf("after recovery: %v, %v", links, err)
+	}
+}
+
+func TestFromCorpus(t *testing.T) {
+	c := webgen.Generate(webgen.Config{Seed: 1, FormPages: 60})
+	g := FromCorpus(c)
+	if g.Len() < len(c.Pages) {
+		t.Errorf("graph has %d pages for %d corpus pages", g.Len(), len(c.Pages))
+	}
+	// Every form page must have its root page as a backlink (the root
+	// links to its own form page).
+	missing := 0
+	for _, u := range c.FormPages {
+		root := c.RootOf[u]
+		found := false
+		for _, b := range g.Backlinks(u) {
+			if b == root {
+				found = true
+				break
+			}
+		}
+		if !found {
+			missing++
+		}
+	}
+	if missing > 0 {
+		t.Errorf("%d form pages lack their root backlink", missing)
+	}
+	// Hubs must produce backlinks for at least some form pages.
+	hubBacked := 0
+	for _, u := range c.FormPages {
+		for _, b := range g.Backlinks(u) {
+			if Host(b) == "hubs.example" || Host(b) == "dir.example" {
+				hubBacked++
+				break
+			}
+		}
+	}
+	if hubBacked == 0 {
+		t.Error("no form page has a hub backlink")
+	}
+}
+
+func srcURL(i int) string {
+	return "http://src" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+(i/676)%26)) + ".example/"
+}

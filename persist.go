@@ -1,0 +1,91 @@
+package cafc
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	icafc "cafc/internal/cafc"
+	"cafc/internal/form"
+	"cafc/internal/vector"
+)
+
+// corpusSnapshot is the gob wire format of a built corpus: the TF-IDF
+// vectors and document-frequency tables, everything clustering and
+// classification need. Raw extraction artifacts (parsed forms) are not
+// persisted; a loaded corpus can cluster, compare and classify, but not
+// re-derive Table 1-style extraction statistics.
+type corpusSnapshot struct {
+	Version  int
+	URLs     []string
+	Weights  form.Weights
+	Uniform  bool
+	Features int
+	C1, C2   float64
+	FC, PC   []map[string]float64
+	FCDFN    int
+	FCDF     map[string]int
+	PCDFN    int
+	PCDF     map[string]int
+}
+
+const snapshotVersion = 1
+
+// Save writes the built corpus (model vectors + corpus statistics) as
+// gzipped gob, so an expensive crawl+build can be reused across
+// processes — e.g. by a long-running classification service.
+func (c *Corpus) Save(w io.Writer) error {
+	snap := corpusSnapshot{
+		Version:  snapshotVersion,
+		URLs:     c.urls,
+		Weights:  c.weights,
+		Uniform:  c.model.Uniform,
+		Features: int(c.model.Features),
+		C1:       c.model.C1,
+		C2:       c.model.C2,
+	}
+	for _, p := range c.model.Pages {
+		snap.FC = append(snap.FC, p.FC)
+		snap.PC = append(snap.PC, p.PC)
+	}
+	snap.FCDFN, snap.FCDF = c.model.FCDF.Snapshot()
+	snap.PCDFN, snap.PCDF = c.model.PCDF.Snapshot()
+	zw := gzip.NewWriter(w)
+	if err := gob.NewEncoder(zw).Encode(snap); err != nil {
+		return fmt.Errorf("cafc: save: %w", err)
+	}
+	return zw.Close()
+}
+
+// LoadCorpus reads a corpus written by Save.
+func LoadCorpus(r io.Reader) (*Corpus, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return nil, fmt.Errorf("cafc: load: %w", err)
+	}
+	defer zr.Close()
+	var snap corpusSnapshot
+	if err := gob.NewDecoder(zr).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("cafc: decode: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("cafc: snapshot version %d not supported", snap.Version)
+	}
+	if len(snap.FC) != len(snap.URLs) || len(snap.PC) != len(snap.URLs) {
+		return nil, fmt.Errorf("cafc: snapshot corrupt: %d urls, %d/%d vectors",
+			len(snap.URLs), len(snap.FC), len(snap.PC))
+	}
+	m := &icafc.Model{
+		C1:       snap.C1,
+		C2:       snap.C2,
+		Features: Features(snap.Features),
+		Uniform:  snap.Uniform,
+		FCDF:     vector.RestoreDocFreq(snap.FCDFN, snap.FCDF),
+		PCDF:     vector.RestoreDocFreq(snap.PCDFN, snap.PCDF),
+	}
+	for i, u := range snap.URLs {
+		m.Pages = append(m.Pages, &icafc.Page{URL: u, FC: snap.FC[i], PC: snap.PC[i]})
+	}
+	return &Corpus{model: m, urls: snap.URLs, weights: snap.Weights}, nil
+}

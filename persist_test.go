@@ -1,0 +1,117 @@
+package cafc
+
+import (
+	"bytes"
+	"compress/gzip"
+	"io"
+	"strings"
+	"testing"
+)
+
+func newGzip(w io.Writer) *gzip.Writer { return gzip.NewWriter(w) }
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	docs, labels, roots, backlinks := testDocs(t, 11, 120)
+	orig, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Len() != orig.Len() {
+		t.Fatalf("Len = %d, want %d", loaded.Len(), orig.Len())
+	}
+	// Similarities must survive exactly.
+	for i := 0; i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			a, b := orig.Similarity(i, j), loaded.Similarity(i, j)
+			if diff := a - b; diff > 1e-12 || diff < -1e-12 {
+				t.Fatalf("sim(%d,%d) drifted: %v vs %v", i, j, a, b)
+			}
+		}
+	}
+	// Clustering a loaded corpus works and matches quality-wise.
+	clOrig := orig.ClusterCH(8, backlinks, roots, 1)
+	clLoaded := loaded.ClusterCH(8, backlinks, roots, 1)
+	eo, fo := clOrig.Quality(labels)
+	el, fl := clLoaded.Quality(labels)
+	// Quality sums floats in map-iteration order, so allow rounding noise.
+	if abs(eo-el) > 1e-9 || abs(fo-fl) > 1e-9 {
+		t.Errorf("quality drifted: (%.3f, %.3f) vs (%.3f, %.3f)", eo, fo, el, fl)
+	}
+}
+
+func TestLoadedCorpusClassifies(t *testing.T) {
+	docs, labels, _, _ := testDocs(t, 12, 120)
+	orig, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadCorpus(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := loaded.ClusterC(8, 1)
+	names := make([]string, len(cl.Clusters))
+	for i, members := range cl.Clusters {
+		counts := map[string]int{}
+		for _, u := range members {
+			counts[labels[u]]++
+		}
+		for d, n := range counts {
+			if names[i] == "" || n > counts[names[i]] {
+				names[i] = d
+			}
+		}
+	}
+	clf := loaded.Classifier(cl, names)
+	held, heldLabels, _, _ := testDocs(t, 13, 40)
+	correct, total := 0, 0
+	for _, d := range held {
+		pred, ok, err := clf.Classify(d)
+		if err != nil || !ok {
+			continue
+		}
+		total++
+		if pred.Label == heldLabels[d.URL] {
+			correct++
+		}
+	}
+	if total < 25 {
+		t.Fatalf("classified only %d", total)
+	}
+	if acc := float64(correct) / float64(total); acc < 0.6 {
+		t.Errorf("loaded-corpus classifier accuracy %.3f", acc)
+	}
+}
+
+func TestLoadCorpusRejectsGarbage(t *testing.T) {
+	if _, err := LoadCorpus(strings.NewReader("not gzip")); err == nil {
+		t.Error("garbage accepted")
+	}
+	// Valid gzip, invalid gob.
+	var buf bytes.Buffer
+	zw := newGzip(&buf)
+	_, _ = zw.Write([]byte("junk"))
+	_ = zw.Close()
+	if _, err := LoadCorpus(&buf); err == nil {
+		t.Error("gzip-wrapped junk accepted")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
