@@ -18,11 +18,15 @@ package cafc
 //	BenchmarkPipeline  — end-to-end corpus build + CAFC-CH
 
 import (
+	"math/rand"
 	"strings"
 	"sync"
 	"testing"
 
+	icafc "cafc/internal/cafc"
+	"cafc/internal/cluster"
 	"cafc/internal/experiments"
+	"cafc/internal/metrics"
 	"cafc/internal/webgen"
 )
 
@@ -200,6 +204,70 @@ func BenchmarkPipeline(b *testing.B) {
 			b.Fatal(err)
 		}
 		corpus.ClusterC(8, int64(i))
+	}
+}
+
+// BenchmarkKMeans454 compares the similarity engines on the paper-sized
+// corpus: the map-based engine the reproduction started with, the
+// compiled (term-interned packed vector) engine, and the compiled
+// engine with the parallel kernels on. All three run the identical
+// CAFC-CH k-means refinement — same hub seeds, same randomness — so
+// the reported entropy/F must match across sub-benches while ns/op
+// shows the speedup.
+func BenchmarkKMeans454(b *testing.B) {
+	env := benchEnvironment(b)
+	seeds := icafc.SelectHubClusters(env.Model, env.HubClusters, env.K, experiments.DefaultMinCard)
+	run := func(m *icafc.Model, workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			var res cluster.Result
+			for i := 0; i < b.N; i++ {
+				res = cluster.KMeans(m, env.K, seeds, cluster.Options{
+					Rand:    rand.New(rand.NewSource(1)),
+					Workers: workers,
+				})
+			}
+			l := metrics.Labeling{Assign: res.Assign, Classes: env.Classes}
+			report(b, "CAFC-CH", metrics.Entropy(l), metrics.FMeasure(l))
+		}
+	}
+	b.Run("map-serial", run(env.Model.WithEngine(false), 1))
+	b.Run("compiled-serial", run(env.Model, 1))
+	b.Run("compiled-parallel", run(env.Model, 0))
+}
+
+// BenchmarkEngineComparison runs the experiments-layer engine report on
+// the 454-page corpus and republishes its numbers as bench metrics.
+func BenchmarkEngineComparison(b *testing.B) {
+	env := benchEnvironment(b)
+	var rows []experiments.EngineRow
+	for i := 0; i < b.N; i++ {
+		rows = experiments.EngineComparison(env, 1)
+	}
+	for _, r := range rows {
+		b.ReportMetric(r.Millis, unit("ms/"+r.Engine))
+		b.ReportMetric(r.Entropy, unit("entropy/"+r.Engine))
+	}
+}
+
+// BenchmarkEngineScaling holds the engine comparison at 454 pages and a
+// 10x corpus to show the gap widening with corpus size (similarity cost
+// dominates as n grows).
+func BenchmarkEngineScaling(b *testing.B) {
+	for _, n := range []int{454, 4540} {
+		env, err := experiments.NewEnv(webgen.Config{Seed: 2007, FormPages: n})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run("n="+itoa(n), func(b *testing.B) {
+			var rows []experiments.EngineRow
+			for i := 0; i < b.N; i++ {
+				rows = experiments.EngineComparison(env, 1)
+			}
+			for _, r := range rows {
+				b.ReportMetric(r.Millis, unit("ms/"+r.Engine))
+			}
+		})
 	}
 }
 

@@ -28,7 +28,7 @@ func main() {
 		n     = flag.Int("n", 454, "form pages in the generated corpus")
 		seed  = flag.Int64("seed", 2007, "corpus seed")
 		runs  = flag.Int("runs", experiments.DefaultRuns, "CAFC-C averaging runs")
-		exp   = flag.String("exp", "all", "experiment: all | figure2 | table1 | figure3 | table2 | weights | hubstats | hacseeds | errors | seeding | hubdesign | futurework | postquery | selectk | scaling")
+		exp   = flag.String("exp", "all", "experiment: all | figure2 | table1 | figure3 | table2 | weights | hubstats | hacseeds | errors | seeding | hubdesign | futurework | postquery | selectk | engines | scaling")
 		sizes = flag.String("sizes", "100,200,454", "corpus sizes for -exp scaling")
 	)
 	flag.Parse()
@@ -93,6 +93,8 @@ func main() {
 		fmt.Print(experiments.RenderQuality(experiments.FutureWork(env, experiments.DefaultMinCard)))
 	case "hubdesign":
 		fmt.Print(experiments.RenderQuality(experiments.HubDesignAblation(env, experiments.DefaultMinCard)))
+	case "engines":
+		fmt.Print(experiments.RenderEngineComparison(experiments.EngineComparison(env, 3)))
 	case "stats":
 		fmt.Print(dataset.ComputeStats(env.Corpus))
 	default:

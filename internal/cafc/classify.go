@@ -72,7 +72,9 @@ func (c *Classifier) Classify(fp *form.FormPage) (Prediction, bool) {
 // Rank returns every cluster ordered by decreasing similarity to the
 // page.
 func (c *Classifier) Rank(fp *form.FormPage) []Prediction {
-	p := c.model.PointOf(c.model.Embed(fp))
+	// Pack the embedded page once so the per-centroid Sim calls run on
+	// the compiled path instead of re-packing per comparison.
+	p := c.model.CompilePoint(c.model.PointOf(c.model.Embed(fp)))
 	out := make([]Prediction, 0, len(c.centroids))
 	for i, cent := range c.centroids {
 		out = append(out, Prediction{

@@ -1,0 +1,88 @@
+package cafc
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cafc/internal/cluster"
+)
+
+// TestEnginesAgree holds the compiled two-space engine to the map
+// engine: pairwise Equation 3 similarities agree within 1e-12 under
+// every feature configuration, and identically-seeded clustering runs
+// produce identical assignments.
+func TestEnginesAgree(t *testing.T) {
+	p := buildPipeline(t, 5, 120)
+	compiled := p.model // Build compiles by default
+	plain := p.model.WithEngine(false)
+	if compiled.engine() == nil {
+		t.Fatal("Build did not compile the model")
+	}
+	if plain.engine() != nil {
+		t.Fatal("WithEngine(false) did not disable the engine")
+	}
+	for _, f := range []Features{FCPC, FCOnly, PCOnly} {
+		mc, mp := compiled.WithFeatures(f), plain.WithFeatures(f)
+		for i := 0; i < 40; i++ {
+			for j := i; j < 40; j++ {
+				got, want := mc.PairSim(i, j), mp.PairSim(i, j)
+				if math.Abs(got-want) > 1e-12 {
+					t.Fatalf("%v: sim(%d,%d) compiled %g vs map %g", f, i, j, got, want)
+				}
+			}
+		}
+	}
+	a := CAFCC(compiled, p.k, rand.New(rand.NewSource(3)))
+	b := CAFCC(plain, p.k, rand.New(rand.NewSource(3)))
+	if !reflect.DeepEqual(a.Assign, b.Assign) {
+		t.Error("compiled engine changed CAFC-C assignments")
+	}
+	ha := HACResult(compiled, p.k, cluster.AverageLinkage)
+	hb := HACResult(plain, p.k, cluster.AverageLinkage)
+	if !reflect.DeepEqual(ha.Assign, hb.Assign) {
+		t.Error("compiled engine changed HAC assignments")
+	}
+}
+
+// TestEngineParallelDeterminism runs the full CAFC-CH pipeline on the
+// packed model with 1 and 8 workers and demands identical output —
+// the determinism guarantee at the paper-algorithm level.
+func TestEngineParallelDeterminism(t *testing.T) {
+	p := buildPipeline(t, 6, 120)
+	seeds := SelectHubClusters(p.model, p.clusters, p.k, 2)
+	serial := cluster.KMeans(p.model, p.k, seeds, cluster.Options{Rand: rand.New(rand.NewSource(1)), Workers: 1})
+	parallel := cluster.KMeans(p.model, p.k, seeds, cluster.Options{Rand: rand.New(rand.NewSource(1)), Workers: 8})
+	if !reflect.DeepEqual(serial.Assign, parallel.Assign) {
+		t.Error("parallel CAFC-CH differs from serial")
+	}
+	ss := cluster.SilhouetteWorkers(p.model, serial.Assign, serial.K, 1)
+	sp := cluster.SilhouetteWorkers(p.model, serial.Assign, serial.K, 8)
+	if ss != sp {
+		t.Errorf("silhouette over the model: parallel %v != serial %v", sp, ss)
+	}
+}
+
+// TestMixedPointSim covers the packed/map mixed path: an externally
+// embedded page (map point) compared against compiled centroids.
+func TestMixedPointSim(t *testing.T) {
+	p := buildPipeline(t, 7, 80)
+	m := p.model
+	res := CAFCC(m, p.k, rand.New(rand.NewSource(2)))
+	members := cluster.Members(res.Assign, res.K)
+	cent := m.Centroid(members[0]) // cpoint
+	ext := m.PointOf(m.Pages[3])   // map point
+	got := m.Sim(ext, cent)
+	// Reference: the same comparison entirely on the map path.
+	plain := m.WithEngine(false)
+	want := plain.Sim(plain.PointOf(m.Pages[3]), plain.Centroid(members[0]))
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("mixed Sim %g != map reference %g", got, want)
+	}
+	// And CompilePoint must be equivalent, not just compatible.
+	packed := m.CompilePoint(ext)
+	if math.Abs(m.Sim(packed, cent)-got) > 1e-12 {
+		t.Error("CompilePoint changed the similarity")
+	}
+}

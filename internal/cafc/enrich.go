@@ -49,7 +49,9 @@ func SelectHubClustersAnchored(m *Model, clusters []hub.Cluster, k, minCard int,
 	// Enriched candidate points: centroid with anchor vector added to PC.
 	pts := make([]cluster.Point, len(kept))
 	for i, c := range kept {
-		cent := m.Centroid(c.Members).(point)
+		// Map-space centroid: the anchor vector is blended term-wise
+		// before the point is (lazily) packed by Sim.
+		cent := m.centroidMaps(c.Members)
 		av := anchorVector(m, c, anchors)
 		if av.Len() > 0 {
 			pc := cent.pc.Clone()

@@ -63,11 +63,32 @@ type Model struct {
 	FCDF, PCDF *vector.DocFreq
 	// Uniform records whether LOC factors were suppressed at build time.
 	Uniform bool
+	// DisableCompiled forces the map-based similarity engine. The packed
+	// engine (term-interned vectors with precomputed norms) is the
+	// default; disabling it exists for A/B benchmarks and as an escape
+	// hatch.
+	DisableCompiled bool
+
+	compiled *compiledPages
 }
 
 // point is the two-space representative of a page or centroid.
 type point struct {
 	pc, fc vector.Vector
+}
+
+// compiledPages is the packed form of the model: one term dictionary
+// and one sorted (termID, weight) vector per page, per feature space.
+// It is built once (EnsureCompiled) and read-only afterwards, so the
+// parallel clustering kernels can share it freely.
+type compiledPages struct {
+	pcDict, fcDict *vector.Dict
+	pc, fc         []vector.Compiled
+}
+
+// cpoint is the packed two-space representative.
+type cpoint struct {
+	pc, fc vector.Compiled
 }
 
 // Build computes the form-page model for a set of extracted form pages:
@@ -85,7 +106,51 @@ func Build(fps []*form.FormPage, uniform bool) *Model {
 	for _, fp := range fps {
 		m.Pages = append(m.Pages, m.Embed(fp))
 	}
+	m.EnsureCompiled()
 	return m
+}
+
+// EnsureCompiled builds the packed representation of every page. Build
+// and LoadCorpus call it; call it again after appending Pages by hand.
+// It must not race with the clustering kernels — compile first, then
+// cluster. A no-op when the engine is disabled or already current.
+func (m *Model) EnsureCompiled() {
+	if m.DisableCompiled {
+		return
+	}
+	if m.compiled != nil && len(m.compiled.pc) == len(m.Pages) {
+		return
+	}
+	cp := &compiledPages{pcDict: vector.NewDict(), fcDict: vector.NewDict()}
+	cp.pc = make([]vector.Compiled, len(m.Pages))
+	cp.fc = make([]vector.Compiled, len(m.Pages))
+	for i, p := range m.Pages {
+		cp.pc[i] = vector.Compile(p.PC, cp.pcDict)
+		cp.fc[i] = vector.Compile(p.FC, cp.fcDict)
+	}
+	m.compiled = cp
+}
+
+// engine returns the packed representation when it is active and
+// current, nil when the map path must be used. Read-only: safe under
+// concurrent Point/Sim/Centroid calls.
+func (m *Model) engine() *compiledPages {
+	if m.DisableCompiled || m.compiled == nil || len(m.compiled.pc) != len(m.Pages) {
+		return nil
+	}
+	return m.compiled
+}
+
+// WithEngine returns a shallow copy of the model with the compiled
+// engine enabled or disabled — the A/B switch the engine benchmarks
+// use. Vectors are shared, so the copy is cheap.
+func (m *Model) WithEngine(compiled bool) *Model {
+	c := *m
+	c.DisableCompiled = !compiled
+	if compiled {
+		c.EnsureCompiled()
+	}
+	return &c
 }
 
 // Embed projects a form page into the model's TF-IDF spaces using the
@@ -118,14 +183,39 @@ func (m *Model) WithFeatures(f Features) *Model {
 // Len implements cluster.Space.
 func (m *Model) Len() int { return len(m.Pages) }
 
-// Point implements cluster.Space.
+// Point implements cluster.Space. With the compiled engine active it
+// hands out packed points, so every downstream Sim is a merge join.
 func (m *Model) Point(i int) cluster.Point {
+	if cp := m.engine(); cp != nil {
+		return cpoint{pc: cp.pc[i], fc: cp.fc[i]}
+	}
 	return point{pc: m.Pages[i].PC, fc: m.Pages[i].FC}
 }
 
 // Centroid implements cluster.Space: the per-space term-weight average of
-// the members (Equation 4).
+// the members (Equation 4). On the compiled path members are summed into
+// dense vocabulary-sized accumulators and packed back, O(total nnz).
 func (m *Model) Centroid(members []int) cluster.Point {
+	if cp := m.engine(); cp != nil {
+		pacc := vector.NewAccumulator(cp.pcDict.Len())
+		facc := vector.NewAccumulator(cp.fcDict.Len())
+		for _, mem := range members {
+			pacc.Add(cp.pc[mem])
+			facc.Add(cp.fc[mem])
+		}
+		f := 0.0
+		if len(members) > 0 {
+			f = 1 / float64(len(members))
+		}
+		return cpoint{pc: pacc.Compile(f), fc: facc.Compile(f)}
+	}
+	return m.centroidMaps(members)
+}
+
+// centroidMaps is the map-based centroid, kept for the fallback engine
+// and for callers that need to post-process the centroid's term maps
+// (anchor-text enrichment).
+func (m *Model) centroidMaps(members []int) point {
 	pcs := make([]vector.Vector, len(members))
 	fcs := make([]vector.Vector, len(members))
 	for i, mem := range members {
@@ -135,12 +225,58 @@ func (m *Model) Centroid(members []int) cluster.Point {
 	return point{pc: vector.Centroid(pcs), fc: vector.Centroid(fcs)}
 }
 
+// CompilePoint converts a map-space point (PointOf, or a hand-built
+// centroid) to the packed representation when the engine is active, so
+// repeated Sim calls against compiled points skip the per-call
+// conversion. Points from other representations pass through unchanged.
+func (m *Model) CompilePoint(p cluster.Point) cluster.Point {
+	mp, ok := p.(point)
+	if !ok || m.engine() == nil {
+		return p
+	}
+	return m.compilePoint(mp)
+}
+
+// compilePoint packs a map point against the engine's dictionaries,
+// dropping terms the corpus has never weighted. Embedding guarantees
+// such terms carry zero weight (IDF 0), so nothing is lost.
+func (m *Model) compilePoint(p point) cpoint {
+	cp := m.compiled
+	return cpoint{
+		pc: vector.CompileLookup(p.pc, cp.pcDict),
+		fc: vector.CompileLookup(p.fc, cp.fcDict),
+	}
+}
+
 // Sim implements cluster.Space with Equation 3:
 //
 //	sim(FP1, FP2) = (C1·cos(PC1, PC2) + C2·cos(FC1, FC2)) / (C1 + C2)
 //
-// restricted to the active feature spaces.
+// restricted to the active feature spaces. Packed and map points mix
+// freely; a map point meeting a packed one is packed on the fly.
 func (m *Model) Sim(a, b cluster.Point) float64 {
+	ca, aok := a.(cpoint)
+	cb, bok := b.(cpoint)
+	if aok || bok {
+		if !aok {
+			ca = m.compilePoint(a.(point))
+		}
+		if !bok {
+			cb = m.compilePoint(b.(point))
+		}
+		switch m.Features {
+		case FCOnly:
+			return vector.CosineCompiled(ca.fc, cb.fc)
+		case PCOnly:
+			return vector.CosineCompiled(ca.pc, cb.pc)
+		default:
+			c1, c2 := m.C1, m.C2
+			if c1 == 0 && c2 == 0 {
+				c1, c2 = 1, 1
+			}
+			return (c1*vector.CosineCompiled(ca.pc, cb.pc) + c2*vector.CosineCompiled(ca.fc, cb.fc)) / (c1 + c2)
+		}
+	}
 	pa, pb := a.(point), b.(point)
 	switch m.Features {
 	case FCOnly:

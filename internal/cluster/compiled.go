@@ -1,0 +1,54 @@
+package cluster
+
+import (
+	"cafc/internal/vector"
+)
+
+// CompiledSpace is the packed counterpart of VectorSpace: every object
+// is a term-interned vector.Compiled with its norm fixed at compile
+// time, so Sim is a merge join over sorted ID slices — no map lookups,
+// no hashing, no norm recomputation. It implements Space, so KMeans,
+// HAC, FarthestFirst and Silhouette run on packed data unchanged.
+//
+// After construction the space is immutable and safe for the parallel
+// kernels to read from any number of goroutines.
+type CompiledSpace struct {
+	Dict *vector.Dict
+	Vecs []vector.Compiled
+}
+
+// NewCompiledSpace compiles the given map vectors against a fresh
+// dictionary. Weights are carried over exactly, so similarities agree
+// with the map path up to floating-point summation order.
+func NewCompiledSpace(vecs []vector.Vector) *CompiledSpace {
+	d := vector.NewDict()
+	cs := &CompiledSpace{Dict: d, Vecs: make([]vector.Compiled, len(vecs))}
+	for i, v := range vecs {
+		cs.Vecs[i] = vector.Compile(v, d)
+	}
+	return cs
+}
+
+// Len implements Space.
+func (s *CompiledSpace) Len() int { return len(s.Vecs) }
+
+// Point implements Space.
+func (s *CompiledSpace) Point(i int) Point { return s.Vecs[i] }
+
+// Centroid implements Space: members are summed into a dense
+// vocabulary-sized accumulator and compiled back to packed form.
+func (s *CompiledSpace) Centroid(members []int) Point {
+	acc := vector.NewAccumulator(s.Dict.Len())
+	for _, m := range members {
+		acc.Add(s.Vecs[m])
+	}
+	if len(members) == 0 {
+		return acc.Compile(0)
+	}
+	return acc.Compile(1 / float64(len(members)))
+}
+
+// Sim implements Space with packed cosine similarity.
+func (s *CompiledSpace) Sim(a, b Point) float64 {
+	return vector.CosineCompiled(a.(vector.Compiled), b.(vector.Compiled))
+}

@@ -23,21 +23,27 @@ func FarthestFirst(s Space, candidates [][]int, k int) []int {
 		}
 		return out
 	}
+	// Candidate centroids, one whole centroid per index — fan out even
+	// for a handful of candidates.
 	cents := make([]Point, n)
-	for i, c := range candidates {
-		cents[i] = s.Centroid(c)
-	}
-	// Distance matrix (Algorithm 3 line 3).
+	parallelRangeMin(n, 0, 2, func(start, end, _ int) {
+		for i := start; i < end; i++ {
+			cents[i] = s.Centroid(candidates[i])
+		}
+	})
+	// Distance matrix (Algorithm 3 line 3), sharded over rows.
 	dist := make([][]float64, n)
 	for i := range dist {
 		dist[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			d := Dist(s.Sim(cents[i], cents[j]))
-			dist[i][j], dist[j][i] = d, d
+	parallelRange(n, 0, func(start, end, _ int) {
+		for i := start; i < end; i++ {
+			for j := i + 1; j < n; j++ {
+				d := Dist(s.Sim(cents[i], cents[j]))
+				dist[i][j], dist[j][i] = d, d
+			}
 		}
-	}
+	})
 	// Two most distant (line 4).
 	bi, bj, best := 0, 1, -1.0
 	for i := 0; i < n; i++ {

@@ -84,8 +84,18 @@ func (d *Dendrogram) CutK(k int) []int {
 // computed once (O(n²) memory) and merged cluster similarities maintained
 // with Lance–Williams updates, so the run is O(n³) worst case but with a
 // small constant — ample for corpus sizes in the hundreds to low
-// thousands.
+// thousands. The initial similarity matrix and the per-step best-pair
+// scan are sharded over one worker per CPU; see HACWorkers for an
+// explicit pool size.
 func HAC(s Space, linkage Linkage) *Dendrogram {
+	return HACWorkers(s, linkage, 0)
+}
+
+// HACWorkers is HAC with an explicit worker-pool size (0 means one per
+// CPU, 1 forces serial). The result is bit-identical for every worker
+// count: shard writes are index-disjoint and the best-pair reduction
+// preserves the serial scan's first-maximal tie break.
+func HACWorkers(s Space, linkage Linkage, workers int) *Dendrogram {
 	n := s.Len()
 	d := &Dendrogram{N: n}
 	if n == 0 {
@@ -107,33 +117,47 @@ func HAC(s Space, linkage Linkage) *Dendrogram {
 	for i := 0; i < n; i++ {
 		sim[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			v := s.Sim(points[i], points[j])
-			sim[i][j], sim[j][i] = v, v
+	// Initial O(n²) pairwise matrix, sharded over rows. Mirror writes
+	// land in other shards' rows but always at distinct elements.
+	parallelRange(n, workers, func(start, end, _ int) {
+		for i := start; i < end; i++ {
+			for j := i + 1; j < n; j++ {
+				v := s.Sim(points[i], points[j])
+				sim[i][j], sim[j][i] = v, v
+			}
 		}
-	}
+	})
 	alive := make([]bool, n)
 	for i := range alive {
 		alive[i] = true
 	}
+	cands := make([]bestPair, maxShards(n, workers))
 	nextID := n
 	for remaining := n; remaining > 1; remaining-- {
-		// Find the most similar pair of active clusters.
-		bi, bj, best := -1, -1, -1.0
-		for i := 0; i < n; i++ {
-			if !alive[i] {
-				continue
-			}
-			for j := i + 1; j < n; j++ {
-				if !alive[j] {
+		// Find the most similar pair of active clusters: per-shard
+		// argmax, merged in shard order so the first maximal pair wins
+		// exactly as in a serial left-to-right scan.
+		for c := range cands {
+			cands[c] = bestPair{i: -1, j: -1, sim: -1}
+		}
+		parallelRange(n, workers, func(start, end, shard int) {
+			bi, bj, best := -1, -1, -1.0
+			for i := start; i < end; i++ {
+				if !alive[i] {
 					continue
 				}
-				if sim[i][j] > best {
-					bi, bj, best = i, j, sim[i][j]
+				for j := i + 1; j < n; j++ {
+					if !alive[j] {
+						continue
+					}
+					if sim[i][j] > best {
+						bi, bj, best = i, j, sim[i][j]
+					}
 				}
 			}
-		}
+			cands[shard] = bestPair{i: bi, j: bj, sim: best}
+		})
+		bi, bj, best := mergeBestPairs(cands)
 		if bi < 0 {
 			break
 		}
@@ -227,12 +251,14 @@ func HACFromGroups(s Space, groups [][]int, k int, linkage Linkage) Result {
 	for i := range psim {
 		psim[i] = make([]float64, n)
 	}
-	for i := 0; i < n; i++ {
-		for j := i + 1; j < n; j++ {
-			v := s.Sim(pts[i], pts[j])
-			psim[i][j], psim[j][i] = v, v
+	parallelRange(n, 0, func(start, end, _ int) {
+		for i := start; i < end; i++ {
+			for j := i + 1; j < n; j++ {
+				v := s.Sim(pts[i], pts[j])
+				psim[i][j], psim[j][i] = v, v
+			}
 		}
-	}
+	})
 	// Initial inter-group similarities by linkage aggregation.
 	agg := func(a, b []int) float64 {
 		switch linkage {

@@ -16,6 +16,12 @@ type Options struct {
 	// Rand supplies randomness for seed selection and tie breaking. Nil
 	// means a fixed-seed source (deterministic runs).
 	Rand *rand.Rand
+	// Workers sizes the worker pool for the parallel kernels. Zero means
+	// one worker per CPU (runtime.GOMAXPROCS); 1 forces a serial run.
+	// Results are bit-identical for every worker count: sharding is
+	// fixed, workers write disjoint index-addressed slots, and no
+	// floating-point reduction is reassociated across points.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -66,32 +72,61 @@ func KMeans(s Space, k int, seeds [][]int, opts Options) Result {
 		assign[i] = -1
 	}
 	iter := 0
+	movedBy := make([]int, maxShards(n, opts.Workers))
 	for ; iter < opts.MaxIter; iter++ {
-		moved := 0
-		for i := 0; i < n; i++ {
-			best, bestSim := 0, -1.0
-			p := s.Point(i)
-			for c := 0; c < k; c++ {
-				if sim := s.Sim(p, centroids[c]); sim > bestSim {
-					best, bestSim = c, sim
+		// Assignment (Algorithm 1 line 4), sharded over points. Each
+		// point's nearest-centroid scan is independent; workers count
+		// moves in per-shard slots reduced serially below.
+		for i := range movedBy {
+			movedBy[i] = 0
+		}
+		parallelRange(n, opts.Workers, func(start, end, shard int) {
+			for i := start; i < end; i++ {
+				best, bestSim := 0, -1.0
+				p := s.Point(i)
+				for c := 0; c < k; c++ {
+					if sim := s.Sim(p, centroids[c]); sim > bestSim {
+						best, bestSim = c, sim
+					}
+				}
+				if assign[i] != best {
+					movedBy[shard]++
+					assign[i] = best
 				}
 			}
-			if assign[i] != best {
-				moved++
-				assign[i] = best
-			}
+		})
+		moved := 0
+		for _, m := range movedBy {
+			moved += m
 		}
-		// Recompute centroids (Algorithm 1 line 5).
+		// Recompute centroids (Algorithm 1 line 5), sharded over
+		// clusters — per-index work is a whole centroid, so fan out
+		// even for small k.
 		members := Members(assign, k)
+		parallelRangeMin(k, opts.Workers, 2, func(start, end, _ int) {
+			for c := start; c < end; c++ {
+				if len(members[c]) > 0 {
+					centroids[c] = s.Centroid(members[c])
+				}
+			}
+		})
+		// Repair empty clusters serially: reseed each from the point
+		// farthest from its current centroid, a standard k-means repair.
+		// `taken` tracks points already used this round so two clusters
+		// emptying together cannot reseed to the same point (which would
+		// produce duplicate centroids).
+		var taken map[int]bool
 		for c := 0; c < k; c++ {
-			if len(members[c]) == 0 {
-				// Empty cluster: reseed with the point farthest from its
-				// current centroid, a standard k-means repair.
-				centroids[c] = s.Point(farthestPoint(s, assign, centroids))
-				moved++ // force another round
+			if len(members[c]) != 0 {
 				continue
 			}
-			centroids[c] = s.Centroid(members[c])
+			if taken == nil {
+				taken = make(map[int]bool, k)
+			}
+			idx := farthestPoint(s, assign, centroids, taken)
+			taken[idx] = true
+			centroids[c] = s.Point(idx)
+			moved++ // force another round
 		}
 		if float64(moved) < opts.MoveFrac*float64(n) {
 			iter++
@@ -125,10 +160,14 @@ func initialCentroids(s Space, k int, seeds [][]int, rng *rand.Rand) []Point {
 }
 
 // farthestPoint returns the index of the point least similar to its
-// assigned centroid.
-func farthestPoint(s Space, assign []int, centroids []Point) int {
-	worst, worstSim := 0, 2.0
+// assigned centroid, skipping points in `exclude` (already consumed as
+// reseeds this round; nil means none).
+func farthestPoint(s Space, assign []int, centroids []Point, exclude map[int]bool) int {
+	worst, worstSim := -1, 2.0
 	for i := 0; i < s.Len(); i++ {
+		if exclude[i] {
+			continue
+		}
 		c := assign[i]
 		if c < 0 || c >= len(centroids) {
 			return i
@@ -136,6 +175,11 @@ func farthestPoint(s Space, assign []int, centroids []Point) int {
 		if sim := s.Sim(s.Point(i), centroids[c]); sim < worstSim {
 			worst, worstSim = i, sim
 		}
+	}
+	if worst < 0 {
+		// Every point excluded (more empty clusters than points, which
+		// k <= n rules out in practice); fall back to point 0.
+		return 0
 	}
 	return worst
 }

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The parallel kernels in this package share one contract: for any
+// worker count, results are bit-identical to the serial run. That holds
+// because every kernel follows the same shape — workers write to
+// disjoint, index-addressed slots (never a shared accumulator), and any
+// reduction over those slots happens afterwards, serially, in index
+// order. No floating-point sum is ever reassociated by sharding.
+
+// resolveWorkers maps an Options-style worker count to a concrete pool
+// size: <= 0 means one worker per available CPU.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+// parallelMinSpan is the smallest index range worth fanning out;
+// below it goroutine overhead dominates and the work runs inline.
+const parallelMinSpan = 64
+
+// parallelRange splits [0, n) into at most `workers` contiguous chunks
+// and runs body on each concurrently, waiting for all to finish.
+// body(start, end, shard) must only write state owned by its index
+// range (or by its shard number). workers <= 1, or n below the fan-out
+// threshold, runs inline on the calling goroutine.
+func parallelRange(n, workers int, body func(start, end, shard int)) {
+	parallelRangeMin(n, workers, parallelMinSpan, body)
+}
+
+// parallelRangeMin is parallelRange with a caller-chosen inline
+// threshold — kernels whose per-index work is heavy (e.g. one centroid
+// per index) fan out even for small n.
+func parallelRangeMin(n, workers, minSpan int, body func(start, end, shard int)) {
+	workers = resolveWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minSpan {
+		body(0, n, 0)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	shard := 0
+	for start := 0; start < n; start += chunk {
+		end := start + chunk
+		if end > n {
+			end = n
+		}
+		wg.Add(1)
+		go func(start, end, shard int) {
+			defer wg.Done()
+			body(start, end, shard)
+		}(start, end, shard)
+		shard++
+	}
+	wg.Wait()
+}
+
+// maxShards returns the number of shards parallelRange will use for n
+// items and the given worker request — callers size per-shard result
+// slots with it.
+func maxShards(n, workers int) int {
+	workers = resolveWorkers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// bestPair is one shard's candidate for an argmax scan over an upper-
+// triangular similarity matrix.
+type bestPair struct {
+	i, j int
+	sim  float64
+}
+
+// mergeBestPairs reduces per-shard argmax candidates in shard order
+// with the same strict `>` the serial scan uses, so the winning pair is
+// always the lexicographically smallest maximal pair — identical to a
+// serial left-to-right scan.
+func mergeBestPairs(cands []bestPair) (int, int, float64) {
+	bi, bj, best := -1, -1, -1.0
+	for _, c := range cands {
+		if c.i >= 0 && c.sim > best {
+			bi, bj, best = c.i, c.j, c.sim
+		}
+	}
+	return bi, bj, best
+}

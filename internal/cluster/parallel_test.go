@@ -1,0 +1,238 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cafc/internal/vector"
+)
+
+// compiledBlobs mirrors blobs but returns the packed space, sized large
+// enough (>= parallelMinSpan points) that parallelRange actually fans
+// out.
+func compiledBlobs(g, size int, noise float64, seed int64) (*CompiledSpace, []int) {
+	vs, gold := blobs(g, size, noise, seed)
+	return NewCompiledSpace(vs.Vecs), gold
+}
+
+// intBlobs mirrors blobs with small integer weights. Map Dot/Norm sum
+// in map iteration order, so with arbitrary floats two calls on the
+// same vectors can differ in the last ulp and flip a near-tied merge —
+// even between two serial runs. Integer weights keep the dot products
+// and squared norms exact (order-independent), so similarities are
+// reproducible and bit-equality across worker counts and engines is
+// well-defined for the map space too.
+func intBlobs(g, size int, seed int64) ([]vector.Vector, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var vecs []vector.Vector
+	var gold []int
+	for gi := 0; gi < g; gi++ {
+		for p := 0; p < size; p++ {
+			v := vector.New()
+			v[term("g", gi)] = 10
+			v[term("aux", gi)] = float64(5 + rng.Intn(5))
+			v[term("n", rng.Intn(g*size))] = float64(1 + rng.Intn(3))
+			vecs = append(vecs, v)
+			gold = append(gold, gi)
+		}
+	}
+	return vecs, gold
+}
+
+// TestParallelMatchesSerial is the determinism guarantee: for k-means,
+// HAC and silhouette, a Workers: 8 run must equal the Workers: 1 run
+// exactly — same assignments, same merges, bit-identical scores.
+func TestParallelMatchesSerial(t *testing.T) {
+	intVecs, _ := intBlobs(6, 20, 17)
+	for name, space := range map[string]Space{
+		"vector":   &VectorSpace{Vecs: intVecs},
+		"compiled": func() Space { s, _ := compiledBlobs(6, 20, 1, 17); return s }(),
+	} {
+		t.Run(name, func(t *testing.T) {
+			serial := KMeans(space, 6, nil, Options{Rand: rand.New(rand.NewSource(5)), Workers: 1})
+			parallel := KMeans(space, 6, nil, Options{Rand: rand.New(rand.NewSource(5)), Workers: 8})
+			if !reflect.DeepEqual(serial.Assign, parallel.Assign) {
+				t.Error("k-means: parallel assignments differ from serial")
+			}
+			if serial.Iterations != parallel.Iterations {
+				t.Errorf("k-means: iterations %d != %d", serial.Iterations, parallel.Iterations)
+			}
+
+			ds := HACWorkers(space, AverageLinkage, 1)
+			dp := HACWorkers(space, AverageLinkage, 8)
+			if !reflect.DeepEqual(ds.Merges, dp.Merges) {
+				t.Error("HAC: parallel dendrogram differs from serial")
+			}
+
+			ss := SilhouetteWorkers(space, serial.Assign, serial.K, 1)
+			sp := SilhouetteWorkers(space, serial.Assign, serial.K, 8)
+			if ss != sp {
+				t.Errorf("silhouette: parallel %v != serial %v (must be bit-identical)", sp, ss)
+			}
+		})
+	}
+}
+
+// TestWorkersDefaultMatchesExplicit pins the Workers: 0 (auto) path to
+// the serial result too.
+func TestWorkersDefaultMatchesExplicit(t *testing.T) {
+	s, _ := compiledBlobs(4, 20, 0.5, 23)
+	auto := KMeans(s, 4, nil, Options{Rand: rand.New(rand.NewSource(3))})
+	serial := KMeans(s, 4, nil, Options{Rand: rand.New(rand.NewSource(3)), Workers: 1})
+	if !reflect.DeepEqual(auto.Assign, serial.Assign) {
+		t.Error("auto worker count changed the result")
+	}
+}
+
+func TestCompiledSpaceMatchesVectorSpace(t *testing.T) {
+	// Integer weights (see intBlobs) so the map engine's similarities
+	// are exact and comparable bit-for-bit against the packed engine.
+	vecs, _ := intBlobs(5, 12, 29)
+	vs := &VectorSpace{Vecs: vecs}
+	cs := NewCompiledSpace(vs.Vecs)
+	if cs.Len() != vs.Len() {
+		t.Fatalf("Len %d != %d", cs.Len(), vs.Len())
+	}
+	// Same data, same seeds: the packed space must reproduce the map
+	// space's clustering decisions.
+	a := KMeans(vs, 5, nil, Options{Rand: rand.New(rand.NewSource(11))})
+	b := KMeans(cs, 5, nil, Options{Rand: rand.New(rand.NewSource(11))})
+	if !reflect.DeepEqual(a.Assign, b.Assign) {
+		t.Error("compiled space clustered differently from the map space")
+	}
+	da := HAC(vs, AverageLinkage)
+	db := HAC(cs, AverageLinkage)
+	for i := range da.Merges {
+		if da.Merges[i].A != db.Merges[i].A || da.Merges[i].B != db.Merges[i].B {
+			t.Fatalf("merge %d differs: %+v vs %+v", i, da.Merges[i], db.Merges[i])
+		}
+	}
+}
+
+func TestCompiledSpaceCentroid(t *testing.T) {
+	vs, _ := blobs(2, 5, 0.5, 31)
+	cs := NewCompiledSpace(vs.Vecs)
+	members := []int{0, 3, 7}
+	want := asVector(vs.Centroid(members))
+	got := cs.Centroid(members).(vector.Compiled).Decompile(cs.Dict)
+	if len(got) != len(want) {
+		t.Fatalf("centroid nnz %d != %d", len(got), len(want))
+	}
+	for term, w := range want {
+		if d := got[term] - w; d > 1e-12 || d < -1e-12 {
+			t.Errorf("centroid[%s] = %g, want %g", term, got[term], w)
+		}
+	}
+	if cs.Centroid(nil).(vector.Compiled).Len() != 0 {
+		t.Error("empty centroid not empty")
+	}
+}
+
+// TestVectorSpaceNormCache checks the lazily-filled norm cache agrees
+// with direct norm computation and that caller-supplied caches are
+// honored. Integer weights (see intBlobs) keep Norm sums exact so the
+// comparisons below can be bitwise.
+func TestVectorSpaceNormCache(t *testing.T) {
+	vecs, _ := intBlobs(3, 4, 37)
+	s := &VectorSpace{Vecs: vecs}
+	if s.Norms != nil {
+		t.Fatal("norms filled before first use")
+	}
+	p := s.Point(2).(normedVec)
+	if s.Norms == nil {
+		t.Fatal("norms not filled by Point")
+	}
+	if want := s.Vecs[2].Norm(); p.norm != want {
+		t.Errorf("cached norm %g != %g", p.norm, want)
+	}
+	// Sim through cached norms must match plain Cosine.
+	got := s.Sim(s.Point(0), s.Point(1))
+	want := vector.Cosine(s.Vecs[0], s.Vecs[1])
+	if d := got - want; d > 1e-12 || d < -1e-12 {
+		t.Errorf("Sim %g != Cosine %g", got, want)
+	}
+	// Raw vector points (legacy callers) still work.
+	if got := s.Sim(s.Vecs[0], s.Vecs[1]); got != want {
+		t.Errorf("raw-point Sim %g != %g", got, want)
+	}
+}
+
+// TestEmptyClusterRepairDistinct is the regression test for the
+// duplicate-reseed bug: when two clusters empty in the same round, the
+// repair must reseed them from two different points.
+func TestEmptyClusterRepairDistinct(t *testing.T) {
+	// Points 0,1 identical and 2,3 identical: seeding each as its own
+	// singleton cluster guarantees clusters 1 and 3 lose every point to
+	// clusters 0 and 2 (strict-> keeps the first of a tie) and empty in
+	// the same round. Points 4 and 5 are the only repair candidates.
+	vecs := []vector.Vector{
+		{"a": 1}, {"a": 1},
+		{"b": 1}, {"b": 1},
+		{"c": 1}, {"d": 1},
+	}
+	s := &VectorSpace{Vecs: vecs}
+	res := KMeans(s, 4, [][]int{{0}, {1}, {2}, {3}}, Options{MaxIter: 1})
+	if len(res.Centroids) != 4 {
+		t.Fatalf("centroids = %d", len(res.Centroids))
+	}
+	c1 := asVector(res.Centroids[1])
+	c3 := asVector(res.Centroids[3])
+	if reflect.DeepEqual(c1, c3) {
+		t.Fatalf("clusters 1 and 3 reseeded to the same point: %v", c1)
+	}
+}
+
+// TestFarthestPointExcludes unit-tests the repair primitive directly.
+func TestFarthestPointExcludes(t *testing.T) {
+	s := &VectorSpace{Vecs: []vector.Vector{
+		{"a": 1}, {"a": 1, "b": 0.2}, {"b": 1},
+	}}
+	cent := s.Point(0)
+	assign := []int{0, 0, 0}
+	cents := []Point{cent}
+	first := farthestPoint(s, assign, cents, nil)
+	if first != 2 {
+		t.Fatalf("farthest = %d, want 2", first)
+	}
+	second := farthestPoint(s, assign, cents, map[int]bool{first: true})
+	if second == first {
+		t.Fatal("exclusion ignored")
+	}
+	if second != 1 {
+		t.Errorf("second farthest = %d, want 1", second)
+	}
+}
+
+func BenchmarkKMeansEngines(b *testing.B) {
+	vs, _ := blobs(8, 50, 1, 61)
+	cs := NewCompiledSpace(vs.Vecs)
+	run := func(s Space, workers int) func(*testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				KMeans(s, 8, nil, Options{Rand: rand.New(rand.NewSource(int64(i))), Workers: workers})
+			}
+		}
+	}
+	b.Run("map-serial", run(vs, 1))
+	b.Run("compiled-serial", run(cs, 1))
+	b.Run("compiled-parallel", run(cs, 0))
+}
+
+func BenchmarkHACEngines(b *testing.B) {
+	vs, _ := blobs(8, 20, 1, 71)
+	cs := NewCompiledSpace(vs.Vecs)
+	b.Run("map", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			HACWorkers(vs, AverageLinkage, 1)
+		}
+	})
+	b.Run("compiled-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			HACWorkers(cs, AverageLinkage, 0)
+		}
+	})
+}

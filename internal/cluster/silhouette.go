@@ -16,6 +16,15 @@ import (
 // file adds the classic silhouette criterion and a BestK search on top
 // of the paper's algorithms.
 func Silhouette(s Space, assign []int, k int) float64 {
+	return SilhouetteWorkers(s, assign, k, 0)
+}
+
+// SilhouetteWorkers is Silhouette with an explicit worker-pool size (0
+// means one per CPU, 1 forces serial). The O(n²) double loop is sharded
+// by outer point; each point's coefficient lands in its own slot and
+// the final mean is reduced serially in index order, so the value is
+// bit-identical for every worker count.
+func SilhouetteWorkers(s Space, assign []int, k, workers int) float64 {
 	n := s.Len()
 	if n == 0 {
 		return 0
@@ -28,48 +37,58 @@ func Silhouette(s Space, assign []int, k int) float64 {
 	}
 	dist := func(i, j int) float64 { return Dist(s.Sim(pts[i], pts[j])) }
 
+	coeff := make([]float64, n)
+	inCluster := make([]bool, n)
+	parallelRange(n, workers, func(start, end, _ int) {
+		for i := start; i < end; i++ {
+			c := assign[i]
+			if c < 0 || c >= k {
+				continue
+			}
+			inCluster[i] = true
+			own := members[c]
+			if len(own) <= 1 {
+				continue // silhouette 0 for singletons
+			}
+			var a float64
+			for _, m := range own {
+				if m != i {
+					a += dist(i, m)
+				}
+			}
+			a /= float64(len(own) - 1)
+			b := -1.0
+			for oc := 0; oc < k; oc++ {
+				if oc == c || len(members[oc]) == 0 {
+					continue
+				}
+				var d float64
+				for _, m := range members[oc] {
+					d += dist(i, m)
+				}
+				d /= float64(len(members[oc]))
+				if b < 0 || d < b {
+					b = d
+				}
+			}
+			if b < 0 {
+				continue // only one non-empty cluster
+			}
+			max := a
+			if b > max {
+				max = b
+			}
+			if max > 0 {
+				coeff[i] = (b - a) / max
+			}
+		}
+	})
 	var total float64
 	counted := 0
 	for i := 0; i < n; i++ {
-		c := assign[i]
-		if c < 0 || c >= k {
-			continue
-		}
-		counted++
-		own := members[c]
-		if len(own) <= 1 {
-			continue // silhouette 0 for singletons
-		}
-		var a float64
-		for _, m := range own {
-			if m != i {
-				a += dist(i, m)
-			}
-		}
-		a /= float64(len(own) - 1)
-		b := -1.0
-		for oc := 0; oc < k; oc++ {
-			if oc == c || len(members[oc]) == 0 {
-				continue
-			}
-			var d float64
-			for _, m := range members[oc] {
-				d += dist(i, m)
-			}
-			d /= float64(len(members[oc]))
-			if b < 0 || d < b {
-				b = d
-			}
-		}
-		if b < 0 {
-			continue // only one non-empty cluster
-		}
-		max := a
-		if b > max {
-			max = b
-		}
-		if max > 0 {
-			total += (b - a) / max
+		if inCluster[i] {
+			counted++
+			total += coeff[i]
 		}
 	}
 	if counted == 0 {

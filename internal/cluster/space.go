@@ -10,6 +10,8 @@
 package cluster
 
 import (
+	"sync"
+
 	"cafc/internal/vector"
 )
 
@@ -35,15 +37,49 @@ func Dist(sim float64) float64 { return 1 - sim }
 
 // VectorSpace is the simplest Space: one sparse vector per object with
 // cosine similarity. It backs tests and single-feature-space baselines.
+// Per-vector norms are computed once, lazily, on first use — the seed
+// implementation recomputed both norms inside every Cosine call, which
+// dominated the map path's cost. For packed vectors with merge-join
+// similarity, see CompiledSpace.
 type VectorSpace struct {
 	Vecs []vector.Vector
+	// Norms caches the Euclidean length of each vector, filled on first
+	// Point call. Leave nil; it is populated lazily.
+	Norms []float64
+
+	normOnce sync.Once
+}
+
+// normedVec is a vector paired with its cached norm, the Point type
+// VectorSpace hands to the clustering kernels.
+type normedVec struct {
+	v    vector.Vector
+	norm float64
 }
 
 // Len implements Space.
 func (s *VectorSpace) Len() int { return len(s.Vecs) }
 
+// norm returns the cached norm of vector i, filling the cache on first
+// use. The once guard makes the lazy fill safe under the parallel
+// kernels, which call Point concurrently.
+func (s *VectorSpace) norm(i int) float64 {
+	s.normOnce.Do(func() {
+		if len(s.Norms) == len(s.Vecs) {
+			return // caller supplied the cache
+		}
+		s.Norms = make([]float64, len(s.Vecs))
+		for j, v := range s.Vecs {
+			s.Norms[j] = v.Norm()
+		}
+	})
+	return s.Norms[i]
+}
+
 // Point implements Space.
-func (s *VectorSpace) Point(i int) Point { return s.Vecs[i] }
+func (s *VectorSpace) Point(i int) Point {
+	return normedVec{v: s.Vecs[i], norm: s.norm(i)}
+}
 
 // Centroid implements Space.
 func (s *VectorSpace) Centroid(members []int) Point {
@@ -51,12 +87,39 @@ func (s *VectorSpace) Centroid(members []int) Point {
 	for i, m := range members {
 		vs[i] = s.Vecs[m]
 	}
-	return vector.Centroid(vs)
+	c := vector.Centroid(vs)
+	return normedVec{v: c, norm: c.Norm()}
 }
 
-// Sim implements Space.
+// Sim implements Space. Points made by this space carry cached norms;
+// raw vector.Vector points (from older callers) still work, paying the
+// norm computation on the fly.
 func (s *VectorSpace) Sim(a, b Point) float64 {
-	return vector.Cosine(a.(vector.Vector), b.(vector.Vector))
+	na, aok := a.(normedVec)
+	nb, bok := b.(normedVec)
+	if !aok || !bok {
+		av, bv := asVector(a), asVector(b)
+		return vector.Cosine(av, bv)
+	}
+	if na.norm == 0 || nb.norm == 0 {
+		return 0
+	}
+	c := na.v.Dot(nb.v) / (na.norm * nb.norm)
+	if c > 1 {
+		c = 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// asVector unwraps either Point representation to its map vector.
+func asVector(p Point) vector.Vector {
+	if nv, ok := p.(normedVec); ok {
+		return nv.v
+	}
+	return p.(vector.Vector)
 }
 
 // Members inverts an assignment slice into per-cluster member lists.

@@ -1,0 +1,36 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEngineComparison(t *testing.T) {
+	env := getEnv(t)
+	rows := EngineComparison(env, 1)
+	if len(rows) != 3 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Engine != "map" || rows[1].Engine != "compiled" || rows[2].Engine != "compiled+parallel" {
+		t.Fatalf("unexpected engine order: %+v", rows)
+	}
+	// The engines compute the same Equation 3 similarities and the
+	// parallel kernels are bit-identical to serial, so quality must not
+	// move at all between configurations.
+	for _, r := range rows[1:] {
+		if math.Abs(r.Entropy-rows[0].Entropy) > 1e-9 {
+			t.Errorf("%s entropy %.6f != map %.6f", r.Engine, r.Entropy, rows[0].Entropy)
+		}
+		if math.Abs(r.FMeasure-rows[0].FMeasure) > 1e-9 {
+			t.Errorf("%s F %.6f != map %.6f", r.Engine, r.FMeasure, rows[0].FMeasure)
+		}
+	}
+	if rows[2].Workers < 1 {
+		t.Errorf("parallel row reports %d workers", rows[2].Workers)
+	}
+	out := RenderEngineComparison(rows)
+	if !strings.Contains(out, "compiled+parallel") || !strings.Contains(out, "speedup") {
+		t.Errorf("render broken:\n%s", out)
+	}
+}

@@ -1,0 +1,208 @@
+package vector
+
+import (
+	"math"
+	"sort"
+)
+
+// Compiled is the packed form of a sparse vector: parallel slices of
+// term IDs (sorted ascending) and weights, with the Euclidean norm
+// precomputed once at compile time. Dot and Cosine over two Compiled
+// vectors are merge joins over the sorted ID slices — O(nnz) with no
+// map lookups and no hashing, which is what makes the clustering
+// kernels memory-bandwidth-bound instead of hash-bound.
+//
+// A Compiled vector is immutable after construction; it is safe to
+// share across goroutines.
+type Compiled struct {
+	IDs     []uint32
+	Weights []float64
+	// Norm is the Euclidean length, fixed at compile time.
+	Norm float64
+}
+
+// Len returns the number of non-zero terms.
+func (c Compiled) Len() int { return len(c.IDs) }
+
+// Compile packs v against d, interning any terms d has not seen yet.
+// Weights are carried over exactly (no quantization), so Decompile is a
+// lossless inverse.
+func Compile(v Vector, d *Dict) Compiled {
+	ids := make([]uint32, 0, len(v))
+	for t := range v {
+		ids = append(ids, d.Intern(t))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	weights := make([]float64, len(ids))
+	var sum float64
+	for i, id := range ids {
+		w := v[d.Term(id)]
+		weights[i] = w
+		sum += w * w
+	}
+	return Compiled{IDs: ids, Weights: weights, Norm: math.Sqrt(sum)}
+}
+
+// CompileLookup packs v against d without mutating the dictionary:
+// terms d has never seen are dropped. This is the read-only path for
+// comparing out-of-corpus vectors (classification, probing) against a
+// compiled corpus — safe to call concurrently with other readers.
+//
+// Dropping unknown terms does not change any similarity against
+// in-dictionary vectors' dot products, but it does shrink the norm, so
+// only use this when unknown terms are known to carry zero weight (as
+// TF-IDF embedding against the corpus DF tables guarantees: unseen
+// terms get IDF 0 and never enter the vector).
+func CompileLookup(v Vector, d *Dict) Compiled {
+	ids := make([]uint32, 0, len(v))
+	for t := range v {
+		if id, ok := d.ID(t); ok {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	weights := make([]float64, len(ids))
+	var sum float64
+	for i, id := range ids {
+		w := v[d.Term(id)]
+		weights[i] = w
+		sum += w * w
+	}
+	return Compiled{IDs: ids, Weights: weights, Norm: math.Sqrt(sum)}
+}
+
+// Decompile unpacks c back into a map vector.
+func (c Compiled) Decompile(d *Dict) Vector {
+	v := make(Vector, len(c.IDs))
+	for i, id := range c.IDs {
+		v[d.Term(id)] = c.Weights[i]
+	}
+	return v
+}
+
+// Dot returns the inner product of two compiled vectors by merging the
+// sorted ID slices.
+func (c Compiled) Dot(o Compiled) float64 {
+	a, b := c, o
+	if len(b.IDs) < len(a.IDs) {
+		a, b = b, a
+	}
+	var sum float64
+	i, j := 0, 0
+	na, nb := len(a.IDs), len(b.IDs)
+	for i < na && j < nb {
+		ai, bj := a.IDs[i], b.IDs[j]
+		switch {
+		case ai == bj:
+			sum += a.Weights[i] * b.Weights[j]
+			i++
+			j++
+		case ai < bj:
+			i++
+		default:
+			j++
+		}
+	}
+	return sum
+}
+
+// CosineCompiled returns the cosine similarity of two compiled vectors,
+// with the same conventions as Cosine: zero-norm vectors have
+// similarity 0 with everything, and drift is clamped into [0, 1].
+func CosineCompiled(a, b Compiled) float64 {
+	if a.Norm == 0 || b.Norm == 0 {
+		return 0
+	}
+	c := a.Dot(b) / (a.Norm * b.Norm)
+	if c > 1 {
+		c = 1
+	}
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// Accumulator sums compiled vectors into a dense weight array so
+// centroids can be built in O(total nnz) and compiled back to packed
+// form. The dense array is vocabulary-sized and reused across Reset
+// calls, so one Accumulator per worker amortizes the allocation across
+// every centroid that worker builds.
+type Accumulator struct {
+	dense   []float64
+	touched []uint32
+	seen    []bool
+}
+
+// NewAccumulator returns an accumulator for a vocabulary of the given
+// size (Dict.Len of the dictionary the inputs were compiled against).
+func NewAccumulator(vocab int) *Accumulator {
+	return &Accumulator{
+		dense: make([]float64, vocab),
+		seen:  make([]bool, vocab),
+	}
+}
+
+// grow widens the dense arrays when vectors compiled against a larger
+// dictionary arrive.
+func (a *Accumulator) grow(min int) {
+	if min <= len(a.dense) {
+		return
+	}
+	dense := make([]float64, min)
+	copy(dense, a.dense)
+	a.dense = dense
+	seen := make([]bool, min)
+	copy(seen, a.seen)
+	a.seen = seen
+}
+
+// Add accumulates c term-wise.
+func (a *Accumulator) Add(c Compiled) {
+	if n := len(c.IDs); n > 0 {
+		a.grow(int(c.IDs[n-1]) + 1)
+	}
+	for i, id := range c.IDs {
+		if !a.seen[id] {
+			a.seen[id] = true
+			a.touched = append(a.touched, id)
+		}
+		a.dense[id] += c.Weights[i]
+	}
+}
+
+// Compile packs the accumulated sum, scaled by f, into a Compiled
+// vector and resets the accumulator for reuse. Term IDs come out sorted
+// regardless of insertion order, so the result is deterministic.
+func (a *Accumulator) Compile(f float64) Compiled {
+	sort.Slice(a.touched, func(i, j int) bool { return a.touched[i] < a.touched[j] })
+	ids := make([]uint32, len(a.touched))
+	weights := make([]float64, len(a.touched))
+	var sum float64
+	for i, id := range a.touched {
+		w := a.dense[id] * f
+		ids[i] = id
+		weights[i] = w
+		sum += w * w
+		a.dense[id] = 0
+		a.seen[id] = false
+	}
+	a.touched = a.touched[:0]
+	return Compiled{IDs: ids, Weights: weights, Norm: math.Sqrt(sum)}
+}
+
+// CentroidCompiled returns the term-wise mean of the given compiled
+// vectors — the packed counterpart of Centroid. An empty input yields
+// an empty vector.
+func CentroidCompiled(vs []Compiled, acc *Accumulator) Compiled {
+	if len(vs) == 0 {
+		return Compiled{}
+	}
+	if acc == nil {
+		acc = NewAccumulator(0)
+	}
+	for _, v := range vs {
+		acc.Add(v)
+	}
+	return acc.Compile(1 / float64(len(vs)))
+}

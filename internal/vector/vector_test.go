@@ -197,19 +197,4 @@ func TestAddDocWeighted(t *testing.T) {
 	}
 }
 
-func BenchmarkCosine(b *testing.B) {
-	v, o := New(), New()
-	for i := 0; i < 500; i++ {
-		k := string(rune('a'+i%26)) + string(rune('0'+i%10))
-		v[k+"v"] = float64(i)
-		o[k+"o"] = float64(i)
-		if i%3 == 0 {
-			v[k] = float64(i)
-			o[k] = float64(i + 1)
-		}
-	}
-	b.ReportAllocs()
-	for i := 0; i < b.N; i++ {
-		Cosine(v, o)
-	}
-}
+// BenchmarkCosine (map vs compiled) lives in compiled_test.go.

@@ -87,5 +87,6 @@ func LoadCorpus(r io.Reader) (*Corpus, error) {
 	for i, u := range snap.URLs {
 		m.Pages = append(m.Pages, &icafc.Page{URL: u, FC: snap.FC[i], PC: snap.PC[i]})
 	}
+	m.EnsureCompiled()
 	return &Corpus{model: m, urls: snap.URLs, weights: snap.Weights}, nil
 }

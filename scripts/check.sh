@@ -1,0 +1,15 @@
+#!/usr/bin/env sh
+# Full local verification: vet, build, race-enabled tests (the parallel
+# clustering kernels run under the race detector with Workers > 1), and
+# a single-iteration smoke of the engine benchmarks so the packed/map
+# comparison cannot silently rot.
+set -eu
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
+go test -run xxx -bench 'BenchmarkCosine|BenchmarkKMeansEngines|BenchmarkKMeans454' \
+    -benchtime=1x ./internal/vector ./internal/cluster .
+
+echo "check.sh: all green"
