@@ -40,8 +40,18 @@ import (
 	"cafc/internal/form"
 	"cafc/internal/hub"
 	"cafc/internal/metrics"
+	"cafc/internal/obs"
 	"cafc/internal/vector"
 )
+
+// Registry is the in-process observability registry (counters, gauges,
+// histograms). Attach one via Options.Metrics to collect model-build and
+// clustering telemetry; serve it with the /metrics endpoints the cmd
+// binaries expose, or snapshot it directly.
+type Registry = obs.Registry
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
 
 // Document is one input page: its URL and raw HTML.
 type Document struct {
@@ -67,6 +77,13 @@ type Options struct {
 	// C1 and C2 weigh the PC and FC cosines in the combined similarity
 	// (Equation 3). Zero values select the paper's C1 = C2 = 1.
 	C1, C2 float64
+	// Metrics, when non-nil, collects build and clustering telemetry for
+	// this corpus: TF-IDF build timing, k-means convergence (moved
+	// fraction, iteration counts, empty-cluster repairs), HAC merge
+	// timing, and the backward-crawl coverage counters of ClusterCH. Nil
+	// disables all instrumentation; clustering results are identical
+	// either way.
+	Metrics *Registry
 }
 
 // Features selects the feature spaces used for similarity.
@@ -119,7 +136,7 @@ func NewCorpus(docs []Document, opts ...Options) (*Corpus, error) {
 		fps = append(fps, fp)
 		c.urls = append(c.urls, d.URL)
 	}
-	c.model = icafc.Build(fps, o.UniformWeights)
+	c.model = icafc.BuildMetrics(fps, o.UniformWeights, o.Metrics)
 	c.model.Features = o.Features
 	if o.C1 != 0 || o.C2 != 0 {
 		c.model.C1, c.model.C2 = o.C1, o.C2
@@ -201,7 +218,7 @@ func (c *Corpus) ClusterCH(k int, backlinks BacklinkFunc, roots map[string]strin
 // ClusterCHMinCard is ClusterCH with an explicit minimum hub-cluster
 // cardinality (the Figure 3 knob).
 func (c *Corpus) ClusterCHMinCard(k int, backlinks BacklinkFunc, roots map[string]string, minCard int, seed int64) *Clustering {
-	clusters, _ := hub.Build(c.urls, roots, backlinks)
+	clusters, _ := hub.BuildWith(c.urls, roots, backlinks, hub.BuildOptions{Metrics: c.model.Metrics})
 	res := icafc.CAFCCH(c.model, k, clusters, minCard, rand.New(rand.NewSource(seed+1)))
 	return c.newClustering(res)
 }

@@ -13,11 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
 	"cafc/internal/dataset"
 	"cafc/internal/experiments"
+	"cafc/internal/obs"
 	"cafc/internal/webgen"
 )
 
@@ -25,13 +28,30 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchall: ")
 	var (
-		n     = flag.Int("n", 454, "form pages in the generated corpus")
-		seed  = flag.Int64("seed", 2007, "corpus seed")
-		runs  = flag.Int("runs", experiments.DefaultRuns, "CAFC-C averaging runs")
-		exp   = flag.String("exp", "all", "experiment: all | figure2 | table1 | figure3 | table2 | weights | hubstats | hacseeds | errors | seeding | hubdesign | futurework | postquery | selectk | engines | scaling")
-		sizes = flag.String("sizes", "100,200,454", "corpus sizes for -exp scaling")
+		n       = flag.Int("n", 454, "form pages in the generated corpus")
+		seed    = flag.Int64("seed", 2007, "corpus seed")
+		runs    = flag.Int("runs", experiments.DefaultRuns, "CAFC-C averaging runs")
+		exp     = flag.String("exp", "all", "experiment: all | figure2 | table1 | figure3 | table2 | weights | hubstats | hacseeds | errors | seeding | hubdesign | futurework | postquery | selectk | engines | scaling")
+		sizes   = flag.String("sizes", "100,200,454", "corpus sizes for -exp scaling")
+		metrics = flag.Bool("metrics", false, "collect run telemetry and dump the metrics snapshot to stderr on exit")
 	)
 	flag.Parse()
+
+	// Run-config banner: the effective settings a reader needs to
+	// reproduce this run.
+	fmt.Printf("# benchall seed=%d n=%d runs=%d k=%d workers=%d engine=compiled exp=%s\n",
+		*seed, *n, *runs, len(webgen.Domains), runtime.GOMAXPROCS(0), *exp)
+
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+		defer func() {
+			fmt.Fprintln(os.Stderr, "# metrics snapshot")
+			if err := reg.WritePrometheus(os.Stderr); err != nil {
+				log.Print(err)
+			}
+		}()
+	}
 
 	if *exp == "scaling" {
 		var ns []int
@@ -53,7 +73,7 @@ func main() {
 		return
 	}
 
-	env, err := experiments.NewEnv(webgen.Config{Seed: *seed, FormPages: *n})
+	env, err := experiments.NewEnvMetrics(webgen.Config{Seed: *seed, FormPages: *n}, reg)
 	if err != nil {
 		log.Fatal(err)
 	}

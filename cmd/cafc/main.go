@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"runtime"
 
 	"cafc"
 	"cafc/internal/dataset"
@@ -56,6 +57,8 @@ func main() {
 	default:
 		log.Fatalf("unknown -features %q", *features)
 	}
+	fmt.Printf("# cafc algo=%s k=%d mincard=%d seed=%d features=%s workers=%d engine=compiled\n",
+		*algo, *k, *minCard, *seed, *features, runtime.GOMAXPROCS(0))
 	corpus, err := cafc.NewCorpus(docs, cafc.Options{Features: feat, SkipNonSearchable: true})
 	if err != nil {
 		log.Fatal(err)

@@ -12,10 +12,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"cafc/internal/crawler"
 	"cafc/internal/dataset"
+	"cafc/internal/obs"
 	"cafc/internal/webgen"
 )
 
@@ -27,6 +29,7 @@ func main() {
 		out      = flag.String("o", "crawled.json.gz", "output dataset of crawled pages")
 		maxPages = flag.Int("max", 0, "page budget (0 = default)")
 		workers  = flag.Int("workers", 4, "concurrent fetchers")
+		metrics  = flag.Bool("metrics", false, "dump crawl telemetry to stderr on exit")
 	)
 	flag.Parse()
 
@@ -46,13 +49,23 @@ func main() {
 		}
 	}
 	sort.Strings(seeds)
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
 	cr := &crawler.Crawler{
 		Fetcher: &crawler.HTTPFetcher{Client: client},
-		Config:  crawler.Config{MaxPages: *maxPages, Workers: *workers},
+		Config:  crawler.Config{MaxPages: *maxPages, Workers: *workers, Metrics: reg},
 	}
 	pages := cr.Crawl(seeds)
 	formPages := crawler.FormPages(pages)
 	fmt.Printf("crawled %d pages over HTTP, %d contain searchable forms\n", len(pages), len(formPages))
+	if reg != nil {
+		fmt.Fprintln(os.Stderr, "# crawl metrics")
+		if err := reg.WritePrometheus(os.Stderr); err != nil {
+			log.Print(err)
+		}
+	}
 
 	// Re-assemble a dataset of the discovered form pages (carrying over
 	// gold labels and site roots when the input corpus knows them).

@@ -6,20 +6,31 @@
 // Usage:
 //
 //	directoryd -in corpus.json.gz -addr :8080
+//	directoryd -in corpus.json.gz -metrics   # adds /metrics, /debug/*
 //
 // Endpoints: /  /cluster?id=N  /search?q=...  /select?q=...
+// With -metrics: /metrics (Prometheus text), /debug/vars (JSON),
+// /debug/trace (startup spans), /debug/pprof/*.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"cafc"
+	"cafc/internal/crawler"
 	"cafc/internal/dataset"
 	"cafc/internal/directory"
+	"cafc/internal/obs"
+	"cafc/internal/webgen"
 	"cafc/internal/webgraph"
 )
 
@@ -27,13 +38,31 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("directoryd: ")
 	var (
-		in   = flag.String("in", "corpus.json.gz", "input dataset")
-		addr = flag.String("addr", "127.0.0.1:8080", "listen address")
-		k    = flag.Int("k", 8, "number of clusters")
-		seed = flag.Int64("seed", 1, "clustering seed")
+		in      = flag.String("in", "corpus.json.gz", "input dataset")
+		addr    = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+		k       = flag.Int("k", 8, "number of clusters")
+		seed    = flag.Int64("seed", 1, "clustering seed")
+		metrics = flag.Bool("metrics", false, "expose /metrics, /debug/vars, /debug/trace and /debug/pprof")
 	)
 	flag.Parse()
 
+	// Observability: the registry collects model/clustering telemetry
+	// during startup and HTTP telemetry while serving; the tracer records
+	// the startup phases into a ring buffer (served at /debug/trace) and
+	// the log.
+	var (
+		reg  *obs.Registry
+		ring *obs.RingSink
+	)
+	ctx := context.Background()
+	if *metrics {
+		reg = obs.NewRegistry()
+		ring = obs.NewRingSink(256)
+		ctx = obs.WithTracer(ctx, obs.NewTracer(ring, obs.LogSink{Logger: log.Default()}))
+	}
+	ctx, span := obs.Start(ctx, "startup")
+
+	_, loadSpan := obs.Start(ctx, "load")
 	d, err := dataset.Load(*in)
 	if err != nil {
 		log.Fatal(err)
@@ -45,19 +74,94 @@ func main() {
 		docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
 		html[u] = c.ByURL[u].HTML
 	}
-	corpus, err := cafc.NewCorpus(docs, cafc.Options{SkipNonSearchable: true})
+	corpus, err := cafc.NewCorpus(docs, cafc.Options{SkipNonSearchable: true, Metrics: reg})
 	if err != nil {
 		log.Fatal(err)
 	}
+	loadSpan.SetAttr(obs.Int("form_pages", corpus.Len()))
+	loadSpan.End()
+
+	_, clusterSpan := obs.Start(ctx, "cluster")
 	g := webgraph.FromCorpus(c)
 	svc := webgraph.NewBacklinkService(g, 100, 0, *seed)
+	svc.Metrics = reg
 	cl := corpus.ClusterCH(*k, svc.Backlinks, c.RootOf, *seed)
+	clusterSpan.SetAttr(obs.Int("k", *k))
+	clusterSpan.End()
+
+	if *metrics {
+		probeFetchHealth(ctx, c, reg)
+	}
 
 	labels := make([]string, len(cl.Clusters))
 	for i, terms := range cl.TopTerms {
 		labels[i] = strings.Join(terms, " ")
 	}
 	srv := directory.Build(cl.Clusters, labels, html)
-	fmt.Printf("serving %d databases in %d clusters on http://%s/\n", corpus.Len(), *k, *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+
+	var handler http.Handler = srv.Handler()
+	if *metrics {
+		mux := obs.DebugMux(reg, ring, true)
+		mux.Handle("/", obs.InstrumentHandler(reg, handler))
+		handler = mux
+	}
+
+	// Listen before constructing the server so -addr :0 resolves to a
+	// real port we can print (scripts parse this line).
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	span.End()
+	fmt.Printf("serving %d databases in %d clusters on http://%s/\n", corpus.Len(), *k, ln.Addr())
+	if *metrics {
+		fmt.Printf("metrics on http://%s/metrics, profiles on http://%s/debug/pprof/\n", ln.Addr(), ln.Addr())
+	}
+
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		// Generous write timeout: /debug/pprof/profile streams for 30s by
+		// default and /debug/pprof/trace can run longer.
+		WriteTimeout: 120 * time.Second,
+		IdleTimeout:  60 * time.Second,
+	}
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-sigCtx.Done():
+	}
+	stop()
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+}
+
+// probeFetchHealth exercises the crawler's fetch path over real loopback
+// HTTP against the loaded corpus — one fetch per form page — so the
+// fetch-latency and status metrics are populated from first scrape, the
+// way a periodic health probe would in a long-running deployment.
+func probeFetchHealth(ctx context.Context, c *webgen.Corpus, reg *obs.Registry) {
+	if len(c.FormPages) == 0 {
+		return
+	}
+	_, span := obs.Start(ctx, "fetch_probe")
+	defer span.End()
+	ts, client := crawler.ServeCorpus(c)
+	defer ts.Close()
+	cr := &crawler.Crawler{
+		Fetcher: &crawler.HTTPFetcher{Client: client},
+		Config:  crawler.Config{MaxPages: len(c.FormPages), MaxDepth: 1, Metrics: reg},
+	}
+	pages := cr.Crawl(c.FormPages)
+	span.SetAttr(obs.Int("pages", len(pages)))
 }

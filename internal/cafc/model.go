@@ -6,8 +6,11 @@
 package cafc
 
 import (
+	"time"
+
 	"cafc/internal/cluster"
 	"cafc/internal/form"
+	"cafc/internal/obs"
 	"cafc/internal/vector"
 )
 
@@ -68,6 +71,12 @@ type Model struct {
 	// default; disabling it exists for A/B benchmarks and as an escape
 	// hatch.
 	DisableCompiled bool
+	// Metrics, when non-nil, receives model-level telemetry (TF-IDF
+	// build and engine-compile timing, vocabulary sizes) and is threaded
+	// into every clustering run over this model, so k-means/HAC
+	// convergence lands in the same registry. Nil disables all
+	// instrumentation; results are identical either way.
+	Metrics *obs.Registry
 
 	compiled *compiledPages
 }
@@ -96,15 +105,39 @@ type cpoint struct {
 // then each page gets its location-weighted TF-IDF vectors (Equation 1).
 // uniform=true forces LOC_i = 1 (the Section 4.4 ablation).
 func Build(fps []*form.FormPage, uniform bool) *Model {
+	return BuildMetrics(fps, uniform, nil)
+}
+
+// BuildMetrics is Build with a metrics registry attached before the
+// model is constructed, so the document-frequency accumulation, TF-IDF
+// embedding and engine-compile phases are all timed. A nil registry is
+// exactly Build.
+func BuildMetrics(fps []*form.FormPage, uniform bool, reg *obs.Registry) *Model {
+	var t0 time.Time
+	dfHist := reg.Histogram("model_df_build_seconds", obs.DurationBuckets)
+	if dfHist != nil {
+		t0 = time.Now()
+	}
 	fcDF := vector.NewDocFreq()
 	pcDF := vector.NewDocFreq()
 	for _, fp := range fps {
 		fcDF.AddDocWeighted(fp.FCTerms)
 		pcDF.AddDocWeighted(fp.PCTerms)
 	}
-	m := &Model{C1: 1, C2: 1, Features: FCPC, FCDF: fcDF, PCDF: pcDF, Uniform: uniform}
+	dfHist.ObserveSince(t0)
+	vector.ObserveVocabulary(reg, "fc", fcDF)
+	vector.ObserveVocabulary(reg, "pc", pcDF)
+
+	m := &Model{C1: 1, C2: 1, Features: FCPC, FCDF: fcDF, PCDF: pcDF, Uniform: uniform, Metrics: reg}
+	if reg != nil {
+		t0 = time.Now()
+	}
 	for _, fp := range fps {
 		m.Pages = append(m.Pages, m.Embed(fp))
+	}
+	if reg != nil {
+		// Each page embeds into both feature spaces.
+		vector.ObserveTFIDFBuild(reg, 2*len(fps), time.Since(t0))
 	}
 	m.EnsureCompiled()
 	return m
@@ -121,6 +154,10 @@ func (m *Model) EnsureCompiled() {
 	if m.compiled != nil && len(m.compiled.pc) == len(m.Pages) {
 		return
 	}
+	var t0 time.Time
+	if m.Metrics != nil {
+		t0 = time.Now()
+	}
 	cp := &compiledPages{pcDict: vector.NewDict(), fcDict: vector.NewDict()}
 	cp.pc = make([]vector.Compiled, len(m.Pages))
 	cp.fc = make([]vector.Compiled, len(m.Pages))
@@ -129,6 +166,9 @@ func (m *Model) EnsureCompiled() {
 		cp.fc[i] = vector.Compile(p.FC, cp.fcDict)
 	}
 	m.compiled = cp
+	if m.Metrics != nil {
+		vector.ObserveCompile(m.Metrics, cp.pcDict, cp.fcDict, time.Since(t0))
+	}
 }
 
 // engine returns the packed representation when it is active and

@@ -1,5 +1,11 @@
 package cluster
 
+import (
+	"time"
+
+	"cafc/internal/obs"
+)
+
 // Linkage selects how HAC scores the similarity between two clusters.
 type Linkage int
 
@@ -96,10 +102,27 @@ func HAC(s Space, linkage Linkage) *Dendrogram {
 // count: shard writes are index-disjoint and the best-pair reduction
 // preserves the serial scan's first-maximal tie break.
 func HACWorkers(s Space, linkage Linkage, workers int) *Dendrogram {
+	return HACOpts(s, linkage, Options{Workers: workers})
+}
+
+// HACOpts is HAC with full Options: worker-pool size plus optional
+// metrics. A non-nil Options.Metrics receives the initial-matrix and
+// per-merge-step timings (hac_matrix_seconds, hac_merge_seconds,
+// hac_merges_total) without changing the dendrogram.
+func HACOpts(s Space, linkage Linkage, opts Options) *Dendrogram {
+	workers := opts.Workers
 	n := s.Len()
 	d := &Dendrogram{N: n}
 	if n == 0 {
 		return d
+	}
+	var matrixHist, mergeHist *obs.Histogram
+	var mergeCounter *obs.Counter
+	if reg := opts.Metrics; reg != nil {
+		reg.Counter("hac_runs_total").Inc()
+		matrixHist = reg.Histogram("hac_matrix_seconds", obs.DurationBuckets)
+		mergeHist = reg.Histogram("hac_merge_seconds", obs.DurationBuckets)
+		mergeCounter = reg.Counter("hac_merges_total")
 	}
 	// active clusters, indexed densely; each has a dendrogram id and size.
 	type clus struct {
@@ -119,44 +142,55 @@ func HACWorkers(s Space, linkage Linkage, workers int) *Dendrogram {
 	}
 	// Initial O(n²) pairwise matrix, sharded over rows. Mirror writes
 	// land in other shards' rows but always at distinct elements.
-	parallelRange(n, workers, func(start, end, _ int) {
+	var t0 time.Time
+	if matrixHist != nil {
+		t0 = time.Now()
+	}
+	parallelRange(n, workers, timedBody(opts.Metrics, "hac_matrix", func(start, end, _ int) {
 		for i := start; i < end; i++ {
 			for j := i + 1; j < n; j++ {
 				v := s.Sim(points[i], points[j])
 				sim[i][j], sim[j][i] = v, v
 			}
 		}
-	})
+	}))
+	matrixHist.ObserveSince(t0)
 	alive := make([]bool, n)
 	for i := range alive {
 		alive[i] = true
 	}
 	cands := make([]bestPair, maxShards(n, workers))
+	// The scan body is wrapped once, outside the merge loop, so the
+	// instrumented variant resolves its metric handles a single time.
+	scanBody := timedBody(opts.Metrics, "hac_scan", func(start, end, shard int) {
+		bi, bj, best := -1, -1, -1.0
+		for i := start; i < end; i++ {
+			if !alive[i] {
+				continue
+			}
+			for j := i + 1; j < n; j++ {
+				if !alive[j] {
+					continue
+				}
+				if sim[i][j] > best {
+					bi, bj, best = i, j, sim[i][j]
+				}
+			}
+		}
+		cands[shard] = bestPair{i: bi, j: bj, sim: best}
+	})
 	nextID := n
 	for remaining := n; remaining > 1; remaining-- {
+		if mergeHist != nil {
+			t0 = time.Now()
+		}
 		// Find the most similar pair of active clusters: per-shard
 		// argmax, merged in shard order so the first maximal pair wins
 		// exactly as in a serial left-to-right scan.
 		for c := range cands {
 			cands[c] = bestPair{i: -1, j: -1, sim: -1}
 		}
-		parallelRange(n, workers, func(start, end, shard int) {
-			bi, bj, best := -1, -1, -1.0
-			for i := start; i < end; i++ {
-				if !alive[i] {
-					continue
-				}
-				for j := i + 1; j < n; j++ {
-					if !alive[j] {
-						continue
-					}
-					if sim[i][j] > best {
-						bi, bj, best = i, j, sim[i][j]
-					}
-				}
-			}
-			cands[shard] = bestPair{i: bi, j: bj, sim: best}
-		})
+		parallelRange(n, workers, scanBody)
 		bi, bj, best := mergeBestPairs(cands)
 		if bi < 0 {
 			break
@@ -182,6 +216,8 @@ func HACWorkers(s Space, linkage Linkage, workers int) *Dendrogram {
 		clusters[bi] = clus{id: nextID, size: clusters[bi].size + clusters[bj].size}
 		alive[bj] = false
 		nextID++
+		mergeHist.ObserveSince(t0)
+		mergeCounter.Inc()
 	}
 	return d
 }
@@ -189,7 +225,12 @@ func HACWorkers(s Space, linkage Linkage, workers int) *Dendrogram {
 // HACCut is a convenience wrapper: run HAC and cut at k clusters,
 // returning a Result with recomputed centroids.
 func HACCut(s Space, k int, linkage Linkage) Result {
-	d := HAC(s, linkage)
+	return HACCutOpts(s, k, linkage, Options{})
+}
+
+// HACCutOpts is HACCut with full Options (worker-pool size, metrics).
+func HACCutOpts(s Space, k int, linkage Linkage, opts Options) Result {
+	d := HACOpts(s, linkage, opts)
 	assign := d.CutK(k)
 	kk := 0
 	for _, a := range assign {
@@ -213,6 +254,12 @@ func HACCut(s Space, k int, linkage Linkage) Result {
 // updates afterwards. This is the "CAFC-CH (HAC)" configuration of the
 // paper's Table 2: hub clusters as the starting partition of HAC.
 func HACFromGroups(s Space, groups [][]int, k int, linkage Linkage) Result {
+	return HACFromGroupsOpts(s, groups, k, linkage, Options{})
+}
+
+// HACFromGroupsOpts is HACFromGroups with full Options (metrics only;
+// the group agglomeration itself is serial).
+func HACFromGroupsOpts(s Space, groups [][]int, k int, linkage Linkage, opts Options) Result {
 	n := s.Len()
 	// Assign each point to at most one starting group.
 	owner := make([]int, n)
@@ -251,14 +298,20 @@ func HACFromGroups(s Space, groups [][]int, k int, linkage Linkage) Result {
 	for i := range psim {
 		psim[i] = make([]float64, n)
 	}
-	parallelRange(n, 0, func(start, end, _ int) {
+	var t0 time.Time
+	matrixHist := opts.Metrics.Histogram("hac_matrix_seconds", obs.DurationBuckets)
+	if matrixHist != nil {
+		t0 = time.Now()
+	}
+	parallelRange(n, 0, timedBody(opts.Metrics, "hac_matrix", func(start, end, _ int) {
 		for i := start; i < end; i++ {
 			for j := i + 1; j < n; j++ {
 				v := s.Sim(pts[i], pts[j])
 				psim[i][j], psim[j][i] = v, v
 			}
 		}
-	})
+	}))
+	matrixHist.ObserveSince(t0)
 	// Initial inter-group similarities by linkage aggregation.
 	agg := func(a, b []int) float64 {
 		switch linkage {
@@ -308,6 +361,7 @@ func HACFromGroups(s Space, groups [][]int, k int, linkage Linkage) Result {
 		alive[i] = true
 		sizes[i] = len(gs[i])
 	}
+	groupMerges := opts.Metrics.Counter("hac_group_merges_total")
 	remaining := m
 	for remaining > k {
 		bi, bj, best := -1, -1, -1.0
@@ -324,6 +378,7 @@ func HACFromGroups(s Space, groups [][]int, k int, linkage Linkage) Result {
 		if bi < 0 {
 			break
 		}
+		groupMerges.Inc()
 		ni, nj := float64(sizes[bi]), float64(sizes[bj])
 		for x := 0; x < m; x++ {
 			if !alive[x] || x == bi || x == bj {

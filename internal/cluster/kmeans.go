@@ -2,6 +2,9 @@ package cluster
 
 import (
 	"math/rand"
+	"time"
+
+	"cafc/internal/obs"
 )
 
 // Options configures KMeans.
@@ -22,6 +25,12 @@ type Options struct {
 	// fixed, workers write disjoint index-addressed slots, and no
 	// floating-point reduction is reassociated across points.
 	Workers int
+	// Metrics, when non-nil, receives convergence telemetry (moved
+	// fraction per iteration, phase timings, empty-cluster repairs) and
+	// parallel-kernel shard utilization. Nil disables instrumentation
+	// entirely; assignments are bit-identical either way, because the
+	// instrumentation only observes the run.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -67,6 +76,25 @@ func KMeans(s Space, k int, seeds [][]int, opts Options) Result {
 	}
 	centroids := initialCentroids(s, k, seeds, opts.Rand)
 
+	// Convergence telemetry: all handles are nil (no-op) without a
+	// registry, and nothing below is measured per point — only per
+	// iteration — so the instrumented hot path is unchanged.
+	var (
+		movedGauge    *obs.Gauge
+		assignHist    *obs.Histogram
+		recomputeHist *obs.Histogram
+		iterCounter   *obs.Counter
+		repairCounter *obs.Counter
+	)
+	if reg := opts.Metrics; reg != nil {
+		reg.Counter("kmeans_runs_total").Inc()
+		movedGauge = reg.Gauge("kmeans_moved_fraction")
+		assignHist = reg.Histogram("kmeans_assign_seconds", obs.DurationBuckets)
+		recomputeHist = reg.Histogram("kmeans_recompute_seconds", obs.DurationBuckets)
+		iterCounter = reg.Counter("kmeans_iterations_total")
+		repairCounter = reg.Counter("kmeans_empty_repairs_total")
+	}
+
 	assign := make([]int, n)
 	for i := range assign {
 		assign[i] = -1
@@ -74,13 +102,18 @@ func KMeans(s Space, k int, seeds [][]int, opts Options) Result {
 	iter := 0
 	movedBy := make([]int, maxShards(n, opts.Workers))
 	for ; iter < opts.MaxIter; iter++ {
+		iterCounter.Inc()
 		// Assignment (Algorithm 1 line 4), sharded over points. Each
 		// point's nearest-centroid scan is independent; workers count
 		// moves in per-shard slots reduced serially below.
 		for i := range movedBy {
 			movedBy[i] = 0
 		}
-		parallelRange(n, opts.Workers, func(start, end, shard int) {
+		var t0 time.Time
+		if assignHist != nil {
+			t0 = time.Now()
+		}
+		parallelRange(n, opts.Workers, timedBody(opts.Metrics, "kmeans_assign", func(start, end, shard int) {
 			for i := start; i < end; i++ {
 				best, bestSim := 0, -1.0
 				p := s.Point(i)
@@ -94,22 +127,30 @@ func KMeans(s Space, k int, seeds [][]int, opts Options) Result {
 					assign[i] = best
 				}
 			}
-		})
+		}))
+		assignHist.ObserveSince(t0)
 		moved := 0
 		for _, m := range movedBy {
 			moved += m
 		}
+		if n > 0 {
+			movedGauge.Set(float64(moved) / float64(n))
+		}
 		// Recompute centroids (Algorithm 1 line 5), sharded over
 		// clusters — per-index work is a whole centroid, so fan out
 		// even for small k.
+		if recomputeHist != nil {
+			t0 = time.Now()
+		}
 		members := Members(assign, k)
-		parallelRangeMin(k, opts.Workers, 2, func(start, end, _ int) {
+		parallelRangeMin(k, opts.Workers, 2, timedBody(opts.Metrics, "kmeans_recompute", func(start, end, _ int) {
 			for c := start; c < end; c++ {
 				if len(members[c]) > 0 {
 					centroids[c] = s.Centroid(members[c])
 				}
 			}
-		})
+		}))
+		recomputeHist.ObserveSince(t0)
 		// Repair empty clusters serially: reseed each from the point
 		// farthest from its current centroid, a standard k-means repair.
 		// `taken` tracks points already used this round so two clusters
@@ -126,6 +167,7 @@ func KMeans(s Space, k int, seeds [][]int, opts Options) Result {
 			idx := farthestPoint(s, assign, centroids, taken)
 			taken[idx] = true
 			centroids[c] = s.Point(idx)
+			repairCounter.Inc()
 			moved++ // force another round
 		}
 		if float64(moved) < opts.MoveFrac*float64(n) {

@@ -3,6 +3,9 @@ package cluster
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"cafc/internal/obs"
 )
 
 // The parallel kernels in this package share one contract: for any
@@ -76,6 +79,27 @@ func maxShards(n, workers int) int {
 		workers = 1
 	}
 	return workers
+}
+
+// timedBody wraps a parallelRange body so each shard's busy time lands
+// in the cluster_shard_busy_seconds{kernel=...} histogram and shard
+// executions in cluster_shard_runs_total — the utilization signal for
+// the worker pool (a wide busy-time spread means shards are unbalanced;
+// runs per fan-out shows how often work actually forked). With a nil
+// registry the body is returned untouched, so un-instrumented kernels
+// pay nothing.
+func timedBody(reg *obs.Registry, kernel string, body func(start, end, shard int)) func(start, end, shard int) {
+	if reg == nil {
+		return body
+	}
+	busy := reg.Histogram("cluster_shard_busy_seconds", obs.DurationBuckets, "kernel", kernel)
+	runs := reg.Counter("cluster_shard_runs_total", "kernel", kernel)
+	return func(start, end, shard int) {
+		t0 := time.Now()
+		body(start, end, shard)
+		busy.ObserveSince(t0)
+		runs.Inc()
+	}
 }
 
 // bestPair is one shard's candidate for an argmax scan over an upper-

@@ -18,9 +18,11 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"cafc/internal/form"
 	"cafc/internal/htmlx"
+	"cafc/internal/obs"
 	"cafc/internal/webgen"
 )
 
@@ -170,6 +172,11 @@ type Config struct {
 	MaxDepth int
 	// Workers is the number of concurrent fetchers (0 = 4).
 	Workers int
+	// Metrics, when non-nil, receives crawl telemetry: per-fetch latency
+	// (crawler_fetch_seconds) and outcome counts, link extraction and
+	// frontier dedup counters, searchable-form admissions, and the
+	// frontier size per BFS wave. The traversal itself is unchanged.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -201,6 +208,31 @@ type Crawler struct {
 // expansion is breadth-first in discovery order.
 func (cr *Crawler) Crawl(seeds []string) []Page {
 	cfg := cr.Config.withDefaults()
+	// Fetch-health telemetry. Handles are nil (no-op) without a
+	// registry; the counters and histogram are atomic, so the fetch
+	// goroutines record without coordination.
+	var (
+		fetchSeconds *obs.Histogram
+		fetchOK      *obs.Counter
+		fetchErr     *obs.Counter
+		linksSeen    *obs.Counter
+		linksDeduped *obs.Counter
+		searchable   *obs.Counter
+		crawled      *obs.Counter
+		frontierSize *obs.Gauge
+		depthGauge   *obs.Gauge
+	)
+	if reg := cfg.Metrics; reg != nil {
+		fetchSeconds = reg.Histogram("crawler_fetch_seconds", obs.DurationBuckets)
+		fetchOK = reg.Counter("crawler_fetch_total", "status", "ok")
+		fetchErr = reg.Counter("crawler_fetch_total", "status", "error")
+		linksSeen = reg.Counter("crawler_links_extracted_total")
+		linksDeduped = reg.Counter("crawler_links_deduped_total")
+		searchable = reg.Counter("crawler_searchable_pages_total")
+		crawled = reg.Counter("crawler_pages_crawled_total")
+		frontierSize = reg.Gauge("crawler_frontier_size")
+		depthGauge = reg.Gauge("crawler_depth")
+	}
 	type job struct {
 		url   string
 		depth int
@@ -217,6 +249,8 @@ func (cr *Crawler) Crawl(seeds []string) []Page {
 	for len(frontier) > 0 && len(out) < cfg.MaxPages {
 		batch := frontier
 		frontier = nil
+		frontierSize.Set(float64(len(batch)))
+		depthGauge.Set(float64(batch[0].depth))
 		// Fetch the batch concurrently, preserving order in results.
 		results := make([]*Page, len(batch))
 		sem := make(chan struct{}, cfg.Workers)
@@ -231,10 +265,17 @@ func (cr *Crawler) Crawl(seeds []string) []Page {
 			go func(i int, j job) {
 				defer wg.Done()
 				defer func() { <-sem }()
+				var t0 time.Time
+				if fetchSeconds != nil {
+					t0 = time.Now()
+				}
 				body, err := cr.Fetcher.Fetch(j.url)
+				fetchSeconds.ObserveSince(t0)
 				if err != nil {
+					fetchErr.Inc()
 					return
 				}
+				fetchOK.Inc()
 				p := &Page{URL: j.url, HTML: body, Depth: j.depth}
 				base, err := url.Parse(j.url)
 				if err == nil {
@@ -253,6 +294,10 @@ func (cr *Crawler) Crawl(seeds []string) []Page {
 						}
 					}
 				}
+				linksSeen.Add(int64(len(p.Links)))
+				if p.Searchable {
+					searchable.Inc()
+				}
 				results[i] = p
 			}(i, j)
 		}
@@ -265,6 +310,7 @@ func (cr *Crawler) Crawl(seeds []string) []Page {
 				break
 			}
 			out = append(out, *p)
+			crawled.Inc()
 			if p.Depth >= cfg.MaxDepth {
 				continue
 			}
@@ -272,6 +318,8 @@ func (cr *Crawler) Crawl(seeds []string) []Page {
 				if !visited[l] {
 					visited[l] = true
 					frontier = append(frontier, job{l, p.Depth + 1})
+				} else {
+					linksDeduped.Inc()
 				}
 			}
 		}

@@ -15,6 +15,7 @@ import (
 	"cafc/internal/form"
 	"cafc/internal/hub"
 	"cafc/internal/metrics"
+	"cafc/internal/obs"
 	"cafc/internal/webgen"
 	"cafc/internal/webgraph"
 )
@@ -34,6 +35,9 @@ type Env struct {
 	// Backlinks is the simulated link: API over the corpus, kept so
 	// ablations can rebuild hub clusters under different options.
 	Backlinks hub.BacklinkFunc
+	// Service is the backlink service behind Backlinks, exposed so
+	// callers can toggle outages or attach telemetry.
+	Service *webgraph.BacklinkService
 	// Graph is the full corpus link graph (anchor texts included).
 	Graph *webgraph.Graph
 }
@@ -51,6 +55,15 @@ const DefaultRuns = 20
 
 // NewEnv generates a corpus and prepares everything the experiments need.
 func NewEnv(cfg webgen.Config) (*Env, error) {
+	return NewEnvMetrics(cfg, nil)
+}
+
+// NewEnvMetrics is NewEnv with a metrics registry threaded through the
+// whole preparation pipeline: the differentiated model records its build
+// telemetry there, the backlink service its query telemetry, the hub
+// construction its coverage-gap counters, and every clustering run over
+// env.Model its convergence telemetry. A nil registry is exactly NewEnv.
+func NewEnvMetrics(cfg webgen.Config, reg *obs.Registry) (*Env, error) {
 	c := webgen.Generate(cfg)
 	env := &Env{Corpus: c, K: len(webgen.Domains)}
 	for _, u := range c.FormPages {
@@ -61,13 +74,15 @@ func NewEnv(cfg webgen.Config) (*Env, error) {
 		env.FormPages = append(env.FormPages, fp)
 		env.Classes = append(env.Classes, string(c.Labels[u]))
 	}
-	env.Model = cafc.Build(env.FormPages, false)
+	env.Model = cafc.BuildMetrics(env.FormPages, false, reg)
 	env.UniformModel = cafc.Build(env.FormPages, true)
 	g := webgraph.FromCorpus(c)
 	env.Graph = g
 	svc := webgraph.NewBacklinkService(g, 100, 0, cfg.Seed)
+	svc.Metrics = reg
+	env.Service = svc
 	env.Backlinks = svc.Backlinks
-	env.HubClusters, env.HubStats = hub.Build(c.FormPages, c.RootOf, svc.Backlinks)
+	env.HubClusters, env.HubStats = hub.BuildWith(c.FormPages, c.RootOf, svc.Backlinks, hub.BuildOptions{Metrics: reg})
 	return env, nil
 }
 

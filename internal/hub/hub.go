@@ -11,7 +11,9 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"cafc/internal/obs"
 	"cafc/internal/webgraph"
 )
 
@@ -66,6 +68,14 @@ type BuildOptions struct {
 	KeepIntraSite bool
 	// NoRootFallback skips the site-root backlink query.
 	NoRootFallback bool
+	// Metrics, when non-nil, receives the backward-crawl telemetry: the
+	// query budget actually spent (backlink_queries_total), the paper's
+	// coverage-gap figures (backlink_miss_total for pages with no
+	// backlinks at all, backlink_direct_miss_total for the ">15% with no
+	// direct backlinks" accounting), service failures, and intra-site
+	// hub eliminations. Everything in Stats is also mirrored here so
+	// long-running services expose it without plumbing Stats around.
+	Metrics *obs.Registry
 }
 
 // Build performs the backward crawl and returns the distinct hub clusters
@@ -81,6 +91,12 @@ func Build(urls []string, roots map[string]string, backlinks BacklinkFunc) ([]Cl
 
 // BuildWith is Build with explicit design-choice options.
 func BuildWith(urls []string, roots map[string]string, backlinks BacklinkFunc, opts BuildOptions) ([]Cluster, Stats) {
+	var t0 time.Time
+	reg := opts.Metrics
+	if reg != nil {
+		t0 = time.Now()
+	}
+	queries := reg.Counter("backlink_queries_total")
 	stats := Stats{FormPages: len(urls)}
 	// hub URL -> set of form-page indices it cites.
 	cites := make(map[string]map[int]bool)
@@ -92,6 +108,7 @@ func BuildWith(urls []string, roots map[string]string, backlinks BacklinkFunc, o
 			targets = append(targets, r)
 		}
 		for ti, target := range targets {
+			queries.Inc()
 			links, err := backlinks(target)
 			if err != nil {
 				stats.QueryErrors++
@@ -154,6 +171,15 @@ func BuildWith(urls []string, roots map[string]string, backlinks BacklinkFunc, o
 		return a.Hub < b.Hub
 	})
 	stats.Clusters = len(out)
+	if reg != nil {
+		reg.Histogram("hub_build_seconds", obs.DurationBuckets).ObserveSince(t0)
+		reg.Counter("backlink_miss_total").Add(int64(stats.NoBacklinks))
+		reg.Counter("backlink_direct_miss_total").Add(int64(stats.NoDirectBacklinks))
+		reg.Counter("backlink_query_errors_total").Add(int64(stats.QueryErrors))
+		reg.Counter("hub_intrasite_dropped_total").Add(int64(stats.IntraSiteDropped))
+		reg.Gauge("hub_raw_hubs").Set(float64(stats.RawHubs))
+		reg.Gauge("hub_clusters").Set(float64(stats.Clusters))
+	}
 	return out, stats
 }
 

@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// escapeLabel escapes a label value for the Prometheus text format.
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// formatFloat renders a float the way the Prometheus text format
+// expects (+Inf for the terminal histogram bound).
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promLabels renders {k="v",...} plus an optional extra label (le).
+func promLabels(ls []Label, extraKey, extraVal string) string {
+	if len(ls) == 0 && extraKey == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, l.Key, escapeLabel(l.Value))
+	}
+	if extraKey != "" {
+		if len(ls) > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `%s="%s"`, extraKey, escapeLabel(extraVal))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): one # TYPE line per family, then
+// its series; histograms expand to _bucket/_sum/_count. Output is
+// deterministic. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	samples := r.Snapshot()
+	lastName := ""
+	for i := range samples {
+		s := &samples[i]
+		if s.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		var err error
+		switch s.Kind {
+		case KindHistogram:
+			for _, b := range s.Buckets {
+				if _, err = fmt.Fprintf(w, "%s_bucket%s %d\n",
+					s.Name, promLabels(s.Labels, "le", formatFloat(b.Upper)), b.Count); err != nil {
+					return err
+				}
+			}
+			if _, err = fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabels(s.Labels, "", ""), formatFloat(s.Sum)); err != nil {
+				return err
+			}
+			_, err = fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Count)
+		default:
+			_, err = fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels, "", ""), formatFloat(s.Value))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the registry as an expvar-style JSON object: one
+// key per series (name{k="v"}), scalar values for counters and gauges,
+// and {count, sum, buckets} objects for histograms. Keys are emitted in
+// sorted order. A nil registry writes the empty object.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	samples := r.Snapshot()
+	obj := make(map[string]interface{}, len(samples))
+	keys := make([]string, 0, len(samples))
+	for i := range samples {
+		s := &samples[i]
+		key := s.SeriesName()
+		keys = append(keys, key)
+		switch s.Kind {
+		case KindHistogram:
+			buckets := make(map[string]uint64, len(s.Buckets))
+			for _, b := range s.Buckets {
+				buckets[formatFloat(b.Upper)] = b.Count
+			}
+			obj[key] = map[string]interface{}{
+				"count":   s.Count,
+				"sum":     s.Sum,
+				"buckets": buckets,
+			}
+		default:
+			obj[key] = s.Value
+		}
+	}
+	sort.Strings(keys)
+	// Emit keys in sorted order by hand — encoding/json sorts map keys
+	// anyway, but an ordered build keeps the behaviour explicit.
+	var b strings.Builder
+	b.WriteString("{\n")
+	for i, k := range keys {
+		v, err := json.Marshal(obj[k])
+		if err != nil {
+			return err
+		}
+		kb, _ := json.Marshal(k)
+		fmt.Fprintf(&b, "  %s: %s", kb, v)
+		if i < len(keys)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

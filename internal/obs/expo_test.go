@@ -1,0 +1,82 @@
+package obs
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestWritePrometheusGolden locks the text exposition format down to
+// the byte: # TYPE lines, label rendering, histogram expansion with
+// cumulative le buckets, _sum and _count.
+func TestWritePrometheusGolden(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("backlink_miss_total").Add(7)
+	reg.Gauge("kmeans_moved_fraction").Set(0.05)
+	h := reg.Histogram("crawler_fetch_seconds", []float64{0.01, 0.1}, "status", "ok")
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	reg.Counter("crawler_fetch_total", "status", "ok").Add(2)
+	reg.Counter("crawler_fetch_total", "status", "error").Inc()
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE backlink_miss_total counter
+backlink_miss_total 7
+# TYPE crawler_fetch_seconds histogram
+crawler_fetch_seconds_bucket{status="ok",le="0.01"} 1
+crawler_fetch_seconds_bucket{status="ok",le="0.1"} 2
+crawler_fetch_seconds_bucket{status="ok",le="+Inf"} 3
+crawler_fetch_seconds_sum{status="ok"} 0.555
+crawler_fetch_seconds_count{status="ok"} 3
+# TYPE crawler_fetch_total counter
+crawler_fetch_total{status="error"} 1
+crawler_fetch_total{status="ok"} 2
+# TYPE kmeans_moved_fraction gauge
+kmeans_moved_fraction 0.05
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestWriteJSON checks the expvar-style rendering parses back and
+// carries the expected series.
+func TestWriteJSON(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("ops_total", "kind", "x").Add(3)
+	reg.Histogram("dur_seconds", []float64{1}).Observe(0.5)
+	var b strings.Builder
+	if err := reg.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var obj map[string]interface{}
+	if err := json.Unmarshal([]byte(b.String()), &obj); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if v, ok := obj[`ops_total{kind="x"}`].(float64); !ok || v != 3 {
+		t.Fatalf("ops_total = %v, want 3", obj[`ops_total{kind="x"}`])
+	}
+	hist, ok := obj["dur_seconds"].(map[string]interface{})
+	if !ok || hist["count"].(float64) != 1 || hist["sum"].(float64) != 0.5 {
+		t.Fatalf("dur_seconds = %v", obj["dur_seconds"])
+	}
+}
+
+// TestLabelEscaping: quotes, backslashes and newlines in label values
+// must survive the text format.
+func TestLabelEscaping(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "q", "a\"b\\c\nd").Inc()
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `x_total{q="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("missing escaped series, got:\n%s", b.String())
+	}
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+)
+
+// DebugMux builds the observability side of an HTTP server:
+//
+//	GET /metrics        Prometheus text exposition of reg
+//	GET /debug/vars     expvar-style JSON of reg
+//	GET /debug/trace    recent spans from ring as JSON (when ring != nil)
+//	GET /debug/pprof/*  runtime profiles (when pprofEnabled)
+//
+// Mount application routes on the returned mux afterwards (e.g.
+// mux.Handle("/", app)).
+func DebugMux(reg *Registry, ring *RingSink, pprofEnabled bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = reg.WriteJSON(w)
+	})
+	if ring != nil {
+		mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+			type jsonSpan struct {
+				Name     string  `json:"name"`
+				SpanID   uint64  `json:"span_id"`
+				ParentID uint64  `json:"parent_id,omitempty"`
+				Start    string  `json:"start"`
+				Seconds  float64 `json:"seconds"`
+				Attrs    []Attr  `json:"attrs,omitempty"`
+			}
+			spans := ring.Spans()
+			out := make([]jsonSpan, 0, len(spans))
+			for _, s := range spans {
+				out = append(out, jsonSpan{
+					Name:     s.Name,
+					SpanID:   s.SpanID,
+					ParentID: s.ParentID,
+					Start:    s.Start.Format(time.RFC3339Nano),
+					Seconds:  s.Duration.Seconds(),
+					Attrs:    s.Attrs,
+				})
+			}
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			enc := json.NewEncoder(w)
+			enc.SetIndent("", "  ")
+			_ = enc.Encode(out)
+		})
+	}
+	if pprofEnabled {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// statusWriter captures the response status code for the middleware.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// InstrumentHandler wraps an HTTP handler with request accounting:
+// http_requests_total{path,code} and the http_request_seconds
+// histogram. Paths are used verbatim as label values, so only mount it
+// over routers with a bounded path set (the directory UI qualifies).
+// With a nil registry the handler is returned unwrapped.
+func InstrumentHandler(reg *Registry, next http.Handler) http.Handler {
+	if reg == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		reg.Histogram("http_request_seconds", DurationBuckets, "path", r.URL.Path).
+			ObserveSince(t0)
+		reg.Counter("http_requests_total", "path", r.URL.Path, "code", strconv.Itoa(sw.status)).Inc()
+	})
+}

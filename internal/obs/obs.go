@@ -1,0 +1,53 @@
+// Package obs is the repository's dependency-free observability layer:
+// a metrics registry (atomic counters, gauges and fixed-bucket
+// histograms with labels, snapshottable and renderable as Prometheus
+// text exposition or expvar-style JSON), a lightweight span/trace API
+// with pluggable sinks, and HTTP surfacing helpers (/metrics,
+// /debug/vars, /debug/pprof, /debug/trace).
+//
+// Every consumer in the stack accepts an optional *Registry; a nil
+// registry — and the nil metric handles it hands out — disables
+// instrumentation entirely, so un-instrumented runs pay nothing beyond
+// a pointer comparison. Clustering results are bit-identical with and
+// without a registry attached: instrumentation only observes, it never
+// participates in the computation.
+package obs
+
+// Kind discriminates the metric families a Registry holds.
+type Kind uint8
+
+// Metric kinds.
+const (
+	KindCounter Kind = iota
+	KindGauge
+	KindHistogram
+)
+
+// String names the kind as Prometheus' # TYPE line wants it.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+// Label is one name/value pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// DurationBuckets are the default histogram bounds for phase and
+// request latencies, in seconds: 100µs to ~100s on a coarse log scale.
+var DurationBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100,
+}
+
+// CountBuckets are the default histogram bounds for small result
+// counts (backlinks per query, links per page, ...).
+var CountBuckets = []float64{0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000}

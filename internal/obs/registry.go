@@ -1,0 +1,346 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Registry holds metric families keyed by name, each with any number of
+// labelled series. All methods are safe for concurrent use, and every
+// method — including those of the metric handles it returns — treats a
+// nil receiver as a no-op, so instrumented code needs no nil checks
+// beyond skipping expensive measurement work.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// family is every series sharing one metric name.
+type family struct {
+	kind    Kind
+	buckets []float64 // histogram upper bounds, nil otherwise
+	series  map[string]interface{}
+	labels  map[string][]Label // series key -> its label pairs
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// checkName panics on names outside the Prometheus grammar — metric
+// names are compile-time constants, so a bad one is a programming error
+// worth failing loudly on.
+func checkName(name string) {
+	if name == "" {
+		panic("obs: empty metric name")
+	}
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			panic(fmt.Sprintf("obs: invalid metric name %q", name))
+		}
+	}
+}
+
+// seriesLabels converts alternating key/value strings into sorted Label
+// pairs and the canonical series key.
+func seriesLabels(kv []string) ([]Label, string) {
+	if len(kv)%2 != 0 {
+		panic("obs: labels must be alternating key/value pairs")
+	}
+	if len(kv) == 0 {
+		return nil, ""
+	}
+	ls := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		ls = append(ls, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return ls, b.String()
+}
+
+// lookup returns (creating on first use) the series for name+labels,
+// checking that the name keeps one kind across call sites.
+func (r *Registry) lookup(name string, kind Kind, buckets []float64, kv []string) interface{} {
+	checkName(name)
+	ls, key := seriesLabels(kv)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{
+			kind:    kind,
+			buckets: buckets,
+			series:  make(map[string]interface{}),
+			labels:  make(map[string][]Label),
+		}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	m := f.series[key]
+	if m == nil {
+		switch kind {
+		case KindCounter:
+			m = &Counter{}
+		case KindGauge:
+			m = &Gauge{}
+		case KindHistogram:
+			m = newHistogram(f.buckets)
+		}
+		f.series[key] = m
+		f.labels[key] = ls
+	}
+	return m
+}
+
+// Counter returns the counter series for name and the given alternating
+// label key/value pairs, creating it on first use. Nil registries
+// return a nil (no-op) counter.
+func (r *Registry) Counter(name string, labels ...string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindCounter, nil, labels).(*Counter)
+}
+
+// Gauge returns the gauge series for name+labels (nil-safe, like
+// Counter).
+func (r *Registry) Gauge(name string, labels ...string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindGauge, nil, labels).(*Gauge)
+}
+
+// Histogram returns the histogram series for name+labels with the given
+// upper bounds (ascending; an implicit +Inf bucket is appended). The
+// first call fixes the bounds for the whole family. Nil registries
+// return a nil (no-op) histogram.
+func (r *Registry) Histogram(name string, buckets []float64, labels ...string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, KindHistogram, buckets, labels).(*Histogram)
+}
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative n is ignored — counters only go up).
+func (c *Counter) Add(n int64) {
+	if c == nil || n <= 0 {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed cumulative buckets.
+type Histogram struct {
+	uppers []float64
+	counts []atomic.Uint64 // one per upper bound, plus +Inf at the end
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+}
+
+func newHistogram(uppers []float64) *Histogram {
+	cp := append([]float64(nil), uppers...)
+	sort.Float64s(cp)
+	return &Histogram{uppers: cp, counts: make([]atomic.Uint64, len(cp)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.uppers, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start. A no-op on nil
+// histograms, so callers can time unconditionally-gated sections with
+// `var t0 time.Time; if h != nil { t0 = time.Now() } ... h.ObserveSince(t0)`.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h == nil {
+		return
+	}
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Bucket is one cumulative histogram bucket of a snapshot: the count of
+// observations <= Upper (math.Inf(1) for the last bucket).
+type Bucket struct {
+	Upper float64
+	Count uint64
+}
+
+// Sample is the frozen state of one metric series.
+type Sample struct {
+	Name   string
+	Kind   Kind
+	Labels []Label
+	// Value carries counters (as float) and gauges.
+	Value float64
+	// Count, Sum and Buckets carry histograms.
+	Count   uint64
+	Sum     float64
+	Buckets []Bucket
+}
+
+// SeriesName renders the sample's identity as name{k="v",...}.
+func (s *Sample) SeriesName() string {
+	if len(s.Labels) == 0 {
+		return s.Name
+	}
+	var b strings.Builder
+	b.WriteString(s.Name)
+	b.WriteByte('{')
+	for i, l := range s.Labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", l.Key, l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Snapshot freezes every series, sorted by name then label key for
+// deterministic output. Nil registries return nil.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Sample
+	for name, f := range r.families {
+		for key, m := range f.series {
+			s := Sample{Name: name, Kind: f.kind, Labels: f.labels[key]}
+			switch v := m.(type) {
+			case *Counter:
+				s.Value = float64(v.Value())
+			case *Gauge:
+				s.Value = v.Value()
+			case *Histogram:
+				s.Count = v.Count()
+				s.Sum = v.Sum()
+				cum := uint64(0)
+				for i := range v.counts {
+					cum += v.counts[i].Load()
+					upper := math.Inf(1)
+					if i < len(v.uppers) {
+						upper = v.uppers[i]
+					}
+					s.Buckets = append(s.Buckets, Bucket{Upper: upper, Count: cum})
+				}
+			}
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return labelKey(out[i].Labels) < labelKey(out[j].Labels)
+	})
+	return out
+}
+
+func labelKey(ls []Label) string {
+	var b strings.Builder
+	for _, l := range ls {
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+		b.WriteByte(';')
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestRegistryConcurrent hammers one counter, one gauge and one
+// histogram from many goroutines; run under -race (scripts/check.sh
+// does) this doubles as the data-race proof for the atomic series.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	const workers = 16
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				reg.Counter("ops_total", "shard", "a").Inc()
+				reg.Gauge("depth").Set(float64(i))
+				reg.Histogram("latency_seconds", DurationBuckets).Observe(0.001 * float64(i%7))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := reg.Counter("ops_total", "shard", "a").Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	h := reg.Histogram("latency_seconds", DurationBuckets)
+	if got := h.Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	wantSum := 0.0
+	for i := 0; i < perWorker; i++ {
+		wantSum += 0.001 * float64(i%7)
+	}
+	wantSum *= workers
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Fatalf("histogram sum = %g, want %g", h.Sum(), wantSum)
+	}
+}
+
+// TestNilRegistry proves the no-op contract: a nil registry hands out
+// nil handles whose every method is safe.
+func TestNilRegistry(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("x_total")
+	g := reg.Gauge("x")
+	h := reg.Histogram("x_seconds", DurationBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("nil registry must return nil handles, got %v %v %v", c, g, h)
+	}
+	c.Inc()
+	c.Add(5)
+	g.Set(1)
+	g.Add(2)
+	h.Observe(3)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil handles must read as zero")
+	}
+	if s := reg.Snapshot(); s != nil {
+		t.Fatalf("nil registry snapshot = %v, want nil", s)
+	}
+}
+
+// TestHistogramBuckets checks the cumulative bucket accounting,
+// including the boundary (v == upper lands in that bucket) and the
+// +Inf overflow bucket.
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("h", []float64{1, 2, 5})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 10} {
+		h.Observe(v)
+	}
+	samples := reg.Snapshot()
+	if len(samples) != 1 {
+		t.Fatalf("got %d samples, want 1", len(samples))
+	}
+	s := samples[0]
+	want := []uint64{2, 4, 4, 5} // <=1, <=2, <=5, +Inf (cumulative)
+	if len(s.Buckets) != len(want) {
+		t.Fatalf("got %d buckets, want %d", len(s.Buckets), len(want))
+	}
+	for i, b := range s.Buckets {
+		if b.Count != want[i] {
+			t.Errorf("bucket %d (le=%g): count %d, want %d", i, b.Upper, b.Count, want[i])
+		}
+	}
+	if !math.IsInf(s.Buckets[len(s.Buckets)-1].Upper, 1) {
+		t.Error("last bucket must be +Inf")
+	}
+	if s.Count != 5 || s.Sum != 15 {
+		t.Errorf("count=%d sum=%g, want 5 and 15", s.Count, s.Sum)
+	}
+}
+
+// TestKindMismatchPanics: reusing a name across kinds is a programming
+// error and must fail loudly.
+func TestKindMismatchPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on kind mismatch")
+		}
+	}()
+	reg.Gauge("x_total")
+}
+
+// TestSnapshotDeterministic: snapshot order is by name then labels,
+// regardless of creation order.
+func TestSnapshotDeterministic(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z_total").Inc()
+	reg.Counter("a_total", "k", "2").Inc()
+	reg.Counter("a_total", "k", "1").Inc()
+	s := reg.Snapshot()
+	got := []string{s[0].SeriesName(), s[1].SeriesName(), s[2].SeriesName()}
+	want := []string{`a_total{k="1"}`, `a_total{k="2"}`, "z_total"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot order = %v, want %v", got, want)
+		}
+	}
+}

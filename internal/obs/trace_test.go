@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"context"
+	"log"
+	"strings"
+	"testing"
+)
+
+// TestSpanParentChildOrdering: a child span ends before its parent, so
+// the sink must receive child first and the ids must link up.
+func TestSpanParentChildOrdering(t *testing.T) {
+	ring := NewRingSink(8)
+	ctx := WithTracer(context.Background(), NewTracer(ring))
+
+	ctx, root := Start(ctx, "startup")
+	ctxLoad, load := Start(ctx, "load")
+	_, parse := Start(ctxLoad, "parse")
+	parse.SetAttr(Int("pages", 42))
+	parse.End()
+	load.End()
+	_, cluster := Start(ctx, "cluster")
+	cluster.End()
+	root.End()
+
+	spans := ring.Spans()
+	names := make([]string, len(spans))
+	for i, s := range spans {
+		names[i] = s.Name
+	}
+	want := []string{"parse", "load", "cluster", "startup"}
+	if len(names) != len(want) {
+		t.Fatalf("got spans %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("got spans %v, want %v", names, want)
+		}
+	}
+	byName := map[string]SpanData{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["startup"].ParentID != 0 {
+		t.Error("root span must have ParentID 0")
+	}
+	if byName["load"].ParentID != byName["startup"].SpanID {
+		t.Error("load must be a child of startup")
+	}
+	if byName["parse"].ParentID != byName["load"].SpanID {
+		t.Error("parse must be a child of load")
+	}
+	if byName["cluster"].ParentID != byName["startup"].SpanID {
+		t.Error("cluster must be a child of startup")
+	}
+	if len(byName["parse"].Attrs) != 1 || byName["parse"].Attrs[0].Value != "42" {
+		t.Errorf("parse attrs = %v", byName["parse"].Attrs)
+	}
+	for _, s := range spans {
+		if s.Duration < 0 {
+			t.Errorf("span %s has negative duration", s.Name)
+		}
+	}
+}
+
+// TestStartWithoutTracer: no tracer in context means nil spans whose
+// methods are all safe no-ops.
+func TestStartWithoutTracer(t *testing.T) {
+	ctx, span := Start(context.Background(), "phase")
+	if span != nil {
+		t.Fatal("expected nil span without a tracer")
+	}
+	span.SetAttr(String("k", "v"))
+	span.End()
+	span.End() // idempotent on nil too
+	if ctx != context.Background() {
+		t.Fatal("context must pass through unchanged")
+	}
+}
+
+// TestRingSinkWraps: the ring keeps only the newest spans, oldest
+// first.
+func TestRingSinkWraps(t *testing.T) {
+	ring := NewRingSink(2)
+	ctx := WithTracer(context.Background(), NewTracer(ring))
+	for _, name := range []string{"a", "b", "c"} {
+		_, s := Start(ctx, name)
+		s.End()
+	}
+	spans := ring.Spans()
+	if len(spans) != 2 || spans[0].Name != "b" || spans[1].Name != "c" {
+		t.Fatalf("ring = %v", spans)
+	}
+}
+
+// TestLogSink: one structured line per span.
+func TestLogSink(t *testing.T) {
+	var b strings.Builder
+	sink := LogSink{Logger: log.New(&b, "", 0)}
+	ctx := WithTracer(context.Background(), NewTracer(sink))
+	_, s := Start(ctx, "load")
+	s.SetAttr(Int("pages", 3))
+	s.End()
+	line := b.String()
+	if !strings.Contains(line, "span=load") || !strings.Contains(line, "pages=3") {
+		t.Fatalf("log line = %q", line)
+	}
+}
+
+// TestEndIdempotent: a double End must record exactly once.
+func TestEndIdempotent(t *testing.T) {
+	ring := NewRingSink(8)
+	ctx := WithTracer(context.Background(), NewTracer(ring))
+	_, s := Start(ctx, "once")
+	s.End()
+	s.End()
+	if got := len(ring.Spans()); got != 1 {
+		t.Fatalf("recorded %d spans, want 1", got)
+	}
+}

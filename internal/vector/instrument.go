@@ -1,0 +1,48 @@
+package vector
+
+import (
+	"time"
+
+	"cafc/internal/obs"
+)
+
+// This file owns the metric names of the vector layer, so the model
+// code that drives TF-IDF embedding and compilation records telemetry
+// under names defined next to the data structures they describe. All
+// helpers are no-ops with a nil registry.
+
+// ObserveVocabulary records the corpus vocabulary size of one feature
+// space (vector_vocabulary_terms{space=...}).
+func ObserveVocabulary(reg *obs.Registry, space string, df *DocFreq) {
+	if reg == nil || df == nil {
+		return
+	}
+	reg.Gauge("vector_vocabulary_terms", "space", space).Set(float64(df.Vocabulary()))
+}
+
+// ObserveTFIDFBuild records one corpus embedding pass: how many TF-IDF
+// vectors were built and how long the pass took
+// (vector_tfidf_build_seconds, vector_tfidf_vectors_total).
+func ObserveTFIDFBuild(reg *obs.Registry, vectors int, elapsed time.Duration) {
+	if reg == nil {
+		return
+	}
+	reg.Histogram("vector_tfidf_build_seconds", obs.DurationBuckets).Observe(elapsed.Seconds())
+	reg.Counter("vector_tfidf_vectors_total").Add(int64(vectors))
+}
+
+// ObserveCompile records one packed-engine build over both feature
+// spaces: interned-dictionary sizes and the compile pass duration
+// (vector_dict_terms{space=...}, vector_compile_seconds).
+func ObserveCompile(reg *obs.Registry, pcDict, fcDict *Dict, elapsed time.Duration) {
+	if reg == nil {
+		return
+	}
+	if pcDict != nil {
+		reg.Gauge("vector_dict_terms", "space", "pc").Set(float64(pcDict.Len()))
+	}
+	if fcDict != nil {
+		reg.Gauge("vector_dict_terms", "space", "fc").Set(float64(fcDict.Len()))
+	}
+	reg.Histogram("vector_compile_seconds", obs.DurationBuckets).Observe(elapsed.Seconds())
+}

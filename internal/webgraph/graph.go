@@ -12,6 +12,9 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"cafc/internal/obs"
 )
 
 // Graph is a directed link graph over page URLs. It is safe for
@@ -169,6 +172,11 @@ type BacklinkService struct {
 	Coverage float64
 	// Seed makes the coverage sample deterministic.
 	Seed int64
+	// Metrics, when non-nil, receives the service-side query telemetry:
+	// request counts by outcome, per-query latency and result sizes, and
+	// the coverage-gap counters (empty answers, limit truncation). Set
+	// it before the first query.
+	Metrics *obs.Registry
 
 	once      sync.Once
 	unindexed map[string]bool
@@ -217,14 +225,21 @@ func (s *BacklinkService) init() {
 // Backlinks answers a link: query for u. The result respects the service
 // limit and index coverage; order is deterministic.
 func (s *BacklinkService) Backlinks(u string) ([]string, error) {
+	var t0 time.Time
+	reg := s.Metrics
+	if reg != nil {
+		t0 = time.Now()
+	}
 	s.mu.Lock()
 	down := s.down
 	s.mu.Unlock()
 	if down {
+		reg.Counter("backlink_api_requests_total", "outcome", "unavailable").Inc()
 		return nil, ErrUnavailable
 	}
 	s.init()
 	all := s.g.Backlinks(u)
+	truncated := false
 	out := make([]string, 0, len(all))
 	for _, src := range all {
 		if s.unindexed[src] {
@@ -236,7 +251,21 @@ func (s *BacklinkService) Backlinks(u string) ([]string, error) {
 			limit = 100
 		}
 		if len(out) >= limit {
+			truncated = true
 			break
+		}
+	}
+	if reg != nil {
+		reg.Counter("backlink_api_requests_total", "outcome", "ok").Inc()
+		reg.Histogram("backlink_api_seconds", obs.DurationBuckets).ObserveSince(t0)
+		reg.Histogram("backlink_api_results", obs.CountBuckets).Observe(float64(len(out)))
+		if len(out) == 0 {
+			// The coverage gap: a source the "search engine" knows
+			// nothing about, the paper's missing-backlink case.
+			reg.Counter("backlink_api_empty_total").Inc()
+		}
+		if truncated {
+			reg.Counter("backlink_api_truncated_total").Inc()
 		}
 	}
 	return out, nil

@@ -12,4 +12,30 @@ go test -race ./...
 go test -run xxx -bench 'BenchmarkCosine|BenchmarkKMeansEngines|BenchmarkKMeans454' \
     -benchtime=1x ./internal/vector ./internal/cluster .
 
+# Metrics smoke: serve a small corpus with -metrics on a random port and
+# assert the Prometheus exposition is populated with domain telemetry.
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"; [ -n "${dpid:-}" ] && kill "$dpid" 2>/dev/null || true' EXIT
+go build -o "$tmp/webgen" ./cmd/webgen
+go build -o "$tmp/directoryd" ./cmd/directoryd
+"$tmp/webgen" -n 60 -seed 7 -o "$tmp/corpus.json.gz" -stats=false
+"$tmp/directoryd" -in "$tmp/corpus.json.gz" -addr 127.0.0.1:0 -k 4 -metrics \
+    >"$tmp/directoryd.log" 2>&1 &
+dpid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|.*on http://\([^/]*\)/.*|\1|p' "$tmp/directoryd.log" | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+[ -n "$addr" ] || { echo "check.sh: directoryd did not start"; cat "$tmp/directoryd.log"; exit 1; }
+curl -fsS "http://$addr/metrics" >"$tmp/metrics.txt"
+[ -s "$tmp/metrics.txt" ] || { echo "check.sh: empty /metrics exposition"; exit 1; }
+for m in kmeans_moved_fraction crawler_fetch_seconds backlink_miss_total; do
+    grep -q "^$m" "$tmp/metrics.txt" || { echo "check.sh: /metrics missing $m"; exit 1; }
+done
+curl -fsS "http://$addr/debug/pprof/" >/dev/null
+kill "$dpid"
+dpid=""
+
 echo "check.sh: all green"
