@@ -34,6 +34,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"time"
 
 	icafc "cafc/internal/cafc"
 	"cafc/internal/cluster"
@@ -41,7 +42,9 @@ import (
 	"cafc/internal/hub"
 	"cafc/internal/metrics"
 	"cafc/internal/obs"
+	"cafc/internal/retry"
 	"cafc/internal/vector"
+	"cafc/internal/webgraph"
 )
 
 // Registry is the in-process observability registry (counters, gauges,
@@ -84,6 +87,34 @@ type Options struct {
 	// disables all instrumentation; clustering results are identical
 	// either way.
 	Metrics *Registry
+	// Retry, when non-nil, makes ClusterCH's backlink queries resilient:
+	// bounded retries with exponential backoff, a circuit breaker, and a
+	// total query budget. When the budget runs out or the breaker trips,
+	// hub construction degrades to the hubs gathered so far (CAFC-CH
+	// fills the seed shortfall randomly, as Algorithm 1 would) and the
+	// Clustering reports the reason in Degraded. Nil leaves backlink
+	// queries exactly as provided — results are bit-identical to a
+	// build without this option.
+	Retry *Retry
+}
+
+// Retry is the resilience policy Options.Retry attaches to ClusterCH's
+// backlink queries. Zero fields select the defaults noted per field.
+type Retry struct {
+	// MaxAttempts per query, first try included (0 = 3).
+	MaxAttempts int
+	// BaseDelay is the initial backoff (0 = 100ms); MaxDelay caps it
+	// (0 = 2s). Jitter is deterministic, driven by Seed.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	Seed      int64
+	// Budget caps total underlying queries, retries included
+	// (0 = unlimited) — the paper's bounded backward-crawl budget.
+	Budget int
+	// BreakerThreshold consecutive failures trip the circuit breaker
+	// (0 = 5); it half-opens after BreakerCooldown (0 = 30s).
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
 }
 
 // Features selects the feature spaces used for similarity.
@@ -102,6 +133,7 @@ type Corpus struct {
 	model   *icafc.Model
 	urls    []string
 	weights form.Weights
+	retry   *Retry
 	// Skipped lists input URLs dropped for having no searchable form
 	// (only populated with Options.SkipNonSearchable).
 	Skipped []string
@@ -136,6 +168,7 @@ func NewCorpus(docs []Document, opts ...Options) (*Corpus, error) {
 		fps = append(fps, fp)
 		c.urls = append(c.urls, d.URL)
 	}
+	c.retry = o.Retry
 	c.model = icafc.BuildMetrics(fps, o.UniformWeights, o.Metrics)
 	c.model.Features = o.Features
 	if o.C1 != 0 || o.C2 != 0 {
@@ -163,6 +196,12 @@ type Clustering struct {
 	// TopTerms gives, per cluster, the highest-weighted page-content
 	// terms of its centroid — useful for labelling clusters.
 	TopTerms [][]string
+	// Degraded is empty for a clean run; otherwise it names why
+	// CAFC-CH completed with partial hub evidence
+	// ("backlink_budget_exhausted", "backlink_breaker_open",
+	// "backlink_unavailable"). The clusters remain valid — the seed
+	// shortfall was filled randomly, as CAFC-C would.
+	Degraded string
 }
 
 // newClustering converts an internal result.
@@ -216,11 +255,30 @@ func (c *Corpus) ClusterCH(k int, backlinks BacklinkFunc, roots map[string]strin
 }
 
 // ClusterCHMinCard is ClusterCH with an explicit minimum hub-cluster
-// cardinality (the Figure 3 knob).
+// cardinality (the Figure 3 knob). With Options.Retry set, the backlink
+// queries run under the retry/breaker/budget policy and the result's
+// Degraded field reports any fallback taken.
 func (c *Corpus) ClusterCHMinCard(k int, backlinks BacklinkFunc, roots map[string]string, minCard int, seed int64) *Clustering {
-	clusters, _ := hub.BuildWith(c.urls, roots, backlinks, hub.BuildOptions{Metrics: c.model.Metrics})
+	if r := c.retry; r != nil {
+		rb := &webgraph.ResilientBacklinks{
+			Query: backlinks,
+			Policy: retry.Policy{
+				MaxAttempts: r.MaxAttempts,
+				BaseDelay:   r.BaseDelay,
+				MaxDelay:    r.MaxDelay,
+				Seed:        r.Seed,
+			},
+			Budget:  r.Budget,
+			Breaker: retry.NewBreaker(r.BreakerThreshold, r.BreakerCooldown, nil, c.model.Metrics, "backlink"),
+			Metrics: c.model.Metrics,
+		}
+		backlinks = rb.Backlinks
+	}
+	clusters, stats := hub.BuildWith(c.urls, roots, backlinks, hub.BuildOptions{Metrics: c.model.Metrics})
 	res := icafc.CAFCCH(c.model, k, clusters, minCard, rand.New(rand.NewSource(seed+1)))
-	return c.newClustering(res)
+	cl := c.newClustering(res)
+	cl.Degraded = stats.DegradedReason
+	return cl
 }
 
 // ClusterHAC runs the hierarchical-agglomerative baseline cut at k

@@ -14,10 +14,12 @@ import (
 	"log"
 	"os"
 	"sort"
+	"time"
 
 	"cafc/internal/crawler"
 	"cafc/internal/dataset"
 	"cafc/internal/obs"
+	"cafc/internal/retry"
 	"cafc/internal/webgen"
 )
 
@@ -30,6 +32,9 @@ func main() {
 		maxPages = flag.Int("max", 0, "page budget (0 = default)")
 		workers  = flag.Int("workers", 4, "concurrent fetchers")
 		metrics  = flag.Bool("metrics", false, "dump crawl telemetry to stderr on exit")
+		retries  = flag.Int("retries", 3, "fetch attempts per page, backoff between them (1 disables retrying)")
+		timeout  = flag.Duration("fetch-timeout", 10*time.Second, "per-attempt fetch timeout")
+		breakN   = flag.Int("breaker", 5, "consecutive fetch failures that trip the circuit breaker (0 disables)")
 	)
 	flag.Parse()
 
@@ -53,8 +58,21 @@ func main() {
 	if *metrics {
 		reg = obs.NewRegistry()
 	}
+	var fetcher crawler.Fetcher = &crawler.HTTPFetcher{Client: client}
+	if *retries > 1 || *breakN > 0 {
+		var breaker *retry.Breaker
+		if *breakN > 0 {
+			breaker = retry.NewBreaker(*breakN, 30*time.Second, nil, reg, "fetch")
+		}
+		fetcher = &crawler.RetryFetcher{
+			Fetcher: fetcher,
+			Policy:  retry.Policy{MaxAttempts: *retries, Timeout: *timeout},
+			Breaker: breaker,
+			Metrics: reg,
+		}
+	}
 	cr := &crawler.Crawler{
-		Fetcher: &crawler.HTTPFetcher{Client: client},
+		Fetcher: fetcher,
 		Config:  crawler.Config{MaxPages: *maxPages, Workers: *workers, Metrics: reg},
 	}
 	pages := cr.Crawl(seeds)

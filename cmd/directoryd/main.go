@@ -30,6 +30,7 @@ import (
 	"cafc/internal/dataset"
 	"cafc/internal/directory"
 	"cafc/internal/obs"
+	"cafc/internal/retry"
 	"cafc/internal/webgen"
 	"cafc/internal/webgraph"
 )
@@ -43,6 +44,12 @@ func main() {
 		k       = flag.Int("k", 8, "number of clusters")
 		seed    = flag.Int64("seed", 1, "clustering seed")
 		metrics = flag.Bool("metrics", false, "expose /metrics, /debug/vars, /debug/trace and /debug/pprof")
+		retries = flag.Int("retries", 3, "backlink query attempts, backoff between them (0 disables the resilience wrapper)")
+		budget  = flag.Int("backlink-budget", 0, "total backlink query budget, retries included (0 = unlimited)")
+		// Chaos knob for the check.sh smoke: the in-process backlink
+		// service dies permanently after N answered queries, so startup
+		// exercises the breaker-trip + degraded-hub path end to end.
+		outageAfter = flag.Int("backlink-outage-after", -1, "kill the backlink service after N queries (-1 = never; testing aid)")
 	)
 	flag.Parse()
 
@@ -74,7 +81,11 @@ func main() {
 		docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
 		html[u] = c.ByURL[u].HTML
 	}
-	corpus, err := cafc.NewCorpus(docs, cafc.Options{SkipNonSearchable: true, Metrics: reg})
+	opts := cafc.Options{SkipNonSearchable: true, Metrics: reg}
+	if *retries > 0 {
+		opts.Retry = &cafc.Retry{MaxAttempts: *retries, Budget: *budget, Seed: *seed}
+	}
+	corpus, err := cafc.NewCorpus(docs, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +96,21 @@ func main() {
 	g := webgraph.FromCorpus(c)
 	svc := webgraph.NewBacklinkService(g, 100, 0, *seed)
 	svc.Metrics = reg
-	cl := corpus.ClusterCH(*k, svc.Backlinks, c.RootOf, *seed)
+	backlinks := svc.Backlinks
+	if *outageAfter >= 0 {
+		var calls int
+		inner := backlinks
+		backlinks = func(u string) ([]string, error) {
+			if calls++; calls > *outageAfter {
+				svc.SetUnavailable(true)
+			}
+			return inner(u)
+		}
+	}
+	cl := corpus.ClusterCH(*k, backlinks, c.RootOf, *seed)
+	if cl.Degraded != "" {
+		log.Printf("clustering degraded: %s (hub evidence partial, shortfall seeded randomly)", cl.Degraded)
+	}
 	clusterSpan.SetAttr(obs.Int("k", *k))
 	clusterSpan.End()
 
@@ -159,8 +184,13 @@ func probeFetchHealth(ctx context.Context, c *webgen.Corpus, reg *obs.Registry) 
 	ts, client := crawler.ServeCorpus(c)
 	defer ts.Close()
 	cr := &crawler.Crawler{
-		Fetcher: &crawler.HTTPFetcher{Client: client},
-		Config:  crawler.Config{MaxPages: len(c.FormPages), MaxDepth: 1, Metrics: reg},
+		Fetcher: &crawler.RetryFetcher{
+			Fetcher: &crawler.HTTPFetcher{Client: client},
+			Policy:  retry.Policy{Timeout: 5 * time.Second},
+			Breaker: retry.NewBreaker(5, 30*time.Second, nil, reg, "fetch"),
+			Metrics: reg,
+		},
+		Config: crawler.Config{MaxPages: len(c.FormPages), MaxDepth: 1, Metrics: reg},
 	}
 	pages := cr.Crawl(c.FormPages)
 	span.SetAttr(obs.Int("pages", len(pages)))

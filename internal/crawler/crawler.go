@@ -31,8 +31,43 @@ type Fetcher interface {
 	Fetch(url string) (body string, err error)
 }
 
+// ContextFetcher is a Fetcher that honors request cancellation. Crawl
+// and RetryFetcher use it when available, so hung servers can be
+// abandoned instead of stalling a crawl shard forever.
+type ContextFetcher interface {
+	Fetcher
+	FetchContext(ctx context.Context, url string) (body string, err error)
+}
+
+// fetchContext dispatches to FetchContext when the fetcher supports it.
+func fetchContext(f Fetcher, ctx context.Context, u string) (string, error) {
+	if cf, ok := f.(ContextFetcher); ok {
+		return cf.FetchContext(ctx, u)
+	}
+	return f.Fetch(u)
+}
+
+// StatusError is returned by HTTPFetcher for non-200 responses, so
+// retry policy can distinguish permanent client errors (404) from
+// transient server-side ones (503, 429).
+type StatusError struct {
+	URL  string
+	Code int
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("crawler: GET %s: status %d", e.URL, e.Code)
+}
+
+// defaultClient bounds every request of a zero-value HTTPFetcher: a hung
+// server must never stall a crawl shard forever.
+var defaultClient = &http.Client{Timeout: 30 * time.Second}
+
 // HTTPFetcher fetches over an http.Client with a response-size cap.
 type HTTPFetcher struct {
+	// Client is the underlying client. Nil selects a shared default
+	// client with a 30s overall timeout (not http.DefaultClient, which
+	// has none).
 	Client *http.Client
 	// MaxBody caps the bytes read per response (0 = 1 MiB).
 	MaxBody int64
@@ -40,17 +75,28 @@ type HTTPFetcher struct {
 
 // Fetch implements Fetcher.
 func (f *HTTPFetcher) Fetch(u string) (string, error) {
+	return f.FetchContext(context.Background(), u)
+}
+
+// FetchContext implements ContextFetcher: the request is built with the
+// context, so cancellation and deadlines abort the dial, the wait for
+// headers, and the body read.
+func (f *HTTPFetcher) FetchContext(ctx context.Context, u string) (string, error) {
 	client := f.Client
 	if client == nil {
-		client = http.DefaultClient
+		client = defaultClient
 	}
-	resp, err := client.Get(u)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := client.Do(req)
 	if err != nil {
 		return "", err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return "", fmt.Errorf("crawler: GET %s: status %d", u, resp.StatusCode)
+		return "", &StatusError{URL: u, Code: resp.StatusCode}
 	}
 	maxBody := f.MaxBody
 	if maxBody == 0 {
@@ -207,6 +253,13 @@ type Crawler struct {
 // traversal is deterministic for a deterministic Fetcher because frontier
 // expansion is breadth-first in discovery order.
 func (cr *Crawler) Crawl(seeds []string) []Page {
+	return cr.CrawlContext(context.Background(), seeds)
+}
+
+// CrawlContext is Crawl with a context: when the Fetcher implements
+// ContextFetcher every fetch inherits ctx, so cancelling it abandons
+// in-flight requests and stops the crawl at the next wave boundary.
+func (cr *Crawler) CrawlContext(ctx context.Context, seeds []string) []Page {
 	cfg := cr.Config.withDefaults()
 	// Fetch-health telemetry. Handles are nil (no-op) without a
 	// registry; the counters and histogram are atomic, so the fetch
@@ -246,7 +299,7 @@ func (cr *Crawler) Crawl(seeds []string) []Page {
 			frontier = append(frontier, job{s, 0})
 		}
 	}
-	for len(frontier) > 0 && len(out) < cfg.MaxPages {
+	for len(frontier) > 0 && len(out) < cfg.MaxPages && ctx.Err() == nil {
 		batch := frontier
 		frontier = nil
 		frontierSize.Set(float64(len(batch)))
@@ -269,7 +322,7 @@ func (cr *Crawler) Crawl(seeds []string) []Page {
 				if fetchSeconds != nil {
 					t0 = time.Now()
 				}
-				body, err := cr.Fetcher.Fetch(j.url)
+				body, err := fetchContext(cr.Fetcher, ctx, j.url)
 				fetchSeconds.ObserveSince(t0)
 				if err != nil {
 					fetchErr.Inc()

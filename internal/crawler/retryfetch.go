@@ -1,0 +1,138 @@
+// RetryFetcher: the resilient fetch path. The live web is lossy — DNS
+// hiccups, connection resets, 5xx bursts, rate limits — and a focused
+// crawler must keep making progress through all of it without hammering
+// a struggling server. RetryFetcher layers bounded retries with
+// deterministic-jitter exponential backoff, a per-attempt context
+// timeout, and a consecutive-failure circuit breaker over any Fetcher.
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"cafc/internal/obs"
+	"cafc/internal/retry"
+)
+
+// RetryFetcher wraps a Fetcher with the retry/breaker policy. It
+// implements ContextFetcher; the zero value (plus a Fetcher) is usable
+// and selects the retry.Policy defaults with no breaker.
+type RetryFetcher struct {
+	// Fetcher is the underlying fetcher (required).
+	Fetcher Fetcher
+	// Policy bounds attempts, backoff and the per-attempt timeout; zero
+	// fields take the retry.Policy defaults.
+	Policy retry.Policy
+	// Breaker, when non-nil, fast-fails fetches while the circuit is
+	// open. One breaker may be shared across fetchers to give them a
+	// common view of the upstream's health.
+	Breaker *retry.Breaker
+	// Clock drives the backoff sleeps (nil = retry.System; tests pass a
+	// fault.FakeClock so retry schedules cost no wall time).
+	Clock retry.Clock
+	// Metrics, when non-nil, receives retry_total / retry_giveup_total /
+	// breaker_fastfail_total counters labelled component="fetch".
+	Metrics *obs.Registry
+
+	once    sync.Once
+	backoff *retry.Backoff
+}
+
+func (f *RetryFetcher) init() {
+	f.once.Do(func() {
+		f.Policy = f.Policy.WithDefaults()
+		f.backoff = retry.NewBackoff(f.Policy)
+		if f.Clock == nil {
+			f.Clock = retry.System
+		}
+	})
+}
+
+// Fetch implements Fetcher.
+func (f *RetryFetcher) Fetch(u string) (string, error) {
+	return f.FetchContext(context.Background(), u)
+}
+
+// Permanent reports whether err should not be retried: nothing will
+// change on a second attempt (404-class statuses, pages outside the
+// corpus, the caller's own cancellation).
+func Permanent(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		// Client errors are stable; 429 (rate limit) and any 5xx are
+		// worth retrying.
+		return se.Code >= 400 && se.Code < 500 && se.Code != http.StatusTooManyRequests
+	}
+	return errors.Is(err, ErrNotFound) || errors.Is(err, context.Canceled)
+}
+
+// FetchContext implements ContextFetcher: up to Policy.MaxAttempts
+// tries, each bounded by Policy.Timeout, with backoff sleeps on f.Clock
+// between them. Breaker fast-fails return ErrOpen-wrapped errors
+// without touching the network.
+func (f *RetryFetcher) FetchContext(ctx context.Context, u string) (string, error) {
+	f.init()
+	var (
+		retries  *obs.Counter
+		giveups  *obs.Counter
+		fastfail *obs.Counter
+	)
+	if reg := f.Metrics; reg != nil {
+		retries = reg.Counter("retry_total", "component", "fetch")
+		giveups = reg.Counter("retry_giveup_total", "component", "fetch")
+		fastfail = reg.Counter("breaker_fastfail_total", "component", "fetch")
+	}
+	var lastErr error
+	for attempt := 1; attempt <= f.Policy.MaxAttempts; attempt++ {
+		if err := f.Breaker.Allow(); err != nil {
+			fastfail.Inc()
+			return "", fmt.Errorf("crawler: fetch %s: %w", u, err)
+		}
+		attemptCtx := ctx
+		if f.Policy.Timeout > 0 {
+			var cancel context.CancelFunc
+			attemptCtx, cancel = context.WithTimeout(ctx, f.Policy.Timeout)
+			body, err := fetchContext(f.Fetcher, attemptCtx, u)
+			cancel()
+			lastErr = err
+			if err == nil {
+				f.Breaker.Success()
+				return body, nil
+			}
+		} else {
+			body, err := fetchContext(f.Fetcher, attemptCtx, u)
+			lastErr = err
+			if err == nil {
+				f.Breaker.Success()
+				return body, nil
+			}
+		}
+		if Permanent(lastErr) {
+			// A 4xx-class status or definitive not-found means the
+			// upstream answered — evidence of health, not an outage, so
+			// it must not trip the breaker (a crawl through dead links
+			// would otherwise fast-fail the live pages behind them). The
+			// caller's own cancellation says nothing about the upstream
+			// either way.
+			if ctx.Err() == nil && !errors.Is(lastErr, context.Canceled) {
+				f.Breaker.Success()
+			}
+			return "", lastErr
+		}
+		f.Breaker.Failure()
+		if ctx.Err() != nil {
+			return "", lastErr
+		}
+		if attempt < f.Policy.MaxAttempts {
+			retries.Inc()
+			if err := f.Clock.Sleep(ctx, f.backoff.Delay(attempt)); err != nil {
+				return "", lastErr
+			}
+		}
+	}
+	giveups.Inc()
+	return "", fmt.Errorf("crawler: fetch %s: %d attempts exhausted: %w", u, f.Policy.MaxAttempts, lastErr)
+}

@@ -1,0 +1,269 @@
+package crawler
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cafc/internal/fault"
+	"cafc/internal/obs"
+	"cafc/internal/retry"
+)
+
+// countingFetcher counts attempts and fails the first n of them.
+type countingFetcher struct {
+	attempts atomic.Int64
+	failN    int64
+	err      error
+}
+
+func (f *countingFetcher) Fetch(u string) (string, error) {
+	n := f.attempts.Add(1)
+	if n <= f.failN {
+		err := f.err
+		if err == nil {
+			err = errors.New("transient")
+		}
+		return "", err
+	}
+	return "ok", nil
+}
+
+func TestRetryFetcherRecoversFromTransientErrors(t *testing.T) {
+	clk := fault.NewFakeClock()
+	under := &countingFetcher{failN: 2}
+	reg := obs.NewRegistry()
+	rf := &RetryFetcher{
+		Fetcher: under,
+		Policy:  retry.Policy{MaxAttempts: 3, Seed: 1},
+		Clock:   clk,
+		Metrics: reg,
+	}
+	body, err := rf.Fetch("http://a.example/")
+	if err != nil || body != "ok" {
+		t.Fatalf("Fetch = %q, %v", body, err)
+	}
+	if n := under.attempts.Load(); n != 3 {
+		t.Errorf("attempts = %d, want 3", n)
+	}
+	if v := reg.Counter("retry_total", "component", "fetch").Value(); v != 2 {
+		t.Errorf("retry_total = %d, want 2", v)
+	}
+	if clk.Slept() == 0 {
+		t.Error("no backoff slept on the clock")
+	}
+}
+
+// TestRetryFetcherBudgets is the property test: over a table of fault
+// plans and policies, the fetcher never exceeds its attempt budget and
+// never sleeps past the policy's worst-case backoff bill.
+func TestRetryFetcherBudgets(t *testing.T) {
+	cases := []struct {
+		name   string
+		plan   fault.Plan
+		policy retry.Policy
+	}{
+		{"always-down", fault.Plan{Seed: 1, ErrorRate: 1}, retry.Policy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, Seed: 1}},
+		{"flaky-half", fault.Plan{Seed: 2, ErrorRate: 0.5}, retry.Policy{MaxAttempts: 3, BaseDelay: 50 * time.Millisecond, MaxDelay: 200 * time.Millisecond, Seed: 2}},
+		{"rate-limited", fault.Plan{Seed: 3, RateLimitEvery: 2}, retry.Policy{MaxAttempts: 5, BaseDelay: time.Millisecond, Seed: 3}},
+		{"outage-window", fault.Plan{Seed: 4, Outages: []fault.Window{{Start: 0, End: 100}}}, retry.Policy{MaxAttempts: 2, BaseDelay: time.Second, Seed: 4}},
+		{"slow-and-flaky", fault.Plan{Seed: 5, ErrorRate: 0.8, SlowRate: 0.5, Delay: 10 * time.Millisecond}, retry.Policy{MaxAttempts: 6, BaseDelay: 5 * time.Millisecond, Jitter: -1, Seed: 5}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			clk := fault.NewFakeClock()
+			in := fault.New(tc.plan, clk)
+			var under countingFetcher
+			rf := &RetryFetcher{
+				Fetcher: fetchFunc(in.WrapFetch(under.Fetch)),
+				Policy:  tc.policy,
+				Clock:   clk,
+			}
+			for i := 0; i < 20; i++ {
+				before := under.attempts.Load()
+				sleptBefore := clk.Slept()
+				_, _ = rf.Fetch(fmt.Sprintf("http://s%d.example/", i))
+				attempts := under.attempts.Load() - before
+				maxAttempts := int64(tc.policy.WithDefaults().MaxAttempts)
+				if attempts > maxAttempts {
+					t.Fatalf("call %d: %d attempts, budget %d", i, attempts, maxAttempts)
+				}
+				// The time budget: backoff sleeps plus injected slow
+				// responses (one possible Delay per attempt, whether or
+				// not the attempt reached the underlying fetcher).
+				bound := tc.policy.MaxElapsed() + time.Duration(maxAttempts)*tc.plan.Delay
+				if slept := clk.Slept() - sleptBefore; slept > bound {
+					t.Fatalf("call %d: slept %v, budget %v", i, slept, bound)
+				}
+			}
+		})
+	}
+}
+
+// fetchFunc adapts a function to the Fetcher interface.
+type fetchFunc func(string) (string, error)
+
+func (f fetchFunc) Fetch(u string) (string, error) { return f(u) }
+
+func TestRetryFetcherPermanentErrorsSkipRetry(t *testing.T) {
+	srv := httptest.NewServer(http.NotFoundHandler())
+	defer srv.Close()
+	var calls atomic.Int64
+	counting := fetchFunc(func(u string) (string, error) {
+		calls.Add(1)
+		return (&HTTPFetcher{}).Fetch(u)
+	})
+	rf := &RetryFetcher{Fetcher: counting, Policy: retry.Policy{MaxAttempts: 4}, Clock: fault.NewFakeClock()}
+	_, err := rf.Fetch(srv.URL + "/missing")
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != 404 {
+		t.Fatalf("err = %v, want StatusError 404", err)
+	}
+	if calls.Load() != 1 {
+		t.Errorf("404 fetched %d times, want 1 (no retries)", calls.Load())
+	}
+}
+
+func TestRetryFetcherBreakerFastFails(t *testing.T) {
+	clk := fault.NewFakeClock()
+	under := &countingFetcher{failN: 1 << 30}
+	reg := obs.NewRegistry()
+	rf := &RetryFetcher{
+		Fetcher: under,
+		Policy:  retry.Policy{MaxAttempts: 2, Seed: 1},
+		Breaker: retry.NewBreaker(4, time.Minute, clk, reg, "fetch"),
+		Clock:   clk,
+		Metrics: reg,
+	}
+	// Two sequences of two failing attempts: the fourth failure is past
+	// the threshold, so the breaker is open afterwards.
+	for i := 0; i < 2; i++ {
+		if _, err := rf.Fetch("http://down.example/"); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	attempts := under.attempts.Load()
+	if _, err := rf.Fetch("http://down.example/"); !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("err = %v, want breaker open", err)
+	}
+	if under.attempts.Load() != attempts {
+		t.Error("open breaker still hit the network")
+	}
+	if v := reg.Counter("breaker_fastfail_total", "component", "fetch").Value(); v != 1 {
+		t.Errorf("breaker_fastfail_total = %d, want 1", v)
+	}
+	if v := reg.Gauge("breaker_state", "component", "fetch").Value(); v != float64(retry.Open) {
+		t.Errorf("breaker_state = %v, want open", v)
+	}
+
+	// After the cooldown the half-open probe goes through and recovery
+	// recloses the circuit.
+	under.failN = 0
+	clk.Advance(2 * time.Minute)
+	if body, err := rf.Fetch("http://down.example/"); err != nil || body != "ok" {
+		t.Fatalf("post-cooldown fetch = %q, %v", body, err)
+	}
+	if v := reg.Gauge("breaker_state", "component", "fetch").Value(); v != float64(retry.Closed) {
+		t.Errorf("breaker_state after recovery = %v, want closed", v)
+	}
+}
+
+// TestRetryFetcherDeadLinksDontTripBreaker: 4xx statuses mean the
+// upstream answered, so a crawl through a run of dead links — routine
+// on the real web — must leave the circuit closed for the live pages
+// behind them.
+func TestRetryFetcherDeadLinksDontTripBreaker(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/live", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "alive")
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	clk := fault.NewFakeClock()
+	reg := obs.NewRegistry()
+	rf := &RetryFetcher{
+		Fetcher: &HTTPFetcher{},
+		Policy:  retry.Policy{MaxAttempts: 3, Seed: 1},
+		Breaker: retry.NewBreaker(3, time.Minute, clk, reg, "fetch"),
+		Clock:   clk,
+		Metrics: reg,
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := rf.Fetch(fmt.Sprintf("%s/dead%d", srv.URL, i)); err == nil {
+			t.Fatal("expected 404")
+		} else if errors.Is(err, retry.ErrOpen) {
+			t.Fatalf("breaker opened after %d dead links", i)
+		}
+	}
+	if v := reg.Gauge("breaker_state", "component", "fetch").Value(); v != float64(retry.Closed) {
+		t.Fatalf("breaker_state after dead links = %v, want closed", v)
+	}
+	if body, err := rf.Fetch(srv.URL + "/live"); err != nil || body != "alive" {
+		t.Fatalf("live fetch after dead links = %q, %v", body, err)
+	}
+}
+
+// TestHTTPFetcherHangingServer is the regression for the stalled-shard
+// bug: a server that accepts the request and never answers must not
+// hang a context-bounded fetch.
+func TestHTTPFetcherHangingServer(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release // hang until the test finishes
+	}))
+	defer func() { close(release); srv.Close() }()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := (&HTTPFetcher{}).FetchContext(ctx, srv.URL)
+	if err == nil {
+		t.Fatal("fetch of hanging server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("fetch took %v, context deadline not honored", elapsed)
+	}
+}
+
+// TestRetryFetcherHangingServerBudget: the per-attempt timeout turns a
+// hung server into a bounded retry sequence instead of a stalled crawl
+// shard.
+func TestRetryFetcherHangingServerBudget(t *testing.T) {
+	release := make(chan struct{})
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		<-release
+	}))
+	defer func() { close(release); srv.Close() }()
+
+	rf := &RetryFetcher{
+		Fetcher: &HTTPFetcher{},
+		Policy:  retry.Policy{MaxAttempts: 2, Timeout: 100 * time.Millisecond, BaseDelay: time.Millisecond, Seed: 1},
+	}
+	start := time.Now()
+	_, err := rf.Fetch(srv.URL)
+	if err == nil {
+		t.Fatal("expected exhausted attempts")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("retry sequence took %v", elapsed)
+	}
+	if calls.Load() != 2 {
+		t.Errorf("server saw %d attempts, want 2", calls.Load())
+	}
+}
+
+// TestHTTPFetcherDefaultClientHasTimeout locks in the default-timeout
+// fix: the zero-value fetcher must not fall back to the timeout-less
+// http.DefaultClient.
+func TestHTTPFetcherDefaultClientHasTimeout(t *testing.T) {
+	if defaultClient.Timeout <= 0 {
+		t.Fatal("default client has no timeout")
+	}
+}

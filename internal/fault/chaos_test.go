@@ -1,0 +1,179 @@
+package fault_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"cafc"
+	"cafc/internal/crawler"
+	"cafc/internal/fault"
+	"cafc/internal/obs"
+	"cafc/internal/retry"
+	"cafc/internal/webgen"
+	"cafc/internal/webgraph"
+)
+
+// chaosEnv is one reproducible chaos setup over a generated corpus.
+type chaosEnv struct {
+	c     *webgen.Corpus
+	seeds []string
+}
+
+func newChaosEnv(t *testing.T) *chaosEnv {
+	t.Helper()
+	c := webgen.Generate(webgen.Config{Seed: 7, FormPages: 64})
+	var seeds []string
+	for _, p := range c.Pages {
+		if p.Kind == webgen.DirectoryPageKind || p.Kind == webgen.HubPageKind {
+			seeds = append(seeds, p.URL)
+		}
+	}
+	return &chaosEnv{c: c, seeds: seeds}
+}
+
+// crawl runs the BFS crawl with the given injector plan over the
+// in-memory corpus fetcher, retried under the given policy on a fake
+// clock. A nil plan means no injection and no retry wrapper.
+func (e *chaosEnv) crawl(plan *fault.Plan, reg *obs.Registry) []crawler.Page {
+	var fetcher crawler.Fetcher = &crawler.CorpusFetcher{Corpus: e.c}
+	if plan != nil {
+		clk := fault.NewFakeClock()
+		in := fault.New(*plan, clk)
+		fetcher = &crawler.RetryFetcher{
+			Fetcher: fetchFunc(in.WrapFetch(fetcher.Fetch)),
+			Policy:  retry.Policy{MaxAttempts: 4, BaseDelay: 10 * time.Millisecond, Seed: 7},
+			Clock:   clk,
+			Metrics: reg,
+		}
+	}
+	cr := &crawler.Crawler{Fetcher: fetcher, Config: crawler.Config{Metrics: reg}}
+	return crawler.FormPages(cr.Crawl(e.seeds))
+}
+
+type fetchFunc func(string) (string, error)
+
+func (f fetchFunc) Fetch(u string) (string, error) { return f(u) }
+
+// cluster builds the cafc corpus from crawled pages and runs CAFC-CH
+// against the (possibly injected) backlink service.
+func (e *chaosEnv) cluster(t *testing.T, pages []crawler.Page, k int, in *fault.Injector, retryOpt *cafc.Retry, reg *obs.Registry) *cafc.Clustering {
+	t.Helper()
+	var docs []cafc.Document
+	for _, p := range pages {
+		docs = append(docs, cafc.Document{URL: p.URL, HTML: p.HTML})
+	}
+	corpus, err := cafc.NewCorpus(docs, cafc.Options{SkipNonSearchable: true, Metrics: reg, Retry: retryOpt})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc := webgraph.NewBacklinkService(webgraph.FromCorpus(e.c), 100, 0, 7)
+	backlinks := in.WrapBacklinks(svc.Backlinks)
+	return corpus.ClusterCH(k, cafc.BacklinkFunc(backlinks), e.c.RootOf, 7)
+}
+
+// TestChaosPipelineConverges is the acceptance test: a full CAFC-CH run
+// with 20% injected fetch errors and a mid-run backlink outage must
+// complete, produce k non-empty clusters, and report the degradation
+// through the obs registry — never fail the run.
+func TestChaosPipelineConverges(t *testing.T) {
+	env := newChaosEnv(t)
+	reg := obs.NewRegistry()
+
+	// Fetch path: 20% of fetches fail; bounded retries recover them.
+	pages := env.crawl(&fault.Plan{Seed: 7, ErrorRate: 0.2}, reg)
+	if len(pages) < 60 {
+		t.Fatalf("crawl under 20%% faults found %d form pages, want >= 60 of 64", len(pages))
+	}
+	if reg.Counter("retry_total", "component", "fetch").Value() == 0 {
+		t.Error("no fetch retries recorded despite 20% error rate")
+	}
+
+	// Backlink path: the service drops dead mid-run (from the 30th
+	// link: query on, covering the rest of the backward crawl).
+	in := fault.New(fault.Plan{
+		Seed:        7,
+		Outages:     []fault.Window{{Start: 30, End: 1 << 30}},
+		Unavailable: webgraph.ErrUnavailable,
+	}, fault.NewFakeClock())
+	k := 4
+	cl := env.cluster(t, pages, k, in, &cafc.Retry{
+		MaxAttempts:      2,
+		BaseDelay:        time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Hour,
+		Seed:             7,
+	}, reg)
+
+	if len(cl.Clusters) != k {
+		t.Fatalf("got %d clusters, want %d", len(cl.Clusters), k)
+	}
+	for i, members := range cl.Clusters {
+		if len(members) == 0 {
+			t.Errorf("cluster %d is empty", i)
+		}
+	}
+	if cl.Degraded == "" {
+		t.Error("mid-run backlink outage not reported as degraded")
+	}
+	if v := reg.Counter("degraded_runs_total", "reason", cl.Degraded).Value(); v != 1 {
+		t.Errorf("degraded_runs_total{reason=%q} = %d, want 1", cl.Degraded, v)
+	}
+	if reg.Gauge("breaker_state", "component", "backlink").Value() != float64(retry.Open) {
+		t.Error("backlink breaker not open after the outage")
+	}
+}
+
+// TestChaosPipelineDeterministic: the whole faulty pipeline — concurrent
+// crawl workers included — is bit-identical across runs with equal
+// seeds, because fault verdicts hash (url, sequence) instead of arrival
+// order.
+func TestChaosPipelineDeterministic(t *testing.T) {
+	run := func() *cafc.Clustering {
+		env := newChaosEnv(t)
+		pages := env.crawl(&fault.Plan{Seed: 11, ErrorRate: 0.3, SlowRate: 0.2, Delay: time.Second}, nil)
+		in := fault.New(fault.Plan{Seed: 11, ErrorRate: 0.2, Unavailable: webgraph.ErrUnavailable}, fault.NewFakeClock())
+		return env.cluster(t, pages, 4, in, &cafc.Retry{MaxAttempts: 3, BaseDelay: time.Millisecond, Seed: 11}, nil)
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.Assign, b.Assign) {
+		t.Fatal("two chaos runs with equal seeds assigned differently")
+	}
+	if !reflect.DeepEqual(a.Clusters, b.Clusters) {
+		t.Fatal("two chaos runs with equal seeds produced different clusters")
+	}
+	if a.Degraded != b.Degraded {
+		t.Fatalf("degraded reasons differ: %q vs %q", a.Degraded, b.Degraded)
+	}
+}
+
+// TestChaosHarnessInert pins the robustness layer's zero cost, the
+// fault-path sibling of cluster.TestInstrumentationInert: with a nil
+// injector and retries disabled, crawling and clustering through the
+// harness plumbing is bit-identical to the plain pipeline.
+func TestChaosHarnessInert(t *testing.T) {
+	env := newChaosEnv(t)
+
+	plain := env.crawl(nil, nil)
+	var nilInjector *fault.Injector
+	wrapped := env.crawl(nil, nil)
+	if !reflect.DeepEqual(plain, wrapped) {
+		t.Fatal("re-crawl of the same corpus differs (crawl itself nondeterministic?)")
+	}
+
+	clPlain := env.cluster(t, plain, 4, nil, nil, nil)
+	clWrapped := env.cluster(t, plain, 4, nilInjector, nil, nil)
+	if !reflect.DeepEqual(clPlain.Assign, clWrapped.Assign) {
+		t.Fatal("nil-injector clustering differs from plain")
+	}
+	if clPlain.Degraded != "" || clWrapped.Degraded != "" {
+		t.Fatal("clean run reported degradation")
+	}
+
+	// Options.Retry wrapping alone (no faults) must not change results
+	// either: same queries, same answers, same clusters.
+	clRetry := env.cluster(t, plain, 4, nil, &cafc.Retry{MaxAttempts: 3, Seed: 1}, nil)
+	if !reflect.DeepEqual(clPlain.Assign, clRetry.Assign) {
+		t.Fatal("Options.Retry on a healthy service changed the clustering")
+	}
+}

@@ -1,0 +1,312 @@
+// Package fault is a deterministic fault-injection harness for the two
+// flaky external facilities the pipeline depends on: page fetches for
+// the focused crawler and the search engine's link: backlink API. A
+// seeded Injector wraps a fetch or backlink function with a configurable
+// fault Plan — error rates, outage windows, slow responses, truncated
+// bodies, rate-limit bursts — and a fake clock so chaos tests never
+// sleep and two runs with equal seeds inject exactly the same faults.
+//
+// Per-call fault decisions hash (seed, url, per-URL sequence number), so
+// they are independent of arrival order: concurrent crawl workers see
+// the same per-URL fault pattern regardless of goroutine scheduling,
+// which is what makes chaos runs bit-reproducible. Outage windows index
+// the global call count and are intended for sequential callers (the
+// hub backward crawl issues its link: queries in deterministic order).
+package fault
+
+import (
+	"context"
+	"errors"
+	"hash/fnv"
+	"strconv"
+	"sync"
+	"time"
+
+	"cafc/internal/retry"
+)
+
+// FetchFunc mirrors crawler.Fetcher's method shape.
+type FetchFunc func(url string) (string, error)
+
+// BacklinkFunc mirrors hub.BacklinkFunc.
+type BacklinkFunc func(url string) ([]string, error)
+
+// ErrInjected is the error returned for injected request failures.
+var ErrInjected = errors.New("fault: injected error")
+
+// ErrRateLimited is the error returned for injected rate-limit faults.
+var ErrRateLimited = errors.New("fault: injected rate limit")
+
+// Window is a half-open interval [Start, End) of global call indices.
+type Window struct{ Start, End int }
+
+func (w Window) contains(i int) bool { return i >= w.Start && i < w.End }
+
+// Plan configures what an Injector does to the calls flowing through it.
+// The zero value injects nothing.
+type Plan struct {
+	// Seed drives every random fault decision; equal seeds with equal
+	// per-URL call patterns inject identical faults.
+	Seed int64
+	// ErrorRate in [0,1] is the probability a call fails with
+	// ErrInjected.
+	ErrorRate float64
+	// RateLimitEvery, when > 0, fails every Nth call to the same URL
+	// with ErrRateLimited — a deterministic rate-limit burst pattern.
+	RateLimitEvery int
+	// Outages are global-call-index windows during which every call
+	// fails with the Unavailable error (a flap schedule: several
+	// windows model a service going down and recovering repeatedly).
+	Outages []Window
+	// Unavailable is the error outage-window calls fail with
+	// (nil = ErrInjected). Point it at webgraph.ErrUnavailable to
+	// simulate that service's outage signature.
+	Unavailable error
+	// SlowRate in [0,1] is the probability a call sleeps Delay on the
+	// injector's clock before proceeding (a slow response). With a fake
+	// clock this advances time without real sleeping; with the system
+	// clock it actually stalls, which is how hang regressions are
+	// reproduced against real servers.
+	SlowRate float64
+	// Delay is the slow-response duration (0 = 1s).
+	Delay time.Duration
+	// TruncateRate in [0,1] is the probability a fetched body is cut to
+	// TruncateBytes (0 = 64) — the half-written-response failure mode.
+	TruncateRate float64
+	TruncateBytes int
+}
+
+// Stats counts the faults an Injector actually injected, by kind.
+type Stats struct {
+	Calls       int
+	Errors      int
+	RateLimited int
+	Outages     int
+	Slow        int
+	Truncated   int
+}
+
+// Injector applies a fault Plan to wrapped calls. A nil *Injector is
+// valid and wraps nothing (the pass-through used to pin fault-free runs
+// bit-identical to production).
+type Injector struct {
+	plan  Plan
+	clock retry.Clock
+
+	mu     sync.Mutex
+	perURL map[string]int
+	calls  int
+	down   bool
+	stats  Stats
+}
+
+// New returns an Injector for the plan. clock drives slow-response
+// faults (nil = retry.System).
+func New(plan Plan, clock retry.Clock) *Injector {
+	if clock == nil {
+		clock = retry.System
+	}
+	if plan.Delay == 0 {
+		plan.Delay = time.Second
+	}
+	if plan.TruncateBytes == 0 {
+		plan.TruncateBytes = 64
+	}
+	if plan.Unavailable == nil {
+		plan.Unavailable = ErrInjected
+	}
+	return &Injector{plan: plan, clock: clock, perURL: make(map[string]int)}
+}
+
+// SetDown manually toggles a total outage (in addition to planned
+// windows) — the chaos knob for killing a dependency mid-run.
+func (in *Injector) SetDown(down bool) {
+	if in == nil {
+		return
+	}
+	in.mu.Lock()
+	in.down = down
+	in.mu.Unlock()
+}
+
+// Stats returns a snapshot of the injected-fault counts.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// u01 hashes (seed, url, seq, salt) to a uniform float in [0,1).
+func u01(seed int64, url string, seq int, salt string) float64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(strconv.FormatInt(seed, 10)))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(url))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(strconv.Itoa(seq)))
+	_, _ = h.Write([]byte{0})
+	_, _ = h.Write([]byte(salt))
+	return float64(h.Sum64()>>11) / float64(1<<53)
+}
+
+// verdict is the fault decision for one call.
+type verdict struct {
+	err      error
+	slow     bool
+	truncate bool
+}
+
+// decide advances the per-URL and global counters and rolls the plan's
+// dice for one call.
+func (in *Injector) decide(url string) verdict {
+	in.mu.Lock()
+	seq := in.perURL[url]
+	in.perURL[url] = seq + 1
+	call := in.calls
+	in.calls++
+	in.stats.Calls++
+	down := in.down
+	in.mu.Unlock()
+
+	p := in.plan
+	var v verdict
+	if p.SlowRate > 0 && u01(p.Seed, url, seq, "slow") < p.SlowRate {
+		v.slow = true
+	}
+	outage := down
+	for _, w := range p.Outages {
+		if w.contains(call) {
+			outage = true
+			break
+		}
+	}
+	switch {
+	case outage:
+		v.err = p.Unavailable
+	case p.RateLimitEvery > 0 && (seq+1)%p.RateLimitEvery == 0:
+		v.err = ErrRateLimited
+	case p.ErrorRate > 0 && u01(p.Seed, url, seq, "err") < p.ErrorRate:
+		v.err = ErrInjected
+	case p.TruncateRate > 0 && u01(p.Seed, url, seq, "trunc") < p.TruncateRate:
+		v.truncate = true
+	}
+
+	in.mu.Lock()
+	if v.slow {
+		in.stats.Slow++
+	}
+	switch {
+	case outage:
+		in.stats.Outages++
+	case errors.Is(v.err, ErrRateLimited):
+		in.stats.RateLimited++
+	case v.err != nil:
+		in.stats.Errors++
+	case v.truncate:
+		in.stats.Truncated++
+	}
+	in.mu.Unlock()
+	return v
+}
+
+// apply runs the verdict's side effects and reports whether the call
+// should fail.
+func (in *Injector) apply(v verdict) error {
+	if v.slow {
+		_ = in.clock.Sleep(context.Background(), in.plan.Delay)
+	}
+	return v.err
+}
+
+// WrapFetch wraps a fetch function with the plan. Nil injectors return
+// fn unchanged.
+func (in *Injector) WrapFetch(fn FetchFunc) FetchFunc {
+	if in == nil {
+		return fn
+	}
+	return func(url string) (string, error) {
+		v := in.decide(url)
+		if err := in.apply(v); err != nil {
+			return "", err
+		}
+		body, err := fn(url)
+		if err == nil && v.truncate && len(body) > in.plan.TruncateBytes {
+			body = body[:in.plan.TruncateBytes]
+		}
+		return body, err
+	}
+}
+
+// WrapBacklinks wraps a link:-query function with the plan. Truncation
+// cuts the result list rather than bytes. Nil injectors return fn
+// unchanged.
+func (in *Injector) WrapBacklinks(fn BacklinkFunc) BacklinkFunc {
+	if in == nil {
+		return fn
+	}
+	return func(url string) ([]string, error) {
+		v := in.decide(url)
+		if err := in.apply(v); err != nil {
+			return nil, err
+		}
+		links, err := fn(url)
+		if err == nil && v.truncate && len(links) > 1 {
+			links = links[:len(links)/2]
+		}
+		return links, err
+	}
+}
+
+// FakeClock is a manual clock: Sleep advances time instantly, so retry
+// schedules and slow-response faults run without wall-clock delay while
+// remaining observable (Slept totals what would have been waited).
+type FakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept time.Duration
+}
+
+// NewFakeClock returns a FakeClock at a fixed epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+// Now returns the fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Sleep advances the clock by d and returns immediately (or the
+// context's error if it is already done).
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d > 0 {
+		c.Advance(d)
+		c.mu.Lock()
+		c.slept += d
+		c.mu.Unlock()
+	}
+	return nil
+}
+
+// Advance moves the clock forward by d.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	c.mu.Unlock()
+}
+
+// Slept returns the total duration Sleep has been asked to wait — the
+// virtual time bill of a retry schedule.
+func (c *FakeClock) Slept() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.slept
+}

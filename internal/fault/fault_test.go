@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+func okFetch(u string) (string, error) { return "body of " + u, nil }
+
+// TestNilInjectorIsPassThrough: the nil injector must return the exact
+// function it was given, so fault-free runs cost nothing and pin
+// bit-identical to production.
+func TestNilInjectorIsPassThrough(t *testing.T) {
+	var in *Injector
+	body, err := in.WrapFetch(okFetch)("http://a.example/")
+	if err != nil || body != "body of http://a.example/" {
+		t.Fatalf("pass-through altered the call: %q, %v", body, err)
+	}
+	if in.Stats() != (Stats{}) {
+		t.Error("nil injector reported stats")
+	}
+	in.SetDown(true) // must not panic
+}
+
+// TestInjectorDeterministicAcrossOrders: per-URL fault decisions must
+// not depend on call arrival order — the property that makes chaos runs
+// with concurrent crawl workers reproducible.
+func TestInjectorDeterministicAcrossOrders(t *testing.T) {
+	urls := make([]string, 40)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://site%d.example/search.html", i)
+	}
+	outcomes := func(order []int) map[string][]bool {
+		in := New(Plan{Seed: 7, ErrorRate: 0.3}, NewFakeClock())
+		fetch := in.WrapFetch(okFetch)
+		got := make(map[string][]bool)
+		for _, i := range order {
+			u := urls[i]
+			// Two calls per URL, interleaved by the permuted order.
+			_, err := fetch(u)
+			got[u] = append(got[u], err == nil)
+		}
+		return got
+	}
+	base := make([]int, 0, 2*len(urls))
+	for i := range urls {
+		base = append(base, i, i)
+	}
+	a := outcomes(base)
+	perm := append([]int(nil), base...)
+	rand.New(rand.NewSource(1)).Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+	b := outcomes(perm)
+	for u := range a {
+		for i := range a[u] {
+			if a[u][i] != b[u][i] {
+				t.Fatalf("%s call %d: outcome differs between call orders", u, i)
+			}
+		}
+	}
+}
+
+// TestInjectorErrorRate: the injected failure fraction lands near the
+// configured rate over many URLs.
+func TestInjectorErrorRate(t *testing.T) {
+	in := New(Plan{Seed: 3, ErrorRate: 0.2}, NewFakeClock())
+	fetch := in.WrapFetch(okFetch)
+	fails := 0
+	n := 2000
+	for i := 0; i < n; i++ {
+		if _, err := fetch(fmt.Sprintf("http://s%d.example/", i)); err != nil {
+			if !errors.Is(err, ErrInjected) {
+				t.Fatalf("unexpected error kind: %v", err)
+			}
+			fails++
+		}
+	}
+	if frac := float64(fails) / float64(n); frac < 0.15 || frac > 0.25 {
+		t.Errorf("injected failure fraction %.3f, want ~0.2", frac)
+	}
+	if in.Stats().Errors != fails {
+		t.Errorf("Stats().Errors = %d, want %d", in.Stats().Errors, fails)
+	}
+}
+
+// TestOutageWindowsAndManualDown: global-call-index windows and the
+// SetDown toggle both fail calls with the plan's Unavailable error.
+func TestOutageWindowsAndManualDown(t *testing.T) {
+	sentinel := errors.New("down for maintenance")
+	in := New(Plan{Seed: 1, Outages: []Window{{Start: 2, End: 4}}, Unavailable: sentinel}, NewFakeClock())
+	bl := in.WrapBacklinks(func(u string) ([]string, error) { return []string{"http://hub.example/"}, nil })
+	for call := 0; call < 6; call++ {
+		_, err := bl("http://x.example/")
+		inWindow := call >= 2 && call < 4
+		if inWindow && !errors.Is(err, sentinel) {
+			t.Errorf("call %d: err = %v, want outage sentinel", call, err)
+		}
+		if !inWindow && err != nil {
+			t.Errorf("call %d: unexpected error %v", call, err)
+		}
+	}
+	in.SetDown(true)
+	if _, err := bl("http://x.example/"); !errors.Is(err, sentinel) {
+		t.Errorf("SetDown(true): err = %v, want sentinel", err)
+	}
+	in.SetDown(false)
+	if _, err := bl("http://x.example/"); err != nil {
+		t.Errorf("SetDown(false): err = %v", err)
+	}
+	if got := in.Stats().Outages; got != 3 {
+		t.Errorf("Stats().Outages = %d, want 3", got)
+	}
+}
+
+// TestRateLimitEveryAndTruncate covers the remaining fault kinds.
+func TestRateLimitEveryAndTruncate(t *testing.T) {
+	in := New(Plan{Seed: 2, RateLimitEvery: 3}, NewFakeClock())
+	fetch := in.WrapFetch(okFetch)
+	for i := 1; i <= 9; i++ {
+		_, err := fetch("http://a.example/")
+		if i%3 == 0 && !errors.Is(err, ErrRateLimited) {
+			t.Errorf("call %d: err = %v, want rate limit", i, err)
+		}
+		if i%3 != 0 && err != nil {
+			t.Errorf("call %d: err = %v", i, err)
+		}
+	}
+
+	trunc := New(Plan{Seed: 2, TruncateRate: 1, TruncateBytes: 4}, NewFakeClock())
+	body, err := trunc.WrapFetch(okFetch)("http://a.example/")
+	if err != nil || body != "body" {
+		t.Errorf("truncated body = %q (err %v), want \"body\"", body, err)
+	}
+}
+
+// TestSlowFaultAdvancesFakeClock: slow responses bill virtual time on
+// the clock instead of sleeping for real.
+func TestSlowFaultAdvancesFakeClock(t *testing.T) {
+	clk := NewFakeClock()
+	in := New(Plan{Seed: 5, SlowRate: 1, Delay: 3 * time.Second}, clk)
+	start := time.Now()
+	if _, err := in.WrapFetch(okFetch)("http://a.example/"); err != nil {
+		t.Fatal(err)
+	}
+	if real := time.Since(start); real > time.Second {
+		t.Fatalf("slow fault slept for real (%v)", real)
+	}
+	if clk.Slept() != 3*time.Second {
+		t.Errorf("fake clock slept %v, want 3s", clk.Slept())
+	}
+}
+
+// TestInjectorConcurrentUse exercises the injector from many goroutines
+// (the race detector is the assertion).
+func TestInjectorConcurrentUse(t *testing.T) {
+	in := New(Plan{Seed: 11, ErrorRate: 0.5, SlowRate: 0.2, Delay: time.Millisecond}, NewFakeClock())
+	fetch := in.WrapFetch(okFetch)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				_, _ = fetch(fmt.Sprintf("http://s%d.example/", i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if in.Stats().Calls != 400 {
+		t.Errorf("Calls = %d, want 400", in.Stats().Calls)
+	}
+}

@@ -1,0 +1,89 @@
+package fault_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"cafc/internal/crawler"
+	"cafc/internal/fault"
+	"cafc/internal/hub"
+	"cafc/internal/obs"
+	"cafc/internal/retry"
+	"cafc/internal/webgraph"
+)
+
+// TestResilienceMetricsGolden locks the Prometheus exposition of the
+// retry/breaker/degradation metric families down to the byte, in the
+// style of obs.TestWritePrometheusGolden — but populated by the real
+// production emitters (RetryFetcher, ResilientBacklinks, the hub
+// degradation recorder) on a fake clock, so neither the names, labels
+// nor the emission sites can silently rot.
+func TestResilienceMetricsGolden(t *testing.T) {
+	reg := obs.NewRegistry()
+	clk := fault.NewFakeClock()
+
+	// Fetch path: one fetch exhausts its 2 attempts and trips the
+	// 2-failure breaker; a second fetch fast-fails on the open circuit.
+	rf := &crawler.RetryFetcher{
+		Fetcher: fetchFunc(func(string) (string, error) { return "", errors.New("boom") }),
+		Policy:  retry.Policy{MaxAttempts: 2, Jitter: -1, Seed: 1},
+		Breaker: retry.NewBreaker(2, time.Hour, clk, reg, "fetch"),
+		Clock:   clk,
+		Metrics: reg,
+	}
+	if _, err := rf.Fetch("http://down.example/"); err == nil {
+		t.Fatal("expected exhausted attempts")
+	}
+	if _, err := rf.Fetch("http://down.example/"); !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("err = %v, want breaker open", err)
+	}
+
+	// Backlink path: a dead service under a 3-query budget — one full
+	// retry sequence, then a second query that exhausts the budget.
+	rb := &webgraph.ResilientBacklinks{
+		Query:   func(string) ([]string, error) { return nil, webgraph.ErrUnavailable },
+		Policy:  retry.Policy{MaxAttempts: 2, Jitter: -1, Seed: 1},
+		Budget:  3,
+		Clock:   clk,
+		Metrics: reg,
+	}
+	if _, err := rb.Backlinks("http://a.example/"); err == nil {
+		t.Fatal("expected failure")
+	}
+	if _, err := rb.Backlinks("http://b.example/"); !errors.Is(err, webgraph.ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want budget exhausted", err)
+	}
+
+	// Degradation: recorded the way hub.BuildWith records it.
+	hub.RecordDegraded(reg, hub.ReasonBudgetExhausted)
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# TYPE backlink_budget_exhausted_total counter
+backlink_budget_exhausted_total 1
+# TYPE backlink_budget_spent gauge
+backlink_budget_spent 3
+# TYPE breaker_fastfail_total counter
+breaker_fastfail_total{component="backlink"} 0
+breaker_fastfail_total{component="fetch"} 1
+# TYPE breaker_state gauge
+breaker_state{component="fetch"} 2
+# TYPE breaker_trips_total counter
+breaker_trips_total{component="fetch"} 1
+# TYPE degraded_runs_total counter
+degraded_runs_total{reason="backlink_budget_exhausted"} 1
+# TYPE retry_giveup_total counter
+retry_giveup_total{component="backlink"} 1
+retry_giveup_total{component="fetch"} 1
+# TYPE retry_total counter
+retry_total{component="backlink"} 2
+retry_total{component="fetch"} 1
+`
+	if got := b.String(); got != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

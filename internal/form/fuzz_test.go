@@ -1,0 +1,66 @@
+package form_test
+
+import (
+	"reflect"
+	"testing"
+
+	"cafc/internal/form"
+	"cafc/internal/htmlx"
+	"cafc/internal/webgen"
+)
+
+// FuzzParseForms: form extraction and the full form-page model build
+// must be total over arbitrary HTML — no panics, deterministic output,
+// and every extracted form structurally sound. Seeds come from webgen
+// pages (the realistic corpus) plus adversarial form fragments.
+func FuzzParseForms(f *testing.F) {
+	seeds := []string{
+		"",
+		"<form></form>",
+		"<form action=/search><input type=text name=q><input type=submit></form>",
+		"<form><select name=genre><option>rock<option selected>jazz</select></form>",
+		"<form><input type=hidden name=sid value=1><textarea name=notes></textarea></form>",
+		"<form><label for=a>Artist</label><input id=a name=artist></form>",
+		"<input name=orphan outside=form>",
+		"<form><form><input name=nested></form></form>",
+		"<form><button>Go</button><input type=checkbox name=c value>",
+	}
+	c := webgen.Generate(webgen.Config{Seed: 9, FormPages: 6})
+	for _, u := range c.FormPages {
+		seeds = append(seeds, c.ByURL[u].HTML)
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		doc := htmlx.Parse(src)
+		forms := form.ExtractForms(doc)
+		for i, fm := range forms {
+			if fm == nil {
+				t.Fatalf("form %d is nil", i)
+			}
+			for _, fd := range fm.Fields {
+				// Field predicates must be total and consistent.
+				if fd.Hidden() && fd.Typable() {
+					t.Errorf("field %+v both hidden and typable", fd)
+				}
+			}
+			_ = form.IsSearchable(fm)
+		}
+		// Extraction is deterministic: parsing the same bytes twice
+		// yields identical structures.
+		if again := form.ExtractForms(htmlx.Parse(src)); !reflect.DeepEqual(forms, again) {
+			t.Error("ExtractForms not deterministic")
+		}
+
+		// The full model build either errors cleanly (no searchable
+		// form) or returns a well-formed page.
+		fp, err := form.Parse("http://fuzz.example/f", src, form.DefaultWeights)
+		if err != nil {
+			return
+		}
+		if fp == nil {
+			t.Fatal("nil FormPage with nil error")
+		}
+	})
+}

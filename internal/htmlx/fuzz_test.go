@@ -1,0 +1,74 @@
+package htmlx_test
+
+import (
+	"testing"
+
+	"cafc/internal/htmlx"
+	"cafc/internal/webgen"
+)
+
+// fuzzSeeds returns generated corpus pages plus hand-picked tag soup —
+// the realistic and the adversarial ends of the input space.
+func fuzzSeeds() []string {
+	seeds := []string{
+		"",
+		"<html><body><p>plain</p></body></html>",
+		"<form action=/s><input name=q><select><option>a</select></form>",
+		"<a href='x.html'>link</a><a href=x>unquoted</a>",
+		"<script>if (a < b) { x() }</script><p>after</p>",
+		"<!DOCTYPE html><!-- comment --><title>t&amp;t</title>",
+		"<b><i>unclosed<p>implied</b></i>",
+		"<input value=\"&#x41;&unknown;&amp\">",
+		"< notatag >< /, also=not>",
+		"<textarea><p>not markup</textarea>",
+	}
+	c := webgen.Generate(webgen.Config{Seed: 5, FormPages: 6})
+	for _, u := range c.FormPages {
+		seeds = append(seeds, c.ByURL[u].HTML)
+	}
+	return seeds
+}
+
+// FuzzTokenize: the tokenizer must terminate, never panic, and emit a
+// bounded token stream for arbitrary byte soup (the crawler feeds it
+// whatever the web serves).
+func FuzzTokenize(f *testing.F) {
+	for _, s := range fuzzSeeds() {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		z := htmlx.NewTokenizer(src)
+		// Every token consumes at least one input byte, so the stream
+		// is bounded by len(src) plus slack for the final ErrorToken.
+		max := len(src) + 2
+		n := 0
+		for {
+			tok := z.Next()
+			if tok.Type == htmlx.ErrorToken {
+				break
+			}
+			if n++; n > max {
+				t.Fatalf("tokenizer emitted > %d tokens for %d input bytes", max, len(src))
+			}
+		}
+
+		// The tree builder over the same input must not panic either,
+		// and derived extraction must be total.
+		doc := htmlx.Parse(src)
+		if doc == nil {
+			t.Fatal("Parse returned nil")
+		}
+		_ = doc.Text()
+		_ = htmlx.Title(doc)
+		doc.Walk(func(n *htmlx.Node) bool { return true })
+
+		// Entity escaping must round-trip through the tokenizer: text
+		// escaped with EscapeText comes back as the same text.
+		if src != "" {
+			esc := htmlx.EscapeText(src)
+			if got := htmlx.UnescapeEntities(esc); got != src {
+				t.Errorf("EscapeText round trip: %q -> %q -> %q", src, esc, got)
+			}
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package hub
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"cafc/internal/obs"
+	"cafc/internal/retry"
+	"cafc/internal/webgraph"
+)
+
+// TestBuildDegradesOnBudgetExhaustion: once the backlink budget runs
+// out mid-crawl, Build stops querying, keeps the hubs it has, and
+// reports the degradation instead of failing.
+func TestBuildDegradesOnBudgetExhaustion(t *testing.T) {
+	urls := make([]string, 6)
+	for i := range urls {
+		urls[i] = fmt.Sprintf("http://s%d.example/f", i)
+	}
+	var queries int
+	bl := func(u string) ([]string, error) {
+		queries++
+		if queries > 3 {
+			return nil, webgraph.ErrBudgetExhausted
+		}
+		return []string{"http://hub.example/"}, nil
+	}
+	reg := obs.NewRegistry()
+	clusters, stats := BuildWith(urls, nil, bl, BuildOptions{Metrics: reg})
+	if !stats.Degraded || stats.DegradedReason != ReasonBudgetExhausted {
+		t.Fatalf("stats = %+v, want degraded with %s", stats, ReasonBudgetExhausted)
+	}
+	if queries != 4 {
+		t.Errorf("issued %d queries, want 4 (3 ok + the exhausted one)", queries)
+	}
+	if stats.Aborted != 2 {
+		t.Errorf("Aborted = %d, want 2 (pages 4 and 5 never queried)", stats.Aborted)
+	}
+	// The partial hub evidence survives: the first three pages share a
+	// hub cluster.
+	if len(clusters) != 1 || len(clusters[0].Members) != 3 {
+		t.Errorf("clusters = %+v, want one cluster of the 3 queried pages", clusters)
+	}
+	if v := reg.Counter("degraded_runs_total", "reason", ReasonBudgetExhausted).Value(); v != 1 {
+		t.Errorf("degraded_runs_total = %d, want 1", v)
+	}
+	if v := reg.Counter("hub_aborted_pages_total").Value(); v != 2 {
+		t.Errorf("hub_aborted_pages_total = %d, want 2", v)
+	}
+}
+
+// TestBuildDegradesOnOpenBreaker mirrors the budget case for a tripped
+// circuit breaker.
+func TestBuildDegradesOnOpenBreaker(t *testing.T) {
+	urls := []string{"http://a.example/f", "http://b.example/f", "http://c.example/f"}
+	var queries int
+	bl := func(u string) ([]string, error) {
+		queries++
+		if queries >= 2 {
+			return nil, fmt.Errorf("wrapped: %w", retry.ErrOpen)
+		}
+		return []string{"http://hub.example/"}, nil
+	}
+	_, stats := Build(urls, nil, bl)
+	if !stats.Degraded || stats.DegradedReason != ReasonBreakerOpen {
+		t.Fatalf("stats = %+v, want degraded with %s", stats, ReasonBreakerOpen)
+	}
+	if stats.Aborted != 1 {
+		t.Errorf("Aborted = %d, want 1", stats.Aborted)
+	}
+}
+
+// TestBuildDegradesOnTotalOutage: a service that errors on every query
+// yields a degraded run with no hubs (ClusterCH then seeds randomly).
+func TestBuildDegradesOnTotalOutage(t *testing.T) {
+	urls := []string{"http://a.example/f", "http://b.example/f"}
+	bl := func(u string) ([]string, error) { return nil, errors.New("503") }
+	clusters, stats := Build(urls, nil, bl)
+	if len(clusters) != 0 {
+		t.Fatalf("clusters = %+v, want none", clusters)
+	}
+	if !stats.Degraded || stats.DegradedReason != ReasonUnavailable {
+		t.Fatalf("stats = %+v, want degraded with %s", stats, ReasonUnavailable)
+	}
+	if stats.Aborted != 0 {
+		t.Errorf("Aborted = %d, want 0 (every page was tried)", stats.Aborted)
+	}
+}
+
+// TestBuildNotDegradedOnSparseErrors: scattered per-query failures are
+// the paper's normal lossy-backlink regime, not a degradation.
+func TestBuildNotDegradedOnSparseErrors(t *testing.T) {
+	urls := []string{"http://a.example/f", "http://b.example/f"}
+	var n int
+	bl := func(u string) ([]string, error) {
+		n++
+		if n == 1 {
+			return nil, errors.New("flaky")
+		}
+		return []string{"http://hub.example/"}, nil
+	}
+	_, stats := Build(urls, nil, bl)
+	if stats.Degraded || stats.DegradedReason != "" {
+		t.Fatalf("stats = %+v, want not degraded", stats)
+	}
+	if stats.QueryErrors != 1 {
+		t.Errorf("QueryErrors = %d, want 1", stats.QueryErrors)
+	}
+}

@@ -8,12 +8,14 @@
 package hub
 
 import (
+	"errors"
 	"sort"
 	"strconv"
 	"strings"
 	"time"
 
 	"cafc/internal/obs"
+	"cafc/internal/retry"
 	"cafc/internal/webgraph"
 )
 
@@ -58,6 +60,33 @@ type Stats struct {
 	RawHubs int
 	// Clusters is the number of distinct co-citation sets produced.
 	Clusters int
+	// Degraded reports that the backward crawl could not complete
+	// normally and the caller should expect partial hub evidence (the
+	// clusters returned are still valid — CAFC-CH falls back to random
+	// seeding for the shortfall). DegradedReason is one of
+	// "backlink_budget_exhausted", "backlink_breaker_open" or
+	// "backlink_unavailable".
+	Degraded       bool
+	DegradedReason string
+	// Aborted counts form pages never queried because the backward
+	// crawl stopped early (budget exhausted or breaker open).
+	Aborted int
+}
+
+// Degradation reasons reported in Stats.DegradedReason and as the
+// reason label of degraded_runs_total.
+const (
+	ReasonBudgetExhausted = "backlink_budget_exhausted"
+	ReasonBreakerOpen     = "backlink_breaker_open"
+	ReasonUnavailable     = "backlink_unavailable"
+)
+
+// RecordDegraded records one degraded run with its reason on the
+// registry (degraded_runs_total{reason=...}). Exposed so the cafc
+// layer and the exposition golden test share the exact production
+// emission. Nil-registry safe.
+func RecordDegraded(reg *obs.Registry, reason string) {
+	reg.Counter("degraded_runs_total", "reason", reason).Inc()
 }
 
 // BuildOptions disable individual design choices of the hub-cluster
@@ -100,7 +129,16 @@ func BuildWith(urls []string, roots map[string]string, backlinks BacklinkFunc, o
 	stats := Stats{FormPages: len(urls)}
 	// hub URL -> set of form-page indices it cites.
 	cites := make(map[string]map[int]bool)
+	// A budget-exhausted or breaker-open answer means every further
+	// query would fail the same way: stop the backward crawl and build
+	// from the hubs gathered so far (graceful degradation) instead of
+	// burning the loop on a dead service.
+	abort := false
 	for i, u := range urls {
+		if abort {
+			stats.Aborted++
+			continue
+		}
 		got := false
 		gotDirect := false
 		targets := []string{u}
@@ -112,6 +150,17 @@ func BuildWith(urls []string, roots map[string]string, backlinks BacklinkFunc, o
 			links, err := backlinks(target)
 			if err != nil {
 				stats.QueryErrors++
+				switch {
+				case errors.Is(err, webgraph.ErrBudgetExhausted):
+					stats.DegradedReason = ReasonBudgetExhausted
+					abort = true
+				case errors.Is(err, retry.ErrOpen):
+					stats.DegradedReason = ReasonBreakerOpen
+					abort = true
+				}
+				if abort {
+					break
+				}
 				continue
 			}
 			for _, h := range links {
@@ -171,7 +220,16 @@ func BuildWith(urls []string, roots map[string]string, backlinks BacklinkFunc, o
 		return a.Hub < b.Hub
 	})
 	stats.Clusters = len(out)
+	// A run whose every query failed never saw a hub: total outage.
+	if stats.DegradedReason == "" && stats.QueryErrors > 0 && stats.RawHubs == 0 {
+		stats.DegradedReason = ReasonUnavailable
+	}
+	stats.Degraded = stats.DegradedReason != ""
 	if reg != nil {
+		if stats.Degraded {
+			RecordDegraded(reg, stats.DegradedReason)
+		}
+		reg.Counter("hub_aborted_pages_total").Add(int64(stats.Aborted))
 		reg.Histogram("hub_build_seconds", obs.DurationBuckets).ObserveSince(t0)
 		reg.Counter("backlink_miss_total").Add(int64(stats.NoBacklinks))
 		reg.Counter("backlink_direct_miss_total").Add(int64(stats.NoDirectBacklinks))

@@ -1,0 +1,333 @@
+// Package retry holds the resilience primitives shared by the fetch and
+// backlink paths: bounded exponential backoff with deterministic jitter,
+// a consecutive-failure circuit breaker with half-open probes, and the
+// clock seam that lets the fault-injection harness (internal/fault)
+// drive both without real sleeps. The paper's pipeline depends on two
+// flaky external facilities — page fetches for the focused crawler and
+// the search engine's link: backlink API — and explicitly tolerates
+// incomplete answers from either; this package is how the system keeps
+// making progress when individual requests fail.
+package retry
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"cafc/internal/obs"
+)
+
+// Clock abstracts wall time and sleeping so retry schedules can be
+// driven by a fake clock in tests (no real sleeps, fully deterministic).
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until the context is done, returning the
+	// context's error in the latter case.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// systemClock is the real time.Now/time.Sleep clock.
+type systemClock struct{}
+
+func (systemClock) Now() time.Time { return time.Now() }
+
+func (systemClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// System is the production clock.
+var System Clock = systemClock{}
+
+// Policy bounds one retry sequence. The zero value selects the defaults
+// documented per field.
+type Policy struct {
+	// MaxAttempts is the total number of tries, first attempt included
+	// (0 = 3). 1 disables retrying.
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry (0 = 100ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the per-retry backoff (0 = 2s).
+	MaxDelay time.Duration
+	// Multiplier grows the delay between consecutive retries (0 = 2).
+	Multiplier float64
+	// Jitter in [0,1] randomizes each delay within ±Jitter·delay so
+	// synchronized clients do not retry in lockstep (0 = 0.5; negative
+	// disables jitter entirely).
+	Jitter float64
+	// Seed drives the jitter; equal seeds give identical schedules.
+	Seed int64
+	// Timeout bounds each individual attempt via a derived context
+	// (0 = 10s; negative disables the per-attempt timeout).
+	Timeout time.Duration
+}
+
+// WithDefaults resolves zero fields to the documented defaults.
+func (p Policy) WithDefaults() Policy {
+	if p.MaxAttempts == 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseDelay == 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay == 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	if p.Multiplier == 0 {
+		p.Multiplier = 2
+	}
+	if p.Jitter == 0 {
+		p.Jitter = 0.5
+	}
+	if p.Jitter < 0 {
+		p.Jitter = 0
+	}
+	if p.Timeout == 0 {
+		p.Timeout = 10 * time.Second
+	}
+	return p
+}
+
+// MaxElapsed returns an upper bound on the total time a sequence under
+// this policy may spend sleeping between attempts — the time budget the
+// property tests hold RetryFetcher to.
+func (p Policy) MaxElapsed() time.Duration {
+	p = p.WithDefaults()
+	var total time.Duration
+	for attempt := 1; attempt < p.MaxAttempts; attempt++ {
+		d := p.rawDelay(attempt)
+		total += d + time.Duration(p.Jitter*float64(d))
+	}
+	return total
+}
+
+// rawDelay is the un-jittered backoff before retry number attempt
+// (1-based), capped at MaxDelay.
+func (p Policy) rawDelay(attempt int) time.Duration {
+	d := float64(p.BaseDelay)
+	for i := 1; i < attempt; i++ {
+		d *= p.Multiplier
+		if d >= float64(p.MaxDelay) {
+			return p.MaxDelay
+		}
+	}
+	if d > float64(p.MaxDelay) {
+		d = float64(p.MaxDelay)
+	}
+	return time.Duration(d)
+}
+
+// Backoff produces the delay schedule of retry sequences under a policy.
+// It is safe for concurrent use; jitter is drawn from a seeded generator
+// so a single-threaded caller sees an identical schedule every run.
+type Backoff struct {
+	p   Policy
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewBackoff returns a Backoff for the policy (defaults resolved).
+func NewBackoff(p Policy) *Backoff {
+	p = p.WithDefaults()
+	return &Backoff{p: p, rng: rand.New(rand.NewSource(p.Seed + 1))}
+}
+
+// Delay returns the backoff before retry number attempt (1-based): the
+// exponential delay plus deterministic jitter in ±Jitter·delay.
+func (b *Backoff) Delay(attempt int) time.Duration {
+	d := b.p.rawDelay(attempt)
+	if b.p.Jitter <= 0 {
+		return d
+	}
+	b.mu.Lock()
+	u := b.rng.Float64()
+	b.mu.Unlock()
+	// u in [0,1) -> factor in [1-Jitter, 1+Jitter).
+	factor := 1 + b.p.Jitter*(2*u-1)
+	j := time.Duration(factor * float64(d))
+	if j > d+time.Duration(b.p.Jitter*float64(d)) {
+		j = d + time.Duration(b.p.Jitter*float64(d))
+	}
+	if j < 0 {
+		j = 0
+	}
+	return j
+}
+
+// State is a circuit breaker's position.
+type State int
+
+// Breaker states, ordered so the exported gauge reads 0 = healthy.
+const (
+	Closed State = iota
+	HalfOpen
+	Open
+)
+
+// String returns the conventional state name.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case HalfOpen:
+		return "half-open"
+	case Open:
+		return "open"
+	}
+	return "unknown"
+}
+
+// ErrOpen is returned by Breaker.Allow while the circuit is open (and by
+// wrappers fast-failing on it). errors.Is-match it to detect fast-fails.
+var ErrOpen = errors.New("retry: circuit breaker open")
+
+// Breaker is a consecutive-failure circuit breaker. After Threshold
+// failures in a row it opens and fast-fails every call for Cooldown;
+// then one probe call is let through (half-open) — success recloses the
+// circuit, failure reopens it for another cooldown.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that trips the breaker
+	// (0 = 5).
+	Threshold int
+	// Cooldown is how long the breaker stays open before allowing a
+	// half-open probe (0 = 30s).
+	Cooldown time.Duration
+	// Clock supplies time (nil = System).
+	Clock Clock
+	// StateGauge, when non-nil, tracks the state as a gauge (0 closed,
+	// 1 half-open, 2 open). Trips counts closed->open transitions.
+	StateGauge *obs.Gauge
+	Trips      *obs.Counter
+
+	mu       sync.Mutex
+	state    State
+	fails    int
+	openedAt time.Time
+	probing  bool
+}
+
+// NewBreaker returns a Breaker wired to the registry's
+// breaker_state{component=...} gauge and breaker_trips_total counter
+// (reg may be nil: the handles degrade to no-ops).
+func NewBreaker(threshold int, cooldown time.Duration, clock Clock, reg *obs.Registry, component string) *Breaker {
+	return &Breaker{
+		Threshold:  threshold,
+		Cooldown:   cooldown,
+		Clock:      clock,
+		StateGauge: reg.Gauge("breaker_state", "component", component),
+		Trips:      reg.Counter("breaker_trips_total", "component", component),
+	}
+}
+
+func (b *Breaker) clock() Clock {
+	if b.Clock == nil {
+		return System
+	}
+	return b.Clock
+}
+
+func (b *Breaker) threshold() int {
+	if b.Threshold == 0 {
+		return 5
+	}
+	return b.Threshold
+}
+
+func (b *Breaker) cooldown() time.Duration {
+	if b.Cooldown == 0 {
+		return 30 * time.Second
+	}
+	return b.Cooldown
+}
+
+// State returns the current position (advancing open -> half-open is done
+// by Allow, not here).
+func (b *Breaker) State() State {
+	if b == nil {
+		return Closed
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a call may proceed. Nil breakers always allow.
+// While open it returns ErrOpen until the cooldown elapses, then admits a
+// single half-open probe; concurrent calls during the probe still get
+// ErrOpen.
+func (b *Breaker) Allow() error {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return nil
+	case Open:
+		if b.clock().Now().Sub(b.openedAt) < b.cooldown() {
+			return ErrOpen
+		}
+		b.setState(HalfOpen)
+		b.probing = true
+		return nil
+	case HalfOpen:
+		if b.probing {
+			return ErrOpen
+		}
+		b.probing = true
+		return nil
+	}
+	return nil
+}
+
+// Success records a successful call, closing the circuit.
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.probing = false
+	if b.state != Closed {
+		b.setState(Closed)
+	}
+}
+
+// Failure records a failed call; Threshold consecutive failures (or a
+// failed half-open probe) open the circuit.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == HalfOpen || (b.state == Closed && b.fails >= b.threshold()) {
+		b.probing = false
+		b.openedAt = b.clock().Now()
+		if b.state != Open {
+			b.Trips.Inc()
+		}
+		b.setState(Open)
+	}
+}
+
+// setState transitions the state and mirrors it on the gauge; callers
+// hold b.mu.
+func (b *Breaker) setState(s State) {
+	b.state = s
+	b.StateGauge.Set(float64(s))
+}

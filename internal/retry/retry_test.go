@@ -1,0 +1,132 @@
+package retry
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"cafc/internal/obs"
+)
+
+// manualClock is a minimal fake clock local to this package (the full
+// harness clock lives in internal/fault, which imports this package).
+type manualClock struct{ now time.Time }
+
+func (c *manualClock) Now() time.Time { return c.now }
+func (c *manualClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.now = c.now.Add(d)
+	return ctx.Err()
+}
+
+func TestBackoffDeterministicAndBounded(t *testing.T) {
+	p := Policy{MaxAttempts: 6, BaseDelay: 100 * time.Millisecond, MaxDelay: 2 * time.Second, Multiplier: 2, Jitter: 0.5, Seed: 9}
+	a, b := NewBackoff(p), NewBackoff(p)
+	for attempt := 1; attempt <= 5; attempt++ {
+		da, db := a.Delay(attempt), b.Delay(attempt)
+		if da != db {
+			t.Errorf("attempt %d: same seed gave %v and %v", attempt, da, db)
+		}
+		raw := p.WithDefaults().rawDelay(attempt)
+		lo := raw - time.Duration(0.5*float64(raw))
+		hi := raw + time.Duration(0.5*float64(raw))
+		if da < lo || da > hi {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, da, lo, hi)
+		}
+	}
+}
+
+func TestBackoffCapsAtMaxDelay(t *testing.T) {
+	p := Policy{MaxAttempts: 20, BaseDelay: time.Second, MaxDelay: 4 * time.Second, Multiplier: 10, Jitter: -1}
+	b := NewBackoff(p)
+	if d := b.Delay(10); d != 4*time.Second {
+		t.Errorf("Delay(10) = %v, want cap %v", d, 4*time.Second)
+	}
+}
+
+func TestPolicyMaxElapsedBoundsSchedule(t *testing.T) {
+	p := Policy{MaxAttempts: 5, BaseDelay: 50 * time.Millisecond, MaxDelay: time.Second, Seed: 3}
+	b := NewBackoff(p)
+	var total time.Duration
+	for attempt := 1; attempt < p.MaxAttempts; attempt++ {
+		total += b.Delay(attempt)
+	}
+	if max := p.MaxElapsed(); total > max {
+		t.Errorf("schedule slept %v, above MaxElapsed bound %v", total, max)
+	}
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &manualClock{now: time.Unix(0, 0)}
+	reg := obs.NewRegistry()
+	b := NewBreaker(3, 10*time.Second, clk, reg, "fetch")
+
+	for i := 0; i < 2; i++ {
+		if err := b.Allow(); err != nil {
+			t.Fatalf("closed breaker refused call %d: %v", i, err)
+		}
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after 2 failures = %v, want closed", b.State())
+	}
+	b.Failure() // third consecutive failure trips it
+	if b.State() != Open {
+		t.Fatalf("state after threshold = %v, want open", b.State())
+	}
+	if err := b.Allow(); err != ErrOpen {
+		t.Fatalf("open breaker allowed a call (err=%v)", err)
+	}
+
+	// After the cooldown a single probe is admitted; concurrent calls
+	// are still rejected until the probe resolves.
+	clk.now = clk.now.Add(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("half-open probe refused: %v", err)
+	}
+	if err := b.Allow(); err != ErrOpen {
+		t.Fatal("second call admitted while probe in flight")
+	}
+	b.Failure() // failed probe reopens
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+
+	clk.now = clk.now.Add(11 * time.Second)
+	if err := b.Allow(); err != nil {
+		t.Fatalf("second probe refused: %v", err)
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	if err := b.Allow(); err != nil {
+		t.Fatalf("reclosed breaker refused: %v", err)
+	}
+
+	if v := reg.Counter("breaker_trips_total", "component", "fetch").Value(); v != 2 {
+		t.Errorf("breaker_trips_total = %d, want 2 (initial trip + failed probe)", v)
+	}
+	if v := reg.Gauge("breaker_state", "component", "fetch").Value(); v != float64(Closed) {
+		t.Errorf("breaker_state gauge = %v, want %v", v, float64(Closed))
+	}
+}
+
+func TestNilBreakerIsNoOp(t *testing.T) {
+	var b *Breaker
+	if err := b.Allow(); err != nil {
+		t.Fatalf("nil breaker refused: %v", err)
+	}
+	b.Success()
+	b.Failure()
+	if b.State() != Closed {
+		t.Error("nil breaker not closed")
+	}
+}
+
+func TestSystemClockSleepHonorsContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := System.Sleep(ctx, time.Hour); err == nil {
+		t.Fatal("Sleep ignored cancelled context")
+	}
+}

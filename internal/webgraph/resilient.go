@@ -1,0 +1,133 @@
+// ResilientBacklinks: the robust side of the link: query path. The
+// paper's backward crawl runs against a rate-limited, truncated,
+// intermittently unavailable search-engine API under a query budget;
+// this wrapper adds bounded retries with deterministic backoff, a
+// circuit breaker, and the explicit budget, so hub construction degrades
+// (partial hubs, random seeding) instead of aborting when the service
+// misbehaves.
+package webgraph
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+
+	"cafc/internal/obs"
+	"cafc/internal/retry"
+)
+
+// ErrBudgetExhausted is returned once a ResilientBacklinks has spent its
+// whole query budget; callers (hub.BuildWith) treat it as the signal to
+// stop the backward crawl and proceed with whatever hubs they have.
+var ErrBudgetExhausted = errors.New("webgraph: backlink query budget exhausted")
+
+// ResilientBacklinks wraps a link:-query function with retry, breaker
+// and budget accounting. Its Backlinks method has the hub.BacklinkFunc
+// shape. Queries are expected to be issued sequentially (as the hub
+// backward crawl does); the wrapper is nevertheless safe for concurrent
+// use.
+type ResilientBacklinks struct {
+	// Query is the underlying link: facility (required), e.g.
+	// (*BacklinkService).Backlinks.
+	Query func(url string) ([]string, error)
+	// Policy bounds attempts and backoff (zero fields = retry defaults).
+	Policy retry.Policy
+	// Budget caps the total number of underlying queries, attempts
+	// included — the paper's bounded backward-crawl budget (0 = unlimited).
+	Budget int
+	// Breaker, when non-nil, fast-fails queries while open.
+	Breaker *retry.Breaker
+	// Clock drives the backoff sleeps (nil = retry.System).
+	Clock retry.Clock
+	// Metrics, when non-nil, receives retry/breaker/budget telemetry
+	// labelled component="backlink".
+	Metrics *obs.Registry
+
+	once    sync.Once
+	backoff *retry.Backoff
+	mu      sync.Mutex
+	spent   int
+}
+
+func (r *ResilientBacklinks) init() {
+	r.once.Do(func() {
+		r.Policy = r.Policy.WithDefaults()
+		r.backoff = retry.NewBackoff(r.Policy)
+		if r.Clock == nil {
+			r.Clock = retry.System
+		}
+	})
+}
+
+// Spent returns the number of underlying queries issued so far.
+func (r *ResilientBacklinks) Spent() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spent
+}
+
+// charge consumes one unit of budget, reporting false when exhausted.
+func (r *ResilientBacklinks) charge() bool {
+	if r.Budget <= 0 {
+		r.mu.Lock()
+		r.spent++
+		r.mu.Unlock()
+		return true
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.spent >= r.Budget {
+		return false
+	}
+	r.spent++
+	return true
+}
+
+// Backlinks answers a link: query with retries under the policy, budget
+// and breaker. It matches hub.BacklinkFunc.
+func (r *ResilientBacklinks) Backlinks(u string) ([]string, error) {
+	r.init()
+	var (
+		retries    *obs.Counter
+		giveups    *obs.Counter
+		fastfail   *obs.Counter
+		exhausted  *obs.Counter
+		spentGauge *obs.Gauge
+	)
+	if reg := r.Metrics; reg != nil {
+		retries = reg.Counter("retry_total", "component", "backlink")
+		giveups = reg.Counter("retry_giveup_total", "component", "backlink")
+		fastfail = reg.Counter("breaker_fastfail_total", "component", "backlink")
+		exhausted = reg.Counter("backlink_budget_exhausted_total")
+		spentGauge = reg.Gauge("backlink_budget_spent")
+	}
+	ctx := context.Background()
+	var lastErr error
+	for attempt := 1; attempt <= r.Policy.MaxAttempts; attempt++ {
+		if err := r.Breaker.Allow(); err != nil {
+			fastfail.Inc()
+			return nil, fmt.Errorf("webgraph: link:%s: %w", u, err)
+		}
+		if !r.charge() {
+			exhausted.Inc()
+			return nil, ErrBudgetExhausted
+		}
+		spentGauge.Set(float64(r.Spent()))
+		links, err := r.Query(u)
+		lastErr = err
+		if err == nil {
+			r.Breaker.Success()
+			return links, nil
+		}
+		r.Breaker.Failure()
+		if attempt < r.Policy.MaxAttempts {
+			retries.Inc()
+			if err := r.Clock.Sleep(ctx, r.backoff.Delay(attempt)); err != nil {
+				return nil, lastErr
+			}
+		}
+	}
+	giveups.Inc()
+	return nil, fmt.Errorf("webgraph: link:%s: %d attempts exhausted: %w", u, r.Policy.MaxAttempts, lastErr)
+}

@@ -1,0 +1,137 @@
+package webgraph
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cafc/internal/obs"
+	"cafc/internal/retry"
+)
+
+// instantClock advances instead of sleeping.
+type instantClock struct{ now atomic.Int64 }
+
+func (c *instantClock) Now() time.Time { return time.Unix(0, c.now.Load()) }
+func (c *instantClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.now.Add(int64(d))
+	return ctx.Err()
+}
+
+func smallGraph() *Graph {
+	g := New()
+	g.AddLink("http://hub.example/list.html", "http://a.example/search.html")
+	g.AddLink("http://hub.example/list.html", "http://b.example/search.html")
+	return g
+}
+
+func TestResilientBacklinksRetriesThroughOutage(t *testing.T) {
+	svc := NewBacklinkService(smallGraph(), 0, 0, 1)
+	var calls atomic.Int64
+	// Fail the first two queries, then recover.
+	query := func(u string) ([]string, error) {
+		if calls.Add(1) <= 2 {
+			return nil, ErrUnavailable
+		}
+		return svc.Backlinks(u)
+	}
+	reg := obs.NewRegistry()
+	rb := &ResilientBacklinks{
+		Query:   query,
+		Policy:  retry.Policy{MaxAttempts: 3, Seed: 1},
+		Clock:   &instantClock{},
+		Metrics: reg,
+	}
+	links, err := rb.Backlinks("http://a.example/search.html")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(links) != 1 || links[0] != "http://hub.example/list.html" {
+		t.Fatalf("links = %v", links)
+	}
+	if v := reg.Counter("retry_total", "component", "backlink").Value(); v != 2 {
+		t.Errorf("retry_total = %d, want 2", v)
+	}
+	if rb.Spent() != 3 {
+		t.Errorf("Spent = %d, want 3", rb.Spent())
+	}
+}
+
+func TestResilientBacklinksBudget(t *testing.T) {
+	svc := NewBacklinkService(smallGraph(), 0, 0, 1)
+	reg := obs.NewRegistry()
+	rb := &ResilientBacklinks{
+		Query:   svc.Backlinks,
+		Policy:  retry.Policy{MaxAttempts: 3, Seed: 1},
+		Budget:  2,
+		Clock:   &instantClock{},
+		Metrics: reg,
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := rb.Backlinks("http://a.example/search.html"); err != nil {
+			t.Fatalf("query %d within budget failed: %v", i, err)
+		}
+	}
+	if _, err := rb.Backlinks("http://b.example/search.html"); !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if rb.Spent() != 2 {
+		t.Errorf("Spent = %d, want 2 (exhausted query not charged)", rb.Spent())
+	}
+	if v := reg.Counter("backlink_budget_exhausted_total").Value(); v != 1 {
+		t.Errorf("backlink_budget_exhausted_total = %d, want 1", v)
+	}
+	if v := reg.Gauge("backlink_budget_spent").Value(); v != 2 {
+		t.Errorf("backlink_budget_spent = %v, want 2", v)
+	}
+}
+
+// TestResilientBacklinksBudgetCountsRetries: retries burn budget too —
+// the budget is the total bill the "search engine" sees.
+func TestResilientBacklinksBudgetCountsRetries(t *testing.T) {
+	rb := &ResilientBacklinks{
+		Query:  func(u string) ([]string, error) { return nil, ErrUnavailable },
+		Policy: retry.Policy{MaxAttempts: 3, Seed: 1},
+		Budget: 5,
+		Clock:  &instantClock{},
+	}
+	_, _ = rb.Backlinks("http://a.example/") // 3 attempts
+	if rb.Spent() != 3 {
+		t.Fatalf("Spent = %d, want 3", rb.Spent())
+	}
+	_, err := rb.Backlinks("http://b.example/") // 2 attempts, then exhausted
+	if !errors.Is(err, ErrBudgetExhausted) {
+		t.Fatalf("err = %v, want ErrBudgetExhausted", err)
+	}
+	if rb.Spent() != 5 {
+		t.Fatalf("Spent = %d, want 5", rb.Spent())
+	}
+}
+
+func TestResilientBacklinksBreakerTripsOnDeadService(t *testing.T) {
+	svc := NewBacklinkService(smallGraph(), 0, 0, 1)
+	svc.SetUnavailable(true)
+	clk := &instantClock{}
+	reg := obs.NewRegistry()
+	rb := &ResilientBacklinks{
+		Query:   svc.Backlinks,
+		Policy:  retry.Policy{MaxAttempts: 2, Seed: 1},
+		Breaker: retry.NewBreaker(3, time.Hour, clk, reg, "backlink"),
+		Clock:   clk,
+		Metrics: reg,
+	}
+	// First query: 2 failing attempts. Second: one more failure trips
+	// the breaker; its retry fast-fails.
+	if _, err := rb.Backlinks("http://a.example/search.html"); err == nil {
+		t.Fatal("expected failure")
+	}
+	_, err := rb.Backlinks("http://b.example/search.html")
+	if !errors.Is(err, retry.ErrOpen) {
+		t.Fatalf("err = %v, want breaker open", err)
+	}
+	if v := reg.Counter("breaker_trips_total", "component", "backlink").Value(); v != 1 {
+		t.Errorf("breaker_trips_total = %d, want 1", v)
+	}
+}

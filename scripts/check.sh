@@ -12,6 +12,11 @@ go test -race ./...
 go test -run xxx -bench 'BenchmarkCosine|BenchmarkKMeansEngines|BenchmarkKMeans454' \
     -benchtime=1x ./internal/vector ./internal/cluster .
 
+# Fuzz smoke: a few seconds on each parser-facing target so the corpora
+# stay exercised and a crashing seed fails CI fast.
+go test -run xxx -fuzz FuzzTokenize -fuzztime 3s ./internal/htmlx
+go test -run xxx -fuzz FuzzParseForms -fuzztime 3s ./internal/form
+
 # Metrics smoke: serve a small corpus with -metrics on a random port and
 # assert the Prometheus exposition is populated with domain telemetry.
 tmp=$(mktemp -d)
@@ -31,10 +36,32 @@ done
 [ -n "$addr" ] || { echo "check.sh: directoryd did not start"; cat "$tmp/directoryd.log"; exit 1; }
 curl -fsS "http://$addr/metrics" >"$tmp/metrics.txt"
 [ -s "$tmp/metrics.txt" ] || { echo "check.sh: empty /metrics exposition"; exit 1; }
-for m in kmeans_moved_fraction crawler_fetch_seconds backlink_miss_total; do
+for m in kmeans_moved_fraction crawler_fetch_seconds backlink_miss_total retry_total breaker_state; do
     grep -q "^$m" "$tmp/metrics.txt" || { echo "check.sh: /metrics missing $m"; exit 1; }
 done
 curl -fsS "http://$addr/debug/pprof/" >/dev/null
+kill "$dpid"
+dpid=""
+
+# Degradation smoke: kill the backlink service mid-startup (after 10
+# queries) and assert directoryd still comes up serving clusters, with
+# the degradation visible in /metrics.
+"$tmp/directoryd" -in "$tmp/corpus.json.gz" -addr 127.0.0.1:0 -k 4 -metrics \
+    -backlink-outage-after 10 >"$tmp/directoryd2.log" 2>&1 &
+dpid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|.*on http://\([^/]*\)/.*|\1|p' "$tmp/directoryd2.log" | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+[ -n "$addr" ] || { echo "check.sh: directoryd did not survive backlink outage"; cat "$tmp/directoryd2.log"; exit 1; }
+curl -fsS "http://$addr/" >/dev/null || { echo "check.sh: directoryd root not serving after outage"; exit 1; }
+curl -fsS "http://$addr/metrics" >"$tmp/metrics2.txt"
+grep -q '^degraded_runs_total' "$tmp/metrics2.txt" || {
+    echo "check.sh: /metrics missing degraded_runs_total after backlink outage"; exit 1; }
+grep -q 'clustering degraded' "$tmp/directoryd2.log" || {
+    echo "check.sh: directoryd did not log degraded clustering"; exit 1; }
 kill "$dpid"
 dpid=""
 
