@@ -1,0 +1,91 @@
+package cafc
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAppendReembedEquivalentToOneShot pins the incremental path to the
+// paper's batch pipeline: growing a corpus with Append over many batches
+// and then re-embedding must yield the same model — and the same CAFC-C
+// clustering under the same seed — as building the corpus in one shot.
+// 454 pages matches the paper's experimental corpus size (Section 6).
+func TestAppendReembedEquivalentToOneShot(t *testing.T) {
+	docs, labels, _, _ := testDocs(t, 2007, 454)
+
+	oneShot, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := oneShot.ClusterC(8, 5)
+
+	inc, err := NewCorpus(docs[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 50; lo < len(docs); lo += 64 {
+		hi := lo + 64
+		if hi > len(docs) {
+			hi = len(docs)
+		}
+		added, err := inc.Append(docs[lo:hi])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if added != hi-lo {
+			t.Fatalf("batch [%d:%d]: added %d", lo, hi, added)
+		}
+	}
+	if inc.Len() != oneShot.Len() {
+		t.Fatalf("incremental corpus has %d pages, one-shot %d", inc.Len(), oneShot.Len())
+	}
+	// The final DF tables are order-independent, so after a re-embed the
+	// two models agree on every pairwise similarity (up to float ulp
+	// noise from term-interning order).
+	inc.Reembed()
+	for _, pair := range [][2]int{{0, 1}, {0, 453}, {100, 350}, {222, 223}} {
+		a, b := oneShot.Similarity(pair[0], pair[1]), inc.Similarity(pair[0], pair[1])
+		if math.Abs(a-b) > 1e-12 {
+			t.Errorf("sim(%d,%d): one-shot %v vs incremental %v", pair[0], pair[1], a, b)
+		}
+	}
+
+	got := inc.ClusterC(8, 5)
+	wantE, wantF := want.Quality(labels)
+	gotE, gotF := got.Quality(labels)
+	if math.Abs(wantE-gotE) > 1e-9 || math.Abs(wantF-gotF) > 1e-9 {
+		t.Errorf("quality: one-shot (E=%v F=%v) vs incremental (E=%v F=%v)",
+			wantE, wantF, gotE, gotF)
+	}
+	for u, c := range want.Assign {
+		if got.Assign[u] != c {
+			t.Errorf("%s: one-shot cluster %d, incremental %d", u, c, got.Assign[u])
+		}
+	}
+}
+
+// TestAppendSkipPolicy pins Append to the corpus's admission policy.
+func TestAppendSkipPolicy(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 3, 8)
+	formless := Document{URL: "http://x.example/", HTML: "<p>no form</p>"}
+
+	strict, err := NewCorpus(docs[:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := strict.Append([]Document{formless}); err == nil {
+		t.Fatal("strict corpus must reject a formless doc")
+	}
+
+	lax, err := NewCorpus(docs[:4], Options{SkipNonSearchable: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	added, err := lax.Append([]Document{formless, docs[4]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if added != 1 || lax.Len() != 5 || len(lax.Skipped) != 1 {
+		t.Errorf("skip bookkeeping: added=%d len=%d skipped=%v", added, lax.Len(), lax.Skipped)
+	}
+}

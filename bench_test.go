@@ -18,10 +18,12 @@ package cafc
 //	BenchmarkPipeline  — end-to-end corpus build + CAFC-CH
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	icafc "cafc/internal/cafc"
 	"cafc/internal/cluster"
@@ -320,4 +322,54 @@ func BenchmarkPostQuery(b *testing.B) {
 	for _, r := range rows {
 		b.ReportMetric(r.FMeasure, unit("F/"+r.Approach+"/"+r.Subset))
 	}
+}
+
+// BenchmarkIngest measures live streaming-ingestion throughput: each
+// document flows through the full batch pipeline (parse, DF growth,
+// incremental compile, mini-batch assignment, epoch publish). Reported
+// as docs/sec alongside ns/op.
+func BenchmarkIngest(b *testing.B) {
+	c := webgen.Generate(webgen.Config{Seed: 77, FormPages: 200})
+	var docs []Document
+	for _, u := range c.FormPages {
+		docs = append(docs, Document{URL: u, HTML: c.ByURL[u].HTML})
+	}
+	genesis := docs[:40]
+	streamed := docs[40:]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		corpus, err := NewCorpus(genesis)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cl := corpus.ClusterC(8, 1)
+		l, err := NewLive(corpus, genesis, cl, LiveConfig{
+			K: 8, Seed: 1, BatchSize: 32, FlushInterval: time.Millisecond,
+			DriftThreshold: 2, // isolate the incremental path from rebuild cost
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		for _, d := range streamed {
+			for {
+				err := l.Ingest(d)
+				if err == nil {
+					break
+				}
+				if !errors.Is(err, ErrBacklog) {
+					b.Fatal(err)
+				}
+			}
+		}
+		for l.Epoch().Corpus.Len() < len(docs) {
+			time.Sleep(100 * time.Microsecond)
+		}
+		b.StopTimer()
+		l.Close()
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(b.N*len(streamed))/b.Elapsed().Seconds(), "docs/sec")
 }

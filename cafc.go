@@ -130,10 +130,11 @@ const (
 // Corpus is a set of form pages embedded in the form-page model, ready to
 // cluster.
 type Corpus struct {
-	model   *icafc.Model
-	urls    []string
-	weights form.Weights
-	retry   *Retry
+	model             *icafc.Model
+	urls              []string
+	weights           form.Weights
+	retry             *Retry
+	skipNonSearchable bool
 	// Skipped lists input URLs dropped for having no searchable form
 	// (only populated with Options.SkipNonSearchable).
 	Skipped []string
@@ -169,6 +170,7 @@ func NewCorpus(docs []Document, opts ...Options) (*Corpus, error) {
 		c.urls = append(c.urls, d.URL)
 	}
 	c.retry = o.Retry
+	c.skipNonSearchable = o.SkipNonSearchable
 	c.model = icafc.BuildMetrics(fps, o.UniformWeights, o.Metrics)
 	c.model.Features = o.Features
 	if o.C1 != 0 || o.C2 != 0 {
@@ -176,6 +178,46 @@ func NewCorpus(docs []Document, opts ...Options) (*Corpus, error) {
 	}
 	return c, nil
 }
+
+// Append grows the corpus in place with newly discovered form pages:
+// the document-frequency tables absorb the new documents, each new page
+// is embedded against the updated tables, and the compiled engine grows
+// incrementally (existing packed vectors stay valid — term IDs are
+// append-only). Existing pages keep the IDF weights of the corpus state
+// they were embedded under; Reembed erases that staleness. Documents
+// without a searchable form follow the corpus's SkipNonSearchable
+// policy, exactly as NewCorpus would.
+//
+// Append mutates the corpus and must not race with concurrent readers;
+// the live-directory layer (Live) builds each epoch on a copy and
+// publishes it atomically instead.
+func (c *Corpus) Append(docs []Document) (added int, err error) {
+	var fps []*form.FormPage
+	for _, d := range docs {
+		fp, perr := form.Parse(d.URL, d.HTML, c.weights)
+		if perr != nil {
+			if errors.Is(perr, form.ErrNoSearchableForm) && c.skipNonSearchable {
+				c.Skipped = append(c.Skipped, d.URL)
+				continue
+			}
+			return 0, fmt.Errorf("cafc: %s: %w", d.URL, perr)
+		}
+		fps = append(fps, fp)
+	}
+	for _, fp := range fps {
+		c.urls = append(c.urls, fp.URL)
+	}
+	c.model.AppendPages(fps)
+	return len(fps), nil
+}
+
+// Reembed recomputes every page's TF-IDF vectors against the current
+// document-frequency tables, erasing the stale-IDF approximation Append
+// accumulates. A corpus grown by Append and then reembedded is
+// equivalent to one built by a single NewCorpus call over the same
+// documents. Pages without retained extraction state (loaded from a
+// snapshot) keep their stored vectors.
+func (c *Corpus) Reembed() { c.model.ReembedAll() }
 
 // Len returns the number of admitted form pages.
 func (c *Corpus) Len() int { return len(c.urls) }

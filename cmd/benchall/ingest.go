@@ -1,0 +1,118 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"time"
+
+	"cafc"
+	"cafc/internal/obs"
+	"cafc/internal/webgen"
+)
+
+// ingestResult is the BENCH_ingest.json schema: one streaming-ingestion
+// throughput measurement, with enough run configuration to reproduce it.
+type ingestResult struct {
+	Seed        int64   `json:"seed"`
+	FormPages   int     `json:"form_pages"`
+	GenesisSize int     `json:"genesis_size"`
+	Streamed    int     `json:"streamed"`
+	K           int     `json:"k"`
+	BatchSize   int     `json:"batch_size"`
+	Millis      int64   `json:"millis"`
+	DocsPerSec  float64 `json:"docs_per_sec"`
+	FinalEpoch  int64   `json:"final_epoch"`
+	Rebuilds    int64   `json:"rebuilds"`
+	Entropy     float64 `json:"entropy"`
+	FMeasure    float64 `json:"f_measure"`
+}
+
+// ingestBench streams a generated corpus through the live pipeline and
+// measures end-to-end ingestion throughput: genesis from the first
+// quarter, the rest over Ingest, drift rebuilds enabled at the default
+// threshold. Quality of the final epoch is evaluated against the
+// generator's gold labels, so a throughput win that degrades clustering
+// shows up in the same row.
+func ingestBench(n int, seed int64, reg *obs.Registry) (ingestResult, error) {
+	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n})
+	var docs []cafc.Document
+	labels := make(map[string]string, n)
+	for _, u := range c.FormPages {
+		docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
+		labels[u] = string(c.Labels[u])
+	}
+	genesisSize := n / 4
+	if genesisSize < 8 {
+		genesisSize = 8
+	}
+	corpus, err := cafc.NewCorpus(docs[:genesisSize], cafc.Options{Metrics: reg})
+	if err != nil {
+		return ingestResult{}, err
+	}
+	k := len(webgen.Domains)
+	cl := corpus.ClusterC(k, seed)
+	const batchSize = 32
+	l, err := cafc.NewLive(corpus, docs[:genesisSize], cl, cafc.LiveConfig{
+		K: k, Seed: seed, BatchSize: batchSize, FlushInterval: time.Millisecond,
+	})
+	if err != nil {
+		return ingestResult{}, err
+	}
+	defer l.Close()
+
+	streamed := docs[genesisSize:]
+	t0 := time.Now()
+	for _, d := range streamed {
+		for {
+			err := l.Ingest(d)
+			if err == nil {
+				break
+			}
+			if !errors.Is(err, cafc.ErrBacklog) {
+				return ingestResult{}, err
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	for l.Epoch().Corpus.Len() < len(docs) {
+		time.Sleep(time.Millisecond)
+	}
+	elapsed := time.Since(t0)
+
+	e := l.Epoch()
+	entropy, f := e.Clustering.Quality(labels)
+	st := l.Status()
+	return ingestResult{
+		Seed:        seed,
+		FormPages:   n,
+		GenesisSize: genesisSize,
+		Streamed:    len(streamed),
+		K:           k,
+		BatchSize:   batchSize,
+		Millis:      elapsed.Milliseconds(),
+		DocsPerSec:  float64(len(streamed)) / elapsed.Seconds(),
+		FinalEpoch:  e.Epoch,
+		Rebuilds:    st.Rebuilds,
+		Entropy:     entropy,
+		FMeasure:    f,
+	}, nil
+}
+
+// writeIngestJSON renders the result and writes it to path.
+func writeIngestJSON(r ingestResult, path string) error {
+	fmt.Printf("%10s %10s %10s %10s %10s %10s %10s\n",
+		"streamed", "ms", "docs/sec", "epoch", "rebuilds", "entropy", "F")
+	fmt.Printf("%10d %10d %10.0f %10d %10d %10.3f %10.3f\n",
+		r.Streamed, r.Millis, r.DocsPerSec, r.FinalEpoch, r.Rebuilds, r.Entropy, r.FMeasure)
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s\n", path)
+	return nil
+}

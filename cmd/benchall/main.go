@@ -31,8 +31,9 @@ func main() {
 		n       = flag.Int("n", 454, "form pages in the generated corpus")
 		seed    = flag.Int64("seed", 2007, "corpus seed")
 		runs    = flag.Int("runs", experiments.DefaultRuns, "CAFC-C averaging runs")
-		exp     = flag.String("exp", "all", "experiment: all | figure2 | table1 | figure3 | table2 | weights | hubstats | hacseeds | errors | seeding | hubdesign | futurework | postquery | selectk | engines | scaling")
+		exp     = flag.String("exp", "all", "experiment: all | figure2 | table1 | figure3 | table2 | weights | hubstats | hacseeds | errors | seeding | hubdesign | futurework | postquery | selectk | engines | scaling | ingest")
 		sizes   = flag.String("sizes", "100,200,454", "corpus sizes for -exp scaling")
+		jsonOut = flag.String("json", "BENCH_ingest.json", "output file for -exp ingest")
 		metrics = flag.Bool("metrics", false, "collect run telemetry and dump the metrics snapshot to stderr on exit")
 	)
 	flag.Parse()
@@ -53,6 +54,16 @@ func main() {
 		}()
 	}
 
+	if *exp == "ingest" {
+		res, err := ingestBench(*n, *seed, reg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeIngestJSON(res, *jsonOut); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 	if *exp == "scaling" {
 		var ns []int
 		for _, s := range strings.Split(*sizes, ",") {

@@ -1,0 +1,303 @@
+// Live mode: directoryd grows its directory while serving it. Documents
+// arrive over POST /ingest into the bounded stream queue; each published
+// epoch atomically swaps in a freshly built directory UI, so browsing,
+// search and classification never block on (or observe a half-built)
+// model.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cafc"
+	"cafc/internal/dataset"
+	"cafc/internal/directory"
+	"cafc/internal/obs"
+	"cafc/internal/stream"
+	"cafc/internal/webgraph"
+)
+
+// liveParams carries the parsed flags into live mode.
+type liveParams struct {
+	in            string
+	addr          string
+	data          string
+	k             int
+	seed          int64
+	metrics       bool
+	retries       int
+	budget        int
+	batch         int
+	queue         int
+	flush         time.Duration
+	drift         float64
+	snapshotEvery int
+}
+
+// liveServer is the HTTP face of a cafc.Live: it holds the latest
+// directory UI behind an atomic pointer (swapped on every epoch
+// publish) and exposes the ingest/status/classify/health endpoints.
+type liveServer struct {
+	live *cafc.Live
+	ui   atomic.Pointer[http.Handler]
+}
+
+// onPublish rebuilds the directory UI for a freshly published epoch and
+// swaps it in. It runs in the ingest worker goroutine; readers keep
+// serving the previous UI until the store below.
+func (ls *liveServer) onPublish(e *cafc.LiveEpoch) {
+	html := make(map[string]string, len(e.Docs))
+	for _, d := range e.Docs {
+		html[d.URL] = d.HTML
+	}
+	labels := make([]string, len(e.Clustering.TopTerms))
+	for i, terms := range e.Clustering.TopTerms {
+		labels[i] = strings.Join(terms, " ")
+	}
+	h := directory.Build(e.Clustering.Clusters, labels, html).Handler()
+	ls.ui.Store(&h)
+}
+
+// ingestRequest is one POST /ingest payload element.
+type ingestRequest struct {
+	URL  string `json:"url"`
+	HTML string `json:"html"`
+}
+
+func (ls *liveServer) handleIngest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 8<<20))
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Accept a single {"url","html"} object or an array of them.
+	var docs []ingestRequest
+	if err := json.Unmarshal(body, &docs); err != nil {
+		var one ingestRequest
+		if err := json.Unmarshal(body, &one); err != nil {
+			http.Error(w, "body must be {\"url\",\"html\"} or an array of them", http.StatusBadRequest)
+			return
+		}
+		docs = []ingestRequest{one}
+	}
+	queued := 0
+	for _, d := range docs {
+		if d.URL == "" {
+			http.Error(w, "url required", http.StatusBadRequest)
+			return
+		}
+		if err := ls.live.Ingest(cafc.Document{URL: d.URL, HTML: d.HTML}); err != nil {
+			status := http.StatusServiceUnavailable
+			if errors.Is(err, cafc.ErrBacklog) {
+				status = http.StatusTooManyRequests
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			json.NewEncoder(w).Encode(map[string]any{"queued": queued, "error": err.Error()})
+			return
+		}
+		queued++
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusAccepted)
+	json.NewEncoder(w).Encode(map[string]any{"queued": queued})
+}
+
+func (ls *liveServer) handleStatus(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ls.live.Status())
+}
+
+func (ls *liveServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if ls.live.Epoch() == nil {
+		http.Error(w, "cold: no epoch published yet", http.StatusServiceUnavailable)
+		return
+	}
+	io.WriteString(w, "ok\n")
+}
+
+func (ls *liveServer) handleClassify(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	e := ls.live.Epoch()
+	if e == nil {
+		http.Error(w, "cold: no epoch published yet", http.StatusServiceUnavailable)
+		return
+	}
+	var req ingestRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	p, ok, err := e.Classify(cafc.Document{URL: req.URL, HTML: req.HTML})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{
+		"cluster":    p.Cluster,
+		"label":      p.Label,
+		"similarity": p.Similarity,
+		"ok":         ok,
+		"epoch":      e.Epoch,
+	})
+}
+
+// handleUI serves the current epoch's directory pages, or 503 before the
+// first epoch exists.
+func (ls *liveServer) handleUI(w http.ResponseWriter, r *http.Request) {
+	h := ls.ui.Load()
+	if h == nil {
+		http.Error(w, "cold: no epoch published yet", http.StatusServiceUnavailable)
+		return
+	}
+	(*h).ServeHTTP(w, r)
+}
+
+func (ls *liveServer) mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/ingest", ls.handleIngest)
+	mux.HandleFunc("/status", ls.handleStatus)
+	mux.HandleFunc("/healthz", ls.handleHealthz)
+	mux.HandleFunc("/classify", ls.handleClassify)
+	mux.HandleFunc("/", ls.handleUI)
+	return mux
+}
+
+// startLive builds the cafc.Live behind the server: recovery from an
+// existing data dir wins; otherwise a dataset (when given) seeds the
+// genesis epoch; otherwise the directory starts cold and the first
+// ingested batch founds the model.
+func startLive(p liveParams, reg *obs.Registry) (*liveServer, error) {
+	ls := &liveServer{}
+	opts := cafc.Options{SkipNonSearchable: true, Metrics: reg}
+	if p.retries > 0 {
+		opts.Retry = &cafc.Retry{MaxAttempts: p.retries, Budget: p.budget, Seed: p.seed}
+	}
+	cfg := cafc.LiveConfig{
+		K:              p.k,
+		Seed:           p.seed,
+		QueueSize:      p.queue,
+		BatchSize:      p.batch,
+		FlushInterval:  p.flush,
+		DriftThreshold: p.drift,
+		Dir:            p.data,
+		SnapshotEvery:  p.snapshotEvery,
+		OnPublish:      ls.onPublish,
+	}
+
+	if p.data != "" && stream.HasState(p.data) {
+		log.Printf("recovering live directory from %s", p.data)
+		live, err := cafc.RecoverLive(cfg, opts)
+		if err != nil {
+			return nil, err
+		}
+		ls.live = live
+		return ls, nil
+	}
+
+	var (
+		corpus *cafc.Corpus
+		docs   []cafc.Document
+		cl     *cafc.Clustering
+	)
+	if p.in != "" {
+		d, err := dataset.Load(p.in)
+		if err != nil {
+			return nil, err
+		}
+		c := d.Corpus()
+		for _, u := range c.FormPages {
+			docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
+		}
+		corpus, err = cafc.NewCorpus(docs, opts)
+		if err != nil {
+			return nil, err
+		}
+		g := webgraph.FromCorpus(c)
+		svc := webgraph.NewBacklinkService(g, 100, 0, p.seed)
+		svc.Metrics = reg
+		cl = corpus.ClusterCH(p.k, svc.Backlinks, c.RootOf, p.seed)
+		if cl.Degraded != "" {
+			log.Printf("genesis clustering degraded: %s", cl.Degraded)
+		}
+	}
+	live, err := cafc.NewLive(corpus, docs, cl, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	ls.live = live
+	return ls, nil
+}
+
+// runLive is live-mode main: start the pipeline, serve until a signal,
+// then stop HTTP intake and drain the stream (flushing the queue and
+// writing the final snapshot).
+func runLive(p liveParams, reg *obs.Registry, ring *obs.RingSink, sigCtx context.Context) error {
+	ls, err := startLive(p, reg)
+	if err != nil {
+		return err
+	}
+
+	var handler http.Handler = ls.mux()
+	if p.metrics {
+		dm := obs.DebugMux(reg, ring, true)
+		dm.Handle("/", obs.InstrumentHandler(reg, handler))
+		handler = dm
+	}
+
+	ln, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		return err
+	}
+	mode := "cold"
+	if e := ls.live.Epoch(); e != nil {
+		mode = fmt.Sprintf("epoch %d, %d pages", e.Epoch, e.Corpus.Len())
+	}
+	fmt.Printf("live directory (%s) on http://%s/\n", mode, ln.Addr())
+	if p.metrics {
+		fmt.Printf("metrics on http://%s/metrics\n", ln.Addr())
+	}
+
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      120 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-sigCtx.Done():
+	}
+	log.Print("draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := ls.live.Drain(shutCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	log.Print("drained")
+	return nil
+}

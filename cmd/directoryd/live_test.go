@@ -1,0 +1,247 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cafc"
+	"cafc/internal/webgen"
+)
+
+// TestServeWhileIngest is the serve-while-ingest acceptance pin, run
+// under -race in check.sh: readers hammer the directory UI, /classify
+// and /status while a writer streams documents through POST /ingest.
+// Every query must succeed (the epoch swap is atomic — there is no
+// half-built window), and the observed epoch sequence must be
+// monotonically non-decreasing.
+func TestServeWhileIngest(t *testing.T) {
+	c := webgen.Generate(webgen.Config{Seed: 31, FormPages: 60})
+	var docs []cafc.Document
+	for _, u := range c.FormPages {
+		docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
+	}
+	genesis := docs[:20]
+	corpus, err := cafc.NewCorpus(genesis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := corpus.ClusterC(4, 1)
+
+	ls := &liveServer{}
+	live, err := cafc.NewLive(corpus, genesis, cl, cafc.LiveConfig{
+		K: 4, Seed: 1, BatchSize: 4, FlushInterval: 5 * time.Millisecond,
+		OnPublish: ls.onPublish,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls.live = live
+	defer live.Close()
+
+	ts := httptest.NewServer(ls.mux())
+	defer ts.Close()
+
+	// Readiness: genesis was published, so /healthz must be green.
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz = %d before ingest", resp.StatusCode)
+	}
+
+	var (
+		failed  atomic.Int64
+		queries atomic.Int64
+		done    = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	paths := []string{"/", "/search?q=title", "/status", "/healthz"}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var lastEpoch int64
+			for i := 0; ; i++ {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				p := paths[(i+id)%len(paths)]
+				resp, err := ts.Client().Get(ts.URL + p)
+				if err != nil {
+					failed.Add(1)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				queries.Add(1)
+				if resp.StatusCode != http.StatusOK {
+					failed.Add(1)
+					t.Errorf("GET %s = %d: %s", p, resp.StatusCode, body)
+					return
+				}
+				if p == "/status" {
+					var st cafc.LiveStatus
+					if err := json.Unmarshal(body, &st); err != nil {
+						failed.Add(1)
+						t.Errorf("status decode: %v", err)
+						return
+					}
+					if st.Epoch < lastEpoch {
+						failed.Add(1)
+						t.Errorf("epoch went backwards: %d after %d", st.Epoch, lastEpoch)
+						return
+					}
+					lastEpoch = st.Epoch
+				}
+			}
+		}(r)
+	}
+	// One classify reader exercising the per-epoch classifier.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			body, _ := json.Marshal(ingestRequest{URL: docs[i%20].URL, HTML: docs[i%20].HTML})
+			resp, err := ts.Client().Post(ts.URL+"/classify", "application/json", bytes.NewReader(body))
+			if err != nil {
+				failed.Add(1)
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			queries.Add(1)
+			if resp.StatusCode != http.StatusOK {
+				failed.Add(1)
+				t.Errorf("POST /classify = %d", resp.StatusCode)
+				return
+			}
+		}
+	}()
+
+	// The writer: stream the remaining 40 documents one POST at a time.
+	for _, d := range docs[20:] {
+		body, _ := json.Marshal(ingestRequest{URL: d.URL, HTML: d.HTML})
+		for {
+			resp, err := ts.Client().Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusAccepted {
+				break
+			}
+			if resp.StatusCode == http.StatusTooManyRequests {
+				time.Sleep(time.Millisecond) // backpressure: retry
+				continue
+			}
+			t.Fatalf("POST /ingest = %d", resp.StatusCode)
+		}
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if e := live.Epoch(); e != nil && e.Corpus.Len() == len(docs) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	close(done)
+	wg.Wait()
+
+	if failed.Load() != 0 {
+		t.Fatalf("%d of %d queries failed during ingest", failed.Load(), queries.Load())
+	}
+	if queries.Load() == 0 {
+		t.Fatal("no reader queries ran — test is vacuous")
+	}
+	e := live.Epoch()
+	if e.Corpus.Len() != len(docs) {
+		t.Fatalf("final corpus %d pages, want %d", e.Corpus.Len(), len(docs))
+	}
+	// The UI swapped to the final epoch: the front page lists every
+	// cluster of the latest clustering.
+	resp, err = http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	page, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !bytes.Contains(page, []byte(fmt.Sprintf("%d databases", len(docs)))) &&
+		!bytes.Contains(page, []byte("cluster")) {
+		t.Errorf("front page looks stale: %.200s", page)
+	}
+}
+
+// TestColdHealthz pins readiness gating: a cold live server reports 503
+// everywhere until the first epoch is founded by ingest.
+func TestColdHealthz(t *testing.T) {
+	ls := &liveServer{}
+	live, err := cafc.NewLive(nil, nil, nil, cafc.LiveConfig{
+		K: 2, BatchSize: 4, FlushInterval: 5 * time.Millisecond,
+		OnPublish: ls.onPublish,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls.live = live
+	defer live.Close()
+	ts := httptest.NewServer(ls.mux())
+	defer ts.Close()
+
+	for _, p := range []string{"/healthz", "/"} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("cold GET %s = %d, want 503", p, resp.StatusCode)
+		}
+	}
+
+	c := webgen.Generate(webgen.Config{Seed: 37, FormPages: 8})
+	var payload []ingestRequest
+	for _, u := range c.FormPages {
+		payload = append(payload, ingestRequest{URL: u, HTML: c.ByURL[u].HTML})
+	}
+	body, _ := json.Marshal(payload)
+	resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("POST /ingest = %d", resp.StatusCode)
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return // founded: ready
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("healthz never turned ready after founding ingest: %+v", live.Status())
+}

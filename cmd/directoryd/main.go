@@ -7,8 +7,13 @@
 //
 //	directoryd -in corpus.json.gz -addr :8080
 //	directoryd -in corpus.json.gz -metrics   # adds /metrics, /debug/*
+//	directoryd -live -in corpus.json.gz -data ./state   # streaming mode
+//	directoryd -live -in "" -data ./state               # cold start
 //
-// Endpoints: /  /cluster?id=N  /search?q=...  /select?q=...
+// Endpoints: /  /cluster?id=N  /search?q=...  /select?q=...  /healthz
+// With -live: POST /ingest, GET /status, POST /classify; the directory
+// rebuilds and hot-swaps on every published model epoch, and /healthz
+// reports 503 until the first epoch exists.
 // With -metrics: /metrics (Prometheus text), /debug/vars (JSON),
 // /debug/trace (startup spans), /debug/pprof/*.
 package main
@@ -17,6 +22,7 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -50,6 +56,15 @@ func main() {
 		// service dies permanently after N answered queries, so startup
 		// exercises the breaker-trip + degraded-hub path end to end.
 		outageAfter = flag.Int("backlink-outage-after", -1, "kill the backlink service after N queries (-1 = never; testing aid)")
+
+		// Live-mode flags (see runLive).
+		live          = flag.Bool("live", false, "streaming mode: POST /ingest grows the directory while it serves")
+		data          = flag.String("data", "", "durable state dir for -live (WAL + snapshots); recovery wins over -in")
+		batch         = flag.Int("batch", 0, "live ingest batch size (0 = default)")
+		queue         = flag.Int("queue", 0, "live ingest queue bound (0 = default)")
+		flush         = flag.Duration("flush", 0, "live partial-batch flush interval (0 = default)")
+		drift         = flag.Float64("drift", 0, "reassignment fraction that triggers a full re-cluster (0 = default, >=1 disables)")
+		snapshotEvery = flag.Int("snapshot-every", 0, "checkpoint a snapshot every N WAL records (0 = only on drain)")
 	)
 	flag.Parse()
 
@@ -67,6 +82,31 @@ func main() {
 		ring = obs.NewRingSink(256)
 		ctx = obs.WithTracer(ctx, obs.NewTracer(ring, obs.LogSink{Logger: log.Default()}))
 	}
+
+	if *live {
+		sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		err := runLive(liveParams{
+			in:            *in,
+			addr:          *addr,
+			data:          *data,
+			k:             *k,
+			seed:          *seed,
+			metrics:       *metrics,
+			retries:       *retries,
+			budget:        *budget,
+			batch:         *batch,
+			queue:         *queue,
+			flush:         *flush,
+			drift:         *drift,
+			snapshotEvery: *snapshotEvery,
+		}, reg, ring, sigCtx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	ctx, span := obs.Start(ctx, "startup")
 
 	_, loadSpan := obs.Start(ctx, "load")
@@ -130,6 +170,14 @@ func main() {
 		mux.Handle("/", obs.InstrumentHandler(reg, handler))
 		handler = mux
 	}
+	// Static mode is ready as soon as it serves (the model was built
+	// before the listener opened); live mode gates /healthz on epoch >= 1.
+	root := http.NewServeMux()
+	root.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	root.Handle("/", handler)
+	handler = root
 
 	// Listen before constructing the server so -addr :0 resolves to a
 	// real port we can print (scripts parse this line).

@@ -1,0 +1,97 @@
+package cafc
+
+import (
+	"time"
+
+	"cafc/internal/form"
+	"cafc/internal/vector"
+)
+
+// Clone returns a copy-on-write snapshot of the model for incremental
+// growth: the page and compiled-vector slices are fresh (their immutable
+// elements are shared), and the document-frequency tables and term
+// dictionaries are deep-copied so AppendPages on the clone never mutates
+// state a concurrently served model still reads. This is the epoch
+// builder's entry point — clone the served model, append, publish.
+func (m *Model) Clone() *Model {
+	c := *m
+	c.Pages = append([]*Page(nil), m.Pages...)
+	c.FCDF = m.FCDF.Clone()
+	c.PCDF = m.PCDF.Clone()
+	if m.compiled != nil {
+		c.compiled = &compiledPages{
+			pcDict: m.compiled.pcDict.Clone(),
+			fcDict: m.compiled.fcDict.Clone(),
+			pc:     append([]vector.Compiled(nil), m.compiled.pc...),
+			fc:     append([]vector.Compiled(nil), m.compiled.fc...),
+		}
+	}
+	return &c
+}
+
+// AppendPages grows the model with newly extracted form pages: the
+// document-frequency tables absorb the new documents first, then each
+// new page is embedded against the updated tables and compiled
+// incrementally against the existing dictionaries (which only grow, so
+// previously compiled vectors stay valid).
+//
+// Existing pages keep the TF-IDF weights of the corpus state they were
+// embedded under — the standard incremental-indexing approximation.
+// Their stale IDF drift is what the stream layer's drift detector
+// watches for; ReembedAll removes it.
+//
+// Not safe for concurrent use with readers of this model; incremental
+// writers append to a Clone and atomically publish the result.
+func (m *Model) AppendPages(fps []*form.FormPage) {
+	if len(fps) == 0 {
+		return
+	}
+	var t0 time.Time
+	if m.Metrics != nil {
+		t0 = time.Now()
+	}
+	for _, fp := range fps {
+		m.FCDF.AddDocWeighted(fp.FCTerms)
+		m.PCDF.AddDocWeighted(fp.PCTerms)
+	}
+	start := len(m.Pages)
+	for _, fp := range fps {
+		m.Pages = append(m.Pages, m.Embed(fp))
+	}
+	if cp := m.compiled; cp != nil && !m.DisableCompiled {
+		for _, p := range m.Pages[start:] {
+			cp.pc = append(cp.pc, vector.Compile(p.PC, cp.pcDict))
+			cp.fc = append(cp.fc, vector.Compile(p.FC, cp.fcDict))
+		}
+	} else {
+		m.EnsureCompiled()
+	}
+	if m.Metrics != nil {
+		vector.ObserveTFIDFBuild(m.Metrics, 2*len(fps), time.Since(t0))
+	}
+}
+
+// ReembedAll recomputes every page's TF-IDF vectors against the current
+// document-frequency tables and rebuilds the compiled representation
+// from scratch, erasing the stale-IDF drift AppendPages accumulates. A
+// model grown page by page and then reembedded is equivalent to one
+// built in a single Build call over the same documents (term weights
+// are identical; dictionary ID assignment may differ, which similarity
+// is invariant to).
+//
+// Pages without a retained extraction result (Raw == nil, e.g. loaded
+// from a snapshot) keep their stored vectors: there is nothing to
+// re-derive them from.
+func (m *Model) ReembedAll() {
+	pages := make([]*Page, len(m.Pages))
+	for i, p := range m.Pages {
+		if p.Raw == nil {
+			pages[i] = p
+			continue
+		}
+		pages[i] = m.Embed(p.Raw)
+	}
+	m.Pages = pages
+	m.compiled = nil
+	m.EnsureCompiled()
+}

@@ -36,6 +36,22 @@ func NewClassifier(m *Model, res cluster.Result, labels []string) *Classifier {
 	return c
 }
 
+// NewClassifierFromCentroids builds a classifier around centroids that
+// already exist (a clustering result's, or a published epoch's) instead
+// of recomputing them from member lists — the live directory builds one
+// per epoch, so the constructor must be O(k), not O(corpus).
+func NewClassifierFromCentroids(m *Model, centroids []cluster.Point, labels []string) *Classifier {
+	c := &Classifier{model: m, centroids: centroids}
+	for i := range centroids {
+		if i < len(labels) {
+			c.Labels = append(c.Labels, labels[i])
+		} else {
+			c.Labels = append(c.Labels, "")
+		}
+	}
+	return c
+}
+
 // NewLabelledClassifier derives cluster names from gold classes: each
 // cluster is named after its majority class.
 func NewLabelledClassifier(m *Model, res cluster.Result, classes []string) *Classifier {

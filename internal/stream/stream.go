@@ -1,0 +1,536 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	icafc "cafc/internal/cafc"
+	"cafc/internal/cluster"
+	"cafc/internal/form"
+	"cafc/internal/obs"
+)
+
+// Config configures a Live ingester. The zero value of every optional
+// field selects the default noted per field; K is required.
+type Config struct {
+	// K is the target cluster count (clamped to the corpus size while
+	// the corpus is smaller).
+	K int
+	// Seed drives the k-means seeding of full re-clusters. It is fixed
+	// per Live so that replaying the same WAL reproduces the same
+	// epochs.
+	Seed int64
+	// QueueSize bounds the ingest queue (0 = 1024). A full queue makes
+	// Ingest fail fast with ErrBacklog — backpressure the HTTP layer
+	// turns into 429s instead of unbounded memory growth.
+	QueueSize int
+	// BatchSize caps how many documents one batch absorbs (0 = 64).
+	BatchSize int
+	// FlushInterval bounds how long a partial batch waits for more
+	// documents (0 = 200ms).
+	FlushInterval time.Duration
+	// DriftThreshold is the reassignment fraction above which a batch
+	// triggers a full re-cluster (0 = 0.25; >= 1 disables). After each
+	// mini-batch assignment the worker re-scores every page against the
+	// current centroids; when more than this fraction would move, the
+	// incremental model has drifted from its clustering and the epoch
+	// is rebuilt from scratch (re-embed + fresh k-means).
+	DriftThreshold float64
+	// Weights are the LOC factors used to parse ingested documents.
+	// The zero value selects form.DefaultWeights.
+	Weights form.Weights
+	// Uniform disables location differentiation for ingested pages
+	// (must match the model being grown).
+	Uniform bool
+	// SkipNonSearchable drops documents without a searchable form
+	// (counted, not fatal). When false such documents are also only
+	// counted — a stream must not die on one bad page — but land in
+	// the skipped counter either way.
+	SkipNonSearchable bool
+	// Metrics receives stream telemetry (queue depth, batch latency,
+	// epoch gauge, drift fraction, rebuild and WAL counters). Nil
+	// disables instrumentation.
+	Metrics *obs.Registry
+	// Store, when non-nil, makes ingestion durable: batches are WAL
+	// appended before they are applied, and SaveSnapshot checkpoints
+	// the corpus.
+	Store *Store
+	// SaveSnapshot persists an epoch's corpus (the stream layer cannot
+	// encode the public snapshot format itself — the caller injects
+	// it). Called on Drain and every SnapshotEvery batches. Nil skips
+	// snapshotting.
+	SaveSnapshot func(e *Epoch) error
+	// SnapshotEvery checkpoints after every N applied records
+	// (0 = only on Drain).
+	SnapshotEvery int
+	// OnPublish observes every published epoch, in the worker
+	// goroutine, after the atomic swap. Serving layers use it to
+	// rebuild per-epoch artifacts (directory UI, classifier labels).
+	OnPublish func(*Epoch)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize == 0 {
+		c.QueueSize = 1024
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.FlushInterval == 0 {
+		c.FlushInterval = 200 * time.Millisecond
+	}
+	if c.DriftThreshold == 0 {
+		c.DriftThreshold = 0.25
+	}
+	if c.Weights == (form.Weights{}) {
+		c.Weights = form.DefaultWeights
+	}
+	return c
+}
+
+// Epoch is one immutable published model state. Everything reachable
+// from an Epoch is frozen: the model, the clustering result and the
+// document list are never mutated after publish, so any number of
+// readers may use them without locks while later epochs build.
+type Epoch struct {
+	// Seq numbers epochs from 1 (genesis). It advances by exactly one
+	// per applied WAL record, which is what makes recovery land on the
+	// pre-crash epoch.
+	Seq int64
+	// Model is the frozen form-page model.
+	Model *icafc.Model
+	// Result is the clustering over Model (assignments + centroids).
+	Result cluster.Result
+	// Docs holds the admitted documents in model order (URL + HTML),
+	// so serving layers can rebuild content artifacts per epoch.
+	Docs []Doc
+	// Rebuilt marks epochs produced by a full re-cluster rather than a
+	// mini-batch assignment.
+	Rebuilt bool
+	// WALRecords is the number of WAL records this epoch reflects.
+	WALRecords int64
+}
+
+// Status is a point-in-time summary of the live pipeline.
+type Status struct {
+	Epoch         int64
+	Pages         int
+	QueueDepth    int
+	Ingested      int64
+	Skipped       int64
+	Rejected      int64
+	Batches       int64
+	Rebuilds      int64
+	WALRecords    int64
+	WALErrors     int64
+	DriftFraction float64
+	Draining      bool
+}
+
+// ErrBacklog is returned by Ingest when the bounded queue is full —
+// the backpressure signal.
+var ErrBacklog = errors.New("stream: ingest queue full")
+
+// ErrDraining is returned by Ingest once Drain has begun.
+var ErrDraining = errors.New("stream: draining")
+
+// Live is the online ingestion pipeline: Ingest enqueues, a single
+// worker batches, grows the model, and publishes epochs; Current is the
+// lock-free read side.
+type Live struct {
+	cfg   Config
+	cur   atomic.Pointer[Epoch]
+	queue chan Doc
+	stop  chan struct{}
+	force chan struct{}
+	wg    sync.WaitGroup
+
+	draining  atomic.Bool
+	ingested  atomic.Int64
+	skipped   atomic.Int64
+	rejected  atomic.Int64
+	batches   atomic.Int64
+	rebuilds  atomic.Int64
+	walErrors atomic.Int64
+	driftBits atomic.Uint64
+
+	stopOnce sync.Once
+}
+
+// New builds a Live pipeline, applies any pending WAL records through
+// the batch path synchronously (recovery replay), and starts the
+// worker.
+//
+// genesis, when non-nil, is published as the first epoch before replay;
+// it must already be reflected in the WAL (the caller owns genesis
+// durability, because only the caller knows whether this is a fresh
+// start or a recovery). A nil genesis starts cold at epoch 0 — the
+// first ingested batch founds the model.
+func New(cfg Config, genesis *Epoch, pending []Record) *Live {
+	cfg = cfg.withDefaults()
+	l := &Live{
+		cfg:   cfg,
+		queue: make(chan Doc, cfg.QueueSize),
+		stop:  make(chan struct{}),
+		force: make(chan struct{}, 1),
+	}
+	if genesis != nil {
+		l.publish(genesis)
+	}
+	for _, rec := range pending {
+		l.apply(rec, true)
+		if reg := cfg.Metrics; reg != nil {
+			reg.Counter("stream_replayed_records_total").Inc()
+		}
+	}
+	l.wg.Add(1)
+	go l.run()
+	return l
+}
+
+// Current returns the latest published epoch (nil before the first
+// publish). Lock-free: an atomic pointer load.
+func (l *Live) Current() *Epoch { return l.cur.Load() }
+
+// Ingest offers one document to the stream. It never blocks: a full
+// queue fails with ErrBacklog, a draining pipeline with ErrDraining.
+func (l *Live) Ingest(d Doc) error {
+	if l.draining.Load() {
+		return ErrDraining
+	}
+	select {
+	case l.queue <- d:
+		l.cfg.Metrics.Gauge("stream_queue_depth").Set(float64(len(l.queue)))
+		return nil
+	default:
+		l.rejected.Add(1)
+		l.cfg.Metrics.Counter("stream_rejected_docs_total").Inc()
+		return ErrBacklog
+	}
+}
+
+// ForceRebuild schedules a full re-cluster (re-embed every page against
+// the final DF tables, then fresh k-means). The rebuild is WAL-logged
+// as a marker record, so replay reproduces it. Coalesced: a rebuild
+// already scheduled absorbs later requests.
+func (l *Live) ForceRebuild() error {
+	if l.draining.Load() {
+		return ErrDraining
+	}
+	select {
+	case l.force <- struct{}{}:
+	default:
+	}
+	return nil
+}
+
+// Status summarizes the pipeline.
+func (l *Live) Status() Status {
+	s := Status{
+		QueueDepth:    len(l.queue),
+		Ingested:      l.ingested.Load(),
+		Skipped:       l.skipped.Load(),
+		Rejected:      l.rejected.Load(),
+		Batches:       l.batches.Load(),
+		Rebuilds:      l.rebuilds.Load(),
+		WALErrors:     l.walErrors.Load(),
+		DriftFraction: math.Float64frombits(l.driftBits.Load()),
+		Draining:      l.draining.Load(),
+	}
+	if e := l.cur.Load(); e != nil {
+		s.Epoch = e.Seq
+		s.Pages = e.Model.Len()
+		s.WALRecords = e.WALRecords
+	}
+	return s
+}
+
+// Drain stops intake, flushes every queued document through the batch
+// pipeline, writes a final snapshot, and stops the worker. Ingest
+// fails with ErrDraining from the first call on. Returns once the
+// worker has exited or ctx expires.
+func (l *Live) Drain(ctx context.Context) error {
+	l.draining.Store(true)
+	l.stopOnce.Do(func() { close(l.stop) })
+	done := make(chan struct{})
+	go func() {
+		l.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Close hard-stops the worker without flushing the queue or writing a
+// final snapshot — the crash-simulation path (tests kill a Live this
+// way to exercise WAL recovery). Durability holds regardless: every
+// applied batch was WAL-synced before it was acknowledged.
+func (l *Live) Close() {
+	l.draining.Store(true)
+	l.stopOnce.Do(func() { close(l.stop) })
+	l.wg.Wait()
+}
+
+// run is the single batch worker.
+func (l *Live) run() {
+	defer l.wg.Done()
+	ticker := time.NewTicker(l.cfg.FlushInterval)
+	defer ticker.Stop()
+	var batch []Doc
+	flush := func() {
+		if len(batch) > 0 {
+			l.apply(Record{Docs: batch}, false)
+			batch = nil
+		}
+	}
+	for {
+		select {
+		case d := <-l.queue:
+			l.cfg.Metrics.Gauge("stream_queue_depth").Set(float64(len(l.queue)))
+			batch = append(batch, d)
+			if len(batch) >= l.cfg.BatchSize {
+				flush()
+			}
+		case <-l.force:
+			flush()
+			l.apply(Record{}, false)
+		case <-ticker.C:
+			flush()
+		case <-l.stop:
+			// Graceful drain (Drain) and hard stop (Close) share the
+			// stop channel; Close marks the queue as abandoned by
+			// leaving draining handling to the caller. Distinguish by
+			// emptying the queue only when something is there — a hard
+			// stop raced nothing because tests call it quiesced.
+			for {
+				select {
+				case d := <-l.queue:
+					batch = append(batch, d)
+					if len(batch) >= l.cfg.BatchSize {
+						flush()
+					}
+					continue
+				default:
+				}
+				break
+			}
+			flush()
+			if l.cfg.SaveSnapshot != nil {
+				if e := l.cur.Load(); e != nil {
+					if err := l.cfg.SaveSnapshot(e); err != nil {
+						l.walErrors.Add(1)
+						l.cfg.Metrics.Counter("stream_snapshot_errors_total").Inc()
+					}
+				}
+			}
+			return
+		}
+	}
+}
+
+// apply runs one WAL record through the pipeline: parse, (on the live
+// path) log to the WAL, grow or rebuild the model, publish the next
+// epoch. replay=true skips WAL writes — the record is already durable.
+func (l *Live) apply(rec Record, replay bool) {
+	reg := l.cfg.Metrics
+	if rec.IsRebuild() && l.cur.Load() == nil {
+		return // nothing to rebuild before the first model exists
+	}
+	var t0 time.Time
+	batchHist := reg.Histogram("stream_ingest_batch_seconds", obs.DurationBuckets)
+	if batchHist != nil {
+		t0 = time.Now()
+	}
+
+	// Parse first: a batch of unparseable pages must still be WAL-logged
+	// (replay must re-skip them) but publishes an epoch only if it
+	// changed anything or forced a rebuild.
+	var fps []*form.FormPage
+	var admitted []Doc
+	for _, d := range rec.Docs {
+		fp, err := form.Parse(d.URL, d.HTML, l.cfg.Weights)
+		if err != nil {
+			l.skipped.Add(1)
+			reg.Counter("stream_skipped_docs_total").Inc()
+			continue
+		}
+		fps = append(fps, fp)
+		admitted = append(admitted, d)
+	}
+
+	if !replay && l.cfg.Store != nil {
+		if err := l.cfg.Store.Append(rec); err != nil {
+			// Degrade, don't die: the batch is applied in memory and the
+			// loss of durability is surfaced in Status and /metrics.
+			l.walErrors.Add(1)
+			reg.Counter("stream_wal_errors_total").Inc()
+		} else {
+			reg.Counter("stream_wal_records_total").Inc()
+		}
+	}
+
+	cur := l.cur.Load()
+	next := l.buildEpoch(cur, rec, fps, admitted)
+	if next == nil {
+		batchHist.ObserveSince(t0)
+		return
+	}
+	l.batches.Add(1)
+	l.ingested.Add(int64(len(admitted)))
+	reg.Counter("stream_ingested_docs_total").Add(int64(len(admitted)))
+	l.publish(next)
+	batchHist.ObserveSince(t0)
+
+	if l.cfg.SaveSnapshot != nil && l.cfg.SnapshotEvery > 0 && next.WALRecords%int64(l.cfg.SnapshotEvery) == 0 {
+		if err := l.cfg.SaveSnapshot(next); err != nil {
+			reg.Counter("stream_snapshot_errors_total").Inc()
+		}
+	}
+}
+
+// buildEpoch computes the successor epoch for one record. Nil means the
+// record changed nothing (all documents skipped, no rebuild forced).
+func (l *Live) buildEpoch(cur *Epoch, rec Record, fps []*form.FormPage, admitted []Doc) *Epoch {
+	reg := l.cfg.Metrics
+	rebuild := rec.IsRebuild()
+	if len(fps) == 0 && !rebuild {
+		// The record still consumes an epoch slot if it was WAL-logged?
+		// No: records are only written for batches with documents or
+		// rebuild markers, and a documents-only record that admitted
+		// nothing still advances WALRecords via the epoch below when a
+		// model exists. With nothing to do and nothing published, keep
+		// the current epoch but account the record so recovery counts
+		// line up.
+		if cur != nil && len(rec.Docs) > 0 {
+			e := *cur
+			e.Seq++
+			e.WALRecords++
+			e.Rebuilt = false
+			return &e
+		}
+		return nil
+	}
+
+	var m *icafc.Model
+	if cur != nil {
+		m = cur.Model.Clone()
+	} else {
+		m = icafc.BuildMetrics(nil, l.cfg.Uniform, reg)
+	}
+	m.AppendPages(fps)
+	docs := admitted
+	if cur != nil {
+		docs = append(append([]Doc(nil), cur.Docs...), admitted...)
+	}
+
+	next := &Epoch{
+		Seq:        1,
+		Model:      m,
+		Docs:       docs,
+		WALRecords: 1,
+	}
+	if cur != nil {
+		next.Seq = cur.Seq + 1
+		next.WALRecords = cur.WALRecords + 1
+	}
+
+	switch {
+	case rebuild || cur == nil || cur.Result.K == 0:
+		next.Result = l.recluster(m)
+		next.Rebuilt = true
+	default:
+		res, drift := l.miniBatch(m, cur)
+		l.driftBits.Store(math.Float64bits(drift))
+		reg.Gauge("stream_drift_fraction").Set(drift)
+		if drift > l.cfg.DriftThreshold {
+			next.Result = l.recluster(m)
+			next.Rebuilt = true
+		} else {
+			next.Result = res
+		}
+	}
+	if next.Rebuilt && cur != nil {
+		l.rebuilds.Add(1)
+		reg.Counter("stream_rebuilds_total").Inc()
+	}
+	return next
+}
+
+// recluster is the full path: erase incremental IDF staleness, then run
+// the paper's CAFC-C k-means with the configured seed. Deterministic
+// for a fixed seed and document sequence — the pinned equivalence test
+// compares this against a one-shot build.
+func (l *Live) recluster(m *icafc.Model) cluster.Result {
+	m.ReembedAll()
+	return icafc.CAFCC(m, l.cfg.K, rand.New(rand.NewSource(l.cfg.Seed+1)))
+}
+
+// miniBatch extends the current assignment: each new page goes to its
+// nearest centroid, the centroids of receiving clusters are refreshed,
+// and the whole corpus is re-scored against the refreshed centroids to
+// measure drift (the fraction of pages whose nearest centroid is no
+// longer their assigned one).
+func (l *Live) miniBatch(m *icafc.Model, cur *Epoch) (cluster.Result, float64) {
+	k := cur.Result.K
+	centroids := append([]cluster.Point(nil), cur.Result.Centroids...)
+	assign := make([]int, m.Len())
+	copy(assign, cur.Result.Assign)
+
+	touched := make(map[int]bool)
+	for i := len(cur.Result.Assign); i < m.Len(); i++ {
+		best, bestSim := 0, -1.0
+		p := m.Point(i)
+		for c := 0; c < k; c++ {
+			if sim := m.Sim(p, centroids[c]); sim > bestSim {
+				best, bestSim = c, sim
+			}
+		}
+		assign[i] = best
+		touched[best] = true
+	}
+	members := cluster.Members(assign, k)
+	for c := range touched {
+		if len(members[c]) > 0 {
+			centroids[c] = m.Centroid(members[c])
+		}
+	}
+
+	moved := 0
+	for i := 0; i < m.Len(); i++ {
+		best, bestSim := 0, -1.0
+		p := m.Point(i)
+		for c := 0; c < k; c++ {
+			if sim := m.Sim(p, centroids[c]); sim > bestSim {
+				best, bestSim = c, sim
+			}
+		}
+		if best != assign[i] {
+			moved++
+		}
+	}
+	drift := 0.0
+	if m.Len() > 0 {
+		drift = float64(moved) / float64(m.Len())
+	}
+	return cluster.Result{Assign: assign, K: k, Centroids: centroids}, drift
+}
+
+// publish swaps the epoch pointer and notifies observers.
+func (l *Live) publish(e *Epoch) {
+	l.cur.Store(e)
+	reg := l.cfg.Metrics
+	reg.Gauge("stream_epoch").Set(float64(e.Seq))
+	reg.Gauge("stream_corpus_pages").Set(float64(e.Model.Len()))
+	if l.cfg.OnPublish != nil {
+		l.cfg.OnPublish(e)
+	}
+}

@@ -1,0 +1,240 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"cafc/internal/obs"
+	"cafc/internal/webgen"
+)
+
+// genDocs builds n searchable form-page documents from the synthetic
+// web generator.
+func genDocs(t testing.TB, seed int64, n int) []Doc {
+	t.Helper()
+	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n})
+	docs := make([]Doc, 0, n)
+	for _, u := range c.FormPages {
+		docs = append(docs, Doc{URL: u, HTML: c.ByURL[u].HTML})
+	}
+	return docs
+}
+
+// syncLive builds a Live whose worker never runs — tests drive apply()
+// directly for deterministic single-threaded pipeline checks.
+func syncLive(cfg Config) *Live {
+	cfg = cfg.withDefaults()
+	return &Live{
+		cfg:   cfg,
+		queue: make(chan Doc, cfg.QueueSize),
+		stop:  make(chan struct{}),
+		force: make(chan struct{}, 1),
+	}
+}
+
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestColdStartPublishesEpochs(t *testing.T) {
+	docs := genDocs(t, 7, 24)
+	reg := obs.NewRegistry()
+	l := New(Config{K: 4, BatchSize: 8, FlushInterval: 10 * time.Millisecond, Metrics: reg}, nil, nil)
+
+	if l.Current() != nil {
+		t.Fatal("cold start should have no epoch before the first batch")
+	}
+	for _, d := range docs {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "all docs applied", func() bool {
+		e := l.Current()
+		return e != nil && e.Model.Len() == len(docs)
+	})
+	e := l.Current()
+	if e.Seq < 1 {
+		t.Errorf("epoch = %d, want >= 1", e.Seq)
+	}
+	if !e.Rebuilt && e.Seq == 1 {
+		t.Errorf("founding epoch must be a full build")
+	}
+	if got := len(e.Docs); got != len(docs) {
+		t.Errorf("epoch docs = %d, want %d", got, len(docs))
+	}
+	if e.Result.K == 0 || len(e.Result.Assign) != len(docs) {
+		t.Errorf("clustering missing: K=%d assign=%d", e.Result.K, len(e.Result.Assign))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := l.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Ingest(docs[0]); !errors.Is(err, ErrDraining) {
+		t.Errorf("Ingest after Drain = %v, want ErrDraining", err)
+	}
+	s := l.Status()
+	if s.Ingested != int64(len(docs)) || !s.Draining {
+		t.Errorf("status after drain: %+v", s)
+	}
+}
+
+func TestDrainFlushesQueuedDocs(t *testing.T) {
+	docs := genDocs(t, 8, 16)
+	// An hour-long flush interval: only the drain path can flush these.
+	l := New(Config{K: 2, BatchSize: 1024, FlushInterval: time.Hour}, nil, nil)
+	for _, d := range docs {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := l.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	e := l.Current()
+	if e == nil || e.Model.Len() != len(docs) {
+		t.Fatalf("drain lost queued docs: %+v", l.Status())
+	}
+}
+
+func TestBacklogBackpressure(t *testing.T) {
+	l := syncLive(Config{K: 2, QueueSize: 1})
+	if err := l.Ingest(Doc{URL: "http://a/"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Ingest(Doc{URL: "http://b/"}); !errors.Is(err, ErrBacklog) {
+		t.Fatalf("full queue: %v, want ErrBacklog", err)
+	}
+	if s := l.Status(); s.Rejected != 1 || s.QueueDepth != 1 {
+		t.Errorf("status = %+v", s)
+	}
+}
+
+func TestApplyDeterminism(t *testing.T) {
+	docs := genDocs(t, 9, 40)
+	run := func() *Epoch {
+		l := syncLive(Config{K: 4, Seed: 5})
+		l.apply(Record{Docs: docs[:20]}, false)
+		l.apply(Record{Docs: docs[20:32]}, false)
+		l.apply(Record{}, false) // forced rebuild marker
+		l.apply(Record{Docs: docs[32:]}, false)
+		return l.cur.Load()
+	}
+	a, b := run(), run()
+	if a.Seq != b.Seq || a.Seq != 4 {
+		t.Fatalf("seqs %d vs %d, want 4 (one epoch per record)", a.Seq, b.Seq)
+	}
+	if !reflect.DeepEqual(a.Result.Assign, b.Result.Assign) {
+		t.Errorf("same records, different assignments")
+	}
+	if a.Model.Len() != len(docs) {
+		t.Errorf("pages = %d, want %d", a.Model.Len(), len(docs))
+	}
+}
+
+func TestDriftTriggersRebuild(t *testing.T) {
+	docs := genDocs(t, 10, 30)
+	// A negative threshold makes every mini-batch drift check fire — the
+	// deterministic way to exercise the rebuild path.
+	l := syncLive(Config{K: 3, Seed: 1, DriftThreshold: -1})
+	l.apply(Record{Docs: docs[:20]}, false)
+	if e := l.cur.Load(); !e.Rebuilt {
+		t.Fatal("founding epoch should be a full build")
+	}
+	l.apply(Record{Docs: docs[20:]}, false)
+	e := l.cur.Load()
+	if !e.Rebuilt {
+		t.Error("drift over threshold must rebuild")
+	}
+	if l.rebuilds.Load() != 1 {
+		t.Errorf("rebuilds = %d, want 1", l.rebuilds.Load())
+	}
+
+	// Disabled drift (>= 1) keeps the mini-batch assignment.
+	l2 := syncLive(Config{K: 3, Seed: 1, DriftThreshold: 2})
+	l2.apply(Record{Docs: docs[:20]}, false)
+	l2.apply(Record{Docs: docs[20:]}, false)
+	if e := l2.cur.Load(); e.Rebuilt {
+		t.Error("drift disabled: second epoch must be a mini-batch")
+	}
+	if len(l2.cur.Load().Result.Assign) != 30 {
+		t.Errorf("mini-batch assignment incomplete")
+	}
+}
+
+func TestWALReplayReachesSameEpoch(t *testing.T) {
+	docs := genDocs(t, 11, 36)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{K: 4, Seed: 3, Store: s}
+	l := syncLive(cfg)
+	l.apply(Record{Docs: docs[:12]}, false)
+	l.apply(Record{Docs: docs[12:24]}, false)
+	l.apply(Record{}, false) // forced rebuild, WAL-logged as marker
+	l.apply(Record{Docs: docs[24:]}, false)
+	want := l.cur.Load()
+	if want.Seq != 4 || want.WALRecords != 4 {
+		t.Fatalf("pre-crash epoch %d / %d WAL records, want 4/4", want.Seq, want.WALRecords)
+	}
+	s.Close() // crash: no snapshot was ever written
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs, err := s2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("WAL records = %d, want 4", len(recs))
+	}
+	reg := obs.NewRegistry()
+	cfg2 := Config{K: 4, Seed: 3, Store: s2, Metrics: reg}
+	l2 := New(cfg2, nil, recs)
+	defer l2.Close()
+	got := l2.Current()
+	if got == nil || got.Seq != want.Seq {
+		t.Fatalf("replayed epoch = %+v, want seq %d", got, want.Seq)
+	}
+	if !reflect.DeepEqual(got.Result.Assign, want.Result.Assign) {
+		t.Errorf("replay diverged from the original assignments")
+	}
+	if got.Model.Len() != want.Model.Len() {
+		t.Errorf("replay pages %d vs %d", got.Model.Len(), want.Model.Len())
+	}
+	snap := obsCounter(t, reg, "stream_replayed_records_total")
+	if snap != 4 {
+		t.Errorf("stream_replayed_records_total = %v, want 4", snap)
+	}
+}
+
+// obsCounter reads a counter value from a registry snapshot.
+func obsCounter(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	return 0
+}

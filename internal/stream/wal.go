@@ -1,0 +1,232 @@
+// Package stream turns the static CAFC pipeline into a live one: a
+// bounded, backpressured ingest queue feeds a batch worker that grows
+// the form-page model incrementally, assigns new pages to their nearest
+// centroids, watches for assignment drift, and publishes each new model
+// state as an immutable epoch behind an atomic pointer — so a serving
+// process answers classification and directory queries lock-free while
+// the next epoch builds.
+//
+// Durability is write-ahead: every ingested batch is framed into an
+// append-only log before it is applied, and a versioned corpus snapshot
+// records how many log records it already reflects. Recovery loads the
+// snapshot and replays the tail through the exact same batch pipeline,
+// which makes the post-recovery epoch equal to the pre-crash epoch (one
+// epoch per applied record, deterministically).
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+// Doc is one raw page offered to the stream: its URL and HTML. The raw
+// form (not the parsed one) goes into the WAL, so replay re-runs the
+// same admission decisions the original ingest made.
+type Doc struct {
+	URL  string
+	HTML string
+}
+
+// Record is one WAL entry: the documents of one ingested batch, exactly
+// as they arrived (admitted or not). A record with no documents is a
+// rebuild marker — it replays a forced full re-cluster.
+type Record struct {
+	Docs []Doc
+}
+
+// IsRebuild reports whether the record is a forced-rebuild marker.
+func (r Record) IsRebuild() bool { return len(r.Docs) == 0 }
+
+const (
+	snapshotName = "snapshot.gob.gz"
+	walName      = "wal.log"
+)
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrNoSnapshot is returned by OpenSnapshot when the store has none.
+var ErrNoSnapshot = errors.New("stream: no snapshot")
+
+// HasState reports whether dir holds live-directory state (a WAL or a
+// snapshot) — the fresh-start vs. recover decision.
+func HasState(dir string) bool {
+	for _, name := range []string{walName, snapshotName} {
+		if fi, err := os.Stat(filepath.Join(dir, name)); err == nil && fi.Size() > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Store is the durable home of one live directory: an append-only WAL
+// of ingested batches plus the latest corpus snapshot, both under one
+// directory. WAL frames are length-prefixed and checksummed
+// individually (uvarint length, CRC-32C, gob payload), so a torn tail
+// from a crash truncates cleanly instead of poisoning the stream.
+type Store struct {
+	dir string
+
+	mu      sync.Mutex
+	wal     *os.File
+	records int64
+}
+
+// Open opens (creating if needed) the store directory and its WAL, and
+// counts the intact records already present.
+func Open(dir string) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("stream: open store: %w", err)
+	}
+	s := &Store{dir: dir}
+	recs, err := s.Records()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(filepath.Join(dir, walName), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("stream: open wal: %w", err)
+	}
+	s.wal = f
+	s.records = int64(len(recs))
+	return s, nil
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// RecordCount returns the number of intact WAL records (written plus
+// pre-existing).
+func (s *Store) RecordCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.records
+}
+
+// Append frames one record onto the WAL and syncs it to stable storage
+// before returning, so an acknowledged batch survives a crash.
+func (s *Store) Append(rec Record) error {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return fmt.Errorf("stream: wal encode: %w", err)
+	}
+	var frame bytes.Buffer
+	var lenBuf [binary.MaxVarintLen64]byte
+	frame.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(payload.Len()))])
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(payload.Bytes(), crcTable))
+	frame.Write(crcBuf[:])
+	frame.Write(payload.Bytes())
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return errors.New("stream: store closed")
+	}
+	if _, err := s.wal.Write(frame.Bytes()); err != nil {
+		return fmt.Errorf("stream: wal append: %w", err)
+	}
+	if err := s.wal.Sync(); err != nil {
+		return fmt.Errorf("stream: wal sync: %w", err)
+	}
+	s.records++
+	return nil
+}
+
+// Records reads every intact record from the start of the WAL. A torn
+// or corrupt tail frame (crash mid-write) ends the scan silently: the
+// intact prefix is the durable history, exactly as the sync protocol
+// guarantees.
+func (s *Store) Records() ([]Record, error) {
+	f, err := os.Open(filepath.Join(s.dir, walName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stream: read wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var out []Record
+	for {
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return out, nil // clean EOF or torn length prefix
+		}
+		var crcBuf [4]byte
+		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
+			return out, nil
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			return out, nil
+		}
+		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(crcBuf[:]) {
+			return out, nil // corrupt frame: stop at last good record
+		}
+		var rec Record
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+			return out, nil
+		}
+		out = append(out, rec)
+	}
+}
+
+// WriteSnapshot atomically replaces the store's snapshot with whatever
+// fn writes: the bytes land in a temp file first and are renamed into
+// place, so a crash mid-snapshot leaves the previous snapshot intact.
+func (s *Store) WriteSnapshot(fn func(io.Writer) error) error {
+	tmp, err := os.CreateTemp(s.dir, snapshotName+".tmp*")
+	if err != nil {
+		return fmt.Errorf("stream: snapshot: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := fn(tmp); err != nil {
+		tmp.Close()
+		return fmt.Errorf("stream: snapshot write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("stream: snapshot sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("stream: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dir, snapshotName)); err != nil {
+		return fmt.Errorf("stream: snapshot rename: %w", err)
+	}
+	return nil
+}
+
+// OpenSnapshot opens the current snapshot for reading, or ErrNoSnapshot
+// when none has been written yet.
+func (s *Store) OpenSnapshot() (io.ReadCloser, error) {
+	f, err := os.Open(filepath.Join(s.dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoSnapshot
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stream: open snapshot: %w", err)
+	}
+	return f, nil
+}
+
+// Close closes the WAL handle. Appends after Close fail.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	err := s.wal.Close()
+	s.wal = nil
+	return err
+}

@@ -44,3 +44,16 @@ func (d *Dict) Term(id uint32) string {
 
 // Len returns the number of interned terms (and the smallest unused ID).
 func (d *Dict) Len() int { return len(d.terms) }
+
+// Clone returns an independent copy of the dictionary with identical
+// ID assignments. Because IDs are append-only, vectors compiled against
+// the original remain valid against the clone (and vice versa up to the
+// clone point) — this is what lets an epoch keep serving a frozen Dict
+// while the next epoch's builder interns new terms into its own copy.
+func (d *Dict) Clone() *Dict {
+	ids := make(map[string]uint32, len(d.ids))
+	for t, id := range d.ids {
+		ids[t] = id
+	}
+	return &Dict{ids: ids, terms: append([]string(nil), d.terms...)}
+}

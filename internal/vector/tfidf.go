@@ -79,6 +79,14 @@ func (d *DocFreq) Snapshot() (n int, df map[string]int) {
 	return d.n, cp
 }
 
+// Clone returns an independent copy of the table, so an incremental
+// corpus update can accumulate new documents without mutating the table
+// a served model snapshot still reads.
+func (d *DocFreq) Clone() *DocFreq {
+	n, df := d.Snapshot()
+	return &DocFreq{n: n, df: df}
+}
+
 // RestoreDocFreq rebuilds a table from a Snapshot.
 func RestoreDocFreq(n int, df map[string]int) *DocFreq {
 	cp := make(map[string]int, len(df))

@@ -1,0 +1,475 @@
+package cafc
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	icafc "cafc/internal/cafc"
+	"cafc/internal/cluster"
+	"cafc/internal/form"
+	"cafc/internal/stream"
+)
+
+// LiveConfig configures a live directory: the streaming-ingestion
+// pipeline that grows a corpus while it serves. Zero values select the
+// defaults noted per field.
+type LiveConfig struct {
+	// K is the target cluster count (0 = 8).
+	K int
+	// Seed drives full re-cluster seeding; fixed per Live so WAL replay
+	// reproduces the same epochs.
+	Seed int64
+	// QueueSize bounds the ingest queue (0 = 1024); a full queue makes
+	// Ingest fail fast with ErrBacklog.
+	QueueSize int
+	// BatchSize caps documents per ingest batch (0 = 64).
+	BatchSize int
+	// FlushInterval bounds how long a partial batch waits (0 = 200ms).
+	FlushInterval time.Duration
+	// DriftThreshold is the reassignment fraction that triggers a full
+	// re-cluster (0 = 0.25; >= 1 disables drift rebuilds).
+	DriftThreshold float64
+	// Dir, when non-empty, makes the directory durable: ingested
+	// batches are WAL-logged there before they are applied, and corpus
+	// snapshots checkpoint the stream (final one on Drain, plus every
+	// SnapshotEvery records). RecoverLive restarts from the same Dir.
+	Dir string
+	// SnapshotEvery checkpoints after every N applied WAL records
+	// (0 = only on Drain).
+	SnapshotEvery int
+	// OnPublish observes every published epoch (in the ingest worker
+	// goroutine, after the atomic swap) — serving layers rebuild their
+	// per-epoch artifacts here.
+	OnPublish func(*LiveEpoch)
+}
+
+// ErrBacklog is returned by Live.Ingest when the bounded ingest queue
+// is full — backpressure to surface to the caller (HTTP 429).
+var ErrBacklog = stream.ErrBacklog
+
+// ErrDraining is returned by Live.Ingest during shutdown.
+var ErrDraining = stream.ErrDraining
+
+// LiveEpoch is one immutable published model state: a frozen corpus,
+// its clustering, and the documents it was built from. Readers may hold
+// it indefinitely; later epochs never mutate earlier ones.
+type LiveEpoch struct {
+	// Epoch numbers published states from 1 (genesis).
+	Epoch int64
+	// Corpus is the frozen corpus — safe for Similarity, ClusterC etc.,
+	// but do not Append to it (grow through Live.Ingest).
+	Corpus *Corpus
+	// Clustering is the epoch's clustering with per-cluster top terms.
+	Clustering *Clustering
+	// Docs holds the admitted documents (URL + HTML) in corpus order.
+	Docs []Document
+	// Rebuilt marks epochs produced by a full re-cluster (drift or
+	// forced) rather than a mini-batch assignment.
+	Rebuilt bool
+
+	classifier *icafc.Classifier
+}
+
+// Classify assigns a document to this epoch's nearest cluster —
+// lock-free with respect to ingestion, because the epoch is frozen.
+func (e *LiveEpoch) Classify(d Document) (Prediction, bool, error) {
+	fp, err := form.Parse(d.URL, d.HTML, e.Corpus.weights)
+	if err != nil {
+		return Prediction{}, false, fmt.Errorf("cafc: %s: %w", d.URL, err)
+	}
+	p, ok := e.classifier.Classify(fp)
+	return Prediction{Cluster: p.Cluster, Label: p.Label, Similarity: p.Similarity}, ok, nil
+}
+
+// LiveStatus summarizes the live pipeline.
+type LiveStatus struct {
+	Epoch         int64
+	Pages         int
+	QueueDepth    int
+	Ingested      int64
+	Skipped       int64
+	Rejected      int64
+	Batches       int64
+	Rebuilds      int64
+	WALRecords    int64
+	WALErrors     int64
+	DriftFraction float64
+	Draining      bool
+}
+
+// Live is a streaming directory: Ingest feeds documents through a
+// bounded queue into batch workers that grow the corpus incrementally
+// and publish epoch-versioned models; Epoch is the lock-free read side.
+type Live struct {
+	inner *stream.Live
+	store *stream.Store
+	pub   atomic.Pointer[LiveEpoch]
+
+	weights form.Weights
+	retry   *Retry
+	skip    bool
+}
+
+// NewLive starts a live directory from an already-built corpus and its
+// clustering (the genesis epoch). docs must be the documents the corpus
+// was built from — their HTML backs per-epoch content artifacts (the
+// directory UI) and, with cfg.Dir set, the WAL's genesis record. A nil
+// corpus or an empty one starts cold at epoch 0: the first ingested
+// batch founds the model (and /healthz-style readiness should gate on
+// Epoch() != nil).
+func NewLive(corpus *Corpus, docs []Document, cl *Clustering, cfg LiveConfig, opts ...Options) (*Live, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if corpus == nil {
+		var err error
+		corpus, err = NewCorpus(nil, o)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	l := &Live{}
+	scfg, err := l.streamConfig(corpus, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	if l.store != nil && l.store.RecordCount() > 0 {
+		// Reusing a non-empty store for a fresh genesis would fork
+		// history; refuse and point the caller at RecoverLive.
+		l.store.Close()
+		return nil, fmt.Errorf("cafc: NewLive: %s already holds a WAL — use RecoverLive", cfg.Dir)
+	}
+	var genesis *stream.Epoch
+	if corpus.Len() > 0 {
+		if cl == nil {
+			return nil, fmt.Errorf("cafc: NewLive: non-empty corpus needs a genesis clustering")
+		}
+		genesis = genesisEpoch(corpus, docs, cl)
+		if l.store != nil {
+			if err := l.store.Append(stream.Record{Docs: toStreamDocs(docs)}); err != nil {
+				l.store.Close()
+				return nil, err
+			}
+			genesis.WALRecords = 1
+		}
+	}
+	l.inner = stream.New(scfg, genesis, nil)
+	if genesis != nil && l.store != nil {
+		if err := scfg.SaveSnapshot(genesis); err != nil {
+			return nil, err
+		}
+	}
+	return l, nil
+}
+
+// RecoverLive restarts a durable live directory from cfg.Dir: the
+// latest snapshot is loaded, the WAL tail beyond the snapshot's offset
+// is replayed through the same batch pipeline, and the result is the
+// exact pre-crash epoch. opts re-attach run options (Metrics, Retry),
+// as with LoadCorpus. An empty directory starts cold, same as NewLive
+// with no corpus.
+//
+// The genesis clustering is recomputed deterministically from the
+// loaded corpus (seeded k-means); hub-seeded genesis assignments are
+// not persisted.
+func RecoverLive(cfg LiveConfig, opts ...Options) (*Live, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("cafc: RecoverLive: Dir required")
+	}
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	store, err := stream.Open(cfg.Dir)
+	if err != nil {
+		return nil, err
+	}
+
+	var corpus *Corpus
+	var info SnapshotInfo
+	if rc, serr := store.OpenSnapshot(); serr == nil {
+		corpus, info, err = LoadSnapshot(rc, o)
+		rc.Close()
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	} else if serr != stream.ErrNoSnapshot {
+		store.Close()
+		return nil, serr
+	} else {
+		corpus, err = NewCorpus(nil, o)
+		if err != nil {
+			store.Close()
+			return nil, err
+		}
+	}
+
+	recs, err := store.Records()
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	off := int(info.WALOffset)
+	if off > len(recs) {
+		off = len(recs)
+	}
+
+	l := &Live{store: store}
+	scfg, err := l.streamConfigWithStore(corpus, cfg, store)
+	if err != nil {
+		return nil, err
+	}
+
+	var genesis *stream.Epoch
+	if corpus.Len() > 0 {
+		// Documents covered by the snapshot contribute their HTML from
+		// the WAL prefix; the model itself comes from the snapshot.
+		docs := matchDocs(corpus.urls, recs[:off])
+		res := icafc.CAFCC(corpus.model, scfg.K, rand.New(rand.NewSource(cfg.Seed+1)))
+		genesis = &stream.Epoch{
+			Seq:        max64(info.Epoch, 1),
+			Model:      corpus.model.Clone(),
+			Result:     res,
+			Docs:       docs,
+			WALRecords: int64(off),
+		}
+	}
+	l.inner = stream.New(scfg, genesis, recs[off:])
+	return l, nil
+}
+
+// streamConfig opens the store named by cfg.Dir (if any) and builds the
+// internal stream configuration.
+func (l *Live) streamConfig(corpus *Corpus, cfg LiveConfig) (stream.Config, error) {
+	var store *stream.Store
+	if cfg.Dir != "" {
+		var err error
+		store, err = stream.Open(cfg.Dir)
+		if err != nil {
+			return stream.Config{}, err
+		}
+	}
+	return l.streamConfigWithStore(corpus, cfg, store)
+}
+
+func (l *Live) streamConfigWithStore(corpus *Corpus, cfg LiveConfig, store *stream.Store) (stream.Config, error) {
+	l.store = store
+	l.weights = corpus.weights
+	l.retry = corpus.retry
+	l.skip = corpus.skipNonSearchable
+	k := cfg.K
+	if k == 0 {
+		k = 8
+	}
+	scfg := stream.Config{
+		K:                 k,
+		Seed:              cfg.Seed,
+		QueueSize:         cfg.QueueSize,
+		BatchSize:         cfg.BatchSize,
+		FlushInterval:     cfg.FlushInterval,
+		DriftThreshold:    cfg.DriftThreshold,
+		Weights:           corpus.weights,
+		Uniform:           corpus.model.Uniform,
+		SkipNonSearchable: corpus.skipNonSearchable,
+		Metrics:           corpus.model.Metrics,
+		Store:             store,
+		SnapshotEvery:     cfg.SnapshotEvery,
+	}
+	if store != nil {
+		scfg.SaveSnapshot = func(e *stream.Epoch) error {
+			c := wrapCorpus(e, l.weights, l.retry, l.skip)
+			return store.WriteSnapshot(func(w io.Writer) error {
+				return c.SaveSnapshot(w, SnapshotInfo{Epoch: e.Seq, WALOffset: e.WALRecords})
+			})
+		}
+	}
+	scfg.OnPublish = func(e *stream.Epoch) {
+		le := convertEpoch(e, l.weights, l.retry, l.skip)
+		l.pub.Store(le)
+		if cfg.OnPublish != nil {
+			cfg.OnPublish(le)
+		}
+	}
+	return scfg, nil
+}
+
+// Ingest offers one document to the stream; it never blocks (ErrBacklog
+// on a full queue, ErrDraining during shutdown).
+func (l *Live) Ingest(d Document) error {
+	return l.inner.Ingest(stream.Doc{URL: d.URL, HTML: d.HTML})
+}
+
+// Epoch returns the latest published epoch, or nil before the first
+// model exists (cold start). The read is one atomic pointer load — the
+// conversion (clustering view, top-term labels, classifier) happened
+// once at publish time.
+func (l *Live) Epoch() *LiveEpoch { return l.pub.Load() }
+
+// ForceRebuild schedules a full re-cluster (WAL-logged, so replay
+// reproduces it).
+func (l *Live) ForceRebuild() error { return l.inner.ForceRebuild() }
+
+// Status summarizes the pipeline.
+func (l *Live) Status() LiveStatus {
+	s := l.inner.Status()
+	return LiveStatus{
+		Epoch:         s.Epoch,
+		Pages:         s.Pages,
+		QueueDepth:    s.QueueDepth,
+		Ingested:      s.Ingested,
+		Skipped:       s.Skipped,
+		Rejected:      s.Rejected,
+		Batches:       s.Batches,
+		Rebuilds:      s.Rebuilds,
+		WALRecords:    s.WALRecords,
+		WALErrors:     s.WALErrors,
+		DriftFraction: s.DriftFraction,
+		Draining:      s.Draining,
+	}
+}
+
+// Drain gracefully shuts the pipeline down: intake stops (Ingest fails
+// with ErrDraining), queued documents flush through the batch path, a
+// final snapshot checkpoints the stream (with cfg.Dir), and the worker
+// exits. Bounded by ctx.
+func (l *Live) Drain(ctx context.Context) error {
+	err := l.inner.Drain(ctx)
+	if l.store != nil {
+		if cerr := l.store.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Close hard-stops the pipeline without flushing or snapshotting — the
+// crash-simulation path. Applied batches are already WAL-durable.
+func (l *Live) Close() {
+	l.inner.Close()
+	if l.store != nil {
+		l.store.Close()
+	}
+}
+
+// genesisEpoch reconstructs the internal clustering result from a
+// public Clustering and freezes the corpus state as epoch 1.
+func genesisEpoch(c *Corpus, docs []Document, cl *Clustering) *stream.Epoch {
+	assign := make([]int, len(c.urls))
+	for i, u := range c.urls {
+		if a, ok := cl.Assign[u]; ok {
+			assign[i] = a
+		} else {
+			assign[i] = -1
+		}
+	}
+	k := len(cl.Clusters)
+	members := cluster.Members(assign, k)
+	centroids := make([]cluster.Point, k)
+	for i := range centroids {
+		centroids[i] = c.model.Centroid(members[i])
+	}
+	return &stream.Epoch{
+		Seq:    1,
+		Model:  c.model.Clone(),
+		Result: cluster.Result{Assign: assign, K: k, Centroids: centroids},
+		Docs:   matchDocList(c.urls, docs),
+	}
+}
+
+// convertEpoch wraps an internal epoch in the public types, including a
+// ready-to-use nearest-centroid classifier labelled with each cluster's
+// top terms.
+func convertEpoch(e *stream.Epoch, w form.Weights, r *Retry, skip bool) *LiveEpoch {
+	c := wrapCorpus(e, w, r, skip)
+	cl := c.newClustering(e.Result)
+	labels := make([]string, len(cl.TopTerms))
+	for i, terms := range cl.TopTerms {
+		labels[i] = strings.Join(terms, " ")
+	}
+	return &LiveEpoch{
+		Epoch:      e.Seq,
+		Corpus:     c,
+		Clustering: cl,
+		Docs:       toDocuments(e.Docs),
+		Rebuilt:    e.Rebuilt,
+		classifier: icafc.NewClassifierFromCentroids(e.Model, e.Result.Centroids, labels),
+	}
+}
+
+// wrapCorpus views an epoch's frozen model as a public Corpus.
+func wrapCorpus(e *stream.Epoch, w form.Weights, r *Retry, skip bool) *Corpus {
+	urls := make([]string, len(e.Model.Pages))
+	for i, p := range e.Model.Pages {
+		urls[i] = p.URL
+	}
+	return &Corpus{model: e.Model, urls: urls, weights: w, retry: r, skipNonSearchable: skip}
+}
+
+// matchDocs recovers the admitted documents for a model's URL sequence
+// from WAL records: documents are matched in order against the URLs, so
+// skipped (non-searchable) WAL entries fall out exactly as the original
+// admission decided.
+func matchDocs(urls []string, recs []stream.Record) []stream.Doc {
+	out := make([]stream.Doc, 0, len(urls))
+	i := 0
+	for _, rec := range recs {
+		for _, d := range rec.Docs {
+			if i < len(urls) && d.URL == urls[i] {
+				out = append(out, d)
+				i++
+			}
+		}
+	}
+	// URLs with no WAL backing (snapshot-only corpora) keep an empty
+	// HTML body; the model still serves them.
+	for ; i < len(urls); i++ {
+		out = append(out, stream.Doc{URL: urls[i]})
+	}
+	return out
+}
+
+// matchDocList aligns caller-provided documents with the admitted URL
+// order, dropping skipped ones.
+func matchDocList(urls []string, docs []Document) []stream.Doc {
+	byURL := make(map[string]string, len(docs))
+	for _, d := range docs {
+		byURL[d.URL] = d.HTML
+	}
+	out := make([]stream.Doc, len(urls))
+	for i, u := range urls {
+		out[i] = stream.Doc{URL: u, HTML: byURL[u]}
+	}
+	return out
+}
+
+func toStreamDocs(docs []Document) []stream.Doc {
+	out := make([]stream.Doc, len(docs))
+	for i, d := range docs {
+		out[i] = stream.Doc{URL: d.URL, HTML: d.HTML}
+	}
+	return out
+}
+
+func toDocuments(docs []stream.Doc) []Document {
+	out := make([]Document, len(docs))
+	for i, d := range docs {
+		out[i] = Document{URL: d.URL, HTML: d.HTML}
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,171 @@
+package cafc
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+func waitLive(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func TestLiveIngestAdvancesEpochs(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 21, 40)
+	corpus, err := NewCorpus(docs[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := corpus.ClusterC(4, 1)
+	l, err := NewLive(corpus, docs[:20], cl, LiveConfig{
+		K: 4, Seed: 1, BatchSize: 8, FlushInterval: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e := l.Epoch()
+	if e == nil || e.Epoch != 1 || e.Corpus.Len() != 20 {
+		t.Fatalf("genesis epoch wrong: %+v", e)
+	}
+	if len(e.Clustering.Clusters) != 4 {
+		t.Fatalf("genesis clustering lost: %d clusters", len(e.Clustering.Clusters))
+	}
+
+	for _, d := range docs[20:] {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitLive(t, "ingested docs applied", func() bool {
+		return l.Epoch().Corpus.Len() == 40
+	})
+	e = l.Epoch()
+	if e.Epoch < 2 {
+		t.Errorf("epoch did not advance: %d", e.Epoch)
+	}
+	if len(e.Docs) != 40 {
+		t.Errorf("epoch docs = %d", len(e.Docs))
+	}
+	// The per-epoch classifier answers without touching the pipeline.
+	if _, _, err := e.Classify(docs[0]); err != nil {
+		t.Errorf("classify: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := l.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Ingest(docs[0]); !errors.Is(err, ErrDraining) {
+		t.Errorf("Ingest after Drain = %v", err)
+	}
+}
+
+// TestLiveRecoverAfterCrash is the acceptance pin for durability: a live
+// directory hard-killed mid-flight (no final snapshot) must recover to
+// the exact pre-crash epoch from the genesis snapshot plus WAL replay.
+func TestLiveRecoverAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	docs, _, _, _ := testDocs(t, 23, 48)
+	corpus, err := NewCorpus(docs[:16])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := corpus.ClusterC(4, 9)
+	// DriftThreshold 2 disables drift rebuilds so the replayed epochs are
+	// structurally identical regardless of float noise; epoch accounting
+	// itself is noise-free either way (one epoch per WAL record).
+	cfg := LiveConfig{
+		K: 4, Seed: 9, BatchSize: 8, FlushInterval: 10 * time.Millisecond,
+		DriftThreshold: 2, Dir: dir,
+	}
+	l, err := NewLive(corpus, docs[:16], cl, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs[16:] {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitLive(t, "pre-crash ingest applied", func() bool {
+		return l.Epoch().Corpus.Len() == 48
+	})
+	pre := l.Epoch()
+	preStatus := l.Status()
+	if pre.Epoch < 2 || preStatus.WALRecords != pre.Epoch {
+		t.Fatalf("pre-crash state inconsistent: epoch %d, WAL records %d",
+			pre.Epoch, preStatus.WALRecords)
+	}
+	l.Close() // crash: the queue-flush + final-snapshot path never runs
+
+	// A fresh NewLive on the same dir must refuse to fork history.
+	if _, err := NewLive(corpus, docs[:16], cl, cfg); err == nil {
+		t.Fatal("NewLive on a dirty store must refuse")
+	}
+
+	r, err := RecoverLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.Epoch()
+	if got == nil || got.Epoch != pre.Epoch {
+		t.Fatalf("recovered epoch %v, want %d", got, pre.Epoch)
+	}
+	if got.Corpus.Len() != 48 || len(got.Docs) != 48 {
+		t.Fatalf("recovered corpus %d pages, %d docs; want 48/48",
+			got.Corpus.Len(), len(got.Docs))
+	}
+	wantURLs := pre.Corpus.URLs()
+	for i, u := range got.Corpus.URLs() {
+		if u != wantURLs[i] {
+			t.Fatalf("url[%d] = %s, want %s", i, u, wantURLs[i])
+		}
+	}
+	for i, d := range got.Docs {
+		if d.HTML == "" {
+			t.Fatalf("doc %d (%s) lost its HTML across recovery", i, d.URL)
+		}
+	}
+	if s := r.Status(); s.WALRecords != preStatus.WALRecords {
+		t.Errorf("WAL records %d, want %d", s.WALRecords, preStatus.WALRecords)
+	}
+
+	// The recovered pipeline is fully live: ingest more, drain cleanly
+	// (writing a snapshot), and recover again from the snapshot alone.
+	extra, _, _, _ := testDocs(t, 29, 8)
+	for _, d := range extra {
+		if err := r.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitLive(t, "post-recovery ingest applied", func() bool {
+		return r.Epoch().Corpus.Len() == 56
+	})
+	finalEpoch := r.Epoch().Epoch
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := r.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	r2, err := RecoverLive(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if got := r2.Epoch(); got.Epoch != finalEpoch || got.Corpus.Len() != 56 {
+		t.Errorf("second recovery: epoch %d (%d pages), want %d (56)",
+			got.Epoch, got.Corpus.Len(), finalEpoch)
+	}
+}

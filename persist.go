@@ -16,6 +16,10 @@ import (
 // classification need. Raw extraction artifacts (parsed forms) are not
 // persisted; a loaded corpus can cluster, compare and classify, but not
 // re-derive Table 1-style extraction statistics.
+//
+// Version 2 adds the live-directory fields (Epoch, WALOffset); the
+// earlier fields are byte-compatible with version 1, and Load accepts
+// both (gob leaves absent fields zero).
 type corpusSnapshot struct {
 	Version  int
 	URLs     []string
@@ -28,22 +32,45 @@ type corpusSnapshot struct {
 	FCDF     map[string]int
 	PCDFN    int
 	PCDF     map[string]int
+	// Epoch and WALOffset (v2) tie the snapshot to the live-ingestion
+	// stream: the epoch this corpus state was published as, and how
+	// many WAL records it already reflects (recovery replays the rest).
+	Epoch     int64
+	WALOffset int64
 }
 
-const snapshotVersion = 1
+const snapshotVersion = 2
+
+// SnapshotInfo is the stream positioning a v2 snapshot carries: the
+// model epoch it was taken at and the number of WAL records it already
+// reflects. Zero values describe a plain static corpus.
+type SnapshotInfo struct {
+	Epoch     int64
+	WALOffset int64
+}
 
 // Save writes the built corpus (model vectors + corpus statistics) as
 // gzipped gob, so an expensive crawl+build can be reused across
 // processes — e.g. by a long-running classification service.
 func (c *Corpus) Save(w io.Writer) error {
+	return c.SaveSnapshot(w, SnapshotInfo{})
+}
+
+// SaveSnapshot is Save with explicit stream positioning — the live
+// directory checkpoints its corpus with the epoch and WAL offset the
+// snapshot reflects, so a restart recovers to that epoch and replays
+// only the WAL tail.
+func (c *Corpus) SaveSnapshot(w io.Writer, info SnapshotInfo) error {
 	snap := corpusSnapshot{
-		Version:  snapshotVersion,
-		URLs:     c.urls,
-		Weights:  c.weights,
-		Uniform:  c.model.Uniform,
-		Features: int(c.model.Features),
-		C1:       c.model.C1,
-		C2:       c.model.C2,
+		Version:   snapshotVersion,
+		URLs:      c.urls,
+		Weights:   c.weights,
+		Uniform:   c.model.Uniform,
+		Features:  int(c.model.Features),
+		C1:        c.model.C1,
+		C2:        c.model.C2,
+		Epoch:     info.Epoch,
+		WALOffset: info.WALOffset,
 	}
 	for _, p := range c.model.Pages {
 		snap.FC = append(snap.FC, p.FC)
@@ -58,22 +85,38 @@ func (c *Corpus) Save(w io.Writer) error {
 	return zw.Close()
 }
 
-// LoadCorpus reads a corpus written by Save.
-func LoadCorpus(r io.Reader) (*Corpus, error) {
+// LoadCorpus reads a corpus written by Save or SaveSnapshot (snapshot
+// versions 1 and 2 both load). Run options do not survive
+// serialization — a snapshot records model state, not wiring — so pass
+// Options to re-attach them: Metrics re-enables telemetry and Retry
+// re-enables the resilient backlink policy, exactly as NewCorpus would
+// have wired them.
+func LoadCorpus(r io.Reader, opts ...Options) (*Corpus, error) {
+	c, _, err := LoadSnapshot(r, opts...)
+	return c, err
+}
+
+// LoadSnapshot is LoadCorpus plus the stream positioning the snapshot
+// carries (zero for v1 snapshots and static saves).
+func LoadSnapshot(r io.Reader, opts ...Options) (*Corpus, SnapshotInfo, error) {
+	var o Options
+	if len(opts) > 0 {
+		o = opts[0]
+	}
 	zr, err := gzip.NewReader(r)
 	if err != nil {
-		return nil, fmt.Errorf("cafc: load: %w", err)
+		return nil, SnapshotInfo{}, fmt.Errorf("cafc: load: %w", err)
 	}
 	defer zr.Close()
 	var snap corpusSnapshot
 	if err := gob.NewDecoder(zr).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("cafc: decode: %w", err)
+		return nil, SnapshotInfo{}, fmt.Errorf("cafc: decode: %w", err)
 	}
-	if snap.Version != snapshotVersion {
-		return nil, fmt.Errorf("cafc: snapshot version %d not supported", snap.Version)
+	if snap.Version < 1 || snap.Version > snapshotVersion {
+		return nil, SnapshotInfo{}, fmt.Errorf("cafc: snapshot version %d not supported", snap.Version)
 	}
 	if len(snap.FC) != len(snap.URLs) || len(snap.PC) != len(snap.URLs) {
-		return nil, fmt.Errorf("cafc: snapshot corrupt: %d urls, %d/%d vectors",
+		return nil, SnapshotInfo{}, fmt.Errorf("cafc: snapshot corrupt: %d urls, %d/%d vectors",
 			len(snap.URLs), len(snap.FC), len(snap.PC))
 	}
 	m := &icafc.Model{
@@ -83,10 +126,18 @@ func LoadCorpus(r io.Reader) (*Corpus, error) {
 		Uniform:  snap.Uniform,
 		FCDF:     vector.RestoreDocFreq(snap.FCDFN, snap.FCDF),
 		PCDF:     vector.RestoreDocFreq(snap.PCDFN, snap.PCDF),
+		Metrics:  o.Metrics,
 	}
 	for i, u := range snap.URLs {
 		m.Pages = append(m.Pages, &icafc.Page{URL: u, FC: snap.FC[i], PC: snap.PC[i]})
 	}
 	m.EnsureCompiled()
-	return &Corpus{model: m, urls: snap.URLs, weights: snap.Weights}, nil
+	c := &Corpus{
+		model:             m,
+		urls:              snap.URLs,
+		weights:           snap.Weights,
+		retry:             o.Retry,
+		skipNonSearchable: o.SkipNonSearchable,
+	}
+	return c, SnapshotInfo{Epoch: snap.Epoch, WALOffset: snap.WALOffset}, nil
 }

@@ -3,7 +3,9 @@ package cafc
 import (
 	"bytes"
 	"compress/gzip"
+	"encoding/gob"
 	"io"
+	"os"
 	"strings"
 	"testing"
 )
@@ -114,4 +116,132 @@ func abs(x float64) float64 {
 		return -x
 	}
 	return x
+}
+
+// TestLoadV1Snapshot pins backward compatibility: a version-1 snapshot
+// written before the live-directory fields existed (checked in under
+// testdata/) must still load, and re-saving it produces a version-2
+// snapshot that round-trips with stream positioning intact.
+func TestLoadV1Snapshot(t *testing.T) {
+	raw, err := os.ReadFile("testdata/snapshot_v1.gob.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Guard the fixture itself: it must really be version 1, or this
+	// test silently stops covering the compatibility path.
+	zr, err := gzip.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap corpusSnapshot
+	if err := gob.NewDecoder(zr).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Version != 1 {
+		t.Fatalf("fixture is version %d — regenerate it with v1 code or update the test", snap.Version)
+	}
+
+	loaded, info, err := LoadSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info != (SnapshotInfo{}) {
+		t.Errorf("v1 snapshot carries stream positioning: %+v", info)
+	}
+	if loaded.Len() != 24 {
+		t.Fatalf("fixture corpus has %d pages, want 24", loaded.Len())
+	}
+	// The fixture was built from webgen seed 41; a fresh build over the
+	// same documents must agree on similarities.
+	docs, _, _, _ := testDocs(t, 41, 24)
+	fresh, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < loaded.Len(); i++ {
+		for j := i + 1; j < loaded.Len(); j++ {
+			if d := abs(loaded.Similarity(i, j) - fresh.Similarity(i, j)); d > 1e-12 {
+				t.Fatalf("sim(%d,%d) drifted %v from fresh build", i, j, d)
+			}
+		}
+	}
+
+	// v1 -> v2 round-trip: re-save with stream positioning, reload, and
+	// both the model and the positioning must survive.
+	var buf bytes.Buffer
+	if err := loaded.SaveSnapshot(&buf, SnapshotInfo{Epoch: 7, WALOffset: 3}); err != nil {
+		t.Fatal(err)
+	}
+	re, info2, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info2 != (SnapshotInfo{Epoch: 7, WALOffset: 3}) {
+		t.Errorf("v2 positioning lost: %+v", info2)
+	}
+	if re.Len() != loaded.Len() {
+		t.Fatalf("v2 reload lost pages: %d vs %d", re.Len(), loaded.Len())
+	}
+	if d := abs(re.Similarity(0, 1) - loaded.Similarity(0, 1)); d > 1e-12 {
+		t.Errorf("v2 reload drifted: %v", d)
+	}
+}
+
+// TestLoadCorpusRejectsFutureVersion keeps the version gate honest.
+func TestLoadCorpusRejectsFutureVersion(t *testing.T) {
+	var buf bytes.Buffer
+	zw := newGzip(&buf)
+	if err := gob.NewEncoder(zw).Encode(corpusSnapshot{Version: snapshotVersion + 1}); err != nil {
+		t.Fatal(err)
+	}
+	zw.Close()
+	if _, err := LoadCorpus(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version accepted: %v", err)
+	}
+}
+
+// TestLoadCorpusReattachesRunOptions is the regression test for run
+// options dropped on load: a corpus loaded with Options must emit
+// telemetry, keep the resilient backlink policy, and honor the skip
+// policy — the same wiring NewCorpus would have done.
+func TestLoadCorpusReattachesRunOptions(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 17, 32)
+	orig, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry()
+	loaded, err := LoadCorpus(&buf, Options{
+		Metrics:           reg,
+		Retry:             &Retry{MaxAttempts: 2},
+		SkipNonSearchable: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded.ClusterC(4, 1)
+	found := false
+	for _, s := range reg.Snapshot() {
+		if s.Name == "kmeans_runs_total" && s.Value >= 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("loaded corpus emitted no kmeans telemetry — Metrics option dropped on load")
+	}
+	if loaded.retry == nil || loaded.retry.MaxAttempts != 2 {
+		t.Error("Retry option dropped on load")
+	}
+	if _, err := loaded.Append([]Document{{URL: "http://x/", HTML: "<p>formless</p>"}}); err != nil {
+		t.Errorf("SkipNonSearchable option dropped on load: %v", err)
+	}
+	if len(loaded.Skipped) != 1 {
+		t.Errorf("skip bookkeeping after load: %v", loaded.Skipped)
+	}
 }

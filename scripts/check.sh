@@ -9,6 +9,9 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+# Focused race pass over the live-pipeline packages: the streaming
+# ingester, the clustering kernels it drives, and the incremental model.
+go test -race ./internal/stream ./internal/cluster ./internal/cafc
 go test -run xxx -bench 'BenchmarkCosine|BenchmarkKMeansEngines|BenchmarkKMeans454' \
     -benchtime=1x ./internal/vector ./internal/cluster .
 
@@ -62,6 +65,36 @@ grep -q '^degraded_runs_total' "$tmp/metrics2.txt" || {
     echo "check.sh: /metrics missing degraded_runs_total after backlink outage"; exit 1; }
 grep -q 'clustering degraded' "$tmp/directoryd2.log" || {
     echo "check.sh: directoryd did not log degraded clustering"; exit 1; }
+kill "$dpid"
+dpid=""
+
+# Live-ingest smoke: start directoryd in streaming mode with a durable
+# state dir, assert readiness, POST a page through /ingest and watch the
+# model epoch advance in /status.
+"$tmp/directoryd" -live -in "$tmp/corpus.json.gz" -data "$tmp/state" \
+    -addr 127.0.0.1:0 -k 4 -flush 50ms >"$tmp/directoryd3.log" 2>&1 &
+dpid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|.*on http://\([^/]*\)/.*|\1|p' "$tmp/directoryd3.log" | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+[ -n "$addr" ] || { echo "check.sh: live directoryd did not start"; cat "$tmp/directoryd3.log"; exit 1; }
+curl -fsS "http://$addr/healthz" >/dev/null || { echo "check.sh: live /healthz not ready with a genesis corpus"; exit 1; }
+epoch0=$(curl -fsS "http://$addr/status" | sed -n 's/.*"Epoch":\([0-9]*\).*/\1/p')
+[ -n "$epoch0" ] || { echo "check.sh: /status returned no epoch"; exit 1; }
+curl -fsS -X POST "http://$addr/ingest" -H 'Content-Type: application/json' \
+    -d '{"url":"http://smoke.example/","html":"<form action=\"/q\"><input type=\"text\" name=\"title\"/></form>"}' >/dev/null \
+    || { echo "check.sh: POST /ingest failed"; exit 1; }
+epoch1="$epoch0"
+for _ in $(seq 1 50); do
+    epoch1=$(curl -fsS "http://$addr/status" | sed -n 's/.*"Epoch":\([0-9]*\).*/\1/p')
+    [ "$epoch1" -gt "$epoch0" ] && break
+    sleep 0.2
+done
+[ "$epoch1" -gt "$epoch0" ] || { echo "check.sh: epoch did not advance after /ingest ($epoch0 -> $epoch1)"; cat "$tmp/directoryd3.log"; exit 1; }
+curl -fsS "http://$addr/" >/dev/null || { echo "check.sh: live directory UI not serving"; exit 1; }
 kill "$dpid"
 dpid=""
 
