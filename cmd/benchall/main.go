@@ -7,6 +7,7 @@
 //	benchall -n 454 -seed 2007 -runs 20              # everything
 //	benchall -exp figure2                            # one experiment
 //	benchall -exp scaling -sizes 100,200,454,1000
+//	benchall -exp scale -sizes 5000,20000,50000      # pruned-kernel curve
 package main
 
 import (
@@ -31,9 +32,9 @@ func main() {
 		n       = flag.Int("n", 454, "form pages in the generated corpus")
 		seed    = flag.Int64("seed", 2007, "corpus seed")
 		runs    = flag.Int("runs", experiments.DefaultRuns, "CAFC-C averaging runs")
-		exp     = flag.String("exp", "all", "experiment: all | figure2 | table1 | figure3 | table2 | weights | hubstats | hacseeds | errors | seeding | hubdesign | futurework | postquery | selectk | engines | scaling | ingest")
-		sizes   = flag.String("sizes", "100,200,454", "corpus sizes for -exp scaling")
-		jsonOut = flag.String("json", "BENCH_ingest.json", "output file for -exp ingest")
+		exp     = flag.String("exp", "all", "experiment: all | figure2 | table1 | figure3 | table2 | weights | hubstats | hacseeds | errors | seeding | hubdesign | futurework | postquery | selectk | engines | scaling | ingest | scale")
+		sizes   = flag.String("sizes", "", "corpus sizes (default 100,200,454 for -exp scaling; 5000,20000,50000 for -exp scale)")
+		jsonOut = flag.String("json", "", "output file (default BENCH_ingest.json for -exp ingest; BENCH_scale.json for -exp scale)")
 		metrics = flag.Bool("metrics", false, "collect run telemetry and dump the metrics snapshot to stderr on exit")
 	)
 	flag.Parse()
@@ -59,21 +60,23 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := writeIngestJSON(res, *jsonOut); err != nil {
+		if err := writeIngestJSON(res, defaultStr(*jsonOut, "BENCH_ingest.json")); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *exp == "scale" {
+		rep, err := scaleBench(parseSizes(defaultStr(*sizes, "5000,20000,50000")), *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeScaleJSON(rep, defaultStr(*jsonOut, "BENCH_scale.json")); err != nil {
 			log.Fatal(err)
 		}
 		return
 	}
 	if *exp == "scaling" {
-		var ns []int
-		for _, s := range strings.Split(*sizes, ",") {
-			v, err := strconv.Atoi(strings.TrimSpace(s))
-			if err != nil {
-				log.Fatalf("bad -sizes entry %q", s)
-			}
-			ns = append(ns, v)
-		}
-		rows, err := experiments.Scaling(ns, *seed)
+		rows, err := experiments.Scaling(parseSizes(defaultStr(*sizes, "100,200,454")), *seed)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -131,4 +134,26 @@ func main() {
 	default:
 		log.Fatalf("unknown -exp %q", *exp)
 	}
+}
+
+// defaultStr returns s, or def when s is empty — per-experiment flag
+// defaults.
+func defaultStr(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+// parseSizes parses a comma-separated corpus-size list.
+func parseSizes(s string) []int {
+	var ns []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			log.Fatalf("bad -sizes entry %q", f)
+		}
+		ns = append(ns, v)
+	}
+	return ns
 }

@@ -1,0 +1,195 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"testing"
+	"time"
+
+	icafc "cafc/internal/cafc"
+	"cafc/internal/cluster"
+	"cafc/internal/form"
+	"cafc/internal/obs"
+	"cafc/internal/webgen"
+)
+
+// scaleKernel is one kernel measurement at one corpus size.
+type scaleKernel struct {
+	Prune      string  `json:"prune"`
+	Millis     int64   `json:"millis"`
+	Iterations int     `json:"iterations"`
+	Distances  int64   `json:"distance_computations"`
+	Pruned     int64   `json:"pruned_points"`
+	// Reduction is exhaustive distance computations divided by this
+	// kernel's — the speedup curve the tentpole exists to record.
+	Reduction float64 `json:"distance_reduction"`
+}
+
+// scaleSize is every measurement for one corpus size.
+type scaleSize struct {
+	FormPages      int           `json:"form_pages"`
+	K              int           `json:"k"`
+	BuildMillis    int64         `json:"model_build_millis"`
+	Kernels        []scaleKernel `json:"kernels"`
+	ClassifyNsOp   int64         `json:"classify_ns_per_op"`
+	ClassifyAllocs int64         `json:"classify_allocs_per_op"`
+}
+
+// scaleReport is the BENCH_scale.json schema.
+type scaleReport struct {
+	Seed int64 `json:"seed"`
+	// MoveFrac is the k-means convergence threshold used for every
+	// kernel run. It is set effectively to zero (stop only when no point
+	// moves) so the runs converge fully — the regime where bound pruning
+	// pays, and the one a growing directory actually operates in; the
+	// library default stops far earlier.
+	MoveFrac float64     `json:"move_frac"`
+	Sizes    []scaleSize `json:"sizes"`
+}
+
+// scaleBench measures pruned vs. exhaustive clustering kernels and the
+// classify serve path on forms-only corpora of the given sizes. Every
+// pruned run is checked byte-identical to the exhaustive assignment
+// and strictly cheaper in distance computations; a violation is an
+// error, so CI smokes fail loudly instead of recording a regression.
+func scaleBench(sizes []int, seed int64) (scaleReport, error) {
+	rep := scaleReport{Seed: seed, MoveFrac: 1e-12}
+	k := len(webgen.Domains)
+	for _, n := range sizes {
+		t0 := time.Now()
+		c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n, FormsOnly: true})
+		fps := make([]*form.FormPage, 0, n)
+		labels := make([]string, 0, n)
+		for _, u := range c.FormPages {
+			fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+			if err != nil {
+				return rep, fmt.Errorf("%s: %v", u, err)
+			}
+			fps = append(fps, fp)
+			labels = append(labels, string(c.Labels[u]))
+		}
+		m := icafc.Build(fps, false)
+		m.EnsureCompiled()
+		row := scaleSize{FormPages: n, K: k, BuildMillis: time.Since(t0).Milliseconds()}
+
+		var ref cluster.Result
+		for _, prune := range []cluster.PruneMode{cluster.PruneOff, cluster.PruneHamerly, cluster.PruneElkan} {
+			reg := obs.NewRegistry()
+			t1 := time.Now()
+			res := cluster.KMeans(m, k, nil, cluster.Options{
+				Rand: rand.New(rand.NewSource(seed)), Prune: prune,
+				MoveFrac: rep.MoveFrac, Metrics: reg,
+			})
+			kr := scaleKernel{
+				Prune:      prune.String(),
+				Millis:     time.Since(t1).Milliseconds(),
+				Iterations: res.Iterations,
+				Distances:  counterValue(reg, "distance_computations_total"),
+				Pruned:     counterValue(reg, "kmeans_pruned_total"),
+			}
+			if prune == cluster.PruneOff {
+				ref = res
+				kr.Prune = "off"
+				kr.Reduction = 1
+			} else {
+				if !reflect.DeepEqual(ref.Assign, res.Assign) {
+					return rep, fmt.Errorf("n=%d prune=%s: assignments differ from exhaustive", n, prune)
+				}
+				if res.Iterations != ref.Iterations {
+					return rep, fmt.Errorf("n=%d prune=%s: iterations %d != exhaustive %d", n, prune, res.Iterations, ref.Iterations)
+				}
+				if kr.Distances >= row.Kernels[0].Distances {
+					return rep, fmt.Errorf("n=%d prune=%s: %d distance computations, not below exhaustive %d",
+						n, prune, kr.Distances, row.Kernels[0].Distances)
+				}
+				kr.Reduction = float64(row.Kernels[0].Distances) / float64(kr.Distances)
+			}
+			row.Kernels = append(row.Kernels, kr)
+		}
+
+		// Serve-path throughput: classify one held-out page against the
+		// trained centroids through the pooled fast path.
+		clf := icafc.NewClassifier(m, ref, majorityLabels(ref, labels))
+		probe, err := heldOutPage(seed + 1)
+		if err != nil {
+			return rep, err
+		}
+		clf.Classify(probe) // warm pool + lazy engine
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				clf.Classify(probe)
+			}
+		})
+		row.ClassifyNsOp = br.NsPerOp()
+		row.ClassifyAllocs = br.AllocsPerOp()
+		rep.Sizes = append(rep.Sizes, row)
+	}
+	return rep, nil
+}
+
+// majorityLabels names each cluster after its majority gold label.
+func majorityLabels(res cluster.Result, classes []string) []string {
+	counts := make([]map[string]int, res.K)
+	for i := range counts {
+		counts[i] = map[string]int{}
+	}
+	for i, c := range res.Assign {
+		if c >= 0 && c < res.K {
+			counts[c][classes[i]]++
+		}
+	}
+	labels := make([]string, res.K)
+	for c, m := range counts {
+		best := 0
+		for l, n := range m {
+			if n > best || (n == best && l < labels[c]) {
+				labels[c], best = l, n
+			}
+		}
+	}
+	return labels
+}
+
+// heldOutPage parses one form page the training corpus has never seen.
+func heldOutPage(seed int64) (*form.FormPage, error) {
+	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: 1, FormsOnly: true})
+	u := c.FormPages[0]
+	return form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+}
+
+// counterValue reads one counter family from a registry snapshot.
+func counterValue(reg *obs.Registry, name string) int64 {
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return int64(s.Value)
+		}
+	}
+	return 0
+}
+
+// writeScaleJSON prints the human-readable table and writes the JSON
+// report to path.
+func writeScaleJSON(rep scaleReport, path string) error {
+	fmt.Printf("%10s %10s %6s %12s %14s %12s %10s %12s %10s\n",
+		"formPages", "kernel", "iters", "ms", "distances", "pruned", "reduction", "classify_ns", "allocs")
+	for _, sz := range rep.Sizes {
+		for _, kr := range sz.Kernels {
+			fmt.Printf("%10d %10s %6d %12d %14d %12d %9.2fx %12d %10d\n",
+				sz.FormPages, kr.Prune, kr.Iterations, kr.Millis, kr.Distances, kr.Pruned, kr.Reduction,
+				sz.ClassifyNsOp, sz.ClassifyAllocs)
+		}
+	}
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s\n", path)
+	return nil
+}

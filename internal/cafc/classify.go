@@ -2,6 +2,7 @@ package cafc
 
 import (
 	"sort"
+	"sync"
 
 	"cafc/internal/cluster"
 	"cafc/internal/form"
@@ -12,12 +13,21 @@ import (
 // centroid. The paper's Section 5 points out that once CAFC's clusters
 // are built and labelled, they become an automatic classifier for newly
 // discovered hidden-web sources — this type implements that suggestion.
+//
+// Classify and Rank serve through a pooled, allocation-free fast path
+// (see classifyEngine) whenever the model's compiled engine is active;
+// the generic embed-and-compare path remains as the fallback and the
+// semantic reference. A Classifier is safe for concurrent use once
+// built.
 type Classifier struct {
 	model     *Model
 	centroids []cluster.Point
 	// Labels names each cluster (e.g. its majority gold domain, or a
 	// human-assigned directory label).
 	Labels []string
+
+	engineOnce sync.Once
+	eng        *classifyEngine
 }
 
 // NewClassifier builds a nearest-centroid classifier from a clustering of
@@ -72,26 +82,50 @@ type Prediction struct {
 
 // Classify embeds the form page into the model's TF-IDF spaces and
 // returns the most similar cluster. ok is false when the page has no
-// similarity to any centroid (all-zero vectors).
+// similarity to any centroid (all-zero vectors). On the fast path this
+// allocates nothing: the winner is a single pass over pooled scores,
+// with the same lowest-index tie break the ranked path's sort produces.
 func (c *Classifier) Classify(fp *form.FormPage) (Prediction, bool) {
-	ranked := c.Rank(fp)
-	if len(ranked) == 0 || ranked[0].Similarity == 0 {
-		var p Prediction
-		if len(ranked) > 0 {
-			p = ranked[0]
+	e := c.engine()
+	if e == nil {
+		ranked := c.Rank(fp)
+		if len(ranked) == 0 || ranked[0].Similarity == 0 {
+			var p Prediction
+			if len(ranked) > 0 {
+				p = ranked[0]
+			}
+			return p, false
 		}
-		return p, false
+		return ranked[0], true
 	}
-	return ranked[0], true
+	sc := e.pool.Get().(*classifyScratch)
+	defer e.pool.Put(sc)
+	best, bestSim := 0, -1.0
+	for i, sim := range e.score(sc, fp) {
+		if sim > bestSim {
+			best, bestSim = i, sim
+		}
+	}
+	return Prediction{Cluster: best, Label: c.Labels[best], Similarity: bestSim}, bestSim > 0
 }
 
 // Rank returns every cluster ordered by decreasing similarity to the
-// page.
+// page (ties broken by cluster index). Unlike Classify it must return a
+// slice, so it allocates the result — but on the fast path nothing else.
 func (c *Classifier) Rank(fp *form.FormPage) []Prediction {
+	out := make([]Prediction, 0, len(c.centroids))
+	if e := c.engine(); e != nil {
+		sc := e.pool.Get().(*classifyScratch)
+		defer e.pool.Put(sc)
+		for i, sim := range e.score(sc, fp) {
+			out = append(out, Prediction{Cluster: i, Label: c.Labels[i], Similarity: sim})
+		}
+		sortPredictions(out)
+		return out
+	}
 	// Pack the embedded page once so the per-centroid Sim calls run on
 	// the compiled path instead of re-packing per comparison.
 	p := c.model.CompilePoint(c.model.PointOf(c.model.Embed(fp)))
-	out := make([]Prediction, 0, len(c.centroids))
 	for i, cent := range c.centroids {
 		out = append(out, Prediction{
 			Cluster:    i,
@@ -99,11 +133,15 @@ func (c *Classifier) Rank(fp *form.FormPage) []Prediction {
 			Similarity: c.model.Sim(p, cent),
 		})
 	}
+	sortPredictions(out)
+	return out
+}
+
+func sortPredictions(out []Prediction) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Similarity != out[j].Similarity {
 			return out[i].Similarity > out[j].Similarity
 		}
 		return out[i].Cluster < out[j].Cluster
 	})
-	return out
 }

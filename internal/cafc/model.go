@@ -336,3 +336,98 @@ func (m *Model) Sim(a, b cluster.Point) float64 {
 func (m *Model) PairSim(i, j int) float64 {
 	return m.Sim(m.Point(i), m.Point(j))
 }
+
+// NewCentroidIndex implements cluster.CentroidScorer for the compiled
+// engine: each feature space's centroids become a term → centroid
+// postings index, and Sims combines the two cosines with exactly the
+// operations (and operation order) of Sim's packed Equation 3 branch,
+// so the scores are bit-identical. Returns nil — plain Sim fallback —
+// when the engine is inactive or the centroids are not packed points.
+func (m *Model) NewCentroidIndex(centroids []cluster.Point) cluster.CentroidIndex {
+	cp := m.engine()
+	if cp == nil {
+		return nil
+	}
+	pcs := make([]vector.Compiled, len(centroids))
+	fcs := make([]vector.Compiled, len(centroids))
+	for i, c := range centroids {
+		p, ok := c.(cpoint)
+		if !ok {
+			return nil
+		}
+		pcs[i] = p.pc
+		fcs[i] = p.fc
+	}
+	c1, c2 := m.C1, m.C2
+	if c1 == 0 && c2 == 0 {
+		c1, c2 = 1, 1
+	}
+	return &modelCentroidIndex{
+		cp:    cp,
+		feats: m.Features,
+		c1:    c1,
+		c2:    c2,
+		k:     len(centroids),
+		pc:    vector.NewPostings(pcs),
+		fc:    vector.NewPostings(fcs),
+	}
+}
+
+// modelCentroidIndex scores model pages against a frozen centroid set
+// through two per-space postings indexes. Immutable; safe for the
+// parallel kernels.
+type modelCentroidIndex struct {
+	cp     *compiledPages
+	feats  Features
+	c1, c2 float64
+	k      int
+	pc, fc *vector.Postings
+}
+
+// ScratchLen implements cluster.CentroidIndex: the two-space combine
+// needs one dot-product buffer per feature space.
+func (ix *modelCentroidIndex) ScratchLen() int { return 2 * ix.k }
+
+// Sims implements cluster.CentroidIndex.
+func (ix *modelCentroidIndex) Sims(sims, scratch []float64, i int) {
+	switch ix.feats {
+	case FCOnly:
+		q := ix.cp.fc[i]
+		ix.fc.Dots(q, sims)
+		for c := range sims {
+			sims[c] = vector.CosineDot(sims[c], q.Norm, ix.fc.Norm(c))
+		}
+	case PCOnly:
+		q := ix.cp.pc[i]
+		ix.pc.Dots(q, sims)
+		for c := range sims {
+			sims[c] = vector.CosineDot(sims[c], q.Norm, ix.pc.Norm(c))
+		}
+	default:
+		qp, qf := ix.cp.pc[i], ix.cp.fc[i]
+		dp, df := scratch[:ix.k], scratch[ix.k:2*ix.k]
+		ix.pc.Dots(qp, dp)
+		ix.fc.Dots(qf, df)
+		for c := range sims {
+			sims[c] = (ix.c1*vector.CosineDot(dp[c], qp.Norm, ix.pc.Norm(c)) +
+				ix.c2*vector.CosineDot(df[c], qf.Norm, ix.fc.Norm(c))) / (ix.c1 + ix.c2)
+		}
+	}
+}
+
+// SimOne implements cluster.CentroidIndex: one centroid, O(page nnz)
+// via the postings' dense rows, with Sims' (and Sim's) exact combine.
+func (ix *modelCentroidIndex) SimOne(_ []float64, i, c int) float64 {
+	switch ix.feats {
+	case FCOnly:
+		q := ix.cp.fc[i]
+		return vector.CosineDot(ix.fc.DotOne(q, c), q.Norm, ix.fc.Norm(c))
+	case PCOnly:
+		q := ix.cp.pc[i]
+		return vector.CosineDot(ix.pc.DotOne(q, c), q.Norm, ix.pc.Norm(c))
+	default:
+		qp, qf := ix.cp.pc[i], ix.cp.fc[i]
+		return (ix.c1*vector.CosineDot(ix.pc.DotOne(qp, c), qp.Norm, ix.pc.Norm(c)) +
+			ix.c2*vector.CosineDot(ix.fc.DotOne(qf, c), qf.Norm, ix.fc.Norm(c))) / (ix.c1 + ix.c2)
+	}
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package cafc
+
+// raceEnabled reports whether the race detector is active. Allocation
+// assertions are skipped under -race: sync.Pool intentionally drops
+// items when instrumented, so the pooled scratch reallocates.
+const raceEnabled = true

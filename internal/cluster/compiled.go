@@ -52,3 +52,46 @@ func (s *CompiledSpace) Centroid(members []int) Point {
 func (s *CompiledSpace) Sim(a, b Point) float64 {
 	return vector.CosineCompiled(a.(vector.Compiled), b.(vector.Compiled))
 }
+
+// NewCentroidIndex implements CentroidScorer: centroids become a
+// term → centroid postings index, so a sparse point scores only the
+// centroids it shares terms with instead of merge-joining against every
+// centroid's full (dense) term set. Postings accumulate each dot product
+// in ascending term-ID order — the same order as Compiled.Dot's merge
+// join — and the cosine conversion is the shared CosineDot, so the
+// similarities are bit-identical to Sim.
+func (s *CompiledSpace) NewCentroidIndex(centroids []Point) CentroidIndex {
+	vs := make([]vector.Compiled, len(centroids))
+	for i, c := range centroids {
+		cv, ok := c.(vector.Compiled)
+		if !ok {
+			return nil
+		}
+		vs[i] = cv
+	}
+	return &compiledCentroidIndex{space: s, post: vector.NewPostings(vs)}
+}
+
+type compiledCentroidIndex struct {
+	space *CompiledSpace
+	post  *vector.Postings
+}
+
+// ScratchLen implements CentroidIndex; the single-space index needs no
+// scratch beyond the sims buffer itself.
+func (ix *compiledCentroidIndex) ScratchLen() int { return 0 }
+
+// Sims implements CentroidIndex.
+func (ix *compiledCentroidIndex) Sims(sims, _ []float64, i int) {
+	q := ix.space.Vecs[i]
+	ix.post.Dots(q, sims)
+	for c := range sims {
+		sims[c] = vector.CosineDot(sims[c], q.Norm, ix.post.Norm(c))
+	}
+}
+
+// SimOne implements CentroidIndex through the postings' dense row.
+func (ix *compiledCentroidIndex) SimOne(_ []float64, i, c int) float64 {
+	q := ix.space.Vecs[i]
+	return vector.CosineDot(ix.post.DotOne(q, c), q.Norm, ix.post.Norm(c))
+}

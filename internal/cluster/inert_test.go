@@ -22,18 +22,21 @@ func TestInstrumentationInert(t *testing.T) {
 	} {
 		t.Run(name, func(t *testing.T) {
 			for _, workers := range []int{1, 8} {
+				for _, prune := range []PruneMode{PruneOff, PruneHamerly, PruneElkan} {
+					reg := obs.NewRegistry()
+					plain := KMeans(space, 6, nil, Options{Rand: rand.New(rand.NewSource(5)), Workers: workers, Prune: prune})
+					instr := KMeans(space, 6, nil, Options{Rand: rand.New(rand.NewSource(5)), Workers: workers, Prune: prune, Metrics: reg})
+					if !reflect.DeepEqual(plain.Assign, instr.Assign) {
+						t.Errorf("k-means workers=%d prune=%v: instrumented assignments differ from plain", workers, prune)
+					}
+					if plain.Iterations != instr.Iterations {
+						t.Errorf("k-means workers=%d prune=%v: iterations %d != %d", workers, prune, plain.Iterations, instr.Iterations)
+					}
+					assertRecorded(t, reg, "kmeans_runs_total", "kmeans_moved_fraction", "kmeans_iterations_total",
+						"kmeans_assign_seconds", "kmeans_recompute_seconds",
+						"distance_computations_total", "kmeans_pruned_total")
+				}
 				reg := obs.NewRegistry()
-				plain := KMeans(space, 6, nil, Options{Rand: rand.New(rand.NewSource(5)), Workers: workers})
-				instr := KMeans(space, 6, nil, Options{Rand: rand.New(rand.NewSource(5)), Workers: workers, Metrics: reg})
-				if !reflect.DeepEqual(plain.Assign, instr.Assign) {
-					t.Errorf("k-means workers=%d: instrumented assignments differ from plain", workers)
-				}
-				if plain.Iterations != instr.Iterations {
-					t.Errorf("k-means workers=%d: iterations %d != %d", workers, plain.Iterations, instr.Iterations)
-				}
-				assertRecorded(t, reg, "kmeans_runs_total", "kmeans_moved_fraction", "kmeans_iterations_total", "kmeans_assign_seconds", "kmeans_recompute_seconds")
-
-				reg = obs.NewRegistry()
 				plainHAC := HACCut(space, 6, AverageLinkage)
 				instrHAC := HACCutOpts(space, 6, AverageLinkage, Options{Workers: workers, Metrics: reg})
 				if !reflect.DeepEqual(plainHAC.Assign, instrHAC.Assign) {

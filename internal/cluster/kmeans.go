@@ -25,6 +25,11 @@ type Options struct {
 	// fixed, workers write disjoint index-addressed slots, and no
 	// floating-point reduction is reassociated across points.
 	Workers int
+	// Prune selects the assignment kernel. The zero value (PruneAuto)
+	// enables Hamerly-style bound pruning; PruneOff forces the exhaustive
+	// reference kernel. Every mode returns bit-identical results — see
+	// PruneMode.
+	Prune PruneMode
 	// Metrics, when non-nil, receives convergence telemetry (moved
 	// fraction per iteration, phase timings, empty-cluster repairs) and
 	// parallel-kernel shard utilization. Nil disables instrumentation
@@ -101,6 +106,12 @@ func KMeans(s Space, k int, seeds [][]int, opts Options) Result {
 	}
 	iter := 0
 	movedBy := make([]int, maxShards(n, opts.Workers))
+	// The assignment kernel (exhaustive or bound-pruned, per
+	// opts.Prune) owns the point×centroid scans; all kernels shard over
+	// points exactly like the historical inline loop and are pinned
+	// bit-identical to it.
+	asg := newAssigner(s, k, opts, len(movedBy))
+	var repairSims []float64 // lazily computed, once per round at most
 	for ; iter < opts.MaxIter; iter++ {
 		iterCounter.Inc()
 		// Assignment (Algorithm 1 line 4), sharded over points. Each
@@ -113,21 +124,7 @@ func KMeans(s Space, k int, seeds [][]int, opts Options) Result {
 		if assignHist != nil {
 			t0 = time.Now()
 		}
-		parallelRange(n, opts.Workers, timedBody(opts.Metrics, "kmeans_assign", func(start, end, shard int) {
-			for i := start; i < end; i++ {
-				best, bestSim := 0, -1.0
-				p := s.Point(i)
-				for c := 0; c < k; c++ {
-					if sim := s.Sim(p, centroids[c]); sim > bestSim {
-						best, bestSim = c, sim
-					}
-				}
-				if assign[i] != best {
-					movedBy[shard]++
-					assign[i] = best
-				}
-			}
-		}))
+		asg.assign(centroids, assign, movedBy)
 		assignHist.ObserveSince(t0)
 		moved := 0
 		for _, m := range movedBy {
@@ -151,11 +148,16 @@ func KMeans(s Space, k int, seeds [][]int, opts Options) Result {
 			}
 		}))
 		recomputeHist.ObserveSince(t0)
-		// Repair empty clusters serially: reseed each from the point
-		// farthest from its current centroid, a standard k-means repair.
-		// `taken` tracks points already used this round so two clusters
-		// emptying together cannot reseed to the same point (which would
-		// produce duplicate centroids).
+		// Repair empty clusters: reseed each from the point farthest from
+		// its assigned centroid, a standard k-means repair. One sharded
+		// scan computes every point's similarity to its assigned centroid
+		// and all empty clusters this round select from it (reseeding
+		// cluster c cannot change any scanned similarity, because an
+		// empty cluster has no assigned points) — the old code rescanned
+		// the whole corpus once per empty cluster. `taken` tracks points
+		// already consumed so two clusters emptying together cannot
+		// reseed to the same point (which would produce duplicate
+		// centroids).
 		var taken map[int]bool
 		for c := 0; c < k; c++ {
 			if len(members[c]) != 0 {
@@ -164,16 +166,27 @@ func KMeans(s Space, k int, seeds [][]int, opts Options) Result {
 			if taken == nil {
 				taken = make(map[int]bool, k)
 			}
-			idx := farthestPoint(s, assign, centroids, taken)
+			if repairSims == nil {
+				repairSims = asg.assignedSims(centroids, assign)
+			}
+			idx := farthestIdx(repairSims, taken)
 			taken[idx] = true
 			centroids[c] = s.Point(idx)
 			repairCounter.Inc()
 			moved++ // force another round
 		}
+		repairSims = nil
 		if float64(moved) < opts.MoveFrac*float64(n) {
 			iter++
 			break
 		}
+	}
+	// Work counters flush once per run: kernels accumulate in per-shard
+	// slots, so the hot loops never touch an atomic and a nil registry
+	// costs nothing.
+	if reg := opts.Metrics; reg != nil {
+		reg.Counter("distance_computations_total").Add(asg.distTotal())
+		reg.Counter("kmeans_pruned_total").Add(asg.prunedTotal())
 	}
 	return Result{Assign: assign, K: k, Iterations: iter, Centroids: centroids}
 }
@@ -201,20 +214,20 @@ func initialCentroids(s Space, k int, seeds [][]int, rng *rand.Rand) []Point {
 	return centroids
 }
 
-// farthestPoint returns the index of the point least similar to its
-// assigned centroid, skipping points in `exclude` (already consumed as
-// reseeds this round; nil means none).
-func farthestPoint(s Space, assign []int, centroids []Point, exclude map[int]bool) int {
+// farthestIdx picks the point least similar to its assigned centroid
+// from a precomputed assigned-similarity scan (see
+// assignerBase.assignedSims), skipping points in `exclude` (already
+// consumed as reseeds this round). Strict `<` keeps the historical
+// lowest-index tie break, and the -1 sentinel for unassigned points
+// sorts below every real similarity, so the first unassigned point wins
+// — exactly the old per-cluster rescan's behavior, minus the rescans.
+func farthestIdx(sims []float64, exclude map[int]bool) int {
 	worst, worstSim := -1, 2.0
-	for i := 0; i < s.Len(); i++ {
+	for i, sim := range sims {
 		if exclude[i] {
 			continue
 		}
-		c := assign[i]
-		if c < 0 || c >= len(centroids) {
-			return i
-		}
-		if sim := s.Sim(s.Point(i), centroids[c]); sim < worstSim {
+		if sim < worstSim {
 			worst, worstSim = i, sim
 		}
 	}

@@ -183,19 +183,22 @@ func TestEmptyClusterRepairDistinct(t *testing.T) {
 	}
 }
 
-// TestFarthestPointExcludes unit-tests the repair primitive directly.
+// TestFarthestPointExcludes unit-tests the repair primitives directly:
+// one assigned-similarity scan feeds every farthest-point selection of
+// the round.
 func TestFarthestPointExcludes(t *testing.T) {
 	s := &VectorSpace{Vecs: []vector.Vector{
 		{"a": 1}, {"a": 1, "b": 0.2}, {"b": 1},
 	}}
-	cent := s.Point(0)
 	assign := []int{0, 0, 0}
-	cents := []Point{cent}
-	first := farthestPoint(s, assign, cents, nil)
+	cents := []Point{s.Point(0)}
+	asg := newAssigner(s, 1, Options{Workers: 1}, 1)
+	sims := asg.assignedSims(cents, assign)
+	first := farthestIdx(sims, nil)
 	if first != 2 {
 		t.Fatalf("farthest = %d, want 2", first)
 	}
-	second := farthestPoint(s, assign, cents, map[int]bool{first: true})
+	second := farthestIdx(sims, map[int]bool{first: true})
 	if second == first {
 		t.Fatal("exclusion ignored")
 	}

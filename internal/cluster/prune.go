@@ -1,0 +1,516 @@
+package cluster
+
+import (
+	"math"
+
+	"cafc/internal/obs"
+)
+
+// PruneMode selects the k-means assignment kernel. All modes produce
+// bit-identical Result.Assign, Iterations and Centroids — pruning only
+// skips point×centroid similarity evaluations that provably cannot
+// change the lowest-index argmax the exhaustive scan would pick.
+type PruneMode int
+
+const (
+	// PruneAuto (the zero value) picks the default pruned kernel,
+	// currently Hamerly — pruning is on unless explicitly disabled.
+	PruneAuto PruneMode = iota
+	// PruneOff runs the exhaustive reference kernel: every point scores
+	// every centroid every round.
+	PruneOff
+	// PruneHamerly keeps one upper bound (distance to the assigned
+	// centroid) and one lower bound (distance to the second-closest) per
+	// point — O(n) extra state, one drift update per point per round.
+	PruneHamerly
+	// PruneElkan keeps a per-centroid lower bound per point plus the
+	// pairwise centroid-distance matrix — O(n·k) extra state, tightest
+	// pruning, worth it when k is large or convergence is long.
+	PruneElkan
+)
+
+// resolve maps PruneAuto to the concrete default kernel.
+func (m PruneMode) resolve() PruneMode {
+	if m == PruneAuto {
+		return PruneHamerly
+	}
+	return m
+}
+
+// String implements fmt.Stringer.
+func (m PruneMode) String() string {
+	switch m.resolve() {
+	case PruneOff:
+		return "off"
+	case PruneElkan:
+		return "elkan"
+	default:
+		return "hamerly"
+	}
+}
+
+// The bounds work in chord distance d(a,b) = sqrt(2·(1-Sim(a,b))). For
+// the cosine-style similarities every Space here exposes (dot products
+// of implicitly concatenated unit vectors, clamped into [0,1], with the
+// zero-norm convention Sim = 0), this is the Euclidean distance between
+// the normalized points, so the triangle inequality holds and
+// Elkan/Hamerly bound maintenance is sound. Distance is only ever used
+// for bounds; every actual assignment decision compares similarities
+// with the exhaustive kernel's exact semantics.
+func boundDist(sim float64) float64 {
+	v := 2 * (1 - sim)
+	if v <= 0 {
+		return 0
+	}
+	return math.Sqrt(v)
+}
+
+// boundSlack is the absolute safety margin folded into every bound
+// update: upper bounds are inflated and lower bounds deflated by it once
+// per round. It is ~1e7× larger than the worst per-step floating-point
+// rounding error on these O(1)-magnitude distances, so a prune decision
+// can never be flipped by accumulated rounding — and it is small enough
+// to erode no measurable pruning. The margin is also what makes exact
+// similarity ties safe: a tie has zero distance gap, so no slack-deflated
+// bound can ever prune a tied centroid, and the rescan resolves the tie
+// with the exhaustive kernel's own lowest-index rule.
+const boundSlack = 1e-9
+
+// assigner is one k-means assignment kernel: called once per iteration
+// to (re)assign every point, with per-shard move counts exactly like the
+// historical inline loop. Implementations must be bit-identical to
+// exhaustiveAssigner in every observable output.
+type assigner interface {
+	assign(cents []Point, assign, movedBy []int)
+	assignedSims(cents []Point, assign []int) []float64
+	distTotal() int64
+	prunedTotal() int64
+}
+
+// newAssigner builds the kernel opts.Prune selects. shards is the
+// per-shard slot count (maxShards of the point range).
+func newAssigner(s Space, k int, opts Options, shards int) assigner {
+	b := newAssignerBase(s, k, opts, shards)
+	switch opts.Prune.resolve() {
+	case PruneOff:
+		return &exhaustiveAssigner{b}
+	case PruneElkan:
+		return &elkanAssigner{assignerBase: b}
+	default:
+		return &hamerlyAssigner{assignerBase: b}
+	}
+}
+
+// assignerBase carries what every kernel shares: the space, the
+// centroid-index probe, per-shard similarity buffers, and per-shard
+// work counters (similarity evaluations and bound-pruned points) that
+// KMeans flushes to the metrics registry once per run.
+type assignerBase struct {
+	s       Space
+	k       int
+	workers int
+	reg     *obs.Registry
+	// dist and pruned are per-shard slots: workers only touch their own
+	// index, the totals are reduced serially — instrumentation adds no
+	// cross-shard traffic and stays bit-inert.
+	dist   []int64
+	pruned []int64
+	// sims holds one all-centroid score buffer per shard; scratch is the
+	// index's extra working memory, allocated on first index use.
+	sims    [][]float64
+	scratch [][]float64
+}
+
+func newAssignerBase(s Space, k int, opts Options, shards int) assignerBase {
+	b := assignerBase{
+		s:       s,
+		k:       k,
+		workers: opts.Workers,
+		reg:     opts.Metrics,
+		dist:    make([]int64, shards),
+		pruned:  make([]int64, shards),
+		sims:    make([][]float64, shards),
+	}
+	for i := range b.sims {
+		b.sims[i] = make([]float64, k)
+	}
+	return b
+}
+
+func (b *assignerBase) distTotal() int64 {
+	var t int64
+	for _, v := range b.dist {
+		t += v
+	}
+	return t
+}
+
+func (b *assignerBase) prunedTotal() int64 {
+	var t int64
+	for _, v := range b.pruned {
+		t += v
+	}
+	return t
+}
+
+// index probes the space for the CentroidScorer capability and builds
+// the postings index over the current centroids; nil means this round
+// scores through plain Sim calls.
+func (b *assignerBase) index(cents []Point) CentroidIndex {
+	cs, ok := b.s.(CentroidScorer)
+	if !ok {
+		return nil
+	}
+	idx := cs.NewCentroidIndex(cents)
+	if idx == nil {
+		return nil
+	}
+	if b.scratch == nil {
+		b.scratch = make([][]float64, len(b.sims))
+		for i := range b.scratch {
+			b.scratch[i] = make([]float64, idx.ScratchLen())
+		}
+	}
+	return idx
+}
+
+// simOne scores point i against the single centroid c — through the
+// index's dense-row path (O(point nnz)) when available, else one plain
+// Sim merge join. Bit-identical either way (the CentroidIndex
+// contract), so pruned kernels may mix it freely with full scans.
+func (b *assignerBase) simOne(i, c int, cents []Point, idx CentroidIndex, shard int) float64 {
+	if idx != nil {
+		return idx.SimOne(b.scratch[shard], i, c)
+	}
+	return b.s.Sim(b.s.Point(i), cents[c])
+}
+
+// scanSims fills dst with point i's similarity to every centroid,
+// through the index when available. Both paths produce bit-identical
+// values (the CentroidScorer contract).
+func (b *assignerBase) scanSims(i int, cents []Point, idx CentroidIndex, shard int, dst []float64) {
+	if idx != nil {
+		idx.Sims(dst, b.scratch[shard], i)
+		return
+	}
+	p := b.s.Point(i)
+	for c := range cents {
+		dst[c] = b.s.Sim(p, cents[c])
+	}
+}
+
+// scanPoint runs the exhaustive scan for point i with the reference
+// kernel's exact comparison semantics — strict `>` left to right, so the
+// winner is the lowest-index argmax — and also reports the runner-up
+// similarity (the Hamerly lower bound).
+func (b *assignerBase) scanPoint(i int, cents []Point, idx CentroidIndex, shard int) (best int, bestSim, second float64) {
+	sims := b.sims[shard]
+	b.scanSims(i, cents, idx, shard, sims)
+	bestSim, second = -1.0, -1.0
+	for c, sim := range sims {
+		if sim > bestSim {
+			best, bestSim, second = c, sim, bestSim
+		} else if sim > second {
+			second = sim
+		}
+	}
+	return
+}
+
+// assignedSims returns every point's similarity to its assigned
+// centroid in one sharded pass — the empty-cluster repair scan. Points
+// without a valid assignment score the -1 sentinel so the farthest-point
+// selection picks the first of them, matching the historical serial
+// scan. Each empty cluster this round reuses the same array instead of
+// rescanning the corpus (the repair cost is now one scan per round, not
+// one per empty cluster).
+func (b *assignerBase) assignedSims(cents []Point, assign []int) []float64 {
+	out := make([]float64, len(assign))
+	idx := b.index(cents)
+	parallelRange(len(assign), b.workers, timedBody(b.reg, "kmeans_repair", func(start, end, shard int) {
+		for i := start; i < end; i++ {
+			c := assign[i]
+			if c < 0 || c >= len(cents) {
+				out[i] = -1
+				continue
+			}
+			if idx != nil {
+				sims := b.sims[shard]
+				idx.Sims(sims, b.scratch[shard], i)
+				out[i] = sims[c]
+			} else {
+				out[i] = b.s.Sim(b.s.Point(i), cents[c])
+			}
+			b.dist[shard]++
+		}
+	}))
+	return out
+}
+
+// exhaustiveAssigner is the reference kernel: every point scores every
+// centroid every round. It is also the semantic definition the pruned
+// kernels are pinned against.
+type exhaustiveAssigner struct {
+	assignerBase
+}
+
+func (a *exhaustiveAssigner) assign(cents []Point, assign, movedBy []int) {
+	idx := a.index(cents)
+	parallelRange(len(assign), a.workers, timedBody(a.reg, "kmeans_assign", func(start, end, shard int) {
+		for i := start; i < end; i++ {
+			best, _, _ := a.scanPoint(i, cents, idx, shard)
+			a.dist[shard] += int64(a.k)
+			if assign[i] != best {
+				movedBy[shard]++
+				assign[i] = best
+			}
+		}
+	}))
+}
+
+// hamerlyAssigner maintains, per point, an upper bound u on the distance
+// to its assigned centroid and a lower bound l on the distance to every
+// other centroid. After a round in which centroid c moved by drift(c),
+// u grows by drift(assigned) and l shrinks by max drift; while u < l the
+// assigned centroid is provably still the strict nearest and the whole
+// point×centroid scan is skipped. The inequality is kept strict — and
+// every bound padded by boundSlack — so a pruned round can never hide a
+// centroid the exhaustive kernel would have tied or preferred; any point
+// whose bounds overlap is rescanned with the exhaustive scan itself.
+type hamerlyAssigner struct {
+	assignerBase
+	started bool
+	u, l    []float64
+	// prev snapshots the centroids as scored this round; next round's
+	// drift is measured against it (recompute and empty-cluster repair
+	// both move centroids between rounds).
+	prev  []Point
+	drift []float64
+}
+
+func (a *hamerlyAssigner) assign(cents []Point, assign, movedBy []int) {
+	n := len(assign)
+	idx := a.index(cents)
+	if !a.started {
+		a.u = make([]float64, n)
+		a.l = make([]float64, n)
+		a.drift = make([]float64, a.k)
+		parallelRange(n, a.workers, timedBody(a.reg, "kmeans_assign", func(start, end, shard int) {
+			for i := start; i < end; i++ {
+				best, bestSim, second := a.scanPoint(i, cents, idx, shard)
+				a.dist[shard] += int64(a.k)
+				a.u[i] = boundDist(bestSim)
+				a.l[i] = boundDist(second)
+				if assign[i] != best {
+					movedBy[shard]++
+					assign[i] = best
+				}
+			}
+		}))
+		a.started = true
+		a.snapshot(cents)
+		return
+	}
+	maxDrift := 0.0
+	for c := range cents {
+		a.drift[c] = boundDist(a.s.Sim(a.prev[c], cents[c])) + boundSlack
+		if a.drift[c] > maxDrift {
+			maxDrift = a.drift[c]
+		}
+	}
+	a.dist[0] += int64(a.k)
+	parallelRange(n, a.workers, timedBody(a.reg, "kmeans_assign", func(start, end, shard int) {
+		for i := start; i < end; i++ {
+			ai := assign[i]
+			u := a.u[i] + a.drift[ai]
+			l := a.l[i] - maxDrift
+			if u < l {
+				a.u[i], a.l[i] = u, l
+				a.pruned[shard]++
+				continue
+			}
+			// Tighten the upper bound with one exact similarity before
+			// paying for the full rescan.
+			u = boundDist(a.simOne(i, ai, cents, idx, shard))
+			a.dist[shard]++
+			if u < l {
+				a.u[i], a.l[i] = u, l
+				a.pruned[shard]++
+				continue
+			}
+			best, bestSim, second := a.scanPoint(i, cents, idx, shard)
+			a.dist[shard] += int64(a.k)
+			a.u[i] = boundDist(bestSim)
+			a.l[i] = boundDist(second)
+			if assign[i] != best {
+				movedBy[shard]++
+				assign[i] = best
+			}
+		}
+	}))
+	a.snapshot(cents)
+}
+
+func (a *hamerlyAssigner) snapshot(cents []Point) {
+	a.prev = append(a.prev[:0], cents...)
+}
+
+// elkanAssigner keeps a full n×k matrix of per-centroid lower bounds
+// plus the pairwise centroid-distance matrix, so individual centroids
+// can be skipped even when the point as a whole must be rechecked. Skip
+// conditions are strict and slack-padded exactly like Hamerly's, and
+// centroids that survive them are scored with the space's own Sim and
+// compared with the exhaustive kernel's lowest-index-argmax rule, so
+// the winning assignment is identical by construction.
+type elkanAssigner struct {
+	assignerBase
+	started bool
+	u       []float64
+	lb      []float64 // n×k lower bounds, row-major
+	prev    []Point
+	drift   []float64
+	cc      []float64 // k×k centroid distances, deflated by boundSlack
+	sep     []float64 // 0.5 × distance to each centroid's nearest peer
+}
+
+func (a *elkanAssigner) assign(cents []Point, assign, movedBy []int) {
+	n := len(assign)
+	k := a.k
+	idx := a.index(cents)
+	if !a.started {
+		a.u = make([]float64, n)
+		a.lb = make([]float64, n*k)
+		a.drift = make([]float64, k)
+		a.cc = make([]float64, k*k)
+		a.sep = make([]float64, k)
+		parallelRange(n, a.workers, timedBody(a.reg, "kmeans_assign", func(start, end, shard int) {
+			for i := start; i < end; i++ {
+				sims := a.sims[shard]
+				a.scanSims(i, cents, idx, shard, sims)
+				a.dist[shard] += int64(k)
+				best, bestSim := 0, -1.0
+				for c, sim := range sims {
+					a.lb[i*k+c] = boundDist(sim)
+					if sim > bestSim {
+						best, bestSim = c, sim
+					}
+				}
+				a.u[i] = boundDist(bestSim)
+				if assign[i] != best {
+					movedBy[shard]++
+					assign[i] = best
+				}
+			}
+		}))
+		a.started = true
+		a.snapshot(cents)
+		return
+	}
+	for c := range cents {
+		a.drift[c] = boundDist(a.s.Sim(a.prev[c], cents[c])) + boundSlack
+	}
+	a.dist[0] += int64(k)
+	// Pairwise centroid distances, deflated so they stay true lower
+	// bounds under floating-point rounding; sep[c] is half the distance
+	// to c's nearest peer — if u < sep[assigned], no other centroid can
+	// be strictly closer (triangle inequality) and the point is skipped
+	// whole.
+	for x := 0; x < k; x++ {
+		for y := x + 1; y < k; y++ {
+			d := boundDist(a.s.Sim(cents[x], cents[y])) - boundSlack
+			a.cc[x*k+y], a.cc[y*k+x] = d, d
+		}
+	}
+	a.dist[0] += int64(k * (k - 1) / 2)
+	for x := 0; x < k; x++ {
+		m := math.Inf(1)
+		for y := 0; y < k; y++ {
+			if y != x && a.cc[x*k+y] < m {
+				m = a.cc[x*k+y]
+			}
+		}
+		a.sep[x] = 0.5 * m
+	}
+	parallelRange(n, a.workers, timedBody(a.reg, "kmeans_assign", func(start, end, shard int) {
+		for i := start; i < end; i++ {
+			ai := assign[i]
+			row := a.lb[i*k : i*k+k]
+			for c := range row {
+				row[c] -= a.drift[c]
+			}
+			u := a.u[i] + a.drift[ai]
+			if u < a.sep[ai] {
+				a.u[i] = u
+				a.pruned[shard]++
+				continue
+			}
+			// Stale-bound pre-pass: if every other centroid is already
+			// ruled out by its lower bound or the centroid-centroid
+			// bound against the drift-inflated u, the assignment cannot
+			// change and the point costs zero similarity evaluations
+			// this round. The skips are the same strict, slack-padded
+			// inequalities as the full scan below, just with a looser
+			// (larger, still valid) upper bound — so anything they prune
+			// the tightened scan would have pruned too.
+			survivor := false
+			for c := 0; c < k; c++ {
+				if c == ai {
+					continue
+				}
+				if row[c] > u || a.cc[ai*k+c] > 2*u {
+					continue
+				}
+				survivor = true
+				break
+			}
+			if !survivor {
+				a.u[i] = u
+				a.pruned[shard]++
+				continue
+			}
+			// Tighten u exactly; this similarity doubles as the running
+			// best for the per-centroid scan.
+			bestSim := a.simOne(i, ai, cents, idx, shard)
+			a.dist[shard]++
+			best := ai
+			u = boundDist(bestSim)
+			row[ai] = u
+			if u < a.sep[ai] {
+				a.u[i] = u
+				a.pruned[shard]++
+				continue
+			}
+			for c := 0; c < k; c++ {
+				if c == ai {
+					continue
+				}
+				// Strict skips: either bound proves d(p,c) > d(p,best),
+				// i.e. a strictly lower similarity than the running best,
+				// so c cannot win or even tie.
+				if row[c] > u || a.cc[best*k+c] > 2*u {
+					continue
+				}
+				sim := a.simOne(i, c, cents, idx, shard)
+				a.dist[shard]++
+				d := boundDist(sim)
+				row[c] = d
+				// Lowest-index argmax over the evaluated set, identical
+				// to the exhaustive left-to-right strict `>` scan.
+				if sim > bestSim || (sim == bestSim && c < best) {
+					best, bestSim = c, sim
+					u = d
+				}
+			}
+			a.u[i] = u
+			if assign[i] != best {
+				movedBy[shard]++
+				assign[i] = best
+			}
+		}
+	}))
+	a.snapshot(cents)
+}
+
+func (a *elkanAssigner) snapshot(cents []Point) {
+	a.prev = append(a.prev[:0], cents...)
+}

@@ -1,0 +1,178 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cafc/internal/obs"
+)
+
+// noScorer hides a space's CentroidScorer capability: embedding only the
+// Space interface strips every other method, so the kernels fall back to
+// plain Sim loops. Tests use it to pin the postings-index scoring
+// bit-identical to the merge-join reference.
+type noScorer struct {
+	Space
+}
+
+// TestPrunedMatchesExhaustive is the pruning contract: every PruneMode,
+// on both engines, for serial and parallel runs, must reproduce the
+// exhaustive kernel's assignments, iteration count and centroids bit for
+// bit. Duplicate points (blobs emit near-identical vectors at low noise)
+// exercise the similarity-tie paths, and small k exercises the k=1
+// degenerate prune.
+func TestPrunedMatchesExhaustive(t *testing.T) {
+	vs, _ := blobs(6, 25, 1, 33)
+	cs, _ := compiledBlobs(6, 25, 1, 33)
+	for name, space := range map[string]Space{"vector": vs, "compiled": cs} {
+		t.Run(name, func(t *testing.T) {
+			for _, k := range []int{1, 3, 6, 11} {
+				for _, seeds := range [][][]int{nil, {{0, 1, 2}, {30}, {60, 61}}} {
+					ref := KMeans(space, k, seeds, Options{Rand: rand.New(rand.NewSource(9)), Workers: 1, Prune: PruneOff})
+					for _, prune := range []PruneMode{PruneAuto, PruneHamerly, PruneElkan} {
+						for _, workers := range []int{1, 4} {
+							got := KMeans(space, k, seeds, Options{Rand: rand.New(rand.NewSource(9)), Workers: workers, Prune: prune})
+							if !reflect.DeepEqual(ref.Assign, got.Assign) {
+								t.Errorf("k=%d seeds=%v prune=%v workers=%d: assignments differ from exhaustive", k, seeds != nil, prune, workers)
+							}
+							if ref.Iterations != got.Iterations {
+								t.Errorf("k=%d seeds=%v prune=%v workers=%d: iterations %d != %d", k, seeds != nil, prune, workers, got.Iterations, ref.Iterations)
+							}
+							assertCentroidsMatch(t, ref.Centroids, got.Centroids)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPrunedMatchesExhaustiveTies pins the tie-safety argument on a
+// corpus built of exact duplicates: several points coincide with several
+// centroids, so the lowest-index argmax rule decides almost every
+// assignment, and a prune that ate a tied centroid would flip one.
+func TestPrunedMatchesExhaustiveTies(t *testing.T) {
+	vecs, _ := intBlobs(3, 2, 7)
+	// Quadruple every point so exact similarity ties are everywhere.
+	vecs = append(append(append(vecs, vecs...), vecs...), vecs...)
+	for name, space := range map[string]Space{
+		"vector":   &VectorSpace{Vecs: vecs},
+		"compiled": NewCompiledSpace(vecs),
+	} {
+		t.Run(name, func(t *testing.T) {
+			ref := KMeans(space, 4, nil, Options{Rand: rand.New(rand.NewSource(3)), Workers: 1, Prune: PruneOff})
+			for _, prune := range []PruneMode{PruneHamerly, PruneElkan} {
+				got := KMeans(space, 4, nil, Options{Rand: rand.New(rand.NewSource(3)), Workers: 1, Prune: prune})
+				if !reflect.DeepEqual(ref.Assign, got.Assign) {
+					t.Errorf("prune=%v: tie assignments differ from exhaustive", prune)
+				}
+			}
+		})
+	}
+}
+
+// TestCentroidIndexMatchesSim pins the other half of the contract: with
+// the postings index hidden (noScorer), the kernels score through plain
+// merge-join Sim calls — results must not change by a bit.
+func TestCentroidIndexMatchesSim(t *testing.T) {
+	cs, _ := compiledBlobs(7, 30, 1, 41)
+	for _, prune := range []PruneMode{PruneOff, PruneHamerly, PruneElkan} {
+		indexed := KMeans(cs, 7, nil, Options{Rand: rand.New(rand.NewSource(11)), Prune: prune})
+		plain := KMeans(noScorer{cs}, 7, nil, Options{Rand: rand.New(rand.NewSource(11)), Prune: prune})
+		if !reflect.DeepEqual(indexed.Assign, plain.Assign) {
+			t.Errorf("prune=%v: indexed assignments differ from plain-Sim", prune)
+		}
+		if !reflect.DeepEqual(indexed.Centroids, plain.Centroids) {
+			t.Errorf("prune=%v: indexed centroids differ from plain-Sim", prune)
+		}
+	}
+}
+
+// TestPrunedDistanceCounts asserts the point of the whole exercise: the
+// pruned kernels must actually skip work. The exhaustive kernel's
+// distance count is n×k per round (plus repair scans); both pruned
+// kernels must come in strictly lower and report pruned points, while
+// the exhaustive kernel reports zero.
+func TestPrunedDistanceCounts(t *testing.T) {
+	cs, _ := compiledBlobs(6, 100, 3, 55)
+	counts := map[PruneMode]int64{}
+	for _, prune := range []PruneMode{PruneOff, PruneHamerly, PruneElkan} {
+		reg := obs.NewRegistry()
+		KMeans(cs, 10, nil, Options{Rand: rand.New(rand.NewSource(2)), Prune: prune, Metrics: reg, MoveFrac: 0.001})
+		counts[prune] = counterValue(t, reg, "distance_computations_total")
+		pruned := counterValue(t, reg, "kmeans_pruned_total")
+		if prune == PruneOff && pruned != 0 {
+			t.Errorf("exhaustive kernel reported %d pruned points", pruned)
+		}
+		if prune != PruneOff && pruned == 0 {
+			t.Errorf("prune=%v: no points pruned on a converging run", prune)
+		}
+	}
+	if counts[PruneHamerly] >= counts[PruneOff] {
+		t.Errorf("hamerly distance count %d not below exhaustive %d", counts[PruneHamerly], counts[PruneOff])
+	}
+	if counts[PruneElkan] >= counts[PruneOff] {
+		t.Errorf("elkan distance count %d not below exhaustive %d", counts[PruneElkan], counts[PruneOff])
+	}
+}
+
+// assertCentroidsMatch compares centroid sets. Compiled centroids must
+// match bit for bit (the accumulator sums in sorted term-ID order, so
+// they are fully deterministic). Map-engine centroids have exactly
+// deterministic weights, but the cached norm is a sum over Go map
+// iteration order — two identical exhaustive runs already differ in the
+// last ULP — so norms are compared within a relative tolerance that is
+// still far below anything a skipped scan could cause.
+func assertCentroidsMatch(t *testing.T, want, got []Point) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Errorf("centroid count %d != %d", len(got), len(want))
+		return
+	}
+	for c := range want {
+		a, aok := want[c].(normedVec)
+		b, bok := got[c].(normedVec)
+		if !aok || !bok {
+			if !reflect.DeepEqual(want[c], got[c]) {
+				t.Errorf("centroid %d differs from exhaustive", c)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(a.v, b.v) {
+			t.Errorf("centroid %d weights differ from exhaustive", c)
+		}
+		if diff := math.Abs(a.norm - b.norm); diff > 1e-9*(1+math.Abs(a.norm)) {
+			t.Errorf("centroid %d norm %v differs from exhaustive %v", c, b.norm, a.norm)
+		}
+	}
+}
+
+// counterValue reads one counter family's value from a registry
+// snapshot.
+func counterValue(t *testing.T, reg *obs.Registry, name string) int64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return int64(s.Value)
+		}
+	}
+	t.Fatalf("counter %s not recorded", name)
+	return 0
+}
+
+// TestPruneModeString keeps the mode names stable for logs and bench
+// output.
+func TestPruneModeString(t *testing.T) {
+	for mode, want := range map[PruneMode]string{
+		PruneAuto:    "hamerly",
+		PruneOff:     "off",
+		PruneHamerly: "hamerly",
+		PruneElkan:   "elkan",
+	} {
+		if got := mode.String(); got != want {
+			t.Errorf("PruneMode(%d).String() = %q, want %q", int(mode), got, want)
+		}
+	}
+}

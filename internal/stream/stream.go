@@ -160,6 +160,12 @@ type Live struct {
 	driftBits atomic.Uint64
 
 	stopOnce sync.Once
+
+	// simsBuf/scratchBuf are miniBatch's reusable scoring buffers. Only
+	// the single worker goroutine touches them, so plain fields suffice;
+	// they keep the per-point indexed scoring loop allocation-free.
+	simsBuf    []float64
+	scratchBuf []float64
 }
 
 // New builds a Live pipeline, applies any pending WAL records through
@@ -485,15 +491,10 @@ func (l *Live) miniBatch(m *icafc.Model, cur *Epoch) (cluster.Result, float64) {
 	assign := make([]int, m.Len())
 	copy(assign, cur.Result.Assign)
 
+	nearest := l.nearestFn(m, centroids)
 	touched := make(map[int]bool)
 	for i := len(cur.Result.Assign); i < m.Len(); i++ {
-		best, bestSim := 0, -1.0
-		p := m.Point(i)
-		for c := 0; c < k; c++ {
-			if sim := m.Sim(p, centroids[c]); sim > bestSim {
-				best, bestSim = c, sim
-			}
-		}
+		best := nearest(i)
 		assign[i] = best
 		touched[best] = true
 	}
@@ -504,16 +505,11 @@ func (l *Live) miniBatch(m *icafc.Model, cur *Epoch) (cluster.Result, float64) {
 		}
 	}
 
+	// The refresh moved centroids, so the drift scan needs a fresh index.
+	nearest = l.nearestFn(m, centroids)
 	moved := 0
 	for i := 0; i < m.Len(); i++ {
-		best, bestSim := 0, -1.0
-		p := m.Point(i)
-		for c := 0; c < k; c++ {
-			if sim := m.Sim(p, centroids[c]); sim > bestSim {
-				best, bestSim = c, sim
-			}
-		}
-		if best != assign[i] {
+		if nearest(i) != assign[i] {
 			moved++
 		}
 	}
@@ -522,6 +518,48 @@ func (l *Live) miniBatch(m *icafc.Model, cur *Epoch) (cluster.Result, float64) {
 		drift = float64(moved) / float64(m.Len())
 	}
 	return cluster.Result{Assign: assign, K: k, Centroids: centroids}, drift
+}
+
+// nearestFn returns a closure mapping a point index to its nearest
+// centroid over the given centroid set. When the model can index the
+// centroids (compiled engine active, packed centroids) every call
+// scores all k centroids through one postings pass into the reusable
+// buffers — no allocations per point; otherwise it falls back to plain
+// per-centroid Sim calls. Both paths compute identical similarities
+// (the index is pinned bit-identical to Sim) and break ties toward the
+// lowest centroid index, so assignments never depend on which path ran.
+func (l *Live) nearestFn(m *icafc.Model, centroids []cluster.Point) func(i int) int {
+	k := len(centroids)
+	if ix := m.NewCentroidIndex(centroids); ix != nil {
+		if cap(l.simsBuf) < k {
+			l.simsBuf = make([]float64, k)
+		}
+		sims := l.simsBuf[:k]
+		if n := ix.ScratchLen(); cap(l.scratchBuf) < n {
+			l.scratchBuf = make([]float64, n)
+		}
+		scratch := l.scratchBuf[:ix.ScratchLen()]
+		return func(i int) int {
+			ix.Sims(sims, scratch, i)
+			best, bestSim := 0, -1.0
+			for c, sim := range sims {
+				if sim > bestSim {
+					best, bestSim = c, sim
+				}
+			}
+			return best
+		}
+	}
+	return func(i int) int {
+		best, bestSim := 0, -1.0
+		p := m.Point(i)
+		for c := 0; c < k; c++ {
+			if sim := m.Sim(p, centroids[c]); sim > bestSim {
+				best, bestSim = c, sim
+			}
+		}
+		return best
+	}
 }
 
 // publish swaps the epoch pointer and notifies observers.

@@ -110,10 +110,19 @@ func (c Compiled) Dot(o Compiled) float64 {
 // with the same conventions as Cosine: zero-norm vectors have
 // similarity 0 with everything, and drift is clamped into [0, 1].
 func CosineCompiled(a, b Compiled) float64 {
-	if a.Norm == 0 || b.Norm == 0 {
+	return CosineDot(a.Dot(b), a.Norm, b.Norm)
+}
+
+// CosineDot turns an already-computed inner product and the two norms
+// into a cosine similarity with the package's conventions (zero norms →
+// 0, drift clamped into [0, 1]). CosineCompiled routes through it, so a
+// caller that produced the dot product another way — e.g. through a
+// Postings index — gets a bit-identical similarity.
+func CosineDot(dot, na, nb float64) float64 {
+	if na == 0 || nb == 0 {
 		return 0
 	}
-	c := a.Dot(b) / (a.Norm * b.Norm)
+	c := dot / (na * nb)
 	if c > 1 {
 		c = 1
 	}

@@ -1,0 +1,72 @@
+package vector
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// postingsFixture compiles a random corpus and splits it into indexed
+// "centroids" (the first k, deliberately dense via high nnz) and sparse
+// query vectors.
+func postingsFixture(seed int64, k, n int) ([]Compiled, []Compiled) {
+	rng := rand.New(rand.NewSource(seed))
+	d := NewDict()
+	cents := make([]Compiled, k)
+	for i := range cents {
+		cents[i] = Compile(randomCorpus(rng, 1, 400, 120)[0], d)
+	}
+	queries := make([]Compiled, n)
+	for i := range queries {
+		queries[i] = Compile(randomCorpus(rng, 1, 500, 25)[0], d)
+	}
+	return cents, queries
+}
+
+// TestPostingsDotsMatchesMergeJoin is the index contract: for every
+// query and every indexed vector, Dots and DotOne must equal the
+// per-pair merge join bit for bit — including queries carrying terms no
+// centroid has and the occasional all-empty vector.
+func TestPostingsDotsMatchesMergeJoin(t *testing.T) {
+	cents, queries := postingsFixture(3, 7, 40)
+	p := NewPostings(cents)
+	if p.K() != 7 {
+		t.Fatalf("K() = %d, want 7", p.K())
+	}
+	dst := make([]float64, p.K())
+	for qi, q := range queries {
+		p.Dots(q, dst)
+		for c, cent := range cents {
+			want := q.Dot(cent)
+			if dst[c] != want {
+				t.Errorf("query %d centroid %d: Dots = %v, merge join = %v", qi, c, dst[c], want)
+			}
+			if got := p.DotOne(q, c); got != want {
+				t.Errorf("query %d centroid %d: DotOne = %v, merge join = %v", qi, c, got, want)
+			}
+			if p.Norm(c) != cent.Norm {
+				t.Errorf("centroid %d: Norm = %v, want %v", c, p.Norm(c), cent.Norm)
+			}
+		}
+	}
+}
+
+// TestPostingsEmpty covers the degenerate index shapes: no vectors at
+// all, and all-empty vectors.
+func TestPostingsEmpty(t *testing.T) {
+	p := NewPostings(nil)
+	if p.K() != 0 {
+		t.Fatalf("empty index K() = %d", p.K())
+	}
+	p = NewPostings(make([]Compiled, 3))
+	q := Compiled{IDs: []uint32{2, 9}, Weights: []float64{1, 2}, Norm: 1}
+	dst := []float64{7, 7, 7}
+	p.Dots(q, dst)
+	for c, v := range dst {
+		if v != 0 {
+			t.Errorf("empty centroid %d scored %v", c, v)
+		}
+		if got := p.DotOne(q, c); got != 0 {
+			t.Errorf("empty centroid %d DotOne = %v", c, got)
+		}
+	}
+}

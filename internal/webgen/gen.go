@@ -89,6 +89,13 @@ type Config struct {
 	// NoiseSnippets is how many extra random boilerplate snippets each
 	// page carries (default 6).
 	NoiseSnippets int
+	// FormsOnly emits just the form pages: no site roots, hubs,
+	// directories or database records. Scale benchmarks use it to grow
+	// the clusterable corpus without paying for link structure the
+	// kernels never read. It is its own deterministic corpus family — a
+	// FormsOnly corpus is not a subset of the full corpus for the same
+	// seed, because skipped pages also skip their random draws.
+	FormsOnly bool
 }
 
 func (c Config) withDefaults() Config {
@@ -160,8 +167,10 @@ func Generate(cfg Config) *Corpus {
 	for _, s := range sites {
 		g.emitSite(s)
 	}
-	g.emitHubs(sites)
-	g.emitDirectories(sites)
+	if !cfg.FormsOnly {
+		g.emitHubs(sites)
+		g.emitDirectories(sites)
+	}
 	return g.c
 }
 
@@ -201,16 +210,18 @@ func (g *generator) planSites() []*site {
 // emitSite renders and registers a site's root and form pages.
 func (g *generator) emitSite(s *site) {
 	formHTML := g.formPageHTML(s)
-	rootHTML := g.rootPageHTML(s)
 	fp := &Page{
 		URL: s.formURL, HTML: formHTML, Kind: FormPageKind,
 		Domain: s.domain, SingleAttr: s.singleAttr, Ambiguous: s.ambiguous,
 	}
-	rp := &Page{URL: s.rootURL, HTML: rootHTML, Kind: RootPageKind, Domain: s.domain}
 	g.addPage(fp)
-	g.addPage(rp)
 	g.c.FormPages = append(g.c.FormPages, s.formURL)
 	g.c.Labels[s.formURL] = s.domain
+	if g.cfg.FormsOnly {
+		return
+	}
+	rp := &Page{URL: s.rootURL, HTML: g.rootPageHTML(s), Kind: RootPageKind, Domain: s.domain}
+	g.addPage(rp)
 	g.c.RootOf[s.formURL] = s.rootURL
 	g.c.Records[s.formURL] = g.generateRecords(s)
 }

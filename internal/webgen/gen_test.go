@@ -65,6 +65,30 @@ func TestGenerateDeterministic(t *testing.T) {
 	}
 }
 
+func TestFormsOnly(t *testing.T) {
+	c := Generate(Config{Seed: 7, FormPages: 60, FormsOnly: true})
+	if len(c.Pages) != 60 || len(c.FormPages) != 60 {
+		t.Fatalf("pages = %d, form pages = %d, want 60 each", len(c.Pages), len(c.FormPages))
+	}
+	for _, p := range c.Pages {
+		if p.Kind != FormPageKind {
+			t.Fatalf("%s has kind %v, want form", p.URL, p.Kind)
+		}
+		if c.Labels[p.URL] == "" {
+			t.Fatalf("no label for %s", p.URL)
+		}
+	}
+	if len(c.RootOf) != 0 || len(c.Records) != 0 {
+		t.Errorf("forms-only corpus carries %d roots and %d record sets", len(c.RootOf), len(c.Records))
+	}
+	b := Generate(Config{Seed: 7, FormPages: 60, FormsOnly: true})
+	for i := range c.Pages {
+		if c.Pages[i].URL != b.Pages[i].URL || c.Pages[i].HTML != b.Pages[i].HTML {
+			t.Fatalf("forms-only page %d differs between runs", i)
+		}
+	}
+}
+
 func TestAllDomainsCovered(t *testing.T) {
 	c := smallCorpus(t)
 	seen := map[Domain]int{}

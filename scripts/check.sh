@@ -14,6 +14,11 @@ go test -race ./...
 go test -race ./internal/stream ./internal/cluster ./internal/cafc
 go test -run xxx -bench 'BenchmarkCosine|BenchmarkKMeansEngines|BenchmarkKMeans454' \
     -benchtime=1x ./internal/vector ./internal/cluster .
+# Allocation-regression smoke: the serve-path benches run once so a
+# change that reintroduces per-call allocations fails alongside the
+# zero-alloc tests instead of only showing up in BENCH_scale.json.
+go test -run xxx -bench 'BenchmarkClassify|BenchmarkKMeansScale' \
+    -benchtime=1x ./internal/cafc
 
 # Fuzz smoke: a few seconds on each parser-facing target so the corpora
 # stay exercised and a crashing seed fails CI fast.
@@ -26,6 +31,14 @@ tmp=$(mktemp -d)
 trap 'rm -rf "$tmp"; [ -n "${dpid:-}" ] && kill "$dpid" 2>/dev/null || true' EXIT
 go build -o "$tmp/webgen" ./cmd/webgen
 go build -o "$tmp/directoryd" ./cmd/directoryd
+go build -o "$tmp/benchall" ./cmd/benchall
+
+# Scale-bench smoke: a 1k-page forms-only corpus through every clustering
+# kernel. scaleBench itself fails the run unless each pruned kernel
+# reproduces the exhaustive assignments byte for byte with strictly fewer
+# distance computations, so this guards the pruning invariants end to end.
+"$tmp/benchall" -exp scale -sizes 1000 -json "$tmp/BENCH_scale_smoke.json" >/dev/null
+[ -s "$tmp/BENCH_scale_smoke.json" ] || { echo "check.sh: scale smoke wrote no report"; exit 1; }
 "$tmp/webgen" -n 60 -seed 7 -o "$tmp/corpus.json.gz" -stats=false
 "$tmp/directoryd" -in "$tmp/corpus.json.gz" -addr 127.0.0.1:0 -k 4 -metrics \
     >"$tmp/directoryd.log" 2>&1 &
