@@ -1,0 +1,144 @@
+package cafc
+
+import (
+	"math"
+
+	"cafc/internal/cluster"
+	"cafc/internal/vector"
+)
+
+// This file gives the form-page model the two optional Space
+// capabilities the sub-linear paths need: SimHash signing (the LSH
+// candidate tier of cluster.Options.Approx and the Classifier's approx
+// serve path) and centroid blending (mini-batch k-means updates).
+
+// fcSeedOffset separates the FC hyperplane draw from the PC one. The
+// two dictionaries intern independently, so the same numeric term ID
+// names unrelated terms in each space — signing both with one seed
+// would correlate their hyperplanes through those ID collisions. An
+// arbitrary odd 64-bit constant keeps the draws independent for every
+// caller-chosen seed.
+const fcSeedOffset = 0x5851F42D4C957F2D
+
+// NewPointSigner implements cluster.Signer with Equation 3 fidelity.
+// For the combined FC+PC configuration the signature is the SimHash of
+// the concatenated per-space-normalized vectors
+//
+//	[ √C1 · PC/‖PC‖ , √C2 · FC/‖FC‖ ]
+//
+// whose norm is the constant √(C1+C2) for every page, so the cosine
+// between two such concatenations is exactly
+// (C1·cos(PC₁,PC₂) + C2·cos(FC₁,FC₂)) / (C1+C2) — Equation 3 itself.
+// Hamming distance over these signatures therefore estimates the
+// model's real similarity, not a proxy that ignores the space weights.
+// Returns nil (exact-kernel fallback) when the packed engine is
+// inactive.
+func (m *Model) NewPointSigner(bits int, seed int64) cluster.PointSigner {
+	cp := m.engine()
+	if cp == nil {
+		return nil
+	}
+	c1, c2 := m.C1, m.C2
+	if c1 == 0 && c2 == 0 {
+		c1, c2 = 1, 1
+	}
+	pcH := vector.NewSimHasher(bits, seed)
+	return &modelSigner{
+		cp:      cp,
+		feats:   m.Features,
+		pcScale: math.Sqrt(c1),
+		fcScale: math.Sqrt(c2),
+		pcH:     pcH,
+		fcH:     vector.NewSimHasher(bits, seed+fcSeedOffset),
+		acc:     make([]float64, pcH.Bits()),
+	}
+}
+
+// modelSigner carries per-instance projection scratch — one per shard,
+// like every PointSigner.
+type modelSigner struct {
+	cp               *compiledPages
+	feats            Features
+	pcScale, fcScale float64
+	pcH, fcH         vector.SimHasher
+	acc              []float64
+}
+
+func (s *modelSigner) Words() int { return s.pcH.Words() }
+
+func (s *modelSigner) SignPoint(dst []uint64, i int) {
+	s.sign(dst, cpoint{pc: s.cp.pc[i], fc: s.cp.fc[i]})
+}
+
+func (s *modelSigner) SignCentroid(dst []uint64, c cluster.Point) bool {
+	cc, ok := c.(cpoint)
+	if !ok {
+		return false
+	}
+	s.sign(dst, cc)
+	return true
+}
+
+func (s *modelSigner) sign(dst []uint64, p cpoint) {
+	signTwoSpace(dst, s.acc, s.pcH, s.fcH, s.feats, s.pcScale, s.fcScale, p.pc, p.fc)
+}
+
+// signTwoSpace writes the feature-configuration-aware signature of a
+// (pc, fc) pair into dst — shared by the clustering signer and the
+// classifier's serve path so both tiers rank with the same signatures.
+func signTwoSpace(dst []uint64, acc []float64, pcH, fcH vector.SimHasher, feats Features, pcScale, fcScale float64, pc, fc vector.Compiled) {
+	switch feats {
+	case FCOnly:
+		fcH.Sign(dst, acc, fc)
+	case PCOnly:
+		pcH.Sign(dst, acc, pc)
+	default:
+		// Zero-norm spaces contribute nothing to Equation 3 (cosine
+		// against a zero vector is 0), so they are skipped rather than
+		// divided by.
+		if pc.Norm > 0 {
+			pcH.Accumulate(acc, pc, pcScale/pc.Norm)
+		}
+		if fc.Norm > 0 {
+			fcH.Accumulate(acc, fc, fcScale/fc.Norm)
+		}
+		pcH.Finalize(dst, acc)
+	}
+}
+
+// Blend implements cluster.Blender: the convex combination
+// (1−t)·a + t·b, applied per feature space — the mini-batch k-means
+// centroid update on form-page centroids. Packed points blend packed;
+// map points blend term-wise.
+func (m *Model) Blend(a, b cluster.Point, t float64) cluster.Point {
+	ca, aok := a.(cpoint)
+	cb, bok := b.(cpoint)
+	if m.engine() != nil {
+		if !aok {
+			ca, aok = m.CompilePoint(a).(cpoint)
+		}
+		if !bok {
+			cb, bok = m.CompilePoint(b).(cpoint)
+		}
+	}
+	if aok && bok {
+		return cpoint{
+			pc: vector.BlendCompiled(ca.pc, cb.pc, t),
+			fc: vector.BlendCompiled(ca.fc, cb.fc, t),
+		}
+	}
+	pa := a.(point)
+	pb := b.(point)
+	return point{pc: blendMaps(pa.pc, pb.pc, t), fc: blendMaps(pa.fc, pb.fc, t)}
+}
+
+func blendMaps(a, b vector.Vector, t float64) vector.Vector {
+	out := make(vector.Vector, len(a)+len(b))
+	for term, w := range a {
+		out[term] = (1 - t) * w
+	}
+	for term, w := range b {
+		out[term] += t * w
+	}
+	return out
+}

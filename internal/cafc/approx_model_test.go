@@ -1,0 +1,240 @@
+package cafc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cafc/internal/cluster"
+	"cafc/internal/form"
+	"cafc/internal/obs"
+	"cafc/internal/webgen"
+)
+
+// parseFormsCorpus parses a FormsOnly webgen corpus without building
+// the model, so tests can build the same pages under different
+// BuildOpts.
+func parseFormsCorpus(t testing.TB, seed int64, n int) []*form.FormPage {
+	t.Helper()
+	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n, FormsOnly: true})
+	fps := make([]*form.FormPage, 0, len(c.FormPages))
+	for _, u := range c.FormPages {
+		fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
+		if err != nil {
+			t.Fatalf("%s: %v", u, err)
+		}
+		fps = append(fps, fp)
+	}
+	return fps
+}
+
+// TestBuildParallelBitIdentical is the parallel-build contract: for the
+// same corpus, BuildWith at any worker count produces the same model —
+// same DF tables, same TF-IDF vectors, same packed points — bit for
+// bit. The serial Workers:1 run is the reference.
+func TestBuildParallelBitIdentical(t *testing.T) {
+	fps := parseFormsCorpus(t, 2007, 454)
+	ref := BuildWith(fps, BuildOpts{Workers: 1})
+	for _, workers := range []int{2, 4, 0} {
+		m := BuildWith(fps, BuildOpts{Workers: workers})
+		if !reflect.DeepEqual(ref.Pages, m.Pages) {
+			t.Fatalf("workers=%d: embedded pages differ from serial build", workers)
+		}
+		if m.FCDF.N() != ref.FCDF.N() || m.FCDF.Vocabulary() != ref.FCDF.Vocabulary() ||
+			m.PCDF.N() != ref.PCDF.N() || m.PCDF.Vocabulary() != ref.PCDF.Vocabulary() {
+			t.Fatalf("workers=%d: DF tables differ from serial build", workers)
+		}
+		for i := 0; i < ref.Len(); i++ {
+			if !reflect.DeepEqual(ref.Point(i), m.Point(i)) {
+				t.Fatalf("workers=%d: packed point %d differs from serial build", workers, i)
+			}
+		}
+		// And the models cluster identically.
+		rr := CAFCC(ref, 8, rand.New(rand.NewSource(5)))
+		mr := CAFCC(m, 8, rand.New(rand.NewSource(5)))
+		if !reflect.DeepEqual(rr.Assign, mr.Assign) {
+			t.Fatalf("workers=%d: clustering the parallel-built model diverged", workers)
+		}
+	}
+}
+
+// TestBuildMatchesLegacyEntryPoints pins the delegation: Build and
+// BuildMetrics are BuildWith with default workers, nothing more.
+func TestBuildMatchesLegacyEntryPoints(t *testing.T) {
+	fps := parseFormsCorpus(t, 7, 60)
+	a := Build(fps, false)
+	b := BuildWith(fps, BuildOpts{})
+	if !reflect.DeepEqual(a.Pages, b.Pages) {
+		t.Error("Build diverged from BuildWith with default options")
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !reflect.DeepEqual(a.Point(i), b.Point(i)) {
+			t.Fatalf("packed point %d differs between Build and BuildWith", i)
+		}
+	}
+}
+
+// TestModelApproxOffBitIdentical is the model-level opt-in property:
+// clustering with a zero-value Approx is bit-identical to CAFCC — the
+// candidate tier must change nothing until asked for. 454 pages here;
+// the 5k corpus runs under -short skip in TestModelApproxOff5k.
+func TestModelApproxOffBitIdentical(t *testing.T) {
+	assertApproxOffIdentical(t, buildFormsModel(t, 2007, 454), 8)
+}
+
+func TestModelApproxOff5k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5k-page corpus build is expensive; run without -short")
+	}
+	assertApproxOffIdentical(t, buildFormsModel(t, 2007, 5000), 8)
+}
+
+func assertApproxOffIdentical(t *testing.T, m *Model, k int) {
+	t.Helper()
+	ref := CAFCC(m, k, rand.New(rand.NewSource(5)))
+	got := cluster.KMeans(m, k, nil, cluster.Options{Rand: rand.New(rand.NewSource(5)), Approx: cluster.Approx{}})
+	if !reflect.DeepEqual(ref.Assign, got.Assign) || ref.Iterations != got.Iterations {
+		t.Error("zero-value Approx perturbed the exact CAFC-C run")
+	}
+}
+
+// TestModelSignerDeterministic pins signature determinism on the real
+// two-space model: independent signer instances with the same seed
+// produce identical signatures; a different seed draws different
+// hyperplanes.
+func TestModelSignerDeterministic(t *testing.T) {
+	m := buildFormsModel(t, 3, 80)
+	s1 := m.NewPointSigner(128, 7)
+	s2 := m.NewPointSigner(128, 7)
+	s3 := m.NewPointSigner(128, 8)
+	if s1 == nil {
+		t.Fatal("packed model must sign")
+	}
+	a := make([]uint64, s1.Words())
+	b := make([]uint64, s1.Words())
+	c := make([]uint64, s1.Words())
+	differs := false
+	for i := 0; i < m.Len(); i++ {
+		s1.SignPoint(a, i)
+		s2.SignPoint(b, i)
+		s3.SignPoint(c, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("page %d: same-seed signers disagree", i)
+		}
+		if !reflect.DeepEqual(a, c) {
+			differs = true
+		}
+	}
+	if !differs {
+		t.Error("different seeds never changed a signature")
+	}
+	// Centroid signing round-trips through the same code path.
+	cent := m.Centroid([]int{0, 1, 2})
+	if !s1.SignCentroid(a, cent) || !s2.SignCentroid(b, cent) {
+		t.Fatal("packed centroid must sign")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("same-seed centroid signatures disagree")
+	}
+}
+
+// TestModelSignerDisabledEngine: the map-engine model cannot sign —
+// the capability returns nil and approx runs fall back to exact.
+func TestModelSignerDisabledEngine(t *testing.T) {
+	m := buildFormsModel(t, 3, 40).WithEngine(false)
+	if m.NewPointSigner(128, 7) != nil {
+		t.Error("map-engine model must not sign (signatures require packed vectors)")
+	}
+	ref := CAFCC(m, 4, rand.New(rand.NewSource(5)))
+	got := CAFCCApprox(m, 4, rand.New(rand.NewSource(5)), cluster.Approx{Enabled: true})
+	if !reflect.DeepEqual(ref.Assign, got.Assign) {
+		t.Error("unsignable model: approx run differs from exact run")
+	}
+}
+
+// approxClassifierFixture builds an exact and an approx classifier over
+// the same model and centroids, with a registry on the model so the
+// serve counters are observable.
+func approxClassifierFixture(t testing.TB, seed int64, n, k int) (*Model, *Classifier, *Classifier, *obs.Registry) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	m := BuildWith(parseFormsCorpus(t, seed, n), BuildOpts{Metrics: reg})
+	res := CAFCC(m, k, rand.New(rand.NewSource(1)))
+	exact := NewClassifierFromCentroids(m, res.Centroids, nil)
+	approx := NewClassifierFromCentroids(m, res.Centroids, nil)
+	approx.SetApprox(cluster.Approx{Enabled: true})
+	return m, exact, approx, reg
+}
+
+// assertClassifierRecall classifies every corpus page through both
+// classifiers and checks the approx one agrees on at least minRecall of
+// them while touching the candidate counters.
+func assertClassifierRecall(t *testing.T, seed int64, n, k int, minRecall float64) {
+	t.Helper()
+	m, exact, approx, reg := approxClassifierFixture(t, seed, n, k)
+	same, total := 0, 0
+	for _, p := range m.Pages {
+		pe, _ := exact.Classify(p.Raw)
+		pa, _ := approx.Classify(p.Raw)
+		total++
+		if pe.Cluster == pa.Cluster {
+			same++
+		}
+	}
+	recall := float64(same) / float64(total)
+	if recall < minRecall {
+		t.Errorf("approx classify recall %.4f over %d pages, want >= %v", recall, total, minRecall)
+	}
+	var cands float64
+	for _, s := range reg.Snapshot() {
+		if s.Name == "approx_candidates_total" {
+			cands = s.Value
+		}
+	}
+	if cands == 0 {
+		t.Error("approx_candidates_total not recorded by the serve path")
+	}
+	if full := float64(total * k); cands >= full {
+		t.Errorf("serve path evaluated %v similarities, not below the full-scan %v", cands, full)
+	}
+}
+
+// TestClassifierApproxRecall: the serve-path recall floor on a small
+// corpus (fast, always on) ...
+func TestClassifierApproxRecall(t *testing.T) {
+	assertClassifierRecall(t, 2007, 454, 8, 0.97)
+}
+
+// ... and the issue's contract corpus: k=8 over 20k webgen pages with
+// recall >= 0.99. Expensive; skipped under -short.
+func TestClassifierApproxRecall20k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20k-page corpus build is expensive; run without -short")
+	}
+	if raceEnabled {
+		t.Skip("race detector slows the 20k corpus severalfold; recall is unaffected by it")
+	}
+	assertClassifierRecall(t, 2007, 20000, 8, 0.99)
+}
+
+// TestClassifyApproxZeroAlloc pins the approx serve path to zero
+// steady-state allocations, exactly like TestClassifyZeroAlloc pins the
+// exact one.
+func TestClassifyApproxZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; allocation counts are meaningless")
+	}
+	m, _, approx, _ := approxClassifierFixture(t, 9, 120, 6)
+	probes := []*form.FormPage{m.Pages[0].Raw, m.Pages[50].Raw, m.Pages[119].Raw}
+	for _, fp := range probes {
+		approx.Classify(fp)
+	}
+	for _, fp := range probes {
+		allocs := testing.AllocsPerRun(100, func() {
+			approx.Classify(fp)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: approx Classify allocates %v/op, want 0", fp.URL, allocs)
+		}
+	}
+}

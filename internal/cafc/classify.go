@@ -26,9 +26,23 @@ type Classifier struct {
 	// human-assigned directory label).
 	Labels []string
 
+	approx cluster.Approx
+
 	engineOnce sync.Once
 	eng        *classifyEngine
 }
+
+// SetApprox opts Classify into the LSH candidate tier: each request
+// signs the embedded page, ranks the centroids by signature Hamming
+// distance, and evaluates exact Equation 3 similarity only against the
+// top-C candidates (ties with the C-th candidate extend the set; a tie
+// extension reaching all k degenerates to the exact scan and counts in
+// approx_fallback_total). Rank always scores every centroid exactly —
+// a full ranking has no candidate set to skip. Must be called before
+// the first Classify/Rank (the serve engine freezes on first use);
+// calls after that are ignored. No-op when the model's packed engine
+// is inactive — approximation is an optimization, never a requirement.
+func (c *Classifier) SetApprox(ap cluster.Approx) { c.approx = ap }
 
 // NewClassifier builds a nearest-centroid classifier from a clustering of
 // the model. labels[i] names cluster i; missing entries default to "".
@@ -100,6 +114,15 @@ func (c *Classifier) Classify(fp *form.FormPage) (Prediction, bool) {
 	}
 	sc := e.pool.Get().(*classifyScratch)
 	defer e.pool.Put(sc)
+	if e.approx.Enabled {
+		best, bestSim := e.scoreApprox(sc, fp)
+		if bestSim > 0 {
+			return Prediction{Cluster: best, Label: c.Labels[best], Similarity: bestSim}, true
+		}
+		// No candidate had any similarity; fall through to the exact
+		// scan so the ok=false contract means "no centroid at all", not
+		// "no candidate" (rare: an all-zero or out-of-vocabulary page).
+	}
 	best, bestSim := 0, -1.0
 	for i, sim := range e.score(sc, fp) {
 		if sim > bestSim {

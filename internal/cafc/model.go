@@ -6,6 +6,7 @@
 package cafc
 
 import (
+	"sort"
 	"time"
 
 	"cafc/internal/cluster"
@@ -77,6 +78,12 @@ type Model struct {
 	// convergence lands in the same registry. Nil disables all
 	// instrumentation; results are identical either way.
 	Metrics *obs.Registry
+	// Workers caps the worker pool for the build phases (document
+	// frequency counting, TF-IDF embedding, engine compile); <= 0 means
+	// one per CPU. Results are bit-identical for every worker count —
+	// shards write disjoint slots and every reduction runs serially in
+	// shard order — so this is purely a wall-clock knob.
+	Workers int
 
 	compiled *compiledPages
 }
@@ -113,31 +120,78 @@ func Build(fps []*form.FormPage, uniform bool) *Model {
 // embedding and engine-compile phases are all timed. A nil registry is
 // exactly Build.
 func BuildMetrics(fps []*form.FormPage, uniform bool, reg *obs.Registry) *Model {
+	return BuildWith(fps, BuildOpts{Uniform: uniform, Metrics: reg})
+}
+
+// BuildOpts configures BuildWith.
+type BuildOpts struct {
+	// Uniform forces LOC_i = 1 (the Section 4.4 ablation).
+	Uniform bool
+	// Metrics receives build telemetry; nil disables it.
+	Metrics *obs.Registry
+	// Workers caps the build worker pool; <= 0 means one per CPU, 1
+	// forces the serial reference path. Bit-identical for every value.
+	Workers int
+}
+
+// BuildWith is the parameterized model build. The three corpus-sized
+// phases — document-frequency counting, TF-IDF embedding, engine
+// compile — shard across Workers with the cluster package's fan-out
+// contract: workers write disjoint, index-addressed slots, and the only
+// cross-shard reduction (merging per-shard DF tables) runs serially in
+// shard order over integer counts, so it is order-independent and the
+// build is bit-identical for every worker count. The model build
+// dominates end-to-end wall-clock over clustering itself (see
+// BENCH_scale.json: ~14× the assignment cost at 5k pages), which is why
+// it is the layer that shards.
+func BuildWith(fps []*form.FormPage, o BuildOpts) *Model {
+	reg := o.Metrics
+	n := len(fps)
+	shards := cluster.MaxShards(n, o.Workers)
+
 	var t0 time.Time
 	dfHist := reg.Histogram("model_df_build_seconds", obs.DurationBuckets)
 	if dfHist != nil {
 		t0 = time.Now()
 	}
+	fcParts := make([]*vector.DocFreq, shards)
+	pcParts := make([]*vector.DocFreq, shards)
+	cluster.ParallelRange(n, o.Workers, func(start, end, shard int) {
+		fc, pc := vector.NewDocFreq(), vector.NewDocFreq()
+		for _, fp := range fps[start:end] {
+			fc.AddDocWeighted(fp.FCTerms)
+			pc.AddDocWeighted(fp.PCTerms)
+		}
+		fcParts[shard], pcParts[shard] = fc, pc
+	})
 	fcDF := vector.NewDocFreq()
 	pcDF := vector.NewDocFreq()
-	for _, fp := range fps {
-		fcDF.AddDocWeighted(fp.FCTerms)
-		pcDF.AddDocWeighted(fp.PCTerms)
+	for s := 0; s < shards; s++ {
+		if fcParts[s] != nil {
+			fcDF.Merge(fcParts[s])
+			pcDF.Merge(pcParts[s])
+		}
 	}
 	dfHist.ObserveSince(t0)
 	vector.ObserveVocabulary(reg, "fc", fcDF)
 	vector.ObserveVocabulary(reg, "pc", pcDF)
 
-	m := &Model{C1: 1, C2: 1, Features: FCPC, FCDF: fcDF, PCDF: pcDF, Uniform: uniform, Metrics: reg}
+	m := &Model{C1: 1, C2: 1, Features: FCPC, FCDF: fcDF, PCDF: pcDF,
+		Uniform: o.Uniform, Metrics: reg, Workers: o.Workers}
 	if reg != nil {
 		t0 = time.Now()
 	}
-	for _, fp := range fps {
-		m.Pages = append(m.Pages, m.Embed(fp))
-	}
+	// The DF tables are frozen now, so every page embeds independently
+	// into its own slot.
+	m.Pages = make([]*Page, n)
+	cluster.ParallelRange(n, o.Workers, func(start, end, shard int) {
+		for i := start; i < end; i++ {
+			m.Pages[i] = m.Embed(fps[i])
+		}
+	})
 	if reg != nil {
 		// Each page embeds into both feature spaces.
-		vector.ObserveTFIDFBuild(reg, 2*len(fps), time.Since(t0))
+		vector.ObserveTFIDFBuild(reg, 2*n, time.Since(t0))
 	}
 	m.EnsureCompiled()
 	return m
@@ -158,13 +212,40 @@ func (m *Model) EnsureCompiled() {
 	if m.Metrics != nil {
 		t0 = time.Now()
 	}
+	// Two-phase compile. Phase 1 (serial): intern every term, walking
+	// pages in order and each page's terms in sorted order — a pure
+	// string-to-ID pass with no float work, so it stays cheap, and the
+	// sort makes ID assignment deterministic across runs (a map-order
+	// walk would reshuffle IDs, and with them the norm summation order,
+	// every run). Phase 2 (sharded): pack each page against the frozen
+	// dictionaries into its own slot. The dictionaries are complete
+	// after phase 1, so CompileLookup drops nothing, and a fixed
+	// dictionary makes every page's packed form independent of every
+	// other page — bit-identical for any worker count.
 	cp := &compiledPages{pcDict: vector.NewDict(), fcDict: vector.NewDict()}
 	cp.pc = make([]vector.Compiled, len(m.Pages))
 	cp.fc = make([]vector.Compiled, len(m.Pages))
-	for i, p := range m.Pages {
-		cp.pc[i] = vector.Compile(p.PC, cp.pcDict)
-		cp.fc[i] = vector.Compile(p.FC, cp.fcDict)
+	var terms []string
+	internAll := func(v vector.Vector, d *vector.Dict) {
+		terms = terms[:0]
+		for t := range v {
+			terms = append(terms, t)
+		}
+		sort.Strings(terms)
+		for _, t := range terms {
+			d.Intern(t)
+		}
 	}
+	for _, p := range m.Pages {
+		internAll(p.PC, cp.pcDict)
+		internAll(p.FC, cp.fcDict)
+	}
+	cluster.ParallelRange(len(m.Pages), m.Workers, func(start, end, shard int) {
+		for i := start; i < end; i++ {
+			cp.pc[i] = vector.CompileLookup(m.Pages[i].PC, cp.pcDict)
+			cp.fc[i] = vector.CompileLookup(m.Pages[i].FC, cp.fcDict)
+		}
+	})
 	m.compiled = cp
 	if m.Metrics != nil {
 		vector.ObserveCompile(m.Metrics, cp.pcDict, cp.fcDict, time.Since(t0))

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cafc/internal/obs"
+)
+
+// approxOpts is the shared approximate-run configuration: 128-bit
+// signatures, top-2 candidates, fixed hyperplane seed.
+func approxOpts(seed int64, workers int) Options {
+	return Options{
+		Rand:    rand.New(rand.NewSource(seed)),
+		Workers: workers,
+		Approx:  Approx{Enabled: true},
+	}
+}
+
+// TestApproxOffBitIdentical is the opt-in contract: with Approx left at
+// its zero value the run must be byte-identical to the exact kernels —
+// i.e. adding the Approx field to Options changed nothing for existing
+// callers.
+func TestApproxOffBitIdentical(t *testing.T) {
+	s, _ := compiledBlobs(6, 20, 1, 17)
+	for _, prune := range []PruneMode{PruneOff, PruneHamerly, PruneElkan} {
+		ref := KMeans(s, 6, nil, Options{Rand: rand.New(rand.NewSource(5)), Prune: prune})
+		got := KMeans(s, 6, nil, Options{Rand: rand.New(rand.NewSource(5)), Prune: prune, Approx: Approx{}})
+		if !reflect.DeepEqual(ref.Assign, got.Assign) || ref.Iterations != got.Iterations {
+			t.Errorf("prune=%v: zero-value Approx perturbed the exact run", prune)
+		}
+		if !reflect.DeepEqual(ref.Centroids, got.Centroids) {
+			t.Errorf("prune=%v: zero-value Approx perturbed centroids", prune)
+		}
+	}
+}
+
+// TestApproxDeterministic pins approximate determinism: same corpus,
+// same seeds ⇒ identical assignments, for any worker count — the
+// signatures, candidate sets and argmax scans are all worker-invariant.
+func TestApproxDeterministic(t *testing.T) {
+	s, _ := compiledBlobs(6, 30, 1, 21)
+	ref := KMeans(s, 6, nil, approxOpts(5, 1))
+	for _, workers := range []int{2, 8} {
+		got := KMeans(s, 6, nil, approxOpts(5, workers))
+		if !reflect.DeepEqual(ref.Assign, got.Assign) {
+			t.Errorf("workers=%d: approx assignments differ from serial approx run", workers)
+		}
+		if ref.Iterations != got.Iterations {
+			t.Errorf("workers=%d: iterations %d != %d", workers, got.Iterations, ref.Iterations)
+		}
+	}
+}
+
+// blobSeeds returns one two-member seed group per blob for the
+// compiledBlobs/intBlobs layout (blob gi occupies [gi·size, gi·size+size)),
+// pinning both the exact and approximate runs to the same basin so
+// quality comparisons are not confounded by random-init local optima.
+func blobSeeds(g, size int) [][]int {
+	seeds := make([][]int, g)
+	for gi := range seeds {
+		seeds[gi] = []int{gi * size, gi*size + 1}
+	}
+	return seeds
+}
+
+// TestApproxRecallFrozenCentroids is the recall pin in its purest form:
+// over one frozen set of converged centroids, the approximate assigner
+// must pick the same centroid as the exhaustive scan for nearly every
+// point, while evaluating strictly fewer similarities. This isolates
+// the candidate tier from k-means trajectory divergence — the same
+// definition of recall the scale benchmark reports.
+func TestApproxRecallFrozenCentroids(t *testing.T) {
+	const g, size = 8, 40
+	s, _ := compiledBlobs(g, size, 1, 33)
+	exact := KMeans(s, g, blobSeeds(g, size), Options{Rand: rand.New(rand.NewSource(5)), Prune: PruneOff, MoveFrac: 1e-12})
+
+	n := s.Len()
+	assignPass := func(opts Options) ([]int, int64) {
+		asg := newAssigner(s, g, opts, 1)
+		assign := make([]int, n)
+		for i := range assign {
+			assign[i] = -1
+		}
+		asg.assign(exact.Centroids, assign, make([]int, 1))
+		return assign, asg.distTotal()
+	}
+	exactAssign, exactDist := assignPass(Options{Rand: rand.New(rand.NewSource(5)), Prune: PruneOff})
+	approxAssign, approxDist := assignPass(approxOpts(5, 1))
+
+	same := 0
+	for i := range exactAssign {
+		if exactAssign[i] == approxAssign[i] {
+			same++
+		}
+	}
+	recall := float64(same) / float64(n)
+	if recall < 0.99 {
+		t.Errorf("frozen-centroid recall %.3f, want >= 0.99", recall)
+	}
+	if approxDist >= exactDist {
+		t.Errorf("approx evaluated %d similarities, exhaustive %d — no pruning happened", approxDist, exactDist)
+	}
+}
+
+// TestApproxEndToEndOnBlobs runs the whole clustering loop with the
+// candidate tier on and checks the run still recovers the blobs while
+// the registry shows the candidate counters moving.
+func TestApproxEndToEndOnBlobs(t *testing.T) {
+	const g, size = 8, 40
+	s, gold := compiledBlobs(g, size, 1, 33)
+	reg := obs.NewRegistry()
+	opts := approxOpts(5, 1)
+	opts.MoveFrac = 1e-12
+	opts.Metrics = reg
+	got := KMeans(s, g, blobSeeds(g, size), opts)
+	if a := agreement(got.Assign, gold); a < 0.95 {
+		t.Errorf("approx end-to-end agreement with gold = %.3f, want >= 0.95", a)
+	}
+	var cands float64
+	for _, sm := range reg.Snapshot() {
+		if sm.Name == "approx_candidates_total" {
+			cands = sm.Value
+		}
+	}
+	if cands == 0 {
+		t.Error("approx_candidates_total not recorded")
+	}
+	exhaustive := float64(s.Len() * g * got.Iterations)
+	if cands >= exhaustive {
+		t.Errorf("candidate evaluations %v not below exhaustive %v", cands, exhaustive)
+	}
+}
+
+// TestApproxFallsBackWithoutSigner pins the capability gate: a space
+// that cannot sign runs the exact kernel even with Approx enabled —
+// same results as an explicit exact run.
+func TestApproxFallsBackWithoutSigner(t *testing.T) {
+	intVecs, _ := intBlobs(6, 20, 17)
+	s := &VectorSpace{Vecs: intVecs}
+	ref := KMeans(s, 6, nil, Options{Rand: rand.New(rand.NewSource(5))})
+	got := KMeans(s, 6, nil, approxOpts(5, 1))
+	if !reflect.DeepEqual(ref.Assign, got.Assign) {
+		t.Error("unsignable space: approx run differs from exact run")
+	}
+}
+
+// TestPruneAutoCrossover pins the PruneAuto size heuristic: the
+// exhaustive kernel below pruneAutoMinPoints (BENCH_scale.json: Hamerly
+// is slower than exhaustive at 5k pages, 249ms vs 230ms), Hamerly at or
+// above it (3.4× faster at 20k). Explicit modes are never overridden.
+func TestPruneAutoCrossover(t *testing.T) {
+	if got := PruneAuto.resolveFor(pruneAutoMinPoints - 1); got != PruneOff {
+		t.Errorf("PruneAuto at %d points resolved to %v, want exhaustive", pruneAutoMinPoints-1, got)
+	}
+	if got := PruneAuto.resolveFor(pruneAutoMinPoints); got != PruneHamerly {
+		t.Errorf("PruneAuto at %d points resolved to %v, want hamerly", pruneAutoMinPoints, got)
+	}
+	if got := PruneHamerly.resolveFor(10); got != PruneHamerly {
+		t.Errorf("explicit Hamerly overridden below the threshold: %v", got)
+	}
+	if got := PruneOff.resolveFor(1 << 30); got != PruneOff {
+		t.Errorf("explicit exhaustive overridden above the threshold: %v", got)
+	}
+	// And the assembled kernels agree with the resolution.
+	s, _ := compiledBlobs(4, 20, 1, 9)
+	if _, ok := newAssigner(s, 4, Options{}, 1).(*exhaustiveAssigner); !ok {
+		t.Error("small-corpus PruneAuto did not assemble the exhaustive kernel")
+	}
+}

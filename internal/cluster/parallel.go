@@ -67,6 +67,20 @@ func parallelRangeMin(n, workers, minSpan int, body func(start, end, shard int))
 	wg.Wait()
 }
 
+// ParallelRange exposes the sharded fan-out to sibling layers (the
+// model build in internal/cafc shards document-frequency counting and
+// vector compilation with it), under the same contract as every kernel
+// here: body(start, end, shard) writes only state owned by its index
+// range or shard slot, reductions happen serially afterwards, and the
+// outcome is bit-identical for every worker count.
+func ParallelRange(n, workers int, body func(start, end, shard int)) {
+	parallelRange(n, workers, body)
+}
+
+// MaxShards is maxShards for external callers sizing per-shard slots
+// to pair with ParallelRange.
+func MaxShards(n, workers int) int { return maxShards(n, workers) }
+
 // maxShards returns the number of shards parallelRange will use for n
 // items and the given worker request — callers size per-shard result
 // slots with it.

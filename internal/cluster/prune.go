@@ -29,12 +29,38 @@ const (
 	PruneElkan
 )
 
-// resolve maps PruneAuto to the concrete default kernel.
+// pruneAutoMinPoints is the corpus size below which PruneAuto selects
+// the exhaustive kernel instead of Hamerly. BENCH_scale.json pins the
+// crossover: at 5k pages Hamerly is *slower* than exhaustive (249ms vs
+// 230ms) despite 1.67× fewer distance computations — with small, very
+// sparse points the per-point bound maintenance (drift updates, the
+// extra tightening similarity, branchy rescans) costs more than the
+// merge-join similarities it saves — while at 20k pages Hamerly wins
+// decisively (1418ms vs 2602ms, 3.4× fewer distances). The threshold
+// sits between those measured sizes; TestPruneAutoCrossover pins the
+// selection on both sides.
+const pruneAutoMinPoints = 10000
+
+// resolve maps PruneAuto to the concrete default kernel, ignoring the
+// size heuristic (String and callers without a corpus use this).
 func (m PruneMode) resolve() PruneMode {
 	if m == PruneAuto {
 		return PruneHamerly
 	}
 	return m
+}
+
+// resolveFor maps PruneAuto to the concrete kernel for a corpus of n
+// points: exhaustive below pruneAutoMinPoints (where bound maintenance
+// costs more wall-clock than it saves, see the constant), Hamerly
+// above. Explicit modes pass through — a caller that asks for a kernel
+// gets that kernel at any size. Bit-identical either way, so the
+// heuristic is purely a wall-clock decision.
+func (m PruneMode) resolveFor(n int) PruneMode {
+	if m == PruneAuto && n < pruneAutoMinPoints {
+		return PruneOff
+	}
+	return m.resolve()
 }
 
 // String implements fmt.Stringer.
@@ -87,11 +113,18 @@ type assigner interface {
 	prunedTotal() int64
 }
 
-// newAssigner builds the kernel opts.Prune selects. shards is the
-// per-shard slot count (maxShards of the point range).
+// newAssigner builds the kernel opts selects: the LSH candidate tier
+// when Options.Approx is enabled and the space can sign, else the exact
+// kernel per opts.Prune (PruneAuto resolving by corpus size). shards is
+// the per-shard slot count (maxShards of the point range).
 func newAssigner(s Space, k int, opts Options, shards int) assigner {
+	if opts.Approx.Enabled {
+		if a := newApproxAssigner(s, k, opts, shards); a != nil {
+			return a
+		}
+	}
 	b := newAssignerBase(s, k, opts, shards)
-	switch opts.Prune.resolve() {
+	switch opts.Prune.resolveFor(s.Len()) {
 	case PruneOff:
 		return &exhaustiveAssigner{b}
 	case PruneElkan:

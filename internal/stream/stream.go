@@ -52,6 +52,19 @@ type Config struct {
 	// counted — a stream must not die on one bad page — but land in
 	// the skipped counter either way.
 	SkipNonSearchable bool
+	// MiniBatchRebuild, when set, replaces the drift-triggered full
+	// re-cluster's Lloyd iterations with sampled mini-batch k-means
+	// (cluster.MiniBatchKMeans): O(rounds · batch · k) updates plus one
+	// full assignment pass, instead of O(iterations · corpus · k) — the
+	// rebuild budget that keeps drift recovery affordable once the
+	// corpus outgrows full k-means. Rebuilds through this path count in
+	// minibatch_rebuild_total. Nil keeps the exact CAFC-C rebuild.
+	MiniBatchRebuild *cluster.MiniBatch
+	// RebuildApprox composes the LSH candidate tier into rebuild
+	// assignment scans (both the full CAFC-C path and the mini-batch
+	// path's final assignment pass). The zero value keeps assignment
+	// exact.
+	RebuildApprox cluster.Approx
 	// Metrics receives stream telemetry (queue depth, batch latency,
 	// epoch gauge, drift fraction, rebuild and WAL counters). Nil
 	// disables instrumentation.
@@ -477,7 +490,17 @@ func (l *Live) buildEpoch(cur *Epoch, rec Record, fps []*form.FormPage, admitted
 // compares this against a one-shot build.
 func (l *Live) recluster(m *icafc.Model) cluster.Result {
 	m.ReembedAll()
-	return icafc.CAFCC(m, l.cfg.K, rand.New(rand.NewSource(l.cfg.Seed+1)))
+	rng := rand.New(rand.NewSource(l.cfg.Seed + 1))
+	if mb := l.cfg.MiniBatchRebuild; mb != nil {
+		if reg := l.cfg.Metrics; reg != nil {
+			reg.Counter("minibatch_rebuild_total").Inc()
+		}
+		return icafc.CAFCCMiniBatch(m, l.cfg.K, rng, *mb, l.cfg.RebuildApprox)
+	}
+	if l.cfg.RebuildApprox.Enabled {
+		return icafc.CAFCCApprox(m, l.cfg.K, rng, l.cfg.RebuildApprox)
+	}
+	return icafc.CAFCC(m, l.cfg.K, rng)
 }
 
 // miniBatch extends the current assignment: each new page goes to its

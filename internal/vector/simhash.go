@@ -1,0 +1,127 @@
+package vector
+
+import "math/bits"
+
+// SimHasher computes SimHash signatures over compiled vectors: each of
+// the Bits signature bits is the sign of the vector's projection onto a
+// pseudo-random ±1 hyperplane drawn over the interned term space. Two
+// vectors' signatures then disagree on a fraction of bits proportional
+// to the angle between the vectors, so Hamming distance over signatures
+// is a cheap (O(k) XOR+popcount) proxy for cosine ordering — the
+// candidate-generation tier the approximate clustering kernels build on.
+//
+// Hyperplanes are never materialized: the ±1 entry for (term id, bit) is
+// derived on the fly from a splitmix64-style hash of the id, the
+// signature word index and the seed, so signing costs O(nnz · Bits/64)
+// hashes and O(nnz · Bits) adds, with zero per-call allocations when the
+// caller supplies the scratch. For a fixed seed the signature of a given
+// vector is fully deterministic — across runs, platforms and worker
+// counts (pinned by TestSimHashDeterministic).
+//
+// A SimHasher is immutable and safe for concurrent use.
+type SimHasher struct {
+	bits int
+	seed uint64
+}
+
+// simHashWordBits is the signature word width: signatures are packed
+// into []uint64, one hash per word per term.
+const simHashWordBits = 64
+
+// NewSimHasher returns a hasher producing bits-wide signatures. bits is
+// rounded up to a multiple of 64 and floored at 64 (the supported
+// widths are 64 and 128; larger multiples work but cost linearly more).
+// Distinct seeds draw independent hyperplane sets — the two feature
+// spaces of a form-page model sign with different seeds so shared term
+// IDs across dictionaries cannot correlate.
+func NewSimHasher(bits int, seed int64) SimHasher {
+	if bits <= 0 {
+		bits = simHashWordBits
+	}
+	words := (bits + simHashWordBits - 1) / simHashWordBits
+	return SimHasher{bits: words * simHashWordBits, seed: uint64(seed)}
+}
+
+// Bits returns the signature width in bits.
+func (h SimHasher) Bits() int { return h.bits }
+
+// Words returns the signature length in uint64 words.
+func (h SimHasher) Words() int { return h.bits / simHashWordBits }
+
+// planeWord derives the 64 ±1 hyperplane entries of signature word w for
+// term id, packed as sign bits (1 = +1, 0 = −1). splitmix64's finalizer
+// over a seed-and-input mix; the golden-ratio stride keeps distinct
+// (id, word) inputs from colliding before the mix.
+func (h SimHasher) planeWord(id uint32, w int) uint64 {
+	z := h.seed + (uint64(id)+1)*0x9E3779B97F4A7C15 + uint64(w)*0xBF58476D1CE4E5B9
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return z
+}
+
+// Accumulate folds c, scaled by scale, into the projection accumulator
+// acc (length Bits, caller-zeroed before the first space). Splitting
+// accumulation from finalization lets multi-space models sum several
+// packed vectors — each with its own scale and its own hasher seed —
+// into one joint signature. scale must be positive; it carries the
+// per-space normalization (e.g. sqrt(C1)/‖pc‖ for Equation 3 fidelity),
+// which matters because the signature bit is the sign of a sum across
+// spaces.
+func (h SimHasher) Accumulate(acc []float64, c Compiled, scale float64) {
+	words := h.Words()
+	for i, id := range c.IDs {
+		w := c.Weights[i] * scale
+		for j := 0; j < words; j++ {
+			hv := h.planeWord(id, j)
+			base := j * simHashWordBits
+			for b := 0; b < simHashWordBits; b++ {
+				if hv&(1<<uint(b)) != 0 {
+					acc[base+b] += w
+				} else {
+					acc[base+b] -= w
+				}
+			}
+		}
+	}
+}
+
+// Finalize converts the accumulated projections into sign bits, writes
+// them into dst (length Words) and zeroes acc for reuse. A projection of
+// exactly zero yields a 0 bit, so empty vectors sign to all-zeros
+// deterministically.
+func (h SimHasher) Finalize(dst []uint64, acc []float64) {
+	words := h.Words()
+	for j := 0; j < words; j++ {
+		var sig uint64
+		base := j * simHashWordBits
+		for b := 0; b < simHashWordBits; b++ {
+			if acc[base+b] > 0 {
+				sig |= 1 << uint(b)
+			}
+			acc[base+b] = 0
+		}
+		dst[j] = sig
+	}
+}
+
+// Sign computes the signature of a single compiled vector into dst
+// (length Words), using acc (length Bits) as scratch. Normalization is
+// irrelevant for a single space — scaling a vector by a positive
+// constant moves no projection across zero — so the scale is fixed at 1.
+func (h SimHasher) Sign(dst []uint64, acc []float64, c Compiled) {
+	h.Accumulate(acc, c, 1)
+	h.Finalize(dst, acc)
+}
+
+// Hamming returns the number of differing bits between two signatures
+// of equal word count.
+func Hamming(a, b []uint64) int {
+	d := 0
+	for i := range a {
+		d += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return d
+}

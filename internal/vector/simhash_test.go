@@ -1,0 +1,146 @@
+package vector
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomCompiled builds a sorted packed vector with nnz random terms
+// drawn from a vocab-sized ID space.
+func randomCompiled(rng *rand.Rand, vocab, nnz int) Compiled {
+	seen := make(map[uint32]bool, nnz)
+	var ids []uint32
+	for len(ids) < nnz {
+		id := uint32(rng.Intn(vocab))
+		if !seen[id] {
+			seen[id] = true
+			ids = append(ids, id)
+		}
+	}
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	weights := make([]float64, len(ids))
+	var sum float64
+	for i := range weights {
+		weights[i] = rng.Float64() + 0.01
+		sum += weights[i] * weights[i]
+	}
+	return Compiled{IDs: ids, Weights: weights, Norm: math.Sqrt(sum)}
+}
+
+// TestSimHashDeterministic pins the signature contract: for a fixed
+// seed the signature of a vector is exactly reproducible — across
+// hasher instances, repeated calls, and positive rescaling of the
+// vector — and a different seed draws a genuinely different hyperplane
+// set.
+func TestSimHashDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h1 := NewSimHasher(128, 7)
+	h2 := NewSimHasher(128, 7)
+	other := NewSimHasher(128, 8)
+	acc := make([]float64, h1.Bits())
+	a, b, c2 := make([]uint64, h1.Words()), make([]uint64, h1.Words()), make([]uint64, h1.Words())
+	differed := false
+	for i := 0; i < 50; i++ {
+		v := randomCompiled(rng, 5000, 40+rng.Intn(100))
+		h1.Sign(a, acc, v)
+		h2.Sign(b, acc, v)
+		if Hamming(a, b) != 0 {
+			t.Fatalf("vector %d: two hashers with the same seed disagree", i)
+		}
+		h1.Sign(b, acc, v)
+		if Hamming(a, b) != 0 {
+			t.Fatalf("vector %d: repeated signing disagrees", i)
+		}
+		// Positive rescaling cannot move any projection across zero.
+		scaled := Compiled{IDs: v.IDs, Weights: make([]float64, len(v.Weights)), Norm: v.Norm * 3}
+		for j, w := range v.Weights {
+			scaled.Weights[j] = w * 3
+		}
+		h1.Sign(b, acc, scaled)
+		if Hamming(a, b) != 0 {
+			t.Fatalf("vector %d: signature not scale-invariant", i)
+		}
+		other.Sign(c2, acc, v)
+		if Hamming(a, c2) != 0 {
+			differed = true
+		}
+	}
+	if !differed {
+		t.Fatal("seed 7 and seed 8 produced identical signatures for every vector")
+	}
+}
+
+// TestSimHashOrdersByAngle checks the LSH property the candidate tier
+// relies on: a vector's signature is closer in Hamming distance to a
+// near-duplicate of itself than to an unrelated vector, for the vast
+// majority of random trials.
+func TestSimHashOrdersByAngle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	h := NewSimHasher(128, 3)
+	acc := make([]float64, h.Bits())
+	sa, sb, sc := make([]uint64, h.Words()), make([]uint64, h.Words()), make([]uint64, h.Words())
+	wins := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		a := randomCompiled(rng, 2000, 80)
+		// near: perturb a fraction of a's weights.
+		near := Compiled{IDs: a.IDs, Weights: append([]float64(nil), a.Weights...), Norm: a.Norm}
+		for j := range near.Weights {
+			if rng.Intn(10) == 0 {
+				near.Weights[j] *= 1 + 0.5*rng.Float64()
+			}
+		}
+		far := randomCompiled(rng, 2000, 80)
+		h.Sign(sa, acc, a)
+		h.Sign(sb, acc, near)
+		h.Sign(sc, acc, far)
+		if Hamming(sa, sb) < Hamming(sa, sc) {
+			wins++
+		}
+	}
+	if wins < trials*9/10 {
+		t.Fatalf("near-duplicate beat unrelated vector in only %d/%d trials", wins, trials)
+	}
+}
+
+// TestSimHashWidths pins the width rounding: 0 and 64 mean one word,
+// 65..128 two.
+func TestSimHashWidths(t *testing.T) {
+	for _, tc := range []struct{ bits, words int }{{0, 1}, {64, 1}, {65, 2}, {128, 2}} {
+		if got := NewSimHasher(tc.bits, 1).Words(); got != tc.words {
+			t.Errorf("NewSimHasher(%d): %d words, want %d", tc.bits, got, tc.words)
+		}
+	}
+}
+
+// TestBlendCompiled pins the mini-batch centroid update: blending with
+// t=0 returns a, t=1 returns b (up to explicit zeros), and a mid blend
+// equals the term-wise convex combination with a freshly computed norm.
+func TestBlendCompiled(t *testing.T) {
+	a := Compiled{IDs: []uint32{1, 3, 5}, Weights: []float64{1, 2, 3}, Norm: math.Sqrt(14)}
+	b := Compiled{IDs: []uint32{3, 4}, Weights: []float64{4, 8}, Norm: math.Sqrt(80)}
+	got := BlendCompiled(a, b, 0.25)
+	wantIDs := []uint32{1, 3, 4, 5}
+	wantW := []float64{0.75, 0.75*2 + 0.25*4, 0.25 * 8, 0.75 * 3}
+	if len(got.IDs) != len(wantIDs) {
+		t.Fatalf("blend has %d terms, want %d", len(got.IDs), len(wantIDs))
+	}
+	var sum float64
+	for i := range wantIDs {
+		if got.IDs[i] != wantIDs[i] || got.Weights[i] != wantW[i] {
+			t.Errorf("term %d: (%d, %v), want (%d, %v)", i, got.IDs[i], got.Weights[i], wantIDs[i], wantW[i])
+		}
+		sum += wantW[i] * wantW[i]
+	}
+	if got.Norm != math.Sqrt(sum) {
+		t.Errorf("norm %v, want %v", got.Norm, math.Sqrt(sum))
+	}
+	if d := BlendCompiled(a, b, 0).Dot(a); d != a.Dot(a) {
+		t.Errorf("t=0 blend dot drifted: %v != %v", d, a.Dot(a))
+	}
+}

@@ -87,6 +87,17 @@ func (d *DocFreq) Clone() *DocFreq {
 	return &DocFreq{n: n, df: df}
 }
 
+// Merge folds another table's counts into this one — the reduction step
+// of sharded document-frequency accumulation. Counts are integers, so
+// the merged table is identical to one built serially over the
+// concatenated shards regardless of merge order.
+func (d *DocFreq) Merge(o *DocFreq) {
+	d.n += o.n
+	for t, c := range o.df {
+		d.df[t] += c
+	}
+}
+
 // RestoreDocFreq rebuilds a table from a Snapshot.
 func RestoreDocFreq(n int, df map[string]int) *DocFreq {
 	cp := make(map[string]int, len(df))

@@ -10,7 +10,9 @@ go vet ./...
 go build ./...
 go test -race ./...
 # Focused race pass over the live-pipeline packages: the streaming
-# ingester, the clustering kernels it drives, and the incremental model.
+# ingester, the clustering kernels it drives (including the sharded
+# approx/LSH assignment and mini-batch paths), and the incremental
+# model with its parallel build.
 go test -race ./internal/stream ./internal/cluster ./internal/cafc
 go test -run xxx -bench 'BenchmarkCosine|BenchmarkKMeansEngines|BenchmarkKMeans454' \
     -benchtime=1x ./internal/vector ./internal/cluster .
@@ -33,11 +35,15 @@ go build -o "$tmp/webgen" ./cmd/webgen
 go build -o "$tmp/directoryd" ./cmd/directoryd
 go build -o "$tmp/benchall" ./cmd/benchall
 
-# Scale-bench smoke: a 1k-page forms-only corpus through every clustering
+# Scale-bench smoke: a 5k-page forms-only corpus through every clustering
 # kernel. scaleBench itself fails the run unless each pruned kernel
 # reproduces the exhaustive assignments byte for byte with strictly fewer
-# distance computations, so this guards the pruning invariants end to end.
-"$tmp/benchall" -exp scale -sizes 1000 -json "$tmp/BENCH_scale_smoke.json" >/dev/null
+# distance computations, the parallel model build is bit-identical to the
+# serial reference, and every approx kernel holds the >= 0.99
+# self-consistency recall contract (enforced at n >= 5000, which is why
+# the smoke runs there) — so this guards the pruning, LSH-candidate and
+# parallel-build invariants end to end.
+"$tmp/benchall" -exp scale -sizes 5000 -json "$tmp/BENCH_scale_smoke.json" >/dev/null
 [ -s "$tmp/BENCH_scale_smoke.json" ] || { echo "check.sh: scale smoke wrote no report"; exit 1; }
 "$tmp/webgen" -n 60 -seed 7 -o "$tmp/corpus.json.gz" -stats=false
 "$tmp/directoryd" -in "$tmp/corpus.json.gz" -addr 127.0.0.1:0 -k 4 -metrics \
