@@ -1,0 +1,168 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"cafc"
+	"cafc/internal/loadgen"
+	"cafc/internal/obs"
+	"cafc/internal/webgen"
+)
+
+// loadQuality is the reproducible core of the final quality snapshot:
+// the fields that depend only on the seed and the corpus, not on how
+// the run's batches happened to land in time. (Epoch sequence numbers,
+// timestamps and centroid churn vary with batch timing and are left to
+// /debug/quality, where they belong.)
+type loadQuality struct {
+	Pages         int     `json:"pages"`
+	K             int     `json:"k"`
+	SampleSize    int     `json:"sample_size"`
+	Silhouette    float64 `json:"silhouette"`
+	ClusterSizes  []int   `json:"cluster_sizes"`
+	MaxShare      float64 `json:"max_share"`
+	Skew          float64 `json:"skew"`
+	EmptyClusters int     `json:"empty_clusters"`
+	Labeled       int     `json:"labeled"`
+	Entropy       float64 `json:"entropy"`
+	FMeasure      float64 `json:"f_measure"`
+}
+
+// loadResult is the BENCH_load.json schema: one seeded load run —
+// offered vs achieved rate, per-endpoint latency quantiles, and the
+// quality of the directory the run grew, measured on a final forced
+// re-cluster so the numbers are reproducible at a fixed seed.
+type loadResult struct {
+	Seed        int64                            `json:"seed"`
+	FormPages   int                              `json:"form_pages"`
+	GenesisSize int                              `json:"genesis_size"`
+	K           int                              `json:"k"`
+	TargetQPS   float64                          `json:"target_qps"`
+	AchievedQPS float64                          `json:"achieved_qps"`
+	DurationSec float64                          `json:"duration_seconds"`
+	Ops         int                              `json:"ops"`
+	Ingested    int                              `json:"ingested"`
+	Endpoints   map[string]loadgen.EndpointStats `json:"endpoints"`
+	Quality     loadQuality                      `json:"quality"`
+}
+
+// loadBench founds an in-process directory from a generated corpus,
+// replays the seeded mixed workload against it, then tops up whatever
+// the ingest draws left in the pool and forces a final re-cluster —
+// so the quality section measures the complete corpus under the
+// deterministic full-rebuild path, regardless of where the load phase
+// stopped.
+func loadBench(n int, seed int64, reg *obs.Registry) (loadResult, error) {
+	fx := loadgen.NewFixture(seed, n)
+	corpus, err := cafc.NewCorpus(fx.Genesis, cafc.Options{Metrics: reg})
+	if err != nil {
+		return loadResult{}, err
+	}
+	k := len(webgen.Domains)
+	cl := corpus.ClusterC(k, seed)
+	live, err := cafc.NewLive(corpus, fx.Genesis, cl, cafc.LiveConfig{
+		K: k, Seed: seed, BatchSize: 32, FlushInterval: time.Millisecond,
+		Quality: &cafc.QualityConfig{Labels: fx.Labels},
+	}, cafc.Options{Metrics: reg})
+	if err != nil {
+		return loadResult{}, err
+	}
+	defer live.Close()
+	tgt := loadgen.LiveTarget{Live: live}
+
+	rep, err := loadgen.Run(context.Background(), loadgen.Config{
+		Seed: seed, QPS: 500, Ops: 2000, Metrics: reg,
+	}, tgt, fx.Genesis, fx.Pool)
+	if err != nil {
+		return loadResult{}, err
+	}
+
+	// Top up the pool documents the mixed draw did not reach, in order,
+	// so the final corpus is always genesis + full pool.
+	for _, d := range fx.Pool[rep.Ingested:] {
+		if err := tgt.Ingest(d); err != nil {
+			return loadResult{}, err
+		}
+	}
+	total := len(fx.Genesis) + len(fx.Pool)
+	if err := waitFor(live, func(e *cafc.LiveEpoch) bool { return e.Corpus.Len() == total }); err != nil {
+		return loadResult{}, err
+	}
+	if err := live.ForceRebuild(); err != nil {
+		return loadResult{}, err
+	}
+	if err := waitFor(live, func(e *cafc.LiveEpoch) bool { return e.Rebuilt && e.Corpus.Len() == total }); err != nil {
+		return loadResult{}, err
+	}
+
+	snap, ok := live.Quality()
+	if !ok {
+		return loadResult{}, fmt.Errorf("quality monitor produced no snapshot")
+	}
+	return loadResult{
+		Seed:        seed,
+		FormPages:   n,
+		GenesisSize: len(fx.Genesis),
+		K:           k,
+		TargetQPS:   rep.TargetQPS,
+		AchievedQPS: rep.AchievedQPS,
+		DurationSec: rep.DurationSeconds,
+		Ops:         rep.Ops,
+		Ingested:    rep.Ingested,
+		Endpoints:   rep.Endpoints,
+		Quality: loadQuality{
+			Pages:         snap.Pages,
+			K:             snap.K,
+			SampleSize:    snap.SampleSize,
+			Silhouette:    snap.Silhouette,
+			ClusterSizes:  snap.ClusterSizes,
+			MaxShare:      snap.MaxShare,
+			Skew:          snap.Skew,
+			EmptyClusters: snap.EmptyClusters,
+			Labeled:       snap.Labeled,
+			Entropy:       snap.Entropy,
+			FMeasure:      snap.FMeasure,
+		},
+	}, nil
+}
+
+// waitFor polls the published epoch until cond holds (30s bound).
+func waitFor(live *cafc.Live, cond func(*cafc.LiveEpoch) bool) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if e := live.Epoch(); e != nil && cond(e) {
+			return nil
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return fmt.Errorf("timed out waiting for epoch condition: %+v", live.Status())
+}
+
+// writeLoadJSON renders the result table and writes the JSON report.
+func writeLoadJSON(r loadResult, path string) error {
+	fmt.Printf("%10s %10s %10s %10s %10s %10s\n",
+		"endpoint", "ops", "p50ms", "p95ms", "p99ms", "errors")
+	for _, ep := range []string{"classify", "ingest", "browse"} {
+		s, ok := r.Endpoints[ep]
+		if !ok {
+			continue
+		}
+		fmt.Printf("%10s %10d %10.2f %10.2f %10.2f %10d\n",
+			ep, s.Ops, s.P50MS, s.P95MS, s.P99MS, s.Errors)
+	}
+	fmt.Printf("# qps %.0f offered / %.0f achieved; final F=%.3f entropy=%.3f silhouette=%.3f\n",
+		r.TargetQPS, r.AchievedQPS, r.Quality.FMeasure, r.Quality.Entropy, r.Quality.Silhouette)
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s\n", path)
+	return nil
+}

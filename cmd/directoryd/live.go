@@ -12,8 +12,10 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"os"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -22,6 +24,7 @@ import (
 	"cafc/internal/dataset"
 	"cafc/internal/directory"
 	"cafc/internal/obs"
+	"cafc/internal/retry"
 	"cafc/internal/stream"
 	"cafc/internal/webgraph"
 )
@@ -41,6 +44,9 @@ type liveParams struct {
 	flush         time.Duration
 	drift         float64
 	snapshotEvery int
+	sloClassifyMS float64
+	sloIngestMS   float64
+	reqlog        bool
 }
 
 // liveServer is the HTTP face of a cafc.Live: it holds the latest
@@ -49,6 +55,10 @@ type liveParams struct {
 type liveServer struct {
 	live *cafc.Live
 	ui   atomic.Pointer[http.Handler]
+	reg  *obs.Registry
+
+	sloClassify *obs.SLO
+	sloIngest   *obs.SLO
 }
 
 // onPublish rebuilds the directory UI for a freshly published epoch and
@@ -121,12 +131,87 @@ func (ls *liveServer) handleStatus(w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(ls.live.Status())
 }
 
+// handleHealthz is the readiness probe: 503 while cold (no epoch), and
+// 503 "degraded" with a JSON reason when the ingest queue is close to
+// saturation or any circuit breaker is open — the two states in which
+// the directory is up but load-shedding.
 func (ls *liveServer) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if ls.live.Epoch() == nil {
-		http.Error(w, "cold: no epoch published yet", http.StatusServiceUnavailable)
+		healthErr(w, "cold", "no epoch published yet")
+		return
+	}
+	if reason, degraded := healthProblem(ls.live.Status(), ls.reg); degraded {
+		healthErr(w, "degraded", reason)
 		return
 	}
 	io.WriteString(w, "ok\n")
+}
+
+// healthProblem decides degradation from the pipeline status and the
+// metrics registry: an ingest queue at >= 90% of capacity (admissions
+// about to bounce with 429s) or any open circuit breaker.
+func healthProblem(s cafc.LiveStatus, reg *obs.Registry) (string, bool) {
+	if s.QueueCap > 0 {
+		if sat := float64(s.QueueDepth) / float64(s.QueueCap); sat >= 0.9 {
+			return fmt.Sprintf("ingest queue %d%% full (%d/%d)", int(sat*100), s.QueueDepth, s.QueueCap), true
+		}
+	}
+	if name, open := openBreaker(reg); open {
+		return fmt.Sprintf("circuit breaker %s open", name), true
+	}
+	return "", false
+}
+
+func healthErr(w http.ResponseWriter, status, reason string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusServiceUnavailable)
+	json.NewEncoder(w).Encode(map[string]string{"status": status, "reason": reason})
+}
+
+// openBreaker scans the registry for any breaker_state gauge sitting at
+// Open (2) and reports which component tripped.
+func openBreaker(reg *obs.Registry) (string, bool) {
+	if reg == nil {
+		return "", false
+	}
+	for _, s := range reg.Snapshot() {
+		if s.Name != "breaker_state" || s.Value != float64(retry.Open) {
+			continue
+		}
+		for _, l := range s.Labels {
+			if l.Key == "component" {
+				return l.Value, true
+			}
+		}
+		return "unknown", true
+	}
+	return "", false
+}
+
+// handleQuality serves the online quality monitor's snapshot ring: the
+// latest measurement plus the retained history, oldest first.
+func (ls *liveServer) handleQuality(w http.ResponseWriter, r *http.Request) {
+	hist := ls.live.QualityHistory()
+	if hist == nil {
+		http.Error(w, "quality monitor not configured", http.StatusNotFound)
+		return
+	}
+	latest, _ := ls.live.Quality()
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"latest": latest, "history": hist})
+}
+
+// withSLO times a handler and feeds the wall-clock duration to the
+// endpoint's SLO (nil SLO — no -metrics — runs the handler bare).
+func withSLO(s *obs.SLO, h http.HandlerFunc) http.HandlerFunc {
+	if s == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		s.Observe(time.Since(start).Seconds())
+	}
 }
 
 func (ls *liveServer) handleClassify(w http.ResponseWriter, r *http.Request) {
@@ -172,10 +257,11 @@ func (ls *liveServer) handleUI(w http.ResponseWriter, r *http.Request) {
 
 func (ls *liveServer) mux() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/ingest", ls.handleIngest)
+	mux.HandleFunc("/ingest", withSLO(ls.sloIngest, ls.handleIngest))
 	mux.HandleFunc("/status", ls.handleStatus)
 	mux.HandleFunc("/healthz", ls.handleHealthz)
-	mux.HandleFunc("/classify", ls.handleClassify)
+	mux.HandleFunc("/classify", withSLO(ls.sloClassify, ls.handleClassify))
+	mux.HandleFunc("/debug/quality", ls.handleQuality)
 	mux.HandleFunc("/", ls.handleUI)
 	return mux
 }
@@ -185,11 +271,17 @@ func (ls *liveServer) mux() *http.ServeMux {
 // genesis epoch; otherwise the directory starts cold and the first
 // ingested batch founds the model.
 func startLive(p liveParams, reg *obs.Registry) (*liveServer, error) {
-	ls := &liveServer{}
+	ls := &liveServer{reg: reg}
+	ls.sloClassify = obs.NewSLO(reg, "classify", p.sloClassifyMS/1000, 0)
+	ls.sloIngest = obs.NewSLO(reg, "ingest", p.sloIngestMS/1000, 0)
 	opts := cafc.Options{SkipNonSearchable: true, Metrics: reg}
 	if p.retries > 0 {
 		opts.Retry = &cafc.Retry{MaxAttempts: p.retries, Budget: p.budget, Seed: p.seed}
 	}
+	// The quality monitor is always on in live mode: the reservoir bounds
+	// its per-epoch cost, and /debug/quality is the ops window into it.
+	// Gold labels (when the genesis dataset carries them) arrive below.
+	qcfg := &cafc.QualityConfig{Seed: p.seed}
 	cfg := cafc.LiveConfig{
 		K:              p.k,
 		Seed:           p.seed,
@@ -200,6 +292,7 @@ func startLive(p liveParams, reg *obs.Registry) (*liveServer, error) {
 		Dir:            p.data,
 		SnapshotEvery:  p.snapshotEvery,
 		OnPublish:      ls.onPublish,
+		Quality:        qcfg,
 	}
 
 	if p.data != "" && stream.HasState(p.data) {
@@ -226,6 +319,12 @@ func startLive(p liveParams, reg *obs.Registry) (*liveServer, error) {
 		for _, u := range c.FormPages {
 			docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
 		}
+		if len(c.Labels) > 0 {
+			qcfg.Labels = make(map[string]string, len(c.Labels))
+			for u, dom := range c.Labels {
+				qcfg.Labels[u] = string(dom)
+			}
+		}
 		corpus, err = cafc.NewCorpus(docs, opts)
 		if err != nil {
 			return nil, err
@@ -249,7 +348,7 @@ func startLive(p liveParams, reg *obs.Registry) (*liveServer, error) {
 // runLive is live-mode main: start the pipeline, serve until a signal,
 // then stop HTTP intake and drain the stream (flushing the queue and
 // writing the final snapshot).
-func runLive(p liveParams, reg *obs.Registry, ring *obs.RingSink, sigCtx context.Context) error {
+func runLive(p liveParams, reg *obs.Registry, ring *obs.RingSink, tracer *obs.Tracer, sigCtx context.Context) error {
 	ls, err := startLive(p, reg)
 	if err != nil {
 		return err
@@ -260,6 +359,10 @@ func runLive(p liveParams, reg *obs.Registry, ring *obs.RingSink, sigCtx context
 		dm := obs.DebugMux(reg, ring, true)
 		dm.Handle("/", obs.InstrumentHandler(reg, handler))
 		handler = dm
+	}
+	if p.reqlog {
+		logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		handler = obs.RequestLogger(logger, tracer, handler)
 	}
 
 	ln, err := net.Listen("tcp", p.addr)

@@ -7,12 +7,15 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"cafc"
+	"cafc/internal/obs"
+	"cafc/internal/retry"
 	"cafc/internal/webgen"
 )
 
@@ -244,4 +247,169 @@ func TestColdHealthz(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatalf("healthz never turned ready after founding ingest: %+v", live.Status())
+}
+
+// TestHealthProblem pins the degradation rules /healthz applies: queue
+// saturation at 90% of capacity and any open circuit breaker.
+func TestHealthProblem(t *testing.T) {
+	if reason, bad := healthProblem(cafc.LiveStatus{QueueDepth: 10, QueueCap: 100}, nil); bad {
+		t.Fatalf("10%% queue reported degraded: %s", reason)
+	}
+	reason, bad := healthProblem(cafc.LiveStatus{QueueDepth: 95, QueueCap: 100}, nil)
+	if !bad || !strings.Contains(reason, "queue") {
+		t.Fatalf("saturated queue: degraded=%v reason=%q", bad, reason)
+	}
+
+	reg := obs.NewRegistry()
+	reg.Gauge("breaker_state", "component", "backlink").Set(float64(retry.Closed))
+	if reason, bad := healthProblem(cafc.LiveStatus{QueueCap: 100}, reg); bad {
+		t.Fatalf("closed breaker reported degraded: %s", reason)
+	}
+	reg.Gauge("breaker_state", "component", "backlink").Set(float64(retry.Open))
+	reason, bad = healthProblem(cafc.LiveStatus{QueueCap: 100}, reg)
+	if !bad || !strings.Contains(reason, "backlink") {
+		t.Fatalf("open breaker: degraded=%v reason=%q", bad, reason)
+	}
+}
+
+// TestHealthzDegradedHTTP drives the full handler: an open breaker in
+// the registry turns a healthy live server into 503 + JSON reason.
+func TestHealthzDegradedHTTP(t *testing.T) {
+	c := webgen.Generate(webgen.Config{Seed: 41, FormPages: 12})
+	var docs []cafc.Document
+	for _, u := range c.FormPages {
+		docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
+	}
+	corpus, err := cafc.NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := corpus.ClusterC(3, 1)
+	reg := obs.NewRegistry()
+	ls := &liveServer{reg: reg}
+	live, err := cafc.NewLive(corpus, docs, cl, cafc.LiveConfig{K: 3, Seed: 1, OnPublish: ls.onPublish})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls.live = live
+	defer live.Close()
+	ts := httptest.NewServer(ls.mux())
+	defer ts.Close()
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(); code != http.StatusOK {
+		t.Fatalf("healthy /healthz = %d: %s", code, body)
+	}
+	reg.Gauge("breaker_state", "component", "fetch").Set(float64(retry.Open))
+	code, body := get()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with open breaker = %d: %s", code, body)
+	}
+	var payload map[string]string
+	if err := json.Unmarshal([]byte(body), &payload); err != nil {
+		t.Fatalf("degraded /healthz body not JSON: %s", body)
+	}
+	if payload["status"] != "degraded" || !strings.Contains(payload["reason"], "fetch") {
+		t.Fatalf("degraded payload = %v", payload)
+	}
+	// Recovery: breaker closes, health returns.
+	reg.Gauge("breaker_state", "component", "fetch").Set(float64(retry.Closed))
+	if code, body := get(); code != http.StatusOK {
+		t.Fatalf("recovered /healthz = %d: %s", code, body)
+	}
+}
+
+// TestQualityEndpoint pins /debug/quality: a live server with the
+// monitor configured serves the latest snapshot and its history.
+func TestQualityEndpoint(t *testing.T) {
+	c := webgen.Generate(webgen.Config{Seed: 43, FormPages: 16})
+	labels := make(map[string]string)
+	var docs []cafc.Document
+	for _, u := range c.FormPages {
+		docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
+		labels[u] = string(c.Labels[u])
+	}
+	ls := &liveServer{}
+	live, err := cafc.NewLive(nil, nil, nil, cafc.LiveConfig{
+		K: 3, Seed: 1, BatchSize: 4, FlushInterval: 5 * time.Millisecond,
+		OnPublish: ls.onPublish,
+		Quality:   &cafc.QualityConfig{Labels: labels},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls.live = live
+	defer live.Close()
+	ts := httptest.NewServer(ls.mux())
+	defer ts.Close()
+
+	for _, d := range docs {
+		body, _ := json.Marshal(ingestRequest{URL: d.URL, HTML: d.HTML})
+		resp, err := http.Post(ts.URL+"/ingest", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if e := live.Epoch(); e != nil && e.Corpus.Len() == len(docs) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Get(ts.URL + "/debug/quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/quality = %d: %s", resp.StatusCode, body)
+	}
+	var payload struct {
+		Latest  cafc.QualitySnapshot   `json:"latest"`
+		History []cafc.QualitySnapshot `json:"history"`
+	}
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatalf("decode /debug/quality: %v: %s", err, body)
+	}
+	if payload.Latest.Pages != len(docs) || payload.Latest.Epoch == 0 {
+		t.Fatalf("latest snapshot = %+v, want %d pages", payload.Latest, len(docs))
+	}
+	if payload.Latest.Labeled != len(docs) {
+		t.Fatalf("labels did not flow through: labeled=%d", payload.Latest.Labeled)
+	}
+	if len(payload.History) == 0 {
+		t.Fatal("empty quality history after ingest")
+	}
+
+	// Without a monitor the endpoint 404s instead of serving nothing.
+	bare := &liveServer{}
+	bareLive, err := cafc.NewLive(nil, nil, nil, cafc.LiveConfig{K: 2, OnPublish: bare.onPublish})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bare.live = bareLive
+	defer bareLive.Close()
+	ts2 := httptest.NewServer(bare.mux())
+	defer ts2.Close()
+	resp2, err := http.Get(ts2.URL + "/debug/quality")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/quality without monitor = %d, want 404", resp2.StatusCode)
+	}
 }

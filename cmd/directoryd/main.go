@@ -11,11 +11,15 @@
 //	directoryd -live -in "" -data ./state               # cold start
 //
 // Endpoints: /  /cluster?id=N  /search?q=...  /select?q=...  /healthz
-// With -live: POST /ingest, GET /status, POST /classify; the directory
-// rebuilds and hot-swaps on every published model epoch, and /healthz
-// reports 503 until the first epoch exists.
+// With -live: POST /ingest, GET /status, POST /classify, GET
+// /debug/quality (online quality snapshots); the directory rebuilds and
+// hot-swaps on every published model epoch, and /healthz reports 503
+// while cold or degraded (saturated ingest queue, open circuit breaker).
 // With -metrics: /metrics (Prometheus text), /debug/vars (JSON),
-// /debug/trace (startup spans), /debug/pprof/*.
+// /debug/trace (startup spans), /debug/pprof/*; -slo-classify-ms and
+// -slo-ingest-ms set the latency objectives behind the per-endpoint
+// error-budget burn gauges, and -reqlog adds structured JSON request
+// logs carrying trace ids.
 package main
 
 import (
@@ -65,6 +69,9 @@ func main() {
 		flush         = flag.Duration("flush", 0, "live partial-batch flush interval (0 = default)")
 		drift         = flag.Float64("drift", 0, "reassignment fraction that triggers a full re-cluster (0 = default, >=1 disables)")
 		snapshotEvery = flag.Int("snapshot-every", 0, "checkpoint a snapshot every N WAL records (0 = only on drain)")
+		sloClassifyMS = flag.Float64("slo-classify-ms", 50, "classify latency objective in ms (burn gauges need -metrics)")
+		sloIngestMS   = flag.Float64("slo-ingest-ms", 20, "ingest latency objective in ms (burn gauges need -metrics)")
+		reqlog        = flag.Bool("reqlog", false, "structured JSON request logs on stderr (live mode)")
 	)
 	flag.Parse()
 
@@ -73,14 +80,16 @@ func main() {
 	// the startup phases into a ring buffer (served at /debug/trace) and
 	// the log.
 	var (
-		reg  *obs.Registry
-		ring *obs.RingSink
+		reg    *obs.Registry
+		ring   *obs.RingSink
+		tracer *obs.Tracer
 	)
 	ctx := context.Background()
 	if *metrics {
 		reg = obs.NewRegistry()
 		ring = obs.NewRingSink(256)
-		ctx = obs.WithTracer(ctx, obs.NewTracer(ring, obs.LogSink{Logger: log.Default()}))
+		tracer = obs.NewTracer(ring, obs.LogSink{Logger: log.Default()})
+		ctx = obs.WithTracer(ctx, tracer)
 	}
 
 	if *live {
@@ -100,7 +109,10 @@ func main() {
 			flush:         *flush,
 			drift:         *drift,
 			snapshotEvery: *snapshotEvery,
-		}, reg, ring, sigCtx)
+			sloClassifyMS: *sloClassifyMS,
+			sloIngestMS:   *sloIngestMS,
+			reqlog:        *reqlog,
+		}, reg, ring, tracer, sigCtx)
 		if err != nil {
 			log.Fatal(err)
 		}

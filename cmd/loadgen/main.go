@@ -1,0 +1,139 @@
+// Command loadgen replays a seeded mixed classify/ingest/browse
+// workload against a live directory and reports per-endpoint latency
+// quantiles plus the final quality snapshot — the ops-side answer to
+// "what does this directory do under load?".
+//
+// Usage:
+//
+//	loadgen -n 454 -seed 1 -qps 200 -ops 2000          # in-process
+//	loadgen -target http://127.0.0.1:8080 -qps 100     # running directoryd
+//	loadgen -duration 2s -json report.json
+//
+// Without -target the driver builds an in-process directory from a
+// generated corpus (genesis = first quarter) and drives it directly;
+// with -target it drives a running directoryd over HTTP. The report is
+// JSON on stdout, or to the -json file.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"cafc"
+	"cafc/internal/loadgen"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var (
+		target   = flag.String("target", "", "base URL of a running directoryd (empty = in-process directory)")
+		n        = flag.Int("n", 454, "form pages in the generated workload corpus")
+		seed     = flag.Int64("seed", 1, "workload seed (corpus, op sequence, classify draws)")
+		k        = flag.Int("k", 8, "clusters for the in-process directory")
+		qps      = flag.Float64("qps", 200, "offered rate, open-loop")
+		ops      = flag.Int("ops", 1000, "total operations to issue")
+		duration = flag.Duration("duration", 0, "stop issuing after this long even if -ops remain (0 = run all ops)")
+		mix      = flag.String("mix", "", "classify,ingest,browse weights (default 70,20,10)")
+		inflight = flag.Int("inflight", 0, "max concurrent classify/browse ops (0 = 64)")
+		jsonOut  = flag.String("json", "", "write the report here instead of stdout")
+	)
+	flag.Parse()
+
+	cfg := loadgen.Config{
+		Seed:        *seed,
+		QPS:         *qps,
+		Ops:         *ops,
+		Duration:    *duration,
+		Mix:         parseMix(*mix),
+		MaxInFlight: *inflight,
+	}
+	fx := loadgen.NewFixture(*seed, *n)
+
+	var (
+		tgt  loadgen.Target
+		live *cafc.Live
+	)
+	if *target != "" {
+		tgt = loadgen.HTTPTarget{Base: strings.TrimRight(*target, "/")}
+	} else {
+		var err error
+		live, err = startDirectory(fx, *k, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer live.Close()
+		tgt = loadgen.LiveTarget{Live: live}
+	}
+
+	rep, err := loadgen.Run(context.Background(), cfg, tgt, fx.Genesis, fx.Pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out := struct {
+		loadgen.Report
+		Quality *cafc.QualitySnapshot `json:"quality,omitempty"`
+	}{Report: rep}
+	if live != nil {
+		if snap, ok := live.Quality(); ok {
+			out.Quality = &snap
+		}
+	}
+
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	buf = append(buf, '\n')
+	if *jsonOut != "" {
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d ops, %.0f/%.0f qps)\n", *jsonOut, rep.Ops, rep.AchievedQPS, rep.TargetQPS)
+		return
+	}
+	os.Stdout.Write(buf)
+}
+
+// startDirectory founds the in-process directory the same way the
+// ingest benchmark does: genesis corpus, seeded CAFC-C clustering, and
+// the quality monitor attached with the generator's gold labels.
+func startDirectory(fx loadgen.Fixture, k int, seed int64) (*cafc.Live, error) {
+	corpus, err := cafc.NewCorpus(fx.Genesis)
+	if err != nil {
+		return nil, err
+	}
+	cl := corpus.ClusterC(k, seed)
+	return cafc.NewLive(corpus, fx.Genesis, cl, cafc.LiveConfig{
+		K: k, Seed: seed, BatchSize: 32, FlushInterval: time.Millisecond,
+		Quality: &cafc.QualityConfig{Labels: fx.Labels},
+	})
+}
+
+// parseMix parses "70,20,10" into a Mix (empty = defaults).
+func parseMix(s string) loadgen.Mix {
+	if s == "" {
+		return loadgen.Mix{}
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 3 {
+		log.Fatalf("-mix wants three comma-separated weights, got %q", s)
+	}
+	w := make([]float64, 3)
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil || v < 0 {
+			log.Fatalf("bad -mix weight %q", p)
+		}
+		w[i] = v
+	}
+	return loadgen.Mix{Classify: w[0], Ingest: w[1], Browse: w[2]}
+}

@@ -72,7 +72,7 @@ type Plan struct {
 	Delay time.Duration
 	// TruncateRate in [0,1] is the probability a fetched body is cut to
 	// TruncateBytes (0 = 64) — the half-written-response failure mode.
-	TruncateRate float64
+	TruncateRate  float64
 	TruncateBytes int
 }
 

@@ -1,0 +1,36 @@
+package loadgen
+
+import (
+	"cafc"
+	"cafc/internal/webgen"
+)
+
+// Fixture is a seeded workload corpus: Genesis founds the directory,
+// Pool is the ordered document sequence the ingest lane streams, and
+// Labels are the generator's gold classes (for the quality snapshot).
+type Fixture struct {
+	Genesis []cafc.Document
+	Pool    []cafc.Document
+	Labels  map[string]string
+}
+
+// NewFixture generates n form pages and splits the first quarter (at
+// least 8) off as genesis — the same split the ingest benchmark uses,
+// so load results are comparable to throughput results at equal n/seed.
+func NewFixture(seed int64, n int) Fixture {
+	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n})
+	docs := make([]cafc.Document, 0, len(c.FormPages))
+	labels := make(map[string]string, len(c.FormPages))
+	for _, u := range c.FormPages {
+		docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
+		labels[u] = string(c.Labels[u])
+	}
+	genesis := len(docs) / 4
+	if genesis < 8 {
+		genesis = 8
+	}
+	if genesis > len(docs) {
+		genesis = len(docs)
+	}
+	return Fixture{Genesis: docs[:genesis], Pool: docs[genesis:], Labels: labels}
+}

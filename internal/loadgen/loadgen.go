@@ -1,0 +1,289 @@
+// Package loadgen drives a seeded mixed workload — classify, ingest,
+// browse — against a live directory at a target rate and reports
+// per-endpoint latency quantiles. It is the measurement half of the
+// directory-health story: the quality monitor says whether the
+// clustering is holding up, loadgen says whether the serving path is.
+//
+// Pacing is open-loop: operation i is due at start + i/QPS regardless
+// of how long earlier operations took, so a slow server accumulates
+// in-flight work (bounded by MaxInFlight) instead of silently slowing
+// the offered rate the way closed-loop drivers do. The operation-type
+// sequence is drawn from a seeded RNG, and ingest consumes its document
+// pool strictly in order through a single worker — so for a fixed seed
+// and pool, the set and order of ingested documents is reproducible no
+// matter how the latencies fell.
+package loadgen
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"cafc"
+	"cafc/internal/obs"
+)
+
+// Target is the surface loadgen drives. Implementations must be safe
+// for concurrent calls (Ingest is only ever called from one goroutine).
+type Target interface {
+	// Classify asks the directory to place one document.
+	Classify(d cafc.Document) error
+	// Ingest feeds one document into the directory.
+	Ingest(d cafc.Document) error
+	// Browse performs one read-side directory access.
+	Browse() error
+}
+
+// Mix weighs the operation types. Zero-value mixes select the default
+// 70% classify / 20% ingest / 10% browse.
+type Mix struct {
+	Classify float64
+	Ingest   float64
+	Browse   float64
+}
+
+func (m Mix) orDefault() Mix {
+	if m.Classify == 0 && m.Ingest == 0 && m.Browse == 0 {
+		return Mix{Classify: 0.7, Ingest: 0.2, Browse: 0.1}
+	}
+	return m
+}
+
+// Config configures a run. Zero values select the defaults noted per
+// field.
+type Config struct {
+	// Seed drives the operation-type sequence and classify-document
+	// choice.
+	Seed int64
+	// QPS is the offered rate (0 = 200).
+	QPS float64
+	// Ops is the total number of operations to issue (0 = 1000).
+	Ops int
+	// Duration, when non-zero, stops issuing after this much wall time
+	// even if Ops have not all been sent.
+	Duration time.Duration
+	// Mix weighs the operation types (zero = 70/20/10
+	// classify/ingest/browse).
+	Mix Mix
+	// MaxInFlight bounds concurrent classify/browse operations (0 = 64).
+	MaxInFlight int
+	// Metrics, when non-nil, additionally records latencies as
+	// loadgen_latency_seconds{endpoint=...} histograms.
+	Metrics *obs.Registry
+}
+
+// EndpointStats is one endpoint's latency summary, milliseconds.
+type EndpointStats struct {
+	Ops    int     `json:"ops"`
+	Errors int     `json:"errors"`
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P95MS  float64 `json:"p95_ms"`
+	P99MS  float64 `json:"p99_ms"`
+}
+
+// Report is a finished run: offered vs achieved rate plus per-endpoint
+// stats. Endpoint keys are "classify", "ingest" and "browse".
+type Report struct {
+	Seed            int64                    `json:"seed"`
+	TargetQPS       float64                  `json:"target_qps"`
+	AchievedQPS     float64                  `json:"achieved_qps"`
+	DurationSeconds float64                  `json:"duration_seconds"`
+	Ops             int                      `json:"ops"`
+	Ingested        int                      `json:"ingested"`
+	Endpoints       map[string]EndpointStats `json:"endpoints"`
+}
+
+// recorder accumulates raw latencies per endpoint; quantiles are exact
+// (sorted raw samples), not bucket-interpolated — the sample counts are
+// small enough that keeping them all is cheaper than being wrong at p99.
+type recorder struct {
+	mu   sync.Mutex
+	lat  map[string][]float64 // seconds
+	errs map[string]int
+	reg  *obs.Registry
+}
+
+func newRecorder(reg *obs.Registry) *recorder {
+	return &recorder{lat: make(map[string][]float64), errs: make(map[string]int), reg: reg}
+}
+
+func (r *recorder) observe(endpoint string, d time.Duration, err error) {
+	sec := d.Seconds()
+	r.mu.Lock()
+	r.lat[endpoint] = append(r.lat[endpoint], sec)
+	if err != nil {
+		r.errs[endpoint]++
+	}
+	r.mu.Unlock()
+	if r.reg != nil {
+		r.reg.Histogram("loadgen_latency_seconds", obs.DurationBuckets, "endpoint", endpoint).Observe(sec)
+		if err != nil {
+			r.reg.Counter("loadgen_errors_total", "endpoint", endpoint).Inc()
+		}
+	}
+}
+
+// quantile is the nearest-rank quantile of an ascending-sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func (r *recorder) stats() map[string]EndpointStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]EndpointStats, len(r.lat))
+	for ep, lat := range r.lat {
+		sorted := append([]float64(nil), lat...)
+		sort.Float64s(sorted)
+		var sum float64
+		for _, v := range sorted {
+			sum += v
+		}
+		out[ep] = EndpointStats{
+			Ops:    len(sorted),
+			Errors: r.errs[ep],
+			MeanMS: sum / float64(len(sorted)) * 1000,
+			P50MS:  quantile(sorted, 0.50) * 1000,
+			P95MS:  quantile(sorted, 0.95) * 1000,
+			P99MS:  quantile(sorted, 0.99) * 1000,
+		}
+	}
+	return out
+}
+
+type opKind int
+
+const (
+	opClassify opKind = iota
+	opIngest
+	opBrowse
+)
+
+// Run drives the workload: classifyDocs is the pool classify operations
+// draw from (uniformly, seeded), pool is the ordered document sequence
+// ingest operations consume (when it runs dry, further ingest draws
+// degrade to classifies). Returns the report; ctx cancellation stops
+// issuing early.
+func Run(ctx context.Context, cfg Config, tgt Target, classifyDocs, pool []cafc.Document) (Report, error) {
+	if len(classifyDocs) == 0 {
+		return Report{}, fmt.Errorf("loadgen: classifyDocs must not be empty")
+	}
+	qps := cfg.QPS
+	if qps <= 0 {
+		qps = 200
+	}
+	ops := cfg.Ops
+	if ops <= 0 {
+		ops = 1000
+	}
+	inflight := cfg.MaxInFlight
+	if inflight <= 0 {
+		inflight = 64
+	}
+	mix := cfg.Mix.orDefault()
+	totalW := mix.Classify + mix.Ingest + mix.Browse
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	rec := newRecorder(cfg.Metrics)
+
+	// The ingest lane: a single worker consumes docs in pool order, so
+	// the corpus the directory grows is reproducible for a fixed seed.
+	ingestCh := make(chan cafc.Document, ops)
+	var ingestWG sync.WaitGroup
+	ingestWG.Add(1)
+	go func() {
+		defer ingestWG.Done()
+		for d := range ingestCh {
+			t0 := time.Now()
+			err := tgt.Ingest(d)
+			rec.observe("ingest", time.Since(t0), err)
+		}
+	}()
+
+	sem := make(chan struct{}, inflight)
+	var wg sync.WaitGroup
+	interval := time.Duration(float64(time.Second) / qps)
+	start := time.Now()
+	issued, ingested := 0, 0
+	for i := 0; i < ops; i++ {
+		if ctx.Err() != nil {
+			break
+		}
+		if cfg.Duration > 0 && time.Since(start) >= cfg.Duration {
+			break
+		}
+		if d := time.Until(start.Add(time.Duration(i) * interval)); d > 0 {
+			time.Sleep(d)
+		}
+
+		// Draw in the pacing loop, not the workers: the rng consumption
+		// order (and so the op sequence) must not depend on scheduling.
+		kind := opClassify
+		switch r := rng.Float64() * totalW; {
+		case r < mix.Classify:
+			kind = opClassify
+		case r < mix.Classify+mix.Ingest:
+			kind = opIngest
+		default:
+			kind = opBrowse
+		}
+		var doc cafc.Document
+		switch kind {
+		case opIngest:
+			if ingested < len(pool) {
+				doc = pool[ingested]
+				ingested++
+			} else {
+				kind = opClassify // pool dry: degrade to a read
+			}
+		}
+		if kind == opClassify {
+			doc = classifyDocs[rng.Intn(len(classifyDocs))]
+		}
+		issued++
+
+		if kind == opIngest {
+			ingestCh <- doc
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(kind opKind, doc cafc.Document) {
+			defer func() { <-sem; wg.Done() }()
+			t0 := time.Now()
+			var err error
+			name := "classify"
+			if kind == opBrowse {
+				name = "browse"
+				err = tgt.Browse()
+			} else {
+				err = tgt.Classify(doc)
+			}
+			rec.observe(name, time.Since(t0), err)
+		}(kind, doc)
+	}
+	close(ingestCh)
+	wg.Wait()
+	ingestWG.Wait()
+	elapsed := time.Since(start)
+
+	return Report{
+		Seed:            cfg.Seed,
+		TargetQPS:       qps,
+		AchievedQPS:     float64(issued) / elapsed.Seconds(),
+		DurationSeconds: elapsed.Seconds(),
+		Ops:             issued,
+		Ingested:        ingested,
+		Endpoints:       rec.stats(),
+	}, nil
+}

@@ -1,0 +1,147 @@
+package loadgen
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"cafc"
+)
+
+// fakeTarget records what was asked of it.
+type fakeTarget struct {
+	mu       sync.Mutex
+	ingested []string
+	classify map[string]int
+	browses  int
+	fail     bool
+}
+
+func newFakeTarget() *fakeTarget { return &fakeTarget{classify: make(map[string]int)} }
+
+func (f *fakeTarget) Classify(d cafc.Document) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.classify[d.URL]++
+	if f.fail {
+		return errors.New("boom")
+	}
+	return nil
+}
+
+func (f *fakeTarget) Ingest(d cafc.Document) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.ingested = append(f.ingested, d.URL)
+	return nil
+}
+
+func (f *fakeTarget) Browse() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.browses++
+	return nil
+}
+
+func docs(prefix string, n int) []cafc.Document {
+	out := make([]cafc.Document, n)
+	for i := range out {
+		out[i] = cafc.Document{URL: prefix + string(rune('a'+i%26)) + string(rune('0'+i/26))}
+	}
+	return out
+}
+
+// TestRunDeterministic: same seed, same pools → the same operations
+// reach the target (ingest order exactly; classify/browse as counts,
+// since their completion order is concurrent).
+func TestRunDeterministic(t *testing.T) {
+	cfg := Config{Seed: 9, QPS: 100000, Ops: 400}
+	run := func() *fakeTarget {
+		tgt := newFakeTarget()
+		rep, err := Run(context.Background(), cfg, tgt, docs("c", 30), docs("p", 50))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Ops != 400 {
+			t.Fatalf("issued %d ops, want 400", rep.Ops)
+		}
+		return tgt
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a.ingested, b.ingested) {
+		t.Fatalf("ingest sequences diverge:\n a=%v\n b=%v", a.ingested, b.ingested)
+	}
+	if !reflect.DeepEqual(a.classify, b.classify) {
+		t.Fatalf("classify draws diverge")
+	}
+	if a.browses != b.browses {
+		t.Fatalf("browse counts diverge: %d vs %d", a.browses, b.browses)
+	}
+	// Ingest consumed the pool strictly in order.
+	for i, u := range a.ingested {
+		if u != docs("p", 50)[i].URL {
+			t.Fatalf("ingest out of order at %d: %s", i, u)
+		}
+	}
+}
+
+// TestRunPoolExhaustion: with a tiny pool and an ingest-heavy mix, the
+// pool drains completely and the surplus draws degrade to classifies —
+// every op still runs.
+func TestRunPoolExhaustion(t *testing.T) {
+	tgt := newFakeTarget()
+	rep, err := Run(context.Background(), Config{
+		Seed: 3, QPS: 100000, Ops: 200, Mix: Mix{Ingest: 1},
+	}, tgt, docs("c", 5), docs("p", 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Ingested != 10 || len(tgt.ingested) != 10 {
+		t.Fatalf("ingested %d/%d, want the full pool of 10", rep.Ingested, len(tgt.ingested))
+	}
+	total := 0
+	for _, n := range tgt.classify {
+		total += n
+	}
+	if total != 190 {
+		t.Fatalf("degraded classifies = %d, want 190", total)
+	}
+	if rep.Endpoints["ingest"].Ops != 10 || rep.Endpoints["classify"].Ops != 190 {
+		t.Fatalf("endpoint stats = %+v", rep.Endpoints)
+	}
+}
+
+// TestRunErrorsCounted: target failures land in the per-endpoint error
+// count without aborting the run.
+func TestRunErrorsCounted(t *testing.T) {
+	tgt := newFakeTarget()
+	tgt.fail = true
+	rep, err := Run(context.Background(), Config{Seed: 1, QPS: 100000, Ops: 50, Mix: Mix{Classify: 1}}, tgt, docs("c", 5), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := rep.Endpoints["classify"]
+	if st.Ops != 50 || st.Errors != 50 {
+		t.Fatalf("stats = %+v, want 50 ops / 50 errors", st)
+	}
+}
+
+// TestQuantileNearestRank pins the quantile definition the report uses.
+func TestQuantileNearestRank(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	sort.Float64s(s)
+	cases := []struct{ q, want float64 }{
+		{0.50, 6}, {0.95, 10}, {0.99, 10}, {0, 1}, {1, 10},
+	}
+	for _, c := range cases {
+		if got := quantile(s, c.q); got != c.want {
+			t.Errorf("quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v", got)
+	}
+}

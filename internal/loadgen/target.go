@@ -1,0 +1,138 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"cafc"
+)
+
+// LiveTarget drives an in-process cafc.Live — the zero-network
+// harness benchall uses, measuring the serving paths themselves.
+type LiveTarget struct {
+	Live *cafc.Live
+}
+
+func (t LiveTarget) Classify(d cafc.Document) error {
+	e := t.Live.Epoch()
+	if e == nil {
+		return errors.New("loadgen: cold directory")
+	}
+	_, _, err := e.Classify(d)
+	return err
+}
+
+// Ingest retries through backpressure: ErrBacklog means the bounded
+// queue is momentarily full, and the single ingest lane must not drop
+// documents (the reproducibility of the grown corpus depends on every
+// pool document landing, in order).
+func (t LiveTarget) Ingest(d cafc.Document) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		err := t.Live.Ingest(d)
+		if err == nil || !errors.Is(err, cafc.ErrBacklog) {
+			return err
+		}
+		if time.Now().After(deadline) {
+			return err
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+}
+
+func (t LiveTarget) Browse() error {
+	e := t.Live.Epoch()
+	if e == nil {
+		return errors.New("loadgen: cold directory")
+	}
+	// A front-page render touches every cluster's label and size; do the
+	// equivalent amount of reading.
+	n := 0
+	for _, c := range e.Clustering.Clusters {
+		n += len(c)
+	}
+	if n == 0 && len(e.Clustering.Clusters) > 0 {
+		return errors.New("loadgen: empty clustering")
+	}
+	return nil
+}
+
+// HTTPTarget drives a running directoryd over HTTP.
+type HTTPTarget struct {
+	Base   string // e.g. "http://127.0.0.1:8080"
+	Client *http.Client
+}
+
+func (t HTTPTarget) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return http.DefaultClient
+}
+
+type docPayload struct {
+	URL  string `json:"url"`
+	HTML string `json:"html"`
+}
+
+func (t HTTPTarget) post(path string, d cafc.Document) (int, error) {
+	body, err := json.Marshal(docPayload{URL: d.URL, HTML: d.HTML})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := t.client().Post(t.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func (t HTTPTarget) Classify(d cafc.Document) error {
+	code, err := t.post("/classify", d)
+	if err != nil {
+		return err
+	}
+	if code != http.StatusOK {
+		return fmt.Errorf("loadgen: POST /classify = %d", code)
+	}
+	return nil
+}
+
+// Ingest retries 429 (backpressure) like the in-process target retries
+// ErrBacklog; any other non-2xx is an error.
+func (t HTTPTarget) Ingest(d cafc.Document) error {
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		code, err := t.post("/ingest", d)
+		if err != nil {
+			return err
+		}
+		if code == http.StatusAccepted || code == http.StatusOK {
+			return nil
+		}
+		if code != http.StatusTooManyRequests || time.Now().After(deadline) {
+			return fmt.Errorf("loadgen: POST /ingest = %d", code)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (t HTTPTarget) Browse() error {
+	resp, err := t.client().Get(t.Base + "/")
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: GET / = %d", resp.StatusCode)
+	}
+	return nil
+}

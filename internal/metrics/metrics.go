@@ -20,6 +20,28 @@ type Labeling struct {
 	Classes []string
 }
 
+// sortedClusters returns nij's cluster ids ascending: aggregate sums
+// iterate in this order so results are bit-stable across runs (float
+// addition is order-sensitive in the last ulp, map iteration is not).
+func sortedClusters(nij map[int]map[string]int) []int {
+	js := make([]int, 0, len(nij))
+	for j := range nij {
+		js = append(js, j)
+	}
+	sort.Ints(js)
+	return js
+}
+
+// sortedClasses returns a cluster's class labels ascending, same reason.
+func sortedClasses(classes map[string]int) []string {
+	cs := make([]string, 0, len(classes))
+	for cls := range classes {
+		cs = append(cs, cls)
+	}
+	sort.Strings(cs)
+	return cs
+}
+
 // counts builds n_{ij} (members of class i in cluster j), n_j and n_i.
 func (l Labeling) counts() (nij map[int]map[string]int, nj map[int]int, ni map[string]int, n int) {
 	nij = make(map[int]map[string]int)
@@ -52,11 +74,12 @@ func Entropy(l Labeling) float64 {
 		return 0
 	}
 	var total float64
-	for j, classes := range nij {
+	for _, j := range sortedClusters(nij) {
+		classes := nij[j]
 		size := float64(nj[j])
 		var h float64
-		for _, cnt := range classes {
-			p := float64(cnt) / size
+		for _, cls := range sortedClasses(classes) {
+			p := float64(classes[cls]) / size
 			h -= p * math.Log(p)
 		}
 		total += (size / float64(n)) * h
@@ -91,9 +114,11 @@ func FMeasure(l Labeling) float64 {
 		return 0
 	}
 	var total float64
-	for j, classes := range nij {
+	for _, j := range sortedClusters(nij) {
+		classes := nij[j]
 		var bestF float64
-		for cls, cnt := range classes {
+		for _, cls := range sortedClasses(classes) {
+			cnt := classes[cls]
 			p := float64(cnt) / float64(nj[j])
 			r := float64(cnt) / float64(ni[cls])
 			if p+r == 0 {

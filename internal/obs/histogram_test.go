@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+// TestHistogramConcurrentObserve hammers one histogram from many
+// goroutines and checks the books balance: the count, the sum and the
+// terminal cumulative bucket must all agree with the number of
+// observations. Run under -race in check.sh, this is the concurrency
+// contract the SLO gauges and load reports depend on.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_concurrent_seconds", []float64{0.001, 0.01, 0.1, 1})
+	const (
+		goroutines = 8
+		perG       = 5000
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				// A fixed per-slot value keeps the expected sum exact in
+				// float64 (multiples of 2^-10).
+				h.Observe(float64(i%4) / 1024)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if got := h.Count(); got != total {
+		t.Fatalf("Count = %d, want %d", got, total)
+	}
+	want := float64(goroutines) * float64(perG/4) * (0 + 1 + 2 + 3) / 1024
+	if got := h.Sum(); got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+	var sample *Sample
+	snap := reg.Snapshot()
+	for i := range snap {
+		if snap[i].Name == "test_concurrent_seconds" {
+			sample = &snap[i]
+		}
+	}
+	if sample == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	last := sample.Buckets[len(sample.Buckets)-1]
+	if !math.IsInf(last.Upper, 1) || last.Count != total {
+		t.Fatalf("terminal bucket = {%v %d}, want {+Inf %d}", last.Upper, last.Count, total)
+	}
+}
+
+// TestHistogramQuantile pins the quantile estimator against known
+// bucket fills, including the interpolation the SLO gauges rely on.
+func TestHistogramQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("test_quantile_seconds", []float64{0.01, 0.1, 1})
+	// 50 observations in (0, 0.01], 30 in (0.01, 0.1], 19 in (0.1, 1],
+	// 1 beyond the last finite bound.
+	for i := 0; i < 50; i++ {
+		h.Observe(0.005)
+	}
+	for i := 0; i < 30; i++ {
+		h.Observe(0.05)
+	}
+	for i := 0; i < 19; i++ {
+		h.Observe(0.5)
+	}
+	h.Observe(2)
+
+	cases := []struct {
+		q    float64
+		want float64
+	}{
+		// rank 50 lands exactly on the first bucket boundary: interpolate
+		// from 0 across the 50 observations of bucket one.
+		{0.50, 0.01},
+		// rank 95: 80 below, 15 of 19 into (0.1, 1].
+		{0.95, 0.1 + 0.9*15/19},
+		// rank 99: 80 below, 19 of 19 into (0.1, 1] — the full bucket.
+		{0.99, 1.0},
+		// rank 100 lands in +Inf: clamped to the last finite bound.
+		{1.00, 1.0},
+		// rank 25: halfway through the first bucket, interpolated from 0.
+		{0.25, 0.005},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+
+	// The snapshot-side estimator must agree with the live one.
+	for _, s := range reg.Snapshot() {
+		if s.Name != "test_quantile_seconds" {
+			continue
+		}
+		for _, c := range cases {
+			if got := s.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+				t.Errorf("Sample.Quantile(%v) = %v, want %v", c.q, got, c.want)
+			}
+		}
+	}
+}
+
+// TestQuantileEdgeCases covers empty and nil histograms.
+func TestQuantileEdgeCases(t *testing.T) {
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %v, want 0", got)
+	}
+	reg := NewRegistry()
+	h := reg.Histogram("test_empty_seconds", DurationBuckets)
+	if got := h.Quantile(0.99); got != 0 {
+		t.Errorf("empty histogram Quantile = %v, want 0", got)
+	}
+	var nilS *Sample
+	if got := nilS.Quantile(0.5); got != 0 {
+		t.Errorf("nil sample Quantile = %v, want 0", got)
+	}
+	counter := Sample{Name: "c", Kind: KindCounter, Value: 3}
+	if got := counter.Quantile(0.5); got != 0 {
+		t.Errorf("counter Quantile = %v, want 0", got)
+	}
+}

@@ -65,15 +65,23 @@ func DebugMux(reg *Registry, ring *RingSink, pprofEnabled bool) *http.ServeMux {
 	return mux
 }
 
-// statusWriter captures the response status code for the middleware.
+// statusWriter captures the response status code and body size for the
+// middlewares.
 type statusWriter struct {
 	http.ResponseWriter
 	status int
+	bytes  int64
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
 }
 
 // InstrumentHandler wraps an HTTP handler with request accounting:

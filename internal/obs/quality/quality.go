@@ -1,0 +1,393 @@
+// Package quality is the live directory's online quality monitor: it
+// watches the stream of published model epochs and answers "is the
+// clustering holding up right now?" with the same yardsticks the paper
+// uses offline, cheap enough to run on every epoch swap.
+//
+// The monitor keeps a seeded reservoir sample of the corpus (so the
+// per-epoch cost is bounded no matter how large the directory grows)
+// and computes, per epoch: the sampled silhouette coefficient, the
+// per-cluster size distribution and its skew, the cosine drift of each
+// centroid against the previous epoch ("churn"), and — when gold labels
+// are available, as with webgen corpora — the paper's entropy and
+// F-measure. Results are published as gauges on an obs.Registry and
+// retained in a fixed ring of Snapshots for /debug/quality.
+//
+// The monitor only observes: it never mutates the model or the
+// clustering, and attaching one (with or without a registry) leaves
+// published epochs bit-identical — the same inertness contract as the
+// rest of internal/obs. The reservoir is driven by a seeded RNG over
+// the page-index sequence, so two monitors fed the same corpus growth
+// hold identical samples regardless of how ingestion was batched.
+package quality
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"cafc/internal/cluster"
+	"cafc/internal/metrics"
+	"cafc/internal/obs"
+)
+
+// Config configures a Monitor. Zero values select the defaults noted
+// per field.
+type Config struct {
+	// SampleSize caps the reservoir (0 = 256). Silhouette cost per epoch
+	// is O(SampleSize²) similarities.
+	SampleSize int
+	// Seed drives the reservoir RNG. Fixed seed + same page sequence =
+	// same sample, independent of batch boundaries.
+	Seed int64
+	// RingSize bounds the retained snapshot history (0 = 64).
+	RingSize int
+	// Labels, when non-nil, maps page URLs to gold classes; labeled
+	// epochs additionally report entropy and F-measure over the labeled
+	// pages.
+	Labels map[string]string
+	// Metrics receives the quality gauges (nil disables them; snapshots
+	// are still recorded).
+	Metrics *obs.Registry
+}
+
+// Epoch is the monitor's view of one published model state. Everything
+// referenced must be frozen (published epochs are).
+type Epoch struct {
+	// Seq is the epoch number.
+	Seq int64
+	// Space scores similarities (the epoch's model).
+	Space cluster.Space
+	// Assign maps page index to cluster (-1 = unassigned).
+	Assign []int
+	// K is the cluster count.
+	K int
+	// Centroids are the epoch's cluster representatives.
+	Centroids []cluster.Point
+	// Rebuilt marks full re-cluster epochs.
+	Rebuilt bool
+	// URL returns the page URL by index; may be nil when no labels are
+	// configured.
+	URL func(i int) string
+}
+
+// Snapshot is one epoch's quality measurement — the ring element served
+// at /debug/quality.
+type Snapshot struct {
+	Epoch   int64     `json:"epoch"`
+	Time    time.Time `json:"time"`
+	Pages   int       `json:"pages"`
+	K       int       `json:"k"`
+	Rebuilt bool      `json:"rebuilt"`
+
+	// SampleSize is the number of reservoir pages the silhouette was
+	// computed over.
+	SampleSize int `json:"sample_size"`
+	// Silhouette is the mean silhouette coefficient of the sample
+	// (1 = tight and separated, ~0 = overlapping).
+	Silhouette float64 `json:"silhouette"`
+
+	// ClusterSizes is the per-cluster member count, index = cluster id.
+	ClusterSizes []int `json:"cluster_sizes"`
+	// MaxShare is the largest cluster's fraction of the corpus.
+	MaxShare float64 `json:"max_share"`
+	// Skew is max cluster size over mean non-empty cluster size
+	// (1 = perfectly balanced).
+	Skew float64 `json:"skew"`
+	// EmptyClusters counts clusters with no members.
+	EmptyClusters int `json:"empty_clusters"`
+
+	// ChurnMean and ChurnMax are the cosine drift (1 - similarity) of
+	// this epoch's centroids against the previous epoch's, averaged and
+	// worst-case. Zero on the first observed epoch.
+	ChurnMean float64 `json:"centroid_churn_mean"`
+	ChurnMax  float64 `json:"centroid_churn_max"`
+
+	// Labeled is the number of pages with gold labels; Entropy and
+	// FMeasure are only meaningful when it is non-zero.
+	Labeled  int     `json:"labeled,omitempty"`
+	Entropy  float64 `json:"entropy,omitempty"`
+	FMeasure float64 `json:"f_measure,omitempty"`
+}
+
+// Monitor consumes epochs and maintains the reservoir, the gauges and
+// the snapshot ring. Safe for concurrent use, though epochs are
+// expected to arrive from a single publisher goroutine.
+type Monitor struct {
+	mu   sync.Mutex
+	cfg  Config
+	rng  *rand.Rand
+	seen int   // pages offered to the reservoir so far
+	res  []int // reservoir: page indices, insertion order
+
+	prevCentroids []cluster.Point
+
+	ring []Snapshot
+	next int
+	n    int
+}
+
+// New builds a monitor.
+func New(cfg Config) *Monitor {
+	if cfg.SampleSize <= 0 {
+		cfg.SampleSize = 256
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 64
+	}
+	return &Monitor{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(cfg.Seed + 1)),
+		ring: make([]Snapshot, cfg.RingSize),
+	}
+}
+
+// ObserveEpoch measures one published epoch: the reservoir absorbs any
+// new pages, the quality metrics are computed over the sample and the
+// assignment, the gauges update, and the snapshot is recorded. Returns
+// the snapshot. now stamps the snapshot (callers pass time.Now();
+// tests pass a fixed time for byte-stable output).
+func (m *Monitor) ObserveEpoch(e Epoch, now time.Time) Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+
+	n := e.Space.Len()
+	// Reservoir sampling (algorithm R) over the page-index sequence.
+	// Pages are append-only across epochs — a rebuild re-embeds but
+	// never reorders — so indices remain stable identities.
+	for ; m.seen < n; m.seen++ {
+		if len(m.res) < m.cfg.SampleSize {
+			m.res = append(m.res, m.seen)
+			continue
+		}
+		if j := m.rng.Intn(m.seen + 1); j < m.cfg.SampleSize {
+			m.res[j] = m.seen
+		}
+	}
+
+	snap := Snapshot{
+		Epoch:      e.Seq,
+		Time:       now,
+		Pages:      n,
+		K:          e.K,
+		Rebuilt:    e.Rebuilt,
+		SampleSize: len(m.res),
+	}
+	snap.Silhouette = sampledSilhouette(e.Space, e.Assign, e.K, m.res)
+	m.sizeStats(&snap, e)
+	m.churn(&snap, e)
+	m.labelQuality(&snap, e)
+	m.prevCentroids = append(m.prevCentroids[:0], e.Centroids...)
+
+	m.publishGauges(&snap)
+	m.ring[m.next] = snap
+	m.next = (m.next + 1) % len(m.ring)
+	if m.n < len(m.ring) {
+		m.n++
+	}
+	return snap
+}
+
+// sizeStats fills the cluster-size distribution and its skew measures.
+func (m *Monitor) sizeStats(s *Snapshot, e Epoch) {
+	sizes := cluster.Sizes(e.Assign, e.K)
+	s.ClusterSizes = sizes
+	total, max, nonEmpty := 0, 0, 0
+	for _, sz := range sizes {
+		total += sz
+		if sz > max {
+			max = sz
+		}
+		if sz > 0 {
+			nonEmpty++
+		} else {
+			s.EmptyClusters++
+		}
+	}
+	if total > 0 {
+		s.MaxShare = float64(max) / float64(total)
+	}
+	if nonEmpty > 0 && total > 0 {
+		s.Skew = float64(max) / (float64(total) / float64(nonEmpty))
+	}
+}
+
+// churn scores each centroid against its predecessor: drift is
+// 1 - sim, the chord distance the clustering kernels use. Comparable
+// across epochs because term interning is append-only — packed
+// centroids from the previous model remain valid points in the next.
+func (m *Monitor) churn(s *Snapshot, e Epoch) {
+	k := len(e.Centroids)
+	if len(m.prevCentroids) < k {
+		k = len(m.prevCentroids)
+	}
+	if k == 0 {
+		return
+	}
+	var sum float64
+	for c := 0; c < k; c++ {
+		d := cluster.Dist(e.Space.Sim(m.prevCentroids[c], e.Centroids[c]))
+		sum += d
+		if d > s.ChurnMax {
+			s.ChurnMax = d
+		}
+	}
+	s.ChurnMean = sum / float64(k)
+}
+
+// labelQuality computes the paper's entropy and F-measure over the
+// labeled pages, when labels are configured.
+func (m *Monitor) labelQuality(s *Snapshot, e Epoch) {
+	if len(m.cfg.Labels) == 0 || e.URL == nil {
+		return
+	}
+	var assign []int
+	var classes []string
+	for i, c := range e.Assign {
+		if c < 0 {
+			continue
+		}
+		lbl, ok := m.cfg.Labels[e.URL(i)]
+		if !ok {
+			continue
+		}
+		assign = append(assign, c)
+		classes = append(classes, lbl)
+	}
+	s.Labeled = len(assign)
+	if s.Labeled == 0 {
+		return
+	}
+	l := metrics.Labeling{Assign: assign, Classes: classes}
+	s.Entropy = metrics.Entropy(l)
+	s.FMeasure = metrics.FMeasure(l)
+}
+
+// publishGauges mirrors the snapshot into the registry (nil-safe).
+func (m *Monitor) publishGauges(s *Snapshot) {
+	reg := m.cfg.Metrics
+	reg.Gauge("quality_silhouette").Set(s.Silhouette)
+	reg.Gauge("quality_sample_size").Set(float64(s.SampleSize))
+	reg.Gauge("quality_max_share").Set(s.MaxShare)
+	reg.Gauge("quality_cluster_skew").Set(s.Skew)
+	reg.Gauge("quality_empty_clusters").Set(float64(s.EmptyClusters))
+	reg.Gauge("quality_centroid_churn", "agg", "mean").Set(s.ChurnMean)
+	reg.Gauge("quality_centroid_churn", "agg", "max").Set(s.ChurnMax)
+	if s.Labeled > 0 {
+		reg.Gauge("quality_entropy").Set(s.Entropy)
+		reg.Gauge("quality_f_measure").Set(s.FMeasure)
+		reg.Gauge("quality_labeled_pages").Set(float64(s.Labeled))
+	}
+}
+
+// Latest returns the most recent snapshot (ok=false before the first
+// epoch).
+func (m *Monitor) Latest() (Snapshot, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.n == 0 {
+		return Snapshot{}, false
+	}
+	i := m.next - 1
+	if i < 0 {
+		i += len(m.ring)
+	}
+	return m.ring[i], true
+}
+
+// Snapshots returns the retained history, oldest first.
+func (m *Monitor) Snapshots() []Snapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Snapshot, 0, m.n)
+	start := m.next - m.n
+	if start < 0 {
+		start += len(m.ring)
+	}
+	for i := 0; i < m.n; i++ {
+		out = append(out, m.ring[(start+i)%len(m.ring)])
+	}
+	return out
+}
+
+// Sample returns the current reservoir page indices in ascending order
+// (a copy) — exposed for the determinism tests and for debugging.
+func (m *Monitor) Sample() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := append([]int(nil), m.res...)
+	sort.Ints(out)
+	return out
+}
+
+// sampledSilhouette is the silhouette coefficient restricted to the
+// sample: for each sampled point, a is the mean distance to same-cluster
+// sample peers and b the smallest mean distance to another cluster's
+// sample members. Points whose cluster has no sampled peer contribute 0,
+// matching the singleton convention of cluster.Silhouette.
+func sampledSilhouette(s cluster.Space, assign []int, k int, sample []int) float64 {
+	if len(sample) == 0 || k <= 0 {
+		return 0
+	}
+	pts := make([]cluster.Point, len(sample))
+	byCluster := make([][]int, k) // positions into sample, per cluster
+	counted := 0
+	for pos, idx := range sample {
+		if idx >= len(assign) {
+			continue
+		}
+		c := assign[idx]
+		if c < 0 || c >= k {
+			continue
+		}
+		pts[pos] = s.Point(idx)
+		byCluster[c] = append(byCluster[c], pos)
+		counted++
+	}
+	if counted == 0 {
+		return 0
+	}
+	dist := func(i, j int) float64 { return cluster.Dist(s.Sim(pts[i], pts[j])) }
+
+	var total float64
+	for c := 0; c < k; c++ {
+		for _, pos := range byCluster[c] {
+			own := byCluster[c]
+			if len(own) <= 1 {
+				continue // no sampled peer: contributes 0
+			}
+			var a float64
+			for _, peer := range own {
+				if peer != pos {
+					a += dist(pos, peer)
+				}
+			}
+			a /= float64(len(own) - 1)
+			b := -1.0
+			for oc := 0; oc < k; oc++ {
+				if oc == c || len(byCluster[oc]) == 0 {
+					continue
+				}
+				var d float64
+				for _, peer := range byCluster[oc] {
+					d += dist(pos, peer)
+				}
+				d /= float64(len(byCluster[oc]))
+				if b < 0 || d < b {
+					b = d
+				}
+			}
+			if b < 0 {
+				continue // single non-empty cluster in the sample
+			}
+			max := a
+			if b > max {
+				max = b
+			}
+			if max > 0 {
+				total += (b - a) / max
+			}
+		}
+	}
+	return total / float64(counted)
+}

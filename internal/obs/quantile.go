@@ -1,0 +1,82 @@
+package obs
+
+import "math"
+
+// quantileFromBuckets estimates the q-quantile (q in [0, 1]) of a
+// cumulative bucket distribution the way Prometheus' histogram_quantile
+// does: find the bucket the target rank falls in, then interpolate
+// linearly inside it, treating observations as uniformly spread between
+// the bucket's bounds. The first bucket interpolates from zero, and a
+// rank landing in the +Inf bucket returns the highest finite upper
+// bound — the estimate cannot exceed what the buckets can resolve.
+func quantileFromBuckets(buckets []Bucket, q float64) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	for i, b := range buckets {
+		if float64(b.Count) < rank {
+			continue
+		}
+		if math.IsInf(b.Upper, 1) {
+			// Beyond the last finite bound: clamp to it (or 0 when every
+			// bucket is +Inf, which a Registry never produces).
+			if i == 0 {
+				return 0
+			}
+			return buckets[i-1].Upper
+		}
+		lower, below := 0.0, uint64(0)
+		if i > 0 {
+			lower, below = buckets[i-1].Upper, buckets[i-1].Count
+		}
+		in := b.Count - below
+		if in == 0 {
+			return b.Upper
+		}
+		return lower + (b.Upper-lower)*(rank-float64(below))/float64(in)
+	}
+	return buckets[len(buckets)-1].Upper
+}
+
+// Quantile estimates the q-quantile of a histogram sample from its
+// cumulative buckets (see quantileFromBuckets). Non-histogram samples
+// return 0.
+func (s *Sample) Quantile(q float64) float64 {
+	if s == nil || s.Kind != KindHistogram {
+		return 0
+	}
+	return quantileFromBuckets(s.Buckets, q)
+}
+
+// Quantile estimates the q-quantile of the live histogram. Like every
+// metric method it is nil-safe (0 on a nil histogram). The buckets are
+// read non-atomically with respect to each other, so under concurrent
+// Observe the estimate reflects a near-point-in-time state — fine for
+// the SLO gauges and load reports it feeds.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	buckets := make([]Bucket, len(h.counts))
+	cum := uint64(0)
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		upper := math.Inf(1)
+		if i < len(h.uppers) {
+			upper = h.uppers[i]
+		}
+		buckets[i] = Bucket{Upper: upper, Count: cum}
+	}
+	return quantileFromBuckets(buckets, q)
+}

@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+)
+
+// RequestLogger wraps a handler with structured request logs: one slog
+// line per request carrying method, path, status, response bytes and
+// latency. When tracer is non-nil each request also runs inside its own
+// span (recorded to the tracer's sinks on completion), and the log line
+// carries the span and parent ids — the join key that lets a slow
+// request in the log be matched to its span in /debug/trace. Nested
+// phases that call Start on the request context parent under the
+// request span.
+//
+// A nil logger and nil tracer return next unwrapped; a nil logger with
+// a tracer still opens spans (span-only instrumentation).
+func RequestLogger(logger *slog.Logger, tracer *Tracer, next http.Handler) http.Handler {
+	if logger == nil && tracer == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx := WithTracer(r.Context(), tracer)
+		ctx, span := Start(ctx, "http "+r.URL.Path)
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r.WithContext(ctx))
+		elapsed := time.Since(t0)
+		span.SetAttr(
+			String("method", r.Method),
+			Int("status", sw.status),
+		)
+		span.End()
+		if logger != nil {
+			logger.LogAttrs(ctx, slog.LevelInfo, "request",
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", sw.status),
+				slog.Int64("bytes", sw.bytes),
+				slog.Duration("duration", elapsed),
+				slog.Uint64("span_id", span.ID()),
+				slog.Uint64("parent_id", span.Parent()),
+			)
+		}
+	})
+}

@@ -1,0 +1,64 @@
+package obs
+
+// SLO tracks one endpoint's latency objective: "target fraction of
+// requests complete within objective seconds". Every Observe updates
+// the running breach counters and the error-budget burn gauge, so a
+// scrape answers "how fast is this endpoint eating its budget" without
+// any server-side windowing:
+//
+//	slo_objective_seconds{endpoint}   the configured objective
+//	slo_requests_total{endpoint}      requests observed
+//	slo_breaches_total{endpoint}      requests over the objective
+//	slo_error_budget_burn{endpoint}   breach fraction / allowed fraction
+//
+// A burn of 1.0 means the endpoint is breaching exactly as fast as the
+// target allows (e.g. 1% of requests slow against a 99% target); above
+// 1.0 the budget is being consumed faster than it accrues. Created
+// against a nil registry, NewSLO returns nil and every method is a
+// no-op — the same inertness contract as the metric handles.
+type SLO struct {
+	objective float64
+	allowed   float64 // 1 - target, the tolerated breach fraction
+	total     *Counter
+	breach    *Counter
+	burn      *Gauge
+}
+
+// DefaultSLOTarget is the success-fraction objective applied when
+// NewSLO is called with target 0: 99% of requests within the objective.
+const DefaultSLOTarget = 0.99
+
+// NewSLO registers the series for one endpoint. objective is in
+// seconds; target is the required success fraction (0 selects
+// DefaultSLOTarget, and values outside (0, 1) are clamped to it).
+func NewSLO(reg *Registry, endpoint string, objective, target float64) *SLO {
+	if reg == nil {
+		return nil
+	}
+	if target <= 0 || target >= 1 {
+		target = DefaultSLOTarget
+	}
+	reg.Gauge("slo_objective_seconds", "endpoint", endpoint).Set(objective)
+	return &SLO{
+		objective: objective,
+		allowed:   1 - target,
+		total:     reg.Counter("slo_requests_total", "endpoint", endpoint),
+		breach:    reg.Counter("slo_breaches_total", "endpoint", endpoint),
+		burn:      reg.Gauge("slo_error_budget_burn", "endpoint", endpoint),
+	}
+}
+
+// Observe accounts one request latency against the objective.
+func (s *SLO) Observe(seconds float64) {
+	if s == nil {
+		return
+	}
+	s.total.Inc()
+	if seconds > s.objective {
+		s.breach.Inc()
+	}
+	total := float64(s.total.Value())
+	if total > 0 {
+		s.burn.Set(float64(s.breach.Value()) / total / s.allowed)
+	}
+}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bytes"
+	"log/slog"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestSLOBurn pins the error-budget arithmetic: with a 99% target, a 1%
+// breach fraction burns the budget at exactly rate 1.
+func TestSLOBurn(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSLO(reg, "classify", 0.05, 0.99)
+	for i := 0; i < 99; i++ {
+		s.Observe(0.01) // under objective
+	}
+	s.Observe(0.2) // one breach in 100
+
+	if got := reg.Counter("slo_requests_total", "endpoint", "classify").Value(); got != 100 {
+		t.Fatalf("slo_requests_total = %d, want 100", got)
+	}
+	if got := reg.Counter("slo_breaches_total", "endpoint", "classify").Value(); got != 1 {
+		t.Fatalf("slo_breaches_total = %d, want 1", got)
+	}
+	burn := reg.Gauge("slo_error_budget_burn", "endpoint", "classify").Value()
+	if math.Abs(burn-1.0) > 1e-9 {
+		t.Fatalf("burn = %v, want 1.0 (1%% breaches against a 99%% target)", burn)
+	}
+	if got := reg.Gauge("slo_objective_seconds", "endpoint", "classify").Value(); got != 0.05 {
+		t.Fatalf("slo_objective_seconds = %v, want 0.05", got)
+	}
+
+	// Ten more breaches: burn rises above 1.
+	for i := 0; i < 10; i++ {
+		s.Observe(1)
+	}
+	if burn := reg.Gauge("slo_error_budget_burn", "endpoint", "classify").Value(); burn <= 1 {
+		t.Fatalf("burn after sustained breaching = %v, want > 1", burn)
+	}
+}
+
+// TestSLONil is the inertness contract: a nil registry yields a nil SLO
+// whose methods are no-ops.
+func TestSLONil(t *testing.T) {
+	s := NewSLO(nil, "ingest", 0.01, 0)
+	if s != nil {
+		t.Fatalf("NewSLO(nil, ...) = %v, want nil", s)
+	}
+	s.Observe(5) // must not panic
+}
+
+// TestSLODefaultTarget checks the 0-value target selects the 99%
+// default.
+func TestSLODefaultTarget(t *testing.T) {
+	reg := NewRegistry()
+	s := NewSLO(reg, "e", 0.01, 0)
+	for i := 0; i < 99; i++ {
+		s.Observe(0)
+	}
+	s.Observe(1)
+	burn := reg.Gauge("slo_error_budget_burn", "endpoint", "e").Value()
+	if math.Abs(burn-1.0) > 1e-9 {
+		t.Fatalf("burn with default target = %v, want 1.0", burn)
+	}
+}
+
+// TestRequestLogger checks the structured request log carries the
+// span id of the span recorded to the tracer's sink, joining log line
+// to trace.
+func TestRequestLogger(t *testing.T) {
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewJSONHandler(&buf, nil))
+	ring := NewRingSink(8)
+	tracer := NewTracer(ring)
+
+	h := RequestLogger(logger, tracer, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusTeapot)
+		w.Write([]byte("short and stout"))
+	}))
+	req := httptest.NewRequest(http.MethodGet, "/classify", nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+
+	line := buf.String()
+	for _, want := range []string{`"method":"GET"`, `"path":"/classify"`, `"status":418`, `"span_id":1`, `"bytes":15`} {
+		if !strings.Contains(line, want) {
+			t.Errorf("request log %q missing %s", line, want)
+		}
+	}
+	spans := ring.Spans()
+	if len(spans) != 1 || spans[0].Name != "http /classify" || spans[0].SpanID != 1 {
+		t.Fatalf("recorded spans = %+v, want one 'http /classify' span with id 1", spans)
+	}
+}
+
+// TestRequestLoggerNil: with neither logger nor tracer the handler is
+// returned unwrapped.
+func TestRequestLoggerNil(t *testing.T) {
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {})
+	if got := RequestLogger(nil, nil, inner); got == nil {
+		t.Fatal("RequestLogger(nil, nil) returned nil")
+	}
+	// Tracer only: spans open, no logs — must serve without panicking.
+	h := RequestLogger(nil, NewTracer(NewRingSink(1)), inner)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/", nil))
+}

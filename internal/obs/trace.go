@@ -103,6 +103,23 @@ type Span struct {
 	done   bool
 }
 
+// ID returns the span's id (0 on a nil span) — the join key between a
+// structured request log line and the span a sink recorded.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.SpanID
+}
+
+// Parent returns the enclosing span's id (0 for roots and nil spans).
+func (s *Span) Parent() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.data.ParentID
+}
+
 // SetAttr attaches attributes to the span (no-op on nil or ended
 // spans).
 func (s *Span) SetAttr(attrs ...Attr) {

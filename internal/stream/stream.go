@@ -134,6 +134,7 @@ type Status struct {
 	Epoch         int64
 	Pages         int
 	QueueDepth    int
+	QueueCap      int
 	Ingested      int64
 	Skipped       int64
 	Rejected      int64
@@ -143,6 +144,16 @@ type Status struct {
 	WALErrors     int64
 	DriftFraction float64
 	Draining      bool
+	// LastPublish is when the current epoch was swapped in (zero before
+	// the first publish) — its age tells an operator how stale the
+	// serving model is.
+	LastPublish time.Time
+	// LastRebuildAt is when the last full re-cluster finished, and
+	// LastRebuildSeconds how long it took wall-clock (both zero until
+	// the first rebuild). A rebuild storm shows up here without
+	// scraping Prometheus.
+	LastRebuildAt      time.Time
+	LastRebuildSeconds float64
 }
 
 // ErrBacklog is returned by Ingest when the bounded queue is full —
@@ -172,6 +183,10 @@ type Live struct {
 	walErrors atomic.Int64
 	driftBits atomic.Uint64
 
+	lastPublishNano    atomic.Int64
+	lastRebuildNano    atomic.Int64
+	lastRebuildDurNano atomic.Int64
+
 	stopOnce sync.Once
 
 	// simsBuf/scratchBuf are miniBatch's reusable scoring buffers. Only
@@ -198,6 +213,7 @@ func New(cfg Config, genesis *Epoch, pending []Record) *Live {
 		stop:  make(chan struct{}),
 		force: make(chan struct{}, 1),
 	}
+	cfg.Metrics.Gauge("stream_queue_capacity").Set(float64(cfg.QueueSize))
 	if genesis != nil {
 		l.publish(genesis)
 	}
@@ -224,7 +240,7 @@ func (l *Live) Ingest(d Doc) error {
 	}
 	select {
 	case l.queue <- d:
-		l.cfg.Metrics.Gauge("stream_queue_depth").Set(float64(len(l.queue)))
+		l.noteQueueDepth()
 		return nil
 	default:
 		l.rejected.Add(1)
@@ -248,10 +264,21 @@ func (l *Live) ForceRebuild() error {
 	return nil
 }
 
+// noteQueueDepth refreshes the queue depth and saturation gauges.
+func (l *Live) noteQueueDepth() {
+	if l.cfg.Metrics == nil {
+		return
+	}
+	depth := len(l.queue)
+	l.cfg.Metrics.Gauge("stream_queue_depth").Set(float64(depth))
+	l.cfg.Metrics.Gauge("stream_queue_saturation").Set(float64(depth) / float64(l.cfg.QueueSize))
+}
+
 // Status summarizes the pipeline.
 func (l *Live) Status() Status {
 	s := Status{
 		QueueDepth:    len(l.queue),
+		QueueCap:      l.cfg.QueueSize,
 		Ingested:      l.ingested.Load(),
 		Skipped:       l.skipped.Load(),
 		Rejected:      l.rejected.Load(),
@@ -265,6 +292,13 @@ func (l *Live) Status() Status {
 		s.Epoch = e.Seq
 		s.Pages = e.Model.Len()
 		s.WALRecords = e.WALRecords
+	}
+	if ns := l.lastPublishNano.Load(); ns != 0 {
+		s.LastPublish = time.Unix(0, ns)
+	}
+	if ns := l.lastRebuildNano.Load(); ns != 0 {
+		s.LastRebuildAt = time.Unix(0, ns)
+		s.LastRebuildSeconds = time.Duration(l.lastRebuildDurNano.Load()).Seconds()
 	}
 	return s
 }
@@ -314,7 +348,7 @@ func (l *Live) run() {
 	for {
 		select {
 		case d := <-l.queue:
-			l.cfg.Metrics.Gauge("stream_queue_depth").Set(float64(len(l.queue)))
+			l.noteQueueDepth()
 			batch = append(batch, d)
 			if len(batch) >= l.cfg.BatchSize {
 				flush()
@@ -489,6 +523,13 @@ func (l *Live) buildEpoch(cur *Epoch, rec Record, fps []*form.FormPage, admitted
 // for a fixed seed and document sequence — the pinned equivalence test
 // compares this against a one-shot build.
 func (l *Live) recluster(m *icafc.Model) cluster.Result {
+	start := time.Now()
+	defer func() {
+		done := time.Now()
+		l.lastRebuildNano.Store(done.UnixNano())
+		l.lastRebuildDurNano.Store(int64(done.Sub(start)))
+		l.cfg.Metrics.Histogram("stream_rebuild_seconds", obs.DurationBuckets).Observe(done.Sub(start).Seconds())
+	}()
 	m.ReembedAll()
 	rng := rand.New(rand.NewSource(l.cfg.Seed + 1))
 	if mb := l.cfg.MiniBatchRebuild; mb != nil {
@@ -588,6 +629,7 @@ func (l *Live) nearestFn(m *icafc.Model, centroids []cluster.Point) func(i int) 
 // publish swaps the epoch pointer and notifies observers.
 func (l *Live) publish(e *Epoch) {
 	l.cur.Store(e)
+	l.lastPublishNano.Store(time.Now().UnixNano())
 	reg := l.cfg.Metrics
 	reg.Gauge("stream_epoch").Set(float64(e.Seq))
 	reg.Gauge("stream_corpus_pages").Set(float64(e.Model.Len()))

@@ -32,26 +32,43 @@ func (v Vector) Add(t string, w float64) {
 	v[t] += w
 }
 
-// Norm returns the Euclidean length of v.
+// Norm returns the Euclidean length of v. Terms are summed in sorted
+// order: float addition is order-sensitive in the last ulp and map
+// iteration order is not, so an unsorted sum would make two calls on
+// the same vector disagree bit-for-bit. (The packed Compiled path gets
+// the same guarantee from its ascending-term-id layout.)
 func (v Vector) Norm() float64 {
+	terms := make([]string, 0, len(v))
+	for t := range v {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
 	var sum float64
-	for _, w := range v {
+	for _, t := range terms {
+		w := v[t]
 		sum += w * w
 	}
 	return math.Sqrt(sum)
 }
 
-// Dot returns the inner product of v and o.
+// Dot returns the inner product of v and o. Shared terms are summed in
+// sorted order so the result is bit-stable across calls and symmetric
+// in its arguments (see Norm).
 func (v Vector) Dot(o Vector) float64 {
-	// Iterate over the smaller vector.
+	// Collect from the smaller vector.
 	if len(o) < len(v) {
 		v, o = o, v
 	}
-	var sum float64
-	for t, w := range v {
-		if ow, ok := o[t]; ok {
-			sum += w * ow
+	terms := make([]string, 0, len(v))
+	for t := range v {
+		if _, ok := o[t]; ok {
+			terms = append(terms, t)
 		}
+	}
+	sort.Strings(terms)
+	var sum float64
+	for _, t := range terms {
+		sum += v[t] * o[t]
 	}
 	return sum
 }

@@ -12,6 +12,7 @@ import (
 	icafc "cafc/internal/cafc"
 	"cafc/internal/cluster"
 	"cafc/internal/form"
+	"cafc/internal/obs/quality"
 	"cafc/internal/stream"
 )
 
@@ -46,7 +47,33 @@ type LiveConfig struct {
 	// goroutine, after the atomic swap) — serving layers rebuild their
 	// per-epoch artifacts here.
 	OnPublish func(*LiveEpoch)
+	// Quality, when non-nil, attaches the online quality monitor: every
+	// published epoch is measured (sampled silhouette, cluster balance,
+	// centroid churn, and — with Labels — entropy/F-measure) and served
+	// through Quality/QualityHistory. Attaching a monitor never changes
+	// published epochs; it only observes.
+	Quality *QualityConfig
 }
+
+// QualityConfig configures the online quality monitor attached through
+// LiveConfig.Quality. Zero values select the defaults noted per field.
+type QualityConfig struct {
+	// SampleSize caps the reservoir sample the silhouette is computed
+	// over (0 = 256). Per-epoch cost is O(SampleSize²) similarities.
+	SampleSize int
+	// Seed drives the reservoir RNG (0 = LiveConfig.Seed), making the
+	// sample deterministic for a fixed corpus growth.
+	Seed int64
+	// RingSize bounds the retained snapshot history (0 = 64).
+	RingSize int
+	// Labels maps page URLs to gold classes; when set, labeled epochs
+	// also report the paper's entropy and F-measure.
+	Labels map[string]string
+}
+
+// QualitySnapshot is one epoch's quality measurement — the element of
+// the ring served at /debug/quality.
+type QualitySnapshot = quality.Snapshot
 
 // ErrBacklog is returned by Live.Ingest when the bounded ingest queue
 // is full — backpressure to surface to the caller (HTTP 429).
@@ -91,6 +118,7 @@ type LiveStatus struct {
 	Epoch         int64
 	Pages         int
 	QueueDepth    int
+	QueueCap      int
 	Ingested      int64
 	Skipped       int64
 	Rejected      int64
@@ -100,6 +128,15 @@ type LiveStatus struct {
 	WALErrors     int64
 	DriftFraction float64
 	Draining      bool
+
+	// LastPublish is when the current epoch was swapped in (zero before
+	// the first publish); EpochAgeSeconds is its age at Status time.
+	LastPublish     time.Time
+	EpochAgeSeconds float64
+	// LastRebuildAt / LastRebuildSeconds record the completion time and
+	// wall-clock duration of the most recent full re-cluster.
+	LastRebuildAt      time.Time
+	LastRebuildSeconds float64
 }
 
 // Live is a streaming directory: Ingest feeds documents through a
@@ -109,6 +146,7 @@ type Live struct {
 	inner *stream.Live
 	store *stream.Store
 	pub   atomic.Pointer[LiveEpoch]
+	qm    *quality.Monitor
 
 	weights form.Weights
 	retry   *Retry
@@ -292,14 +330,45 @@ func (l *Live) streamConfigWithStore(corpus *Corpus, cfg LiveConfig, store *stre
 			})
 		}
 	}
+	if q := cfg.Quality; q != nil {
+		seed := q.Seed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		l.qm = quality.New(quality.Config{
+			SampleSize: q.SampleSize,
+			Seed:       seed,
+			RingSize:   q.RingSize,
+			Labels:     q.Labels,
+			Metrics:    corpus.model.Metrics,
+		})
+	}
 	scfg.OnPublish = func(e *stream.Epoch) {
 		le := convertEpoch(e, l.weights, l.retry, l.skip)
 		l.pub.Store(le)
+		if l.qm != nil {
+			l.qm.ObserveEpoch(qualityEpoch(e), time.Now())
+		}
 		if cfg.OnPublish != nil {
 			cfg.OnPublish(le)
 		}
 	}
 	return scfg, nil
+}
+
+// qualityEpoch adapts a published stream epoch into the monitor's view.
+// Everything handed over is frozen: the model, the assignment and the
+// centroids never mutate after publish.
+func qualityEpoch(e *stream.Epoch) quality.Epoch {
+	return quality.Epoch{
+		Seq:       e.Seq,
+		Space:     e.Model,
+		Assign:    e.Result.Assign,
+		K:         e.Result.K,
+		Centroids: e.Result.Centroids,
+		Rebuilt:   e.Rebuilt,
+		URL:       func(i int) string { return e.Model.Pages[i].URL },
+	}
 }
 
 // Ingest offers one document to the stream; it never blocks (ErrBacklog
@@ -321,20 +390,46 @@ func (l *Live) ForceRebuild() error { return l.inner.ForceRebuild() }
 // Status summarizes the pipeline.
 func (l *Live) Status() LiveStatus {
 	s := l.inner.Status()
-	return LiveStatus{
-		Epoch:         s.Epoch,
-		Pages:         s.Pages,
-		QueueDepth:    s.QueueDepth,
-		Ingested:      s.Ingested,
-		Skipped:       s.Skipped,
-		Rejected:      s.Rejected,
-		Batches:       s.Batches,
-		Rebuilds:      s.Rebuilds,
-		WALRecords:    s.WALRecords,
-		WALErrors:     s.WALErrors,
-		DriftFraction: s.DriftFraction,
-		Draining:      s.Draining,
+	ls := LiveStatus{
+		Epoch:              s.Epoch,
+		Pages:              s.Pages,
+		QueueDepth:         s.QueueDepth,
+		QueueCap:           s.QueueCap,
+		Ingested:           s.Ingested,
+		Skipped:            s.Skipped,
+		Rejected:           s.Rejected,
+		Batches:            s.Batches,
+		Rebuilds:           s.Rebuilds,
+		WALRecords:         s.WALRecords,
+		WALErrors:          s.WALErrors,
+		DriftFraction:      s.DriftFraction,
+		Draining:           s.Draining,
+		LastPublish:        s.LastPublish,
+		LastRebuildAt:      s.LastRebuildAt,
+		LastRebuildSeconds: s.LastRebuildSeconds,
 	}
+	if !ls.LastPublish.IsZero() {
+		ls.EpochAgeSeconds = time.Since(ls.LastPublish).Seconds()
+	}
+	return ls
+}
+
+// Quality returns the latest quality snapshot (ok=false without a
+// configured monitor or before the first published epoch).
+func (l *Live) Quality() (QualitySnapshot, bool) {
+	if l.qm == nil {
+		return QualitySnapshot{}, false
+	}
+	return l.qm.Latest()
+}
+
+// QualityHistory returns the retained quality snapshots, oldest first
+// (nil without a configured monitor).
+func (l *Live) QualityHistory() []QualitySnapshot {
+	if l.qm == nil {
+		return nil
+	}
+	return l.qm.Snapshots()
 }
 
 // Drain gracefully shuts the pipeline down: intake stops (Ingest fails

@@ -169,3 +169,83 @@ func TestLiveRecoverAfterCrash(t *testing.T) {
 			got.Epoch, got.Corpus.Len(), finalEpoch)
 	}
 }
+
+// TestLiveQualityInert is the quality-layer inertness pin at the public
+// API: a live directory with the quality monitor attached (registry and
+// all) must publish bit-identical clusterings to one without. The
+// comparison is over the final forced re-cluster, which is deterministic
+// for a fixed seed and document sequence regardless of how the
+// intermediate batches fell.
+func TestLiveQualityInert(t *testing.T) {
+	docs, labels, _, _ := testDocs(t, 31, 40)
+
+	run := func(q *QualityConfig, reg *Registry) (*Live, map[string]int) {
+		t.Helper()
+		l, err := NewLive(nil, nil, nil, LiveConfig{
+			K: 4, Seed: 7, BatchSize: 8, FlushInterval: 5 * time.Millisecond,
+			Quality: q,
+		}, Options{Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range docs {
+			if err := l.Ingest(d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		waitLive(t, "all docs applied", func() bool {
+			e := l.Epoch()
+			return e != nil && e.Corpus.Len() == len(docs)
+		})
+		if err := l.ForceRebuild(); err != nil {
+			t.Fatal(err)
+		}
+		waitLive(t, "forced rebuild published", func() bool {
+			e := l.Epoch()
+			return e.Rebuilt && e.Corpus.Len() == len(docs)
+		})
+		return l, l.Epoch().Clustering.Assign
+	}
+
+	reg := NewRegistry()
+	withQ, assignQ := run(&QualityConfig{SampleSize: 64, Labels: labels}, reg)
+	defer withQ.Close()
+	plain, assignPlain := run(nil, nil)
+	defer plain.Close()
+
+	if len(assignQ) != len(docs) {
+		t.Fatalf("assignment covers %d of %d docs", len(assignQ), len(docs))
+	}
+	for u, c := range assignPlain {
+		if assignQ[u] != c {
+			t.Fatalf("quality monitor changed the clustering: %s → %d vs %d", u, assignQ[u], c)
+		}
+	}
+
+	// The monitor observed: latest snapshot reflects the rebuilt epoch,
+	// labels flowed through, and the gauges landed in the registry.
+	snap, ok := withQ.Quality()
+	if !ok {
+		t.Fatal("Quality() not ok with a configured monitor")
+	}
+	if snap.Pages != len(docs) || snap.K != 4 {
+		t.Fatalf("snapshot = %d pages / k=%d, want %d / 4", snap.Pages, snap.K, len(docs))
+	}
+	if snap.Labeled != len(docs) || snap.FMeasure <= 0 {
+		t.Fatalf("label quality missing: labeled=%d F=%v", snap.Labeled, snap.FMeasure)
+	}
+	if hist := withQ.QualityHistory(); len(hist) == 0 || hist[len(hist)-1].Epoch != snap.Epoch {
+		t.Fatalf("QualityHistory inconsistent with Latest: %d entries", len(hist))
+	}
+	if v := reg.Gauge("quality_sample_size").Value(); v == 0 {
+		t.Fatalf("quality gauges not published (sample_size = %v)", v)
+	}
+
+	// Without a monitor the accessors answer empty, not panic.
+	if _, ok := plain.Quality(); ok {
+		t.Fatal("Quality() ok without a monitor")
+	}
+	if h := plain.QualityHistory(); h != nil {
+		t.Fatalf("QualityHistory without a monitor = %v", h)
+	}
+}

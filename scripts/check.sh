@@ -11,9 +11,11 @@ go build ./...
 go test -race ./...
 # Focused race pass over the live-pipeline packages: the streaming
 # ingester, the clustering kernels it drives (including the sharded
-# approx/LSH assignment and mini-batch paths), and the incremental
-# model with its parallel build.
-go test -race ./internal/stream ./internal/cluster ./internal/cafc
+# approx/LSH assignment and mini-batch paths), the incremental model
+# with its parallel build, and the observability layer (histograms
+# under concurrent Observe, the quality monitor, the load driver).
+go test -race ./internal/stream ./internal/cluster ./internal/cafc \
+    ./internal/obs ./internal/obs/quality ./internal/loadgen ./cmd/directoryd
 go test -run xxx -bench 'BenchmarkCosine|BenchmarkKMeansEngines|BenchmarkKMeans454' \
     -benchtime=1x ./internal/vector ./internal/cluster .
 # Allocation-regression smoke: the serve-path benches run once so a
@@ -34,6 +36,7 @@ trap 'rm -rf "$tmp"; [ -n "${dpid:-}" ] && kill "$dpid" 2>/dev/null || true' EXI
 go build -o "$tmp/webgen" ./cmd/webgen
 go build -o "$tmp/directoryd" ./cmd/directoryd
 go build -o "$tmp/benchall" ./cmd/benchall
+go build -o "$tmp/loadgen" ./cmd/loadgen
 
 # Scale-bench smoke: a 5k-page forms-only corpus through every clustering
 # kernel. scaleBench itself fails the run unless each pruned kernel
@@ -114,6 +117,48 @@ for _ in $(seq 1 50); do
 done
 [ "$epoch1" -gt "$epoch0" ] || { echo "check.sh: epoch did not advance after /ingest ($epoch0 -> $epoch1)"; cat "$tmp/directoryd3.log"; exit 1; }
 curl -fsS "http://$addr/" >/dev/null || { echo "check.sh: live directory UI not serving"; exit 1; }
+kill "$dpid"
+dpid=""
+
+# Load smoke: replay a short seeded mixed workload against a live
+# directoryd with metrics on, then assert the Prometheus exposition
+# still parses as text format 0.0.4 line by line, the SLO and quality
+# series exist, and /debug/quality serves the snapshot ring.
+"$tmp/directoryd" -live -in "$tmp/corpus.json.gz" -addr 127.0.0.1:0 -k 4 \
+    -metrics -reqlog -flush 20ms >"$tmp/directoryd4.log" 2>&1 &
+dpid=$!
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's|.*on http://\([^/]*\)/.*|\1|p' "$tmp/directoryd4.log" | head -1)
+    [ -n "$addr" ] && break
+    sleep 0.2
+done
+[ -n "$addr" ] || { echo "check.sh: live directoryd (-metrics) did not start"; cat "$tmp/directoryd4.log"; exit 1; }
+"$tmp/loadgen" -target "http://$addr" -n 60 -seed 7 -qps 200 -ops 300 -duration 2s \
+    -json "$tmp/load_report.json" >/dev/null
+[ -s "$tmp/load_report.json" ] || { echo "check.sh: loadgen wrote no report"; exit 1; }
+for ep in classify ingest browse; do
+    grep -q "\"$ep\"" "$tmp/load_report.json" || { echo "check.sh: load report missing $ep stats"; exit 1; }
+done
+curl -fsS "http://$addr/metrics" >"$tmp/metrics4.txt"
+# Text-format 0.0.4: every non-comment, non-blank line is
+# "name[{labels}] value" with a parseable float value.
+awk '
+/^#/ || /^$/ { next }
+{
+    if ($0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?([0-9]*\.)?[0-9]+([eE][-+]?[0-9]+)?$/ &&
+        $0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [+-]Inf$/ &&
+        $0 !~ /^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? NaN$/) {
+        print "check.sh: unparseable exposition line: " $0; bad = 1
+    }
+}
+END { exit bad }' "$tmp/metrics4.txt" || exit 1
+for m in slo_error_budget_burn slo_requests_total quality_silhouette stream_queue_capacity stream_queue_saturation; do
+    grep -q "^$m" "$tmp/metrics4.txt" || { echo "check.sh: /metrics missing $m after load"; exit 1; }
+done
+curl -fsS "http://$addr/debug/quality" >"$tmp/quality.json"
+grep -q '"epoch"' "$tmp/quality.json" || { echo "check.sh: /debug/quality empty or malformed"; cat "$tmp/quality.json"; exit 1; }
+grep -q '"span_id"' "$tmp/directoryd4.log" || { echo "check.sh: -reqlog produced no structured request logs"; exit 1; }
 kill "$dpid"
 dpid=""
 
