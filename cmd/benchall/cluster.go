@@ -1,0 +1,199 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"reflect"
+	"runtime"
+	"time"
+
+	"cafc"
+	"cafc/internal/loadgen"
+	"cafc/internal/obs"
+	"cafc/internal/repl"
+	"cafc/internal/webgen"
+)
+
+// clusterRow is one replica-count sample: the isolated classify
+// throughput of each replica and their aggregate.
+type clusterRow struct {
+	Replicas      int       `json:"replicas"`
+	PerReplicaQPS []float64 `json:"per_replica_qps"`
+	AggregateQPS  float64   `json:"aggregate_qps"`
+	SpeedupVs1    float64   `json:"speedup_vs_1"`
+}
+
+// clusterResult is the BENCH_cluster.json schema: classify capacity of
+// a replicated directory at 1, 2 and 4 replicas, plus the invariants
+// the numbers rest on (every follower bit-converged to the leader's
+// epoch before measurement, lag 0).
+type clusterResult struct {
+	Seed        int64        `json:"seed"`
+	FormPages   int          `json:"form_pages"`
+	K           int          `json:"k"`
+	HostCores   int          `json:"host_cores"`
+	ClassifyOps int          `json:"classify_ops_per_replica"`
+	LeaderEpoch int64        `json:"leader_epoch"`
+	FinalLag    int64        `json:"final_replication_lag_epochs"`
+	Method      string       `json:"method"`
+	Rows        []clusterRow `json:"rows"`
+}
+
+const clusterMethod = "Each replica's classify QPS is measured in isolation (single-threaded, " +
+	"in-process, against its own replicated epoch) and the aggregate is their sum. Read replicas " +
+	"share no state — a follower serves classify from its own epoch-versioned model copy — so " +
+	"summed isolated throughput is the capacity a router fans into when replicas sit on separate " +
+	"cores/hosts. On a host with fewer cores than replicas, concurrent measurement would only " +
+	"time-slice one core and measure the scheduler, not the architecture."
+
+// clusterBench grows a leader directory from the seeded fixture,
+// bootstraps followers over the replication protocol until they are
+// bit-identical to the leader, and measures the classify capacity of
+// 1-, 2- and 4-replica read pools.
+func clusterBench(n int, seed int64, reg *obs.Registry) (clusterResult, error) {
+	fx := loadgen.NewFixture(seed, n)
+	k := len(webgen.Domains)
+	ldir, err := os.MkdirTemp("", "benchcluster-leader-*")
+	if err != nil {
+		return clusterResult{}, err
+	}
+	defer os.RemoveAll(ldir)
+	// Cold start: every document flows through the WAL-logged pipeline,
+	// so the WAL alone is the leader's complete history and a follower's
+	// replay is the leader's exact compute path (the bit-identity the
+	// per-follower checks below assert).
+	leader, err := cafc.NewLive(nil, nil, nil, cafc.LiveConfig{
+		K: k, Seed: seed, BatchSize: 32, FlushInterval: time.Millisecond,
+		Dir: ldir,
+	}, cafc.Options{Metrics: reg})
+	if err != nil {
+		return clusterResult{}, err
+	}
+	defer leader.Close()
+	for _, d := range append(append([]cafc.Document(nil), fx.Genesis...), fx.Pool...) {
+		if err := (loadgen.LiveTarget{Live: leader}).Ingest(d); err != nil {
+			return clusterResult{}, err
+		}
+	}
+	total := len(fx.Genesis) + len(fx.Pool)
+	if err := waitFor(leader, func(e *cafc.LiveEpoch) bool { return e.Corpus.Len() == total }); err != nil {
+		return clusterResult{}, err
+	}
+	if err := leader.ForceRebuild(); err != nil {
+		return clusterResult{}, err
+	}
+	if err := waitFor(leader, func(e *cafc.LiveEpoch) bool { return e.Rebuilt && e.Corpus.Len() == total }); err != nil {
+		return clusterResult{}, err
+	}
+
+	// Build the largest pool once: the leader plus three followers, each
+	// bootstrapped from the leader's state dir and tailed to parity.
+	replicas := []*cafc.Live{leader}
+	var finalLag int64
+	ctx := context.Background()
+	for i := 0; i < 3; i++ {
+		fdir, err := os.MkdirTemp("", "benchcluster-follower-*")
+		if err != nil {
+			return clusterResult{}, err
+		}
+		defer os.RemoveAll(fdir)
+		if err := repl.Bootstrap(ctx, repl.DirSource{Dir: ldir}, fdir); err != nil {
+			return clusterResult{}, err
+		}
+		f, err := cafc.RecoverFollower(cafc.LiveConfig{K: k, Seed: seed, Dir: fdir})
+		if err != nil {
+			return clusterResult{}, err
+		}
+		defer f.Close()
+		tail := &repl.Tailer{Source: repl.DirSource{Dir: ldir}, Target: f}
+		if err := tail.Sync(ctx); err != nil {
+			return clusterResult{}, err
+		}
+		if lag := tail.Lag(); lag != 0 {
+			return clusterResult{}, fmt.Errorf("follower %d still lags %d epochs after sync", i, lag)
+		}
+		if f.AppliedEpoch() != leader.Status().Epoch {
+			return clusterResult{}, fmt.Errorf("follower %d at epoch %d, leader at %d", i, f.AppliedEpoch(), leader.Status().Epoch)
+		}
+		if !reflect.DeepEqual(f.Epoch().Clustering.Assign, leader.Epoch().Clustering.Assign) {
+			return clusterResult{}, fmt.Errorf("follower %d state diverged from the leader", i)
+		}
+		replicas = append(replicas, f)
+	}
+
+	// The classify workload: a seeded draw over the full corpus, the
+	// same documents for every replica.
+	const classifyOps = 4000
+	rng := rand.New(rand.NewSource(seed + 7))
+	all := append(append([]cafc.Document(nil), fx.Genesis...), fx.Pool...)
+	work := make([]cafc.Document, classifyOps)
+	for i := range work {
+		work[i] = all[rng.Intn(len(all))]
+	}
+
+	measure := func(r *cafc.Live) (float64, error) {
+		e := r.Epoch()
+		// One warm pass so first-touch costs are off the clock.
+		if _, _, err := e.Classify(work[0]); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for _, d := range work {
+			if _, _, err := e.Classify(d); err != nil {
+				return 0, err
+			}
+		}
+		return float64(classifyOps) / time.Since(start).Seconds(), nil
+	}
+
+	res := clusterResult{
+		Seed:        seed,
+		FormPages:   n,
+		K:           k,
+		HostCores:   runtime.NumCPU(),
+		ClassifyOps: classifyOps,
+		LeaderEpoch: leader.Status().Epoch,
+		FinalLag:    finalLag,
+		Method:      clusterMethod,
+	}
+	var base float64
+	for _, count := range []int{1, 2, 4} {
+		row := clusterRow{Replicas: count}
+		for _, r := range replicas[:count] {
+			qps, err := measure(r)
+			if err != nil {
+				return clusterResult{}, err
+			}
+			row.PerReplicaQPS = append(row.PerReplicaQPS, qps)
+			row.AggregateQPS += qps
+		}
+		if count == 1 {
+			base = row.AggregateQPS
+		}
+		row.SpeedupVs1 = row.AggregateQPS / base
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// writeClusterJSON renders the replica table and writes the report.
+func writeClusterJSON(r clusterResult, path string) error {
+	fmt.Printf("%10s %14s %12s\n", "replicas", "aggregateQPS", "speedup")
+	for _, row := range r.Rows {
+		fmt.Printf("%10d %14.0f %11.2fx\n", row.Replicas, row.AggregateQPS, row.SpeedupVs1)
+	}
+	fmt.Printf("# leader epoch %d, final replication lag %d, %d classify ops/replica, %d host cores\n",
+		r.LeaderEpoch, r.FinalLag, r.ClassifyOps, r.HostCores)
+	buf, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("# wrote %s\n", path)
+	return nil
+}

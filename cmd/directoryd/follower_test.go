@@ -1,0 +1,305 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"cafc"
+	"cafc/internal/repl"
+	"cafc/internal/webgen"
+)
+
+// newTestFollowerServer builds a followerServer over an already-warm
+// read-only pipeline, with lag and applied driven by the returned
+// pointers — no tailer, no clock, no sleeps.
+func newTestFollowerServer(t *testing.T, leader string) (*followerServer, *int64, func()) {
+	t.Helper()
+	c := genCorpus(t, 51, 24)
+	corpus, err := cafc.NewCorpus(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := corpus.ClusterC(4, 1)
+	ls := &liveServer{}
+	live, err := cafc.NewLive(corpus, c, cl, cafc.LiveConfig{
+		K: 4, Seed: 1, BatchSize: 8, FlushInterval: 5 * time.Millisecond,
+		OnPublish: ls.onPublish,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls.live = live
+	lag := new(int64)
+	fs := &followerServer{
+		liveServer: ls,
+		leader:     leader,
+		maxLag:     64,
+		lag:        func() int64 { return *lag },
+		applied:    func() int64 { return live.Status().Epoch },
+		client:     http.DefaultClient,
+	}
+	return fs, lag, func() { live.Close() }
+}
+
+// genCorpus builds n generated form pages as documents.
+func genCorpus(t *testing.T, seed int64, n int) []cafc.Document {
+	t.Helper()
+	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n})
+	var docs []cafc.Document
+	for _, u := range c.FormPages {
+		docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
+	}
+	return docs
+}
+
+// waitServe polls cond until it holds or the deadline passes.
+func waitServe(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// TestFollowerHealthzStaleness pins the staleness contract: a follower
+// within -max-lag answers 200, one past it flips to 503 with a JSON
+// reason naming the lag, and a cold follower (no epoch yet) is 503 too.
+func TestFollowerHealthzStaleness(t *testing.T) {
+	fs, lag, stop := newTestFollowerServer(t, "")
+	defer stop()
+	ts := httptest.NewServer(fs.mux())
+	defer ts.Close()
+
+	get := func() (int, string) {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get(); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz at lag 0 = %d %q, want 200 ok", code, body)
+	}
+	*lag = fs.maxLag // at the threshold is still healthy
+	if code, _ := get(); code != http.StatusOK {
+		t.Fatalf("healthz at lag == maxLag = %d, want 200", code)
+	}
+	*lag = fs.maxLag + 1
+	code, body := get()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("healthz past maxLag = %d, want 503", code)
+	}
+	var reason map[string]string
+	if err := json.Unmarshal([]byte(body), &reason); err != nil {
+		t.Fatalf("stale healthz body is not JSON: %q", body)
+	}
+	if reason["status"] != "stale" || !strings.Contains(reason["reason"], "replication lag 65") {
+		t.Fatalf("stale healthz = %+v", reason)
+	}
+
+	// Cold follower: no epoch replicated yet.
+	cold := &followerServer{
+		liveServer: &liveServer{live: mustColdLive(t)},
+		maxLag:     64,
+		lag:        func() int64 { return 0 },
+		applied:    func() int64 { return 0 },
+		client:     http.DefaultClient,
+	}
+	rec := httptest.NewRecorder()
+	cold.handleHealthz(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rec.Code != http.StatusServiceUnavailable || !strings.Contains(rec.Body.String(), "cold") {
+		t.Fatalf("cold healthz = %d %q, want 503 cold", rec.Code, rec.Body.String())
+	}
+}
+
+func mustColdLive(t *testing.T) *cafc.Live {
+	t.Helper()
+	l, err := cafc.NewLive(nil, nil, nil, cafc.LiveConfig{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { l.Close() })
+	return l
+}
+
+// TestFollowerStatusReplicationFields pins the /status surface a
+// follower adds over a leader's: role, leader URL, applied epoch and
+// lag.
+func TestFollowerStatusReplicationFields(t *testing.T) {
+	fs, lag, stop := newTestFollowerServer(t, "http://leader.example:8080")
+	defer stop()
+	*lag = 3
+	ts := httptest.NewServer(fs.mux())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st followerStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Role != "follower" || st.Leader != "http://leader.example:8080" {
+		t.Fatalf("role/leader = %q/%q", st.Role, st.Leader)
+	}
+	if st.ReplicationLagEpochs != 3 {
+		t.Fatalf("ReplicationLagEpochs = %d, want 3", st.ReplicationLagEpochs)
+	}
+	if st.ReplicationAppliedEpoch != st.Epoch || st.ReplicationAppliedEpoch == 0 {
+		t.Fatalf("ReplicationAppliedEpoch = %d, epoch = %d", st.ReplicationAppliedEpoch, st.Epoch)
+	}
+}
+
+// TestFollowerForwardsWrites pins the write path: POST /ingest on a
+// follower lands on the leader byte for byte, the leader's response
+// passes back through, and a dead leader degrades to 503 rather than a
+// local write (which would fork the WAL).
+func TestFollowerForwardsWrites(t *testing.T) {
+	var got []byte
+	leader := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got, _ = io.ReadAll(r.Body)
+		w.WriteHeader(http.StatusAccepted)
+		io.WriteString(w, "queued")
+	}))
+	fs, _, stop := newTestFollowerServer(t, leader.URL)
+	defer stop()
+	ts := httptest.NewServer(fs.mux())
+	defer ts.Close()
+
+	doc := `{"url":"http://x/","html":"<form></form>"}`
+	resp, err := http.Post(ts.URL+"/ingest", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || string(body) != "queued" {
+		t.Fatalf("forwarded ingest = %d %q, want 202 queued", resp.StatusCode, body)
+	}
+	if string(got) != doc {
+		t.Fatalf("leader received %q, want %q", got, doc)
+	}
+
+	// GET is not a write.
+	resp, err = http.Get(ts.URL + "/ingest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /ingest = %d, want 405", resp.StatusCode)
+	}
+
+	// Leader down: refuse, never write locally.
+	leader.Close()
+	resp, err = http.Post(ts.URL+"/ingest", "application/json", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !bytes.Contains(body, []byte("leader-unreachable")) {
+		t.Fatalf("ingest with dead leader = %d %q, want 503 leader-unreachable", resp.StatusCode, body)
+	}
+}
+
+// TestFollowerServesLeaderState is the end-to-end HTTP pin: a follower
+// bootstrapped and tailed from a leader's replication endpoint answers
+// /classify with the byte-identical JSON the leader produces.
+func TestFollowerServesLeaderState(t *testing.T) {
+	docs := genCorpus(t, 53, 32)
+	ldir := t.TempDir()
+	lls := &liveServer{}
+	leaderLive, err := cafc.NewLive(nil, nil, nil, cafc.LiveConfig{
+		K: 4, Seed: 9, BatchSize: 8, FlushInterval: 5 * time.Millisecond,
+		Dir: ldir, OnPublish: lls.onPublish,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer leaderLive.Close()
+	lls.live = leaderLive
+	lmux := lls.mux()
+	(&repl.Server{Dir: ldir}).Register(lmux)
+	leaderTS := httptest.NewServer(lmux)
+	defer leaderTS.Close()
+
+	for _, d := range docs {
+		if err := leaderLive.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitServe(t, "leader ingest applied", func() bool {
+		e := leaderLive.Epoch()
+		return e != nil && e.Corpus.Len() == len(docs)
+	})
+
+	fdir := t.TempDir()
+	client := &repl.Client{Base: leaderTS.URL}
+	if err := repl.Bootstrap(context.Background(), client, fdir); err != nil {
+		t.Fatal(err)
+	}
+	fls := &liveServer{}
+	followerLive, err := cafc.RecoverFollower(cafc.LiveConfig{
+		K: 4, Seed: 9, Dir: fdir, OnPublish: fls.onPublish,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer followerLive.Close()
+	fls.live = followerLive
+	tailer := &repl.Tailer{Source: client, Target: followerLive}
+	if err := tailer.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	fs := &followerServer{
+		liveServer: fls,
+		leader:     leaderTS.URL,
+		maxLag:     64,
+		lag:        tailer.Lag,
+		applied:    followerLive.AppliedEpoch,
+		client:     http.DefaultClient,
+	}
+	followerTS := httptest.NewServer(fs.mux())
+	defer followerTS.Close()
+
+	if followerLive.AppliedEpoch() != leaderLive.Status().Epoch {
+		t.Fatalf("follower epoch %d, leader %d", followerLive.AppliedEpoch(), leaderLive.Status().Epoch)
+	}
+	for _, d := range docs[:8] {
+		payload, _ := json.Marshal(map[string]string{"url": d.URL, "html": d.HTML})
+		classify := func(base string) []byte {
+			t.Helper()
+			resp, err := http.Post(base+"/classify", "application/json", bytes.NewReader(payload))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("POST %s/classify = %d: %s", base, resp.StatusCode, body)
+			}
+			return body
+		}
+		if l, f := classify(leaderTS.URL), classify(followerTS.URL); !bytes.Equal(l, f) {
+			t.Fatalf("classify(%s) diverged:\nleader:   %s\nfollower: %s", d.URL, l, f)
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"cafc/internal/dataset"
 	"cafc/internal/directory"
 	"cafc/internal/obs"
+	"cafc/internal/repl"
 	"cafc/internal/retry"
 	"cafc/internal/stream"
 	"cafc/internal/webgraph"
@@ -47,6 +48,8 @@ type liveParams struct {
 	sloClassifyMS float64
 	sloIngestMS   float64
 	reqlog        bool
+	// role is "" (standalone live) or "leader" (also serve /repl/*).
+	role string
 }
 
 // liveServer is the HTTP face of a cafc.Live: it holds the latest
@@ -354,7 +357,13 @@ func runLive(p liveParams, reg *obs.Registry, ring *obs.RingSink, tracer *obs.Tr
 		return err
 	}
 
-	var handler http.Handler = ls.mux()
+	m := ls.mux()
+	if p.role == "leader" {
+		// The leader's replication feed reads the state dir directly, so
+		// it serves the durable prefix even while the worker appends.
+		(&repl.Server{Dir: p.data, Metrics: reg}).Register(m)
+	}
+	var handler http.Handler = m
 	if p.metrics {
 		dm := obs.DebugMux(reg, ring, true)
 		dm.Handle("/", obs.InstrumentHandler(reg, handler))

@@ -10,6 +10,20 @@
 //	directoryd -live -in corpus.json.gz -data ./state   # streaming mode
 //	directoryd -live -in "" -data ./state               # cold start
 //
+// Replication (see DESIGN.md "Replication & topology"):
+//
+//	directoryd -role leader -in "" -data ./lead              # live + /repl/*
+//	directoryd -role follower -leader http://host:8080 -data ./foll
+//	directoryd -role router -leader http://lead:8080 -replicas http://lead:8080,http://foll:8081
+//
+// A leader is a live directory that additionally streams its WAL at
+// /repl/wal and its snapshot at /repl/snapshot. A follower bootstraps
+// from those, tails the WAL with backoff, serves read-only /classify
+// and browse traffic, forwards POST /ingest to the leader, and degrades
+// /healthz once replication lag exceeds -max-lag. A router is
+// stateless: it health-checks the replicas, fans reads across the
+// healthy ones and sends writes to the leader.
+//
 // Endpoints: /  /cluster?id=N  /search?q=...  /select?q=...  /healthz
 // With -live: POST /ingest, GET /status, POST /classify, GET
 // /debug/quality (online quality snapshots); the directory rebuilds and
@@ -64,6 +78,13 @@ func main() {
 		// Live-mode flags (see runLive).
 		live          = flag.Bool("live", false, "streaming mode: POST /ingest grows the directory while it serves")
 		data          = flag.String("data", "", "durable state dir for -live (WAL + snapshots); recovery wins over -in")
+		// Replication flags (see follower.go / router.go).
+		role           = flag.String("role", "", "replication role: leader | follower | router (empty = standalone)")
+		leader         = flag.String("leader", "", "leader base URL (follower: replication source + write forwarding; router: write target)")
+		replicas       = flag.String("replicas", "", "comma-separated replica base URLs the router fans reads across")
+		maxLag         = flag.Int64("max-lag", 64, "follower staleness threshold: /healthz degrades once replication lag exceeds this many epochs")
+		replPoll       = flag.Duration("repl-poll", 200*time.Millisecond, "follower replication poll interval")
+		healthInterval = flag.Duration("health-interval", time.Second, "router replica health-check interval")
 		batch         = flag.Int("batch", 0, "live ingest batch size (0 = default)")
 		queue         = flag.Int("queue", 0, "live ingest queue bound (0 = default)")
 		flush         = flag.Duration("flush", 0, "live partial-batch flush interval (0 = default)")
@@ -92,28 +113,74 @@ func main() {
 		ctx = obs.WithTracer(ctx, tracer)
 	}
 
-	if *live {
+	switch *role {
+	case "", "leader", "follower", "router":
+	default:
+		log.Fatalf("unknown -role %q (leader | follower | router)", *role)
+	}
+
+	lp := liveParams{
+		in:            *in,
+		addr:          *addr,
+		data:          *data,
+		k:             *k,
+		seed:          *seed,
+		metrics:       *metrics,
+		retries:       *retries,
+		budget:        *budget,
+		batch:         *batch,
+		queue:         *queue,
+		flush:         *flush,
+		drift:         *drift,
+		snapshotEvery: *snapshotEvery,
+		sloClassifyMS: *sloClassifyMS,
+		sloIngestMS:   *sloIngestMS,
+		reqlog:        *reqlog,
+		role:          *role,
+	}
+
+	if *role == "router" {
 		sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 		defer stop()
-		err := runLive(liveParams{
-			in:            *in,
-			addr:          *addr,
-			data:          *data,
-			k:             *k,
-			seed:          *seed,
-			metrics:       *metrics,
-			retries:       *retries,
-			budget:        *budget,
-			batch:         *batch,
-			queue:         *queue,
-			flush:         *flush,
-			drift:         *drift,
-			snapshotEvery: *snapshotEvery,
-			sloClassifyMS: *sloClassifyMS,
-			sloIngestMS:   *sloIngestMS,
-			reqlog:        *reqlog,
+		err := runRouter(routerParams{
+			addr:     *addr,
+			leader:   *leader,
+			replicas: splitList(*replicas),
+			interval: *healthInterval,
+			metrics:  *metrics,
+			reqlog:   *reqlog,
 		}, reg, ring, tracer, sigCtx)
 		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *role == "follower" {
+		if *leader == "" || *data == "" {
+			log.Fatal("-role follower requires -leader and -data")
+		}
+		sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		err := runFollower(followerParams{
+			liveParams: lp,
+			leader:     strings.TrimRight(*leader, "/"),
+			maxLag:     *maxLag,
+			poll:       *replPoll,
+		}, reg, ring, tracer, sigCtx)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
+	if *live || *role == "leader" {
+		if *role == "leader" && *data == "" {
+			log.Fatal("-role leader requires -data (followers bootstrap from its WAL)")
+		}
+		sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+		defer stop()
+		if err := runLive(lp, reg, ring, tracer, sigCtx); err != nil {
 			log.Fatal(err)
 		}
 		return
@@ -229,6 +296,17 @@ func main() {
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		log.Fatalf("shutdown: %v", err)
 	}
+}
+
+// splitList parses a comma-separated URL list, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(strings.TrimRight(f, "/")); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
 }
 
 // probeFetchHealth exercises the crawler's fetch path over real loopback

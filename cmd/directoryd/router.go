@@ -1,0 +1,255 @@
+// Router mode: a thin stateless fan-out in front of a replica set. It
+// holds no model and no WAL — just a health view of its backends,
+// refreshed on a ticker. Writes (POST /ingest) go to the leader; reads
+// round-robin across the healthy replicas; /healthz reports the pool
+// so a load balancer above can drop a dead router. Losing a router
+// loses nothing: any number of them can front the same replicas.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"log/slog"
+	"net"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"os"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"cafc/internal/obs"
+)
+
+// routerParams carries the parsed flags into router mode.
+type routerParams struct {
+	addr     string
+	leader   string
+	replicas []string
+	interval time.Duration
+	metrics  bool
+	reqlog   bool
+}
+
+// backend is one proxied replica: its base URL, a reverse proxy to it,
+// and the last health verdict.
+type backend struct {
+	base    string
+	proxy   *httputil.ReverseProxy
+	healthy atomic.Bool
+}
+
+func newBackend(base string) (*backend, error) {
+	u, err := url.Parse(base)
+	if err != nil || u.Host == "" {
+		return nil, fmt.Errorf("router: bad backend URL %q", base)
+	}
+	b := &backend{base: base, proxy: httputil.NewSingleHostReverseProxy(u)}
+	b.proxy.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		b.healthy.Store(false)
+		healthErr(w, "backend-unreachable", err.Error())
+	}
+	return b, nil
+}
+
+// router fans traffic across backends. The health sweep lives in
+// check() — called by the runRouter ticker in production and directly
+// by tests, so failover tests never sleep.
+type router struct {
+	leader  *backend
+	readers []*backend
+	next    atomic.Uint64
+	client  *http.Client
+	reg     *obs.Registry
+}
+
+func newRouter(leader string, readers []string, reg *obs.Registry) (*router, error) {
+	rt := &router{client: &http.Client{Timeout: 2 * time.Second}, reg: reg}
+	if leader != "" {
+		b, err := newBackend(leader)
+		if err != nil {
+			return nil, err
+		}
+		rt.leader = b
+	}
+	for _, r := range readers {
+		// The leader can appear in the read pool too; give it a distinct
+		// backend object so read and write health are judged alike.
+		b, err := newBackend(r)
+		if err != nil {
+			return nil, err
+		}
+		rt.readers = append(rt.readers, b)
+	}
+	if len(rt.readers) == 0 && rt.leader != nil {
+		rt.readers = []*backend{rt.leader}
+	}
+	if len(rt.readers) == 0 {
+		return nil, fmt.Errorf("router: no backends (-leader or -replicas required)")
+	}
+	return rt, nil
+}
+
+// check sweeps every backend's /healthz once and updates the health
+// view and the router_replica_healthy gauges.
+func (rt *router) check() {
+	seen := map[string]bool{}
+	probe := func(b *backend) {
+		if b == nil || seen[b.base] {
+			return
+		}
+		seen[b.base] = true
+		healthy := false
+		if resp, err := rt.client.Get(b.base + "/healthz"); err == nil {
+			healthy = resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+		}
+		b.healthy.Store(healthy)
+		v := 0.0
+		if healthy {
+			v = 1
+		}
+		rt.reg.Gauge("router_replica_healthy", "replica", b.base).Set(v)
+	}
+	probe(rt.leader)
+	for _, b := range rt.readers {
+		probe(b)
+	}
+	// A backend listed twice (leader also in the read pool) was probed
+	// once; copy the verdict to every alias.
+	for _, b := range rt.readers {
+		if rt.leader != nil && b != rt.leader && b.base == rt.leader.base {
+			b.healthy.Store(rt.leader.healthy.Load())
+		}
+	}
+}
+
+// pick returns the next healthy read replica, round-robin, or nil when
+// none is.
+func (rt *router) pick() *backend {
+	n := len(rt.readers)
+	for i := 0; i < n; i++ {
+		b := rt.readers[int(rt.next.Add(1))%n]
+		if b.healthy.Load() {
+			return b
+		}
+	}
+	return nil
+}
+
+func (rt *router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/healthz":
+		rt.handleHealthz(w, r)
+	case r.URL.Path == "/ingest":
+		if rt.leader == nil || !rt.leader.healthy.Load() {
+			rt.reg.Counter("router_requests_total", "backend", "none").Inc()
+			healthErr(w, "no-leader", "write target down or not configured")
+			return
+		}
+		rt.reg.Counter("router_requests_total", "backend", rt.leader.base).Inc()
+		rt.leader.proxy.ServeHTTP(w, r)
+	default:
+		b := rt.pick()
+		if b == nil {
+			rt.reg.Counter("router_requests_total", "backend", "none").Inc()
+			healthErr(w, "no-replica", "no healthy read replica")
+			return
+		}
+		rt.reg.Counter("router_requests_total", "backend", b.base).Inc()
+		b.proxy.ServeHTTP(w, r)
+	}
+}
+
+// handleHealthz reports the pool: 200 while at least one read replica
+// is healthy, 503 otherwise, with the per-replica view as JSON.
+func (rt *router) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	view := map[string]bool{}
+	healthy := 0
+	for _, b := range rt.readers {
+		view[b.base] = b.healthy.Load()
+		if view[b.base] {
+			healthy++
+		}
+	}
+	leaderOK := rt.leader != nil && rt.leader.healthy.Load()
+	w.Header().Set("Content-Type", "application/json")
+	if healthy == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	json.NewEncoder(w).Encode(map[string]any{
+		"role":     "router",
+		"healthy":  healthy,
+		"replicas": view,
+		"leader":   leaderOK,
+	})
+}
+
+// runRouter is router-mode main: probe once synchronously (so the first
+// request after startup already has a health view), then keep probing
+// on the interval while serving.
+func runRouter(p routerParams, reg *obs.Registry, ring *obs.RingSink, tracer *obs.Tracer, sigCtx context.Context) error {
+	rt, err := newRouter(strings.TrimRight(p.leader, "/"), p.replicas, reg)
+	if err != nil {
+		return err
+	}
+	rt.check()
+
+	interval := p.interval
+	if interval <= 0 {
+		interval = time.Second
+	}
+	probeCtx, stopProbe := context.WithCancel(context.Background())
+	defer stopProbe()
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				rt.check()
+			case <-probeCtx.Done():
+				return
+			}
+		}
+	}()
+
+	var handler http.Handler = rt
+	if p.metrics {
+		dm := obs.DebugMux(reg, ring, true)
+		dm.Handle("/", obs.InstrumentHandler(reg, handler))
+		handler = dm
+	}
+	if p.reqlog {
+		logger := slog.New(slog.NewJSONHandler(os.Stderr, nil))
+		handler = obs.RequestLogger(logger, tracer, handler)
+	}
+
+	ln, err := net.Listen("tcp", p.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("router (%d read replicas) on http://%s/\n", len(rt.readers), ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       10 * time.Second,
+		WriteTimeout:      120 * time.Second,
+		IdleTimeout:       60 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-sigCtx.Done():
+	}
+	log.Print("shutting down")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	return httpSrv.Shutdown(shutCtx)
+}

@@ -1,0 +1,225 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"cafc/internal/obs"
+)
+
+// fakeReplica is a togglable backend: it records which paths it served
+// and answers /healthz according to its health switch. Tests drive
+// router.check() directly, so failover never sleeps.
+type fakeReplica struct {
+	ts      *httptest.Server
+	healthy atomic.Bool
+	serves  atomic.Int64
+	ingests atomic.Int64
+}
+
+func newFakeReplica(t *testing.T, name string) *fakeReplica {
+	t.Helper()
+	f := &fakeReplica{}
+	f.healthy.Store(true)
+	f.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			if !f.healthy.Load() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+			}
+			io.WriteString(w, "ok")
+		case "/ingest":
+			f.ingests.Add(1)
+			w.WriteHeader(http.StatusAccepted)
+			io.WriteString(w, name)
+		default:
+			f.serves.Add(1)
+			io.WriteString(w, name)
+		}
+	}))
+	t.Cleanup(f.ts.Close)
+	return f
+}
+
+// TestRouterSplitsReadsAndWrites pins the fan-out contract: POST
+// /ingest goes to the leader and only the leader; reads round-robin
+// across every replica in the pool.
+func TestRouterSplitsReadsAndWrites(t *testing.T) {
+	leader := newFakeReplica(t, "leader")
+	f1 := newFakeReplica(t, "f1")
+	f2 := newFakeReplica(t, "f2")
+	rt, err := newRouter(leader.ts.URL, []string{leader.ts.URL, f1.ts.URL, f2.ts.URL}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.check()
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Post(ts.URL+"/ingest", "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("routed ingest = %d, want 202", resp.StatusCode)
+		}
+	}
+	if leader.ingests.Load() != 3 || f1.ingests.Load() != 0 || f2.ingests.Load() != 0 {
+		t.Fatalf("ingests = leader %d / f1 %d / f2 %d, want all 3 on the leader",
+			leader.ingests.Load(), f1.ingests.Load(), f2.ingests.Load())
+	}
+
+	for i := 0; i < 9; i++ {
+		resp, err := http.Get(ts.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	for _, r := range []*fakeReplica{leader, f1, f2} {
+		if got := r.serves.Load(); got != 3 {
+			t.Fatalf("round-robin uneven: %d/%d/%d reads", leader.serves.Load(), f1.serves.Load(), f2.serves.Load())
+		}
+	}
+}
+
+// TestRouterFailover pins health-based routing: a replica that goes
+// unhealthy stops receiving reads after the next check(), and comes
+// back after it recovers; with the whole pool down the router answers
+// 503 itself.
+func TestRouterFailover(t *testing.T) {
+	f1 := newFakeReplica(t, "f1")
+	f2 := newFakeReplica(t, "f2")
+	rt, err := newRouter("", []string{f1.ts.URL, f2.ts.URL}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.check()
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+
+	read := func() int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	f1.healthy.Store(false)
+	rt.check()
+	f2.serves.Store(0)
+	for i := 0; i < 4; i++ {
+		if code := read(); code != http.StatusOK {
+			t.Fatalf("read with one replica down = %d", code)
+		}
+	}
+	if f2.serves.Load() != 4 || f1.serves.Load() != 0 {
+		t.Fatalf("unhealthy replica still served: f1 %d, f2 %d", f1.serves.Load(), f2.serves.Load())
+	}
+
+	// Whole pool down: the router itself degrades, with a JSON reason.
+	f2.healthy.Store(false)
+	rt.check()
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "no-replica") {
+		t.Fatalf("read with pool down = %d %q", resp.StatusCode, body)
+	}
+
+	// Router /healthz mirrors the pool state.
+	resp, err = http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view struct {
+		Role     string          `json:"role"`
+		Healthy  int             `json:"healthy"`
+		Replicas map[string]bool `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || view.Healthy != 0 || view.Role != "router" {
+		t.Fatalf("router healthz with pool down = %d %+v", resp.StatusCode, view)
+	}
+
+	// Recovery: one replica heals, reads flow again.
+	f1.healthy.Store(true)
+	rt.check()
+	if code := read(); code != http.StatusOK {
+		t.Fatalf("read after recovery = %d", code)
+	}
+	if f1.serves.Load() == 0 {
+		t.Fatal("healed replica got no reads")
+	}
+}
+
+// TestRouterWritesRequireLeader pins the write side of failover: with
+// the leader down (or never configured) POST /ingest is refused — a
+// router must never redirect writes to a read replica.
+func TestRouterWritesRequireLeader(t *testing.T) {
+	leader := newFakeReplica(t, "leader")
+	f1 := newFakeReplica(t, "f1")
+	rt, err := newRouter(leader.ts.URL, []string{f1.ts.URL}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	leader.healthy.Store(false)
+	rt.check()
+	ts := httptest.NewServer(rt)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL+"/ingest", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || !strings.Contains(string(body), "no-leader") {
+		t.Fatalf("ingest with leader down = %d %q, want 503 no-leader", resp.StatusCode, body)
+	}
+	if f1.ingests.Load() != 0 {
+		t.Fatal("write leaked to a read replica")
+	}
+
+	// Reads still work: read availability does not depend on the leader.
+	resp, err = http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("read with leader down = %d, want 200", resp.StatusCode)
+	}
+
+	// No leader configured at all.
+	rt2, err := newRouter("", []string{f1.ts.URL}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt2.check()
+	rec := httptest.NewRecorder()
+	rt2.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/ingest", strings.NewReader("{}")))
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("ingest with no leader configured = %d, want 503", rec.Code)
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	loadgen -n 454 -seed 1 -qps 200 -ops 2000          # in-process
 //	loadgen -target http://127.0.0.1:8080 -qps 100     # running directoryd
+//	loadgen -target http://lead:8080,http://foll:8081  # leader + read replicas
 //	loadgen -duration 2s -json report.json
 //
 // Without -target the driver builds an in-process directory from a
@@ -34,7 +35,7 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("loadgen: ")
 	var (
-		target   = flag.String("target", "", "base URL of a running directoryd (empty = in-process directory)")
+		target   = flag.String("target", "", "base URL(s) of running directoryds, comma-separated: first is the leader (writes), all are the read pool (empty = in-process directory)")
 		n        = flag.Int("n", 454, "form pages in the generated workload corpus")
 		seed     = flag.Int64("seed", 1, "workload seed (corpus, op sequence, classify draws)")
 		k        = flag.Int("k", 8, "clusters for the in-process directory")
@@ -62,7 +63,23 @@ func main() {
 		live *cafc.Live
 	)
 	if *target != "" {
-		tgt = loadgen.HTTPTarget{Base: strings.TrimRight(*target, "/")}
+		var bases []string
+		for _, t := range strings.Split(*target, ",") {
+			if t = strings.TrimRight(strings.TrimSpace(t), "/"); t != "" {
+				bases = append(bases, t)
+			}
+		}
+		if len(bases) == 1 {
+			tgt = loadgen.HTTPTarget{Base: bases[0]}
+		} else {
+			// Replicated deployment: the first URL is the leader (the only
+			// WAL owner, so the only write sink); every URL serves reads.
+			mt := &loadgen.MultiTarget{Leader: loadgen.HTTPTarget{Base: bases[0]}}
+			for _, b := range bases {
+				mt.Readers = append(mt.Readers, loadgen.HTTPTarget{Base: b})
+			}
+			tgt = mt
+		}
 	} else {
 		var err error
 		live, err = startDirectory(fx, *k, *seed)

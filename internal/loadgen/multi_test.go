@@ -1,0 +1,168 @@
+package loadgen
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"cafc"
+	"cafc/internal/repl"
+)
+
+// TestMultiTargetRouting pins the traffic split on stubs: every write
+// goes to the leader and only the leader; reads round-robin across the
+// reader pool and never fall back to the leader while readers exist.
+func TestMultiTargetRouting(t *testing.T) {
+	leader := newFakeTarget()
+	r1, r2 := newFakeTarget(), newFakeTarget()
+	tgt := &MultiTarget{Leader: leader, Readers: []Target{r1, r2}}
+
+	for _, d := range docs("p", 10) {
+		if err := tgt.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, d := range docs("c", 8) {
+		if err := tgt.Classify(d); err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			if err := tgt.Browse(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	if len(leader.ingested) != 10 || len(r1.ingested) != 0 || len(r2.ingested) != 0 {
+		t.Fatalf("ingests landed %d/%d/%d across leader/r1/r2, want 10/0/0",
+			len(leader.ingested), len(r1.ingested), len(r2.ingested))
+	}
+	if len(leader.classify) != 0 || leader.browses != 0 {
+		t.Fatalf("leader served reads (%d classifies, %d browses) with readers available",
+			len(leader.classify), leader.browses)
+	}
+	c1, c2 := 0, 0
+	for _, n := range r1.classify {
+		c1 += n
+	}
+	for _, n := range r2.classify {
+		c2 += n
+	}
+	if c1 != 4 || c2 != 4 {
+		t.Fatalf("classify split %d/%d, want 4/4 round-robin", c1, c2)
+	}
+	if r1.browses+r2.browses != 4 {
+		t.Fatalf("browses = %d+%d, want 4 total", r1.browses, r2.browses)
+	}
+
+	// With no readers the leader serves reads — a single-replica
+	// deployment degenerates cleanly.
+	solo := &MultiTarget{Leader: leader}
+	if err := solo.Classify(docs("c", 1)[0]); err != nil {
+		t.Fatal(err)
+	}
+	if len(leader.classify) == 0 {
+		t.Fatal("leader-only MultiTarget dropped the read")
+	}
+}
+
+// TestMultiTargetReplicatedRunReproducible is the replicated workload
+// pin: a seeded mixed workload against a leader + follower pair, reads
+// on the follower, writes on the leader, run twice from scratch — the
+// final quality block is bit-identical between runs, and the follower
+// ends on the leader's exact epoch both times.
+func TestMultiTargetReplicatedRunReproducible(t *testing.T) {
+	const seed = 17
+	fx := NewFixture(seed, 48)
+
+	run := func() (cafc.QualitySnapshot, int64) {
+		t.Helper()
+		ldir, fdir := t.TempDir(), t.TempDir()
+		corpus, err := cafc.NewCorpus(fx.Genesis)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cl := corpus.ClusterC(4, seed)
+		// A large flush interval makes record boundaries a pure function
+		// of the ingest sequence (flush on full batch or drain, never on
+		// a timer), so the epoch history — and with it every quality
+		// number including centroid churn — is run-to-run deterministic.
+		leader, err := cafc.NewLive(corpus, fx.Genesis, cl, cafc.LiveConfig{
+			K: 4, Seed: seed, BatchSize: 8, FlushInterval: time.Hour,
+			Dir:     ldir,
+			Quality: &cafc.QualityConfig{Labels: fx.Labels, Seed: seed},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer leader.Close()
+
+		ctx := context.Background()
+		if err := repl.Bootstrap(ctx, repl.DirSource{Dir: ldir}, fdir); err != nil {
+			t.Fatal(err)
+		}
+		follower, err := cafc.RecoverFollower(cafc.LiveConfig{K: 4, Seed: seed, Dir: fdir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer follower.Close()
+		tail := &repl.Tailer{Source: repl.DirSource{Dir: ldir}, Target: follower}
+		if err := tail.Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		tgt := &MultiTarget{
+			Leader:  LiveTarget{Live: leader},
+			Readers: []Target{LiveTarget{Live: follower}},
+		}
+		rep, err := Run(ctx, Config{Seed: seed, QPS: 100000, Ops: 300}, tgt, fx.Genesis, fx.Pool)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Endpoints["classify"].Errors != 0 || rep.Endpoints["browse"].Errors != 0 {
+			t.Fatalf("follower reads failed: %+v", rep.Endpoints)
+		}
+		if rep.Endpoints["ingest"].Errors != 0 {
+			t.Fatalf("leader writes failed: %+v", rep.Endpoints)
+		}
+
+		// Quiesce the leader (flushing the partial batch), land the final
+		// deterministic re-cluster, then tail the follower to parity.
+		drainCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+		defer cancel()
+		if err := leader.Drain(drainCtx); err != nil {
+			t.Fatal(err)
+		}
+		snap, ok := leader.Quality()
+		if !ok {
+			t.Fatal("leader quality block missing")
+		}
+		if err := tail.Sync(ctx); err != nil {
+			t.Fatal(err)
+		}
+		if got, want := follower.AppliedEpoch(), leader.Status().Epoch; got != want {
+			t.Fatalf("follower converged to epoch %d, leader at %d", got, want)
+		}
+		if !reflect.DeepEqual(follower.Epoch().Clustering.Assign, leader.Epoch().Clustering.Assign) {
+			t.Fatal("follower assignment differs from leader after final sync")
+		}
+		snap.Time = time.Time{} // wall-clock stamp is the one non-deterministic field
+		return snap, follower.AppliedEpoch()
+	}
+
+	q1, e1 := run()
+	q2, e2 := run()
+	if e1 != e2 {
+		t.Fatalf("final epochs differ across runs: %d vs %d", e1, e2)
+	}
+	if !reflect.DeepEqual(q1, q2) {
+		t.Fatalf("final quality block not reproducible at fixed seed:\n run1: %+v\n run2: %+v", q1, q2)
+	}
+	if q1.Pages < len(fx.Genesis) {
+		t.Fatalf("quality block covers %d pages, want at least the genesis %d", q1.Pages, len(fx.Genesis))
+	}
+	if q1.Labeled == 0 || q1.K != 4 {
+		t.Fatalf("quality block incomplete: %+v", q1)
+	}
+}

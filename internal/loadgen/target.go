@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"cafc"
@@ -136,3 +137,27 @@ func (t HTTPTarget) Browse() error {
 	}
 	return nil
 }
+
+// MultiTarget drives a replicated directory: writes go to the leader
+// (the single WAL owner), reads round-robin across the reader pool —
+// the same split a -role=router deployment makes. With an empty pool
+// the leader serves reads too, so a MultiTarget over a single replica
+// degenerates to that replica.
+type MultiTarget struct {
+	Leader  Target
+	Readers []Target
+
+	next atomic.Uint64
+}
+
+// reader returns the next read target, round-robin.
+func (t *MultiTarget) reader() Target {
+	if len(t.Readers) == 0 {
+		return t.Leader
+	}
+	return t.Readers[int(t.next.Add(1))%len(t.Readers)]
+}
+
+func (t *MultiTarget) Classify(d cafc.Document) error { return t.reader().Classify(d) }
+func (t *MultiTarget) Ingest(d cafc.Document) error   { return t.Leader.Ingest(d) }
+func (t *MultiTarget) Browse() error                  { return t.reader().Browse() }

@@ -1,0 +1,425 @@
+// Partition/failover chaos suite. Every scenario runs entirely on
+// manual pipelines (stream.NewManual) and a fault.FakeClock, so there
+// is not a single time.Sleep and no goroutine races: each injected
+// fault happens at a deterministic fetch-call index, and each recovery
+// is a plain synchronous Sync call. The invariant under test is the
+// tentpole's: however the stream is killed, truncated or partitioned, a
+// follower that reaches epoch E is bit-identical to the leader at epoch
+// E — and to a leader recovered cold from the same WAL prefix.
+package repl
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"cafc/internal/fault"
+	"cafc/internal/obs"
+	"cafc/internal/retry"
+	"cafc/internal/stream"
+	"cafc/internal/webgen"
+)
+
+// chaosConfig is the shared pipeline shape: small k, fixed seed, and a
+// low drift threshold so replicated batches trigger genuine
+// drift-rebuilds on both sides.
+func chaosConfig() stream.Config {
+	return stream.Config{K: 4, Seed: 11, DriftThreshold: 0.05}
+}
+
+// genStreamDocs builds n searchable form pages.
+func genStreamDocs(t testing.TB, seed int64, n int) []stream.Doc {
+	t.Helper()
+	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n})
+	docs := make([]stream.Doc, 0, n)
+	for _, u := range c.FormPages {
+		docs = append(docs, stream.Doc{URL: u, HTML: c.ByURL[u].HTML})
+	}
+	return docs
+}
+
+// newChaosLeader builds a durable manual leader and applies the docs in
+// batches of batch, inserting a forced-rebuild marker after each
+// markEvery batches when markEvery > 0.
+func newChaosLeader(t *testing.T, docs []stream.Doc, batch, markEvery int) (*stream.Live, string) {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := stream.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { st.Close() })
+	cfg := chaosConfig()
+	cfg.Store = st
+	l := stream.NewManual(cfg, nil, nil)
+	batches := 0
+	for i := 0; i < len(docs); i += batch {
+		end := i + batch
+		if end > len(docs) {
+			end = len(docs)
+		}
+		if err := l.Apply(stream.Record{Docs: docs[i:end]}); err != nil {
+			t.Fatal(err)
+		}
+		if batches++; markEvery > 0 && batches%markEvery == 0 {
+			if err := l.Apply(stream.Record{}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return l, dir
+}
+
+// testFollower mirrors cafc.Live's follower implementation of Target at
+// the stream level: append the raw frame verbatim, then apply the
+// record through the batch pipeline without re-logging it.
+type testFollower struct {
+	st *stream.Store
+	l  *stream.Live
+}
+
+// newTestFollower opens (or re-opens) a follower on dir, replaying
+// whatever the local WAL already holds — exactly cold recovery.
+func newTestFollower(t *testing.T, dir string) *testFollower {
+	t.Helper()
+	st, err := stream.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := st.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := chaosConfig()
+	cfg.Store = st
+	return &testFollower{st: st, l: stream.NewManual(cfg, nil, recs)}
+}
+
+func (f *testFollower) WALRecords() int64 { return f.st.RecordCount() }
+
+func (f *testFollower) AppliedEpoch() int64 {
+	if e := f.l.Current(); e != nil {
+		return e.Seq
+	}
+	return 0
+}
+
+func (f *testFollower) ApplyFrame(fr stream.Frame) error {
+	if err := f.st.AppendFrame(fr); err != nil {
+		return err
+	}
+	return f.l.ApplyReplicated(fr.Rec)
+}
+
+func (f *testFollower) close() {
+	f.l.Close()
+	f.st.Close()
+}
+
+// flakySource wraps a Source with deterministic chaos: outage windows
+// over global fetch-call indices (the same scheme internal/fault uses),
+// a per-fetch frame cap so partitions land mid-epoch-stream, and
+// per-call frame truncation or batch drops.
+type flakySource struct {
+	inner      Source
+	maxFrames  int
+	outages    []fault.Window
+	truncateAt map[int]bool
+	dropAt     map[int]bool
+	calls      int
+}
+
+func (s *flakySource) Frames(ctx context.Context, from int64) ([]stream.Frame, int64, error) {
+	call := s.calls
+	s.calls++
+	for _, w := range s.outages {
+		if call >= w.Start && call < w.End {
+			return nil, 0, fault.ErrInjected
+		}
+	}
+	frames, total, err := s.inner.Frames(ctx, from)
+	if err != nil {
+		return nil, 0, err
+	}
+	if s.maxFrames > 0 && len(frames) > s.maxFrames {
+		frames = frames[:s.maxFrames]
+	}
+	if s.dropAt[call] {
+		frames = nil // the batch vanished in transit; total still says we are behind
+	}
+	if s.truncateAt[call] && len(frames) > 0 {
+		raw := append([]byte(nil), frames[0].Raw...)
+		frames[0] = stream.Frame{Raw: raw[:len(raw)-3], Rec: frames[0].Rec}
+	}
+	return frames, total, nil
+}
+
+// chaosPolicy is a deterministic, jitter-free retry policy.
+func chaosPolicy(attempts int) retry.Policy {
+	return retry.Policy{MaxAttempts: attempts, BaseDelay: 10_000_000, Jitter: -1}
+}
+
+// assertBitIdentical pins the tentpole invariant: the follower's
+// published state equals the live leader's AND a leader recovered cold
+// from the same WAL — same epoch, same record count, same assignments,
+// and bit-equal centroids (float64s compared exactly via DeepEqual).
+func assertBitIdentical(t *testing.T, f *testFollower, leader *stream.Live, leaderDir string) {
+	t.Helper()
+	le := leader.Current()
+	fe := f.l.Current()
+	if le == nil || fe == nil {
+		t.Fatalf("missing epoch: leader %v follower %v", le, fe)
+	}
+	if fe.Seq != le.Seq || fe.WALRecords != le.WALRecords {
+		t.Fatalf("follower at epoch %d (%d records), leader at %d (%d)", fe.Seq, fe.WALRecords, le.Seq, le.WALRecords)
+	}
+	recovered := newTestFollower(t, leaderDir) // cold replay of the leader's own WAL
+	defer recovered.close()
+	re := recovered.l.Current()
+	for _, cmp := range []struct {
+		name string
+		e    *stream.Epoch
+	}{{"live leader", le}, {"recovered leader", re}} {
+		if !reflect.DeepEqual(fe.Result.Assign, cmp.e.Result.Assign) {
+			t.Fatalf("follower assignments differ from %s", cmp.name)
+		}
+		if !reflect.DeepEqual(fe.Result.Centroids, cmp.e.Result.Centroids) {
+			t.Fatalf("follower centroids differ from %s (not bit-identical)", cmp.name)
+		}
+		if fe.Model.Len() != cmp.e.Model.Len() {
+			t.Fatalf("follower model has %d pages, %s %d", fe.Model.Len(), cmp.name, cmp.e.Model.Len())
+		}
+	}
+}
+
+// TestChaosPartitionMidEpoch kills the replication stream while the
+// follower is mid-way through the leader's history: Sync fails after
+// backoff (on the fake clock), keeps the progress it made, and the next
+// Sync resumes from the last applied record to bit-identical state.
+func TestChaosPartitionMidEpoch(t *testing.T) {
+	docs := genStreamDocs(t, 3, 32)
+	leader, dir := newChaosLeader(t, docs, 8, 0) // 4 records
+	f := newTestFollower(t, t.TempDir())
+	defer f.close()
+
+	clock := fault.NewFakeClock()
+	src := &flakySource{inner: DirSource{Dir: dir}, maxFrames: 1, outages: []fault.Window{{Start: 2, End: 5}}}
+	tail := &Tailer{Source: src, Target: f, Policy: chaosPolicy(2), Clock: clock}
+
+	err := tail.Sync(context.Background())
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("partitioned Sync = %v, want the injected error", err)
+	}
+	if got := f.WALRecords(); got != 2 {
+		t.Fatalf("follower applied %d records before the partition, want 2", got)
+	}
+	if f.AppliedEpoch() != 2 {
+		t.Fatalf("follower epoch %d mid-partition, want 2", f.AppliedEpoch())
+	}
+	if clock.Slept() == 0 {
+		t.Fatal("retry backoff never slept on the fake clock")
+	}
+	if lag := tail.Lag(); lag != 2 {
+		t.Fatalf("lag during partition = %d, want 2", lag)
+	}
+
+	// Partition heals (the outage window is behind the call counter).
+	if err := tail.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if lag := tail.Lag(); lag != 0 {
+		t.Fatalf("lag after heal = %d, want 0", lag)
+	}
+	assertBitIdentical(t, f, leader, dir)
+}
+
+// TestChaosTruncatedFrame corrupts a frame in transit: the follower
+// must reject it whole (its own WAL stays intact), retry, and converge
+// bit-identically once the re-fetch delivers clean bytes.
+func TestChaosTruncatedFrame(t *testing.T) {
+	docs := genStreamDocs(t, 4, 24)
+	leader, dir := newChaosLeader(t, docs, 6, 0) // 4 records
+	fdir := t.TempDir()
+	f := newTestFollower(t, fdir)
+	defer f.close()
+
+	clock := fault.NewFakeClock()
+	reg := obs.NewRegistry()
+	src := &flakySource{inner: DirSource{Dir: dir}, maxFrames: 1, truncateAt: map[int]bool{1: true}}
+	tail := &Tailer{Source: src, Target: f, Policy: chaosPolicy(5), Clock: clock, Metrics: reg}
+
+	if err := tail.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, f, leader, dir)
+
+	// The damaged frame must not have left partial bytes in the local
+	// WAL: a fresh scan of the follower's dir sees every record intact.
+	frames, total, err := stream.TailWAL(fdir, 0)
+	if err != nil || total != 4 || len(frames) != 4 {
+		t.Fatalf("follower WAL scan = %d frames / %d total (%v), want 4/4", len(frames), total, err)
+	}
+	if got := obsCounter(t, reg, "replication_errors_total"); got < 1 {
+		t.Fatalf("replication_errors_total = %v after a truncated frame, want >= 1", got)
+	}
+}
+
+// TestChaosDroppedBatch makes a fetch lose its frames entirely while
+// the total says the follower is behind: Sync treats the empty answer
+// as "caught up to the durable prefix" (a cold leader looks the same),
+// and the next Sync closes the gap.
+func TestChaosDroppedBatch(t *testing.T) {
+	docs := genStreamDocs(t, 5, 24)
+	leader, dir := newChaosLeader(t, docs, 6, 0)
+	f := newTestFollower(t, t.TempDir())
+	defer f.close()
+
+	src := &flakySource{inner: DirSource{Dir: dir}, maxFrames: 1, dropAt: map[int]bool{1: true}}
+	tail := &Tailer{Source: src, Target: f, Policy: chaosPolicy(3), Clock: fault.NewFakeClock()}
+
+	if err := tail.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if f.WALRecords() != 1 || tail.Lag() != 3 {
+		t.Fatalf("after dropped batch: %d records, lag %d; want 1 record, lag 3", f.WALRecords(), tail.Lag())
+	}
+	if err := tail.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, f, leader, dir)
+}
+
+// TestChaosPartitionDuringRebuild partitions the follower exactly at
+// the fetch that would deliver a forced-rebuild marker (with drift
+// rebuilds also armed via the low threshold): the follower stalls
+// mid-history, resumes from its last applied record, replays the
+// rebuild, and ends bit-identical — including the rebuilt centroids.
+func TestChaosPartitionDuringRebuild(t *testing.T) {
+	docs := genStreamDocs(t, 6, 40)
+	// 8-doc batches with a rebuild marker after every 2nd batch:
+	// records are [b, b, R, b, b, R] — the marker at index 2 is the
+	// partition point.
+	leader, dir := newChaosLeader(t, docs, 8, 2)
+	f := newTestFollower(t, t.TempDir())
+	defer f.close()
+
+	clock := fault.NewFakeClock()
+	src := &flakySource{inner: DirSource{Dir: dir}, maxFrames: 1, outages: []fault.Window{{Start: 2, End: 6}}}
+	tail := &Tailer{Source: src, Target: f, Policy: chaosPolicy(3), Clock: clock}
+
+	err := tail.Sync(context.Background())
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Sync through the rebuild partition = %v, want injected error", err)
+	}
+	if f.WALRecords() != 2 {
+		t.Fatalf("follower holds %d records at the rebuild partition, want 2 (marker not yet delivered)", f.WALRecords())
+	}
+
+	if err := tail.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.l.Status().Rebuilds; got < 2 {
+		t.Fatalf("follower replayed %d rebuilds, want >= 2 (both markers)", got)
+	}
+	assertBitIdentical(t, f, leader, dir)
+}
+
+// TestChaosFollowerCrashResume kills the follower process mid-tail
+// (hard Close, no snapshot) and restarts it on the same dir: recovery
+// replays the local WAL prefix, the tailer resumes from that offset,
+// and the final state is bit-identical.
+func TestChaosFollowerCrashResume(t *testing.T) {
+	docs := genStreamDocs(t, 7, 32)
+	leader, dir := newChaosLeader(t, docs, 8, 1) // records: b R b R b R b R
+	fdir := t.TempDir()
+	f := newTestFollower(t, fdir)
+
+	// Tail three records, then the stream dies for good (open-ended
+	// outage) — and so does the follower.
+	src := &flakySource{inner: DirSource{Dir: dir}, maxFrames: 1, outages: []fault.Window{{Start: 3, End: 1 << 30}}}
+	tail := &Tailer{Source: src, Target: f, Policy: chaosPolicy(2), Clock: fault.NewFakeClock()}
+	if err := tail.Sync(context.Background()); err == nil {
+		t.Fatal("Sync should fail once the open-ended outage starts")
+	}
+	if f.WALRecords() != 3 {
+		t.Fatalf("follower crashed with %d records, want 3", f.WALRecords())
+	}
+	f.close() // hard stop: no drain, no snapshot
+
+	f2 := newTestFollower(t, fdir)
+	defer f2.close()
+	if f2.AppliedEpoch() != 3 {
+		t.Fatalf("recovered follower at epoch %d, want 3 (replay of the local prefix)", f2.AppliedEpoch())
+	}
+	tail2 := &Tailer{Source: DirSource{Dir: dir}, Target: f2, Policy: chaosPolicy(3), Clock: fault.NewFakeClock()}
+	if err := tail2.Sync(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	assertBitIdentical(t, f2, leader, dir)
+}
+
+// TestTailerMetricsAndInertness runs the identical tail twice — once
+// with a registry, once with nil — and pins both sides: the gauges
+// land on applied-epoch/lag-zero values, and a nil registry changes
+// nothing about the replicated state (inert by construction).
+func TestTailerMetricsAndInertness(t *testing.T) {
+	docs := genStreamDocs(t, 8, 24)
+	leader, dir := newChaosLeader(t, docs, 6, 0)
+
+	run := func(reg *obs.Registry) *testFollower {
+		f := newTestFollower(t, t.TempDir())
+		tail := &Tailer{Source: DirSource{Dir: dir}, Target: f, Policy: chaosPolicy(3), Clock: fault.NewFakeClock(), Metrics: reg}
+		if err := tail.Sync(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	reg := obs.NewRegistry()
+	fm := run(reg)
+	defer fm.close()
+	fn := run(nil)
+	defer fn.close()
+
+	me, ne := fm.l.Current(), fn.l.Current()
+	if !reflect.DeepEqual(me.Result.Assign, ne.Result.Assign) || !reflect.DeepEqual(me.Result.Centroids, ne.Result.Centroids) {
+		t.Fatal("attaching a metrics registry changed the replicated state — instrumentation must be inert")
+	}
+	assertBitIdentical(t, fm, leader, dir)
+
+	want := map[string]float64{
+		"replication_applied_epoch": float64(fm.AppliedEpoch()),
+		"replication_lag_epochs":    0,
+	}
+	for name, v := range want {
+		if got := obsGauge(t, reg, name); got != v {
+			t.Fatalf("%s = %v, want %v", name, got, v)
+		}
+	}
+	if got := obsCounter(t, reg, "replication_frames_total"); got != 4 {
+		t.Fatalf("replication_frames_total = %v, want 4", got)
+	}
+}
+
+// obsCounter / obsGauge read one unlabeled series out of a registry
+// snapshot.
+func obsCounter(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	return obsValue(t, reg, name)
+}
+
+func obsGauge(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	return obsValue(t, reg, name)
+}
+
+func obsValue(t *testing.T, reg *obs.Registry, name string) float64 {
+	t.Helper()
+	for _, s := range reg.Snapshot() {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	t.Fatalf("metric %s not in registry snapshot", name)
+	return 0
+}

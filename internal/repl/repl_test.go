@@ -1,0 +1,227 @@
+package repl
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"cafc/internal/stream"
+)
+
+// testRecords is a small fixed record sequence for protocol tests (the
+// framing does not care whether the HTML parses).
+func testRecords() []stream.Record {
+	return []stream.Record{
+		{Docs: []stream.Doc{{URL: "http://a/", HTML: "<form><input name=q></form>"}}},
+		{Docs: []stream.Doc{{URL: "http://b/", HTML: "<form><input name=r></form>"}, {URL: "http://c/", HTML: "x"}}},
+		{},
+	}
+}
+
+// seedStore writes the records (and optionally a snapshot) into a fresh
+// store dir and returns the dir.
+func seedStore(t *testing.T, snapshot []byte) string {
+	t.Helper()
+	dir := t.TempDir()
+	st, err := stream.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for _, rec := range testRecords() {
+		if err := st.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if snapshot != nil {
+		if err := st.WriteSnapshot(func(w io.Writer) error {
+			_, err := w.Write(snapshot)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func walBytes(t *testing.T, dir string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestServerClientRoundTrip(t *testing.T) {
+	dir := seedStore(t, []byte("snapshot-bytes"))
+	mux := http.NewServeMux()
+	(&Server{Dir: dir}).Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+	ctx := context.Background()
+
+	frames, total, err := c.Frames(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 3 || len(frames) != 3 {
+		t.Fatalf("Frames(0) = %d frames / %d total, want 3/3", len(frames), total)
+	}
+	var cat bytes.Buffer
+	for _, f := range frames {
+		cat.Write(f.Raw)
+	}
+	if !bytes.Equal(cat.Bytes(), walBytes(t, dir)) {
+		t.Fatal("streamed frames do not reassemble the leader's WAL bytes")
+	}
+
+	frames, total, err = c.Frames(ctx, 2)
+	if err != nil || total != 3 || len(frames) != 1 {
+		t.Fatalf("Frames(2) = %d frames / %d total, err %v; want 1/3", len(frames), total, err)
+	}
+	frames, total, err = c.Frames(ctx, 9)
+	if err != nil || total != 3 || len(frames) != 0 {
+		t.Fatalf("Frames(9) = %d frames / %d total, err %v; want 0/3", len(frames), total, err)
+	}
+
+	rc, err := c.Snapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, _ := io.ReadAll(rc)
+	rc.Close()
+	if string(snap) != "snapshot-bytes" {
+		t.Fatalf("snapshot round-trip = %q", snap)
+	}
+}
+
+func TestServerCapsFramesPerResponse(t *testing.T) {
+	dir := seedStore(t, nil)
+	mux := http.NewServeMux()
+	(&Server{Dir: dir, MaxFrames: 2}).Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := &Client{Base: ts.URL}
+
+	frames, total, err := c.Frames(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 || total != 3 {
+		t.Fatalf("capped fetch = %d frames / %d total, want 2/3", len(frames), total)
+	}
+	// The follower's resume-from-offset loop picks up the remainder.
+	frames, _, err = c.Frames(context.Background(), 2)
+	if err != nil || len(frames) != 1 {
+		t.Fatalf("resume fetch = %d frames, err %v; want 1", len(frames), err)
+	}
+}
+
+func TestSnapshotMissing(t *testing.T) {
+	dir := seedStore(t, nil)
+	mux := http.NewServeMux()
+	(&Server{Dir: dir}).Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	if _, err := (&Client{Base: ts.URL}).Snapshot(context.Background()); err != stream.ErrNoSnapshot {
+		t.Fatalf("Snapshot on a cold leader = %v, want ErrNoSnapshot", err)
+	}
+}
+
+// TestClientTruncatedBody pins the wire decoder's torn-tail behavior
+// end to end: a response cut mid-frame yields the intact prefix, and
+// the reported total still lets the tailer know it is behind.
+func TestClientTruncatedBody(t *testing.T) {
+	full := walBytes(t, seedStore(t, nil))
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set(TotalHeader, "3")
+		w.Write(full[:len(full)-5]) // cut inside the last frame
+	}))
+	defer ts.Close()
+	frames, total, err := (&Client{Base: ts.URL}).Frames(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 || total != 3 {
+		t.Fatalf("truncated body = %d frames / %d total, want 2 intact / 3", len(frames), total)
+	}
+}
+
+func TestBootstrap(t *testing.T) {
+	leader := seedStore(t, []byte("snap"))
+	follower := t.TempDir()
+	ctx := context.Background()
+
+	if err := Bootstrap(ctx, DirSource{Dir: leader}, follower); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(walBytes(t, follower), walBytes(t, leader)) {
+		t.Fatal("bootstrapped WAL is not a byte-identical copy of the leader's")
+	}
+	snap, err := os.ReadFile(filepath.Join(follower, "snapshot.gob.gz"))
+	if err != nil || string(snap) != "snap" {
+		t.Fatalf("bootstrapped snapshot = %q, %v", snap, err)
+	}
+
+	// A dir that already holds state is left untouched, even when the
+	// leader has moved on — the tailer, not Bootstrap, closes that gap.
+	lst, err := stream.Open(leader)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := lst.Append(stream.Record{Docs: []stream.Doc{{URL: "http://d/"}}}); err != nil {
+		t.Fatal(err)
+	}
+	lst.Close()
+	before := walBytes(t, follower)
+	if err := Bootstrap(ctx, DirSource{Dir: leader}, follower); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, walBytes(t, follower)) {
+		t.Fatal("Bootstrap rewrote an already-populated state dir")
+	}
+}
+
+// TestBootstrapOverHTTP runs the same bootstrap through the HTTP
+// client against a live replication server, including the paged WAL
+// copy (MaxFrames 1 forces one fetch per record).
+func TestBootstrapOverHTTP(t *testing.T) {
+	leader := seedStore(t, []byte("snap"))
+	mux := http.NewServeMux()
+	(&Server{Dir: leader, MaxFrames: 1}).Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+
+	follower := t.TempDir()
+	if err := Bootstrap(context.Background(), &Client{Base: ts.URL}, follower); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(walBytes(t, follower), walBytes(t, leader)) {
+		t.Fatal("HTTP bootstrap WAL differs from the leader's")
+	}
+}
+
+func TestServerStatus(t *testing.T) {
+	dir := seedStore(t, nil)
+	mux := http.NewServeMux()
+	(&Server{Dir: dir}).Register(mux)
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/repl/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if want := `{"records":` + strconv.Itoa(3); !bytes.Contains(body, []byte(want)) {
+		t.Fatalf("/repl/status = %s, want it to contain %q", body, want)
+	}
+}

@@ -1,0 +1,147 @@
+package repl
+
+import (
+	"context"
+	"sync/atomic"
+	"time"
+
+	"cafc/internal/obs"
+	"cafc/internal/retry"
+	"cafc/internal/stream"
+)
+
+// Target is the follower-side state a Tailer advances. cafc.Live (in
+// follower mode) implements it: ApplyFrame appends the frame to the
+// local WAL verbatim and runs the record through the batch pipeline.
+type Target interface {
+	// WALRecords is the local WAL's intact record count — the offset the
+	// next fetch resumes from.
+	WALRecords() int64
+	// AppliedEpoch is the latest published epoch number (0 while cold).
+	AppliedEpoch() int64
+	// ApplyFrame durably appends and applies one replicated frame.
+	ApplyFrame(stream.Frame) error
+}
+
+// Tailer pulls WAL frames from a Source and applies them to a Target,
+// with bounded retry backoff on fetch or apply errors. One Tailer owns
+// its Target's write side; Sync and Run must not run concurrently.
+type Tailer struct {
+	Source Source
+	Target Target
+	// Policy bounds one Sync's retry sequence (zero value = retry
+	// defaults: 3 attempts, 100ms base, 2s cap).
+	Policy retry.Policy
+	// Clock drives backoff sleeps (nil = retry.System). The chaos suite
+	// injects fault.FakeClock here.
+	Clock retry.Clock
+	// Interval is Run's idle poll period once caught up (0 = 200ms).
+	Interval time.Duration
+	// Metrics receives the replication gauges and counters. Nil
+	// disables.
+	Metrics *obs.Registry
+
+	// leaderRecords is the source's total record count as of the last
+	// successful fetch — what Lag measures against.
+	leaderRecords atomic.Int64
+}
+
+func (t *Tailer) clock() retry.Clock {
+	if t.Clock == nil {
+		return retry.System
+	}
+	return t.Clock
+}
+
+func (t *Tailer) interval() time.Duration {
+	if t.Interval <= 0 {
+		return 200 * time.Millisecond
+	}
+	return t.Interval
+}
+
+// Lag returns how many leader records the target has not yet applied,
+// by the last fetch's view of the leader (0 before the first contact).
+// Epochs advance one per record, so this is also the lag in epochs.
+func (t *Tailer) Lag() int64 {
+	lag := t.leaderRecords.Load() - t.Target.WALRecords()
+	if lag < 0 {
+		return 0
+	}
+	return lag
+}
+
+// note refreshes the replication gauges.
+func (t *Tailer) note() {
+	reg := t.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Gauge("replication_applied_epoch").Set(float64(t.Target.AppliedEpoch()))
+	reg.Gauge("replication_lag_epochs").Set(float64(t.Lag()))
+}
+
+// Sync fetches and applies frames until the target has caught up with
+// the source's durable prefix, retrying fetch and apply errors under
+// the policy. It returns nil once caught up, or the last error once
+// attempts are exhausted — progress already applied is kept either way,
+// and the next Sync resumes from the local WAL's record count.
+func (t *Tailer) Sync(ctx context.Context) error {
+	pol := t.Policy.WithDefaults()
+	bo := retry.NewBackoff(pol)
+	clock := t.clock()
+	reg := t.Metrics
+	attempt := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		frames, total, err := t.Source.Frames(ctx, t.Target.WALRecords())
+		if err == nil {
+			t.leaderRecords.Store(total)
+			for _, f := range frames {
+				if aerr := t.Target.ApplyFrame(f); aerr != nil {
+					err = aerr
+					break
+				}
+				reg.Counter("replication_frames_total").Inc()
+				t.note()
+			}
+		}
+		if err == nil {
+			t.note()
+			if len(frames) == 0 {
+				// The source returned nothing at our offset: we hold its
+				// entire durable prefix.
+				return nil
+			}
+			attempt = 0 // progress resets the retry budget
+			continue
+		}
+		reg.Counter("replication_errors_total").Inc()
+		attempt++
+		if attempt >= pol.MaxAttempts {
+			return err
+		}
+		if serr := clock.Sleep(ctx, bo.Delay(attempt)); serr != nil {
+			return serr
+		}
+	}
+}
+
+// Run tails forever: Sync, idle for Interval, repeat — until ctx is
+// done. Errors are absorbed (they are already counted and retried
+// inside Sync); a partitioned leader just means lag grows until the
+// partition heals.
+func (t *Tailer) Run(ctx context.Context) {
+	clock := t.clock()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		_ = t.Sync(ctx)
+		if clock.Sleep(ctx, t.interval()) != nil {
+			return
+		}
+	}
+}

@@ -163,6 +163,10 @@ var ErrBacklog = errors.New("stream: ingest queue full")
 // ErrDraining is returned by Ingest once Drain has begun.
 var ErrDraining = errors.New("stream: draining")
 
+// ErrReadOnly is returned by Ingest and ForceRebuild on a manual
+// (replica) pipeline — writes belong on the leader.
+var ErrReadOnly = errors.New("stream: read-only replica")
+
 // Live is the online ingestion pipeline: Ingest enqueues, a single
 // worker batches, grows the model, and publishes epochs; Current is the
 // lock-free read side.
@@ -189,6 +193,13 @@ type Live struct {
 
 	stopOnce sync.Once
 
+	// manual marks a pipeline with no batch worker: records arrive
+	// through Apply/ApplyReplicated from a single caller-owned goroutine
+	// (a replication tailer), and Ingest/ForceRebuild fail with
+	// ErrReadOnly. The read side is unchanged — epochs still publish
+	// through the atomic pointer.
+	manual bool
+
 	// simsBuf/scratchBuf are miniBatch's reusable scoring buffers. Only
 	// the single worker goroutine touches them, so plain fields suffice;
 	// they keep the per-point indexed scoring loop allocation-free.
@@ -206,12 +217,30 @@ type Live struct {
 // start or a recovery). A nil genesis starts cold at epoch 0 — the
 // first ingested batch founds the model.
 func New(cfg Config, genesis *Epoch, pending []Record) *Live {
+	l := newLive(cfg, genesis, pending, false)
+	l.wg.Add(1)
+	go l.run()
+	return l
+}
+
+// NewManual builds a Live pipeline with no batch worker: genesis and
+// replay behave exactly as in New, but afterwards records advance the
+// model only through Apply/ApplyReplicated, driven synchronously by one
+// caller-owned goroutine. This is the follower's engine — a replication
+// tailer feeds it the leader's WAL records — and the chaos suite's,
+// because every state change happens inside a plain function call.
+func NewManual(cfg Config, genesis *Epoch, pending []Record) *Live {
+	return newLive(cfg, genesis, pending, true)
+}
+
+func newLive(cfg Config, genesis *Epoch, pending []Record, manual bool) *Live {
 	cfg = cfg.withDefaults()
 	l := &Live{
-		cfg:   cfg,
-		queue: make(chan Doc, cfg.QueueSize),
-		stop:  make(chan struct{}),
-		force: make(chan struct{}, 1),
+		cfg:    cfg,
+		queue:  make(chan Doc, cfg.QueueSize),
+		stop:   make(chan struct{}),
+		force:  make(chan struct{}, 1),
+		manual: manual,
 	}
 	cfg.Metrics.Gauge("stream_queue_capacity").Set(float64(cfg.QueueSize))
 	if genesis != nil {
@@ -223,9 +252,36 @@ func New(cfg Config, genesis *Epoch, pending []Record) *Live {
 			reg.Counter("stream_replayed_records_total").Inc()
 		}
 	}
-	l.wg.Add(1)
-	go l.run()
 	return l
+}
+
+// Apply runs one record through the batch pipeline synchronously,
+// WAL-logging it first when a Store is configured. Manual pipelines
+// only; the caller owns single-goroutine discipline.
+func (l *Live) Apply(rec Record) error {
+	if !l.manual {
+		return errors.New("stream: Apply requires a manual pipeline")
+	}
+	if l.draining.Load() {
+		return ErrDraining
+	}
+	l.apply(rec, false)
+	return nil
+}
+
+// ApplyReplicated runs one already-durable record through the batch
+// pipeline synchronously, skipping the local WAL write — the follower
+// path, where the replication layer appended the leader's frame to the
+// local WAL verbatim before applying it. Manual pipelines only.
+func (l *Live) ApplyReplicated(rec Record) error {
+	if !l.manual {
+		return errors.New("stream: ApplyReplicated requires a manual pipeline")
+	}
+	if l.draining.Load() {
+		return ErrDraining
+	}
+	l.apply(rec, true)
+	return nil
 }
 
 // Current returns the latest published epoch (nil before the first
@@ -235,6 +291,9 @@ func (l *Live) Current() *Epoch { return l.cur.Load() }
 // Ingest offers one document to the stream. It never blocks: a full
 // queue fails with ErrBacklog, a draining pipeline with ErrDraining.
 func (l *Live) Ingest(d Doc) error {
+	if l.manual {
+		return ErrReadOnly
+	}
 	if l.draining.Load() {
 		return ErrDraining
 	}
@@ -254,6 +313,9 @@ func (l *Live) Ingest(d Doc) error {
 // as a marker record, so replay reproduces it. Coalesced: a rebuild
 // already scheduled absorbs later requests.
 func (l *Live) ForceRebuild() error {
+	if l.manual {
+		return ErrReadOnly
+	}
 	if l.draining.Load() {
 		return ErrDraining
 	}
@@ -317,10 +379,21 @@ func (l *Live) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
-		return nil
 	case <-ctx.Done():
 		return ctx.Err()
 	}
+	// A manual pipeline has no worker to write the final snapshot on
+	// stop, so Drain writes it inline.
+	if l.manual && l.cfg.SaveSnapshot != nil {
+		if e := l.cur.Load(); e != nil {
+			if err := l.cfg.SaveSnapshot(e); err != nil {
+				l.walErrors.Add(1)
+				l.cfg.Metrics.Counter("stream_snapshot_errors_total").Inc()
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // Close hard-stops the worker without flushing the queue or writing a

@@ -142,6 +142,13 @@ func TestApplyDeterminism(t *testing.T) {
 	if !reflect.DeepEqual(a.Result.Assign, b.Result.Assign) {
 		t.Errorf("same records, different assignments")
 	}
+	if !reflect.DeepEqual(a.Result.Centroids, b.Result.Centroids) {
+		// Bit-identical centroids, not just assignments: replication's
+		// exact-recovery discipline compares follower state to leader
+		// state field for field, so any nondeterminism here (e.g. the
+		// map-order dictionary interning Compile used to do) is a bug.
+		t.Errorf("same records, different centroid bits")
+	}
 	if a.Model.Len() != len(docs) {
 		t.Errorf("pages = %d, want %d", a.Model.Len(), len(docs))
 	}

@@ -49,12 +49,164 @@ func (r Record) IsRebuild() bool { return len(r.Docs) == 0 }
 const (
 	snapshotName = "snapshot.gob.gz"
 	walName      = "wal.log"
+
+	// maxFramePayload bounds one frame's gob payload (a length prefix
+	// beyond it is treated as a torn frame, not an allocation request).
+	maxFramePayload = 1 << 30
 )
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // ErrNoSnapshot is returned by OpenSnapshot when the store has none.
 var ErrNoSnapshot = errors.New("stream: no snapshot")
+
+// errTornFrame marks a truncated or corrupt frame. It never escapes the
+// package's read APIs (scans stop at the last intact frame), but
+// AppendFrame surfaces it when handed a damaged replication frame.
+var errTornFrame = errors.New("stream: torn or corrupt WAL frame")
+
+// Frame is one framed WAL record: the raw on-disk bytes (uvarint payload
+// length, CRC-32C, gob payload — exactly as Append writes them) plus the
+// decoded record. Replication ships Frames verbatim, so a follower's WAL
+// is a byte-identical prefix copy of its leader's and the two sides
+// share one recovery computation.
+type Frame struct {
+	Raw []byte
+	Rec Record
+}
+
+// EncodeFrame frames one record exactly as Append writes it to disk.
+func EncodeFrame(rec Record) (Frame, error) {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
+		return Frame{}, fmt.Errorf("stream: wal encode: %w", err)
+	}
+	var frame bytes.Buffer
+	var lenBuf [binary.MaxVarintLen64]byte
+	frame.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(payload.Len()))])
+	var crcBuf [4]byte
+	binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(payload.Bytes(), crcTable))
+	frame.Write(crcBuf[:])
+	frame.Write(payload.Bytes())
+	return Frame{Raw: frame.Bytes(), Rec: rec}, nil
+}
+
+// readFrame reads one frame off br, capturing its raw bytes. A clean end
+// of input returns io.EOF; a truncated length prefix, short body, CRC
+// mismatch or undecodable payload returns errTornFrame — callers stop at
+// the last intact frame either way.
+func readFrame(br *bufio.Reader) (Frame, error) {
+	var raw []byte
+	var n uint64
+	var shift uint
+	for {
+		b, err := br.ReadByte()
+		if err != nil {
+			if len(raw) == 0 && err == io.EOF {
+				return Frame{}, io.EOF
+			}
+			return Frame{}, errTornFrame
+		}
+		raw = append(raw, b)
+		n |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+		if shift += 7; shift > 63 {
+			return Frame{}, errTornFrame
+		}
+	}
+	if n > maxFramePayload {
+		return Frame{}, errTornFrame
+	}
+	body := make([]byte, 4+n)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return Frame{}, errTornFrame
+	}
+	raw = append(raw, body...)
+	payload := body[4:]
+	if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(body[:4]) {
+		return Frame{}, errTornFrame
+	}
+	var rec Record
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
+		return Frame{}, errTornFrame
+	}
+	return Frame{Raw: raw, Rec: rec}, nil
+}
+
+// verifyFrame re-checks a frame's raw bytes (framing shape and CRC)
+// without trusting the decoded record the sender attached.
+func verifyFrame(raw []byte) error {
+	f, err := readFrame(bufio.NewReader(bytes.NewReader(raw)))
+	if err != nil {
+		return errTornFrame
+	}
+	if len(f.Raw) != len(raw) {
+		return errTornFrame // trailing garbage glued onto the frame
+	}
+	return nil
+}
+
+// DecodeFrames parses the intact frame prefix of buf — a replication
+// response body. A torn or corrupt tail is dropped silently, mirroring
+// how WAL recovery treats a crash-truncated log: the intact prefix is
+// the usable history and the next fetch resumes past it.
+func DecodeFrames(buf []byte) []Frame {
+	br := bufio.NewReader(bytes.NewReader(buf))
+	var out []Frame
+	for {
+		f, err := readFrame(br)
+		if err != nil {
+			return out
+		}
+		out = append(out, f)
+	}
+}
+
+// TailWAL reads dir's WAL and returns its intact frames from record
+// offset `from` on, plus the total intact record count — the read side
+// of the replication stream. A missing WAL is an empty one. The scan is
+// O(total) because frames are variable-length; at directory scale that
+// is cheap, and the leader pays it per poll rather than holding an
+// offset index that crash recovery would have to rebuild anyway.
+func TailWAL(dir string, from int64) ([]Frame, int64, error) {
+	f, err := os.Open(filepath.Join(dir, walName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("stream: read wal: %w", err)
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var out []Frame
+	var total int64
+	for {
+		fr, err := readFrame(br)
+		if err != nil {
+			return out, total, nil // clean EOF or torn tail: stop at the durable prefix
+		}
+		if total >= from {
+			out = append(out, fr)
+		}
+		total++
+	}
+}
+
+// OpenSnapshotAt opens dir's current snapshot for reading without
+// opening the WAL for writing — the replication server's read-only view
+// of a store another process owns. ErrNoSnapshot when none exists.
+func OpenSnapshotAt(dir string) (io.ReadCloser, error) {
+	f, err := os.Open(filepath.Join(dir, snapshotName))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, ErrNoSnapshot
+	}
+	if err != nil {
+		return nil, fmt.Errorf("stream: open snapshot: %w", err)
+	}
+	return f, nil
+}
 
 // HasState reports whether dir holds live-directory state (a WAL or a
 // snapshot) — the fresh-start vs. recover decision.
@@ -114,24 +266,33 @@ func (s *Store) RecordCount() int64 {
 // Append frames one record onto the WAL and syncs it to stable storage
 // before returning, so an acknowledged batch survives a crash.
 func (s *Store) Append(rec Record) error {
-	var payload bytes.Buffer
-	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
-		return fmt.Errorf("stream: wal encode: %w", err)
+	f, err := EncodeFrame(rec)
+	if err != nil {
+		return err
 	}
-	var frame bytes.Buffer
-	var lenBuf [binary.MaxVarintLen64]byte
-	frame.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(payload.Len()))])
-	var crcBuf [4]byte
-	binary.LittleEndian.PutUint32(crcBuf[:], crc32.Checksum(payload.Bytes(), crcTable))
-	frame.Write(crcBuf[:])
-	frame.Write(payload.Bytes())
+	return s.appendRaw(f.Raw)
+}
 
+// AppendFrame appends a replicated frame's raw bytes verbatim — the
+// follower half of the replication invariant (its WAL stays a
+// byte-identical prefix copy of the leader's). The framing and CRC are
+// re-verified first, so a frame damaged in transit is rejected whole
+// rather than poisoning the local log.
+func (s *Store) AppendFrame(f Frame) error {
+	if err := verifyFrame(f.Raw); err != nil {
+		return err
+	}
+	return s.appendRaw(f.Raw)
+}
+
+// appendRaw writes one already-framed record and syncs.
+func (s *Store) appendRaw(raw []byte) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.wal == nil {
 		return errors.New("stream: store closed")
 	}
-	if _, err := s.wal.Write(frame.Bytes()); err != nil {
+	if _, err := s.wal.Write(raw); err != nil {
 		return fmt.Errorf("stream: wal append: %w", err)
 	}
 	if err := s.wal.Sync(); err != nil {
@@ -146,38 +307,15 @@ func (s *Store) Append(rec Record) error {
 // intact prefix is the durable history, exactly as the sync protocol
 // guarantees.
 func (s *Store) Records() ([]Record, error) {
-	f, err := os.Open(filepath.Join(s.dir, walName))
-	if errors.Is(err, os.ErrNotExist) {
-		return nil, nil
-	}
+	frames, _, err := TailWAL(s.dir, 0)
 	if err != nil {
-		return nil, fmt.Errorf("stream: read wal: %w", err)
+		return nil, err
 	}
-	defer f.Close()
-	br := bufio.NewReader(f)
-	var out []Record
-	for {
-		n, err := binary.ReadUvarint(br)
-		if err != nil {
-			return out, nil // clean EOF or torn length prefix
-		}
-		var crcBuf [4]byte
-		if _, err := io.ReadFull(br, crcBuf[:]); err != nil {
-			return out, nil
-		}
-		payload := make([]byte, n)
-		if _, err := io.ReadFull(br, payload); err != nil {
-			return out, nil
-		}
-		if crc32.Checksum(payload, crcTable) != binary.LittleEndian.Uint32(crcBuf[:]) {
-			return out, nil // corrupt frame: stop at last good record
-		}
-		var rec Record
-		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); err != nil {
-			return out, nil
-		}
-		out = append(out, rec)
+	out := make([]Record, len(frames))
+	for i, f := range frames {
+		out[i] = f.Rec
 	}
+	return out, nil
 }
 
 // WriteSnapshot atomically replaces the store's snapshot with whatever

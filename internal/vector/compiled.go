@@ -26,10 +26,19 @@ func (c Compiled) Len() int { return len(c.IDs) }
 
 // Compile packs v against d, interning any terms d has not seen yet.
 // Weights are carried over exactly (no quantization), so Decompile is a
-// lossless inverse.
+// lossless inverse. New terms are interned in lexicographic order so
+// dictionary ID assignment — and with it every downstream compiled
+// representation — is deterministic across runs; a map-order walk would
+// reshuffle IDs run to run, which replication's bit-identity discipline
+// (follower state == leader state, compared field for field) forbids.
 func Compile(v Vector, d *Dict) Compiled {
-	ids := make([]uint32, 0, len(v))
+	terms := make([]string, 0, len(v))
 	for t := range v {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	ids := make([]uint32, 0, len(terms))
+	for _, t := range terms {
 		ids = append(ids, d.Intern(t))
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })

@@ -82,6 +82,10 @@ var ErrBacklog = stream.ErrBacklog
 // ErrDraining is returned by Live.Ingest during shutdown.
 var ErrDraining = stream.ErrDraining
 
+// ErrReadOnly is returned by Ingest and ForceRebuild on a follower —
+// writes belong on the leader.
+var ErrReadOnly = stream.ErrReadOnly
+
 // LiveEpoch is one immutable published model state: a frozen corpus,
 // its clustering, and the documents it was built from. Readers may hold
 // it indefinitely; later epochs never mutate earlier ones.
@@ -151,6 +155,12 @@ type Live struct {
 	weights form.Weights
 	retry   *Retry
 	skip    bool
+
+	// follower marks a read-only replica: no ingest worker runs, Ingest
+	// and ForceRebuild fail with ErrReadOnly, and the model advances only
+	// through ApplyFrame (driven by a replication tailer).
+	follower bool
+	dir      string
 }
 
 // NewLive starts a live directory from an already-built corpus and its
@@ -219,6 +229,23 @@ func NewLive(corpus *Corpus, docs []Document, cl *Clustering, cfg LiveConfig, op
 // loaded corpus (seeded k-means); hub-seeded genesis assignments are
 // not persisted.
 func RecoverLive(cfg LiveConfig, opts ...Options) (*Live, error) {
+	return recoverLive(cfg, false, opts...)
+}
+
+// RecoverFollower opens (or resumes) a read-only follower on cfg.Dir:
+// recovery is exactly RecoverLive's — snapshot, deterministic genesis
+// re-cluster, WAL-tail replay — but the resulting pipeline has no
+// ingest worker. Records arrive only through ApplyFrame, fed by a
+// replication tailer copying the leader's WAL verbatim (see
+// internal/repl); Ingest and ForceRebuild fail with ErrReadOnly.
+// Because the local WAL is a byte-identical prefix of the leader's and
+// replay is deterministic, a follower at epoch E equals a leader
+// recovered at epoch E.
+func RecoverFollower(cfg LiveConfig, opts ...Options) (*Live, error) {
+	return recoverLive(cfg, true, opts...)
+}
+
+func recoverLive(cfg LiveConfig, follower bool, opts ...Options) (*Live, error) {
 	if cfg.Dir == "" {
 		return nil, fmt.Errorf("cafc: RecoverLive: Dir required")
 	}
@@ -261,7 +288,7 @@ func RecoverLive(cfg LiveConfig, opts ...Options) (*Live, error) {
 		off = len(recs)
 	}
 
-	l := &Live{store: store}
+	l := &Live{store: store, follower: follower}
 	scfg, err := l.streamConfigWithStore(corpus, cfg, store)
 	if err != nil {
 		return nil, err
@@ -281,9 +308,51 @@ func RecoverLive(cfg LiveConfig, opts ...Options) (*Live, error) {
 			WALRecords: int64(off),
 		}
 	}
-	l.inner = stream.New(scfg, genesis, recs[off:])
+	if follower {
+		l.inner = stream.NewManual(scfg, genesis, recs[off:])
+	} else {
+		l.inner = stream.New(scfg, genesis, recs[off:])
+	}
 	return l, nil
 }
+
+// ApplyFrame (followers only) appends one replicated WAL frame to the
+// local store verbatim, then applies its record through the batch
+// pipeline without re-logging it. This is cafc.Live's implementation of
+// the replication target: the tailer in internal/repl calls it for each
+// frame pulled off the leader.
+func (l *Live) ApplyFrame(f stream.Frame) error {
+	if !l.follower {
+		return fmt.Errorf("cafc: ApplyFrame: not a follower")
+	}
+	if l.store != nil {
+		if err := l.store.AppendFrame(f); err != nil {
+			return err
+		}
+	}
+	return l.inner.ApplyReplicated(f.Rec)
+}
+
+// WALRecords returns the local WAL's intact record count (0 without a
+// durable store) — the replication tail position.
+func (l *Live) WALRecords() int64 {
+	if l.store == nil {
+		return 0
+	}
+	return l.store.RecordCount()
+}
+
+// AppliedEpoch returns the latest published epoch number (0 while
+// cold).
+func (l *Live) AppliedEpoch() int64 {
+	if e := l.inner.Current(); e != nil {
+		return e.Seq
+	}
+	return 0
+}
+
+// StateDir returns the durable state directory ("" when memory-only).
+func (l *Live) StateDir() string { return l.dir }
 
 // streamConfig opens the store named by cfg.Dir (if any) and builds the
 // internal stream configuration.
@@ -301,6 +370,7 @@ func (l *Live) streamConfig(corpus *Corpus, cfg LiveConfig) (stream.Config, erro
 
 func (l *Live) streamConfigWithStore(corpus *Corpus, cfg LiveConfig, store *stream.Store) (stream.Config, error) {
 	l.store = store
+	l.dir = cfg.Dir
 	l.weights = corpus.weights
 	l.retry = corpus.retry
 	l.skip = corpus.skipNonSearchable

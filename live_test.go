@@ -3,8 +3,11 @@ package cafc
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 	"time"
+
+	"cafc/internal/repl"
 )
 
 func waitLive(t *testing.T, what string, cond func() bool) {
@@ -247,5 +250,166 @@ func TestLiveQualityInert(t *testing.T) {
 	}
 	if h := plain.QualityHistory(); h != nil {
 		t.Fatalf("QualityHistory without a monitor = %v", h)
+	}
+}
+
+// assertReplicaEqual pins the tentpole invariant at the public API: a
+// follower that has tailed to the leader's epoch serves the identical
+// directory — same epoch and WAL accounting, same corpus in the same
+// order, same cluster assignment for every URL.
+func assertReplicaEqual(t *testing.T, f, l *Live) {
+	t.Helper()
+	fe, le := f.Epoch(), l.Epoch()
+	if fe == nil || le == nil {
+		t.Fatalf("missing epoch: follower %v leader %v", fe, le)
+	}
+	if fe.Epoch != le.Epoch {
+		t.Fatalf("follower at epoch %d, leader at %d", fe.Epoch, le.Epoch)
+	}
+	if fs, ls := f.Status(), l.Status(); fs.WALRecords != ls.WALRecords {
+		t.Fatalf("follower WAL records %d, leader %d", fs.WALRecords, ls.WALRecords)
+	}
+	if !reflect.DeepEqual(fe.Corpus.URLs(), le.Corpus.URLs()) {
+		t.Fatal("follower corpus differs from leader")
+	}
+	if !reflect.DeepEqual(fe.Clustering.Assign, le.Clustering.Assign) {
+		t.Fatal("follower cluster assignment differs from leader")
+	}
+}
+
+// TestLiveFollowerReplication drives the replication stack at the
+// public API: bootstrap a follower from a live leader's state dir,
+// verify it refuses writes, tail it to parity, move the leader on, tail
+// again — equal state at every convergence point.
+func TestLiveFollowerReplication(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 37, 48)
+	ldir, fdir := t.TempDir(), t.TempDir()
+	cfg := LiveConfig{
+		K: 4, Seed: 7, BatchSize: 8, FlushInterval: 5 * time.Millisecond,
+		Dir: ldir,
+	}
+	l, err := NewLive(nil, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, d := range docs[:32] {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitLive(t, "leader ingest applied", func() bool {
+		e := l.Epoch()
+		return e != nil && e.Corpus.Len() == 32
+	})
+
+	ctx := context.Background()
+	if err := repl.Bootstrap(ctx, repl.DirSource{Dir: ldir}, fdir); err != nil {
+		t.Fatal(err)
+	}
+	fcfg := cfg
+	fcfg.Dir = fdir
+	f, err := RecoverFollower(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+
+	// Read-only: every mutation is refused with ErrReadOnly.
+	if err := f.Ingest(docs[0]); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("follower Ingest = %v, want ErrReadOnly", err)
+	}
+	if err := f.ForceRebuild(); !errors.Is(err, ErrReadOnly) {
+		t.Fatalf("follower ForceRebuild = %v, want ErrReadOnly", err)
+	}
+
+	tail := &repl.Tailer{Source: repl.DirSource{Dir: ldir}, Target: f}
+	if err := tail.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaEqual(t, f, l)
+
+	// The leader moves on; the follower closes the gap from its last
+	// applied record.
+	for _, d := range docs[32:] {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitLive(t, "second leader ingest applied", func() bool {
+		return l.Epoch().Corpus.Len() == 48
+	})
+	if err := tail.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if lag := tail.Lag(); lag != 0 {
+		t.Fatalf("lag after sync = %d, want 0", lag)
+	}
+	assertReplicaEqual(t, f, l)
+
+	// The follower's classifier answers from its own replicated epoch.
+	if _, _, err := f.Epoch().Classify(docs[0]); err != nil {
+		t.Fatalf("follower classify: %v", err)
+	}
+}
+
+// TestLiveReplicationMetricsInert is the replication twin of
+// TestLiveQualityInert: tailing with the full metrics registry attached
+// must replicate bit-identical state to tailing with none, and the
+// replication gauges must land on applied-epoch / zero-lag values.
+func TestLiveReplicationMetricsInert(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 41, 32)
+	ldir := t.TempDir()
+	cfg := LiveConfig{
+		K: 4, Seed: 3, BatchSize: 8, FlushInterval: 5 * time.Millisecond,
+		Dir: ldir,
+	}
+	l, err := NewLive(nil, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitLive(t, "leader ingest applied", func() bool {
+		e := l.Epoch()
+		return e != nil && e.Corpus.Len() == len(docs)
+	})
+	leaderEpoch := l.Epoch().Epoch
+	l.Close() // hard stop: the WAL alone defines the history followers see
+
+	run := func(reg *Registry) *Live {
+		t.Helper()
+		fdir := t.TempDir()
+		if err := repl.Bootstrap(context.Background(), repl.DirSource{Dir: ldir}, fdir); err != nil {
+			t.Fatal(err)
+		}
+		fcfg := cfg
+		fcfg.Dir = fdir
+		f, err := RecoverFollower(fcfg, Options{Metrics: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tail := &repl.Tailer{Source: repl.DirSource{Dir: ldir}, Target: f, Metrics: reg}
+		if err := tail.Sync(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+
+	reg := NewRegistry()
+	fm := run(reg)
+	defer fm.Close()
+	fn := run(nil)
+	defer fn.Close()
+	assertReplicaEqual(t, fm, fn)
+
+	if got := reg.Gauge("replication_applied_epoch").Value(); got != float64(leaderEpoch) {
+		t.Fatalf("replication_applied_epoch = %v, want %d", got, leaderEpoch)
+	}
+	if got := reg.Gauge("replication_lag_epochs").Value(); got != 0 {
+		t.Fatalf("replication_lag_epochs = %v, want 0", got)
 	}
 }

@@ -12,9 +12,10 @@ go test -race ./...
 # Focused race pass over the live-pipeline packages: the streaming
 # ingester, the clustering kernels it drives (including the sharded
 # approx/LSH assignment and mini-batch paths), the incremental model
-# with its parallel build, and the observability layer (histograms
-# under concurrent Observe, the quality monitor, the load driver).
-go test -race ./internal/stream ./internal/cluster ./internal/cafc \
+# with its parallel build, the replication layer (server, tailer and the
+# chaos suite), and the observability layer (histograms under concurrent
+# Observe, the quality monitor, the load driver).
+go test -race ./internal/stream ./internal/repl ./internal/cluster ./internal/cafc \
     ./internal/obs ./internal/obs/quality ./internal/loadgen ./cmd/directoryd
 go test -run xxx -bench 'BenchmarkCosine|BenchmarkKMeansEngines|BenchmarkKMeans454' \
     -benchtime=1x ./internal/vector ./internal/cluster .
@@ -32,7 +33,10 @@ go test -run xxx -fuzz FuzzParseForms -fuzztime 3s ./internal/form
 # Metrics smoke: serve a small corpus with -metrics on a random port and
 # assert the Prometheus exposition is populated with domain telemetry.
 tmp=$(mktemp -d)
-trap 'rm -rf "$tmp"; [ -n "${dpid:-}" ] && kill "$dpid" 2>/dev/null || true' EXIT
+trap 'rm -rf "$tmp"
+      [ -n "${dpid:-}" ] && kill "$dpid" 2>/dev/null
+      [ -n "${fpid:-}" ] && kill "$fpid" 2>/dev/null
+      true' EXIT
 go build -o "$tmp/webgen" ./cmd/webgen
 go build -o "$tmp/directoryd" ./cmd/directoryd
 go build -o "$tmp/benchall" ./cmd/benchall
@@ -159,6 +163,82 @@ done
 curl -fsS "http://$addr/debug/quality" >"$tmp/quality.json"
 grep -q '"epoch"' "$tmp/quality.json" || { echo "check.sh: /debug/quality empty or malformed"; cat "$tmp/quality.json"; exit 1; }
 grep -q '"span_id"' "$tmp/directoryd4.log" || { echo "check.sh: -reqlog produced no structured request logs"; exit 1; }
+kill "$dpid"
+dpid=""
+
+# Replication smoke: a cold leader (every document WAL-logged, so a
+# follower's replay is the leader's exact history), a follower
+# bootstrapped and tailing over HTTP, writes ingested via the leader —
+# the follower must converge to the leader's epoch, answer /classify
+# byte-identically, and report replication lag 0 in /metrics.
+"$tmp/directoryd" -live -role leader -in "" -data "$tmp/lead" \
+    -addr 127.0.0.1:0 -k 4 -seed 7 -flush 20ms -metrics >"$tmp/leader.log" 2>&1 &
+dpid=$!
+laddr=""
+for _ in $(seq 1 50); do
+    laddr=$(sed -n 's|.*on http://\([^/]*\)/.*|\1|p' "$tmp/leader.log" | head -1)
+    [ -n "$laddr" ] && break
+    sleep 0.2
+done
+[ -n "$laddr" ] || { echo "check.sh: leader did not start"; cat "$tmp/leader.log"; exit 1; }
+for name in title author isbn; do
+    curl -fsS -X POST "http://$laddr/ingest" -H 'Content-Type: application/json' \
+        -d '{"url":"http://repl.example/'"$name"'","html":"<form action=\"/q\"><input type=\"text\" name=\"'"$name"'\"/></form>"}' >/dev/null \
+        || { echo "check.sh: leader ingest failed"; exit 1; }
+done
+lepoch=""
+for _ in $(seq 1 50); do
+    lepoch=$(curl -fsS "http://$laddr/status" | sed -n 's/.*"Epoch":\([0-9]*\).*/\1/p')
+    [ -n "$lepoch" ] && [ "$lepoch" -ge 1 ] && break
+    sleep 0.2
+done
+[ -n "$lepoch" ] && [ "$lepoch" -ge 1 ] || { echo "check.sh: leader published no epoch"; cat "$tmp/leader.log"; exit 1; }
+
+"$tmp/directoryd" -role follower -leader "http://$laddr" -data "$tmp/foll" \
+    -addr 127.0.0.1:0 -k 4 -seed 7 -repl-poll 50ms -metrics >"$tmp/follower.log" 2>&1 &
+fpid=$!
+faddr=""
+for _ in $(seq 1 50); do
+    faddr=$(sed -n 's|.*on http://\([^/]*\)/.*|\1|p' "$tmp/follower.log" | head -1)
+    [ -n "$faddr" ] && break
+    sleep 0.2
+done
+[ -n "$faddr" ] || { echo "check.sh: follower did not start"; cat "$tmp/follower.log"; exit 1; }
+
+# The leader keeps writing while the follower tails — replication must
+# close the gap, not just replay the bootstrap prefix.
+curl -fsS -X POST "http://$laddr/ingest" -H 'Content-Type: application/json' \
+    -d '{"url":"http://repl.example/late","html":"<form action=\"/q\"><input type=\"text\" name=\"year\"/></form>"}' >/dev/null \
+    || { echo "check.sh: post-bootstrap leader ingest failed"; exit 1; }
+converged=""
+for _ in $(seq 1 100); do
+    lepoch=$(curl -fsS "http://$laddr/status" | sed -n 's/.*"Epoch":\([0-9]*\).*/\1/p')
+    fepoch=$(curl -fsS "http://$faddr/status" | sed -n 's/.*"Epoch":\([0-9]*\).*/\1/p')
+    if [ -n "$lepoch" ] && [ -n "$fepoch" ] && [ "$fepoch" -eq "$lepoch" ] && [ "$fepoch" -ge 2 ]; then
+        converged=1
+        break
+    fi
+    sleep 0.2
+done
+[ -n "$converged" ] || {
+    echo "check.sh: follower never converged (leader epoch ${lepoch:-?}, follower ${fepoch:-?})"
+    cat "$tmp/follower.log"; exit 1; }
+
+classify_doc='{"url":"http://repl.example/probe","html":"<form action=\"/q\"><input type=\"text\" name=\"title\"/></form>"}'
+curl -fsS -X POST "http://$laddr/classify" -H 'Content-Type: application/json' -d "$classify_doc" >"$tmp/classify_leader.json"
+curl -fsS -X POST "http://$faddr/classify" -H 'Content-Type: application/json' -d "$classify_doc" >"$tmp/classify_follower.json"
+cmp -s "$tmp/classify_leader.json" "$tmp/classify_follower.json" || {
+    echo "check.sh: follower /classify diverged from leader"
+    cat "$tmp/classify_leader.json" "$tmp/classify_follower.json"; exit 1; }
+curl -fsS "http://$faddr/healthz" >/dev/null || { echo "check.sh: follower /healthz not ok at lag 0"; exit 1; }
+curl -fsS "http://$faddr/metrics" >"$tmp/metrics5.txt"
+grep -q '^replication_lag_epochs 0$' "$tmp/metrics5.txt" || {
+    echo "check.sh: follower replication lag did not drain to 0"
+    grep '^replication' "$tmp/metrics5.txt"; exit 1; }
+grep -q '^replication_applied_epoch' "$tmp/metrics5.txt" || {
+    echo "check.sh: follower /metrics missing replication_applied_epoch"; exit 1; }
+kill "$fpid"
+fpid=""
 kill "$dpid"
 dpid=""
 
