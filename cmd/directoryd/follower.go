@@ -121,6 +121,10 @@ func (fs *followerServer) mux() *http.ServeMux {
 	mux.HandleFunc("/status", fs.handleStatus)
 	mux.HandleFunc("/healthz", fs.handleHealthz)
 	mux.HandleFunc("/classify", withSLO(fs.sloClassify, fs.liveServer.handleClassify))
+	// Search serves locally from the replicated index — followers scale
+	// the read path, and a follower at epoch E answers byte-identically
+	// to the leader at E.
+	mux.HandleFunc("/search", fs.liveServer.handleSearch)
 	mux.HandleFunc("/debug/quality", fs.handleQuality)
 	mux.HandleFunc("/", fs.handleUI)
 	return mux
@@ -147,6 +151,7 @@ func runFollower(p followerParams, reg *obs.Registry, ring *obs.RingSink, tracer
 		SnapshotEvery:  p.snapshotEvery,
 		OnPublish:      ls.onPublish,
 		Quality:        &cafc.QualityConfig{Seed: p.seed},
+		Search:         &cafc.SearchConfig{},
 	}
 	live, err := cafc.RecoverFollower(cfg, opts)
 	if err != nil {

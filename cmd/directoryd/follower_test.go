@@ -30,7 +30,7 @@ func newTestFollowerServer(t *testing.T, leader string) (*followerServer, *int64
 	ls := &liveServer{}
 	live, err := cafc.NewLive(corpus, c, cl, cafc.LiveConfig{
 		K: 4, Seed: 1, BatchSize: 8, FlushInterval: 5 * time.Millisecond,
-		OnPublish: ls.onPublish,
+		OnPublish: ls.onPublish, Search: &cafc.SearchConfig{},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -229,7 +229,7 @@ func TestFollowerServesLeaderState(t *testing.T) {
 	lls := &liveServer{}
 	leaderLive, err := cafc.NewLive(nil, nil, nil, cafc.LiveConfig{
 		K: 4, Seed: 9, BatchSize: 8, FlushInterval: 5 * time.Millisecond,
-		Dir: ldir, OnPublish: lls.onPublish,
+		Dir: ldir, OnPublish: lls.onPublish, Search: &cafc.SearchConfig{},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -259,6 +259,7 @@ func TestFollowerServesLeaderState(t *testing.T) {
 	fls := &liveServer{}
 	followerLive, err := cafc.RecoverFollower(cafc.LiveConfig{
 		K: 4, Seed: 9, Dir: fdir, OnPublish: fls.onPublish,
+		Search: &cafc.SearchConfig{},
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -300,6 +301,37 @@ func TestFollowerServesLeaderState(t *testing.T) {
 		}
 		if l, f := classify(leaderTS.URL), classify(followerTS.URL); !bytes.Equal(l, f) {
 			t.Fatalf("classify(%s) diverged:\nleader:   %s\nfollower: %s", d.URL, l, f)
+		}
+	}
+
+	// /search serves locally on the follower, byte-identical to the
+	// leader at the same epoch — cached or not (X-Cache is a header, not
+	// part of the body).
+	for _, q := range []string{"hotel+rooms", "cheap+flights", "search+jobs"} {
+		fetch := func(base string) ([]byte, string) {
+			t.Helper()
+			resp, err := http.Get(base + "/search?q=" + q + "&k=20")
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			body, _ := io.ReadAll(resp.Body)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s/search = %d: %s", base, resp.StatusCode, body)
+			}
+			return body, resp.Header.Get("X-Cache")
+		}
+		l, lc := fetch(leaderTS.URL)
+		f, fc := fetch(followerTS.URL)
+		if !bytes.Equal(l, f) {
+			t.Fatalf("search(%s) diverged:\nleader:   %s\nfollower: %s", q, l, f)
+		}
+		if lc != "MISS" || fc != "MISS" {
+			t.Fatalf("first search(%s) X-Cache leader=%q follower=%q, want MISS", q, lc, fc)
+		}
+		f2, fc2 := fetch(followerTS.URL)
+		if fc2 != "HIT" || !bytes.Equal(f, f2) {
+			t.Fatalf("repeat search(%s) X-Cache=%q, want HIT with identical body", q, fc2)
 		}
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -76,8 +77,48 @@ func (ls *liveServer) onPublish(e *cafc.LiveEpoch) {
 	for i, terms := range e.Clustering.TopTerms {
 		labels[i] = strings.Join(terms, " ")
 	}
+	// The search index freezes before the epoch swap, so its
+	// discriminative labels ride on the epoch — they replace the raw
+	// top-term labels wherever available ("cluster 3" → named cluster).
+	for i := range labels {
+		if i < len(e.SearchLabels) && e.SearchLabels[i] != "" {
+			labels[i] = e.SearchLabels[i]
+		}
+	}
 	h := directory.Build(e.Clustering.Clusters, labels, html).Handler()
 	ls.ui.Store(&h)
+}
+
+// handleSearch is the JSON retrieval endpoint: ranked top-k hits with
+// labeled dynamic facets from the current epoch's index. X-Cache
+// reports HIT/MISS — the header rather than the body, so leader and
+// follower responses stay byte-identical regardless of cache state.
+func (ls *liveServer) handleSearch(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query().Get("q")
+	if q == "" {
+		http.Error(w, "q required", http.StatusBadRequest)
+		return
+	}
+	k := 0
+	if ks := r.URL.Query().Get("k"); ks != "" {
+		var err error
+		if k, err = strconv.Atoi(ks); err != nil {
+			http.Error(w, "k must be an integer", http.StatusBadRequest)
+			return
+		}
+	}
+	res, cached, err := ls.live.Search(q, k)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if cached {
+		w.Header().Set("X-Cache", "HIT")
+	} else {
+		w.Header().Set("X-Cache", "MISS")
+	}
+	json.NewEncoder(w).Encode(res)
 }
 
 // ingestRequest is one POST /ingest payload element.
@@ -264,6 +305,9 @@ func (ls *liveServer) mux() *http.ServeMux {
 	mux.HandleFunc("/status", ls.handleStatus)
 	mux.HandleFunc("/healthz", ls.handleHealthz)
 	mux.HandleFunc("/classify", withSLO(ls.sloClassify, ls.handleClassify))
+	// The JSON search API shadows the directory UI's HTML /search page in
+	// live mode; the HTML form lives on the static `serve` mode only.
+	mux.HandleFunc("/search", ls.handleSearch)
 	mux.HandleFunc("/debug/quality", ls.handleQuality)
 	mux.HandleFunc("/", ls.handleUI)
 	return mux
@@ -296,6 +340,9 @@ func startLive(p liveParams, reg *obs.Registry) (*liveServer, error) {
 		SnapshotEvery:  p.snapshotEvery,
 		OnPublish:      ls.onPublish,
 		Quality:        qcfg,
+		// Retrieval is always on in live mode: the index grows with each
+		// batch and swaps with the classifier, so /search is never stale.
+		Search: &cafc.SearchConfig{},
 	}
 
 	if p.data != "" && stream.HasState(p.data) {

@@ -41,7 +41,7 @@ func TestServeWhileIngest(t *testing.T) {
 	ls := &liveServer{}
 	live, err := cafc.NewLive(corpus, genesis, cl, cafc.LiveConfig{
 		K: 4, Seed: 1, BatchSize: 4, FlushInterval: 5 * time.Millisecond,
-		OnPublish: ls.onPublish,
+		OnPublish: ls.onPublish, Search: &cafc.SearchConfig{},
 	})
 	if err != nil {
 		t.Fatal(err)

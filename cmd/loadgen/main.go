@@ -1,4 +1,4 @@
-// Command loadgen replays a seeded mixed classify/ingest/browse
+// Command loadgen replays a seeded mixed classify/ingest/browse/search
 // workload against a live directory and reports per-endpoint latency
 // quantiles plus the final quality snapshot — the ops-side answer to
 // "what does this directory do under load?".
@@ -8,7 +8,10 @@
 //	loadgen -n 454 -seed 1 -qps 200 -ops 2000          # in-process
 //	loadgen -target http://127.0.0.1:8080 -qps 100     # running directoryd
 //	loadgen -target http://lead:8080,http://foll:8081  # leader + read replicas
-//	loadgen -duration 2s -json report.json
+//	loadgen -mix 60,20,10,10 -duration 2s -json out.json
+//
+// Search queries are drawn from a seeded pool sampled off the generated
+// corpus's own page titles, so they reliably match the index.
 //
 // Without -target the driver builds an in-process directory from a
 // generated corpus (genesis = first quarter) and drives it directly;
@@ -42,7 +45,7 @@ func main() {
 		qps      = flag.Float64("qps", 200, "offered rate, open-loop")
 		ops      = flag.Int("ops", 1000, "total operations to issue")
 		duration = flag.Duration("duration", 0, "stop issuing after this long even if -ops remain (0 = run all ops)")
-		mix      = flag.String("mix", "", "classify,ingest,browse weights (default 70,20,10)")
+		mix      = flag.String("mix", "", "classify,ingest,browse[,search] weights (default 70,20,10,0)")
 		inflight = flag.Int("inflight", 0, "max concurrent classify/browse ops (0 = 64)")
 		jsonOut  = flag.String("json", "", "write the report here instead of stdout")
 	)
@@ -57,6 +60,7 @@ func main() {
 		MaxInFlight: *inflight,
 	}
 	fx := loadgen.NewFixture(*seed, *n)
+	cfg.Queries = fx.Queries
 
 	var (
 		tgt  loadgen.Target
@@ -132,19 +136,21 @@ func startDirectory(fx loadgen.Fixture, k int, seed int64) (*cafc.Live, error) {
 	return cafc.NewLive(corpus, fx.Genesis, cl, cafc.LiveConfig{
 		K: k, Seed: seed, BatchSize: 32, FlushInterval: time.Millisecond,
 		Quality: &cafc.QualityConfig{Labels: fx.Labels},
+		Search:  &cafc.SearchConfig{},
 	})
 }
 
-// parseMix parses "70,20,10" into a Mix (empty = defaults).
+// parseMix parses "70,20,10" or "60,20,10,10" into a Mix (empty =
+// defaults; the fourth weight is the search fraction).
 func parseMix(s string) loadgen.Mix {
 	if s == "" {
 		return loadgen.Mix{}
 	}
 	parts := strings.Split(s, ",")
-	if len(parts) != 3 {
-		log.Fatalf("-mix wants three comma-separated weights, got %q", s)
+	if len(parts) != 3 && len(parts) != 4 {
+		log.Fatalf("-mix wants three or four comma-separated weights, got %q", s)
 	}
-	w := make([]float64, 3)
+	w := make([]float64, 4)
 	for i, p := range parts {
 		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
 		if err != nil || v < 0 {
@@ -152,5 +158,5 @@ func parseMix(s string) loadgen.Mix {
 		}
 		w[i] = v
 	}
-	return loadgen.Mix{Classify: w[0], Ingest: w[1], Browse: w[2]}
+	return loadgen.Mix{Classify: w[0], Ingest: w[1], Browse: w[2], Search: w[3]}
 }

@@ -1,7 +1,9 @@
 // Package directory serves a clustered hidden-web directory over HTTP —
 // the query-based cluster-exploration interface the paper's Section 6
 // proposes. It exposes the cluster listing, per-cluster member pages, a
-// ranked page search and a cluster-level (database-selection) search.
+// ranked page search with labeled dynamic facets and a cluster-level
+// (database-selection) search, all backed by the compiled retrieval
+// subsystem in internal/search.
 package directory
 
 import (
@@ -10,8 +12,9 @@ import (
 	"strconv"
 	"strings"
 
+	"cafc/internal/form"
 	"cafc/internal/htmlx"
-	"cafc/internal/index"
+	"cafc/internal/search"
 )
 
 // Entry is one hidden-web source in the directory.
@@ -26,14 +29,18 @@ type Server struct {
 	Labels []string
 	// Clusters holds the member entries of each cluster.
 	Clusters [][]Entry
-	idx      *index.Index
+	snap     *search.Snapshot
 }
 
 // Build assembles a directory from cluster member URLs, their HTML
-// bodies, and cluster labels. The page text (not markup) is indexed for
-// search.
+// bodies, and cluster labels. Pages are indexed through the same
+// Equation-1 term pipeline the model uses (search.PageTerms), so ranked
+// search here scores exactly like the live directory's. Clusters whose
+// provided label is empty get the index's discriminative label instead.
 func Build(clusters [][]string, labels []string, html map[string]string) *Server {
-	s := &Server{idx: index.New()}
+	s := &Server{}
+	b := search.NewBuilder(nil)
+	var assign []int
 	for ci, members := range clusters {
 		label := ""
 		if ci < len(labels) {
@@ -42,22 +49,30 @@ func Build(clusters [][]string, labels []string, html map[string]string) *Server
 		s.Labels = append(s.Labels, label)
 		var entries []Entry
 		for _, u := range members {
-			doc := htmlx.Parse(html[u])
-			title := htmlx.Title(doc)
+			title, terms := search.PageTerms(u, html[u], form.DefaultWeights)
 			entries = append(entries, Entry{URL: u, Title: title})
-			s.idx.Add(u, title, doc.Text(), ci)
+			b.Add(u, title, terms)
+			assign = append(assign, ci)
 		}
 		s.Clusters = append(s.Clusters, entries)
 	}
-	s.idx.Freeze()
+	s.snap = b.Freeze(1, assign, len(clusters), search.Options{})
+	for i, auto := range s.snap.ClusterLabels() {
+		if i < len(s.Labels) && s.Labels[i] == "" {
+			s.Labels[i] = auto
+		}
+	}
 	return s
 }
+
+// Snapshot returns the directory's frozen search index.
+func (s *Server) Snapshot() *search.Snapshot { return s.snap }
 
 // Handler returns the HTTP handler:
 //
 //	GET /                  directory front page (clusters + sizes)
 //	GET /cluster?id=N      member listing of cluster N
-//	GET /search?q=...      ranked page results
+//	GET /search?q=...      ranked page results with dynamic facets
 //	GET /select?q=...      ranked clusters (database selection)
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -111,16 +126,30 @@ func (s *Server) search(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, "<p>empty query</p></body></html>")
 		return
 	}
-	hits := s.idx.Search(q, 20)
-	if len(hits) == 0 {
+	res, _ := s.snap.Search(q, 20)
+	if len(res.Hits) == 0 {
 		fmt.Fprint(w, "<p>no results</p></body></html>")
 		return
 	}
+	if len(res.Facets) > 0 {
+		fmt.Fprint(w, "<p>Result groups: ")
+		for i, f := range res.Facets {
+			if i > 0 {
+				fmt.Fprint(w, " · ")
+			}
+			fmt.Fprintf(w, "<b>%s</b> (%d)", htmlx.EscapeText(f.Label), f.Size)
+		}
+		fmt.Fprint(w, "</p>\n")
+	}
 	fmt.Fprint(w, "<ol>\n")
-	for _, h := range hits {
+	for _, h := range res.Hits {
+		label := h.ClusterLabel
+		if h.Cluster >= 0 && h.Cluster < len(s.Labels) {
+			label = s.Labels[h.Cluster]
+		}
 		fmt.Fprintf(w, `<li><a href="%s">%s</a> — %s (cluster <a href="/cluster?id=%d">%s</a>, score %.3f)</li>`+"\n",
 			htmlx.EscapeAttr(h.URL), htmlx.EscapeText(h.URL), htmlx.EscapeText(h.Title),
-			h.Cluster, htmlx.EscapeText(s.Labels[h.Cluster]), h.Score)
+			h.Cluster, htmlx.EscapeText(label), h.Score)
 	}
 	fmt.Fprint(w, "</ol></body></html>")
 }
@@ -132,15 +161,19 @@ func (s *Server) selectDB(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprint(w, "<p>empty query</p></body></html>")
 		return
 	}
-	chs := s.idx.SearchClusters(q, 8)
+	chs := s.snap.SearchClusters(q, 8)
 	if len(chs) == 0 {
 		fmt.Fprint(w, "<p>no matching databases</p></body></html>")
 		return
 	}
 	fmt.Fprint(w, "<ol>\n")
 	for _, ch := range chs {
+		label := ch.Label
+		if ch.Cluster >= 0 && ch.Cluster < len(s.Labels) {
+			label = s.Labels[ch.Cluster]
+		}
 		fmt.Fprintf(w, `<li><a href="/cluster?id=%d">%s</a> — %d matching sources, best: %s (total score %.3f)</li>`+"\n",
-			ch.Cluster, htmlx.EscapeText(s.Labels[ch.Cluster]), ch.Matches,
+			ch.Cluster, htmlx.EscapeText(label), ch.Matches,
 			htmlx.EscapeText(ch.Best.URL), ch.Score)
 	}
 	fmt.Fprint(w, "</ol></body></html>")

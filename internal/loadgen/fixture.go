@@ -1,18 +1,28 @@
 package loadgen
 
 import (
+	"math/rand"
+
 	"cafc"
+	"cafc/internal/htmlx"
+	"cafc/internal/text"
 	"cafc/internal/webgen"
 )
 
 // Fixture is a seeded workload corpus: Genesis founds the directory,
-// Pool is the ordered document sequence the ingest lane streams, and
-// Labels are the generator's gold classes (for the quality snapshot).
+// Pool is the ordered document sequence the ingest lane streams, Labels
+// are the generator's gold classes (for the quality snapshot), and
+// Queries is a seeded search-query pool drawn from the corpus's own
+// page titles — realistic, always-matching queries.
 type Fixture struct {
 	Genesis []cafc.Document
 	Pool    []cafc.Document
 	Labels  map[string]string
+	Queries []string
 }
+
+// fixtureQueries caps the generated query pool.
+const fixtureQueries = 128
 
 // NewFixture generates n form pages and splits the first quarter (at
 // least 8) off as genesis — the same split the ingest benchmark uses,
@@ -32,5 +42,43 @@ func NewFixture(seed int64, n int) Fixture {
 	if genesis > len(docs) {
 		genesis = len(docs)
 	}
-	return Fixture{Genesis: docs[:genesis], Pool: docs[genesis:], Labels: labels}
+	return Fixture{
+		Genesis: docs[:genesis],
+		Pool:    docs[genesis:],
+		Labels:  labels,
+		Queries: genQueries(c, seed),
+	}
+}
+
+// genQueries samples 1-2 word queries from page titles. Tokens are used
+// raw (lower-cased, stop words removed, NOT stemmed) — queries go
+// through the searcher's own term pipeline like a user's would, so
+// pre-stemming here would stem twice and miss.
+func genQueries(c *webgen.Corpus, seed int64) []string {
+	rng := rand.New(rand.NewSource(seed + 3))
+	seen := make(map[string]bool)
+	var out []string
+	for tries := 0; len(out) < fixtureQueries && tries < 8*fixtureQueries; tries++ {
+		u := c.FormPages[rng.Intn(len(c.FormPages))]
+		title := htmlx.Title(htmlx.Parse(c.ByURL[u].HTML))
+		var toks []string
+		for _, tok := range text.Tokenize(title) {
+			if !text.IsStopWord(tok) {
+				toks = append(toks, tok)
+			}
+		}
+		if len(toks) == 0 {
+			continue
+		}
+		i := rng.Intn(len(toks))
+		q := toks[i]
+		if i+1 < len(toks) && rng.Float64() < 0.5 {
+			q += " " + toks[i+1]
+		}
+		if !seen[q] {
+			seen[q] = true
+			out = append(out, q)
+		}
+	}
+	return out
 }

@@ -1,5 +1,5 @@
 // Package loadgen drives a seeded mixed workload — classify, ingest,
-// browse — against a live directory at a target rate and reports
+// browse, search — against a live directory at a target rate and reports
 // per-endpoint latency quantiles. It is the measurement half of the
 // directory-health story: the quality monitor says whether the
 // clustering is holding up, loadgen says whether the serving path is.
@@ -35,18 +35,22 @@ type Target interface {
 	Ingest(d cafc.Document) error
 	// Browse performs one read-side directory access.
 	Browse() error
+	// Search runs one ranked retrieval query.
+	Search(q string) error
 }
 
 // Mix weighs the operation types. Zero-value mixes select the default
-// 70% classify / 20% ingest / 10% browse.
+// 70% classify / 20% ingest / 10% browse (no search — search load is
+// opt-in because it needs a query pool).
 type Mix struct {
 	Classify float64
 	Ingest   float64
 	Browse   float64
+	Search   float64
 }
 
 func (m Mix) orDefault() Mix {
-	if m.Classify == 0 && m.Ingest == 0 && m.Browse == 0 {
+	if m.Classify == 0 && m.Ingest == 0 && m.Browse == 0 && m.Search == 0 {
 		return Mix{Classify: 0.7, Ingest: 0.2, Browse: 0.1}
 	}
 	return m
@@ -68,8 +72,12 @@ type Config struct {
 	// Mix weighs the operation types (zero = 70/20/10
 	// classify/ingest/browse).
 	Mix Mix
-	// MaxInFlight bounds concurrent classify/browse operations (0 = 64).
+	// MaxInFlight bounds concurrent classify/browse/search operations
+	// (0 = 64).
 	MaxInFlight int
+	// Queries is the pool search operations draw from (uniformly,
+	// seeded). Required when Mix.Search > 0.
+	Queries []string
 	// Metrics, when non-nil, additionally records latencies as
 	// loadgen_latency_seconds{endpoint=...} histograms.
 	Metrics *obs.Registry
@@ -86,7 +94,7 @@ type EndpointStats struct {
 }
 
 // Report is a finished run: offered vs achieved rate plus per-endpoint
-// stats. Endpoint keys are "classify", "ingest" and "browse".
+// stats. Endpoint keys are "classify", "ingest", "browse" and "search".
 type Report struct {
 	Seed            int64                    `json:"seed"`
 	TargetQPS       float64                  `json:"target_qps"`
@@ -168,6 +176,7 @@ const (
 	opClassify opKind = iota
 	opIngest
 	opBrowse
+	opSearch
 )
 
 // Run drives the workload: classifyDocs is the pool classify operations
@@ -192,7 +201,10 @@ func Run(ctx context.Context, cfg Config, tgt Target, classifyDocs, pool []cafc.
 		inflight = 64
 	}
 	mix := cfg.Mix.orDefault()
-	totalW := mix.Classify + mix.Ingest + mix.Browse
+	if mix.Search > 0 && len(cfg.Queries) == 0 {
+		return Report{}, fmt.Errorf("loadgen: Mix.Search > 0 needs a non-empty Queries pool")
+	}
+	totalW := mix.Classify + mix.Ingest + mix.Browse + mix.Search
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	rec := newRecorder(cfg.Metrics)
 
@@ -228,16 +240,21 @@ func Run(ctx context.Context, cfg Config, tgt Target, classifyDocs, pool []cafc.
 
 		// Draw in the pacing loop, not the workers: the rng consumption
 		// order (and so the op sequence) must not depend on scheduling.
+		// Search sits last in the threshold chain so a Search-free mix
+		// reproduces the exact op sequences of earlier versions.
 		kind := opClassify
 		switch r := rng.Float64() * totalW; {
 		case r < mix.Classify:
 			kind = opClassify
 		case r < mix.Classify+mix.Ingest:
 			kind = opIngest
-		default:
+		case r < mix.Classify+mix.Ingest+mix.Browse:
 			kind = opBrowse
+		default:
+			kind = opSearch
 		}
 		var doc cafc.Document
+		var query string
 		switch kind {
 		case opIngest:
 			if ingested < len(pool) {
@@ -246,6 +263,8 @@ func Run(ctx context.Context, cfg Config, tgt Target, classifyDocs, pool []cafc.
 			} else {
 				kind = opClassify // pool dry: degrade to a read
 			}
+		case opSearch:
+			query = cfg.Queries[rng.Intn(len(cfg.Queries))]
 		}
 		if kind == opClassify {
 			doc = classifyDocs[rng.Intn(len(classifyDocs))]
@@ -258,19 +277,23 @@ func Run(ctx context.Context, cfg Config, tgt Target, classifyDocs, pool []cafc.
 		}
 		wg.Add(1)
 		sem <- struct{}{}
-		go func(kind opKind, doc cafc.Document) {
+		go func(kind opKind, doc cafc.Document, query string) {
 			defer func() { <-sem; wg.Done() }()
 			t0 := time.Now()
 			var err error
 			name := "classify"
-			if kind == opBrowse {
+			switch kind {
+			case opBrowse:
 				name = "browse"
 				err = tgt.Browse()
-			} else {
+			case opSearch:
+				name = "search"
+				err = tgt.Search(query)
+			default:
 				err = tgt.Classify(doc)
 			}
 			rec.observe(name, time.Since(t0), err)
-		}(kind, doc)
+		}(kind, doc, query)
 	}
 	close(ingestCh)
 	wg.Wait()

@@ -17,10 +17,13 @@ type fakeTarget struct {
 	ingested []string
 	classify map[string]int
 	browses  int
+	searches map[string]int
 	fail     bool
 }
 
-func newFakeTarget() *fakeTarget { return &fakeTarget{classify: make(map[string]int)} }
+func newFakeTarget() *fakeTarget {
+	return &fakeTarget{classify: make(map[string]int), searches: make(map[string]int)}
+}
 
 func (f *fakeTarget) Classify(d cafc.Document) error {
 	f.mu.Lock()
@@ -43,6 +46,16 @@ func (f *fakeTarget) Browse() error {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	f.browses++
+	return nil
+}
+
+func (f *fakeTarget) Search(q string) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.searches[q]++
+	if f.fail {
+		return errors.New("boom")
+	}
 	return nil
 }
 
@@ -126,6 +139,76 @@ func TestRunErrorsCounted(t *testing.T) {
 	st := rep.Endpoints["classify"]
 	if st.Ops != 50 || st.Errors != 50 {
 		t.Fatalf("stats = %+v, want 50 ops / 50 errors", st)
+	}
+}
+
+// TestRunSearchMix: with a search fraction and a query pool, search ops
+// reach the target with queries drawn from the pool, land under their
+// own endpoint key, and the draw sequence is seed-deterministic.
+func TestRunSearchMix(t *testing.T) {
+	cfg := Config{
+		Seed: 7, QPS: 100000, Ops: 300,
+		Mix:     Mix{Classify: 0.5, Ingest: 0.2, Browse: 0.1, Search: 0.2},
+		Queries: []string{"hotel rooms", "cheap flights", "search jobs"},
+	}
+	run := func() *fakeTarget {
+		tgt := newFakeTarget()
+		rep, err := Run(context.Background(), cfg, tgt, docs("c", 20), docs("p", 40))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Endpoints["search"].Ops == 0 {
+			t.Fatal("search fraction in the mix but no search ops recorded")
+		}
+		return tgt
+	}
+	a, b := run(), run()
+	if len(a.searches) == 0 {
+		t.Fatal("no searches reached the target")
+	}
+	for q := range a.searches {
+		found := false
+		for _, want := range cfg.Queries {
+			if q == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("search query %q not from the configured pool", q)
+		}
+	}
+	if !reflect.DeepEqual(a.searches, b.searches) {
+		t.Fatalf("search draws diverge at fixed seed:\n a=%v\n b=%v", a.searches, b.searches)
+	}
+	if !reflect.DeepEqual(a.ingested, b.ingested) {
+		t.Fatal("ingest sequences diverge when search is in the mix")
+	}
+}
+
+// TestRunSearchNeedsQueries: a search fraction without a query pool is a
+// config error, caught before any op is issued.
+func TestRunSearchNeedsQueries(t *testing.T) {
+	_, err := Run(context.Background(), Config{
+		Seed: 1, QPS: 100000, Ops: 10, Mix: Mix{Search: 1},
+	}, newFakeTarget(), docs("c", 3), nil)
+	if err == nil {
+		t.Fatal("Run accepted Mix.Search > 0 with an empty Queries pool")
+	}
+}
+
+// TestFixtureQueriesSeeded: the fixture's query pool is non-empty,
+// deterministic per seed, and distinct across seeds.
+func TestFixtureQueriesSeeded(t *testing.T) {
+	a, b := NewFixture(5, 32), NewFixture(5, 32)
+	if len(a.Queries) == 0 {
+		t.Fatal("fixture generated no queries")
+	}
+	if !reflect.DeepEqual(a.Queries, b.Queries) {
+		t.Fatal("fixture queries not deterministic at fixed seed")
+	}
+	c := NewFixture(6, 32)
+	if reflect.DeepEqual(a.Queries, c.Queries) {
+		t.Fatal("fixture queries identical across different seeds")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"sync/atomic"
 	"time"
 
@@ -61,6 +62,12 @@ func (t LiveTarget) Browse() error {
 		return errors.New("loadgen: empty clustering")
 	}
 	return nil
+}
+
+// Search runs one ranked query against the current epoch's index.
+func (t LiveTarget) Search(q string) error {
+	_, _, err := t.Live.Search(q, 0)
+	return err
 }
 
 // HTTPTarget drives a running directoryd over HTTP.
@@ -138,6 +145,19 @@ func (t HTTPTarget) Browse() error {
 	return nil
 }
 
+func (t HTTPTarget) Search(q string) error {
+	resp, err := t.client().Get(t.Base + "/search?q=" + url.QueryEscape(q))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("loadgen: GET /search = %d", resp.StatusCode)
+	}
+	return nil
+}
+
 // MultiTarget drives a replicated directory: writes go to the leader
 // (the single WAL owner), reads round-robin across the reader pool —
 // the same split a -role=router deployment makes. With an empty pool
@@ -161,3 +181,4 @@ func (t *MultiTarget) reader() Target {
 func (t *MultiTarget) Classify(d cafc.Document) error { return t.reader().Classify(d) }
 func (t *MultiTarget) Ingest(d cafc.Document) error   { return t.Leader.Ingest(d) }
 func (t *MultiTarget) Browse() error                  { return t.reader().Browse() }
+func (t *MultiTarget) Search(q string) error          { return t.reader().Search(q) }

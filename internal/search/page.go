@@ -1,0 +1,32 @@
+package search
+
+import (
+	"cafc/internal/form"
+	"cafc/internal/htmlx"
+	"cafc/internal/text"
+	"cafc/internal/vector"
+)
+
+// PageTerms derives a document's searchable view from raw HTML: its
+// title and its LOC-weighted page-content terms (Equation 1's PC space —
+// title terms at the Title factor, everything else at Body). Form pages
+// go through the same form.Parse the model uses, so a document indexed
+// from HTML is bit-identical to one indexed from its retained
+// form.FormPage; pages without a searchable form (the static directory's
+// general case) fall back to a direct title/body walk. Empty or
+// unparseable HTML yields an empty, unsearchable document.
+func PageTerms(url, html string, w form.Weights) (string, []vector.WeightedTerm) {
+	doc := htmlx.Parse(html)
+	if fp, err := form.FromDoc(url, doc, w); err == nil {
+		return fp.Title, fp.PCTerms
+	}
+	title := htmlx.Title(doc)
+	var terms []vector.WeightedTerm
+	for _, t := range text.Terms(title) {
+		terms = append(terms, vector.WeightedTerm{Term: t, Loc: w.Title})
+	}
+	for _, t := range text.Terms(doc.Text()) {
+		terms = append(terms, vector.WeightedTerm{Term: t, Loc: w.Body})
+	}
+	return title, terms
+}

@@ -1,0 +1,176 @@
+// Package search is the directory's retrieval subsystem: a compiled
+// term→document inverted index in the CSR style of vector.Postings,
+// top-k ranked retrieval with the paper's LOC-weighted TF-IDF scoring
+// (Equation 1, with document frequencies resolved at query time),
+// search-time clustering of each result set into dynamic facets, and
+// automatic label extraction — the Solr/Carrot2-style on-line result
+// clustering that turns a ranked list into labeled groups.
+//
+// The split mirrors the epoch discipline of the rest of the system: a
+// Builder is owned by one goroutine (the ingest worker / replication
+// tailer via OnPublish) and grows incrementally — one Add per newly
+// admitted document, never a rebuild — while Freeze cuts an immutable
+// Snapshot that any number of readers query lock-free. Snapshots share
+// posting storage with the builder through length-capped slice headers:
+// the builder appends beyond every published snapshot's length, so a
+// freeze costs O(vocabulary) slice headers, not O(total postings).
+//
+// Determinism discipline (the invariant replication's byte-identity
+// depends on): term IDs are interned in document order with
+// lexicographic order inside each document, postings append in document
+// order, query scores accumulate in ascending-term-ID order, and every
+// sort has a total tie-break. Two builders fed the same document
+// sequence produce bit-identical snapshots regardless of how the
+// sequence was batched into epochs.
+package search
+
+import (
+	"cafc/internal/obs"
+	"cafc/internal/text"
+	"cafc/internal/vector"
+)
+
+// posting is one term→document entry: the document ID and the term's
+// LOC·TF weight in it (the sum of Equation-1 location factors over the
+// term's occurrences). IDF is deliberately absent — it depends on the
+// corpus size, so it is resolved at query time against the snapshot's
+// document-frequency view, which is what makes incremental append exact:
+// an appended index is bit-identical to one rebuilt from scratch.
+type posting struct {
+	doc uint32
+	w   float64
+}
+
+// Meta is the stored per-document metadata.
+type Meta struct {
+	URL   string
+	Title string
+	// norm is the Euclidean norm of the document's LOC·TF vector, fixed
+	// at Add time and used for document-length normalization.
+	norm float64
+}
+
+// Options bound a snapshot's query behavior. Zero values select the
+// defaults noted per field.
+type Options struct {
+	// MaxK caps the per-query result count (0 = 50).
+	MaxK int
+	// CacheSize bounds the per-snapshot result cache (0 = 1024). The
+	// cache clears wholesale when full — bounded and deterministic.
+	CacheSize int
+	// MaxFacets caps the dynamic facet count per result set (0 = 6).
+	MaxFacets int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxK == 0 {
+		o.MaxK = 50
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.MaxFacets == 0 {
+		o.MaxFacets = 6
+	}
+	return o
+}
+
+// Builder accumulates the inverted index. It is single-writer: Add and
+// Freeze must be called from one goroutine (the epoch-publish path),
+// while the Snapshots Freeze returns are safe for concurrent readers.
+type Builder struct {
+	reg  *obs.Registry
+	dict *vector.Dict
+	docs []Meta
+	fwd  []vector.Compiled
+	post [][]posting
+
+	// surfaceOf maps each stem to the first surface token (in document
+	// order, from titles) observed for it — a prefix-stable function of
+	// the document sequence, so labels come out identical no matter how
+	// the sequence was batched or replayed.
+	surfaceOf map[string]string
+
+	// frozenDict is the read-only dictionary clone shared by snapshots,
+	// refreshed only when the vocabulary has grown since the last freeze
+	// (queries resolve term IDs against it; the live dict keeps mutating).
+	frozenDict *vector.Dict
+	frozenLen  int
+}
+
+// NewBuilder returns an empty builder. reg may be nil — instrumentation
+// is inert without a registry, like every other layer.
+func NewBuilder(reg *obs.Registry) *Builder {
+	return &Builder{
+		reg:       reg,
+		dict:      vector.NewDict(),
+		surfaceOf: make(map[string]string),
+	}
+}
+
+// Len returns the number of indexed documents — the caller's cursor for
+// incremental append (index exactly the docs beyond Len on each epoch).
+func (b *Builder) Len() int { return len(b.docs) }
+
+// Add indexes one document: its title (for display and surface forms)
+// and its LOC-weighted term occurrences (form.FormPage.PCTerms, or the
+// PageTerms fallback). Documents must be added in corpus order.
+func (b *Builder) Add(url, title string, terms []vector.WeightedTerm) {
+	for _, st := range text.SurfaceTerms(title) {
+		if _, ok := b.surfaceOf[st.Term]; !ok {
+			b.surfaceOf[st.Term] = st.Surface
+		}
+	}
+	c := vector.CompileWeighted(terms, b.dict)
+	for len(b.post) < b.dict.Len() {
+		b.post = append(b.post, nil)
+	}
+	id := uint32(len(b.docs))
+	for i, tid := range c.IDs {
+		b.post[tid] = append(b.post[tid], posting{doc: id, w: c.Weights[i]})
+	}
+	b.docs = append(b.docs, Meta{URL: url, Title: title, norm: c.Norm})
+	b.fwd = append(b.fwd, c)
+	b.reg.Counter("search_index_adds_total").Inc()
+}
+
+// Freeze cuts an immutable snapshot of the index at the given epoch,
+// carrying the epoch's cluster assignment (document order) so hits can
+// be mapped to directory clusters, plus freshly computed per-cluster
+// discriminative labels. Each snapshot owns a fresh result cache, which
+// is what makes cache invalidation on epoch swap structural rather than
+// something to get right.
+func (b *Builder) Freeze(epoch int64, assign []int, k int, o Options) *Snapshot {
+	if b.dict.Len() != b.frozenLen {
+		b.frozenDict = b.dict.Clone()
+		b.frozenLen = b.dict.Len()
+	}
+	surface := make([]string, b.frozenLen)
+	for id := range surface {
+		t := b.frozenDict.Term(uint32(id))
+		if s, ok := b.surfaceOf[t]; ok {
+			surface[id] = s
+		} else {
+			surface[id] = t
+		}
+	}
+	o = o.withDefaults()
+	s := &Snapshot{
+		Epoch:   epoch,
+		reg:     b.reg,
+		opts:    o,
+		dict:    b.frozenDict,
+		docs:    b.docs[:len(b.docs):len(b.docs)],
+		fwd:     b.fwd[:len(b.fwd):len(b.fwd)],
+		post:    append([][]posting(nil), b.post...),
+		surface: surface,
+		assign:  append([]int(nil), assign...),
+		k:       k,
+		cache:   newCache(o.CacheSize),
+	}
+	s.labels = s.clusterLabels()
+	b.reg.Gauge("search_index_docs").Set(float64(len(s.docs)))
+	b.reg.Gauge("search_index_terms").Set(float64(len(s.post)))
+	b.reg.Counter("search_index_freezes_total").Inc()
+	return s
+}

@@ -121,6 +121,12 @@ type Epoch struct {
 	Result cluster.Result
 	// Docs holds the admitted documents in model order (URL + HTML),
 	// so serving layers can rebuild content artifacts per epoch.
+	//
+	// Docs is append-only across epochs: each published epoch's Docs is
+	// a strict prefix-extension of the previous epoch's — documents are
+	// never reordered or dropped, on batch epochs and rebuild epochs
+	// alike. Incremental consumers (the search index appends only
+	// Docs[len(previous):] per publish) depend on this invariant.
 	Docs []Doc
 	// Rebuilt marks epochs produced by a full re-cluster rather than a
 	// mini-batch assignment.

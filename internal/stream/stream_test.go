@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"reflect"
+	"sync"
 	"testing"
 	"time"
 
@@ -244,4 +245,83 @@ func obsCounter(t *testing.T, reg *obs.Registry, name string) float64 {
 		}
 	}
 	return 0
+}
+
+// TestEpochDocsAppendOnly pins the Docs invariant incremental consumers
+// (the search index) build on: every published epoch's Docs slice is a
+// strict prefix-extension of the previous epoch's — no reordering, no
+// drops — across mini-batch epochs and forced-rebuild epochs alike.
+func TestEpochDocsAppendOnly(t *testing.T) {
+	docs := genDocs(t, 11, 48)
+	var mu sync.Mutex
+	var published []*Epoch
+	l := New(Config{
+		K: 4, BatchSize: 8, FlushInterval: 10 * time.Millisecond,
+		OnPublish: func(e *Epoch) {
+			mu.Lock()
+			published = append(published, e)
+			mu.Unlock()
+		},
+	}, nil, nil)
+
+	half := len(docs) / 2
+	for _, d := range docs[:half] {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "first half applied", func() bool {
+		e := l.Current()
+		return e != nil && len(e.Docs) == half
+	})
+	if err := l.ForceRebuild(); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 10*time.Second, "rebuild landed", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		for _, e := range published {
+			if e.Rebuilt && len(e.Docs) == half {
+				return true
+			}
+		}
+		return false
+	})
+	for _, d := range docs[half:] {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := l.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(published) < 3 {
+		t.Fatalf("only %d epochs published, want batches + a rebuild", len(published))
+	}
+	sawRebuild := false
+	for i := 1; i < len(published); i++ {
+		prev, cur := published[i-1], published[i]
+		if len(cur.Docs) < len(prev.Docs) {
+			t.Fatalf("epoch %d shrank Docs: %d -> %d", cur.Seq, len(prev.Docs), len(cur.Docs))
+		}
+		for j, d := range prev.Docs {
+			if cur.Docs[j].URL != d.URL {
+				t.Fatalf("epoch %d (rebuilt=%v) reordered Docs at %d: %q -> %q",
+					cur.Seq, cur.Rebuilt, j, d.URL, cur.Docs[j].URL)
+			}
+		}
+		sawRebuild = sawRebuild || cur.Rebuilt
+	}
+	if !sawRebuild {
+		t.Fatal("no rebuild epoch published; the invariant was not exercised across a rebuild")
+	}
+	last := published[len(published)-1]
+	if len(last.Docs) != len(docs) {
+		t.Fatalf("final epoch has %d docs, want %d", len(last.Docs), len(docs))
+	}
 }

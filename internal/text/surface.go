@@ -1,0 +1,28 @@
+package text
+
+// SurfaceTerm pairs a normalized index term (the output of the Terms
+// pipeline) with the lower-cased surface token it was derived from.
+// Index layers use the pairing to display human-readable words ("rental")
+// for internal stems ("rental" stemmed to "rent" would otherwise leak
+// into labels).
+type SurfaceTerm struct {
+	// Term is the stop-worded, stemmed index term.
+	Term string
+	// Surface is the original token, lower-cased but unstemmed.
+	Surface string
+}
+
+// SurfaceTerms runs the same pipeline as Terms but keeps each surviving
+// token's surface form alongside its stem, in document order. The Term
+// sequence is identical to Terms(s).
+func SurfaceTerms(s string) []SurfaceTerm {
+	toks := Tokenize(s)
+	out := make([]SurfaceTerm, 0, len(toks))
+	for _, tok := range toks {
+		if IsStopWord(tok) {
+			continue
+		}
+		out = append(out, SurfaceTerm{Term: Stem(tok), Surface: tok})
+	}
+	return out
+}

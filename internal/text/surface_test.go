@@ -1,0 +1,41 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSurfaceTermsMatchesTerms(t *testing.T) {
+	s := "Searching for Cheap Flights and Hotel Rentals in 2006"
+	terms := Terms(s)
+	pairs := SurfaceTerms(s)
+	if len(pairs) != len(terms) {
+		t.Fatalf("SurfaceTerms len = %d, Terms len = %d", len(pairs), len(terms))
+	}
+	got := make([]string, len(pairs))
+	for i, p := range pairs {
+		got[i] = p.Term
+		if p.Surface == "" {
+			t.Fatalf("empty surface for term %q", p.Term)
+		}
+		if Stem(p.Surface) != p.Term {
+			t.Fatalf("surface %q does not stem to term %q", p.Surface, p.Term)
+		}
+	}
+	if !reflect.DeepEqual(got, terms) {
+		t.Fatalf("term sequences diverge: %v vs %v", got, terms)
+	}
+}
+
+func TestSurfaceTermsKeepsSurfaceForms(t *testing.T) {
+	pairs := SurfaceTerms("Rentals")
+	if len(pairs) != 1 {
+		t.Fatalf("want 1 pair, got %v", pairs)
+	}
+	if pairs[0].Surface != "rentals" {
+		t.Fatalf("surface = %q, want lower-cased original", pairs[0].Surface)
+	}
+	if pairs[0].Term != Stem("rentals") {
+		t.Fatalf("term = %q, want stem of rentals", pairs[0].Term)
+	}
+}

@@ -80,6 +80,39 @@ func CompileLookup(v Vector, d *Dict) Compiled {
 	return Compiled{IDs: ids, Weights: weights, Norm: math.Sqrt(sum)}
 }
 
+// CompileWeighted packs raw LOC-weighted term occurrences (the paper's
+// pre-TF-IDF representation: one entry per occurrence, carrying its
+// location factor) into a compiled vector whose weight per term is the
+// sum of that term's location factors — LOC·TF, since summing the
+// per-occurrence factors equals the mean factor times the term
+// frequency. Like Compile, new terms are interned in lexicographic
+// order and the norm is accumulated in ascending-ID order, so the
+// result is bit-deterministic for a fixed input and dictionary state.
+func CompileWeighted(ts []WeightedTerm, d *Dict) Compiled {
+	agg := make(map[string]float64, len(ts))
+	for _, t := range ts {
+		agg[t.Term] += t.Loc
+	}
+	terms := make([]string, 0, len(agg))
+	for t := range agg {
+		terms = append(terms, t)
+	}
+	sort.Strings(terms)
+	ids := make([]uint32, len(terms))
+	for i, t := range terms {
+		ids[i] = d.Intern(t)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	weights := make([]float64, len(ids))
+	var sum float64
+	for i, id := range ids {
+		w := agg[d.Term(id)]
+		weights[i] = w
+		sum += w * w
+	}
+	return Compiled{IDs: ids, Weights: weights, Norm: math.Sqrt(sum)}
+}
+
 // Decompile unpacks c back into a map vector.
 func (c Compiled) Decompile(d *Dict) Vector {
 	v := make(Vector, len(c.IDs))

@@ -1,0 +1,60 @@
+package vector
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompileWeightedAggregatesLocTF(t *testing.T) {
+	d := NewDict()
+	ts := []WeightedTerm{
+		{Term: "hotel", Loc: 3},
+		{Term: "rate", Loc: 1},
+		{Term: "hotel", Loc: 1},
+	}
+	c := CompileWeighted(ts, d)
+	if c.Len() != 2 {
+		t.Fatalf("nnz = %d, want 2", c.Len())
+	}
+	v := c.Decompile(d)
+	if v["hotel"] != 4 || v["rate"] != 1 {
+		t.Fatalf("weights = %v, want hotel=4 rate=1", v)
+	}
+	want := math.Sqrt(4*4 + 1*1)
+	if c.Norm != want {
+		t.Fatalf("norm = %v, want %v", c.Norm, want)
+	}
+}
+
+func TestCompileWeightedDeterministicIntern(t *testing.T) {
+	// Occurrence order must not change ID assignment: new terms intern in
+	// lexicographic order, exactly like Compile.
+	a := CompileWeighted([]WeightedTerm{{Term: "zebra", Loc: 1}, {Term: "apple", Loc: 1}}, NewDict())
+	b := CompileWeighted([]WeightedTerm{{Term: "apple", Loc: 1}, {Term: "zebra", Loc: 1}}, NewDict())
+	if len(a.IDs) != len(b.IDs) {
+		t.Fatal("nnz mismatch")
+	}
+	for i := range a.IDs {
+		if a.IDs[i] != b.IDs[i] || a.Weights[i] != b.Weights[i] {
+			t.Fatalf("compiled form depends on occurrence order: %+v vs %+v", a, b)
+		}
+	}
+	if math.Float64bits(a.Norm) != math.Float64bits(b.Norm) {
+		t.Fatal("norm not bit-identical")
+	}
+}
+
+func TestCompileWeightedSortedIDs(t *testing.T) {
+	d := NewDict()
+	d.Intern("zebra") // pre-interned low ID for a lexicographically late term
+	c := CompileWeighted([]WeightedTerm{{Term: "apple", Loc: 2}, {Term: "zebra", Loc: 5}}, d)
+	for i := 1; i < len(c.IDs); i++ {
+		if c.IDs[i-1] >= c.IDs[i] {
+			t.Fatalf("IDs not strictly ascending: %v", c.IDs)
+		}
+	}
+	v := c.Decompile(d)
+	if v["zebra"] != 5 || v["apple"] != 2 {
+		t.Fatalf("weights misaligned after ID sort: %v", v)
+	}
+}

@@ -19,6 +19,8 @@
 //   - per-domain hubs, cross-domain directories and intra-site hubs.
 package webgen
 
+import "cafc/internal/text"
+
 // Domain is one of the paper's eight online-database domains.
 type Domain string
 
@@ -380,4 +382,35 @@ func AttributeConcepts(d Domain) [][]string {
 		out = append(out, append([]string(nil), a.labels...))
 	}
 	return out
+}
+
+// Vocabulary returns the domain's generator-side term set — every term
+// (stemmed, via the same text pipeline the clustering uses) that can
+// appear in the domain's site nouns, title templates, attribute labels
+// and options, prose snippets and search verbs, plus the domain name
+// itself. It is the gold standard for label-quality experiments: a
+// cluster label "aligned" with a domain is one drawn from this set.
+func Vocabulary(d Domain) map[string]bool {
+	spec := domainSpecs[d]
+	if spec == nil {
+		return nil
+	}
+	vocab := make(map[string]bool)
+	add := func(ss ...string) {
+		for _, s := range ss {
+			for _, t := range text.Terms(s) {
+				vocab[t] = true
+			}
+		}
+	}
+	add(string(d))
+	add(spec.siteNouns...)
+	add(spec.titleTemplates...)
+	add(spec.prose...)
+	add(spec.searchVerbs...)
+	for _, a := range spec.attrs {
+		add(a.labels...)
+		add(a.options...)
+	}
+	return vocab
 }

@@ -1,0 +1,55 @@
+package webgen
+
+import (
+	"testing"
+
+	"cafc/internal/text"
+)
+
+// TestVocabularyCoversDomainTerms: each domain's vocabulary is
+// non-empty, contains the stemmed domain name and its site nouns, and
+// an unknown domain yields nil rather than panicking.
+func TestVocabularyCoversDomainTerms(t *testing.T) {
+	for _, d := range Domains {
+		v := Vocabulary(d)
+		if len(v) == 0 {
+			t.Fatalf("%s: empty vocabulary", d)
+		}
+		for _, tm := range text.Terms(string(d)) {
+			if !v[tm] {
+				t.Errorf("%s: vocabulary missing own domain term %q", d, tm)
+			}
+		}
+		for _, noun := range Spec(d).siteNouns {
+			for _, tm := range text.Terms(noun) {
+				if !v[tm] {
+					t.Errorf("%s: vocabulary missing site-noun term %q (from %q)", d, tm, noun)
+				}
+			}
+		}
+	}
+	if Vocabulary(Domain("nope")) != nil {
+		t.Fatal("unknown domain should have nil vocabulary")
+	}
+}
+
+// TestVocabularyDiscriminates: Hotel and Job vocabularies are not
+// subsets of each other — the gold standard can actually separate
+// domains.
+func TestVocabularyDiscriminates(t *testing.T) {
+	h, j := Vocabulary(Hotel), Vocabulary(Job)
+	hOnly, jOnly := 0, 0
+	for tm := range h {
+		if !j[tm] {
+			hOnly++
+		}
+	}
+	for tm := range j {
+		if !h[tm] {
+			jOnly++
+		}
+	}
+	if hOnly == 0 || jOnly == 0 {
+		t.Fatalf("vocabularies nest: hotel-only=%d job-only=%d", hOnly, jOnly)
+	}
+}

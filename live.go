@@ -13,6 +13,7 @@ import (
 	"cafc/internal/cluster"
 	"cafc/internal/form"
 	"cafc/internal/obs/quality"
+	"cafc/internal/search"
 	"cafc/internal/stream"
 )
 
@@ -53,6 +54,11 @@ type LiveConfig struct {
 	// through Quality/QualityHistory. Attaching a monitor never changes
 	// published epochs; it only observes.
 	Quality *QualityConfig
+	// Search, when non-nil, attaches the retrieval subsystem: an
+	// inverted index grown incrementally on each ingest batch and frozen
+	// per epoch, served through Live.Search with ranked top-k hits and
+	// labeled dynamic facets. Works on leaders and followers alike.
+	Search *SearchConfig
 }
 
 // QualityConfig configures the online quality monitor attached through
@@ -102,6 +108,11 @@ type LiveEpoch struct {
 	// Rebuilt marks epochs produced by a full re-cluster (drift or
 	// forced) rather than a mini-batch assignment.
 	Rebuilt bool
+	// SearchLabels are the epoch's per-cluster discriminative labels
+	// from the search index (nil without LiveConfig.Search) — available
+	// to OnPublish observers even during construction, before the Live
+	// handle exists.
+	SearchLabels []string
 
 	classifier *icafc.Classifier
 }
@@ -147,10 +158,11 @@ type LiveStatus struct {
 // bounded queue into batch workers that grow the corpus incrementally
 // and publish epoch-versioned models; Epoch is the lock-free read side.
 type Live struct {
-	inner *stream.Live
-	store *stream.Store
-	pub   atomic.Pointer[LiveEpoch]
-	qm    *quality.Monitor
+	inner  *stream.Live
+	store  *stream.Store
+	pub    atomic.Pointer[LiveEpoch]
+	qm     *quality.Monitor
+	search *searcher
 
 	weights form.Weights
 	retry   *Retry
@@ -413,8 +425,23 @@ func (l *Live) streamConfigWithStore(corpus *Corpus, cfg LiveConfig, store *stre
 			Metrics:    corpus.model.Metrics,
 		})
 	}
+	if sc := cfg.Search; sc != nil {
+		l.search = &searcher{
+			b:       search.NewBuilder(corpus.model.Metrics),
+			opts:    search.Options{MaxK: sc.MaxK, CacheSize: sc.CacheSize, MaxFacets: sc.MaxFacets},
+			weights: corpus.weights,
+		}
+	}
 	scfg.OnPublish = func(e *stream.Epoch) {
+		// Index before the swap so Epoch() == E implies the search
+		// snapshot is already at E — no torn reads across the two views.
+		if l.search != nil {
+			l.search.sync(e)
+		}
 		le := convertEpoch(e, l.weights, l.retry, l.skip)
+		if l.search != nil {
+			le.SearchLabels = l.search.snap.Load().ClusterLabels()
+		}
 		l.pub.Store(le)
 		if l.qm != nil {
 			l.qm.ObserveEpoch(qualityEpoch(e), time.Now())

@@ -13,10 +13,12 @@ go test -race ./...
 # ingester, the clustering kernels it drives (including the sharded
 # approx/LSH assignment and mini-batch paths), the incremental model
 # with its parallel build, the replication layer (server, tailer and the
-# chaos suite), and the observability layer (histograms under concurrent
-# Observe, the quality monitor, the load driver).
+# chaos suite), the search index (concurrent readers over the frozen
+# snapshot while the builder appends), and the observability layer
+# (histograms under concurrent Observe, the quality monitor, the load
+# driver).
 go test -race ./internal/stream ./internal/repl ./internal/cluster ./internal/cafc \
-    ./internal/obs ./internal/obs/quality ./internal/loadgen ./cmd/directoryd
+    ./internal/search ./internal/obs ./internal/obs/quality ./internal/loadgen ./cmd/directoryd
 go test -run xxx -bench 'BenchmarkCosine|BenchmarkKMeansEngines|BenchmarkKMeans454' \
     -benchtime=1x ./internal/vector ./internal/cluster .
 # Allocation-regression smoke: the serve-path benches run once so a
@@ -144,6 +146,21 @@ done
 for ep in classify ingest browse; do
     grep -q "\"$ep\"" "$tmp/load_report.json" || { echo "check.sh: load report missing $ep stats"; exit 1; }
 done
+# Search smoke: ranked retrieval with facet labels on the live server,
+# X-Cache MISS on first sight and HIT (byte-identical body) on repeat
+# within the epoch, with the search_* series visible in /metrics.
+curl -fsS -D "$tmp/search_h1.txt" "http://$addr/search?q=hotel&k=10" >"$tmp/search1.json"
+grep -qi '^X-Cache: MISS' "$tmp/search_h1.txt" || {
+    echo "check.sh: first /search not a cache MISS"; cat "$tmp/search_h1.txt"; exit 1; }
+grep -q '"url"' "$tmp/search1.json" || {
+    echo "check.sh: /search returned no ranked hits"; cat "$tmp/search1.json"; exit 1; }
+grep -q '"label"' "$tmp/search1.json" || {
+    echo "check.sh: /search facets carry no labels"; cat "$tmp/search1.json"; exit 1; }
+curl -fsS -D "$tmp/search_h2.txt" "http://$addr/search?q=hotel&k=10" >"$tmp/search2.json"
+grep -qi '^X-Cache: HIT' "$tmp/search_h2.txt" || {
+    echo "check.sh: repeat /search within the epoch did not hit the cache"; cat "$tmp/search_h2.txt"; exit 1; }
+cmp -s "$tmp/search1.json" "$tmp/search2.json" || {
+    echo "check.sh: cached /search body differs from the cold body"; exit 1; }
 curl -fsS "http://$addr/metrics" >"$tmp/metrics4.txt"
 # Text-format 0.0.4: every non-comment, non-blank line is
 # "name[{labels}] value" with a parseable float value.
@@ -157,7 +174,8 @@ awk '
     }
 }
 END { exit bad }' "$tmp/metrics4.txt" || exit 1
-for m in slo_error_budget_burn slo_requests_total quality_silhouette stream_queue_capacity stream_queue_saturation; do
+for m in slo_error_budget_burn slo_requests_total quality_silhouette stream_queue_capacity stream_queue_saturation \
+         search_requests_total search_cache_hits_total search_index_docs; do
     grep -q "^$m" "$tmp/metrics4.txt" || { echo "check.sh: /metrics missing $m after load"; exit 1; }
 done
 curl -fsS "http://$addr/debug/quality" >"$tmp/quality.json"
@@ -207,9 +225,21 @@ done
 
 # The leader keeps writing while the follower tails — replication must
 # close the gap, not just replay the bootstrap prefix.
+lepoch0="$lepoch"
 curl -fsS -X POST "http://$laddr/ingest" -H 'Content-Type: application/json' \
     -d '{"url":"http://repl.example/late","html":"<form action=\"/q\"><input type=\"text\" name=\"year\"/></form>"}' >/dev/null \
     || { echo "check.sh: post-bootstrap leader ingest failed"; exit 1; }
+# Wait for the late batch to flush on the leader before checking
+# convergence — otherwise the loop below can observe the pre-flush
+# epoch on both sides and pass while the gap is still open.
+for _ in $(seq 1 50); do
+    lepoch=$(curl -fsS "http://$laddr/status" | sed -n 's/.*"Epoch":\([0-9]*\).*/\1/p')
+    [ -n "$lepoch" ] && [ "$lepoch" -gt "$lepoch0" ] && break
+    sleep 0.2
+done
+[ -n "$lepoch" ] && [ "$lepoch" -gt "$lepoch0" ] || {
+    echo "check.sh: leader never flushed the post-bootstrap ingest (epoch stuck at ${lepoch0:-?})"
+    cat "$tmp/leader.log"; exit 1; }
 converged=""
 for _ in $(seq 1 100); do
     lepoch=$(curl -fsS "http://$laddr/status" | sed -n 's/.*"Epoch":\([0-9]*\).*/\1/p')

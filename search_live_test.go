@@ -1,0 +1,216 @@
+package cafc
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"cafc/internal/repl"
+)
+
+// TestLiveSearchEpochSwapInvalidation pins the cache contract: within
+// an epoch a repeated query is a cache hit returning the identical
+// result, and after an epoch swap the same query is a miss answered
+// from the new model — a cached result never outlives its epoch.
+func TestLiveSearchEpochSwapInvalidation(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 29, 40)
+	corpus, err := NewCorpus(docs[:20])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := corpus.ClusterC(4, 1)
+	l, err := NewLive(corpus, docs[:20], cl, LiveConfig{
+		K: 4, Seed: 1, BatchSize: 8, FlushInterval: 10 * time.Millisecond,
+		Search: &SearchConfig{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const q = "hotel rooms"
+	r1, cached, err := l.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("first query reported cached")
+	}
+	if r1.Epoch != 1 || len(r1.Hits) == 0 {
+		t.Fatalf("genesis search wrong: %+v", r1)
+	}
+	r2, cached, err := l.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cached {
+		t.Fatal("repeat query within the epoch not served from cache")
+	}
+	if r2 != r1 {
+		t.Fatal("cache returned a different result")
+	}
+
+	for _, d := range docs[20:] {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitLive(t, "ingested docs applied", func() bool {
+		return l.Epoch().Corpus.Len() == 40
+	})
+	if se, ae := l.SearchEpoch(), l.AppliedEpoch(); se != ae {
+		t.Fatalf("search snapshot at epoch %d, pipeline at %d", se, ae)
+	}
+
+	r3, cached, err := l.Search(q, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Fatal("query after epoch swap served from a stale cache")
+	}
+	if r3.Epoch <= r1.Epoch {
+		t.Fatalf("post-swap result at epoch %d, want > %d", r3.Epoch, r1.Epoch)
+	}
+	if r3.Total < r1.Total {
+		t.Fatalf("post-swap result lost documents: %d < %d", r3.Total, r1.Total)
+	}
+	if labels := l.SearchLabels(); len(labels) != 4 {
+		t.Fatalf("SearchLabels = %v, want 4 cluster labels", labels)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := l.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLiveSearchDisabledAndCold(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 31, 16)
+	corpus, err := NewCorpus(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := corpus.ClusterC(4, 1)
+	off, err := NewLive(corpus, docs, cl, LiveConfig{K: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer off.Close()
+	if _, _, err := off.Search("hotel", 5); !errors.Is(err, ErrSearchDisabled) {
+		t.Fatalf("Search without config = %v, want ErrSearchDisabled", err)
+	}
+	if off.SearchLabels() != nil || off.SearchEpoch() != 0 {
+		t.Fatal("disabled search leaked state")
+	}
+
+	cold, err := NewLive(nil, nil, nil, LiveConfig{K: 4, Seed: 1, Search: &SearchConfig{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cold.Close()
+	if _, _, err := cold.Search("hotel", 5); !errors.Is(err, ErrSearchCold) {
+		t.Fatalf("Search before first epoch = %v, want ErrSearchCold", err)
+	}
+}
+
+// TestLiveFollowerSearchByteIdentity pins the replication contract for
+// retrieval: a follower tailed to the leader's epoch serves
+// byte-identical search responses — hits, scores, facets and labels —
+// for every query, cached or not.
+func TestLiveFollowerSearchByteIdentity(t *testing.T) {
+	docs, _, _, _ := testDocs(t, 43, 48)
+	ldir, fdir := t.TempDir(), t.TempDir()
+	cfg := LiveConfig{
+		K: 4, Seed: 7, BatchSize: 8, FlushInterval: 5 * time.Millisecond,
+		Dir: ldir, Search: &SearchConfig{},
+	}
+	l, err := NewLive(nil, nil, nil, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for _, d := range docs[:32] {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitLive(t, "leader ingest applied", func() bool {
+		e := l.Epoch()
+		return e != nil && e.Corpus.Len() == 32
+	})
+
+	ctx := context.Background()
+	if err := repl.Bootstrap(ctx, repl.DirSource{Dir: ldir}, fdir); err != nil {
+		t.Fatal(err)
+	}
+	fcfg := cfg
+	fcfg.Dir = fdir
+	f, err := RecoverFollower(fcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tail := &repl.Tailer{Source: repl.DirSource{Dir: ldir}, Target: f}
+	if err := tail.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaEqual(t, f, l)
+
+	assertSearchEqual := func() {
+		t.Helper()
+		if fe, le := f.SearchEpoch(), l.SearchEpoch(); fe != le {
+			t.Fatalf("follower search at epoch %d, leader at %d", fe, le)
+		}
+		for _, q := range []string{"hotel rooms", "cheap flights", "search jobs", "used cars", "dvd"} {
+			lr, _, err := l.Search(q, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fr, _, err := f.Search(q, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			lb, _ := json.Marshal(lr)
+			fb, _ := json.Marshal(fr)
+			if string(lb) != string(fb) {
+				t.Fatalf("%q: follower response differs from leader:\n%s\nvs\n%s", q, fb, lb)
+			}
+			// A cached repeat must serve the same bytes.
+			fr2, cached, err := f.Search(q, 20)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !cached || fr2 != fr {
+				t.Fatalf("%q: follower repeat not a cache hit on the same result", q)
+			}
+		}
+		if fl, ll := f.SearchLabels(), l.SearchLabels(); len(fl) != len(ll) {
+			t.Fatalf("label counts differ: %v vs %v", fl, ll)
+		} else {
+			for i := range fl {
+				if fl[i] != ll[i] {
+					t.Fatalf("cluster %d label: follower %q, leader %q", i, fl[i], ll[i])
+				}
+			}
+		}
+	}
+	assertSearchEqual()
+
+	// Leader moves on; follower re-converges at the next epoch.
+	for _, d := range docs[32:] {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitLive(t, "second leader ingest applied", func() bool {
+		return l.Epoch().Corpus.Len() == 48
+	})
+	if err := tail.Sync(ctx); err != nil {
+		t.Fatal(err)
+	}
+	assertReplicaEqual(t, f, l)
+	assertSearchEqual()
+}
