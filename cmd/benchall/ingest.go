@@ -1,68 +1,154 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
 	"time"
 
 	"cafc"
-	"cafc/internal/obs"
+	"cafc/internal/form"
+	"cafc/internal/search"
+	"cafc/internal/stream"
 	"cafc/internal/webgen"
 )
 
-// ingestResult is the BENCH_ingest.json schema: one streaming-ingestion
-// throughput measurement, with enough run configuration to reproduce it.
-type ingestResult struct {
-	Seed        int64   `json:"seed"`
-	FormPages   int     `json:"form_pages"`
-	GenesisSize int     `json:"genesis_size"`
-	Streamed    int     `json:"streamed"`
-	K           int     `json:"k"`
-	BatchSize   int     `json:"batch_size"`
-	Millis      int64   `json:"millis"`
-	DocsPerSec  float64 `json:"docs_per_sec"`
-	FinalEpoch  int64   `json:"final_epoch"`
-	Rebuilds    int64   `json:"rebuilds"`
-	Entropy     float64 `json:"entropy"`
-	FMeasure    float64 `json:"f_measure"`
+// ingestVerifyMax bounds the corpus size at which the sweep replays the
+// run's WAL through serial and parallel manual pipelines to verify
+// bit-identity (each replay costs about as much as the run itself).
+// The property is pinned at every size by the stream package's
+// TestParallelIngestBitIdenticalEpochs; the bench re-proves it on the
+// sizes where the duplicate work is cheap.
+const ingestVerifyMax = 5000
+
+// ingestConfigs is the sweep grid: batch size x ingest workers x group
+// commit x flush interval. The first row is the seed-comparable baseline
+// (batch 32, 1ms flushes, one fsync per record, serial parse); the last
+// is the headline operating point (large batches so the per-epoch
+// full-corpus work amortizes, group commit, one parse worker per CPU).
+var ingestConfigs = []struct {
+	Batch, Workers, GroupCommit int
+	Flush                       time.Duration
+}{
+	{32, 1, 0, time.Millisecond},         // baseline: the original pipeline's settings
+	{32, 1, 8, time.Millisecond},         // group commit alone
+	{256, 1, 0, 50 * time.Millisecond},   // batch amortization alone
+	{2048, 1, 32, 25 * time.Millisecond}, // large batches + group commit, serial parse
+	{2048, 0, 32, 25 * time.Millisecond}, // headline: large batches + group commit + all cores
 }
 
-// ingestBench streams a generated corpus through the live pipeline and
-// measures end-to-end ingestion throughput: genesis from the first
-// quarter, the rest over Ingest, drift rebuilds enabled at the default
-// threshold. Quality of the final epoch is evaluated against the
-// generator's gold labels, so a throughput win that degrades clustering
-// shows up in the same row.
-func ingestBench(n int, seed int64, reg *obs.Registry) (ingestResult, error) {
-	c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n})
-	var docs []cafc.Document
-	labels := make(map[string]string, n)
-	for _, u := range c.FormPages {
-		docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
-		labels[u] = string(c.Labels[u])
+// ingestResult is one BENCH_ingest.json row: a streaming-ingestion
+// throughput measurement at one sweep point, with enough run
+// configuration to reproduce it.
+type ingestResult struct {
+	Seed          int64   `json:"seed"`
+	FormPages     int     `json:"form_pages"`
+	GenesisSize   int     `json:"genesis_size"`
+	Streamed      int     `json:"streamed"`
+	K             int     `json:"k"`
+	BatchSize     int     `json:"batch_size"`
+	IngestWorkers int     `json:"ingest_workers"`
+	GroupCommit   int     `json:"group_commit"`
+	Millis        int64   `json:"millis"`
+	DocsPerSec    float64 `json:"docs_per_sec"`
+	// FsyncsTotal counts WAL fsyncs during the streaming phase (from
+	// wal_fsync_total); GroupCommitsTotal counts the multi-record ones.
+	FsyncsTotal       int64 `json:"fsyncs_total"`
+	GroupCommitsTotal int64 `json:"wal_group_commits_total"`
+	// AllocsPerDoc is the whole-process heap allocation count per
+	// streamed document (parse, embed, cluster, WAL, publish — the
+	// number the pooled tokenizer and accumulators push down).
+	AllocsPerDoc float64 `json:"allocs_per_doc"`
+	FinalEpoch   int64   `json:"final_epoch"`
+	Rebuilds     int64   `json:"rebuilds"`
+	Entropy      float64 `json:"entropy"`
+	FMeasure     float64 `json:"f_measure"`
+}
+
+// ingestSweep streams generated corpora through WAL-backed live
+// pipelines across the sweep grid and, at the sizes where the duplicate
+// work is affordable, replays the baseline run's WAL through serial and
+// parallel pipelines to enforce bit-identity (model, search index, WAL
+// bytes) as a hard error.
+func ingestSweep(sizes []int, seed int64) ([]ingestResult, error) {
+	var out []ingestResult
+	fmt.Printf("%8s %6s %8s %7s %9s %9s %10s %7s %11s %6s %8s %7s %7s\n",
+		"pages", "batch", "workers", "commit", "streamed", "ms", "docs/sec", "fsyncs", "allocs/doc", "epoch", "rebuild", "entropy", "F")
+	for _, n := range sizes {
+		c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n})
+		var docs []cafc.Document
+		labels := make(map[string]string, n)
+		for _, u := range c.FormPages {
+			docs = append(docs, cafc.Document{URL: u, HTML: c.ByURL[u].HTML})
+			labels[u] = string(c.Labels[u])
+		}
+		var baselineWAL string
+		for i, cfg := range ingestConfigs {
+			r, dir, err := runIngest(docs, labels, n, seed, cfg.Batch, cfg.Workers, cfg.GroupCommit, cfg.Flush)
+			if err != nil {
+				return out, fmt.Errorf("n=%d batch=%d workers=%d commit=%d: %w", n, cfg.Batch, cfg.Workers, cfg.GroupCommit, err)
+			}
+			if i == 0 {
+				baselineWAL = dir // keep for the bit-identity replay below
+			} else {
+				os.RemoveAll(dir)
+			}
+			fmt.Printf("%8d %6d %8d %7d %9d %9d %10.0f %7d %11.0f %6d %8d %7.3f %7.3f\n",
+				n, r.BatchSize, r.IngestWorkers, r.GroupCommit, r.Streamed, r.Millis, r.DocsPerSec,
+				r.FsyncsTotal, r.AllocsPerDoc, r.FinalEpoch, r.Rebuilds, r.Entropy, r.FMeasure)
+			out = append(out, r)
+		}
+		if n <= ingestVerifyMax {
+			if err := verifyIngestParallel(baselineWAL, len(webgen.Domains), seed); err != nil {
+				return out, fmt.Errorf("n=%d: %w", n, err)
+			}
+			fmt.Printf("# n=%d: parallel replay bit-identical to serial (model, search index, WAL bytes)\n", n)
+		} else {
+			fmt.Printf("# n=%d: bit-identity replay skipped above %d pages (pinned by the stream test suite)\n", n, ingestVerifyMax)
+		}
+		os.RemoveAll(baselineWAL)
+	}
+	return out, nil
+}
+
+// runIngest streams one corpus through a WAL-backed live pipeline at
+// one sweep point. The returned directory holds the run's WAL (the
+// caller removes it, after the bit-identity replay when it wants one).
+func runIngest(docs []cafc.Document, labels map[string]string, n int, seed int64, batch, workers, groupCommit int, flush time.Duration) (ingestResult, string, error) {
+	dir, err := os.MkdirTemp("", "benchingest-*")
+	if err != nil {
+		return ingestResult{}, "", err
 	}
 	genesisSize := n / 4
 	if genesisSize < 8 {
 		genesisSize = 8
 	}
+	// The registry rides on the corpus (NewLive inherits the model's
+	// metrics), so the WAL fsync counters below are actually attached.
+	reg := cafc.NewRegistry()
 	corpus, err := cafc.NewCorpus(docs[:genesisSize], cafc.Options{Metrics: reg})
 	if err != nil {
-		return ingestResult{}, err
+		return ingestResult{}, dir, err
 	}
 	k := len(webgen.Domains)
 	cl := corpus.ClusterC(k, seed)
-	const batchSize = 32
 	l, err := cafc.NewLive(corpus, docs[:genesisSize], cl, cafc.LiveConfig{
-		K: k, Seed: seed, BatchSize: batchSize, FlushInterval: time.Millisecond,
-	})
+		K: k, Seed: seed, BatchSize: batch, FlushInterval: flush,
+		Dir: dir, IngestWorkers: workers, GroupCommit: groupCommit,
+	}, cafc.Options{Metrics: reg})
 	if err != nil {
-		return ingestResult{}, err
+		return ingestResult{}, dir, err
 	}
-	defer l.Close()
 
 	streamed := docs[genesisSize:]
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
 	t0 := time.Now()
 	for _, d := range streamed {
 		for {
@@ -71,42 +157,157 @@ func ingestBench(n int, seed int64, reg *obs.Registry) (ingestResult, error) {
 				break
 			}
 			if !errors.Is(err, cafc.ErrBacklog) {
-				return ingestResult{}, err
+				l.Close()
+				return ingestResult{}, dir, err
 			}
 			time.Sleep(100 * time.Microsecond)
 		}
 	}
-	for l.Epoch().Corpus.Len() < len(docs) {
+	// Poll the pipeline status, not Epoch(): the public epoch view
+	// materializes lazily on first read, and the measured window should
+	// not charge ingest for conversions of epochs nobody consumed.
+	for l.Status().Pages < len(docs) {
 		time.Sleep(time.Millisecond)
 	}
 	elapsed := time.Since(t0)
+	runtime.ReadMemStats(&m1)
 
 	e := l.Epoch()
 	entropy, f := e.Clustering.Quality(labels)
 	st := l.Status()
+	fsyncs := counterValue(reg, "wal_fsync_total")
+	commits := counterValue(reg, "wal_group_commit_total")
+	// Drain after the counters are read: the final flush-and-snapshot is
+	// shutdown cost, not steady-state ingest cost — but it must run so
+	// the WAL left behind is the complete durable history.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	if err := l.Drain(ctx); err != nil {
+		return ingestResult{}, dir, err
+	}
+
 	return ingestResult{
-		Seed:        seed,
-		FormPages:   n,
-		GenesisSize: genesisSize,
-		Streamed:    len(streamed),
-		K:           k,
-		BatchSize:   batchSize,
-		Millis:      elapsed.Milliseconds(),
-		DocsPerSec:  float64(len(streamed)) / elapsed.Seconds(),
-		FinalEpoch:  e.Epoch,
-		Rebuilds:    st.Rebuilds,
-		Entropy:     entropy,
-		FMeasure:    f,
-	}, nil
+		Seed:              seed,
+		FormPages:         n,
+		GenesisSize:       genesisSize,
+		Streamed:          len(streamed),
+		K:                 k,
+		BatchSize:         batch,
+		IngestWorkers:     st.IngestWorkers,
+		GroupCommit:       groupCommit,
+		Millis:            elapsed.Milliseconds(),
+		DocsPerSec:        float64(len(streamed)) / elapsed.Seconds(),
+		FsyncsTotal:       fsyncs,
+		GroupCommitsTotal: commits,
+		AllocsPerDoc:      float64(m1.Mallocs-m0.Mallocs) / float64(len(streamed)),
+		FinalEpoch:        e.Epoch,
+		Rebuilds:          st.Rebuilds,
+		Entropy:           entropy,
+		FMeasure:          f,
+	}, dir, nil
 }
 
-// writeIngestJSON renders the result and writes it to path.
-func writeIngestJSON(r ingestResult, path string) error {
-	fmt.Printf("%10s %10s %10s %10s %10s %10s %10s\n",
-		"streamed", "ms", "docs/sec", "epoch", "rebuilds", "entropy", "F")
-	fmt.Printf("%10d %10d %10.0f %10d %10d %10.3f %10.3f\n",
-		r.Streamed, r.Millis, r.DocsPerSec, r.FinalEpoch, r.Rebuilds, r.Entropy, r.FMeasure)
-	buf, err := json.MarshalIndent(r, "", "  ")
+// replayState is one manual pipeline's final state after replaying a
+// WAL: everything the bit-identity contract compares.
+type replayState struct {
+	epoch *stream.Epoch
+	snap  *search.Snapshot
+	wal   []byte
+}
+
+// verifyIngestParallel replays walDir's records through manual
+// pipelines at several worker counts and errors unless the final model
+// state, the incrementally grown search index, and the re-appended WAL
+// bytes are bit-identical to the serial replay — the sweep's proof that
+// -ingest-workers is a pure throughput knob.
+func verifyIngestParallel(walDir string, k int, seed int64) error {
+	frames, _, err := stream.TailWAL(walDir, 0)
+	if err != nil {
+		return err
+	}
+	if len(frames) == 0 {
+		return fmt.Errorf("bit-identity replay: %s holds no WAL records", walDir)
+	}
+	replay := func(workers int) (replayState, error) {
+		rdir, err := os.MkdirTemp("", "benchingest-replay-*")
+		if err != nil {
+			return replayState{}, err
+		}
+		defer os.RemoveAll(rdir)
+		st, err := stream.Open(rdir)
+		if err != nil {
+			return replayState{}, err
+		}
+		defer st.Close()
+		b := search.NewBuilder(nil)
+		var last *stream.Epoch
+		l := stream.NewManual(stream.Config{
+			K: k, Seed: seed, IngestWorkers: workers,
+			OnPublish: func(e *stream.Epoch) {
+				// The same incremental indexing discipline the live search
+				// subsystem uses: index exactly the docs beyond the cursor.
+				for _, d := range e.Docs[b.Len():] {
+					title, terms := search.PageTerms(d.URL, d.HTML, form.DefaultWeights)
+					b.Add(d.URL, title, terms)
+				}
+				last = e
+			},
+		}, nil, nil)
+		for _, fr := range frames {
+			if err := st.AppendFrame(fr); err != nil {
+				return replayState{}, err
+			}
+			if err := l.ApplyReplicated(fr.Rec); err != nil {
+				return replayState{}, err
+			}
+		}
+		if last == nil {
+			return replayState{}, fmt.Errorf("replay published no epoch")
+		}
+		snap := b.Freeze(last.Seq, last.Result.Assign, last.Result.K, search.Options{})
+		wal, err := os.ReadFile(filepath.Join(rdir, "wal.log"))
+		if err != nil {
+			return replayState{}, err
+		}
+		return replayState{epoch: last, snap: snap, wal: wal}, nil
+	}
+
+	ref, err := replay(1)
+	if err != nil {
+		return err
+	}
+	for _, workers := range []int{2, 4} {
+		got, err := replay(workers)
+		if err != nil {
+			return err
+		}
+		if got.epoch.Seq != ref.epoch.Seq || got.epoch.Model.Len() != ref.epoch.Model.Len() {
+			return fmt.Errorf("workers=%d: epoch %d/%d pages, serial %d/%d",
+				workers, got.epoch.Seq, got.epoch.Model.Len(), ref.epoch.Seq, ref.epoch.Model.Len())
+		}
+		if !reflect.DeepEqual(got.epoch.Result.Assign, ref.epoch.Result.Assign) ||
+			!reflect.DeepEqual(got.epoch.Result.Centroids, ref.epoch.Result.Centroids) {
+			return fmt.Errorf("workers=%d: clustering not bit-identical to serial replay", workers)
+		}
+		for i := 0; i < ref.epoch.Model.Len(); i++ {
+			if !reflect.DeepEqual(got.epoch.Model.Point(i), ref.epoch.Model.Point(i)) {
+				return fmt.Errorf("workers=%d: compiled page %d not bit-identical to serial replay", workers, i)
+			}
+		}
+		if !reflect.DeepEqual(got.snap, ref.snap) {
+			return fmt.Errorf("workers=%d: search index not bit-identical to serial replay", workers)
+		}
+		if !bytes.Equal(got.wal, ref.wal) {
+			return fmt.Errorf("workers=%d: replicated WAL bytes differ from serial replay", workers)
+		}
+	}
+	return nil
+}
+
+// writeIngestJSON writes the sweep rows to path (the table is printed
+// incrementally by ingestSweep).
+func writeIngestJSON(rows []ingestResult, path string) error {
+	buf, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		return err
 	}

@@ -33,7 +33,7 @@ func main() {
 		seed    = flag.Int64("seed", 2007, "corpus seed")
 		runs    = flag.Int("runs", experiments.DefaultRuns, "CAFC-C averaging runs")
 		exp     = flag.String("exp", "all", "experiment: all | figure2 | table1 | figure3 | table2 | weights | hubstats | hacseeds | errors | seeding | hubdesign | futurework | postquery | selectk | engines | scaling | ingest | scale | load | cluster | search")
-		sizes   = flag.String("sizes", "", "corpus sizes (default 100,200,454 for -exp scaling; 5000,20000,50000 for -exp scale)")
+		sizes   = flag.String("sizes", "", "corpus sizes (default 100,200,454 for -exp scaling; 5000,20000,50000 for -exp scale; 454,5000,20000 for -exp ingest)")
 		jsonOut = flag.String("json", "", "output file (default BENCH_ingest.json for -exp ingest; BENCH_scale.json for -exp scale; BENCH_load.json for -exp load; BENCH_search.json for -exp search)")
 		metrics = flag.Bool("metrics", false, "collect run telemetry and dump the metrics snapshot to stderr on exit")
 	)
@@ -56,7 +56,7 @@ func main() {
 	}
 
 	if *exp == "ingest" {
-		res, err := ingestBench(*n, *seed, reg)
+		res, err := ingestSweep(parseSizes(defaultStr(*sizes, "454,5000,20000")), *seed)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -13,6 +13,7 @@ import (
 	"cafc/internal/cluster"
 	"cafc/internal/form"
 	"cafc/internal/obs"
+	"cafc/internal/stream"
 	"cafc/internal/webgen"
 )
 
@@ -23,6 +24,16 @@ import (
 // construction and pinned at every size class by
 // TestBuildParallelBitIdentical.
 const serialCheckMax = 50000
+
+// exactKernelMax bounds the corpus size at which the exhaustive and
+// bound-pruned kernels (and everything referenced against their shared
+// assignment) still run: every exact kernel is O(iterations * n * k)
+// with full convergence, which at a million pages is hours of
+// single-kernel wall-clock for a number the smaller sizes already pin.
+// Above it the sweep records the kernels built for that regime — the
+// LSH candidate tier and mini-batch — whose contracts (self-recall,
+// per-pass reduction) do not need the exhaustive reference.
+const exactKernelMax = 200000
 
 // approxRecallFloor / approxReductionFloor are the tentpole's
 // acceptance contract, enforced as hard errors so CI smokes fail
@@ -134,16 +145,23 @@ func scaleBench(sizes []int, seed int64) (scaleReport, error) {
 	for _, n := range sizes {
 		t0 := time.Now()
 		c := webgen.Generate(webgen.Config{Seed: seed, FormPages: n, FormsOnly: true})
-		fps := make([]*form.FormPage, 0, n)
+		docs := make([]stream.Doc, 0, n)
 		labels := make([]string, 0, n)
 		for _, u := range c.FormPages {
-			fp, err := form.Parse(u, c.ByURL[u].HTML, form.DefaultWeights)
-			if err != nil {
-				return rep, fmt.Errorf("%s: %v", u, err)
-			}
-			fps = append(fps, fp)
+			docs = append(docs, stream.Doc{URL: u, HTML: c.ByURL[u].HTML})
 			labels = append(labels, string(c.Labels[u]))
 		}
+		// The same sharded parse stage the live pipeline runs per batch;
+		// nil slots are parse failures.
+		parsed := stream.ParseDocs(docs, form.DefaultWeights, 0)
+		fps := make([]*form.FormPage, len(parsed))
+		for i, fp := range parsed {
+			if fp == nil {
+				return rep, fmt.Errorf("%s: parse failed", docs[i].URL)
+			}
+			fps[i] = fp
+		}
+		docs = nil // release the raw HTML before the model build
 		row := scaleSize{FormPages: n, K: k, ParseMillis: time.Since(t0).Milliseconds()}
 
 		breg := obs.NewRegistry()
@@ -167,44 +185,51 @@ func scaleBench(sizes []int, seed int64) (scaleReport, error) {
 			}
 		}
 
+		runExact := n <= exactKernelMax
 		var ref cluster.Result
-		for _, prune := range []cluster.PruneMode{cluster.PruneOff, cluster.PruneHamerly, cluster.PruneElkan} {
-			reg := obs.NewRegistry()
-			t1 := time.Now()
-			res := cluster.KMeans(m, k, nil, cluster.Options{
-				Rand: rand.New(rand.NewSource(seed)), Prune: prune,
-				MoveFrac: rep.MoveFrac, Metrics: reg,
-			})
-			kr := scaleKernel{
-				Kernel:     prune.String(),
-				Millis:     time.Since(t1).Milliseconds(),
-				Iterations: res.Iterations,
-				Distances:  counterValue(reg, "distance_computations_total"),
-				Pruned:     counterValue(reg, "kmeans_pruned_total"),
-				Recall:     1,
+		var exhaustive int64
+		if runExact {
+			for _, prune := range []cluster.PruneMode{cluster.PruneOff, cluster.PruneHamerly, cluster.PruneElkan} {
+				reg := obs.NewRegistry()
+				t1 := time.Now()
+				res := cluster.KMeans(m, k, nil, cluster.Options{
+					Rand: rand.New(rand.NewSource(seed)), Prune: prune,
+					MoveFrac: rep.MoveFrac, Metrics: reg,
+				})
+				kr := scaleKernel{
+					Kernel:     prune.String(),
+					Millis:     time.Since(t1).Milliseconds(),
+					Iterations: res.Iterations,
+					Distances:  counterValue(reg, "distance_computations_total"),
+					Pruned:     counterValue(reg, "kmeans_pruned_total"),
+					Recall:     1,
+				}
+				kr.PerIterReduction = perIterReduction(n, k, kr.Iterations, kr.Distances)
+				if prune == cluster.PruneOff {
+					ref = res
+					kr.Kernel = "off"
+					kr.Reduction = 1
+				} else {
+					if !reflect.DeepEqual(ref.Assign, res.Assign) {
+						return rep, fmt.Errorf("n=%d prune=%s: assignments differ from exhaustive", n, prune)
+					}
+					if res.Iterations != ref.Iterations {
+						return rep, fmt.Errorf("n=%d prune=%s: iterations %d != exhaustive %d", n, prune, res.Iterations, ref.Iterations)
+					}
+					if kr.Distances >= row.Kernels[0].Distances {
+						return rep, fmt.Errorf("n=%d prune=%s: %d distance computations, not below exhaustive %d",
+							n, prune, kr.Distances, row.Kernels[0].Distances)
+					}
+					kr.Reduction = float64(row.Kernels[0].Distances) / float64(kr.Distances)
+				}
+				printKernelRow(n, kr)
+				row.Kernels = append(row.Kernels, kr)
 			}
-			kr.PerIterReduction = perIterReduction(n, k, kr.Iterations, kr.Distances)
-			if prune == cluster.PruneOff {
-				ref = res
-				kr.Kernel = "off"
-				kr.Reduction = 1
-			} else {
-				if !reflect.DeepEqual(ref.Assign, res.Assign) {
-					return rep, fmt.Errorf("n=%d prune=%s: assignments differ from exhaustive", n, prune)
-				}
-				if res.Iterations != ref.Iterations {
-					return rep, fmt.Errorf("n=%d prune=%s: iterations %d != exhaustive %d", n, prune, res.Iterations, ref.Iterations)
-				}
-				if kr.Distances >= row.Kernels[0].Distances {
-					return rep, fmt.Errorf("n=%d prune=%s: %d distance computations, not below exhaustive %d",
-						n, prune, kr.Distances, row.Kernels[0].Distances)
-				}
-				kr.Reduction = float64(row.Kernels[0].Distances) / float64(kr.Distances)
-			}
-			printKernelRow(n, kr)
-			row.Kernels = append(row.Kernels, kr)
+			exhaustive = row.Kernels[0].Distances
+		} else {
+			fmt.Printf("# n=%d: exact kernels skipped above %d pages — approx/minibatch only, reductions relative to n*k per pass\n",
+				n, exactKernelMax)
 		}
-		exhaustive := row.Kernels[0].Distances
 
 		// Candidate-tier kernels: same seed and stop criterion, restricted
 		// to LSH candidates. These runs converge to their own local optimum
@@ -225,7 +250,9 @@ func scaleBench(sizes []int, seed int64) (scaleReport, error) {
 				Iterations: res.Iterations,
 				Distances:  counterValue(reg, "distance_computations_total"),
 				Fallbacks:  counterValue(reg, "approx_fallback_total"),
-				Reduction:  float64(exhaustive) / float64(counterValue(reg, "distance_computations_total")),
+			}
+			if exhaustive > 0 {
+				kr.Reduction = float64(exhaustive) / float64(kr.Distances)
 			}
 			kr.PerIterReduction = perIterReduction(n, k, kr.Iterations, kr.Distances)
 			recall, err := assignmentRecall(m, res)
@@ -259,7 +286,9 @@ func scaleBench(sizes []int, seed int64) (scaleReport, error) {
 				Millis:     time.Since(t1).Milliseconds(),
 				Iterations: res.Iterations,
 				Distances:  counterValue(reg, "distance_computations_total"),
-				Reduction:  float64(exhaustive) / float64(counterValue(reg, "distance_computations_total")),
+			}
+			if exhaustive > 0 {
+				kr.Reduction = float64(exhaustive) / float64(kr.Distances)
 			}
 			recall, err := assignmentRecall(m, res)
 			if err != nil {
@@ -268,6 +297,11 @@ func scaleBench(sizes []int, seed int64) (scaleReport, error) {
 			kr.Recall = recall
 			printKernelRow(n, kr)
 			row.Kernels = append(row.Kernels, kr)
+			if !runExact {
+				// No exhaustive reference at this size: the serve-path bench
+				// below classifies against the mini-batch clustering instead.
+				ref = res
+			}
 		}
 
 		// Serve-path throughput: classify one held-out page against the

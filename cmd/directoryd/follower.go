@@ -149,7 +149,11 @@ func runFollower(p followerParams, reg *obs.Registry, ring *obs.RingSink, tracer
 		DriftThreshold: p.drift,
 		Dir:            p.data,
 		SnapshotEvery:  p.snapshotEvery,
-		OnPublish:      ls.onPublish,
+		// Followers shard parse/embed like the leader (epochs are
+		// worker-count-independent) but never group-commit: their durable
+		// record count is the replication resume offset.
+		IngestWorkers: p.ingestWorkers,
+		OnPublish:     ls.onPublish,
 		Quality:        &cafc.QualityConfig{Seed: p.seed},
 		Search:         &cafc.SearchConfig{},
 	}

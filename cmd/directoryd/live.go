@@ -46,6 +46,9 @@ type liveParams struct {
 	flush         time.Duration
 	drift         float64
 	snapshotEvery int
+	ingestWorkers int
+	groupCommit   int
+	commitWindow  time.Duration
 	sloClassifyMS float64
 	sloIngestMS   float64
 	reqlog        bool
@@ -338,6 +341,9 @@ func startLive(p liveParams, reg *obs.Registry) (*liveServer, error) {
 		DriftThreshold: p.drift,
 		Dir:            p.data,
 		SnapshotEvery:  p.snapshotEvery,
+		IngestWorkers:  p.ingestWorkers,
+		GroupCommit:    p.groupCommit,
+		CommitWindow:   p.commitWindow,
 		OnPublish:      ls.onPublish,
 		Quality:        qcfg,
 		// Retrieval is always on in live mode: the index grows with each

@@ -90,6 +90,9 @@ func main() {
 		flush         = flag.Duration("flush", 0, "live partial-batch flush interval (0 = default)")
 		drift         = flag.Float64("drift", 0, "reassignment fraction that triggers a full re-cluster (0 = default, >=1 disables)")
 		snapshotEvery = flag.Int("snapshot-every", 0, "checkpoint a snapshot every N WAL records (0 = only on drain)")
+		ingestWorkers = flag.Int("ingest-workers", 0, "parse/embed shard count per ingest batch (0 = one per CPU, 1 = serial; epochs are identical for every value)")
+		groupCommit   = flag.Int("group-commit", 0, "batch up to N WAL records per fsync (0 = fsync per record; leaders only, a crash loses at most the unacknowledged buffer)")
+		commitWindow  = flag.Duration("commit-window", 0, "max time a buffered WAL record waits for its group fsync (0 = flush interval)")
 		sloClassifyMS = flag.Float64("slo-classify-ms", 50, "classify latency objective in ms (burn gauges need -metrics)")
 		sloIngestMS   = flag.Float64("slo-ingest-ms", 20, "ingest latency objective in ms (burn gauges need -metrics)")
 		reqlog        = flag.Bool("reqlog", false, "structured JSON request logs on stderr (live mode)")
@@ -133,6 +136,9 @@ func main() {
 		flush:         *flush,
 		drift:         *drift,
 		snapshotEvery: *snapshotEvery,
+		ingestWorkers: *ingestWorkers,
+		groupCommit:   *groupCommit,
+		commitWindow:  *commitWindow,
 		sloClassifyMS: *sloClassifyMS,
 		sloIngestMS:   *sloIngestMS,
 		reqlog:        *reqlog,

@@ -3,6 +3,7 @@ package cafc
 import (
 	"time"
 
+	"cafc/internal/cluster"
 	"cafc/internal/form"
 	"cafc/internal/vector"
 )
@@ -31,9 +32,19 @@ func (m *Model) Clone() *Model {
 
 // AppendPages grows the model with newly extracted form pages: the
 // document-frequency tables absorb the new documents first, then each
-// new page is embedded against the updated tables and compiled
-// incrementally against the existing dictionaries (which only grow, so
-// previously compiled vectors stay valid).
+// new page is embedded against the updated tables and compiled against
+// the existing dictionaries (which only grow, so previously compiled
+// vectors stay valid).
+//
+// The per-page phases shard across m.Workers with the same discipline
+// as BuildWith — and are bit-identical to the serial path for every
+// worker count. DF absorption is serial (order-dependent map updates);
+// embedding is pure once the tables are frozen, so pages embed in
+// parallel into index-addressed slots; dictionary interning is a
+// serial pass in page order with each page's new terms sorted, exactly
+// the ID assignment the serial incremental vector.Compile performed;
+// and the final pack (CompileLookup against the now-frozen
+// dictionaries) is again per-page pure and parallel.
 //
 // Existing pages keep the TF-IDF weights of the corpus state they were
 // embedded under — the standard incremental-indexing approximation.
@@ -55,14 +66,27 @@ func (m *Model) AppendPages(fps []*form.FormPage) {
 		m.PCDF.AddDocWeighted(fp.PCTerms)
 	}
 	start := len(m.Pages)
-	for _, fp := range fps {
-		m.Pages = append(m.Pages, m.Embed(fp))
-	}
-	if cp := m.compiled; cp != nil && !m.DisableCompiled {
-		for _, p := range m.Pages[start:] {
-			cp.pc = append(cp.pc, vector.Compile(p.PC, cp.pcDict))
-			cp.fc = append(cp.fc, vector.Compile(p.FC, cp.fcDict))
+	m.Pages = append(m.Pages, make([]*Page, len(fps))...)
+	cluster.ParallelRange(len(fps), m.Workers, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			m.Pages[start+i] = m.Embed(fps[i])
 		}
+	})
+	if cp := m.compiled; cp != nil && !m.DisableCompiled {
+		var terms []string
+		for _, p := range m.Pages[start:] {
+			terms = internSorted(p.PC, cp.pcDict, terms)
+			terms = internSorted(p.FC, cp.fcDict, terms)
+		}
+		cp.pc = append(cp.pc, make([]vector.Compiled, len(fps))...)
+		cp.fc = append(cp.fc, make([]vector.Compiled, len(fps))...)
+		cluster.ParallelRange(len(fps), m.Workers, func(lo, hi, _ int) {
+			for i := lo; i < hi; i++ {
+				p := m.Pages[start+i]
+				cp.pc[start+i] = vector.CompileLookup(p.PC, cp.pcDict)
+				cp.fc[start+i] = vector.CompileLookup(p.FC, cp.fcDict)
+			}
+		})
 	} else {
 		m.EnsureCompiled()
 	}
@@ -77,20 +101,25 @@ func (m *Model) AppendPages(fps []*form.FormPage) {
 // model grown page by page and then reembedded is equivalent to one
 // built in a single Build call over the same documents (term weights
 // are identical; dictionary ID assignment may differ, which similarity
-// is invariant to).
+// is invariant to). The re-embedding shards across m.Workers — each
+// page is a pure function of its retained extraction and the frozen DF
+// tables — and EnsureCompiled's own two-phase compile is already
+// parallel, so a full rebuild scales like the scratch build.
 //
 // Pages without a retained extraction result (Raw == nil, e.g. loaded
 // from a snapshot) keep their stored vectors: there is nothing to
 // re-derive them from.
 func (m *Model) ReembedAll() {
 	pages := make([]*Page, len(m.Pages))
-	for i, p := range m.Pages {
-		if p.Raw == nil {
-			pages[i] = p
-			continue
+	cluster.ParallelRange(len(m.Pages), m.Workers, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			if p := m.Pages[i]; p.Raw == nil {
+				pages[i] = p
+			} else {
+				pages[i] = m.Embed(p.Raw)
+			}
 		}
-		pages[i] = m.Embed(p.Raw)
-	}
+	})
 	m.Pages = pages
 	m.compiled = nil
 	m.EnsureCompiled()

@@ -226,19 +226,9 @@ func (m *Model) EnsureCompiled() {
 	cp.pc = make([]vector.Compiled, len(m.Pages))
 	cp.fc = make([]vector.Compiled, len(m.Pages))
 	var terms []string
-	internAll := func(v vector.Vector, d *vector.Dict) {
-		terms = terms[:0]
-		for t := range v {
-			terms = append(terms, t)
-		}
-		sort.Strings(terms)
-		for _, t := range terms {
-			d.Intern(t)
-		}
-	}
 	for _, p := range m.Pages {
-		internAll(p.PC, cp.pcDict)
-		internAll(p.FC, cp.fcDict)
+		terms = internSorted(p.PC, cp.pcDict, terms)
+		terms = internSorted(p.FC, cp.fcDict, terms)
 	}
 	cluster.ParallelRange(len(m.Pages), m.Workers, func(start, end, shard int) {
 		for i := start; i < end; i++ {
@@ -250,6 +240,35 @@ func (m *Model) EnsureCompiled() {
 	if m.Metrics != nil {
 		vector.ObserveCompile(m.Metrics, cp.pcDict, cp.fcDict, time.Since(t0))
 	}
+}
+
+// internSorted interns v's terms into d in lexicographic order, reusing
+// buf as scratch (returned possibly grown). This is the deterministic
+// ID-assignment discipline the scratch compile (EnsureCompiled) and the
+// incremental append share: page by page in order, each page's terms
+// sorted — exactly the order vector.Compile would intern them — so
+// compiled IDs are identical no matter which path built the model.
+func internSorted(v vector.Vector, d *vector.Dict, buf []string) []string {
+	// Only terms the dictionary has never seen need the sorted-intern
+	// discipline: interning a known term is an ID no-op, and the new
+	// terms' relative lexicographic order — which is all that determines
+	// their IDs — is the same whether they are sorted alone or inside
+	// the page's full term set. In steady state (saturated vocabulary)
+	// this skips the sort almost entirely.
+	buf = buf[:0]
+	for t := range v {
+		if _, ok := d.ID(t); !ok {
+			buf = append(buf, t)
+		}
+	}
+	if len(buf) == 0 {
+		return buf
+	}
+	sort.Strings(buf)
+	for _, t := range buf {
+		d.Intern(t)
+	}
+	return buf
 }
 
 // engine returns the packed representation when it is active and
@@ -317,20 +336,65 @@ func (m *Model) Point(i int) cluster.Point {
 // the members (Equation 4). On the compiled path members are summed into
 // dense vocabulary-sized accumulators and packed back, O(total nnz).
 func (m *Model) Centroid(members []int) cluster.Point {
-	if cp := m.engine(); cp != nil {
-		pacc := vector.NewAccumulator(cp.pcDict.Len())
-		facc := vector.NewAccumulator(cp.fcDict.Len())
-		for _, mem := range members {
-			pacc.Add(cp.pc[mem])
-			facc.Add(cp.fc[mem])
-		}
-		f := 0.0
-		if len(members) > 0 {
-			f = 1 / float64(len(members))
-		}
-		return cpoint{pc: pacc.Compile(f), fc: facc.Compile(f)}
+	return m.CentroidWith(members, nil, nil)
+}
+
+// CentroidWith is Centroid with caller-owned accumulators for the PC
+// and FC spaces, so a batch caller (the live mini-batch refresh touches
+// several centroids per epoch) pays the two vocabulary-sized
+// allocations once instead of per centroid. Nil accumulators allocate
+// fresh ones — exactly Centroid; the map fallback ignores them. The
+// result is bit-identical either way: Accumulator.Compile resets state,
+// and term sums accumulate in the same member order.
+func (m *Model) CentroidWith(members []int, pacc, facc *vector.Accumulator) cluster.Point {
+	cp := m.engine()
+	if cp == nil {
+		return m.centroidMaps(members)
 	}
-	return m.centroidMaps(members)
+	if pacc == nil {
+		pacc = vector.NewAccumulator(cp.pcDict.Len())
+	}
+	if facc == nil {
+		facc = vector.NewAccumulator(cp.fcDict.Len())
+	}
+	for _, mem := range members {
+		pacc.Add(cp.pc[mem])
+		facc.Add(cp.fc[mem])
+	}
+	f := 0.0
+	if len(members) > 0 {
+		f = 1 / float64(len(members))
+	}
+	return cpoint{pc: pacc.Compile(f), fc: facc.Compile(f)}
+}
+
+// CentroidTopTerms returns the top-n PC-space terms of the members'
+// mean vector on the compiled engine, without materializing a map
+// vector — the cluster-labeling hot path (the map detour used to cost
+// ~38% of live-publish CPU). ok=false when the engine is inactive and
+// the caller must fall back to the map path. The accumulator is
+// optional scratch, as in CentroidWith.
+//
+// Bit-identity with vector.Centroid(pcs).TopTerms(n): the dense
+// accumulator adds members in the same order and applies the same
+// final 1/n scale, so every term weight is float-identical, and
+// Compiled.TopTerms breaks weight ties on the term string exactly as
+// Vector.TopTerms does.
+func (m *Model) CentroidTopTerms(members []int, n int, acc *vector.Accumulator) ([]string, bool) {
+	cp := m.engine()
+	if cp == nil {
+		return nil, false
+	}
+	if len(members) == 0 {
+		return nil, true
+	}
+	if acc == nil {
+		acc = vector.NewAccumulator(cp.pcDict.Len())
+	}
+	for _, mem := range members {
+		acc.Add(cp.pc[mem])
+	}
+	return acc.Compile(1 / float64(len(members))).TopTerms(cp.pcDict, n), true
 }
 
 // centroidMaps is the map-based centroid, kept for the fallback engine

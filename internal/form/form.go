@@ -9,6 +9,7 @@ package form
 import (
 	"errors"
 	"strings"
+	"sync"
 
 	"cafc/internal/htmlx"
 	"cafc/internal/text"
@@ -67,9 +68,16 @@ type Form struct {
 	// Action and Method come from the <form> tag.
 	Action string
 	Method string
+	// Text is the form subtree's visible text, captured at extraction so
+	// classification and filtering keep working after the parse tree is
+	// released.
+	Text string
 	// Fields are the form's controls in document order.
 	Fields []Field
-	// Node is the form's subtree in the parsed document.
+	// Node is the form's subtree in the parsed document. It is valid
+	// during extraction; the pooled parsing entry points clear it before
+	// the FormPage escapes, because the tree is arena-owned and recycled
+	// on the parser's next page.
 	Node *htmlx.Node
 }
 
@@ -106,72 +114,121 @@ func (f *Form) AttributeCount() int {
 func ExtractForms(doc *htmlx.Node) []*Form {
 	var out []*Form
 	for _, fn := range doc.FindAll("form") {
-		f := &Form{
-			Action: fn.Attr0("action"),
-			Method: strings.ToUpper(htmlx.CollapseSpace(fn.Attr0("method"))),
-			Node:   fn,
-		}
-		if f.Method == "" {
-			f.Method = "GET"
-		}
-		labels := labelTexts(fn)
-		fn.Walk(func(n *htmlx.Node) bool {
-			if n.Type != htmlx.ElementNode {
-				return true
-			}
-			switch n.Data {
-			case "input":
-				f.Fields = append(f.Fields, Field{
-					Tag:   "input",
-					Type:  strings.ToLower(n.Attr0("type")),
-					Name:  n.Attr0("name"),
-					Value: n.Attr0("value"),
-					Label: labels[n.Attr0("id")],
-				})
-			case "textarea":
-				f.Fields = append(f.Fields, Field{
-					Tag:   "textarea",
-					Name:  n.Attr0("name"),
-					Label: labels[n.Attr0("id")],
-				})
-			case "button":
-				f.Fields = append(f.Fields, Field{
-					Tag:   "button",
-					Type:  strings.ToLower(n.Attr0("type")),
-					Name:  n.Attr0("name"),
-					Value: n.Text(),
-				})
-			case "select":
-				fld := Field{
-					Tag:   "select",
-					Name:  n.Attr0("name"),
-					Label: labels[n.Attr0("id")],
-				}
-				for _, opt := range n.FindAll("option") {
-					if t := opt.Text(); t != "" {
-						fld.Options = append(fld.Options, t)
-					}
-				}
-				f.Fields = append(f.Fields, fld)
-				return false // options already consumed
-			}
-			return true
-		})
-		out = append(out, f)
+		out = append(out, extractForm(fn))
 	}
 	return out
 }
 
-// labelTexts maps control ids to the text of <label for=...> elements
-// inside the form.
-func labelTexts(formNode *htmlx.Node) map[string]string {
-	m := make(map[string]string)
-	for _, l := range formNode.FindAll("label") {
-		if id := l.Attr0("for"); id != "" {
-			m[id] = l.Text()
+// extractForm builds one Form in a single subtree traversal: the visible
+// text (byte-identical to fn.Text()), the controls in document order,
+// and the <label for=...> texts all come out of the same walk. Label
+// references resolve after the walk because a label may appear later in
+// the document than the control it names.
+func extractForm(fn *htmlx.Node) *Form {
+	f := &Form{
+		Action: fn.Attr0("action"),
+		Method: strings.ToUpper(htmlx.CollapseSpace(fn.Attr0("method"))),
+		Node:   fn,
+	}
+	if f.Method == "" {
+		f.Method = "GET"
+	}
+	var (
+		b      strings.Builder
+		space  bool
+		labels map[string]string // lazily built: most forms carry no labels
+		forIDs []string          // parallel to f.Fields: label id to resolve, "" for none
+	)
+	var walk func(n *htmlx.Node, fields bool)
+	walk = func(n *htmlx.Node, fields bool) {
+		switch n.Type {
+		case htmlx.TextNode:
+			for _, r := range n.Data {
+				if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\f' || r == '\u00a0' /* nbsp */ {
+					space = true
+					continue
+				}
+				if space && b.Len() > 0 {
+					b.WriteByte(' ')
+				}
+				space = false
+				b.WriteRune(r)
+			}
+			space = true // the separator between adjacent text nodes
+			return
+		case htmlx.ElementNode:
+			switch n.Data {
+			case "script", "style":
+				// Raw-text content: invisible, and it cannot contain
+				// controls or labels.
+				return
+			case "label":
+				if id := n.Attr0("for"); id != "" {
+					if labels == nil {
+						labels = make(map[string]string)
+					}
+					labels[id] = n.Text()
+				}
+			case "input":
+				if fields {
+					f.Fields = append(f.Fields, Field{
+						Tag:   "input",
+						Type:  strings.ToLower(n.Attr0("type")),
+						Name:  n.Attr0("name"),
+						Value: n.Attr0("value"),
+					})
+					forIDs = append(forIDs, n.Attr0("id"))
+				}
+			case "textarea":
+				if fields {
+					f.Fields = append(f.Fields, Field{
+						Tag:  "textarea",
+						Name: n.Attr0("name"),
+					})
+					forIDs = append(forIDs, n.Attr0("id"))
+				}
+			case "button":
+				if fields {
+					f.Fields = append(f.Fields, Field{
+						Tag:   "button",
+						Type:  strings.ToLower(n.Attr0("type")),
+						Name:  n.Attr0("name"),
+						Value: n.Text(),
+					})
+					forIDs = append(forIDs, "")
+				}
+			case "select":
+				if fields {
+					fld := Field{
+						Tag:  "select",
+						Name: n.Attr0("name"),
+					}
+					for _, opt := range n.FindAll("option") {
+						if t := opt.Text(); t != "" {
+							fld.Options = append(fld.Options, t)
+						}
+					}
+					f.Fields = append(f.Fields, fld)
+					forIDs = append(forIDs, n.Attr0("id"))
+					// Options are consumed; anything nested deeper is not
+					// one of the form's own controls. The subtree still
+					// contributes text and labels.
+					fields = false
+				}
+			}
+		}
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
+			walk(c, fields)
 		}
 	}
-	return m
+	walk(fn, true)
+	f.Text = b.String()
+	for i, id := range forIDs {
+		if id != "" {
+			f.Fields[i].Label = labels[id]
+		}
+	}
+	return f
 }
 
 // nonSearchableMarkers are terms whose presence in a form's text or field
@@ -225,7 +282,9 @@ func IsSearchable(f *Form) bool {
 // field names, values and labels.
 func formTextBlob(f *Form) string {
 	var b strings.Builder
-	if f.Node != nil {
+	if f.Text != "" {
+		b.WriteString(f.Text)
+	} else if f.Node != nil {
 		b.WriteString(f.Node.Text())
 	}
 	for _, fld := range f.Fields {
@@ -289,17 +348,47 @@ func (fp *FormPage) PageTermsOutsideForm() int {
 // ErrNoSearchableForm is returned when a page contains no searchable form.
 var ErrNoSearchableForm = errors.New("form: page has no searchable form")
 
+// Parser is a reusable form-page extractor: it owns a text.Tokenizer
+// whose token→stem memo and output buffers persist across pages, so the
+// tokenize/stem cost of the term walks — the bulk of Parse — amortizes
+// toward zero allocations per document. Not safe for concurrent use;
+// the package-level Parse/FromDoc hand out pooled parsers, and the
+// ingest pipeline's shard workers each hold their own.
+type Parser struct {
+	tk *text.Tokenizer
+	// arena backs the parse tree of the page in flight; it is recycled
+	// on the next Parse, which is why Parse severs Form.Node below.
+	arena *htmlx.Arena
+	// scratch stages a page's term walk so the retained FCTerms/PCTerms
+	// slices are single exact-size allocations instead of append-grown
+	// ones — no growth garbage, no capacity overshoot pinned in the
+	// model for the page's lifetime.
+	scratch []vector.WeightedTerm
+}
+
+// NewParser returns a parser with fresh tokenizer state.
+func NewParser() *Parser {
+	return &Parser{tk: text.NewTokenizer(), arena: &htmlx.Arena{}}
+}
+
 // Parse builds the FormPage for an HTML document. It extracts all forms,
 // keeps the first searchable one (pages in the corpus are expected to be
 // form pages already filtered by the crawler), and computes both feature
 // spaces with the given location weights.
-func Parse(url, html string, w Weights) (*FormPage, error) {
-	doc := htmlx.Parse(html)
-	return FromDoc(url, doc, w)
+func (p *Parser) Parse(url, html string, w Weights) (*FormPage, error) {
+	p.arena.Reset()
+	fp, err := p.FromDoc(url, htmlx.ParseArena(html, p.arena), w)
+	if err != nil {
+		return nil, err
+	}
+	// The tree is arena memory: it must not outlive this parser's next
+	// page. Everything downstream needs only the extracted strings.
+	fp.Form.Node = nil
+	return fp, nil
 }
 
 // FromDoc is Parse for an already-parsed document.
-func FromDoc(url string, doc *htmlx.Node, w Weights) (*FormPage, error) {
+func (p *Parser) FromDoc(url string, doc *htmlx.Node, w Weights) (*FormPage, error) {
 	forms := ExtractForms(doc)
 	var chosen *Form
 	for _, f := range forms {
@@ -316,20 +405,55 @@ func FromDoc(url string, doc *htmlx.Node, w Weights) (*FormPage, error) {
 		Title: htmlx.Title(doc),
 		Form:  chosen,
 	}
-	fp.FCTerms = formContentTerms(chosen, w)
-	fp.PCTerms = pageContentTerms(doc, w)
+	fp.FCTerms = p.formContentTerms(chosen, w)
+	fp.PCTerms = p.pageContentTerms(doc, w)
 	return fp, nil
+}
+
+// sealScratch copies the staged term walk into an exact-size slice the
+// caller may retain, leaving the scratch buffer for the next page.
+func (p *Parser) sealScratch() []vector.WeightedTerm {
+	if len(p.scratch) == 0 {
+		return nil
+	}
+	out := make([]vector.WeightedTerm, len(p.scratch))
+	copy(out, p.scratch)
+	return out
+}
+
+// parserPool recycles Parser state across the package-level entry
+// points, so serial callers (and each P of a parallel caller) reuse one
+// warm tokenizer instead of re-allocating per page.
+var parserPool = sync.Pool{New: func() any { return NewParser() }}
+
+// Parse is Parser.Parse on a pooled parser — the drop-in stateless
+// entry point. Output is identical to a fresh parser's (the tokenizer
+// memo is a pure-function cache).
+func Parse(url, html string, w Weights) (*FormPage, error) {
+	p := parserPool.Get().(*Parser)
+	defer parserPool.Put(p)
+	return p.Parse(url, html, w)
+}
+
+// FromDoc is Parse for an already-parsed document.
+func FromDoc(url string, doc *htmlx.Node, w Weights) (*FormPage, error) {
+	p := parserPool.Get().(*Parser)
+	defer parserPool.Put(p)
+	return p.FromDoc(url, doc, w)
 }
 
 // formContentTerms extracts FC: the stemmed terms of the text between the
 // FORM tags, with option-tag content at the (lower) Option LOC factor, and
 // visible control text (submit values, labels, alt text) at the Form
 // factor. Hidden-field values are excluded.
-func formContentTerms(f *Form, w Weights) []vector.WeightedTerm {
-	var out []vector.WeightedTerm
+func (p *Parser) formContentTerms(f *Form, w Weights) []vector.WeightedTerm {
+	p.scratch = p.scratch[:0]
 	add := func(s string, loc float64) {
-		for _, t := range text.Terms(s) {
-			out = append(out, vector.WeightedTerm{Term: t, Loc: loc})
+		// tk.Terms reuses its output slice; the terms are copied into
+		// the scratch before the next call, so the aliasing never
+		// escapes.
+		for _, t := range p.tk.Terms(s) {
+			p.scratch = append(p.scratch, vector.WeightedTerm{Term: t, Loc: loc})
 		}
 	}
 	var walk func(n *htmlx.Node, inOption bool)
@@ -362,23 +486,23 @@ func formContentTerms(f *Form, w Weights) []vector.WeightedTerm {
 				return
 			}
 		}
-		for _, c := range n.Children {
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
 			walk(c, inOption)
 		}
 	}
 	if f.Node != nil {
 		walk(f.Node, false)
 	}
-	return out
+	return p.sealScratch()
 }
 
 // pageContentTerms extracts PC: every visible term on the page, with title
 // terms at the Title LOC factor and everything else at Body.
-func pageContentTerms(doc *htmlx.Node, w Weights) []vector.WeightedTerm {
-	var out []vector.WeightedTerm
+func (p *Parser) pageContentTerms(doc *htmlx.Node, w Weights) []vector.WeightedTerm {
+	p.scratch = p.scratch[:0]
 	add := func(s string, loc float64) {
-		for _, t := range text.Terms(s) {
-			out = append(out, vector.WeightedTerm{Term: t, Loc: loc})
+		for _, t := range p.tk.Terms(s) {
+			p.scratch = append(p.scratch, vector.WeightedTerm{Term: t, Loc: loc})
 		}
 	}
 	var walk func(n *htmlx.Node, inTitle bool)
@@ -408,10 +532,10 @@ func pageContentTerms(doc *htmlx.Node, w Weights) []vector.WeightedTerm {
 				return
 			}
 		}
-		for _, c := range n.Children {
+		for c := n.FirstChild; c != nil; c = c.NextSibling {
 			walk(c, inTitle)
 		}
 	}
 	walk(doc, false)
-	return out
+	return p.sealScratch()
 }

@@ -67,11 +67,14 @@ func Features(f *form.Form) []string {
 	add("#method=" + f.Method)
 	add("#attrs=" + bucket(f.AttributeCount()))
 
-	// Text evidence: inner text and per-field metadata.
-	if f.Node != nil {
-		for _, t := range text.Terms(f.Node.Text()) {
-			add(t)
-		}
+	// Text evidence: inner text and per-field metadata. Text is captured
+	// at extraction; fall back to the tree for hand-built forms.
+	txt := f.Text
+	if txt == "" && f.Node != nil {
+		txt = f.Node.Text()
+	}
+	for _, t := range text.Terms(txt) {
+		add(t)
 	}
 	for _, fld := range f.Fields {
 		if fld.Hidden() {

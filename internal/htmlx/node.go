@@ -18,13 +18,19 @@ const (
 	CommentNode
 )
 
-// Node is a node in the simplified DOM produced by Parse.
+// Node is a node in the simplified DOM produced by Parse. Children hang
+// off an intrusive sibling list (FirstChild/NextSibling) rather than a
+// per-node slice, so building a tree allocates nothing beyond the nodes
+// themselves.
 type Node struct {
-	Type     NodeType
-	Data     string // tag name (elements), text (text nodes), comment body
-	Attr     []Attribute
-	Parent   *Node
-	Children []*Node
+	Type NodeType
+	Data string // tag name (elements), text (text nodes), comment body
+	Attr []Attribute
+
+	Parent      *Node
+	FirstChild  *Node
+	LastChild   *Node
+	NextSibling *Node
 }
 
 // AttrVal returns the value of the named attribute and whether it exists.
@@ -51,7 +57,12 @@ func (n *Node) IsElement(tag string) bool {
 // appendChild attaches c as the last child of n.
 func (n *Node) appendChild(c *Node) {
 	c.Parent = n
-	n.Children = append(n.Children, c)
+	if n.LastChild == nil {
+		n.FirstChild = c
+	} else {
+		n.LastChild.NextSibling = c
+	}
+	n.LastChild = c
 }
 
 // Walk calls fn for n and every descendant in document order. If fn returns
@@ -60,7 +71,7 @@ func (n *Node) Walk(fn func(*Node) bool) {
 	if !fn(n) {
 		return
 	}
-	for _, c := range n.Children {
+	for c := n.FirstChild; c != nil; c = c.NextSibling {
 		c.Walk(fn)
 	}
 }
@@ -95,28 +106,36 @@ func (n *Node) FindAll(tag string) []*Node {
 	return out
 }
 
-// nonContentTags are elements whose text content is not user-visible prose.
-var nonContentTags = map[string]bool{
-	"script": true,
-	"style":  true,
-}
-
 // Text returns the concatenated visible text of the subtree rooted at n,
 // with runs of whitespace collapsed to single spaces. Script and style
-// content is excluded.
+// content is excluded. The collapse happens while writing — one pass,
+// one allocation — and produces exactly what CollapseSpace over the
+// space-joined text nodes would.
 func (n *Node) Text() string {
 	var b strings.Builder
+	space := false
 	n.Walk(func(c *Node) bool {
-		if c.Type == ElementNode && nonContentTags[c.Data] {
+		if c.Type == ElementNode && (c.Data == "script" || c.Data == "style") {
 			return false
 		}
-		if c.Type == TextNode {
-			b.WriteString(c.Data)
-			b.WriteByte(' ')
+		if c.Type != TextNode {
+			return true
 		}
+		for _, r := range c.Data {
+			if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\f' || r == '\u00a0' /* nbsp */ {
+				space = true
+				continue
+			}
+			if space && b.Len() > 0 {
+				b.WriteByte(' ')
+			}
+			space = false
+			b.WriteRune(r)
+		}
+		space = true // the separator between adjacent text nodes
 		return true
 	})
-	return CollapseSpace(b.String())
+	return b.String()
 }
 
 // CollapseSpace trims s and collapses internal whitespace runs to one space.
@@ -125,7 +144,7 @@ func CollapseSpace(s string) string {
 	b.Grow(len(s))
 	space := false
 	for _, r := range s {
-		if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\f' || r == ' ' {
+		if r == ' ' || r == '\t' || r == '\n' || r == '\r' || r == '\f' || r == '\u00a0' /* nbsp */ {
 			space = true
 			continue
 		}
@@ -136,6 +155,78 @@ func CollapseSpace(s string) string {
 		b.WriteRune(r)
 	}
 	return b.String()
+}
+
+// Arena bulk-allocates parse-tree memory: nodes and attribute lists come
+// out of reusable slabs, so a warm parser performs a handful of slab
+// allocations per document instead of one per node. A tree built through
+// an arena is valid only until the arena's next Reset — callers that
+// retain trees must parse without one.
+type Arena struct {
+	nodes   []Node
+	nused   int
+	attrs   []Attribute
+	aused   int
+	scratch []Attribute // staging for the tag currently being tokenized
+}
+
+// node hands out a zeroed Node. A nil arena degrades to plain allocation.
+func (a *Arena) node() *Node {
+	if a == nil {
+		return &Node{}
+	}
+	if a.nused == len(a.nodes) {
+		n := 2 * len(a.nodes)
+		if n < 512 {
+			n = 512
+		}
+		// The full slab stays reachable through the tree under
+		// construction; only the fresh one is recycled by Reset.
+		a.nodes = make([]Node, n)
+		a.nused = 0
+	}
+	nd := &a.nodes[a.nused]
+	a.nused++
+	return nd
+}
+
+// copyAttrs copies a staged attribute list into the arena's attribute
+// slab, returning a full-capacity-clipped slice. A nil arena returns an
+// exact-size heap copy.
+func (a *Arena) copyAttrs(src []Attribute) []Attribute {
+	if len(src) == 0 {
+		return nil
+	}
+	if a == nil {
+		return append([]Attribute(nil), src...)
+	}
+	if a.aused+len(src) > len(a.attrs) {
+		n := 2 * len(a.attrs)
+		if n < 256 {
+			n = 256
+		}
+		if n < len(src) {
+			n = len(src)
+		}
+		a.attrs = make([]Attribute, n)
+		a.aused = 0
+	}
+	dst := a.attrs[a.aused : a.aused+len(src) : a.aused+len(src)]
+	copy(dst, src)
+	a.aused += len(src)
+	return dst
+}
+
+// Reset recycles the arena for the next parse. The used prefix is zeroed
+// so recycled slots drop their string references instead of pinning the
+// previous document's memory.
+func (a *Arena) Reset() {
+	if a == nil {
+		return
+	}
+	clear(a.nodes[:a.nused])
+	clear(a.attrs[:a.aused])
+	a.nused, a.aused = 0, 0
 }
 
 // impliedEndTags lists, for a tag being opened, the open tags it implicitly
@@ -154,28 +245,47 @@ var impliedEndTags = map[string][]string{
 
 // Parse builds a Node tree from src. It never fails: malformed input
 // produces a best-effort tree.
-func Parse(src string) *Node {
-	doc := &Node{Type: DocumentNode}
+func Parse(src string) *Node { return ParseArena(src, nil) }
+
+// ParseArena is Parse drawing tree memory from a (the ingest hot path's
+// zero-alloc mode). The returned tree is valid until a.Reset.
+func ParseArena(src string, a *Arena) *Node {
+	doc := a.node()
+	doc.Type = DocumentNode
 	stack := []*Node{doc}
 	top := func() *Node { return stack[len(stack)-1] }
 
-	z := NewTokenizer(src)
+	z := Tokenizer{src: src, arena: a}
+	if a != nil {
+		// Loan the arena's staging buffer to the tokenizer (and reclaim
+		// it at EOF) so it is allocated once per arena, not per parse.
+		z.scratch = a.scratch[:0]
+	}
 	for {
 		tok := z.Next()
 		switch tok.Type {
 		case ErrorToken:
+			if a != nil {
+				a.scratch = z.scratch
+			}
 			return doc
 		case TextToken:
 			if strings.TrimSpace(tok.Data) == "" {
 				continue
 			}
-			top().appendChild(&Node{Type: TextNode, Data: tok.Data})
+			n := a.node()
+			n.Type, n.Data = TextNode, tok.Data
+			top().appendChild(n)
 		case CommentToken:
-			top().appendChild(&Node{Type: CommentNode, Data: tok.Data})
+			n := a.node()
+			n.Type, n.Data = CommentNode, tok.Data
+			top().appendChild(n)
 		case DoctypeToken:
 			// Ignored: the tree does not model doctypes.
 		case SelfClosingTagToken:
-			top().appendChild(&Node{Type: ElementNode, Data: tok.Data, Attr: tok.Attr})
+			n := a.node()
+			n.Type, n.Data, n.Attr = ElementNode, tok.Data, tok.Attr
+			top().appendChild(n)
 		case StartTagToken:
 			// Apply implied end tags (e.g. <li> closes an open <li>).
 			if implied, ok := impliedEndTags[tok.Data]; ok {
@@ -194,7 +304,8 @@ func Parse(src string) *Node {
 					}
 				}
 			}
-			el := &Node{Type: ElementNode, Data: tok.Data, Attr: tok.Attr}
+			el := a.node()
+			el.Type, el.Data, el.Attr = ElementNode, tok.Data, tok.Attr
 			top().appendChild(el)
 			stack = append(stack, el)
 		case EndTagToken:

@@ -95,6 +95,10 @@ type Tokenizer struct {
 	// pendingRawText holds the element name whose raw text we must
 	// consume next (script/style/textarea).
 	pendingRawText string
+	// arena, when set, backs the attribute lists of emitted tokens;
+	// scratch stages the attributes of the tag being tokenized.
+	arena   *Arena
+	scratch []Attribute
 }
 
 // NewTokenizer returns a Tokenizer reading from src.
@@ -242,7 +246,9 @@ func (z *Tokenizer) startTag() Token {
 	}
 	name := strings.ToLower(z.src[start:i])
 	tok := Token{Type: StartTagToken, Data: name}
-	// Parse attributes.
+	// Parse attributes, staged in the reusable scratch buffer and copied
+	// into the arena (or an exact-size heap slice) once the tag is done.
+	attrs := z.scratch[:0]
 	for {
 		for i < len(z.src) && isSpace(z.src[i]) {
 			i++
@@ -303,9 +309,11 @@ func (z *Tokenizer) startTag() Token {
 			}
 		}
 		if key != "" {
-			tok.Attr = append(tok.Attr, Attribute{Key: key, Val: UnescapeEntities(val)})
+			attrs = append(attrs, Attribute{Key: key, Val: UnescapeEntities(val)})
 		}
 	}
+	z.scratch = attrs
+	tok.Attr = z.arena.copyAttrs(attrs)
 	z.pos = i
 	if tok.Type == StartTagToken && rawTextTags[name] {
 		z.pendingRawText = name

@@ -1,11 +1,18 @@
 package search
 
 import (
+	"sync"
+
 	"cafc/internal/form"
 	"cafc/internal/htmlx"
 	"cafc/internal/text"
 	"cafc/internal/vector"
 )
+
+// arenaPool recycles parse-tree arenas across PageTerms calls: the tree
+// never escapes this package (only extracted strings do), so each call
+// can release its nodes back for the next page.
+var arenaPool = sync.Pool{New: func() any { return &htmlx.Arena{} }}
 
 // PageTerms derives a document's searchable view from raw HTML: its
 // title and its LOC-weighted page-content terms (Equation 1's PC space —
@@ -16,7 +23,12 @@ import (
 // general case) fall back to a direct title/body walk. Empty or
 // unparseable HTML yields an empty, unsearchable document.
 func PageTerms(url, html string, w form.Weights) (string, []vector.WeightedTerm) {
-	doc := htmlx.Parse(html)
+	a := arenaPool.Get().(*htmlx.Arena)
+	defer func() {
+		a.Reset()
+		arenaPool.Put(a)
+	}()
+	doc := htmlx.ParseArena(html, a)
 	if fp, err := form.FromDoc(url, doc, w); err == nil {
 		return fp.Title, fp.PCTerms
 	}

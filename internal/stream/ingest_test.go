@@ -1,0 +1,360 @@
+package stream
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"cafc/internal/fault"
+	"cafc/internal/obs"
+)
+
+// TestParallelIngestBitIdenticalEpochs is the pipeline-level fan-out
+// contract: the same record sequence — batches, a forced rebuild, more
+// batches — published through sharded parse/embed must be bit-identical
+// to the serial reference for every worker count. Assignments,
+// centroid bits, document order, and every compiled page vector are
+// compared; this is what lets operators tune -ingest-workers without
+// forking replica state.
+func TestParallelIngestBitIdenticalEpochs(t *testing.T) {
+	docs := genDocs(t, 14, 60)
+	run := func(workers int) *Epoch {
+		l := syncLive(Config{K: 4, Seed: 5, IngestWorkers: workers})
+		l.apply(Record{Docs: docs[:24]}, false)
+		l.apply(Record{Docs: docs[24:40]}, false)
+		l.apply(Record{}, false) // forced rebuild marker
+		l.apply(Record{Docs: docs[40:]}, false)
+		return l.cur.Load()
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 3, 8} {
+		got := run(workers)
+		if got.Seq != ref.Seq || got.Model.Len() != ref.Model.Len() {
+			t.Fatalf("workers=%d: epoch %d/%d pages, want %d/%d",
+				workers, got.Seq, got.Model.Len(), ref.Seq, ref.Model.Len())
+		}
+		if !reflect.DeepEqual(got.Result.Assign, ref.Result.Assign) {
+			t.Errorf("workers=%d: assignments differ from serial", workers)
+		}
+		if !reflect.DeepEqual(got.Result.Centroids, ref.Result.Centroids) {
+			t.Errorf("workers=%d: centroid bits differ from serial", workers)
+		}
+		if !reflect.DeepEqual(got.Docs, ref.Docs) {
+			t.Errorf("workers=%d: admitted document sequence differs from serial", workers)
+		}
+		for i := 0; i < ref.Model.Len(); i++ {
+			if !reflect.DeepEqual(got.Model.Point(i), ref.Model.Point(i)) {
+				t.Fatalf("workers=%d: compiled page %d differs from serial", workers, i)
+			}
+		}
+	}
+}
+
+// TestGroupCommitStoreDurablePrefix pins the Store's group-commit
+// accounting: buffered records are invisible to every read path until
+// the commit, RecordCount counts durable records only, the pending cap
+// triggers an inline commit, and the fsync/group-commit counters track
+// real fsyncs, not appends.
+func TestGroupCommitStoreDurablePrefix(t *testing.T) {
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	reg := obs.NewRegistry()
+	s.Instrument(reg)
+	s.SetGroupCommit(4)
+	rec := func(i int) Record {
+		return Record{Docs: []Doc{{URL: fmt.Sprintf("http://d/%d", i)}}}
+	}
+
+	for i := 0; i < 3; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.RecordCount() != 0 || s.Pending() != 3 {
+		t.Fatalf("buffered: durable=%d pending=%d, want 0/3", s.RecordCount(), s.Pending())
+	}
+	if recs, err := s.Records(); err != nil || len(recs) != 0 {
+		t.Fatalf("pending records leaked to disk before commit: %d (%v)", len(recs), err)
+	}
+
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.RecordCount() != 3 || s.Pending() != 0 {
+		t.Fatalf("after flush: durable=%d pending=%d, want 3/0", s.RecordCount(), s.Pending())
+	}
+	if recs, _ := s.Records(); len(recs) != 3 {
+		t.Fatalf("durable records = %d, want 3", len(recs))
+	}
+	if got := obsCounter(t, reg, "wal_fsync_total"); got != 1 {
+		t.Errorf("wal_fsync_total = %v, want 1 (one fsync for three records)", got)
+	}
+	if got := obsCounter(t, reg, "wal_group_commit_total"); got != 1 {
+		t.Errorf("wal_group_commit_total = %v, want 1", got)
+	}
+
+	// The append that fills the window commits inline — backpressure.
+	for i := 3; i < 7; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.RecordCount() != 7 || s.Pending() != 0 {
+		t.Fatalf("cap commit: durable=%d pending=%d, want 7/0", s.RecordCount(), s.Pending())
+	}
+	if got := obsCounter(t, reg, "wal_fsync_total"); got != 2 {
+		t.Errorf("wal_fsync_total = %v, want 2", got)
+	}
+
+	// An empty flush is free: no write, no fsync, no counter motion.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := obsCounter(t, reg, "wal_fsync_total"); got != 2 {
+		t.Errorf("empty flush bumped wal_fsync_total to %v", got)
+	}
+}
+
+// TestGroupCommitCloseDropsPending pins Close's crash semantics: the
+// pending buffer is abandoned (those records were never acknowledged
+// durable), later appends fail, and a reopen sees exactly the durable
+// prefix.
+func TestGroupCommitCloseDropsPending(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetGroupCommit(100)
+	rec := func(i int) Record {
+		return Record{Docs: []Doc{{URL: fmt.Sprintf("http://d/%d", i)}}}
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 5; i++ {
+		if err := s.Append(rec(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Pending() != 3 {
+		t.Fatalf("pending = %d, want 3", s.Pending())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(rec(9)); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs, err := s2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("reopened records = %d, want the 2 durable ones", len(recs))
+	}
+}
+
+// TestGroupCommitCrashRecovery kills a live pipeline mid-group-commit
+// and checks the whole durability story: a frozen fault.FakeClock keeps
+// the commit window from ever elapsing, so records ingested after the
+// last explicit flush sit in the pending buffer deterministically; the
+// crash (Close) abandons them; recovery replays exactly the durable
+// prefix and lands on the last fsynced epoch, bit for bit; and a
+// follower bootstrapped from the same WAL converges to the same state
+// with a byte-identical log.
+func TestGroupCommitCrashRecovery(t *testing.T) {
+	docs := genDocs(t, 13, 48)
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clk := fault.NewFakeClock() // never advanced: the window never elapses
+	l := New(Config{
+		K: 4, Seed: 3, BatchSize: 12, FlushInterval: 10 * time.Millisecond,
+		Store: s, GroupCommit: 64, Clock: clk,
+	}, nil, nil)
+
+	for _, d := range docs[:24] {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "first half applied", func() bool {
+		e := l.Current()
+		return e != nil && len(e.Docs) == 24
+	})
+	// The queue is empty and the worker idle, so this flush is the last
+	// fsync before the crash — everything after it stays pending.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	durable := s.RecordCount()
+	want := l.Current()
+	if durable == 0 || want.WALRecords != durable {
+		t.Fatalf("flushed epoch reflects %d records, durable %d", want.WALRecords, durable)
+	}
+
+	for _, d := range docs[24:] {
+		if err := l.Ingest(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "second half applied", func() bool {
+		e := l.Current()
+		return e != nil && len(e.Docs) == 48
+	})
+	if s.Pending() == 0 {
+		t.Fatal("group commit did not buffer the post-flush records")
+	}
+	if got := s.RecordCount(); got != durable {
+		t.Fatalf("durable count moved under a frozen clock: %d -> %d", durable, got)
+	}
+	l.Close() // crash: no drain, no snapshot — pending records die here
+	s.Close()
+
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	recs, err := s2.Records()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(recs)) != durable {
+		t.Fatalf("recovered WAL has %d records, want the %d durable ones", len(recs), durable)
+	}
+	l2 := New(Config{K: 4, Seed: 3, Store: s2}, nil, recs)
+	defer l2.Close()
+	got := l2.Current()
+	if got == nil || got.Seq != want.Seq || got.Model.Len() != want.Model.Len() {
+		t.Fatalf("recovered epoch %+v, want seq %d with %d pages", got, want.Seq, want.Model.Len())
+	}
+	if !reflect.DeepEqual(got.Result.Assign, want.Result.Assign) {
+		t.Errorf("recovery diverged from the last fsynced assignments")
+	}
+	if !reflect.DeepEqual(got.Result.Centroids, want.Result.Centroids) {
+		t.Errorf("recovery diverged from the last fsynced centroid bits")
+	}
+
+	// Follower bootstrap from the same WAL: frames ship verbatim, the
+	// manual pipeline applies them, and both logs end byte-identical.
+	frames, total, err := TailWAL(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != durable {
+		t.Fatalf("leader WAL has %d frames, want %d", total, durable)
+	}
+	fdir := t.TempDir()
+	fs, err := Open(fdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fs.Close()
+	f := NewManual(Config{K: 4, Seed: 3}, nil, nil)
+	for _, fr := range frames {
+		if err := fs.AppendFrame(fr); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.ApplyReplicated(fr.Rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	lb, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(filepath.Join(fdir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(lb, fb) {
+		t.Fatalf("follower WAL (%d bytes) is not byte-identical to the leader's durable log (%d bytes)", len(fb), len(lb))
+	}
+	fe := f.Current()
+	if fe == nil || fe.Seq != want.Seq {
+		t.Fatalf("follower epoch %+v, want seq %d", fe, want.Seq)
+	}
+	if !reflect.DeepEqual(fe.Result.Assign, want.Result.Assign) ||
+		!reflect.DeepEqual(fe.Result.Centroids, want.Result.Centroids) {
+		t.Errorf("follower state diverged from the leader's last fsynced epoch")
+	}
+}
+
+// TestIngestInstrumentationInert extends the observability contract to
+// the ingest pipeline's new metrics: a registry-attached run is
+// bit-identical to the nil-registry run, and the registry actually
+// receives the parse-stage histogram (so the instrumentation cannot rot
+// into a no-op).
+func TestIngestInstrumentationInert(t *testing.T) {
+	docs := genDocs(t, 15, 30)
+	run := func(reg *obs.Registry) *Epoch {
+		l := syncLive(Config{K: 3, Seed: 7, IngestWorkers: 4, Metrics: reg})
+		l.apply(Record{Docs: docs[:18]}, false)
+		l.apply(Record{Docs: docs[18:]}, false)
+		return l.cur.Load()
+	}
+	plain := run(nil)
+	reg := obs.NewRegistry()
+	instr := run(reg)
+	if !reflect.DeepEqual(plain.Result.Assign, instr.Result.Assign) ||
+		!reflect.DeepEqual(plain.Result.Centroids, instr.Result.Centroids) {
+		t.Error("instrumented ingest differs from the nil-registry run")
+	}
+	names := map[string]bool{}
+	for _, s := range reg.Snapshot() {
+		names[s.Name] = true
+	}
+	for _, n := range []string{"ingest_batch_parse_millis", "stream_ingest_batch_seconds"} {
+		if !names[n] {
+			t.Errorf("metric %s was never recorded", n)
+		}
+	}
+}
+
+// TestStatusSaturationFields smoke-checks the new Status fields: the
+// resolved worker count, the pending-record gauge under group commit,
+// and a busy fraction that lands in (0, 1].
+func TestStatusSaturationFields(t *testing.T) {
+	docs := genDocs(t, 16, 12)
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	s.SetGroupCommit(100)
+	l := syncLive(Config{K: 2, Seed: 1, IngestWorkers: 3, Store: s})
+	l.startNano.Store(time.Now().UnixNano())
+	l.apply(Record{Docs: docs}, false)
+	st := l.Status()
+	if st.IngestWorkers != 3 {
+		t.Errorf("IngestWorkers = %d, want 3", st.IngestWorkers)
+	}
+	if st.WALPending != 1 {
+		t.Errorf("WALPending = %d, want 1 buffered record", st.WALPending)
+	}
+	if st.IngestBusyFraction <= 0 || st.IngestBusyFraction > 1 {
+		t.Errorf("IngestBusyFraction = %v, want in (0, 1]", st.IngestBusyFraction)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -13,6 +14,8 @@ import (
 	"cafc/internal/cluster"
 	"cafc/internal/form"
 	"cafc/internal/obs"
+	"cafc/internal/retry"
+	"cafc/internal/vector"
 )
 
 // Config configures a Live ingester. The zero value of every optional
@@ -85,6 +88,29 @@ type Config struct {
 	// goroutine, after the atomic swap. Serving layers use it to
 	// rebuild per-epoch artifacts (directory UI, classifier labels).
 	OnPublish func(*Epoch)
+	// IngestWorkers shards the per-batch parse/tokenize/embed stage
+	// (0 = one per CPU, 1 = the serial reference path). Workers fill
+	// index-addressed slots and a serial merge preserves document
+	// order, so published epochs are bit-identical for every value —
+	// the same fan-out contract as the model build.
+	IngestWorkers int
+	// GroupCommit, when > 0, switches the Store into group-commit mode
+	// with this pending-record cap: WAL appends buffer in memory and
+	// fsync together — behind the bounded CommitWindow, at the cap, or
+	// on drain/snapshot. 0 (default) keeps one fsync per record.
+	// Recovery stays epoch-exact over the durable prefix; a crash loses
+	// only buffered records, which were never acknowledged as durable.
+	// Leaders only: follower stores must sync per applied frame so
+	// their replication resume offset never trails what they applied.
+	GroupCommit int
+	// CommitWindow bounds how long a buffered record may wait for an
+	// fsync in group-commit mode (0 = FlushInterval). The worker checks
+	// the window after every batch and on every ticker tick.
+	CommitWindow time.Duration
+	// Clock drives the group-commit window policy (nil = system
+	// clock). A fault.FakeClock here makes commit timing — and with it
+	// mid-group-commit crash tests — deterministic.
+	Clock retry.Clock
 }
 
 func (c Config) withDefaults() Config {
@@ -103,7 +129,21 @@ func (c Config) withDefaults() Config {
 	if c.Weights == (form.Weights{}) {
 		c.Weights = form.DefaultWeights
 	}
+	if c.CommitWindow == 0 {
+		c.CommitWindow = c.FlushInterval
+	}
+	if c.Clock == nil {
+		c.Clock = retry.System
+	}
 	return c
+}
+
+// ingestWorkers resolves the configured shard count.
+func (c Config) ingestWorkers() int {
+	if c.IngestWorkers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return c.IngestWorkers
 }
 
 // Epoch is one immutable published model state. Everything reachable
@@ -160,6 +200,16 @@ type Status struct {
 	// scraping Prometheus.
 	LastRebuildAt      time.Time
 	LastRebuildSeconds float64
+	// IngestWorkers is the resolved parse/embed shard count.
+	IngestWorkers int
+	// WALPending counts records buffered under group commit but not
+	// yet fsynced (0 when group commit is off or no store is attached).
+	WALPending int
+	// IngestBusyFraction is the share of wall-clock the batch worker
+	// has spent inside apply since the pipeline started — the
+	// ingest-worker saturation signal (≈1.0 means ingest is
+	// CPU-bound and the queue is the next thing to fill).
+	IngestBusyFraction float64
 }
 
 // ErrBacklog is returned by Ingest when the bounded queue is full —
@@ -185,6 +235,7 @@ type Live struct {
 	wg    sync.WaitGroup
 
 	draining  atomic.Bool
+	graceful  atomic.Bool
 	ingested  atomic.Int64
 	skipped   atomic.Int64
 	rejected  atomic.Int64
@@ -192,6 +243,12 @@ type Live struct {
 	rebuilds  atomic.Int64
 	walErrors atomic.Int64
 	driftBits atomic.Uint64
+
+	// startNano/busyNano measure worker saturation: busyNano
+	// accumulates wall time spent inside apply, so busy/(now-start) is
+	// the fraction of the pipeline's life the worker was working.
+	startNano atomic.Int64
+	busyNano  atomic.Int64
 
 	lastPublishNano    atomic.Int64
 	lastRebuildNano    atomic.Int64
@@ -211,6 +268,13 @@ type Live struct {
 	// they keep the per-point indexed scoring loop allocation-free.
 	simsBuf    []float64
 	scratchBuf []float64
+	// pacc/facc are the pooled centroid accumulators for miniBatch's
+	// touched-cluster refresh — two vocabulary-sized arrays reused
+	// across every refreshed centroid of every batch instead of
+	// allocated per centroid. Worker-goroutine-only, like the buffers
+	// above; CentroidWith resets them on every Compile, so reuse is
+	// bit-identical to fresh allocation.
+	pacc, facc *vector.Accumulator
 }
 
 // New builds a Live pipeline, applies any pending WAL records through
@@ -247,6 +311,18 @@ func newLive(cfg Config, genesis *Epoch, pending []Record, manual bool) *Live {
 		stop:   make(chan struct{}),
 		force:  make(chan struct{}, 1),
 		manual: manual,
+	}
+	l.startNano.Store(time.Now().UnixNano())
+	if cfg.Store != nil {
+		cfg.Store.Instrument(cfg.Metrics)
+		// Group commit is a leader-only optimization: a manual
+		// (follower/replica) pipeline must keep its durable record
+		// count in lockstep with what it applied, because that count is
+		// its replication resume offset — buffered frames would be
+		// re-fetched and double-applied after the gap closed.
+		if !manual && cfg.GroupCommit > 0 {
+			cfg.Store.SetGroupCommit(cfg.GroupCommit)
+		}
 	}
 	cfg.Metrics.Gauge("stream_queue_capacity").Set(float64(cfg.QueueSize))
 	if genesis != nil {
@@ -368,6 +444,17 @@ func (l *Live) Status() Status {
 		s.LastRebuildAt = time.Unix(0, ns)
 		s.LastRebuildSeconds = time.Duration(l.lastRebuildDurNano.Load()).Seconds()
 	}
+	s.IngestWorkers = l.cfg.ingestWorkers()
+	if l.cfg.Store != nil {
+		s.WALPending = l.cfg.Store.Pending()
+	}
+	if elapsed := time.Now().UnixNano() - l.startNano.Load(); elapsed > 0 {
+		f := float64(l.busyNano.Load()) / float64(elapsed)
+		if f > 1 {
+			f = 1
+		}
+		s.IngestBusyFraction = f
+	}
 	return s
 }
 
@@ -377,6 +464,7 @@ func (l *Live) Status() Status {
 // worker has exited or ctx expires.
 func (l *Live) Drain(ctx context.Context) error {
 	l.draining.Store(true)
+	l.graceful.Store(true)
 	l.stopOnce.Do(func() { close(l.stop) })
 	done := make(chan struct{})
 	go func() {
@@ -388,8 +476,14 @@ func (l *Live) Drain(ctx context.Context) error {
 	case <-ctx.Done():
 		return ctx.Err()
 	}
-	// A manual pipeline has no worker to write the final snapshot on
-	// stop, so Drain writes it inline.
+	// A manual pipeline has no worker to run the graceful stop path, so
+	// Drain flushes the WAL and writes the final snapshot inline.
+	if l.manual && l.cfg.Store != nil {
+		if err := l.cfg.Store.Flush(); err != nil {
+			l.walErrors.Add(1)
+			l.cfg.Metrics.Counter("stream_wal_errors_total").Inc()
+		}
+	}
 	if l.manual && l.cfg.SaveSnapshot != nil {
 		if e := l.cur.Load(); e != nil {
 			if err := l.cfg.SaveSnapshot(e); err != nil {
@@ -424,6 +518,31 @@ func (l *Live) run() {
 			batch = nil
 		}
 	}
+
+	// Group-commit window policy, clock-seamed for determinism: after
+	// every batch and on every ticker tick, kick the background
+	// committer once the oldest pending record has waited CommitWindow.
+	// The kick is asynchronous — the fsync of batch N overlaps the
+	// parse/embed of batch N+1 — and the pending cap is enforced
+	// inline by the Store itself. With a frozen fault.FakeClock the
+	// window never elapses, which is how the crash-recovery test holds
+	// records in the pending buffer deterministically.
+	lastCommit := l.cfg.Clock.Now()
+	maybeCommit := func() {
+		st := l.cfg.Store
+		if st == nil || st.GroupCommit() <= 0 {
+			return
+		}
+		if st.Pending() == 0 {
+			lastCommit = l.cfg.Clock.Now()
+			return
+		}
+		if l.cfg.Clock.Now().Sub(lastCommit) >= l.cfg.CommitWindow {
+			st.RequestCommit()
+			lastCommit = l.cfg.Clock.Now()
+		}
+	}
+
 	for {
 		select {
 		case d := <-l.queue:
@@ -432,11 +551,14 @@ func (l *Live) run() {
 			if len(batch) >= l.cfg.BatchSize {
 				flush()
 			}
+			maybeCommit()
 		case <-l.force:
 			flush()
 			l.apply(Record{}, false)
+			maybeCommit()
 		case <-ticker.C:
 			flush()
+			maybeCommit()
 		case <-l.stop:
 			// Graceful drain (Drain) and hard stop (Close) share the
 			// stop channel; Close marks the queue as abandoned by
@@ -456,6 +578,17 @@ func (l *Live) run() {
 				break
 			}
 			flush()
+			// Drain (graceful) makes every accepted record durable before
+			// the worker exits; Close keeps crash semantics — buffered
+			// group-commit records are abandoned exactly as a real crash
+			// would abandon them, which is what the recovery tests
+			// simulate.
+			if l.graceful.Load() && l.cfg.Store != nil {
+				if err := l.cfg.Store.Flush(); err != nil {
+					l.walErrors.Add(1)
+					l.cfg.Metrics.Counter("stream_wal_errors_total").Inc()
+				}
+			}
 			if l.cfg.SaveSnapshot != nil {
 				if e := l.cur.Load(); e != nil {
 					if err := l.cfg.SaveSnapshot(e); err != nil {
@@ -469,6 +602,29 @@ func (l *Live) run() {
 	}
 }
 
+// parseMillisBuckets grade the per-batch parse stage from sub-ms
+// partial batches to multi-second million-page prep runs.
+var parseMillisBuckets = []float64{0.5, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// ParseDocs runs the sharded parse/tokenize stage over docs: each shard
+// worker parses its index range with a pooled parser (warm tokenizer
+// memo), writing into index-addressed slots, and the serial merge
+// preserves document order — so the admitted sequence, and with it
+// every downstream epoch, is bit-identical to a serial parse for every
+// worker count. Slots for unparseable documents come back nil.
+func ParseDocs(docs []Doc, w form.Weights, workers int) []*form.FormPage {
+	parsed := make([]*form.FormPage, len(docs))
+	cluster.ParallelRange(len(docs), workers, func(lo, hi, _ int) {
+		for i := lo; i < hi; i++ {
+			fp, err := form.Parse(docs[i].URL, docs[i].HTML, w)
+			if err == nil {
+				parsed[i] = fp
+			}
+		}
+	})
+	return parsed
+}
+
 // apply runs one WAL record through the pipeline: parse, (on the live
 // path) log to the WAL, grow or rebuild the model, publish the next
 // epoch. replay=true skips WAL writes — the record is already durable.
@@ -477,26 +633,31 @@ func (l *Live) apply(rec Record, replay bool) {
 	if rec.IsRebuild() && l.cur.Load() == nil {
 		return // nothing to rebuild before the first model exists
 	}
-	var t0 time.Time
+	t0 := time.Now()
+	defer func() { l.busyNano.Add(int64(time.Since(t0))) }()
 	batchHist := reg.Histogram("stream_ingest_batch_seconds", obs.DurationBuckets)
-	if batchHist != nil {
-		t0 = time.Now()
-	}
 
 	// Parse first: a batch of unparseable pages must still be WAL-logged
 	// (replay must re-skip them) but publishes an epoch only if it
-	// changed anything or forced a rebuild.
+	// changed anything or forced a rebuild. The parse stage shards
+	// across IngestWorkers; the merge below runs serially in document
+	// order, so admission order is worker-count-independent.
 	var fps []*form.FormPage
 	var admitted []Doc
-	for _, d := range rec.Docs {
-		fp, err := form.Parse(d.URL, d.HTML, l.cfg.Weights)
-		if err != nil {
-			l.skipped.Add(1)
-			reg.Counter("stream_skipped_docs_total").Inc()
-			continue
+	if len(rec.Docs) > 0 {
+		pt0 := time.Now()
+		parsed := ParseDocs(rec.Docs, l.cfg.Weights, l.cfg.IngestWorkers)
+		reg.Histogram("ingest_batch_parse_millis", parseMillisBuckets).
+			Observe(float64(time.Since(pt0)) / float64(time.Millisecond))
+		for i, fp := range parsed {
+			if fp == nil {
+				l.skipped.Add(1)
+				reg.Counter("stream_skipped_docs_total").Inc()
+				continue
+			}
+			fps = append(fps, fp)
+			admitted = append(admitted, rec.Docs[i])
 		}
-		fps = append(fps, fp)
-		admitted = append(admitted, d)
 	}
 
 	if !replay && l.cfg.Store != nil {
@@ -558,6 +719,10 @@ func (l *Live) buildEpoch(cur *Epoch, rec Record, fps []*form.FormPage, admitted
 	} else {
 		m = icafc.BuildMetrics(nil, l.cfg.Uniform, reg)
 	}
+	// The incremental append (embed + compile) shards with the same
+	// worker budget as the parse stage; both are bit-identical for
+	// every worker count.
+	m.Workers = l.cfg.IngestWorkers
 	m.AppendPages(fps)
 	docs := admitted
 	if cur != nil {
@@ -641,10 +806,16 @@ func (l *Live) miniBatch(m *icafc.Model, cur *Epoch) (cluster.Result, float64) {
 		assign[i] = best
 		touched[best] = true
 	}
+	if l.pacc == nil {
+		l.pacc = vector.NewAccumulator(0)
+		l.facc = vector.NewAccumulator(0)
+	}
 	members := cluster.Members(assign, k)
 	for c := range touched {
 		if len(members[c]) > 0 {
-			centroids[c] = m.Centroid(members[c])
+			// Pooled accumulators: the refresh used to allocate two
+			// vocabulary-sized arrays per touched cluster per batch.
+			centroids[c] = m.CentroidWith(members[c], l.pacc, l.facc)
 		}
 	}
 

@@ -26,6 +26,8 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+
+	"cafc/internal/obs"
 )
 
 // Doc is one raw page offered to the stream: its URL and HTML. The raw
@@ -78,10 +80,19 @@ type Frame struct {
 // EncodeFrame frames one record exactly as Append writes it to disk.
 func EncodeFrame(rec Record) (Frame, error) {
 	var payload bytes.Buffer
+	// Size the buffer up front: large-batch records carry megabytes of
+	// document bytes, and letting the buffer double its way there churns
+	// the allocator on the ingest hot path.
+	hint := 64
+	for _, d := range rec.Docs {
+		hint += len(d.URL) + len(d.HTML) + 16
+	}
+	payload.Grow(hint)
 	if err := gob.NewEncoder(&payload).Encode(rec); err != nil {
 		return Frame{}, fmt.Errorf("stream: wal encode: %w", err)
 	}
 	var frame bytes.Buffer
+	frame.Grow(payload.Len() + binary.MaxVarintLen64 + 4)
 	var lenBuf [binary.MaxVarintLen64]byte
 	frame.Write(lenBuf[:binary.PutUvarint(lenBuf[:], uint64(payload.Len()))])
 	var crcBuf [4]byte
@@ -224,12 +235,48 @@ func HasState(dir string) bool {
 // directory. WAL frames are length-prefixed and checksummed
 // individually (uvarint length, CRC-32C, gob payload), so a torn tail
 // from a crash truncates cleanly instead of poisoning the stream.
+//
+// Two durability modes. The default syncs every Append before returning
+// — one fsync per record. Group-commit mode (SetGroupCommit) buffers
+// encoded frames in memory and commits them — one Write of every
+// pending frame plus one fsync — when the owner asks (RequestCommit /
+// Flush) or the pending count hits the cap. Because pending frames
+// never touch the file before their commit, every read path (TailWAL,
+// Records, replication) sees exactly the durable prefix, and a crash
+// simply loses the pending tail — the same truncation contract a torn
+// tail has always had. RecordCount likewise counts durable records
+// only, which is what keeps follower resume offsets (they re-fetch from
+// the leader's durable count) from double-applying a buffered frame.
 type Store struct {
 	dir string
 
+	// mu guards the WAL handle, the durable record count, and the
+	// pending buffer. Never held across a disk write in group mode —
+	// commits steal the pending slice and write under commitMu, so
+	// Append stays non-blocking while an fsync is in flight (the
+	// overlap that lets batch N+1 parse while batch N syncs).
 	mu      sync.Mutex
 	wal     *os.File
 	records int64
+	pending [][]byte
+	// commitErr is the first commit failure, sticky: once buffered
+	// frames have been dropped on the floor the log's append-only
+	// contract is broken and every later append must fail loudly.
+	commitErr error
+
+	// commitMu serializes commits (steal → write → sync → account).
+	commitMu sync.Mutex
+
+	// groupMax, kick, quit, done belong to group-commit mode; all are
+	// set once in SetGroupCommit before concurrent use.
+	groupMax int
+	kick     chan struct{}
+	quit     chan struct{}
+	done     chan struct{}
+
+	// reg receives wal_fsync_total / wal_group_commit_total /
+	// wal_pending_records. Nil (the default) is inert.
+	reg *obs.Registry
 }
 
 // Open opens (creating if needed) the store directory and its WAL, and
@@ -255,12 +302,140 @@ func Open(dir string) (*Store, error) {
 // Dir returns the store's directory.
 func (s *Store) Dir() string { return s.dir }
 
-// RecordCount returns the number of intact WAL records (written plus
-// pre-existing).
+// Instrument attaches a metrics registry: wal_fsync_total counts every
+// fsync on the log, wal_group_commit_total every multi-record commit,
+// wal_pending_records the buffered (not yet durable) record count. Nil
+// — and never calling Instrument — is inert. Call before concurrent
+// use.
+func (s *Store) Instrument(reg *obs.Registry) { s.reg = reg }
+
+// SetGroupCommit switches the store into group-commit mode with the
+// given pending-record cap and starts the background committer that
+// serves RequestCommit kicks. max <= 0 keeps the default
+// sync-per-append mode. Call once, before concurrent use, and only on
+// a store whose owner drives the commit policy (the live worker);
+// follower stores must stay in the default mode so their durable count
+// — the replication resume offset — never lags what they acknowledged.
+func (s *Store) SetGroupCommit(max int) {
+	if max <= 0 || s.kick != nil {
+		return
+	}
+	s.groupMax = max
+	s.kick = make(chan struct{}, 1)
+	s.quit = make(chan struct{})
+	s.done = make(chan struct{})
+	kick, quit, done := s.kick, s.quit, s.done
+	go func() {
+		defer close(done)
+		for {
+			select {
+			case <-quit:
+				return
+			case <-kick:
+				// Errors are sticky in commitErr and surface on the next
+				// Append/Flush; the committer itself has no caller to tell.
+				s.Flush() //nolint:errcheck
+			}
+		}
+	}()
+}
+
+// GroupCommit reports the pending-record cap (0 = sync per append).
+func (s *Store) GroupCommit() int { return s.groupMax }
+
+// RecordCount returns the number of durable (fsynced) WAL records. In
+// group-commit mode, buffered-but-uncommitted records are excluded —
+// see Pending.
 func (s *Store) RecordCount() int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.records
+}
+
+// Pending returns the number of records buffered but not yet durable.
+// Always 0 outside group-commit mode.
+func (s *Store) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.pending)
+}
+
+// RequestCommit asks the background committer to commit the pending
+// buffer — non-blocking, coalescing: a kick while one is queued is
+// absorbed. No-op outside group-commit mode.
+func (s *Store) RequestCommit() {
+	if s.kick == nil {
+		return
+	}
+	select {
+	case s.kick <- struct{}{}:
+	default:
+	}
+}
+
+// Flush synchronously commits every pending record: one write of the
+// concatenated frames, one fsync. A no-op (nil) when nothing is
+// pending. Returns the sticky commit error once one has occurred.
+func (s *Store) Flush() error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+
+	s.mu.Lock()
+	if s.commitErr != nil {
+		err := s.commitErr
+		s.mu.Unlock()
+		return err
+	}
+	batch := s.pending
+	s.pending = nil
+	wal := s.wal
+	s.mu.Unlock()
+	if len(batch) == 0 {
+		return nil
+	}
+	if wal == nil {
+		s.mu.Lock()
+		s.commitErr = errors.New("stream: store closed with pending records")
+		err := s.commitErr
+		s.mu.Unlock()
+		return err
+	}
+
+	var err error
+	for _, raw := range batch {
+		if _, err = wal.Write(raw); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = wal.Sync()
+	}
+
+	s.mu.Lock()
+	if err != nil {
+		s.commitErr = fmt.Errorf("stream: wal group commit: %w", err)
+		err = s.commitErr
+	} else {
+		s.records += int64(len(batch))
+	}
+	s.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	s.reg.Counter("wal_fsync_total").Inc()
+	if len(batch) > 1 {
+		s.reg.Counter("wal_group_commit_total").Inc()
+	}
+	s.notePending()
+	return nil
+}
+
+// notePending refreshes the pending-records gauge.
+func (s *Store) notePending() {
+	if s.reg == nil {
+		return
+	}
+	s.reg.Gauge("wal_pending_records").Set(float64(s.Pending()))
 }
 
 // Append frames one record onto the WAL and syncs it to stable storage
@@ -285,20 +460,41 @@ func (s *Store) AppendFrame(f Frame) error {
 	return s.appendRaw(f.Raw)
 }
 
-// appendRaw writes one already-framed record and syncs.
+// appendRaw accepts one already-framed record: in the default mode it
+// writes and syncs inline; in group-commit mode it buffers the frame
+// and, at the pending cap, commits inline — the natural backpressure
+// point (an ingest batch that fills the window pays for the fsync it
+// triggered).
 func (s *Store) appendRaw(raw []byte) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.wal == nil {
+		s.mu.Unlock()
 		return errors.New("stream: store closed")
 	}
-	if _, err := s.wal.Write(raw); err != nil {
-		return fmt.Errorf("stream: wal append: %w", err)
+	if s.commitErr != nil {
+		err := s.commitErr
+		s.mu.Unlock()
+		return err
 	}
-	if err := s.wal.Sync(); err != nil {
-		return fmt.Errorf("stream: wal sync: %w", err)
+	if s.groupMax <= 0 {
+		defer s.mu.Unlock()
+		if _, err := s.wal.Write(raw); err != nil {
+			return fmt.Errorf("stream: wal append: %w", err)
+		}
+		if err := s.wal.Sync(); err != nil {
+			return fmt.Errorf("stream: wal sync: %w", err)
+		}
+		s.records++
+		s.reg.Counter("wal_fsync_total").Inc()
+		return nil
 	}
-	s.records++
+	s.pending = append(s.pending, raw)
+	n := len(s.pending)
+	s.mu.Unlock()
+	s.notePending()
+	if n >= s.groupMax {
+		return s.Flush()
+	}
 	return nil
 }
 
@@ -321,7 +517,14 @@ func (s *Store) Records() ([]Record, error) {
 // WriteSnapshot atomically replaces the store's snapshot with whatever
 // fn writes: the bytes land in a temp file first and are renamed into
 // place, so a crash mid-snapshot leaves the previous snapshot intact.
+// Pending group-commit records are flushed first, so a snapshot's WAL
+// offset never runs ahead of the durable log (recovery additionally
+// clamps the offset, but a snapshot that references records a crash
+// could erase must not be the normal case).
 func (s *Store) WriteSnapshot(fn func(io.Writer) error) error {
+	if err := s.Flush(); err != nil {
+		return err
+	}
 	tmp, err := os.CreateTemp(s.dir, snapshotName+".tmp*")
 	if err != nil {
 		return fmt.Errorf("stream: snapshot: %w", err)
@@ -357,10 +560,28 @@ func (s *Store) OpenSnapshot() (io.ReadCloser, error) {
 	return f, nil
 }
 
-// Close closes the WAL handle. Appends after Close fail.
+// Close closes the WAL handle. Appends after Close fail. In
+// group-commit mode Close deliberately does NOT flush the pending
+// buffer — Close is the crash-semantics teardown (the recovery tests
+// lean on it), and unflushed records were never promised durable.
+// Graceful shutdown reaches durability through the worker's drain path
+// (which flushes before the final snapshot), not through Close.
 func (s *Store) Close() error {
 	s.mu.Lock()
+	quit := s.quit
+	s.quit = nil
+	s.mu.Unlock()
+	if quit != nil {
+		close(quit)
+		<-s.done
+	}
+	// Taking commitMu keeps an in-flight commit's write+sync from racing
+	// the handle close.
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.pending = nil
 	if s.wal == nil {
 		return nil
 	}

@@ -1,0 +1,91 @@
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// maxStemCache bounds a Tokenizer's token→result cache. Webgen and real
+// form-page corpora have vocabularies far below this; the cap only
+// exists so adversarial input (random-string floods) cannot grow a
+// pooled tokenizer without bound. Past the cap, tokens are still
+// processed correctly — just without memoization.
+const maxStemCache = 1 << 16
+
+// Tokenizer is a reusable tokenize→stop-word→stem pipeline with
+// amortized state: the output slice is recycled call to call, and every
+// distinct raw token's final result (its stem, or "drop" for stop words
+// and the ToLower/Stem allocations that produced it) is memoized, so in
+// steady state Terms performs zero allocations per call — pinned by
+// TestTokenizerZeroAllocSteadyState. This is the ingest hot path's
+// tokenizer; the stateless package functions remain for one-shot use.
+//
+// Not safe for concurrent use; pool one per worker (form.Parser does).
+type Tokenizer struct {
+	terms []string
+	// stems maps a raw (pre-lowercase) token to its pipeline result:
+	// the stemmed term, or "" when the token is a stop word and must be
+	// dropped. Keyed raw so cache hits skip ToLower entirely; the
+	// pipeline is a pure function of the token, so the memo is exact.
+	stems map[string]string
+}
+
+// NewTokenizer returns an empty tokenizer ready for reuse.
+func NewTokenizer() *Tokenizer {
+	return &Tokenizer{stems: make(map[string]string, 256)}
+}
+
+// Terms runs the Terms pipeline — tokenize, drop stop words, stem —
+// producing element-for-element the same output as the package-level
+// Terms for every input. The returned slice is owned by the tokenizer
+// and overwritten by the next call; callers must copy what they keep.
+func (tk *Tokenizer) Terms(s string) []string {
+	out := tk.terms[:0]
+	start := -1
+	for i, r := range s {
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			if start < 0 {
+				start = i
+			}
+			continue
+		}
+		if start >= 0 {
+			out = tk.emit(out, s[start:i])
+			start = -1
+		}
+	}
+	if start >= 0 {
+		out = tk.emit(out, s[start:])
+	}
+	tk.terms = out
+	return out
+}
+
+// emit pushes one raw token through the memoized pipeline. The map
+// lookup with a substring key does not allocate; only the first
+// sighting of a token pays for ToLower, the stop-word check, Stem, and
+// a strings.Clone of the key (the clone detaches the key from the —
+// possibly page-sized — backing string of s).
+func (tk *Tokenizer) emit(out []string, tok string) []string {
+	if len(tok) <= 1 {
+		return out
+	}
+	if st, ok := tk.stems[tok]; ok {
+		if st != "" {
+			out = append(out, st)
+		}
+		return out
+	}
+	low := strings.ToLower(tok)
+	st := ""
+	if !IsStopWord(low) {
+		st = Stem(low)
+	}
+	if len(tk.stems) < maxStemCache {
+		tk.stems[strings.Clone(tok)] = st
+	}
+	if st != "" {
+		out = append(out, st)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package text
+
+import (
+	"fmt"
+	"testing"
+)
+
+// tokenizerInputs covers the pipeline's edge cases: mixed case, digits,
+// single-char noise, stop words, punctuation runs, unicode letters,
+// empties, and repeated tokens (the memoized path).
+var tokenizerInputs = []string{
+	"",
+	"a",
+	"ab",
+	"Search our Book Database for 2006 titles and authors!",
+	"login  LOGIN LoGiN",
+	"running runs ran runner",
+	"ISBN-0-13-110362-8, vol. 2",
+	"naïve café über ÉCOLE",
+	"the of and to a in",
+	"x y z q w",
+	"form—dash…ellipsis,comma;semicolon",
+	"  leading and trailing   ",
+	"churches ponies cats caresses",
+}
+
+// TestTokenizerMatchesTerms pins the reusable tokenizer to the
+// stateless pipeline element for element — same tokens, same order,
+// same stop-word drops, same stems — including on repeat calls where
+// every token comes from the memo.
+func TestTokenizerMatchesTerms(t *testing.T) {
+	tk := NewTokenizer()
+	for round := 0; round < 3; round++ {
+		for _, in := range tokenizerInputs {
+			want := Terms(in)
+			got := tk.Terms(in)
+			if len(got) != len(want) {
+				t.Fatalf("round %d %q: %d terms, want %d (%v vs %v)", round, in, len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("round %d %q term %d: %q, want %q", round, in, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestTokenizerZeroAllocSteadyState pins the ingest tokenizer's
+// steady-state cost: once a document's vocabulary is in the memo and
+// the output slice has grown, re-tokenizing allocates nothing.
+func TestTokenizerZeroAllocSteadyState(t *testing.T) {
+	tk := NewTokenizer()
+	in := "Search our Book Database for 2006 titles, authors and publishers — find rare first editions"
+	tk.Terms(in) // warm the memo and the output slice
+	allocs := testing.AllocsPerRun(100, func() { tk.Terms(in) })
+	if allocs != 0 {
+		t.Errorf("steady-state Terms allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestTokenizerCacheBound keeps the memo from growing without bound on
+// adversarial vocabularies while still tokenizing correctly past the cap.
+func TestTokenizerCacheBound(t *testing.T) {
+	tk := NewTokenizer()
+	for i := 0; i < maxStemCache+500; i++ {
+		tk.Terms(fmt.Sprintf("zq%dtok", i))
+	}
+	if len(tk.stems) > maxStemCache {
+		t.Fatalf("stem cache grew to %d, cap is %d", len(tk.stems), maxStemCache)
+	}
+	in := "zq9999999tok beyond the cap"
+	want := Terms(in)
+	got := tk.Terms(in)
+	if len(got) != len(want) {
+		t.Fatalf("past-cap tokenize: %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("past-cap term %d: %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,7 +1,9 @@
 package vector
 
 import (
+	"cmp"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -63,21 +65,32 @@ func Compile(v Vector, d *Dict) Compiled {
 // TF-IDF embedding against the corpus DF tables guarantees: unseen
 // terms get IDF 0 and never enter the vector).
 func CompileLookup(v Vector, d *Dict) Compiled {
-	ids := make([]uint32, 0, len(v))
-	for t := range v {
+	// One pass over the map carrying weights along, instead of resolving
+	// id -> term -> weight through two more lookups per term afterwards.
+	pairs := make([]idWeight, 0, len(v))
+	for t, w := range v {
 		if id, ok := d.ID(t); ok {
-			ids = append(ids, id)
+			pairs = append(pairs, idWeight{id: id, w: w})
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	weights := make([]float64, len(ids))
+	slices.SortFunc(pairs, func(a, b idWeight) int {
+		return cmp.Compare(a.id, b.id)
+	})
+	ids := make([]uint32, len(pairs))
+	weights := make([]float64, len(pairs))
 	var sum float64
-	for i, id := range ids {
-		w := v[d.Term(id)]
-		weights[i] = w
-		sum += w * w
+	for i, p := range pairs {
+		ids[i] = p.id
+		weights[i] = p.w
+		sum += p.w * p.w
 	}
 	return Compiled{IDs: ids, Weights: weights, Norm: math.Sqrt(sum)}
+}
+
+// idWeight pairs a dictionary ID with its weight during compilation.
+type idWeight struct {
+	id uint32
+	w  float64
 }
 
 // CompileWeighted packs raw LOC-weighted term occurrences (the paper's
@@ -111,6 +124,36 @@ func CompileWeighted(ts []WeightedTerm, d *Dict) Compiled {
 		sum += w * w
 	}
 	return Compiled{IDs: ids, Weights: weights, Norm: math.Sqrt(sum)}
+}
+
+// TopTerms returns the n highest-weighted terms of c, resolving term
+// IDs through d. Ties break on the term string ascending — the same
+// total order Vector.TopTerms uses — NOT on term ID: dictionary IDs are
+// assigned in page-arrival order, so an ID comparison would rank equal
+// weights differently from the map path. For a compiled vector whose
+// weights are bit-equal to a map vector's, the output is element-equal
+// to Decompile(d).TopTerms(n) without materializing the map; this is
+// what lets the live path label clusters from compiled centroids.
+func (c Compiled) TopTerms(d *Dict, n int) []string {
+	idx := make([]int, len(c.IDs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		i, j := idx[a], idx[b]
+		if c.Weights[i] != c.Weights[j] {
+			return c.Weights[i] > c.Weights[j]
+		}
+		return d.Term(c.IDs[i]) < d.Term(c.IDs[j])
+	})
+	if n > len(idx) {
+		n = len(idx)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = d.Term(c.IDs[idx[i]])
+	}
+	return out
 }
 
 // Decompile unpacks c back into a map vector.

@@ -2,6 +2,7 @@ package vector
 
 import (
 	"math"
+	"sync"
 )
 
 // WeightedTerm is a term occurrence annotated with the LOC factor of the
@@ -25,28 +26,37 @@ func NewDocFreq() *DocFreq {
 	return &DocFreq{df: make(map[string]int)}
 }
 
+// seenPool recycles the per-document dedup maps of AddDoc and
+// AddDocWeighted — ingest calls them for every appended page, and a
+// fresh map per page was a measurable slice of the hot path's garbage.
+var seenPool = sync.Pool{New: func() any { return make(map[string]bool, 64) }}
+
 // AddDoc records one document's distinct terms.
 func (d *DocFreq) AddDoc(terms []string) {
 	d.n++
-	seen := make(map[string]bool, len(terms))
+	seen := seenPool.Get().(map[string]bool)
 	for _, t := range terms {
 		if !seen[t] {
 			seen[t] = true
 			d.df[t]++
 		}
 	}
+	clear(seen)
+	seenPool.Put(seen)
 }
 
 // AddDocWeighted records one document given weighted occurrences.
 func (d *DocFreq) AddDocWeighted(terms []WeightedTerm) {
 	d.n++
-	seen := make(map[string]bool, len(terms))
+	seen := seenPool.Get().(map[string]bool)
 	for _, wt := range terms {
 		if !seen[wt.Term] {
 			seen[wt.Term] = true
 			d.df[wt.Term]++
 		}
 	}
+	clear(seen)
+	seenPool.Put(seen)
 }
 
 // N returns the number of documents recorded.
@@ -116,24 +126,38 @@ func RestoreDocFreq(n int, df map[string]int) *DocFreq {
 // locations contribute proportionally). When uniform is true, LOC is
 // forced to 1 for every term — the Section 4.4 ablation.
 func TFIDF(terms []WeightedTerm, df *DocFreq, uniform bool) Vector {
-	tf := make(map[string]float64, len(terms))
-	locSum := make(map[string]float64, len(terms))
+	agg := tfidfPool.Get().(map[string]tfLoc)
 	for _, wt := range terms {
-		tf[wt.Term]++
+		a := agg[wt.Term]
+		a.tf++
 		if uniform {
-			locSum[wt.Term]++
+			a.loc++
 		} else {
-			locSum[wt.Term] += wt.Loc
+			a.loc += wt.Loc
 		}
+		agg[wt.Term] = a
 	}
-	v := make(Vector, len(tf))
-	for t, f := range tf {
+	v := make(Vector, len(agg))
+	for t, a := range agg {
 		idf := df.IDF(t)
 		if idf == 0 {
 			continue // term in every document (or unknown): no signal
 		}
-		avgLoc := locSum[t] / f
-		v[t] = avgLoc * f * idf
+		avgLoc := a.loc / a.tf
+		v[t] = avgLoc * a.tf * idf
 	}
+	clear(agg)
+	tfidfPool.Put(agg)
 	return v
 }
+
+// tfLoc is TFIDF's per-term aggregation state: the term frequency and
+// the summed location factors of its occurrences.
+type tfLoc struct {
+	tf, loc float64
+}
+
+// tfidfPool recycles the per-call aggregation map; only the result
+// vector outlives a call, and embedding is sharded across workers,
+// hence a Pool rather than a single buffer.
+var tfidfPool = sync.Pool{New: func() any { return make(map[string]tfLoc, 64) }}

@@ -1,0 +1,40 @@
+package vector
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestCompiledTopTermsMatchesVector pins the compiled top-terms path to
+// the map path on vectors with weight ties, against a dictionary whose
+// ID order deliberately disagrees with lexicographic term order (IDs
+// are arrival-ordered in real models), so an ID-based tie-break would
+// be caught.
+func TestCompiledTopTermsMatchesVector(t *testing.T) {
+	d := NewDict()
+	// Intern in reverse-lexicographic order: term "zebra" gets the
+	// lowest ID.
+	for _, term := range []string{"zebra", "yak", "book", "author", "car"} {
+		d.Intern(term)
+	}
+	vs := []Vector{
+		{},
+		{"book": 2.5},
+		{"book": 1.0, "author": 1.0, "zebra": 1.0}, // full three-way tie
+		{"zebra": 3, "yak": 3, "car": 2, "book": 2, "author": 0.5},
+		{"car": -1, "book": -1, "author": 2}, // negative-weight ties
+	}
+	for vi, v := range vs {
+		c := Compile(v, d)
+		for n := 0; n <= len(v)+1; n++ {
+			want := v.TopTerms(n)
+			got := c.TopTerms(d, n)
+			if len(want) == 0 && len(got) == 0 {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("vector %d n=%d: compiled %v, map %v", vi, n, got, want)
+			}
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math/rand"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -59,6 +60,22 @@ type LiveConfig struct {
 	// per epoch, served through Live.Search with ranked top-k hits and
 	// labeled dynamic facets. Works on leaders and followers alike.
 	Search *SearchConfig
+	// IngestWorkers shards the per-batch parse/tokenize/embed stage
+	// (0 = one per CPU, 1 = the serial reference path). Published epochs
+	// are bit-identical for every value, so the knob tunes throughput
+	// only.
+	IngestWorkers int
+	// GroupCommit, when > 0, batches WAL fsyncs: up to this many ingest
+	// records buffer in memory and commit under one fsync — at the cap,
+	// when the CommitWindow elapses, or on drain/snapshot. A crash loses
+	// only buffered (never-acknowledged-durable) records; recovery stays
+	// epoch-exact over the durable prefix. Leaders only — followers keep
+	// one fsync per replicated frame so their resume offset never trails
+	// what they applied.
+	GroupCommit int
+	// CommitWindow bounds how long a buffered record may wait for its
+	// fsync under GroupCommit (0 = FlushInterval).
+	CommitWindow time.Duration
 }
 
 // QualityConfig configures the online quality monitor attached through
@@ -152,6 +169,15 @@ type LiveStatus struct {
 	// wall-clock duration of the most recent full re-cluster.
 	LastRebuildAt      time.Time
 	LastRebuildSeconds float64
+	// IngestWorkers is the resolved parse/embed shard count.
+	IngestWorkers int
+	// WALPending counts WAL records buffered under group commit but not
+	// yet fsynced (0 with group commit off or no durable store).
+	WALPending int
+	// IngestBusyFraction is the share of wall-clock the ingest worker
+	// has spent applying batches since start — ≈1.0 means ingest is
+	// saturated and the queue is the next thing to fill.
+	IngestBusyFraction float64
 }
 
 // Live is a streaming directory: Ingest feeds documents through a
@@ -160,7 +186,7 @@ type LiveStatus struct {
 type Live struct {
 	inner  *stream.Live
 	store  *stream.Store
-	pub    atomic.Pointer[LiveEpoch]
+	pub    atomic.Pointer[epochCell]
 	qm     *quality.Monitor
 	search *searcher
 
@@ -403,6 +429,14 @@ func (l *Live) streamConfigWithStore(corpus *Corpus, cfg LiveConfig, store *stre
 		Metrics:           corpus.model.Metrics,
 		Store:             store,
 		SnapshotEvery:     cfg.SnapshotEvery,
+		IngestWorkers:     cfg.IngestWorkers,
+		CommitWindow:      cfg.CommitWindow,
+	}
+	if !l.follower {
+		// Group commit is leader-only (the stream layer enforces this for
+		// manual pipelines too): a follower's durable record count is its
+		// replication resume offset and must never lag what it applied.
+		scfg.GroupCommit = cfg.GroupCommit
 	}
 	if store != nil {
 		scfg.SaveSnapshot = func(e *stream.Epoch) error {
@@ -435,22 +469,50 @@ func (l *Live) streamConfigWithStore(corpus *Corpus, cfg LiveConfig, store *stre
 	scfg.OnPublish = func(e *stream.Epoch) {
 		// Index before the swap so Epoch() == E implies the search
 		// snapshot is already at E — no torn reads across the two views.
+		var snap *search.Snapshot
 		if l.search != nil {
 			l.search.sync(e)
+			snap = l.search.snap.Load()
 		}
-		le := convertEpoch(e, l.weights, l.retry, l.skip)
-		if l.search != nil {
-			le.SearchLabels = l.search.snap.Load().ClusterLabels()
-		}
-		l.pub.Store(le)
+		// The expensive public view (clustering maps, top-term labels,
+		// classifier, document copies — all O(corpus)) materializes on
+		// the first Epoch() read, not here: during bulk ingest most
+		// epochs are superseded before anyone looks at them, and the
+		// ingest worker should only ever pay O(batch) per publish.
+		cell := &epochCell{conv: func() *LiveEpoch {
+			le := convertEpoch(e, l.weights, l.retry, l.skip)
+			if snap != nil {
+				le.SearchLabels = snap.ClusterLabels()
+			}
+			return le
+		}}
+		l.pub.Store(cell)
 		if l.qm != nil {
 			l.qm.ObserveEpoch(qualityEpoch(e), time.Now())
 		}
 		if cfg.OnPublish != nil {
-			cfg.OnPublish(le)
+			cfg.OnPublish(cell.get())
 		}
 	}
 	return scfg, nil
+}
+
+// epochCell defers convertEpoch until a reader actually wants the
+// epoch. The once makes materialization safe under concurrent Epoch()
+// readers; conv is dropped after it runs so the closure's captures
+// (beyond the epoch itself) are not pinned.
+type epochCell struct {
+	once sync.Once
+	conv func() *LiveEpoch
+	le   *LiveEpoch
+}
+
+func (c *epochCell) get() *LiveEpoch {
+	c.once.Do(func() {
+		c.le = c.conv()
+		c.conv = nil
+	})
+	return c.le
 }
 
 // qualityEpoch adapts a published stream epoch into the monitor's view.
@@ -475,10 +537,16 @@ func (l *Live) Ingest(d Document) error {
 }
 
 // Epoch returns the latest published epoch, or nil before the first
-// model exists (cold start). The read is one atomic pointer load — the
-// conversion (clustering view, top-term labels, classifier) happened
-// once at publish time.
-func (l *Live) Epoch() *LiveEpoch { return l.pub.Load() }
+// model exists (cold start). The read is an atomic pointer load; the
+// conversion (clustering view, top-term labels, classifier) runs once
+// on the first read of each epoch and is cached.
+func (l *Live) Epoch() *LiveEpoch {
+	c := l.pub.Load()
+	if c == nil {
+		return nil
+	}
+	return c.get()
+}
 
 // ForceRebuild schedules a full re-cluster (WAL-logged, so replay
 // reproduces it).
@@ -504,6 +572,9 @@ func (l *Live) Status() LiveStatus {
 		LastPublish:        s.LastPublish,
 		LastRebuildAt:      s.LastRebuildAt,
 		LastRebuildSeconds: s.LastRebuildSeconds,
+		IngestWorkers:      s.IngestWorkers,
+		WALPending:         s.WALPending,
+		IngestBusyFraction: s.IngestBusyFraction,
 	}
 	if !ls.LastPublish.IsZero() {
 		ls.EpochAgeSeconds = time.Since(ls.LastPublish).Seconds()

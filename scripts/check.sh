@@ -19,6 +19,11 @@ go test -race ./...
 # driver).
 go test -race ./internal/stream ./internal/repl ./internal/cluster ./internal/cafc \
     ./internal/search ./internal/obs ./internal/obs/quality ./internal/loadgen ./cmd/directoryd
+# Ingest fan-out under the race detector, run twice: the sharded
+# parse/embed pipeline at worker counts 1, 2, 3 and 8
+# (TestParallelIngestBitIdenticalEpochs sweeps them internally) plus
+# the WAL group-commit buffering, crash-recovery and close paths.
+go test -race -count 2 -run 'TestParallelIngest|TestGroupCommit' ./internal/stream
 go test -run xxx -bench 'BenchmarkCosine|BenchmarkKMeansEngines|BenchmarkKMeans454' \
     -benchtime=1x ./internal/vector ./internal/cluster .
 # Allocation-regression smoke: the serve-path benches run once so a
@@ -54,6 +59,15 @@ go build -o "$tmp/loadgen" ./cmd/loadgen
 # parallel-build invariants end to end.
 "$tmp/benchall" -exp scale -sizes 5000 -json "$tmp/BENCH_scale_smoke.json" >/dev/null
 [ -s "$tmp/BENCH_scale_smoke.json" ] || { echo "check.sh: scale smoke wrote no report"; exit 1; }
+
+# Ingest-throughput smoke: the 454-page sweep replays the baseline
+# run's WAL through fresh pipelines at worker counts 1, 2 and 4 and
+# fails unless each replay's model, search index and WAL bytes are
+# byte-identical to the serial reference (ingestSweep's verify stage) —
+# so the parallel pipeline's determinism contract is guarded end to
+# end, not just at the unit level.
+"$tmp/benchall" -exp ingest -sizes 454 -json "$tmp/BENCH_ingest_smoke.json" >/dev/null
+[ -s "$tmp/BENCH_ingest_smoke.json" ] || { echo "check.sh: ingest smoke wrote no report"; exit 1; }
 "$tmp/webgen" -n 60 -seed 7 -o "$tmp/corpus.json.gz" -stats=false
 "$tmp/directoryd" -in "$tmp/corpus.json.gz" -addr 127.0.0.1:0 -k 4 -metrics \
     >"$tmp/directoryd.log" 2>&1 &
